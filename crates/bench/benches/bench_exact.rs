@@ -1,0 +1,65 @@
+//! How fast does exact DAGP-PM blow up? (why the paper needs heuristics)
+//!
+//! The paper argues DAGP-PM is NP-complete (§3.4) and immediately moves
+//! to heuristics. This bench quantifies the wall: the branch-and-bound
+//! solver's running time grows with the Bell number `B(n)` while
+//! DagHetPart stays near-linear, so their curves cross before n = 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhp_core::prelude::*;
+use dhp_exact::{solve, ExactConfig};
+use dhp_platform::{Cluster, Processor};
+use std::hint::black_box;
+
+fn mini_cluster() -> Cluster {
+    Cluster::new(
+        vec![
+            Processor::new("C2", 32.0, 1000.0),
+            Processor::new("A1", 32.0, 200.0),
+            Processor::new("A2", 6.0, 400.0),
+            Processor::new("N1", 12.0, 100.0),
+        ],
+        1.0,
+    )
+}
+
+fn bench_exact_growth(c: &mut Criterion) {
+    let cluster = mini_cluster();
+    let mut group = c.benchmark_group("exact_vs_heuristic");
+    group.sample_size(10);
+    for n in [5usize, 6, 7, 8] {
+        let g = dhp_dag::builder::gnp_dag_weighted(n, 0.3, 17);
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(solve(&g, &cluster, &ExactConfig::default()).unwrap());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("daghetpart", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(dag_het_part(&g, &cluster, &DagHetPartConfig::default()).ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_enumeration(c: &mut Criterion) {
+    // The raw enumeration cost without any graph work: the Bell-number
+    // wall itself.
+    let mut group = c.benchmark_group("restricted_growth_strings");
+    for n in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    dhp_exact::RestrictedGrowth::new(n, n)
+                        .map(|rgs| rgs.len() as u64)
+                        .sum::<u64>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_growth, bench_partition_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end benchmark: DagHetPart vs DagHetMem wall-clock on the
+//! paper's workflow families — the measurement behind Figs. 8–9 and
+//! Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhp_core::fitting::scale_cluster_with_headroom;
+use dhp_core::prelude::*;
+use dhp_platform::configs;
+use dhp_wfgen::{Family, WorkflowInstance};
+use std::hint::black_box;
+
+fn bench_both(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    for &n in &[200usize, 1_000] {
+        for family in [Family::Blast, Family::Soykb] {
+            let inst = WorkflowInstance::simulated(family, n, 3);
+            let cluster =
+                scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+            group.bench_with_input(
+                BenchmarkId::new(format!("daghetpart/{}", family.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        dag_het_part(
+                            black_box(&inst.graph),
+                            black_box(&cluster),
+                            &DagHetPartConfig::default(),
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("daghetmem/{}", family.name()), n),
+                &n,
+                |b, _| b.iter(|| dag_het_mem(black_box(&inst.graph), black_box(&cluster))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_both);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmark: the memDag traversal engine — the dominant cost of the
+//! DagHetMem baseline (paper §5.2.7: "the running time of DagHetMem is
+//! dominated by the effort to compute the optimal memory traversal over
+//! the entire workflow").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhp_wfgen::{Family, WeightModel};
+use std::hint::black_box;
+
+fn bench_best_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_traversal");
+    group.sample_size(10);
+    for &n in &[200usize, 1_000, 4_000] {
+        for family in [Family::Genome, Family::Epigenomics] {
+            let g = family.generate(n, &WeightModel::paper(), 5);
+            let ext = vec![0.0; g.node_count()];
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &n,
+                |b, _| b.iter(|| dhp_memdag::best_traversal(black_box(&g), black_box(&ext))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_traversal_eval(c: &mut Criterion) {
+    // Exact O(V+E) evaluation of one order.
+    let g = Family::Montage.generate(4_000, &WeightModel::paper(), 5);
+    let ext = vec![0.0; g.node_count()];
+    let order = dhp_dag::topo::topo_sort(&g).unwrap();
+    c.bench_function("traversal_peak_montage_4000", |b| {
+        b.iter(|| {
+            dhp_memdag::liveness::traversal_peak(black_box(&g), black_box(&ext), &order)
+        })
+    });
+}
+
+criterion_group!(benches, bench_best_traversal, bench_traversal_eval);
+criterion_main!(benches);

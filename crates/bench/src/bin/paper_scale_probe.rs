@@ -1,0 +1,37 @@
+//! One paper-scale instance through both heuristics: validates the
+//! scalability claim (paper Table 4: big workflows map in ~11 min).
+
+use dhp_core::fitting::scale_cluster_with_headroom;
+use dhp_core::makespan::makespan_of_mapping;
+use dhp_core::prelude::*;
+use dhp_platform::configs;
+use dhp_wfgen::{Family, WorkflowInstance};
+use std::time::Instant;
+
+fn main() {
+    for (family, n) in [(Family::Seismology, 20_000), (Family::Genome, 10_000)] {
+        let inst = WorkflowInstance::simulated(family, n, 42);
+        let cluster =
+            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let t0 = Instant::now();
+        let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+            .expect("DagHetPart");
+        let t_part = t0.elapsed();
+        validate(&inst.graph, &cluster, &part.mapping).expect("valid");
+        let t1 = Instant::now();
+        let mem = dag_het_mem(&inst.graph, &cluster).expect("DagHetMem");
+        let t_mem = t1.elapsed();
+        let mem_ms = makespan_of_mapping(&inst.graph, &cluster, &mem);
+        println!(
+            "{}: {} tasks | DagHetPart {:.1}s ms={:.0} (k'={}) | DagHetMem {:.1}s ms={:.0} | ratio {:.1}% ",
+            inst.name,
+            inst.graph.node_count(),
+            t_part.as_secs_f64(),
+            part.makespan,
+            part.kprime,
+            t_mem.as_secs_f64(),
+            mem_ms,
+            100.0 * part.makespan / mem_ms,
+        );
+    }
+}

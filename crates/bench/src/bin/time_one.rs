@@ -1,0 +1,30 @@
+//! Developer utility: time both heuristics on a single instance.
+//!
+//! ```sh
+//! cargo run --release -p dhp-bench --bin time_one -- seismology 20000
+//! ```
+
+use dhp_bench::runner::run_instance;
+use dhp_platform::configs;
+use dhp_wfgen::{Family, WorkflowInstance};
+
+fn main() {
+    let family = std::env::args()
+        .nth(1)
+        .and_then(|s| Family::parse(&s))
+        .expect("usage: time_one <family> <tasks>");
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    let inst = WorkflowInstance::simulated(family, n, 42);
+    let t0 = std::time::Instant::now();
+    let out = run_instance(&inst, &configs::default_cluster());
+    println!(
+        "{:<20} total {:>8.2?}  part: {:?}  mem: {:?}",
+        out.name,
+        t0.elapsed(),
+        out.part.map(|p| (p.makespan, p.time)),
+        out.mem.map(|m| (m.makespan, m.time)),
+    );
+}

@@ -1,0 +1,58 @@
+//! Plain-text table/series printers for the experiment binary.
+
+/// Prints a markdown-ish table: header row plus aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats an optional percentage.
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1} %"),
+        None => "—".into(),
+    }
+}
+
+/// Formats an optional float with one decimal.
+pub fn num(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v >= 1000.0 => format!("{v:.0}"),
+        Some(v) => format!("{v:.2}"),
+        None => "—".into(),
+    }
+}
+
+/// Formats a duration in seconds.
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3} s"),
+        None => "—".into(),
+    }
+}

@@ -1,0 +1,156 @@
+//! Instance execution and aggregation shared by all experiments.
+
+use dhp_core::fitting::scale_cluster_with_headroom;
+use dhp_core::makespan::makespan_of_mapping;
+use dhp_core::prelude::*;
+use dhp_platform::Cluster;
+use dhp_wfgen::{SizeClass, WorkflowInstance};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Memory headroom applied when normalising the platform to a workflow
+/// (see `dhp_core::fitting::scale_cluster_with_headroom`).
+pub const HEADROOM: f64 = 1.05;
+
+/// Statistics of one heuristic run on one instance.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Achieved makespan (model units).
+    pub makespan: f64,
+    /// Wall-clock scheduling time.
+    pub time: Duration,
+    /// Number of blocks in the mapping.
+    pub blocks: usize,
+    /// Number of distinct processors used.
+    pub procs_used: usize,
+}
+
+/// Both heuristics on one instance.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Instance name (e.g. `"blast-2000"`).
+    pub name: String,
+    /// Family name, `"real"` for the real-world suite.
+    pub family: String,
+    /// Size class label.
+    pub size_class: SizeClass,
+    /// Task count.
+    pub tasks: usize,
+    /// DagHetPart result (`None` = no solution found).
+    pub part: Option<RunStats>,
+    /// DagHetMem result.
+    pub mem: Option<RunStats>,
+}
+
+impl Outcome {
+    /// Relative makespan DagHetPart / DagHetMem in percent, if both ran.
+    pub fn relative_pct(&self) -> Option<f64> {
+        match (&self.part, &self.mem) {
+            (Some(p), Some(m)) => Some(100.0 * p.makespan / m.makespan),
+            _ => None,
+        }
+    }
+
+    /// Relative runtime DagHetPart / DagHetMem, if both ran.
+    pub fn relative_runtime(&self) -> Option<f64> {
+        match (&self.part, &self.mem) {
+            (Some(p), Some(m)) => {
+                Some(p.time.as_secs_f64() / m.time.as_secs_f64().max(1e-9))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs both heuristics on `inst` against `cluster` (normalised to the
+/// instance with [`HEADROOM`]).
+pub fn run_instance(inst: &WorkflowInstance, cluster: &Cluster) -> Outcome {
+    let cluster = scale_cluster_with_headroom(&inst.graph, cluster, HEADROOM);
+
+    let t0 = Instant::now();
+    let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).ok();
+    let part_time = t0.elapsed();
+    let part = part.map(|r| {
+        debug_assert!(validate(&inst.graph, &cluster, &r.mapping).is_ok());
+        RunStats {
+            makespan: r.makespan,
+            time: part_time,
+            blocks: r.mapping.num_blocks(),
+            procs_used: r.mapping.procs_used(),
+        }
+    });
+
+    let t0 = Instant::now();
+    let mem = dag_het_mem(&inst.graph, &cluster).ok();
+    let mem_time = t0.elapsed();
+    let mem = mem.map(|m| RunStats {
+        makespan: makespan_of_mapping(&inst.graph, &cluster, &m),
+        time: mem_time,
+        blocks: m.num_blocks(),
+        procs_used: m.procs_used(),
+    });
+
+    Outcome {
+        name: inst.name.clone(),
+        family: inst
+            .family
+            .map(|f| f.name().to_string())
+            .unwrap_or_else(|| "real".into()),
+        size_class: inst.size_class,
+        tasks: inst.graph.node_count(),
+        part,
+        mem,
+    }
+}
+
+/// Runs a set of instances in parallel (one crossbeam worker per core;
+/// DagHetPart's inner sweep is forced sequential to avoid nested
+/// oversubscription).
+pub fn run_suite(instances: &[WorkflowInstance], cluster: &Cluster) -> Vec<Outcome> {
+    let results: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::new());
+    let next: std::sync::atomic::AtomicUsize = 0.into();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(instances.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= instances.len() {
+                    break;
+                }
+                let out = run_instance(&instances[i], cluster);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("suite worker panicked");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|(i, _)| *i);
+    rows.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Geometric mean of the relative makespans (%) of the outcomes where
+/// both heuristics succeeded, or `None` when none did.
+pub fn aggregate_relative_pct(outcomes: &[Outcome]) -> Option<f64> {
+    let ratios: Vec<f64> = outcomes.iter().filter_map(Outcome::relative_pct).collect();
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(dhp_core::metrics::geometric_mean(&ratios))
+    }
+}
+
+/// Geometric mean of absolute DagHetPart makespans, or `None`.
+pub fn aggregate_absolute(outcomes: &[Outcome]) -> Option<f64> {
+    let vals: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.part.as_ref().map(|p| p.makespan))
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(dhp_core::metrics::geometric_mean(&vals))
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal `--flag value` argument parser.
+//!
+//! The binary has four subcommands with a handful of flags each; a
+//! hand-rolled parser keeps the dependency set to the workspace's
+//! approved crates and the error messages specific.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, flags, and bare booleans.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: String,
+    /// `--key value` pairs.
+    flags: HashMap<String, String>,
+    /// `--key` switches without a value.
+    switches: Vec<String>,
+}
+
+/// Parse failures with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A non-flag token appeared where a flag was expected.
+    Unexpected(String),
+    /// The same flag was given twice.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::Unexpected(t) => write!(f, "unexpected argument {t:?}"),
+            ArgError::Duplicate(t) => write!(f, "flag --{t} given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switches that never take a value.
+const SWITCHES: [&str; 4] = ["quiet", "simulate", "gantt", "help"];
+
+impl Args {
+    /// Parses a token stream (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with('-') && command != "--help" {
+            return Err(ArgError::Unexpected(command));
+        }
+        let mut args = Args {
+            command: command.trim_start_matches('-').to_string(),
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(tok));
+            };
+            if SWITCHES.contains(&key) {
+                args.switches.push(key.to_string());
+                continue;
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => return Err(ArgError::Unexpected(format!("--{key} (missing value)"))),
+            };
+            if args.flags.insert(key.to_string(), value).is_some() {
+                return Err(ArgError::Duplicate(key.to_string()));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Value of `--key` or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required `--key`; returns a human-readable error otherwise.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Numeric flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+        }
+    }
+
+    /// Integer flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+        }
+    }
+
+    /// True when `--key` was given as a switch.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = parse("schedule --workflow wf.json --bandwidth 2.5 --quiet").unwrap();
+        assert_eq!(a.command, "schedule");
+        assert_eq!(a.get("workflow"), Some("wf.json"));
+        assert_eq!(a.get_f64("bandwidth", 1.0).unwrap(), 2.5);
+        assert!(a.switch("quiet"));
+        assert!(!a.switch("simulate"));
+    }
+
+    #[test]
+    fn defaults_and_requires() {
+        let a = parse("generate --family blast").unwrap();
+        assert_eq!(a.get_or("seed", "42"), "42");
+        assert_eq!(a.require("family").unwrap(), "blast");
+        assert!(a.require("tasks").unwrap_err().contains("--tasks"));
+        assert_eq!(a.get_usize("tasks", 200).unwrap(), 200);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(
+            parse("schedule --workflow --quiet"),
+            Err(ArgError::Unexpected(_))
+        ));
+        assert!(matches!(parse("schedule --cluster"), Err(ArgError::Unexpected(_))));
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert_eq!(
+            parse("schedule --seed 1 --seed 2").unwrap_err(),
+            ArgError::Duplicate("seed".into())
+        );
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let a = parse("schedule --bandwidth abc").unwrap();
+        assert!(a.get_f64("bandwidth", 1.0).unwrap_err().contains("abc"));
+        let a = parse("generate --tasks 1.5").unwrap();
+        assert!(a.get_usize("tasks", 1).is_err());
+    }
+
+    #[test]
+    fn empty_line_is_missing_command() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        assert!(matches!(
+            parse("schedule extra"),
+            Err(ArgError::Unexpected(_))
+        ));
+    }
+}

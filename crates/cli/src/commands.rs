@@ -1,0 +1,352 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::report::ScheduleReport;
+use crate::spec::{resolve_cluster, ClusterSpec};
+use dhp_core::fitting::{every_task_fits, scale_cluster_with_headroom};
+use dhp_core::makespan::makespan_of_mapping;
+use dhp_core::prelude::*;
+use dhp_platform::configs;
+use dhp_wfgen::wfcommons::{self, ImportConfig};
+use dhp_wfgen::{Family, SizeClass, WorkflowInstance};
+
+/// Usage text for `--help` and errors.
+pub const USAGE: &str = "\
+daghetpart — memory-constrained workflow mapping onto heterogeneous clusters
+
+USAGE:
+  daghetpart schedule --workflow FILE [--cluster NAME|FILE] [options]
+  daghetpart generate --family NAME --tasks N [--seed N] [--format wfcommons|dot]
+  daghetpart inspect  --workflow FILE
+  daghetpart cluster-template
+
+SCHEDULE OPTIONS:
+  --workflow FILE       workflow in WfCommons JSON (.json) or GraphViz DOT (.dot)
+  --cluster NAME|FILE   default|small|large|morehet|lesshet|nohet or a JSON
+                        cluster file (default: default)
+  --algorithm NAME      daghetpart|daghetmem (default: daghetpart)
+  --bandwidth B         override the cluster bandwidth β
+  --headroom H          scale processor memories so the hottest task fits
+                        with headroom H (default 1.05; 0 disables scaling)
+  --simulate            also run the discrete-event simulator
+  --gantt               append an ASCII per-processor timeline (implies
+                        --simulate)
+  --output FILE         write the JSON report to FILE instead of stdout
+
+GENERATE OPTIONS:
+  --family NAME         genome|blast|bwa|epigenomics|montage|seismology|soykb
+  --tasks N             approximate task count
+  --seed N              RNG seed (default 42)
+  --format FMT          wfcommons (default) or dot
+";
+
+/// Loads a workflow from a `.json` (WfCommons) or `.dot` file.
+fn load_workflow(path: &str) -> Result<WorkflowInstance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    if path.ends_with(".dot") || text.trim_start().starts_with("digraph") {
+        let graph = dhp_dag::dot::from_dot(&text).map_err(|e| format!("{path}: {e}"))?;
+        let n = graph.node_count();
+        Ok(WorkflowInstance {
+            name,
+            family: None,
+            size_class: if n < 200 { SizeClass::Real } else { SizeClass::of_size(n) },
+            requested_size: n,
+            graph,
+        })
+    } else {
+        wfcommons::from_json(&text, &ImportConfig::default())
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `daghetpart schedule`.
+pub fn schedule(args: &Args) -> Result<String, String> {
+    let inst = load_workflow(args.require("workflow")?)?;
+    let mut cluster = resolve_cluster(args.get_or("cluster", "default"))?;
+    if let Some(beta) = args.get("bandwidth") {
+        let beta: f64 = beta.parse().map_err(|_| format!("--bandwidth: {beta:?}"))?;
+        if beta <= 0.0 {
+            return Err("--bandwidth must be positive".into());
+        }
+        cluster = cluster.with_bandwidth(beta);
+    }
+    let headroom = args.get_f64("headroom", 1.05)?;
+    if headroom != 0.0 {
+        if headroom < 1.0 {
+            return Err("--headroom must be >= 1 (or 0 to disable)".into());
+        }
+        cluster = scale_cluster_with_headroom(&inst.graph, &cluster, headroom);
+    } else if !every_task_fits(&inst.graph, &cluster) {
+        return Err(
+            "a task exceeds every processor memory; enlarge the cluster or use --headroom"
+                .into(),
+        );
+    }
+
+    let algorithm = args.get_or("algorithm", "daghetpart");
+    let (mapping, makespan) = match algorithm {
+        "daghetpart" => {
+            let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+                .map_err(|e| e.to_string())?;
+            (r.mapping, r.makespan)
+        }
+        "daghetmem" => {
+            let m = dag_het_mem(&inst.graph, &cluster).map_err(|e| e.to_string())?;
+            let mk = makespan_of_mapping(&inst.graph, &cluster, &m);
+            (m, mk)
+        }
+        other => return Err(format!("unknown --algorithm {other:?}")),
+    };
+    validate(&inst.graph, &cluster, &mapping)
+        .map_err(|e| format!("internal error: produced mapping invalid: {e}"))?;
+
+    let mut report =
+        ScheduleReport::new(&inst.name, algorithm, &inst.graph, &cluster, &mapping, makespan);
+    let mut gantt = String::new();
+    if args.switch("simulate") || args.switch("gantt") {
+        let sim = dhp_sim::simulate(&inst.graph, &cluster, &mapping);
+        report.simulated_makespan = Some(sim.makespan);
+        if args.switch("gantt") {
+            let tl = dhp_sim::timeline(&inst.graph, &cluster, &mapping, &sim);
+            gantt = format!(
+                "\n{}mean utilisation {:.1}%\n",
+                tl.render(72),
+                100.0 * tl.mean_utilisation()
+            );
+        }
+    }
+    let json = report.to_json();
+    if let Some(out) = args.get("output") {
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        if args.switch("quiet") {
+            return Ok(String::new());
+        }
+        return Ok(format!(
+            "wrote {out}: {} tasks in {} blocks, makespan {:.3}{gantt}",
+            report.tasks, report.blocks, report.makespan
+        ));
+    }
+    Ok(format!("{json}{gantt}"))
+}
+
+/// `daghetpart generate`.
+pub fn generate(args: &Args) -> Result<String, String> {
+    let family = parse_family(args.require("family")?)?;
+    let tasks = args.get_usize("tasks", 200)?;
+    if tasks == 0 {
+        return Err("--tasks must be positive".into());
+    }
+    let seed = args.get_usize("seed", 42)? as u64;
+    let inst = WorkflowInstance::simulated(family, tasks, seed);
+    let text = match args.get_or("format", "wfcommons") {
+        "wfcommons" => wfcommons::to_json(&inst, wfcommons::GIB),
+        "dot" => dhp_dag::dot::to_dot(&inst.graph, &inst.name),
+        other => return Err(format!("unknown --format {other:?}")),
+    };
+    if let Some(out) = args.get("output") {
+        std::fs::write(out, &text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        return Ok(format!("wrote {out}: {} tasks", inst.graph.node_count()));
+    }
+    Ok(text)
+}
+
+/// `daghetpart inspect`.
+pub fn inspect(args: &Args) -> Result<String, String> {
+    let inst = load_workflow(args.require("workflow")?)?;
+    let g = &inst.graph;
+    let depth = dhp_dag::topo::topo_levels(g)
+        .ok_or("workflow is cyclic")?
+        .into_iter()
+        .max()
+        .map_or(0, |d| d + 1);
+    let max_req = g
+        .node_ids()
+        .map(|u| g.task_requirement(u))
+        .fold(0.0f64, f64::max);
+    let max_out = g.node_ids().map(|u| g.out_degree(u)).max().unwrap_or(0);
+    Ok(format!(
+        "workflow       {}\n\
+         tasks          {}\n\
+         edges          {}\n\
+         sources        {}\n\
+         targets        {}\n\
+         levels (depth) {}\n\
+         max fan-out    {}\n\
+         total work     {:.3}\n\
+         total memory   {:.3}\n\
+         total volume   {:.3}\n\
+         hottest task r {:.3}\n\
+         size class     {}",
+        inst.name,
+        g.node_count(),
+        g.edge_count(),
+        g.sources().count(),
+        g.targets().count(),
+        depth,
+        max_out,
+        g.total_work(),
+        g.total_memory(),
+        g.total_volume(),
+        max_req,
+        inst.size_class.name(),
+    ))
+}
+
+/// `daghetpart cluster-template`: the default cluster as a JSON file.
+pub fn cluster_template() -> String {
+    serde_json::to_string_pretty(&ClusterSpec::from_cluster(&configs::default_cluster()))
+        .expect("spec serialisation cannot fail")
+}
+
+fn parse_family(name: &str) -> Result<Family, String> {
+    Family::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+            format!("unknown family {name:?}; choose one of {}", names.join("|"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::run;
+
+    fn cli(line: &str) -> Result<String, String> {
+        run(line.split_whitespace().map(str::to_string))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dhp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_schedule_wfcommons() {
+        let wf = tmp("gen.json");
+        let msg = cli(&format!(
+            "generate --family blast --tasks 200 --seed 7 --output {wf}"
+        ))
+        .unwrap();
+        assert!(msg.contains("tasks"));
+        let out = cli(&format!("schedule --workflow {wf} --cluster small")).unwrap();
+        let report: crate::report::ScheduleReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.algorithm, "daghetpart");
+        assert!(report.makespan > 0.0);
+        assert!(report.blocks <= 18);
+    }
+
+    #[test]
+    fn generate_then_schedule_dot_with_simulation() {
+        let wf = tmp("gen.dot");
+        cli(&format!(
+            "generate --family seismology --tasks 200 --format dot --output {wf}"
+        ))
+        .unwrap();
+        let out = cli(&format!(
+            "schedule --workflow {wf} --cluster default --simulate"
+        ))
+        .unwrap();
+        let report: crate::report::ScheduleReport = serde_json::from_str(&out).unwrap();
+        let sim = report.simulated_makespan.expect("--simulate fills this");
+        // §3.3: the analytic makespan over-estimates the execution.
+        assert!(sim <= report.makespan * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn schedule_with_baseline_algorithm() {
+        let wf = tmp("base.json");
+        cli(&format!(
+            "generate --family montage --tasks 200 --output {wf}"
+        ))
+        .unwrap();
+        let part = cli(&format!("schedule --workflow {wf}")).unwrap();
+        let mem = cli(&format!("schedule --workflow {wf} --algorithm daghetmem")).unwrap();
+        let part: crate::report::ScheduleReport = serde_json::from_str(&part).unwrap();
+        let mem: crate::report::ScheduleReport = serde_json::from_str(&mem).unwrap();
+        assert!(part.makespan <= mem.makespan * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn inspect_reports_structure() {
+        let wf = tmp("inspect.json");
+        cli(&format!("generate --family bwa --tasks 200 --output {wf}")).unwrap();
+        let out = cli(&format!("inspect --workflow {wf}")).unwrap();
+        assert!(out.contains("tasks"));
+        assert!(out.contains("max fan-out"));
+        assert!(out.contains("small"));
+    }
+
+    #[test]
+    fn gantt_switch_appends_chart() {
+        let wf = tmp("gantt.json");
+        cli(&format!("generate --family genome --tasks 200 --output {wf}")).unwrap();
+        let out = cli(&format!("schedule --workflow {wf} --cluster small --gantt")).unwrap();
+        assert!(out.contains("mean utilisation"));
+        assert!(out.contains("time 0"));
+        // The JSON part still parses: cut at the first blank line.
+        let json_part = out.split("\ntime 0").next().unwrap();
+        let report: crate::report::ScheduleReport = serde_json::from_str(json_part).unwrap();
+        assert!(report.simulated_makespan.is_some());
+    }
+
+    #[test]
+    fn cluster_template_is_loadable() {
+        let text = cli("cluster-template").unwrap();
+        let spec: crate::spec::ClusterSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(spec.build().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn custom_cluster_file_is_used() {
+        let cf = tmp("cluster.json");
+        std::fs::write(
+            &cf,
+            r#"{ "bandwidth": 1.0, "processors": [
+                { "name": "fat", "speed": 10, "memory": 500, "count": 2 } ] }"#,
+        )
+        .unwrap();
+        let wf = tmp("custom.json");
+        cli(&format!("generate --family soykb --tasks 200 --output {wf}")).unwrap();
+        let out = cli(&format!("schedule --workflow {wf} --cluster {cf}")).unwrap();
+        let report: crate::report::ScheduleReport = serde_json::from_str(&out).unwrap();
+        assert!(report.blocks <= 2);
+        assert!(report.mapping.iter().all(|b| b.processor_kind == "fat"));
+    }
+
+    #[test]
+    fn bandwidth_override_changes_model() {
+        let wf = tmp("beta.json");
+        cli(&format!("generate --family blast --tasks 200 --output {wf}")).unwrap();
+        let slow = cli(&format!("schedule --workflow {wf} --bandwidth 0.1")).unwrap();
+        let fast = cli(&format!("schedule --workflow {wf} --bandwidth 5")).unwrap();
+        let slow: crate::report::ScheduleReport = serde_json::from_str(&slow).unwrap();
+        let fast: crate::report::ScheduleReport = serde_json::from_str(&fast).unwrap();
+        assert!(fast.makespan <= slow.makespan * 1.5, "β=5 should not be much worse");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(cli("schedule").unwrap_err().contains("--workflow"));
+        assert!(cli("frobnicate").unwrap_err().contains("unknown subcommand"));
+        assert!(cli("generate --family nosuch --tasks 10")
+            .unwrap_err()
+            .contains("unknown family"));
+        assert!(cli("help").unwrap().contains("USAGE"));
+        let wf = tmp("err.json");
+        cli(&format!("generate --family bwa --tasks 200 --output {wf}")).unwrap();
+        assert!(cli(&format!("schedule --workflow {wf} --algorithm magic"))
+            .unwrap_err()
+            .contains("magic"));
+        assert!(cli(&format!("schedule --workflow {wf} --headroom 0.5"))
+            .unwrap_err()
+            .contains("headroom"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # dhp-cli
+//!
+//! The `daghetpart` command-line scheduler. Subcommands:
+//!
+//! * `schedule` — map a workflow (GraphViz DOT or WfCommons JSON) onto a
+//!   cluster (paper-named configuration or JSON file) and print a
+//!   mapping report as JSON.
+//! * `generate` — produce a workflow instance from one of the seven
+//!   paper families, as WfCommons JSON or DOT.
+//! * `inspect` — print structural statistics of a workflow file.
+//! * `cluster-template` — print an example cluster JSON file.
+//!
+//! The heavy lifting lives in the workspace libraries; this crate only
+//! parses arguments, loads files, and formats results, and is therefore
+//! fully testable without spawning the binary.
+
+pub mod args;
+pub mod commands;
+pub mod report;
+pub mod spec;
+
+pub use args::Args;
+
+/// Entry point shared by the binary and the tests. Returns the text to
+/// print on stdout, or a user-facing error message.
+pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> {
+    let args = Args::parse(tokens).map_err(|e| format!("{e}\n\n{}", commands::USAGE))?;
+    if args.switch("help") || args.command == "help" {
+        return Ok(commands::USAGE.to_string());
+    }
+    match args.command.as_str() {
+        "schedule" => commands::schedule(&args),
+        "generate" => commands::generate(&args),
+        "inspect" => commands::inspect(&args),
+        "cluster-template" => Ok(commands::cluster_template()),
+        other => Err(format!("unknown subcommand {other:?}\n\n{}", commands::USAGE)),
+    }
+}

@@ -1,0 +1,15 @@
+//! `daghetpart` binary: thin wrapper around [`dhp_cli::run`].
+
+fn main() {
+    match dhp_cli::run(std::env::args().skip(1)) {
+        Ok(out) => {
+            if !out.is_empty() {
+                println!("{out}");
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Cluster specification: named paper configurations or a JSON file.
+//!
+//! The JSON schema is deliberately tiny:
+//!
+//! ```json
+//! {
+//!   "bandwidth": 1.0,
+//!   "processors": [
+//!     { "name": "C2", "speed": 32, "memory": 192, "count": 6 },
+//!     { "name": "N1", "speed": 12, "memory": 16 }
+//!   ]
+//! }
+//! ```
+//!
+//! `count` (default 1) expands a line into that many identical machines,
+//! mirroring the paper's "six of each kind" cluster construction.
+
+use dhp_platform::{configs, Cluster, Processor};
+use serde::{Deserialize, Serialize};
+
+/// One processor line of a cluster file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProcSpec {
+    /// Machine kind label.
+    pub name: String,
+    /// Speed `s_j`.
+    pub speed: f64,
+    /// Memory size `M_j`.
+    pub memory: f64,
+    /// Number of identical machines of this kind.
+    #[serde(default = "one")]
+    pub count: usize,
+}
+
+fn one() -> usize {
+    1
+}
+
+/// A whole cluster file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Uniform bandwidth `β`.
+    #[serde(default = "unit")]
+    pub bandwidth: f64,
+    /// Machine lines.
+    pub processors: Vec<ProcSpec>,
+}
+
+fn unit() -> f64 {
+    1.0
+}
+
+impl ClusterSpec {
+    /// Expands the spec into a [`Cluster`].
+    pub fn build(&self) -> Result<Cluster, String> {
+        let mut procs = Vec::new();
+        for p in &self.processors {
+            if p.speed <= 0.0 || p.memory <= 0.0 {
+                return Err(format!(
+                    "processor {:?}: speed and memory must be positive",
+                    p.name
+                ));
+            }
+            for _ in 0..p.count {
+                procs.push(Processor::new(p.name.clone(), p.speed, p.memory));
+            }
+        }
+        if procs.is_empty() {
+            return Err("cluster file defines no processors".to_string());
+        }
+        if self.bandwidth <= 0.0 {
+            return Err("bandwidth must be positive".to_string());
+        }
+        Ok(Cluster::new(procs, self.bandwidth))
+    }
+
+    /// Captures an existing cluster (used to emit example files).
+    pub fn from_cluster(cluster: &Cluster) -> ClusterSpec {
+        let mut lines: Vec<ProcSpec> = Vec::new();
+        for (_, p) in cluster.iter() {
+            match lines.iter_mut().find(|l| {
+                l.name == p.kind && l.speed == p.speed && l.memory == p.memory
+            }) {
+                Some(l) => l.count += 1,
+                None => lines.push(ProcSpec {
+                    name: p.kind.clone(),
+                    speed: p.speed,
+                    memory: p.memory,
+                    count: 1,
+                }),
+            }
+        }
+        ClusterSpec {
+            bandwidth: cluster.bandwidth,
+            processors: lines,
+        }
+    }
+}
+
+/// Resolves `--cluster`: a paper name (`default`, `small`, `large`,
+/// `morehet`, `lesshet`, `nohet`) or a path to a JSON file.
+pub fn resolve_cluster(arg: &str) -> Result<Cluster, String> {
+    match arg {
+        "default" => Ok(configs::default_cluster()),
+        "small" => Ok(configs::small_cluster()),
+        "large" => Ok(configs::large_cluster()),
+        "morehet" => Ok(configs::more_het_cluster()),
+        "lesshet" => Ok(configs::less_het_cluster()),
+        "nohet" => Ok(configs::no_het_cluster()),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read cluster file {path:?}: {e}"))?;
+            let spec: ClusterSpec = serde_json::from_str(&text)
+                .map_err(|e| format!("invalid cluster file {path:?}: {e}"))?;
+            spec.build()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_clusters_resolve() {
+        for (name, procs) in [
+            ("default", 36),
+            ("small", 18),
+            ("large", 60),
+            ("morehet", 36),
+            ("lesshet", 36),
+            ("nohet", 36),
+        ] {
+            let c = resolve_cluster(name).unwrap();
+            assert_eq!(c.len(), procs, "{name}");
+        }
+    }
+
+    #[test]
+    fn spec_expands_counts() {
+        let spec: ClusterSpec = serde_json::from_str(
+            r#"{ "bandwidth": 2.0, "processors": [
+                { "name": "a", "speed": 4, "memory": 16, "count": 3 },
+                { "name": "b", "speed": 8, "memory": 64 } ] }"#,
+        )
+        .unwrap();
+        let c = spec.build().unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.bandwidth, 2.0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let no_procs = ClusterSpec {
+            bandwidth: 1.0,
+            processors: vec![],
+        };
+        assert!(no_procs.build().is_err());
+        let bad_speed = ClusterSpec {
+            bandwidth: 1.0,
+            processors: vec![ProcSpec {
+                name: "x".into(),
+                speed: 0.0,
+                memory: 1.0,
+                count: 1,
+            }],
+        };
+        assert!(bad_speed.build().is_err());
+        let bad_beta = ClusterSpec {
+            bandwidth: 0.0,
+            processors: vec![ProcSpec {
+                name: "x".into(),
+                speed: 1.0,
+                memory: 1.0,
+                count: 1,
+            }],
+        };
+        assert!(bad_beta.build().is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_from_cluster() {
+        let c = configs::default_cluster();
+        let spec = ClusterSpec::from_cluster(&c);
+        // 6 kinds, 6 of each
+        assert_eq!(spec.processors.len(), 6);
+        assert!(spec.processors.iter().all(|l| l.count == 6));
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(rebuilt.len(), c.len());
+        assert_eq!(rebuilt.total_memory(), c.total_memory());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = resolve_cluster("/does/not/exist.json").unwrap_err();
+        assert!(err.contains("/does/not/exist.json"));
+    }
+}

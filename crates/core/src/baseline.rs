@@ -1,0 +1,198 @@
+//! **DagHetMem** — the memory-aware baseline heuristic (paper §4.1).
+//!
+//! Computes a memory-efficient traversal of the entire workflow with
+//! `dhp-memdag`, sorts the processors by decreasing memory, and fills
+//! the current (largest-memory) processor with tasks in traversal order
+//! for as long as the growing block's memory requirement fits. When a
+//! task would overflow the processor, the block is closed and the task
+//! starts a new block on the next processor. The heuristic fails
+//! (`NoSolution`) when tasks remain but no processor can take them.
+//!
+//! The baseline does not optimise the makespan and never exploits
+//! parallelism — the whole workflow is executed on a single processor
+//! whenever it fits the largest memory.
+
+use crate::blocks::BlockSet;
+use crate::mapping::Mapping;
+use crate::SchedError;
+use dhp_dag::util::BitSet;
+use dhp_dag::{Dag, NodeId, Partition};
+use dhp_platform::Cluster;
+
+/// Runs DagHetMem. On success the returned mapping is complete and
+/// valid; `Err(NoSolution)` reproduces the paper's failure mode.
+pub fn dag_het_mem(g: &Dag, cluster: &Cluster) -> Result<Mapping, SchedError> {
+    if g.is_empty() || cluster.is_empty() {
+        return Err(SchedError::NoSolution);
+    }
+    // The memory-optimal traversal of the full workflow.
+    let traversal = dhp_memdag::best_traversal(g, &vec![0.0; g.node_count()]);
+    let procs = cluster.ids_by_memory_desc();
+
+    // Whole workflow fits the largest processor: single-block mapping.
+    if traversal.peak <= cluster.memory(procs[0]) {
+        let mut bs = BlockSet::from_partition(g, &Partition::single_block(g.node_count()));
+        bs.assign(0, procs[0]);
+        return Ok(bs.to_mapping(g.node_count()));
+    }
+
+    let mut proc_iter = procs.iter();
+    let mut cur_proc = *proc_iter.next().expect("non-empty cluster");
+    let mut members = BitSet::new(g.node_count());
+    let mut cur: Vec<NodeId> = Vec::new();
+    let mut finished: Vec<(Vec<NodeId>, dhp_platform::ProcId)> = Vec::new();
+
+    for &u in &traversal.order {
+        cur.push(u);
+        members.set(u.idx());
+        let req = prefix_peak(g, &cur, &members);
+        if req <= cluster.memory(cur_proc) {
+            continue;
+        }
+        // u overflows the current processor: close the block without it.
+        cur.pop();
+        members.clear(u.idx());
+        if cur.is_empty() {
+            // Even alone, u does not fit the (largest remaining) memory.
+            return Err(SchedError::NoSolution);
+        }
+        finished.push((std::mem::take(&mut cur), cur_proc));
+        members.clear_all();
+        // Resume from u on the next processor.
+        cur_proc = *proc_iter.next().ok_or(SchedError::NoSolution)?;
+        cur.push(u);
+        members.set(u.idx());
+        if prefix_peak(g, &cur, &members) > cluster.memory(cur_proc) {
+            return Err(SchedError::NoSolution);
+        }
+    }
+    if !cur.is_empty() {
+        finished.push((cur, cur_proc));
+    }
+
+    // Assemble the mapping.
+    let mut bs = BlockSet::default();
+    for (block_members, proc) in finished {
+        let i = bs.push_block(g, block_members);
+        bs.assign(i, proc);
+    }
+    Ok(bs.to_mapping(g.node_count()))
+}
+
+/// Peak memory of executing `tasks` (a prefix of the global traversal,
+/// in order) as one block, with files crossing the block boundary charged
+/// transiently at the incident task — the same model as
+/// [`crate::blockmem::block_requirement`], evaluated on the fixed order.
+fn prefix_peak(g: &Dag, tasks: &[NodeId], members: &BitSet) -> f64 {
+    let mut live = 0.0f64;
+    let mut peak = 0.0f64;
+    for &u in tasks {
+        let mut out_all = 0.0;
+        let mut out_int = 0.0;
+        for &e in g.out_edges(u) {
+            let ed = g.edge(e);
+            out_all += ed.volume;
+            if members.get(ed.dst.idx()) {
+                out_int += ed.volume;
+            }
+        }
+        let mut in_int = 0.0;
+        let mut in_boundary = 0.0;
+        for &e in g.in_edges(u) {
+            let ed = g.edge(e);
+            if members.get(ed.src.idx()) {
+                in_int += ed.volume;
+            } else {
+                in_boundary += ed.volume;
+            }
+        }
+        let current = live + g.node(u).memory + out_all + in_boundary;
+        peak = peak.max(current);
+        live += out_int - in_int;
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate;
+    use dhp_dag::builder;
+    use dhp_platform::{configs, ProcId, Processor};
+
+    #[test]
+    fn small_workflow_single_block_on_biggest_memory() {
+        let g = builder::chain(10, 5.0, 2.0, 1.0);
+        let cluster = configs::default_cluster();
+        let m = dag_het_mem(&g, &cluster).unwrap();
+        assert_eq!(m.num_blocks(), 1);
+        // the C2 machines have the largest memory (192)
+        let p = m.proc_of_block[0].unwrap();
+        assert_eq!(cluster.proc(p).kind, "C2");
+        assert!(validate(&g, &cluster, &m).is_ok());
+    }
+
+    #[test]
+    fn splits_when_memory_tight() {
+        // Wide fork whose files exceed any single small memory.
+        let g = builder::fork_join(40, 1.0, 3.0, 1.4);
+        let cluster = Cluster::new(
+            (0..10)
+                .map(|i| Processor::new(format!("p{i}"), 1.0, 60.0))
+                .collect(),
+            1.0,
+        );
+        let m = dag_het_mem(&g, &cluster).unwrap();
+        assert!(m.num_blocks() > 1, "must split across processors");
+        assert!(validate(&g, &cluster, &m).is_ok());
+    }
+
+    #[test]
+    fn fails_without_enough_memory() {
+        let g = builder::fork_join(64, 1.0, 10.0, 10.0);
+        let cluster = Cluster::new(vec![Processor::new("tiny", 1.0, 12.0)], 1.0);
+        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+    }
+
+    #[test]
+    fn single_oversized_task_fails() {
+        let mut g = Dag::new();
+        g.add_node(1.0, 1000.0);
+        g.add_node(1.0, 1.0);
+        let a = NodeId(0);
+        let b = NodeId(1);
+        g.add_edge(a, b, 1.0);
+        let cluster = Cluster::new(vec![Processor::new("p", 1.0, 50.0)], 1.0);
+        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+    }
+
+    #[test]
+    fn empty_inputs_fail() {
+        let g = Dag::new();
+        let cluster = configs::default_cluster();
+        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+        let g2 = builder::chain(3, 1.0, 1.0, 1.0);
+        let empty = Cluster::new(vec![], 1.0);
+        assert_eq!(dag_het_mem(&g2, &empty).unwrap_err(), SchedError::NoSolution);
+        let _ = ProcId(0);
+    }
+
+    #[test]
+    fn blocks_follow_traversal_order() {
+        // With a chain and small memories, blocks must be contiguous
+        // chain intervals (traversal of a chain is the chain itself).
+        let g = builder::chain(12, 1.0, 10.0, 1.0);
+        let cluster = Cluster::new(
+            (0..6)
+                .map(|i| Processor::new(format!("p{i}"), 1.0, 25.0))
+                .collect(),
+            1.0,
+        );
+        let m = dag_het_mem(&g, &cluster).unwrap();
+        assert!(validate(&g, &cluster, &m).is_ok());
+        for w in g.node_ids().collect::<Vec<_>>().windows(2) {
+            let (a, b) = (m.partition.block_of(w[0]), m.partition.block_of(w[1]));
+            assert!(a.idx() <= b.idx() + 1);
+        }
+    }
+}

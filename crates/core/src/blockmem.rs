@@ -1,0 +1,101 @@
+//! Block memory requirement `r_{V_i}`.
+//!
+//! The requirement of a block is the peak memory of the best sequential
+//! traversal of its induced sub-DAG found by `dhp-memdag`, where files
+//! crossing the block boundary are charged while the incident task
+//! executes (matching the paper's `r_u` for singleton blocks).
+
+use dhp_dag::util::BitSet;
+use dhp_dag::{Dag, NodeId};
+
+/// Computes `r` for the block consisting of `members` of `g`.
+///
+/// Cost: one induced-subgraph construction over `g`'s edges plus the
+/// traversal search on the block (near-linear in the block size).
+pub fn block_requirement(g: &Dag, members: &[NodeId]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    if members.len() == 1 {
+        return g.task_requirement(members[0]);
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    let (sub, back) = g.induced_subgraph(&sorted);
+    let mut member = BitSet::new(g.node_count());
+    for &u in &sorted {
+        member.set(u.idx());
+    }
+    // External load: boundary edges, charged transiently.
+    let mut ext = vec![0.0f64; sub.node_count()];
+    for (i, &orig) in back.iter().enumerate() {
+        let mut boundary = 0.0;
+        for &e in g.in_edges(orig) {
+            if !member.get(g.edge(e).src.idx()) {
+                boundary += g.edge(e).volume;
+            }
+        }
+        for &e in g.out_edges(orig) {
+            if !member.get(g.edge(e).dst.idx()) {
+                boundary += g.edge(e).volume;
+            }
+        }
+        ext[i] = boundary;
+    }
+    dhp_memdag::best_traversal(&sub, &ext).peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+
+    #[test]
+    fn singleton_equals_task_requirement() {
+        let g = builder::gnp_dag_weighted(10, 0.3, 1);
+        for u in g.node_ids() {
+            assert_eq!(block_requirement(&g, &[u]), g.task_requirement(u));
+        }
+    }
+
+    #[test]
+    fn whole_graph_has_no_boundary() {
+        let g = builder::chain(5, 1.0, 4.0, 2.0);
+        let all: Vec<NodeId> = g.node_ids().collect();
+        let r = block_requirement(&g, &all);
+        assert_eq!(r, 8.0); // interior task: 2 + 2 + 4
+    }
+
+    #[test]
+    fn block_sees_boundary_files() {
+        // chain a -> b -> c, block {b}: r = 5 + 7 + m
+        let mut g = Dag::new();
+        let a = g.add_node(0.0, 1.0);
+        let b = g.add_node(0.0, 2.0);
+        let c = g.add_node(0.0, 3.0);
+        g.add_edge(a, b, 5.0);
+        g.add_edge(b, c, 7.0);
+        assert_eq!(block_requirement(&g, &[b]), 14.0);
+        // block {b, c}: b: 5 + 2 + 7 = 14 ; c: 7 + 3 = 10
+        assert_eq!(block_requirement(&g, &[b, c]), 14.0);
+    }
+
+    #[test]
+    fn requirement_at_least_max_member_floor() {
+        let g = builder::gnp_dag_weighted(20, 0.2, 3);
+        let members: Vec<NodeId> = g.node_ids().take(8).collect();
+        let r = block_requirement(&g, &members);
+        // every member's own memory is a lower bound
+        let max_mem = members
+            .iter()
+            .map(|&u| g.node(u).memory)
+            .fold(0.0f64, f64::max);
+        assert!(r >= max_mem);
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        let g = builder::chain(3, 1.0, 1.0, 1.0);
+        assert_eq!(block_requirement(&g, &[]), 0.0);
+    }
+}

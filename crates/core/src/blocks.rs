@@ -1,0 +1,296 @@
+//! Mutable block-set representation used while the heuristics run.
+//!
+//! [`dhp_dag::Partition`] is compact but renumbering-heavy under splits
+//! and merges; the heuristics instead manipulate a [`BlockSet`]: an
+//! explicit list of blocks, each with its member tasks, cached memory
+//! requirement `r_{V_i}`, and (optional) processor assignment. A final
+//! [`BlockSet::to_mapping`] produces the immutable result.
+
+use crate::blockmem::block_requirement;
+use dhp_dag::{Dag, NodeId, Partition};
+use dhp_platform::ProcId;
+
+/// One block of the evolving partition.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Stable identity, preserved across index shuffles (merges create a
+    /// fresh id). Used by the heuristics' bookkeeping (e.g. the
+    /// reinsertion counters of Step 3).
+    pub id: u64,
+    /// Member tasks, ascending by id.
+    pub members: Vec<NodeId>,
+    /// Cached memory requirement `r` (peak of the best traversal found).
+    pub req: f64,
+    /// Processor this block is mapped to, if any.
+    pub proc: Option<ProcId>,
+}
+
+/// The evolving set of blocks.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSet {
+    blocks: Vec<Block>,
+    next_id: u64,
+}
+
+impl BlockSet {
+    /// Builds a block set from a partition, computing every requirement.
+    pub fn from_partition(g: &Dag, partition: &Partition) -> Self {
+        let blocks: Vec<Block> = partition
+            .members()
+            .into_iter()
+            .enumerate()
+            .map(|(id, members)| {
+                let req = block_requirement(g, &members);
+                Block {
+                    id: id as u64,
+                    members,
+                    req,
+                    proc: None,
+                }
+            })
+            .collect();
+        let next_id = blocks.len() as u64;
+        Self { blocks, next_id }
+    }
+
+    /// Index of the block with stable id `id`, if it still exists.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.blocks.iter().position(|b| b.id == id)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when no blocks exist.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Access a block.
+    pub fn block(&self, i: usize) -> &Block {
+        &self.blocks[i]
+    }
+
+    /// Iterate over blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Assigns block `i` to a processor.
+    pub fn assign(&mut self, i: usize, p: ProcId) {
+        self.blocks[i].proc = Some(p);
+    }
+
+    /// Clears the assignment of block `i`.
+    pub fn unassign(&mut self, i: usize) {
+        self.blocks[i].proc = None;
+    }
+
+    /// Adds a block (computing its requirement) and returns its index.
+    pub fn push_block(&mut self, g: &Dag, mut members: Vec<NodeId>) -> usize {
+        members.sort_unstable();
+        let req = block_requirement(g, &members);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.blocks.push(Block {
+            id,
+            members,
+            req,
+            proc: None,
+        });
+        self.blocks.len() - 1
+    }
+
+    /// Removes block `i` (swap-remove; the last block takes index `i`).
+    pub fn remove_block(&mut self, i: usize) -> Block {
+        self.blocks.swap_remove(i)
+    }
+
+    /// Replaces block `i` by the given member lists (used when `FitBlock`
+    /// re-partitions an oversized block). Returns the indices of the new
+    /// blocks.
+    pub fn split_block(&mut self, g: &Dag, i: usize, parts: Vec<Vec<NodeId>>) -> Vec<usize> {
+        assert!(!parts.is_empty());
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, self.blocks[i].members.len(), "split must cover block");
+        self.remove_block(i);
+        parts
+            .into_iter()
+            .map(|members| self.push_block(g, members))
+            .collect()
+    }
+
+    /// Merges the members of blocks `i` and `j` (and optionally `o`) into
+    /// a single new block; the merged block inherits `proc`. Returns the
+    /// new block's index.
+    ///
+    /// Indices other than the removed ones are invalidated only as
+    /// documented by `remove_block` (swap-remove semantics), so callers
+    /// must re-derive indices afterwards; the heuristics always rebuild
+    /// their index maps after a merge.
+    pub fn merge_blocks(
+        &mut self,
+        g: &Dag,
+        i: usize,
+        j: usize,
+        o: Option<usize>,
+        proc: Option<ProcId>,
+    ) -> usize {
+        let mut idx = vec![i, j];
+        if let Some(o) = o {
+            idx.push(o);
+        }
+        idx.sort_unstable();
+        idx.dedup();
+        assert!(idx.len() >= 2, "merge needs at least two distinct blocks");
+        let mut members = Vec::new();
+        // Remove from the highest index down so lower indices stay valid.
+        for &b in idx.iter().rev() {
+            members.extend(self.remove_block(b).members);
+        }
+        let ni = self.push_block(g, members);
+        self.blocks[ni].proc = proc;
+        ni
+    }
+
+    /// The dense [`Partition`] corresponding to this block set.
+    pub fn to_partition(&self, n: usize) -> Partition {
+        let mut raw = vec![u32::MAX; n];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &u in &block.members {
+                debug_assert_eq!(raw[u.idx()], u32::MAX, "overlapping blocks");
+                raw[u.idx()] = b as u32;
+            }
+        }
+        assert!(
+            raw.iter().all(|&x| x != u32::MAX),
+            "block set does not cover the graph"
+        );
+        Partition::from_raw(&raw)
+    }
+
+    /// Finalises into a [`crate::mapping::Mapping`].
+    ///
+    /// Block order is preserved: mapping block `i` corresponds to
+    /// `self.block(i)`.
+    pub fn to_mapping(&self, n: usize) -> crate::mapping::Mapping {
+        // `to_partition` renumbers by first appearance over node ids; to
+        // keep proc assignment aligned, build the raw array and the proc
+        // table in block order directly.
+        let mut raw = vec![u32::MAX; n];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &u in &block.members {
+                raw[u.idx()] = b as u32;
+            }
+        }
+        assert!(raw.iter().all(|&x| x != u32::MAX));
+        // Partition::from_raw renumbers by first appearance; compute that
+        // same renumbering for the proc table.
+        let mut remap: Vec<Option<u32>> = vec![None; self.blocks.len()];
+        let mut next = 0u32;
+        for &b in raw.iter() {
+            if remap[b as usize].is_none() {
+                remap[b as usize] = Some(next);
+                next += 1;
+            }
+        }
+        let partition = Partition::from_raw(&raw);
+        let mut proc_of_block = vec![None; self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            if let Some(dense) = remap[b] {
+                proc_of_block[dense as usize] = block.proc;
+            }
+        }
+        crate::mapping::Mapping {
+            partition,
+            proc_of_block,
+        }
+    }
+
+    /// Indices of unassigned blocks.
+    pub fn unassigned(&self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&i| self.blocks[i].proc.is_none())
+            .collect()
+    }
+
+    /// Indices of assigned blocks.
+    pub fn assigned(&self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&i| self.blocks[i].proc.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+
+    #[test]
+    fn roundtrip_partition() {
+        let g = builder::gnp_dag_weighted(20, 0.2, 1);
+        let order = dhp_dag::topo::topo_sort(&g).unwrap();
+        let mut raw = vec![0u32; 20];
+        for (i, &u) in order.iter().enumerate() {
+            raw[u.idx()] = (i / 5) as u32;
+        }
+        let p = Partition::from_raw(&raw);
+        let bs = BlockSet::from_partition(&g, &p);
+        assert_eq!(bs.len(), 4);
+        let p2 = bs.to_partition(20);
+        assert_eq!(p2.num_blocks(), 4);
+        // same grouping (up to renumbering): block of each node pair equal
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                assert_eq!(
+                    p.block_of(a) == p.block_of(b),
+                    p2.block_of(a) == p2.block_of(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_and_merge_keep_cover() {
+        let g = builder::gnp_dag_weighted(12, 0.2, 2);
+        let p = Partition::single_block(12);
+        let mut bs = BlockSet::from_partition(&g, &p);
+        let members = bs.block(0).members.clone();
+        let (a, b) = members.split_at(6);
+        bs.split_block(&g, 0, vec![a.to_vec(), b.to_vec()]);
+        assert_eq!(bs.len(), 2);
+        bs.to_partition(12); // must not panic (covers everything)
+        let ni = bs.merge_blocks(&g, 0, 1, None, None);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs.block(ni).members.len(), 12);
+        bs.to_partition(12);
+    }
+
+    #[test]
+    fn merged_block_requirement_is_recomputed() {
+        let g = builder::chain(4, 1.0, 5.0, 2.0);
+        let raw = [0u32, 0, 1, 1];
+        let mut bs = BlockSet::from_partition(&g, &Partition::from_raw(&raw));
+        let r0 = bs.block(0).req;
+        let ni = bs.merge_blocks(&g, 0, 1, None, None);
+        assert!(bs.block(ni).req > 0.0);
+        // merging removes the boundary edge from both blocks' boundaries
+        assert!(bs.block(ni).req >= r0 - 1e-9);
+    }
+
+    #[test]
+    fn to_mapping_aligns_procs() {
+        let g = builder::chain(6, 1.0, 1.0, 1.0);
+        let raw = [0u32, 0, 1, 1, 2, 2];
+        let mut bs = BlockSet::from_partition(&g, &Partition::from_raw(&raw));
+        bs.assign(1, ProcId(7));
+        let m = bs.to_mapping(6);
+        let b = m.partition.block_of(NodeId(2));
+        assert_eq!(m.proc_of_block[b.idx()], Some(ProcId(7)));
+        let b0 = m.partition.block_of(NodeId(0));
+        assert_eq!(m.proc_of_block[b0.idx()], None);
+    }
+}

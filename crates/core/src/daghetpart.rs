@@ -1,0 +1,401 @@
+//! **DagHetPart** — the four-step heuristic (paper §4.2) and its driver.
+//!
+//! For every tentative block count `k' = 1..k` the driver runs the full
+//! pipeline (partition → assign → merge → swap) and keeps the mapping
+//! with the smallest makespan. The sweep is embarrassingly parallel and
+//! is fanned out over crossbeam scoped threads (one chunk of `k'` values
+//! per worker, no shared mutable state beyond the result slot).
+
+use crate::blocks::BlockSet;
+use crate::makespan::blockset_makespan;
+use crate::mapping::Mapping;
+use crate::steps;
+use crate::{MappingResult, SchedError};
+use dhp_dag::Dag;
+use dhp_platform::Cluster;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// How Step 1 chooses the tentative block count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KprimeMode {
+    /// Try every `k' = 1..=k`, keep the best (the paper's default).
+    Sweep,
+    /// Use a single fixed `k'` (ablation / debugging).
+    Fixed(usize),
+}
+
+/// Configuration of the DagHetPart heuristic.
+#[derive(Clone, Debug)]
+pub struct DagHetPartConfig {
+    /// Partitioner settings for Steps 1 and 2.
+    pub partition_cfg: dhp_dagp::PartitionConfig,
+    /// `k'` selection.
+    pub kprime: KprimeMode,
+    /// Fan the `k'` sweep out over threads.
+    pub parallel: bool,
+    /// Enable Step 4 swaps.
+    pub enable_swaps: bool,
+    /// Enable Step 4 idle-processor moves.
+    pub enable_idle_moves: bool,
+    /// Enable the 2-cycle triple-merge repair in Step 3.
+    pub enable_triple_merge: bool,
+}
+
+impl Default for DagHetPartConfig {
+    fn default() -> Self {
+        Self {
+            partition_cfg: dhp_dagp::PartitionConfig::default(),
+            kprime: KprimeMode::Sweep,
+            parallel: true,
+            enable_swaps: true,
+            enable_idle_moves: true,
+            enable_triple_merge: true,
+        }
+    }
+}
+
+/// Runs DagHetPart. Returns the best valid mapping over the `k'` sweep,
+/// or `NoSolution` when no `k'` admits one.
+pub fn dag_het_part(
+    g: &Dag,
+    cluster: &Cluster,
+    cfg: &DagHetPartConfig,
+) -> Result<MappingResult, SchedError> {
+    if g.is_empty() || cluster.is_empty() {
+        return Err(SchedError::NoSolution);
+    }
+    let start = Instant::now();
+    let k = cluster.len();
+    let kprimes: Vec<usize> = match cfg.kprime {
+        KprimeMode::Sweep => (1..=k.min(g.node_count())).collect(),
+        KprimeMode::Fixed(kp) => vec![kp.clamp(1, k.min(g.node_count()))],
+    };
+
+    // Best = (makespan, kprime, mapping); smaller kprime wins ties so the
+    // parallel and sequential drivers agree.
+    let best: Mutex<Option<(f64, usize, Mapping)>> = Mutex::new(None);
+    let consider = |kp: usize, candidate: Option<(f64, Mapping)>| {
+        if let Some((ms, mapping)) = candidate {
+            let mut slot = best.lock();
+            let better = match &*slot {
+                None => true,
+                Some((bms, bkp, _)) => ms < *bms - 1e-12 || (ms <= *bms + 1e-12 && kp < *bkp),
+            };
+            if better {
+                *slot = Some((ms, kp, mapping));
+            }
+        }
+    };
+
+    if cfg.parallel && kprimes.len() > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(kprimes.len());
+        let chunk = kprimes.len().div_ceil(workers);
+        crossbeam::scope(|scope| {
+            let consider = &consider;
+            for ws in kprimes.chunks(chunk) {
+                scope.spawn(move |_| {
+                    for &kp in ws {
+                        consider(kp, run_once(g, cluster, kp, cfg));
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+    } else {
+        for &kp in &kprimes {
+            consider(kp, run_once(g, cluster, kp, cfg));
+        }
+    }
+
+    let (makespan, kprime, mapping) = best
+        .into_inner()
+        .ok_or(SchedError::NoSolution)?;
+    Ok(MappingResult {
+        mapping,
+        makespan,
+        kprime,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Per-step progress of one pipeline run (the winning `k'` of a traced
+/// sweep): how much each of the four steps contributed to the final
+/// makespan. Steps 4a/4b are local search and therefore monotone
+/// non-increasing; Step 3's value is the first *valid* makespan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepTrace {
+    /// The block count this trace belongs to.
+    pub kprime: usize,
+    /// Blocks produced by Step 1 (the partitioner may return fewer than
+    /// `k'` on small graphs).
+    pub blocks_after_partition: usize,
+    /// Blocks after Step 2's recursive splitting.
+    pub blocks_after_assign: usize,
+    /// Blocks Step 2 could not place (Step 3's workload).
+    pub unassigned_after_assign: usize,
+    /// *Estimated* makespan after Step 2 (unassigned blocks at speed 1).
+    pub estimated_after_assign: f64,
+    /// Makespan after Step 3 (first valid value).
+    pub after_merge: f64,
+    /// Makespan after Step 4 swaps.
+    pub after_swaps: f64,
+    /// Final makespan after Step 4 idle-processor moves.
+    pub after_idle_moves: f64,
+}
+
+/// Like [`dag_het_part`], but also returns the [`StepTrace`] of the
+/// winning `k'`. Runs the sweep sequentially (tracing is for analysis,
+/// not throughput).
+pub fn dag_het_part_traced(
+    g: &Dag,
+    cluster: &Cluster,
+    cfg: &DagHetPartConfig,
+) -> Result<(MappingResult, StepTrace), SchedError> {
+    if g.is_empty() || cluster.is_empty() {
+        return Err(SchedError::NoSolution);
+    }
+    let start = Instant::now();
+    let k = cluster.len();
+    let kprimes: Vec<usize> = match cfg.kprime {
+        KprimeMode::Sweep => (1..=k.min(g.node_count())).collect(),
+        KprimeMode::Fixed(kp) => vec![kp.clamp(1, k.min(g.node_count()))],
+    };
+    let mut best: Option<(f64, usize, Mapping, StepTrace)> = None;
+    for kp in kprimes {
+        if let Some((ms, mapping, trace)) = run_once_traced(g, cluster, kp, cfg) {
+            let better = match &best {
+                None => true,
+                Some((bms, _, _, _)) => ms < *bms - 1e-12,
+            };
+            if better {
+                best = Some((ms, kp, mapping, trace));
+            }
+        }
+    }
+    let (makespan, kprime, mapping, trace) = best.ok_or(SchedError::NoSolution)?;
+    Ok((
+        MappingResult {
+            mapping,
+            makespan,
+            kprime,
+            elapsed: start.elapsed(),
+        },
+        trace,
+    ))
+}
+
+/// [`run_once`] plus per-step makespan measurements.
+fn run_once_traced(
+    g: &Dag,
+    cluster: &Cluster,
+    kprime: usize,
+    cfg: &DagHetPartConfig,
+) -> Option<(f64, Mapping, StepTrace)> {
+    let bs = steps::partition::initial_blocks(g, kprime, &cfg.partition_cfg);
+    let blocks_after_partition = bs.len();
+    let mut bs: BlockSet = steps::assign::biggest_assign(g, cluster, bs, &cfg.partition_cfg);
+    let blocks_after_assign = bs.len();
+    let unassigned_after_assign = bs.unassigned().len();
+    let estimated_after_assign = blockset_makespan(g, &bs, cluster);
+    steps::merge::merge_unassigned(g, cluster, &mut bs, cfg.enable_triple_merge).ok()?;
+    let after_merge = blockset_makespan(g, &bs, cluster);
+    if cfg.enable_swaps {
+        steps::swap::swap_blocks(g, cluster, &mut bs);
+    }
+    let after_swaps = blockset_makespan(g, &bs, cluster);
+    if cfg.enable_idle_moves {
+        steps::swap::idle_moves(g, cluster, &mut bs);
+    }
+    let after_idle_moves = blockset_makespan(g, &bs, cluster);
+    Some((
+        after_idle_moves,
+        bs.to_mapping(g.node_count()),
+        StepTrace {
+            kprime,
+            blocks_after_partition,
+            blocks_after_assign,
+            unassigned_after_assign,
+            estimated_after_assign,
+            after_merge,
+            after_swaps,
+            after_idle_moves,
+        },
+    ))
+}
+
+/// One pipeline run with a fixed `k'`. Returns the final makespan and
+/// mapping, or `None` when Step 3 cannot complete the assignment.
+fn run_once(
+    g: &Dag,
+    cluster: &Cluster,
+    kprime: usize,
+    cfg: &DagHetPartConfig,
+) -> Option<(f64, Mapping)> {
+    let trace = std::env::var_os("DHP_TRACE").is_some();
+    let t0 = Instant::now();
+    // Step 1: heterogeneity-blind acyclic partitioning.
+    let bs = steps::partition::initial_blocks(g, kprime, &cfg.partition_cfg);
+    let t1 = Instant::now();
+    // Step 2: memory-aware assignment (may split blocks).
+    let mut bs: BlockSet = steps::assign::biggest_assign(g, cluster, bs, &cfg.partition_cfg);
+    let t2 = Instant::now();
+    // Step 3: merge unassigned blocks, makespan-guided.
+    let unassigned = bs.unassigned().len();
+    let step3 = steps::merge::merge_unassigned(g, cluster, &mut bs, cfg.enable_triple_merge);
+    if trace {
+        eprintln!(
+            "k'={kprime}: step1 {:?} step2 {:?} ({} blocks, {unassigned} leftover) step3 {:?} ({})",
+            t1 - t0,
+            t2 - t1,
+            bs.len(),
+            t2.elapsed(),
+            if step3.is_ok() { "ok" } else { "fail" },
+        );
+    }
+    step3.ok()?;
+    // Step 4: local search.
+    if cfg.enable_swaps {
+        steps::swap::swap_blocks(g, cluster, &mut bs);
+    }
+    if cfg.enable_idle_moves {
+        steps::swap::idle_moves(g, cluster, &mut bs);
+    }
+    let ms = blockset_makespan(g, &bs, cluster);
+    Some((ms, bs.to_mapping(g.node_count())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate;
+    use dhp_dag::builder;
+    use dhp_platform::{configs, Processor};
+
+    /// A cluster with heterogeneous speeds whose every processor can hold
+    /// the whole workflow: isolates the makespan logic from memory
+    /// pressure.
+    fn ample_het_cluster(g: &Dag, k: usize) -> Cluster {
+        let m = dhp_memdag::min_peak(g) * 1.2;
+        Cluster::new(
+            (0..k)
+                .map(|i| Processor::new(format!("p{i}"), 1.0 + (i % 6) as f64 * 3.0, m))
+                .collect(),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn produces_valid_mappings() {
+        let g = builder::gnp_dag_weighted(80, 0.06, 11);
+        let cluster =
+            crate::fitting::scale_cluster_to_fit(&g, &configs::default_cluster());
+        let r = dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap();
+        assert!(validate(&g, &cluster, &r.mapping).is_ok());
+        assert!(r.makespan.is_finite() && r.makespan > 0.0);
+        assert!(r.kprime >= 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let g = builder::gnp_dag_weighted(50, 0.08, 3);
+        let cluster = ample_het_cluster(&g, 12);
+        let mut cfg = DagHetPartConfig {
+            parallel: false,
+            ..DagHetPartConfig::default()
+        };
+        let seq = dag_het_part(&g, &cluster, &cfg).unwrap();
+        cfg.parallel = true;
+        let par = dag_het_part(&g, &cluster, &cfg).unwrap();
+        assert_eq!(seq.kprime, par.kprime);
+        assert!((seq.makespan - par.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beats_or_matches_single_block() {
+        // Parallelism must not hurt: the sweep includes k'=1, so the
+        // result is at most the best single-processor makespan.
+        let g = builder::fork_join(20, 50.0, 2.0, 1.0);
+        let cluster = configs::default_cluster();
+        let r = dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap();
+        // best single proc: total work / fastest speed
+        let single = g.total_work() / 32.0;
+        assert!(r.makespan <= single + 1e-9, "{} vs {}", r.makespan, single);
+    }
+
+    #[test]
+    fn fixed_kprime_mode() {
+        let g = builder::gnp_dag_weighted(40, 0.1, 5);
+        let cluster = ample_het_cluster(&g, 8);
+        let cfg = DagHetPartConfig {
+            kprime: KprimeMode::Fixed(3),
+            ..DagHetPartConfig::default()
+        };
+        let r = dag_het_part(&g, &cluster, &cfg).unwrap();
+        assert!(validate(&g, &cluster, &r.mapping).is_ok());
+    }
+
+    #[test]
+    fn no_solution_on_starved_platform() {
+        let g = builder::gnp_dag_weighted(30, 0.2, 1);
+        let cluster = dhp_platform::Cluster::new(
+            vec![dhp_platform::Processor::new("tiny", 1.0, 2.0)],
+            1.0,
+        );
+        assert_eq!(
+            dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap_err(),
+            SchedError::NoSolution
+        );
+    }
+
+    #[test]
+    fn empty_graph_fails() {
+        let g = Dag::new();
+        let cluster = configs::default_cluster();
+        assert!(dag_het_part(&g, &cluster, &DagHetPartConfig::default()).is_err());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_monotone() {
+        let g = builder::gnp_dag_weighted(60, 0.08, 21);
+        let cluster = ample_het_cluster(&g, 10);
+        let cfg = DagHetPartConfig {
+            parallel: false,
+            ..DagHetPartConfig::default()
+        };
+        let plain = dag_het_part(&g, &cluster, &cfg).unwrap();
+        let (traced, trace) = dag_het_part_traced(&g, &cluster, &cfg).unwrap();
+        assert!((plain.makespan - traced.makespan).abs() < 1e-9 * plain.makespan);
+        // Step 4 is local search: makespans never increase.
+        assert!(trace.after_swaps <= trace.after_merge * (1.0 + 1e-12));
+        assert!(trace.after_idle_moves <= trace.after_swaps * (1.0 + 1e-12));
+        assert!((trace.after_idle_moves - traced.makespan).abs() < 1e-9 * traced.makespan);
+        assert!(trace.blocks_after_assign >= trace.blocks_after_partition - trace.kprime.min(trace.blocks_after_partition));
+        assert!(validate(&g, &cluster, &traced.mapping).is_ok());
+    }
+
+    #[test]
+    fn trace_reports_step3_workload() {
+        // Memory-tight cluster: Step 2 must leave blocks unassigned, and
+        // the trace must show Step 3 absorbing them.
+        let g = builder::gnp_dag_weighted(80, 0.05, 4);
+        let cluster = crate::fitting::scale_cluster_with_headroom(
+            &g,
+            &configs::small_cluster(),
+            1.05,
+        );
+        let cfg = DagHetPartConfig {
+            kprime: KprimeMode::Fixed(18),
+            ..DagHetPartConfig::default()
+        };
+        if let Ok((r, trace)) = dag_het_part_traced(&g, &cluster, &cfg) {
+            assert_eq!(trace.kprime, 18.min(cluster.len()));
+            assert!(trace.after_merge.is_finite());
+            assert!(validate(&g, &cluster, &r.mapping).is_ok());
+        }
+    }
+}
+

@@ -1,0 +1,94 @@
+//! Platform/workflow normalisation (paper §5.1.2).
+//!
+//! For simulated workflows, the paper "increases memory sizes
+//! proportionally until the task with the biggest memory requirement
+//! still has a processor it could be executed on"; this module implements
+//! that scaling, plus the check itself.
+
+use dhp_dag::Dag;
+use dhp_platform::{Cluster, Processor};
+
+/// Largest single-task requirement `max_u r_u` of the workflow.
+pub fn max_task_requirement(g: &Dag) -> f64 {
+    g.node_ids()
+        .map(|u| g.task_requirement(u))
+        .fold(0.0, f64::max)
+}
+
+/// True if every task fits on at least one processor (necessary for any
+/// valid mapping to exist).
+pub fn every_task_fits(g: &Dag, cluster: &Cluster) -> bool {
+    max_task_requirement(g) <= cluster.max_memory() * (1.0 + 1e-9)
+}
+
+/// Returns a cluster whose memories are scaled up proportionally (by the
+/// smallest factor) so that the most memory-demanding task fits the
+/// largest processor. Returns the cluster unchanged when it already fits.
+pub fn scale_cluster_to_fit(g: &Dag, cluster: &Cluster) -> Cluster {
+    scale_cluster_with_headroom(g, cluster, 1.0)
+}
+
+/// Like [`scale_cluster_to_fit`], but targets `headroom × max_u r_u`
+/// for the largest memory.
+///
+/// With `headroom = 1.0` the hottest task fits *exactly*, which leaves
+/// hub-heavy workflows (one task touching thousands of files) with zero
+/// slack: the block holding the hub fills its processor completely and
+/// Step 3 can never merge a leftover block into it. A few percent of
+/// slack (the experiment harness uses 1.05) restores feasibility without
+/// changing the comparison — both heuristics see the same platform.
+pub fn scale_cluster_with_headroom(g: &Dag, cluster: &Cluster, headroom: f64) -> Cluster {
+    assert!(headroom >= 1.0);
+    let need = max_task_requirement(g) * headroom;
+    let have = cluster.max_memory();
+    if need <= have {
+        return cluster.clone();
+    }
+    let factor = need / have;
+    let procs = cluster
+        .iter()
+        .map(|(_, p)| Processor::new(p.kind.clone(), p.speed, p.memory * factor))
+        .collect();
+    Cluster::new(procs, cluster.bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+    use dhp_platform::configs;
+
+    #[test]
+    fn fitting_cluster_unchanged() {
+        let g = builder::chain(5, 1.0, 10.0, 1.0);
+        let c = configs::default_cluster();
+        assert!(every_task_fits(&g, &c));
+        let scaled = scale_cluster_to_fit(&g, &c);
+        assert_eq!(scaled, c);
+    }
+
+    #[test]
+    fn headroom_scales_beyond_fit() {
+        let g = builder::chain(3, 1.0, 500.0, 1.0);
+        let c = configs::default_cluster();
+        let snug = scale_cluster_to_fit(&g, &c);
+        let roomy = scale_cluster_with_headroom(&g, &c, 1.05);
+        assert!(roomy.max_memory() > snug.max_memory());
+        assert!((roomy.max_memory() / snug.max_memory() - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_task_scales_cluster() {
+        let g = builder::chain(3, 1.0, 500.0, 1.0);
+        let c = configs::default_cluster();
+        assert!(!every_task_fits(&g, &c));
+        let scaled = scale_cluster_to_fit(&g, &c);
+        assert!(every_task_fits(&g, &scaled));
+        // proportional: ratios between processors preserved
+        let r0 = scaled.memory(dhp_platform::ProcId(0)) / c.memory(dhp_platform::ProcId(0));
+        let r1 = scaled.memory(dhp_platform::ProcId(35)) / c.memory(dhp_platform::ProcId(35));
+        assert!((r0 - r1).abs() < 1e-9);
+        // speeds untouched
+        assert_eq!(scaled.speed(dhp_platform::ProcId(7)), c.speed(dhp_platform::ProcId(7)));
+    }
+}

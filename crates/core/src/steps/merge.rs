@@ -1,0 +1,473 @@
+//! Step 3: `MergeUnassignedToAssigned` and `FindMSOptMerge`
+//! (paper Algorithms 3 and 4).
+//!
+//! Works on the quotient graph of the Step-2 block set. Every unassigned
+//! block is merged into an assigned neighbour (parent or child in the
+//! quotient graph), preferring merge partners *off* the critical path,
+//! choosing the partner that yields the smallest estimated makespan among
+//! all feasible candidates. A merge that would create a 2-cycle can be
+//! repaired by absorbing the third vertex of the cycle (paper Fig. 2);
+//! longer cycles disqualify the candidate. A block whose neighbours are
+//! all unassigned is requeued (at most twice, via a per-block counter);
+//! if no merge can ever be found the step fails — the platform does not
+//! have enough resources.
+
+use crate::blocks::BlockSet;
+use crate::makespan::{block_speeds, quotient_critical_path, quotient_makespan};
+use crate::SchedError;
+use dhp_dag::{cycles, Dag, NodeId, QuotientGraph};
+use dhp_platform::Cluster;
+use std::collections::{HashMap, VecDeque};
+
+/// Result of a successful candidate search.
+struct BestMerge {
+    /// Estimated makespan after the merge.
+    makespan: f64,
+    /// The assigned partner block (index into the block set).
+    partner: usize,
+    /// Optional third block absorbed to break a 2-cycle.
+    third: Option<usize>,
+}
+
+/// Runs Step 3 until every block is assigned.
+///
+/// `enable_triple_merge` switches the 2-cycle repair on/off (ablation).
+pub fn merge_unassigned(
+    g: &Dag,
+    cluster: &Cluster,
+    bs: &mut BlockSet,
+    enable_triple_merge: bool,
+) -> Result<(), SchedError> {
+    let mut counters: HashMap<u64, u32> = HashMap::new();
+    // Deterministic processing order: by smallest member task id.
+    let mut queue: VecDeque<u64> = {
+        let mut un: Vec<usize> = bs.unassigned();
+        un.sort_by_key(|&i| bs.block(i).members[0]);
+        un.into_iter().map(|i| bs.block(i).id).collect()
+    };
+
+    // The quotient graph is maintained *incrementally*: built once, then
+    // contracted after every executed merge (rebuilding it from the full
+    // workflow per iteration would cost O(V+E) × #leftover blocks).
+    let (mut q, index0) = build_quotient(g, bs);
+    let mut qnode_of_id: HashMap<u64, NodeId> = (0..bs.len())
+        .map(|i| (bs.block(i).id, index0[i]))
+        .collect();
+
+    while let Some(id) = queue.pop_front() {
+        let Some(nu) = bs.index_of(id) else {
+            // The block was absorbed as a third vertex of a triple merge.
+            continue;
+        };
+        debug_assert!(bs.block(nu).proc.is_none());
+
+        let index_of_block: Vec<NodeId> = (0..bs.len())
+            .map(|i| qnode_of_id[&bs.block(i).id])
+            .collect();
+
+        // Critical path under estimated speeds.
+        let speeds = block_speeds(bs, cluster);
+        let q_speeds: Vec<f64> = remap(&speeds, &index_of_block);
+        let cp = quotient_critical_path(&q, &q_speeds, cluster.bandwidth)
+            .unwrap_or_default();
+        let on_cp: Vec<bool> = {
+            let mut v = vec![false; bs.len()];
+            let block_of: HashMap<NodeId, usize> = index_of_block
+                .iter()
+                .enumerate()
+                .map(|(b, &qn)| (qn, b))
+                .collect();
+            for &qn in &cp {
+                v[block_of[&qn]] = true;
+            }
+            v
+        };
+        let assigned: Vec<bool> = (0..bs.len())
+            .map(|i| bs.block(i).proc.is_some())
+            .collect();
+
+        // First try off-critical-path partners, then anywhere.
+        let off_cp_candidates: Vec<bool> = (0..bs.len())
+            .map(|i| assigned[i] && !on_cp[i])
+            .collect();
+        let found = find_ms_opt_merge(
+            g,
+            cluster,
+            bs,
+            &q,
+            &index_of_block,
+            nu,
+            &off_cp_candidates,
+            enable_triple_merge,
+        )
+        .or_else(|| {
+            find_ms_opt_merge(
+                g,
+                cluster,
+                bs,
+                &q,
+                &index_of_block,
+                nu,
+                &assigned,
+                enable_triple_merge,
+            )
+        });
+
+        match found {
+            Some(best) => {
+                // Contract the quotient along the executed merge.
+                let mut absorb = vec![best.partner];
+                if let Some(t) = best.third {
+                    absorb.push(t);
+                }
+                let (new_q, merged_map) = contract_quotient(&q, &index_of_block, nu, &absorb);
+                let old_ids: Vec<u64> = (0..bs.len()).map(|i| bs.block(i).id).collect();
+                let proc = bs.block(best.partner).proc;
+                let ni = bs.merge_blocks(g, nu, best.partner, best.third, proc);
+                let new_id = bs.block(ni).id;
+                qnode_of_id.clear();
+                for (i, &oid) in old_ids.iter().enumerate() {
+                    if merged_map[i].idx() != 0 {
+                        qnode_of_id.insert(oid, merged_map[i]);
+                    }
+                }
+                qnode_of_id.insert(new_id, NodeId(0));
+                q = new_q;
+            }
+            None => {
+                // Maybe mergeable later, once neighbours are assigned.
+                let has_unassigned_neighbour = quotient_neighbours(&q, &index_of_block, nu)
+                    .into_iter()
+                    .any(|b| bs.block(b).proc.is_none());
+                let c = counters.entry(id).or_insert(0);
+                if has_unassigned_neighbour && *c <= 1 {
+                    *c += 1;
+                    queue.push_back(id);
+                } else {
+                    return Err(SchedError::NoSolution);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the quotient DAG of the block set plus the mapping from block
+/// index to quotient node (identity by construction, kept explicit for
+/// clarity).
+fn build_quotient(g: &Dag, bs: &BlockSet) -> (Dag, Vec<NodeId>) {
+    let partition = bs.to_partition(g.node_count());
+    let q = QuotientGraph::build(g, &partition);
+    // partition renumbers blocks by first node appearance; recover the
+    // quotient node of each BlockSet index via a member lookup.
+    let index_of_block: Vec<NodeId> = (0..bs.len())
+        .map(|i| {
+            let first = bs.block(i).members[0];
+            NodeId(partition.block_of(first).0)
+        })
+        .collect();
+    (q.graph, index_of_block)
+}
+
+/// Inverse of `index_of_block`.
+fn block_of_qnode(index_of_block: &[NodeId], qn: NodeId) -> usize {
+    index_of_block
+        .iter()
+        .position(|&x| x == qn)
+        .expect("quotient node must map to a block")
+}
+
+fn remap(speeds: &[f64], index_of_block: &[NodeId]) -> Vec<f64> {
+    let mut out = vec![1.0; speeds.len()];
+    for (block, &qn) in index_of_block.iter().enumerate() {
+        out[qn.idx()] = speeds[block];
+    }
+    out
+}
+
+/// Block indices adjacent to `block` in the quotient graph.
+fn quotient_neighbours(q: &Dag, index_of_block: &[NodeId], block: usize) -> Vec<usize> {
+    let qn = index_of_block[block];
+    let mut out: Vec<usize> = q
+        .parents(qn)
+        .chain(q.children(qn))
+        .map(|n| block_of_qnode(index_of_block, n))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `FindMSOptMerge` (Algorithm 3): finds the candidate merge of `nu` into
+/// one of its quotient neighbours within `candidates` (a per-block mask)
+/// minimising the estimated makespan, subject to acyclicity (with 2-cycle
+/// repair) and the partner processor's memory.
+#[allow(clippy::too_many_arguments)]
+fn find_ms_opt_merge(
+    g: &Dag,
+    cluster: &Cluster,
+    bs: &BlockSet,
+    q: &Dag,
+    index_of_block: &[NodeId],
+    nu: usize,
+    candidates: &[bool],
+    enable_triple_merge: bool,
+) -> Option<BestMerge> {
+    let mut best: Option<BestMerge> = None;
+    for partner in quotient_neighbours(q, index_of_block, nu) {
+        if !candidates[partner] {
+            continue;
+        }
+        let mut absorb = vec![partner];
+        // Tentative merge on the quotient graph.
+        let (mut merged_q, mut merged_map) = contract_quotient(q, index_of_block, nu, &absorb);
+        if let Some(cycle) = cycles::find_cycle(&merged_q) {
+            if !enable_triple_merge || cycle.len() != 2 {
+                continue; // unrepairable candidate
+            }
+            // The 2-cycle consists of the merged vertex and one other
+            // quotient node: absorb that third vertex too.
+            let merged_qn = merged_map[nu];
+            let other_qn = *cycle.iter().find(|&&c| c != merged_qn)?;
+            let third = block_of_qnode_in_map(&merged_map, other_qn, nu);
+            let Some(third) = third else { continue };
+            absorb.push(third);
+            let retry = contract_quotient(q, index_of_block, nu, &absorb);
+            merged_q = retry.0;
+            merged_map = retry.1;
+            if cycles::is_cyclic(&merged_q) {
+                continue;
+            }
+        }
+        let third = absorb.get(1).copied();
+
+        // Memory feasibility on the partner's processor.
+        let proc = bs.block(partner).proc.expect("candidates are assigned");
+        let mut members = bs.block(nu).members.clone();
+        members.extend_from_slice(&bs.block(partner).members);
+        if let Some(t) = third {
+            members.extend_from_slice(&bs.block(t).members);
+        }
+        let req = crate::blockmem::block_requirement(g, &members);
+        if req > cluster.memory(proc) {
+            continue;
+        }
+
+        // Estimated makespan of the merged quotient.
+        let speeds = merged_speeds(bs, cluster, &merged_map, &merged_q, partner);
+        let ms = quotient_makespan(&merged_q, &speeds, cluster.bandwidth);
+        if best.as_ref().is_none_or(|b| ms < b.makespan) {
+            best = Some(BestMerge {
+                makespan: ms,
+                partner,
+                third,
+            });
+        }
+    }
+    best
+}
+
+/// Contracts quotient nodes of blocks `absorb ∪ {nu}` into a single node.
+/// Returns the contracted graph and the per-block quotient-node map
+/// (blocks keep their identity; all merged blocks map to the merged
+/// node).
+fn contract_quotient(
+    q: &Dag,
+    index_of_block: &[NodeId],
+    nu: usize,
+    absorb: &[usize],
+) -> (Dag, Vec<NodeId>) {
+    let group_of = |block: usize| -> bool { block == nu || absorb.contains(&block) };
+    // New node ids: merged group first, then remaining blocks in order.
+    let mut new_of_old: Vec<u32> = vec![u32::MAX; q.node_count()];
+    let mut next = 1u32; // 0 = merged node
+    for (block, &qn) in index_of_block.iter().enumerate() {
+        if group_of(block) {
+            new_of_old[qn.idx()] = 0;
+        }
+    }
+    for qn in q.node_ids() {
+        if new_of_old[qn.idx()] == u32::MAX {
+            new_of_old[qn.idx()] = next;
+            next += 1;
+        }
+    }
+    let mut out = Dag::with_capacity(next as usize, q.edge_count());
+    let mut work = vec![0.0f64; next as usize];
+    let mut memory = vec![0.0f64; next as usize];
+    for qn in q.node_ids() {
+        let t = new_of_old[qn.idx()] as usize;
+        work[t] += q.node(qn).work;
+        memory[t] += q.node(qn).memory;
+    }
+    for t in 0..next as usize {
+        out.add_node(work[t], memory[t]);
+    }
+    // Combine parallel edges by sorting (no hashing: this is the hot path
+    // of `FindMSOptMerge`, executed once per merge candidate).
+    let mut pairs: Vec<(u32, u32, f64)> = Vec::with_capacity(q.edge_count());
+    for e in q.edge_ids() {
+        let ed = q.edge(e);
+        let (a, b) = (new_of_old[ed.src.idx()], new_of_old[ed.dst.idx()]);
+        if a != b {
+            pairs.push((a, b, ed.volume));
+        }
+    }
+    pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    let mut i = 0;
+    while i < pairs.len() {
+        let (a, b, mut vol) = pairs[i];
+        i += 1;
+        while i < pairs.len() && pairs[i].0 == a && pairs[i].1 == b {
+            vol += pairs[i].2;
+            i += 1;
+        }
+        out.add_edge(NodeId(a), NodeId(b), vol);
+    }
+    let merged_map: Vec<NodeId> = index_of_block
+        .iter()
+        .map(|&qn| NodeId(new_of_old[qn.idx()]))
+        .collect();
+    (out, merged_map)
+}
+
+/// Finds a block (≠ the merged group) whose quotient node in `merged_map`
+/// is `qn`.
+fn block_of_qnode_in_map(merged_map: &[NodeId], qn: NodeId, nu: usize) -> Option<usize> {
+    merged_map
+        .iter()
+        .enumerate()
+        .find(|&(b, &x)| x == qn && b != nu)
+        .map(|(b, _)| b)
+}
+
+/// Speeds of the contracted quotient: the merged node (0) runs at the
+/// partner's processor speed, every other node keeps its block's
+/// (estimated) speed.
+fn merged_speeds(
+    bs: &BlockSet,
+    cluster: &Cluster,
+    merged_map: &[NodeId],
+    merged_q: &Dag,
+    partner: usize,
+) -> Vec<f64> {
+    let mut speeds = vec![1.0f64; merged_q.node_count()];
+    for (block, &qn) in merged_map.iter().enumerate() {
+        if qn.idx() != 0 {
+            speeds[qn.idx()] = bs.block(block).proc.map_or(1.0, |p| cluster.speed(p));
+        }
+    }
+    let p = bs.block(partner).proc.expect("partner is assigned");
+    speeds[0] = cluster.speed(p);
+    speeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steps::assign::biggest_assign;
+    use crate::steps::partition::initial_blocks;
+    use dhp_dag::builder;
+    use dhp_dagp::PartitionConfig;
+    use dhp_platform::{configs, Processor};
+
+    #[test]
+    fn merges_leftovers_into_valid_mapping() {
+        // 3 processors but 6 initial blocks: Step 3 must merge them down.
+        let g = builder::gnp_dag_weighted(60, 0.08, 2);
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("a", 4.0, 4000.0),
+                Processor::new("b", 2.0, 3000.0),
+                Processor::new("c", 1.0, 2500.0),
+            ],
+            1.0,
+        );
+        let cfg = PartitionConfig::default();
+        let bs0 = initial_blocks(&g, 6, &cfg);
+        let mut bs = biggest_assign(&g, &cluster, bs0, &cfg);
+        assert!(!bs.unassigned().is_empty(), "premise: leftovers exist");
+        merge_unassigned(&g, &cluster, &mut bs, true).unwrap();
+        assert!(bs.unassigned().is_empty());
+        let mapping = bs.to_mapping(g.node_count());
+        assert!(crate::mapping::validate(&g, &cluster, &mapping).is_ok());
+    }
+
+    #[test]
+    fn fails_when_platform_too_small() {
+        let g = builder::gnp_dag_weighted(40, 0.15, 5);
+        // one tiny processor: Step 2 parks everything, Step 3 cannot merge
+        let cluster = Cluster::new(vec![Processor::new("tiny", 1.0, 5.0)], 1.0);
+        let cfg = PartitionConfig::default();
+        let bs0 = initial_blocks(&g, 4, &cfg);
+        let mut bs = biggest_assign(&g, &cluster, bs0, &cfg);
+        let r = merge_unassigned(&g, &cluster, &mut bs, true);
+        assert_eq!(r, Err(SchedError::NoSolution));
+    }
+
+    #[test]
+    fn noop_when_all_assigned() {
+        let g = builder::gnp_dag_weighted(30, 0.1, 7);
+        let cluster =
+            crate::fitting::scale_cluster_to_fit(&g, &configs::default_cluster());
+        let cfg = PartitionConfig::default();
+        let bs0 = initial_blocks(&g, 4, &cfg);
+        let mut bs = biggest_assign(&g, &cluster, bs0, &cfg);
+        assert!(bs.unassigned().is_empty());
+        let before = bs.len();
+        merge_unassigned(&g, &cluster, &mut bs, true).unwrap();
+        assert_eq!(bs.len(), before);
+    }
+
+    #[test]
+    fn contract_quotient_combines_edges() {
+        // quotient: 0 -> 1 -> 2, 0 -> 2 ; contract {1, 2}
+        let mut q = Dag::new();
+        let a = q.add_node(1.0, 1.0);
+        let b = q.add_node(2.0, 1.0);
+        let c = q.add_node(3.0, 1.0);
+        q.add_edge(a, b, 5.0);
+        q.add_edge(b, c, 7.0);
+        q.add_edge(a, c, 11.0);
+        let index_of_block = vec![a, b, c];
+        let (m, map) = contract_quotient(&q, &index_of_block, 1, &[2]);
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.edge_count(), 1);
+        // merged node 0 has work 2+3
+        assert_eq!(m.node(NodeId(0)).work, 5.0);
+        // edge a->merged combines 5 + 11
+        let e = m.edge_between(map[0], NodeId(0)).unwrap();
+        assert_eq!(m.edge(e).volume, 16.0);
+    }
+
+    #[test]
+    fn two_cycle_repair_absorbs_third() {
+        // Graph engineered so merging u into its parent creates a 2-cycle
+        // (paper Fig. 2): blocks A -> B, A -> C, C -> B... merging B into A
+        // gives A' <-> C. Triple merge must succeed.
+        let mut g = Dag::new();
+        // block A = {0}, B = {2}, C = {1}
+        let n0 = g.add_node(1.0, 1.0);
+        let n1 = g.add_node(1.0, 1.0);
+        let n2 = g.add_node(1.0, 1.0);
+        g.add_edge(n0, n1, 1.0); // A -> C
+        g.add_edge(n0, n2, 1.0); // A -> B
+        g.add_edge(n1, n2, 1.0); // C -> B
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("p0", 2.0, 100.0),
+                Processor::new("p1", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        let partition = dhp_dag::Partition::from_raw(&[0, 1, 2]);
+        let mut bs = BlockSet::from_partition(&g, &partition);
+        // assign A and C; B (block of n2) unassigned
+        bs.assign(0, dhp_platform::ProcId(0));
+        bs.assign(1, dhp_platform::ProcId(1));
+        merge_unassigned(&g, &cluster, &mut bs, true).unwrap();
+        assert!(bs.unassigned().is_empty());
+        let mapping = bs.to_mapping(3);
+        assert!(crate::mapping::validate(&g, &cluster, &mapping).is_ok());
+    }
+}

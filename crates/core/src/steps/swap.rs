@@ -1,0 +1,264 @@
+//! Step 4: local search (paper Algorithm 5).
+//!
+//! Starting from the valid Step-3 mapping:
+//!
+//! 1. **Swaps** — repeatedly evaluate all pairs of blocks; a swap
+//!    exchanges the two blocks' processors and is feasible when both
+//!    blocks fit their new memories. The best improving swap is executed
+//!    until none exists. Swapping never changes the quotient graph, only
+//!    block speeds, so evaluation is cheap.
+//! 2. **Idle moves** — if processors remain idle (typical for small
+//!    workflows split into few blocks), walk the critical path and move
+//!    each block to a faster idle processor that can hold it, recomputing
+//!    the critical path after every move.
+
+use crate::blocks::BlockSet;
+use crate::makespan::{block_speeds, quotient_critical_path, quotient_makespan};
+use dhp_dag::{Dag, NodeId, QuotientGraph};
+use dhp_platform::{Cluster, ProcId};
+use std::collections::HashSet;
+
+/// Runs the swap loop. Requires every block assigned. Returns the number
+/// of executed swaps.
+pub fn swap_blocks(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
+    debug_assert!(bs.unassigned().is_empty());
+    let n = bs.len();
+    if n < 2 {
+        return 0;
+    }
+    // The quotient graph is invariant under swaps: build it once.
+    let partition = bs.to_partition(g.node_count());
+    let q = QuotientGraph::build(g, &partition);
+    let qnode_of: Vec<NodeId> = (0..n)
+        .map(|i| NodeId(partition.block_of(bs.block(i).members[0]).0))
+        .collect();
+
+    let mut speeds_q = vec![1.0f64; n];
+    let mut procs: Vec<ProcId> = (0..n)
+        .map(|i| bs.block(i).proc.expect("step 4 needs a complete mapping"))
+        .collect();
+    for (i, &p) in procs.iter().enumerate() {
+        speeds_q[qnode_of[i].idx()] = cluster.speed(p);
+    }
+
+    let mut best_ms = quotient_makespan(&q.graph, &speeds_q, cluster.bandwidth);
+    let mut swaps = 0usize;
+    loop {
+        let mut best_pair: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Feasibility: each block fits the other's processor.
+                if bs.block(i).req > cluster.memory(procs[j])
+                    || bs.block(j).req > cluster.memory(procs[i])
+                {
+                    continue;
+                }
+                // Evaluate with exchanged speeds.
+                let (qi, qj) = (qnode_of[i].idx(), qnode_of[j].idx());
+                let (si, sj) = (speeds_q[qi], speeds_q[qj]);
+                if si == sj {
+                    continue; // identical machines: no effect
+                }
+                speeds_q[qi] = sj;
+                speeds_q[qj] = si;
+                let ms = quotient_makespan(&q.graph, &speeds_q, cluster.bandwidth);
+                speeds_q[qi] = si;
+                speeds_q[qj] = sj;
+                if ms < best_ms - 1e-12
+                    && best_pair.is_none_or(|(_, _, b)| ms < b)
+                {
+                    best_pair = Some((i, j, ms));
+                }
+            }
+        }
+        match best_pair {
+            Some((i, j, ms)) => {
+                procs.swap(i, j);
+                let (qi, qj) = (qnode_of[i].idx(), qnode_of[j].idx());
+                speeds_q.swap(qi, qj);
+                best_ms = ms;
+                swaps += 1;
+            }
+            None => break,
+        }
+    }
+    for (i, &p) in procs.iter().enumerate() {
+        bs.assign(i, p);
+    }
+    let _ = best_ms;
+    swaps
+}
+
+/// Moves critical-path blocks to faster idle processors (the final
+/// sub-step of Step 4). Returns the number of moves.
+pub fn idle_moves(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
+    debug_assert!(bs.unassigned().is_empty());
+    let used: HashSet<ProcId> = bs.iter().filter_map(|b| b.proc).collect();
+    let mut idle: Vec<ProcId> = cluster
+        .proc_ids()
+        .filter(|p| !used.contains(p))
+        .collect();
+    if idle.is_empty() {
+        return 0;
+    }
+
+    let partition = bs.to_partition(g.node_count());
+    let q = QuotientGraph::build(g, &partition);
+    let qnode_of: Vec<NodeId> = (0..bs.len())
+        .map(|i| NodeId(partition.block_of(bs.block(i).members[0]).0))
+        .collect();
+
+    let mut moved: HashSet<u64> = HashSet::new();
+    let mut moves = 0usize;
+    loop {
+        let speeds = {
+            let by_block = block_speeds(bs, cluster);
+            let mut v = vec![1.0; bs.len()];
+            for (i, &qn) in qnode_of.iter().enumerate() {
+                v[qn.idx()] = by_block[i];
+            }
+            v
+        };
+        let Some(cp) = quotient_critical_path(&q.graph, &speeds, cluster.bandwidth) else {
+            break;
+        };
+        let mut acted = false;
+        for qn in cp {
+            let block = qnode_of
+                .iter()
+                .position(|&x| x == qn)
+                .expect("cp node is a block");
+            if moved.contains(&bs.block(block).id) {
+                continue;
+            }
+            let cur = bs.block(block).proc.expect("complete mapping");
+            let cur_speed = cluster.speed(cur);
+            // Fastest idle processor that holds the block and is faster.
+            let cand = idle
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    cluster.speed(p) > cur_speed
+                        && bs.block(block).req <= cluster.memory(p)
+                })
+                .max_by(|a, b| {
+                    cluster
+                        .speed(*a)
+                        .partial_cmp(&cluster.speed(*b))
+                        .unwrap()
+                        .then(cluster.memory(*a).partial_cmp(&cluster.memory(*b)).unwrap())
+                        .then(b.cmp(a)) // deterministic: smaller id wins ties
+                });
+            if let Some(p) = cand {
+                idle.retain(|&x| x != p);
+                idle.push(cur);
+                bs.assign(block, p);
+                moved.insert(bs.block(block).id);
+                moves += 1;
+                acted = true;
+                break; // recompute the critical path
+            } else {
+                moved.insert(bs.block(block).id);
+            }
+        }
+        if !acted {
+            break;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+    use dhp_dag::Partition;
+    use dhp_platform::Processor;
+
+    fn two_block_setup() -> (Dag, Cluster, BlockSet) {
+        // Chain split in two; block 0 is much heavier than block 1.
+        let mut g = builder::chain(8, 1.0, 1.0, 1.0);
+        for u in g.node_ids().take(4).collect::<Vec<_>>() {
+            g.node_mut(u).work = 100.0;
+        }
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("slow", 1.0, 100.0),
+                Processor::new("fast", 10.0, 100.0),
+            ],
+            1.0,
+        );
+        let partition = Partition::from_raw(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let bs = BlockSet::from_partition(&g, &partition);
+        (g, cluster, bs)
+    }
+
+    #[test]
+    fn swap_moves_heavy_block_to_fast_processor() {
+        let (g, cluster, mut bs) = two_block_setup();
+        // Adversarial start: heavy block on the slow processor.
+        bs.assign(0, ProcId(0));
+        bs.assign(1, ProcId(1));
+        let before = crate::makespan::blockset_makespan(&g, &bs, &cluster);
+        let swaps = swap_blocks(&g, &cluster, &mut bs);
+        let after = crate::makespan::blockset_makespan(&g, &bs, &cluster);
+        assert_eq!(swaps, 1);
+        assert!(after < before);
+        assert_eq!(bs.block(0).proc, Some(ProcId(1)), "heavy block on fast proc");
+    }
+
+    #[test]
+    fn swap_stops_at_local_optimum() {
+        let (g, cluster, mut bs) = two_block_setup();
+        bs.assign(0, ProcId(1)); // already optimal
+        bs.assign(1, ProcId(0));
+        assert_eq!(swap_blocks(&g, &cluster, &mut bs), 0);
+    }
+
+    #[test]
+    fn swap_respects_memory() {
+        let (g, _, mut bs) = two_block_setup();
+        // fast processor too small for block 0
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("slow", 1.0, 100.0),
+                Processor::new("fast", 10.0, 1.0),
+            ],
+            1.0,
+        );
+        bs.assign(0, ProcId(0));
+        bs.assign(1, ProcId(1));
+        // block1 req small... but block0 does not fit fast proc: no swap
+        assert_eq!(swap_blocks(&g, &cluster, &mut bs), 0);
+    }
+
+    #[test]
+    fn idle_move_uses_faster_processor() {
+        let (g, _, mut bs) = two_block_setup();
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("slow", 1.0, 100.0),
+                Processor::new("slow2", 1.0, 100.0),
+                Processor::new("turbo", 50.0, 100.0),
+            ],
+            1.0,
+        );
+        bs.assign(0, ProcId(0));
+        bs.assign(1, ProcId(1));
+        let before = crate::makespan::blockset_makespan(&g, &bs, &cluster);
+        let moves = idle_moves(&g, &cluster, &mut bs);
+        let after = crate::makespan::blockset_makespan(&g, &bs, &cluster);
+        assert!(moves >= 1);
+        assert!(after < before);
+        // the heavy block ends on the turbo machine
+        assert_eq!(bs.block(0).proc, Some(ProcId(2)));
+    }
+
+    #[test]
+    fn idle_moves_noop_without_idle_procs() {
+        let (g, cluster, mut bs) = two_block_setup();
+        bs.assign(0, ProcId(1));
+        bs.assign(1, ProcId(0));
+        assert_eq!(idle_moves(&g, &cluster, &mut bs), 0);
+    }
+}

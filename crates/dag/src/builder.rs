@@ -1,0 +1,165 @@
+//! Deterministic random and structured DAG builders.
+//!
+//! Used throughout the test suites and benchmarks. All random builders
+//! take an explicit seed so results are reproducible.
+
+use crate::graph::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple chain `0 -> 1 -> ... -> n-1` with the given weights.
+pub fn chain(n: usize, work: f64, memory: f64, volume: f64) -> Dag {
+    let mut g = Dag::with_capacity(n, n.saturating_sub(1));
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(work, memory)).collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], volume);
+    }
+    g
+}
+
+/// A fork-join: one source fanning out to `width` parallel tasks joined by
+/// one sink. Total `width + 2` nodes.
+pub fn fork_join(width: usize, work: f64, memory: f64, volume: f64) -> Dag {
+    let mut g = Dag::with_capacity(width + 2, 2 * width);
+    let src = g.add_node(work, memory);
+    let mid: Vec<NodeId> = (0..width).map(|_| g.add_node(work, memory)).collect();
+    let snk = g.add_node(work, memory);
+    for &m in &mid {
+        g.add_edge(src, m, volume);
+        g.add_edge(m, snk, volume);
+    }
+    g
+}
+
+/// A layered random DAG ("Erdős–Rényi by levels"): `layers` layers of
+/// `width` nodes; each node gets at least one parent in the previous layer
+/// plus extra edges with probability `p`. Node/edge weights are drawn
+/// uniformly from the given inclusive ranges.
+#[allow(clippy::too_many_arguments)]
+pub fn layered_random(
+    layers: usize,
+    width: usize,
+    p: f64,
+    work: (f64, f64),
+    memory: (f64, f64),
+    volume: (f64, f64),
+    seed: u64,
+) -> Dag {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(layers * width, layers * width * 2);
+    let mut prev: Vec<NodeId> = Vec::new();
+    for layer in 0..layers {
+        let cur: Vec<NodeId> = (0..width)
+            .map(|_| {
+                g.add_node(
+                    rng.random_range(work.0..=work.1),
+                    rng.random_range(memory.0..=memory.1),
+                )
+            })
+            .collect();
+        if layer > 0 {
+            for &v in &cur {
+                // Guaranteed parent keeps the graph connected layer-to-layer.
+                let forced = prev[rng.random_range(0..prev.len())];
+                g.add_edge(forced, v, rng.random_range(volume.0..=volume.1));
+                for &u in &prev {
+                    if u != forced && rng.random_bool(p) {
+                        g.add_edge(u, v, rng.random_range(volume.0..=volume.1));
+                    }
+                }
+            }
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// A random DAG on `n` nodes where each ordered pair `(i, j)` with
+/// `i < j` is an edge with probability `p` (edges always point from the
+/// smaller to the larger index, guaranteeing acyclicity). Unit weights.
+pub fn gnp_dag(n: usize, p: f64, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(n, (n * n / 4).max(1));
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(1.0, 1.0)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge(ids[i], ids[j], 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// A random DAG with random weights in the paper's generated-workflow
+/// ranges (edge volume 1–10, work 1–1000, memory 1–192).
+pub fn gnp_dag_weighted(n: usize, p: f64, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(n, (n * n / 4).max(1));
+    let ids: Vec<NodeId> = (0..n)
+        .map(|_| {
+            g.add_node(
+                rng.random_range(1.0..=1000.0),
+                rng.random_range(1.0..=192.0),
+            )
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                g.add_edge(ids[i], ids[j], rng.random_range(1.0..=10.0));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::is_cyclic;
+    use crate::topo::topo_sort;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 1.0, 2.0, 3.0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(!is_cyclic(&g));
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.targets().count(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(8, 1.0, 1.0, 1.0);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(g.out_degree(NodeId(0)), 8);
+        assert_eq!(g.in_degree(NodeId(9)), 8);
+        assert!(!is_cyclic(&g));
+    }
+
+    #[test]
+    fn layered_random_is_acyclic_and_deterministic() {
+        let a = layered_random(6, 4, 0.3, (1.0, 10.0), (1.0, 5.0), (1.0, 2.0), 42);
+        let b = layered_random(6, 4, 0.3, (1.0, 10.0), (1.0, 5.0), (1.0, 2.0), 42);
+        assert!(!is_cyclic(&a));
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.total_work(), b.total_work());
+        // every non-first-layer node has a parent
+        for u in a.node_ids().skip(4) {
+            assert!(a.in_degree(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn gnp_is_acyclic() {
+        for seed in 0..5 {
+            let g = gnp_dag(30, 0.2, seed);
+            assert!(topo_sort(&g).is_some());
+        }
+    }
+}

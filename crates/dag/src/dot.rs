@@ -1,0 +1,216 @@
+//! GraphViz DOT import/export.
+//!
+//! The paper converts nf-core nextflow workflows to `.dot` files; this
+//! module supports a practical subset of the DOT language sufficient for
+//! such exports: `digraph` bodies with node statements carrying
+//! `work`/`memory` attributes and edge statements carrying `volume` (or
+//! `weight`/`size`, accepted as synonyms).
+
+use crate::graph::{Dag, NodeData, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialises the graph to DOT, preserving weights as attributes.
+pub fn to_dot(g: &Dag, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    for u in g.node_ids() {
+        let n = g.node(u);
+        let label = n.label.as_deref().unwrap_or("");
+        let _ = writeln!(
+            s,
+            "  n{} [work={}, memory={}, label=\"{}\"];",
+            u.0, n.work, n.memory, label
+        );
+    }
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let _ = writeln!(s, "  n{} -> n{} [volume={}];", ed.src.0, ed.dst.0, ed.volume);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Errors produced when parsing DOT input.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DotError {
+    /// The input does not start with a `digraph` header.
+    NotADigraph,
+    /// A statement could not be parsed; carries the offending line.
+    BadStatement(String),
+}
+
+impl std::fmt::Display for DotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DotError::NotADigraph => write!(f, "input is not a digraph"),
+            DotError::BadStatement(l) => write!(f, "cannot parse statement: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for DotError {}
+
+/// Parses a DOT digraph.
+///
+/// * Node statements: `name [attr=value, ...];` — `work` and `memory`
+///   (alias `mem`) attributes are read, defaults 1.0.
+/// * Edge statements: `a -> b [volume=x];` — `volume` (aliases `weight`,
+///   `size`) defaults to 1.0. Undeclared endpoint names are created with
+///   default weights.
+/// * `label` attributes are preserved; other attributes are ignored.
+pub fn from_dot(input: &str) -> Result<Dag, DotError> {
+    let mut g = Dag::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+
+    let body_start = input.find('{').ok_or(DotError::NotADigraph)?;
+    let header = &input[..body_start];
+    if !header.contains("digraph") {
+        return Err(DotError::NotADigraph);
+    }
+    let body_end = input.rfind('}').ok_or(DotError::NotADigraph)?;
+    let body = &input[body_start + 1..body_end];
+
+    let mut intern = |g: &mut Dag, name: &str| -> NodeId {
+        if let Some(&id) = ids.get(name) {
+            return id;
+        }
+        let id = g.add_node_data(NodeData {
+            work: 1.0,
+            memory: 1.0,
+            label: Some(name.to_string()),
+        });
+        ids.insert(name.to_string(), id);
+        id
+    };
+
+    for raw in body.split(';') {
+        let stmt = raw.trim();
+        if stmt.is_empty() || stmt.starts_with("//") || stmt.starts_with('#') {
+            continue;
+        }
+        // Skip graph-level attribute statements.
+        if let Some(eq) = stmt.find('=') {
+            if !stmt[..eq].contains("->") && !stmt.contains('[') {
+                continue;
+            }
+        }
+        let (head, attrs) = match stmt.find('[') {
+            Some(i) => {
+                let close = stmt.rfind(']').ok_or_else(|| DotError::BadStatement(stmt.into()))?;
+                (stmt[..i].trim(), parse_attrs(&stmt[i + 1..close]))
+            }
+            None => (stmt, HashMap::new()),
+        };
+        if let Some(arrow) = head.find("->") {
+            // Possibly a chain a -> b -> c
+            let names: Vec<&str> = head.split("->").map(str::trim).collect();
+            let _ = arrow;
+            let volume = attrs
+                .get("volume")
+                .or_else(|| attrs.get("weight"))
+                .or_else(|| attrs.get("size"))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(1.0);
+            for w in names.windows(2) {
+                let a = intern(&mut g, &unquote(w[0]));
+                let b = intern(&mut g, &unquote(w[1]));
+                g.add_edge(a, b, volume);
+            }
+        } else {
+            let name = unquote(head);
+            if name.is_empty() || name == "graph" || name == "node" || name == "edge" {
+                continue;
+            }
+            let id = intern(&mut g, &name);
+            if let Some(w) = attrs.get("work").and_then(|v| v.parse::<f64>().ok()) {
+                g.node_mut(id).work = w;
+            }
+            if let Some(m) = attrs
+                .get("memory")
+                .or_else(|| attrs.get("mem"))
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                g.node_mut(id).memory = m;
+            }
+            if let Some(l) = attrs.get("label") {
+                g.node_mut(id).label = Some(l.clone());
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+fn parse_attrs(s: &str) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for part in s.split(',') {
+        if let Some((k, v)) = part.split_once('=') {
+            out.insert(k.trim().to_string(), unquote(v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeId;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Dag::new();
+        let a = g.add_node(2.0, 3.0);
+        let b = g.add_node(4.0, 5.0);
+        g.node_mut(a).label = Some("prep".into());
+        g.add_edge(a, b, 7.0);
+        let dot = to_dot(&g, "wf");
+        let h = from_dot(&dot).unwrap();
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.node(NodeId(0)).work, 2.0);
+        assert_eq!(h.node(NodeId(0)).memory, 3.0);
+        assert_eq!(h.node(NodeId(0)).label.as_deref(), Some("prep"));
+        assert_eq!(h.edge(EdgeId(0)).volume, 7.0);
+    }
+
+    #[test]
+    fn parses_plain_edges_and_chains() {
+        let g = from_dot("digraph g { a -> b -> c; b -> d [weight=3]; }").unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let d = g
+            .node_ids()
+            .find(|&u| g.node(u).label.as_deref() == Some("d"))
+            .unwrap();
+        let b = g
+            .node_ids()
+            .find(|&u| g.node(u).label.as_deref() == Some("b"))
+            .unwrap();
+        let e = g.edge_between(b, d).unwrap();
+        assert_eq!(g.edge(e).volume, 3.0);
+    }
+
+    #[test]
+    fn rejects_non_digraph() {
+        assert_eq!(from_dot("graph g { a -- b; }").err(), Some(DotError::NotADigraph));
+        assert_eq!(from_dot("nonsense").err(), Some(DotError::NotADigraph));
+    }
+
+    #[test]
+    fn ignores_keywords_and_graph_attrs() {
+        let g = from_dot(
+            "digraph g { rankdir=LR; node [shape=box]; a [work=5]; a -> b; }",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        let a = g
+            .node_ids()
+            .find(|&u| g.node(u).label.as_deref() == Some("a"))
+            .unwrap();
+        assert_eq!(g.node(a).work, 5.0);
+    }
+}

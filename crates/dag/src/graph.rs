@@ -1,0 +1,426 @@
+//! Core weighted DAG data structure.
+//!
+//! [`Dag`] stores nodes and edges in flat vectors with per-node in/out
+//! adjacency lists of edge indices. Node weights model workflow tasks
+//! (`work` = number of operations, `memory` = working-set size); edge
+//! weights model the size of the file communicated between two tasks.
+//!
+//! The structure itself does *not* enforce acyclicity on every mutation
+//! (the partitioning algorithms temporarily build candidate graphs and
+//! check them); use [`crate::cycles::is_cyclic`] or
+//! [`Dag::check_acyclic`] to validate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a node (task) inside a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Dense index of a directed edge inside a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`, for indexing side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The index as `usize`, for indexing side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Payload of a node: a workflow task.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeData {
+    /// Number of operations `w_u`; execution time on processor `p_j` is
+    /// `work / s_j`.
+    pub work: f64,
+    /// Task-private memory weight `m_u` (excludes input/output files).
+    pub memory: f64,
+    /// Optional human-readable label (task name from a DOT file or the
+    /// generator).
+    pub label: Option<String>,
+}
+
+/// Payload of an edge: a produced/consumed file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Source task (producer of the file).
+    pub src: NodeId,
+    /// Target task (consumer of the file).
+    pub dst: NodeId,
+    /// Communication volume `c_{u,v}` (file size).
+    pub volume: f64,
+}
+
+/// A weighted directed graph specialised for workflow DAGs.
+///
+/// Nodes and edges are append-only; removal is handled at a higher level
+/// by rebuilding or by partition-level bookkeeping, which keeps all ids
+/// stable and dense.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dag {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Dag {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges`
+    /// edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a task with the given work and memory weights, returning its id.
+    pub fn add_node(&mut self, work: f64, memory: f64) -> NodeId {
+        self.add_node_data(NodeData {
+            work,
+            memory,
+            label: None,
+        })
+    }
+
+    /// Adds a task with full payload, returning its id.
+    pub fn add_node_data(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `src -> dst` carrying `volume` units of data.
+    ///
+    /// Parallel edges are permitted (some workflow exports contain them);
+    /// algorithms that need a simple graph should use
+    /// [`Dag::coalesce_parallel_edges`].
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds or if `src == dst`
+    /// (self-loops can never appear in a DAG).
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, volume: f64) -> EdgeId {
+        assert!(src.idx() < self.nodes.len(), "edge source out of bounds");
+        assert!(dst.idx() < self.nodes.len(), "edge target out of bounds");
+        assert_ne!(src, dst, "self-loop rejected: {src:?}");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { src, dst, volume });
+        self.out_adj[src.idx()].push(id);
+        self.in_adj[dst.idx()].push(id);
+        id
+    }
+
+    /// Immutable access to a node payload.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.idx()]
+    }
+
+    /// Mutable access to a node payload.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.idx()]
+    }
+
+    /// Immutable access to an edge payload.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &EdgeData {
+        &self.edges[id.idx()]
+    }
+
+    /// Mutable access to an edge payload.
+    #[inline]
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut EdgeData {
+        &mut self.edges[id.idx()]
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids in index order.
+    pub fn edge_ids(&self) -> impl DoubleEndedIterator<Item = EdgeId> + ExactSizeIterator {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `u`.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> &[EdgeId] {
+        &self.out_adj[u.idx()]
+    }
+
+    /// Incoming edges of `u`.
+    #[inline]
+    pub fn in_edges(&self, u: NodeId) -> &[EdgeId] {
+        &self.in_adj[u.idx()]
+    }
+
+    /// Children `C_u` of a task (targets of its out-edges).
+    pub fn children(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[u.idx()].iter().map(|&e| self.edges[e.idx()].dst)
+    }
+
+    /// Parents `Π_u` of a task (sources of its in-edges).
+    pub fn parents(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[u.idx()].iter().map(|&e| self.edges[e.idx()].src)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_adj[u.idx()].len()
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_adj[u.idx()].len()
+    }
+
+    /// Source tasks (no parents).
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&u| self.in_degree(u) == 0)
+    }
+
+    /// Target (sink) tasks (no children).
+    pub fn targets(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&u| self.out_degree(u) == 0)
+    }
+
+    /// First edge from `src` to `dst`, if any.
+    pub fn edge_between(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out_adj[src.idx()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.idx()].dst == dst)
+    }
+
+    /// Sum of all task work weights.
+    pub fn total_work(&self) -> f64 {
+        self.nodes.iter().map(|n| n.work).sum()
+    }
+
+    /// Sum of all task memory weights.
+    pub fn total_memory(&self) -> f64 {
+        self.nodes.iter().map(|n| n.memory).sum()
+    }
+
+    /// Sum of all edge volumes.
+    pub fn total_volume(&self) -> f64 {
+        self.edges.iter().map(|e| e.volume).sum()
+    }
+
+    /// Memory requirement of a single task as defined in the paper:
+    /// `r_u = Σ_in c_{v,u} + Σ_out c_{u,v} + m_u`.
+    pub fn task_requirement(&self, u: NodeId) -> f64 {
+        let inputs: f64 = self.in_edges(u).iter().map(|&e| self.edge(e).volume).sum();
+        let outputs: f64 = self.out_edges(u).iter().map(|&e| self.edge(e).volume).sum();
+        inputs + outputs + self.node(u).memory
+    }
+
+    /// Returns a copy of the graph in which parallel edges between the
+    /// same ordered node pair are merged, summing their volumes.
+    pub fn coalesce_parallel_edges(&self) -> Dag {
+        let mut out = Dag::with_capacity(self.node_count(), self.edge_count());
+        for n in &self.nodes {
+            out.add_node_data(n.clone());
+        }
+        use std::collections::HashMap;
+        let mut seen: HashMap<(NodeId, NodeId), EdgeId> = HashMap::new();
+        for e in &self.edges {
+            if let Some(&prev) = seen.get(&(e.src, e.dst)) {
+                out.edge_mut(prev).volume += e.volume;
+            } else {
+                let id = out.add_edge(e.src, e.dst, e.volume);
+                seen.insert((e.src, e.dst), id);
+            }
+        }
+        out
+    }
+
+    /// Validates acyclicity, returning an error naming a node on a cycle.
+    pub fn check_acyclic(&self) -> Result<(), NodeId> {
+        match crate::cycles::find_cycle(self) {
+            None => Ok(()),
+            Some(cycle) => Err(cycle[0]),
+        }
+    }
+
+    /// Builds the sub-DAG induced by `members` (in the given order).
+    ///
+    /// Returns the subgraph plus the mapping from subgraph node indices
+    /// back to the original ids. Edges with exactly one endpoint inside
+    /// the set are dropped (callers needing boundary edges should query
+    /// the parent graph).
+    pub fn induced_subgraph(&self, members: &[NodeId]) -> (Dag, Vec<NodeId>) {
+        let mut local = vec![u32::MAX; self.node_count()];
+        let mut sub = Dag::with_capacity(members.len(), members.len());
+        for (i, &u) in members.iter().enumerate() {
+            assert!(
+                local[u.idx()] == u32::MAX,
+                "duplicate member {u:?} in induced_subgraph"
+            );
+            local[u.idx()] = i as u32;
+            sub.add_node_data(self.node(u).clone());
+        }
+        for e in &self.edges {
+            let (ls, ld) = (local[e.src.idx()], local[e.dst.idx()]);
+            if ls != u32::MAX && ld != u32::MAX {
+                sub.add_edge(NodeId(ls), NodeId(ld), e.volume);
+            }
+        }
+        (sub, members.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 10.0);
+        let b = g.add_node(2.0, 20.0);
+        let c = g.add_node(3.0, 30.0);
+        let d = g.add_node(4.0, 40.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 2.0);
+        g.add_edge(b, d, 3.0);
+        g.add_edge(c, d, 4.0);
+        g
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(g.targets().collect::<Vec<_>>(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn parents_children() {
+        let g = diamond();
+        let mut ch: Vec<_> = g.children(NodeId(0)).collect();
+        ch.sort();
+        assert_eq!(ch, vec![NodeId(1), NodeId(2)]);
+        let mut pa: Vec<_> = g.parents(NodeId(3)).collect();
+        pa.sort();
+        assert_eq!(pa, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn totals() {
+        let g = diamond();
+        assert_eq!(g.total_work(), 10.0);
+        assert_eq!(g.total_memory(), 100.0);
+        assert_eq!(g.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn task_requirement_matches_definition() {
+        let g = diamond();
+        // node 1: in 1.0 + out 3.0 + mem 20.0
+        assert_eq!(g.task_requirement(NodeId(1)), 24.0);
+        // source: only outputs
+        assert_eq!(g.task_requirement(NodeId(0)), 13.0);
+    }
+
+    #[test]
+    fn edge_between_finds_edges() {
+        let g = diamond();
+        assert!(g.edge_between(NodeId(0), NodeId(1)).is_some());
+        assert!(g.edge_between(NodeId(1), NodeId(0)).is_none());
+        assert!(g.edge_between(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn coalesce_merges_parallel_edges() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        g.add_edge(a, b, 2.0);
+        g.add_edge(a, b, 3.0);
+        let c = g.coalesce_parallel_edges();
+        assert_eq!(c.edge_count(), 1);
+        assert_eq!(c.edge(EdgeId(0)).volume, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 1.0);
+        g.add_edge(a, a, 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let (sub, back) = g.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.node_count(), 3);
+        // edges 0->1 and 1->3 survive; 0->2->3 does not
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(back, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.node(NodeId(2)).work, 4.0);
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # dhp-dag
+//!
+//! Directed-acyclic-graph substrate used by the `daghetpart` workflow
+//! mapper, a Rust reproduction of Kulagina, Meyerhenke and Benoit,
+//! *Mapping Large Memory-constrained Workflows onto Heterogeneous
+//! Platforms* (ICPP 2024).
+//!
+//! The crate provides the data structure and graph algorithms every other
+//! crate in the workspace builds on:
+//!
+//! * [`Dag`] — a weighted directed graph tuned for workflow DAGs: each
+//!   node carries a `work` (computation) and `memory` weight, each edge a
+//!   communication `volume` (the size of the file written by the source
+//!   task and read by the target task).
+//! * Topological sorting and level computation ([`topo`]).
+//! * Cycle detection and extraction ([`cycles`]), needed when merging
+//!   blocks of a partition may create cyclic quotient graphs.
+//! * Reachability queries ([`reach`]).
+//! * Weighted longest ("critical") paths ([`critical`]).
+//! * Quotient-graph construction from a partition ([`quotient`]).
+//! * GraphViz DOT import/export ([`dot`]).
+//! * Deterministic random-graph builders for tests and benchmarks
+//!   ([`builder`]).
+//!
+//! The graph is index-based: nodes and edges are identified by [`NodeId`]
+//! and [`EdgeId`] newtypes wrapping dense `u32` indices, so all per-node
+//! state elsewhere in the workspace can live in flat `Vec`s.
+//!
+//! ```
+//! use dhp_dag::{Dag, Partition, QuotientGraph};
+//!
+//! // A diamond: s -> {a, b} -> t with per-task (work, memory) weights.
+//! let mut g = Dag::new();
+//! let s = g.add_node(1.0, 2.0);
+//! let a = g.add_node(4.0, 8.0);
+//! let b = g.add_node(3.0, 8.0);
+//! let t = g.add_node(1.0, 2.0);
+//! for (u, v) in [(s, a), (s, b), (a, t), (b, t)] {
+//!     g.add_edge(u, v, 1.5); // file volume
+//! }
+//! assert!(g.check_acyclic().is_ok());
+//! assert_eq!(dhp_dag::topo::topo_sort(&g).unwrap().len(), 4);
+//!
+//! // Partition {s,a} | {b,t}: the quotient graph stays acyclic and
+//! // aggregates node works and crossing volumes.
+//! let p = Partition::from_raw(&[0, 0, 1, 1]);
+//! let q = QuotientGraph::build(&g, &p);
+//! assert!(q.is_acyclic());
+//! assert_eq!(q.graph.node_count(), 2);
+//! ```
+
+pub mod builder;
+pub mod critical;
+pub mod cycles;
+pub mod dot;
+pub mod graph;
+pub mod quotient;
+pub mod reach;
+pub mod topo;
+pub mod util;
+
+pub use graph::{Dag, EdgeData, EdgeId, NodeData, NodeId};
+pub use quotient::{BlockId, Partition, QuotientGraph};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,176 @@
+//! Property-based tests over the whole crate.
+
+use crate::builder;
+use crate::critical::bottom_weights;
+use crate::cycles::{find_cycle, is_cyclic};
+use crate::graph::NodeId;
+use crate::quotient::{is_acyclic_partition, Partition, QuotientGraph};
+use crate::reach::{has_bypass_path, has_path};
+use crate::topo::{is_topological_order, topo_levels, topo_sort};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG described by (n, p, seed).
+fn dag_params() -> impl Strategy<Value = (usize, f64, u64)> {
+    (2usize..40, 0.05f64..0.5, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_sort_is_valid((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag(n, p, seed);
+        let order = topo_sort(&g).expect("gnp graphs are acyclic");
+        prop_assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn levels_respect_edges((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag(n, p, seed);
+        let lv = topo_levels(&g).unwrap();
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            prop_assert!(lv[ed.src.idx()] < lv[ed.dst.idx()]);
+        }
+    }
+
+    #[test]
+    fn cycle_found_iff_cyclic((n, p, seed) in dag_params(), extra in any::<u32>()) {
+        let mut g = builder::gnp_dag(n, p, seed);
+        // Optionally inject a back edge to create a cycle.
+        let inject = extra % 2 == 0;
+        if inject {
+            // add edge from the last node to the first along some path
+            let order = topo_sort(&g).unwrap();
+            let a = order[0];
+            let b = order[order.len() - 1];
+            if has_path(&g, a, b) && a != b {
+                g.add_edge(b, a, 1.0);
+            }
+        }
+        match find_cycle(&g) {
+            Some(cycle) => {
+                prop_assert!(is_cyclic(&g));
+                // verify cycle edges exist
+                for i in 0..cycle.len() {
+                    let u = cycle[i];
+                    let v = cycle[(i + 1) % cycle.len()];
+                    prop_assert!(g.edge_between(u, v).is_some());
+                }
+            }
+            None => prop_assert!(!is_cyclic(&g)),
+        }
+    }
+
+    #[test]
+    fn bypass_implies_path((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag(n, p, seed);
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            if has_bypass_path(&g, ed.src, ed.dst) {
+                prop_assert!(has_path(&g, ed.src, ed.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_weights_bound_every_path((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let b = bottom_weights(&g, |u| g.node(u).work, |e| g.edge(e).volume).unwrap();
+        // bottom[u] >= work[u]; bottom[u] >= work[u] + vol(u,v) + bottom[v]
+        for u in g.node_ids() {
+            prop_assert!(b[u.idx()] >= g.node(u).work - 1e-9);
+        }
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            prop_assert!(
+                b[ed.src.idx()] + 1e-6 >=
+                g.node(ed.src).work + ed.volume + b[ed.dst.idx()]
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_conserves_weights((n, p, seed) in dag_params(), k in 1usize..6) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        // Contiguous topological chunks always give an acyclic quotient.
+        let order = topo_sort(&g).unwrap();
+        let mut raw = vec![0u32; n];
+        for (i, &u) in order.iter().enumerate() {
+            raw[u.idx()] = (i * k / n) as u32;
+        }
+        let part = Partition::from_raw(&raw);
+        let q = QuotientGraph::build(&g, &part);
+        prop_assert!(q.is_acyclic());
+        let qw: f64 = q.graph.node_ids().map(|u| q.graph.node(u).work).sum();
+        prop_assert!((qw - g.total_work()).abs() < 1e-6);
+        let qm: f64 = q.graph.node_ids().map(|u| q.graph.node(u).memory).sum();
+        prop_assert!((qm - g.total_memory()).abs() < 1e-6);
+        // Cut + internal volume == total volume.
+        let mut internal = 0.0;
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            if part.block_of(ed.src) == part.block_of(ed.dst) {
+                internal += ed.volume;
+            }
+        }
+        prop_assert!((q.edge_cut() + internal - g.total_volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topo_chunk_partitions_are_acyclic((n, p, seed) in dag_params(), k in 1usize..8) {
+        let g = builder::gnp_dag(n, p, seed);
+        let order = topo_sort(&g).unwrap();
+        let mut raw = vec![0u32; n];
+        for (i, &u) in order.iter().enumerate() {
+            raw[u.idx()] = (i * k / n) as u32;
+        }
+        prop_assert!(is_acyclic_partition(&g, &Partition::from_raw(&raw)));
+    }
+
+    #[test]
+    fn merge_blocks_preserves_cover((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag(n, p, seed);
+        let raw: Vec<u32> = (0..n as u32).collect(); // singleton blocks
+        let mut part = Partition::from_raw(&raw);
+        // Merge the two blocks containing nodes 0 and 1.
+        let b0 = part.block_of(NodeId(0));
+        let b1 = part.block_of(NodeId(1));
+        let merged = part.merge_blocks(b0, b1);
+        prop_assert!(part.validate(&g));
+        prop_assert_eq!(part.num_blocks(), n - 1);
+        prop_assert_eq!(part.block_of(NodeId(0)), merged);
+        prop_assert_eq!(part.block_of(NodeId(1)), merged);
+    }
+
+    #[test]
+    fn dot_roundtrip_preserves_structure((n, p, seed) in dag_params()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let dot = crate::dot::to_dot(&g, "t");
+        let h = crate::dot::from_dot(&dot).unwrap();
+        prop_assert_eq!(g.node_count(), h.node_count());
+        prop_assert_eq!(g.edge_count(), h.edge_count());
+        prop_assert!((g.total_work() - h.total_work()).abs() < 1e-6);
+        prop_assert!((g.total_volume() - h.total_volume()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn induced_subgraph_of_block_is_consistent() {
+    let g = builder::gnp_dag_weighted(25, 0.2, 7);
+    let order = topo_sort(&g).unwrap();
+    let mut raw = vec![0u32; 25];
+    for (i, &u) in order.iter().enumerate() {
+        raw[u.idx()] = (i / 9) as u32;
+    }
+    let part = Partition::from_raw(&raw);
+    for b in 0..part.num_blocks() {
+        let members = part.block_members(crate::quotient::BlockId(b as u32));
+        let (sub, back) = g.induced_subgraph(&members);
+        assert_eq!(sub.node_count(), members.len());
+        assert!(!is_cyclic(&sub));
+        for (i, &orig) in back.iter().enumerate() {
+            assert_eq!(sub.node(NodeId(i as u32)).work, g.node(orig).work);
+        }
+    }
+}

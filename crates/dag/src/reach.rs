@@ -1,0 +1,134 @@
+//! Reachability queries.
+//!
+//! Coarsening in the partitioner must never contract an edge `(u, v)` when
+//! an alternative `u -> ... -> v` path exists (that would create a cycle in
+//! the coarse graph); these helpers answer such queries.
+
+use crate::graph::{Dag, NodeId};
+use crate::util::BitSet;
+
+/// Set of nodes reachable from `start` (including `start` itself).
+pub fn reachable_from(g: &Dag, start: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![start];
+    seen.set(start.idx());
+    while let Some(u) = stack.pop() {
+        for v in g.children(u) {
+            if !seen.get(v.idx()) {
+                seen.set(v.idx());
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True if a directed path `from -> ... -> to` exists (a node reaches
+/// itself by the empty path).
+pub fn has_path(g: &Dag, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![from];
+    seen.set(from.idx());
+    while let Some(u) = stack.pop() {
+        for v in g.children(u) {
+            if v == to {
+                return true;
+            }
+            if !seen.get(v.idx()) {
+                seen.set(v.idx());
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// True if a path `from -> ... -> to` of length ≥ 2 edges exists, i.e. a
+/// path that does not use the direct edge `(from, to)`.
+///
+/// This is the safety condition for contracting edge `(from, to)` in an
+/// acyclic coarsening: contraction is safe iff no such bypass exists.
+pub fn has_bypass_path(g: &Dag, from: NodeId, to: NodeId) -> bool {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack: Vec<NodeId> = Vec::new();
+    // Seed with children of `from` other than `to` (skipping the direct edge).
+    for v in g.children(from) {
+        if v != to && !seen.get(v.idx()) {
+            seen.set(v.idx());
+            stack.push(v);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        for v in g.children(u) {
+            if !seen.get(v.idx()) {
+                seen.set(v.idx());
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        let c = g.add_node(1.0, 1.0);
+        let d = g.add_node(1.0, 1.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, c, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(c, d, 1.0);
+        g
+    }
+
+    #[test]
+    fn reachable_sets() {
+        let g = diamond();
+        let r = reachable_from(&g, NodeId(0));
+        assert_eq!(r.count(), 4);
+        let r = reachable_from(&g, NodeId(1));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn paths() {
+        let g = diamond();
+        assert!(has_path(&g, NodeId(0), NodeId(3)));
+        assert!(!has_path(&g, NodeId(3), NodeId(0)));
+        assert!(has_path(&g, NodeId(2), NodeId(2)));
+        assert!(!has_path(&g, NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn bypass_detection() {
+        // chain with shortcut: 0->1->2 and 0->2
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        let c = g.add_node(1.0, 1.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(a, c, 1.0);
+        assert!(has_bypass_path(&g, a, c), "0->1->2 bypasses direct 0->2");
+        assert!(!has_bypass_path(&g, a, b));
+        assert!(!has_bypass_path(&g, b, c));
+    }
+
+    #[test]
+    fn diamond_halves_have_no_bypass() {
+        let g = diamond();
+        assert!(!has_bypass_path(&g, NodeId(0), NodeId(1)));
+        assert!(!has_bypass_path(&g, NodeId(1), NodeId(3)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Acyclicity-preserving coarsening.
+//!
+//! An edge `(u, v)` may be contracted when no *bypass* path `u → … → v`
+//! of length ≥ 2 exists, since the merged vertex would close such a path
+//! into a cycle. Two cheap sufficient conditions are used (as in dagP's
+//! matching heuristics):
+//!
+//! * `v` has in-degree 1 (its only parent is `u`), or
+//! * `u` has out-degree 1 (its only child is `v`).
+//!
+//! Either one rules out any alternative `u → … → v` path. Matching is
+//! greedy by decreasing edge volume (heavy edges are hidden inside coarse
+//! nodes so they can never be cut), with a seeded shuffle for
+//! deterministic tie-breaking.
+
+use dhp_dag::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One level of the coarsening hierarchy.
+pub struct Level {
+    graph: Dag,
+    weights: Vec<f64>,
+    /// For each node of this level's *finer* graph, its coarse
+    /// representative in `graph`. Empty for the finest level.
+    coarse_map: Vec<NodeId>,
+}
+
+impl Level {
+    /// The graph at this level.
+    pub fn graph(&self) -> &Dag {
+        &self.graph
+    }
+
+    /// Balance weights of this level's nodes.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Coarse representative (in the *next coarser* level) of fine node
+    /// `u` of this level.
+    pub fn coarse_of(&self, u: NodeId) -> NodeId {
+        self.coarse_map[u.idx()]
+    }
+}
+
+/// The coarsening hierarchy, finest (input) level first.
+pub struct Hierarchy {
+    /// levels[0] = finest; the `coarse_map` of level `i` maps level-`i`
+    /// nodes into level `i+1`.
+    levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest level.
+    pub fn coarsest(&self) -> &Level {
+        self.levels.last().expect("hierarchy is never empty")
+    }
+
+    /// Number of levels (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Iterates over the levels from second-coarsest down to finest; at
+    /// each yielded level, `coarse_of` maps its nodes into the previously
+    /// processed (coarser) level.
+    pub fn finer_levels(&self) -> impl Iterator<Item = &Level> {
+        self.levels.iter().rev().skip(1)
+    }
+}
+
+/// Coarsens `g` until at most `target` nodes remain or no further safe
+/// contraction exists.
+pub fn coarsen(g: &Dag, weights: &[f64], target: usize, seed: u64) -> Hierarchy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut levels = Vec::new();
+    let mut cur = g.clone();
+    let mut cur_weights = weights.to_vec();
+
+    loop {
+        let n = cur.node_count();
+        if n <= target {
+            break;
+        }
+        let (matched_to, groups) = match_edges(&cur, &mut rng);
+        if groups == n {
+            break; // no contraction possible
+        }
+        let (coarse, coarse_weights, coarse_map) =
+            contract(&cur, &cur_weights, &matched_to, groups);
+        levels.push(Level {
+            graph: std::mem::replace(&mut cur, coarse),
+            weights: std::mem::replace(&mut cur_weights, coarse_weights),
+            coarse_map,
+        });
+        // Diminishing returns guard: stop if the last round removed <5%.
+        let reduced = levels.last().unwrap().graph.node_count() - cur.node_count();
+        if reduced * 20 < n {
+            break;
+        }
+    }
+    levels.push(Level {
+        graph: cur,
+        weights: cur_weights,
+        coarse_map: Vec::new(),
+    });
+    Hierarchy { levels }
+}
+
+/// Greedy matching over contractible edges. Returns for each node the
+/// group it belongs to (pairs share a group) and the number of groups.
+fn match_edges(g: &Dag, rng: &mut StdRng) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut edges: Vec<(f64, NodeId, NodeId)> = g
+        .edge_ids()
+        .map(|e| {
+            let ed = g.edge(e);
+            (ed.volume, ed.src, ed.dst)
+        })
+        .collect();
+    // Shuffle then stable sort by decreasing volume: equal-volume edges
+    // appear in seeded random order, everything else deterministic.
+    edges.shuffle(rng);
+    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut matched = vec![false; n];
+    let mut group = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for (_, u, v) in edges {
+        if matched[u.idx()] || matched[v.idx()] {
+            continue;
+        }
+        let safe = g.in_degree(v) == 1 || g.out_degree(u) == 1;
+        if !safe {
+            continue;
+        }
+        matched[u.idx()] = true;
+        matched[v.idx()] = true;
+        group[u.idx()] = next;
+        group[v.idx()] = next;
+        next += 1;
+    }
+    for gslot in group.iter_mut() {
+        if *gslot == u32::MAX {
+            *gslot = next;
+            next += 1;
+        }
+    }
+    (group, next as usize)
+}
+
+/// Builds the contracted graph. `group` maps fine nodes to coarse ids
+/// `0..groups`.
+fn contract(
+    g: &Dag,
+    weights: &[f64],
+    group: &[u32],
+    groups: usize,
+) -> (Dag, Vec<f64>, Vec<NodeId>) {
+    let mut coarse = Dag::with_capacity(groups, g.edge_count());
+    let mut coarse_weights = vec![0.0f64; groups];
+    let mut work = vec![0.0f64; groups];
+    let mut memory = vec![0.0f64; groups];
+    for u in g.node_ids() {
+        let c = group[u.idx()] as usize;
+        work[c] += g.node(u).work;
+        memory[c] += g.node(u).memory;
+        coarse_weights[c] += weights[u.idx()];
+    }
+    for c in 0..groups {
+        coarse.add_node(work[c], memory[c]);
+    }
+    // Coalesce parallel coarse edges.
+    use std::collections::HashMap;
+    let mut combined: HashMap<(u32, u32), f64> = HashMap::new();
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let (a, b) = (group[ed.src.idx()], group[ed.dst.idx()]);
+        if a != b {
+            *combined.entry((a, b)).or_insert(0.0) += ed.volume;
+        }
+    }
+    let mut pairs: Vec<_> = combined.into_iter().collect();
+    pairs.sort_by_key(|&((a, b), _)| (a, b));
+    for ((a, b), vol) in pairs {
+        coarse.add_edge(NodeId(a), NodeId(b), vol);
+    }
+    let coarse_map = group.iter().map(|&c| NodeId(c)).collect();
+    (coarse, coarse_weights, coarse_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+    use dhp_dag::cycles::is_cyclic;
+
+    #[test]
+    fn coarsening_preserves_acyclicity_and_totals() {
+        for seed in 0..6 {
+            let g = builder::gnp_dag_weighted(150, 0.04, seed);
+            let weights: Vec<f64> = g.node_ids().map(|u| g.node(u).work).collect();
+            let h = coarsen(&g, &weights, 20, seed);
+            let c = h.coarsest();
+            assert!(!is_cyclic(c.graph()), "seed {seed}");
+            assert!(c.graph().node_count() < g.node_count());
+            let total: f64 = c.weights().iter().sum();
+            assert!((total - g.total_work()).abs() < 1e-6);
+            assert!((c.graph().total_work() - g.total_work()).abs() < 1e-6);
+            assert!((c.graph().total_memory() - g.total_memory()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chain_coarsens_hard() {
+        let g = builder::chain(64, 1.0, 1.0, 1.0);
+        let weights = vec![1.0; 64];
+        let h = coarsen(&g, &weights, 4, 0);
+        assert!(h.coarsest().graph().node_count() <= 40);
+        assert!(h.depth() >= 2);
+    }
+
+    #[test]
+    fn maps_compose_to_finest() {
+        let g = builder::gnp_dag_weighted(80, 0.06, 2);
+        let weights = vec![1.0; 80];
+        let h = coarsen(&g, &weights, 10, 1);
+        // walk every fine node through the maps; must land in coarsest
+        let mut idx: Vec<NodeId> = g.node_ids().collect();
+        for level in h.levels.iter().take(h.depth() - 1) {
+            idx = idx.iter().map(|&u| level.coarse_of(u)).collect();
+        }
+        let m = h.coarsest().graph().node_count();
+        assert!(idx.iter().all(|u| u.idx() < m));
+    }
+
+    #[test]
+    fn already_small_graph_is_single_level() {
+        let g = builder::chain(5, 1.0, 1.0, 1.0);
+        let h = coarsen(&g, &[1.0; 5], 30, 0);
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.coarsest().graph().node_count(), 5);
+    }
+}

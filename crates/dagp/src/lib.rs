@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! # dhp-dagp
+//!
+//! A from-scratch multilevel **acyclic** DAG partitioner, reproducing the
+//! role of `dagP` (Herrmann, Özkaya, Uçar, Kaya, Çatalyürek, *Multilevel
+//! Algorithms for Acyclic Partitioning of Directed Acyclic Graphs*, SISC
+//! 2019) inside the DagHetPart heuristic: given a workflow DAG and a part
+//! count `k`, produce a `k`-way partition whose quotient graph is acyclic,
+//! minimising the edge cut under a balance constraint.
+//!
+//! ## Pipeline
+//!
+//! 1. **Coarsening** ([`coarsen`]) — contract matching edges whose
+//!    contraction provably preserves acyclicity (single-parent /
+//!    single-child endpoints), preferring heavy edges, until the graph is
+//!    small.
+//! 2. **Initial partitioning** ([`initial`]) — split a topological order
+//!    into `k` weight-balanced contiguous chunks; contiguous chunks of a
+//!    topological order always induce an acyclic quotient.
+//! 3. **Uncoarsening + refinement** ([`refine`]) — project the partition
+//!    down level by level and greedily move boundary vertices between
+//!    parts to reduce the cut, keeping the part order topological (moves
+//!    are only allowed into the interval bounded by the parts of the
+//!    vertex's parents and children), which maintains acyclicity by
+//!    construction.
+//!
+//! The partitioner is deterministic given [`PartitionConfig::seed`].
+//!
+//! ```
+//! use dhp_dagp::{partition, PartitionConfig};
+//! use dhp_dag::quotient::is_acyclic_partition;
+//!
+//! let g = dhp_dag::builder::gnp_dag_weighted(60, 0.1, 7);
+//! let part = partition(&g, 4, &PartitionConfig::default());
+//! assert_eq!(part.num_blocks(), 4);
+//! assert!(is_acyclic_partition(&g, &part)); // quotient stays a DAG
+//! ```
+
+pub mod coarsen;
+pub mod initial;
+pub mod refine;
+pub mod undirected;
+
+use dhp_dag::{Dag, NodeId, Partition};
+
+/// Which per-task weight the balance constraint is computed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceWeight {
+    /// Task work `w_u` — used when partitioning for makespan (Step 1).
+    Work,
+    /// Task memory `m_u`.
+    Memory,
+    /// The full task requirement `r_u = inputs + outputs + m_u` — used
+    /// when splitting blocks to fit processor memories (`FitBlock`).
+    TaskRequirement,
+}
+
+/// Partitioner configuration.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Allowed imbalance: every part's weight must stay below
+    /// `(1 + epsilon) * total / k` (best effort — a single heavy task can
+    /// force a violation, as in any balanced-partitioning tool).
+    pub epsilon: f64,
+    /// Balance criterion.
+    pub balance: BalanceWeight,
+    /// Coarsening stops once the graph has at most `coarsen_target * k`
+    /// nodes.
+    pub coarsen_target: usize,
+    /// Maximum refinement passes per level.
+    pub refine_passes: usize,
+    /// RNG seed (tie-breaking in coarsening).
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.10,
+            balance: BalanceWeight::Work,
+            coarsen_target: 30,
+            refine_passes: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Partitions `g` into (at most) `k` non-empty blocks with an acyclic
+/// quotient graph, minimising edge cut under the balance constraint.
+///
+/// Fewer than `k` blocks are returned only when `g` has fewer than `k`
+/// nodes. Returns the single-block partition for `k <= 1`.
+///
+/// # Panics
+/// Panics if `g` is cyclic or empty.
+pub fn partition(g: &Dag, k: usize, cfg: &PartitionConfig) -> Partition {
+    assert!(!g.is_empty(), "cannot partition an empty graph");
+    let n = g.node_count();
+    let k = k.min(n);
+    if k <= 1 {
+        return Partition::single_block(n);
+    }
+
+    // Balance weights on the finest level.
+    let weights: Vec<f64> = match cfg.balance {
+        BalanceWeight::Work => g.node_ids().map(|u| g.node(u).work).collect(),
+        BalanceWeight::Memory => g.node_ids().map(|u| g.node(u).memory).collect(),
+        BalanceWeight::TaskRequirement => {
+            g.node_ids().map(|u| g.task_requirement(u)).collect()
+        }
+    };
+
+    // 1. Coarsen.
+    let hierarchy = coarsen::coarsen(g, &weights, k * cfg.coarsen_target.max(2), cfg.seed);
+
+    // 2. Initial partition on the coarsest graph.
+    let coarsest = hierarchy.coarsest();
+    let mut assignment = initial::topo_chunks(coarsest.graph(), coarsest.weights(), k);
+
+    // 3. Refine on the coarsest level, then project and refine down.
+    refine::refine(
+        coarsest.graph(),
+        coarsest.weights(),
+        &mut assignment,
+        k,
+        cfg,
+    );
+    let mut level_assignment = assignment;
+    for level in hierarchy.finer_levels() {
+        // Project: each fine node inherits its coarse representative's part.
+        let mut fine = vec![0u32; level.graph().node_count()];
+        for (i, part) in fine.iter_mut().enumerate() {
+            *part = level_assignment[level.coarse_of(NodeId(i as u32)).idx()];
+        }
+        refine::refine(level.graph(), level.weights(), &mut fine, k, cfg);
+        level_assignment = fine;
+    }
+
+    Partition::from_raw(&level_assignment)
+}
+
+/// Bisects `g` into two blocks (`FitBlock`'s `Partition(V, 2)`), balanced
+/// on the task memory requirement.
+pub fn bisect(g: &Dag, cfg: &PartitionConfig) -> Partition {
+    let mut c = cfg.clone();
+    c.balance = BalanceWeight::TaskRequirement;
+    partition(g, 2, &c)
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+    use dhp_dag::quotient::is_acyclic_partition;
+
+    #[test]
+    fn partitions_are_acyclic_and_cover() {
+        for seed in 0..5 {
+            let g = builder::gnp_dag_weighted(120, 0.05, seed);
+            for k in [2usize, 4, 8] {
+                let p = partition(&g, k, &PartitionConfig::default());
+                assert!(p.validate(&g));
+                assert_eq!(p.num_blocks(), k);
+                assert!(is_acyclic_partition(&g, &p), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = builder::chain(10, 1.0, 1.0, 1.0);
+        let p = partition(&g, 1, &PartitionConfig::default());
+        assert_eq!(p.num_blocks(), 1);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let g = builder::chain(3, 1.0, 1.0, 1.0);
+        let p = partition(&g, 10, &PartitionConfig::default());
+        assert_eq!(p.num_blocks(), 3);
+    }
+
+    #[test]
+    fn bisect_returns_two_parts() {
+        let g = builder::gnp_dag_weighted(60, 0.1, 3);
+        let p = bisect(&g, &PartitionConfig::default());
+        assert_eq!(p.num_blocks(), 2);
+        assert!(is_acyclic_partition(&g, &p));
+    }
+
+    #[test]
+    fn balance_is_respected_on_uniform_graphs() {
+        let g = builder::layered_random(10, 10, 0.2, (1.0, 1.0), (1.0, 1.0), (1.0, 1.0), 5);
+        let k = 4;
+        let p = partition(&g, k, &PartitionConfig::default());
+        let total = g.total_work();
+        let cap = (1.0 + 0.10) * total / k as f64 + 1.0; // +1 task granularity
+        for members in p.members() {
+            let w: f64 = members.iter().map(|&u| g.node(u).work).sum();
+            assert!(w <= cap, "part weight {w} exceeds {cap}");
+        }
+    }
+
+    #[test]
+    fn refinement_improves_or_keeps_cut() {
+        use dhp_dag::quotient::{Partition as P, QuotientGraph};
+        for seed in 0..5 {
+            let g = builder::gnp_dag_weighted(100, 0.08, seed);
+            let weights: Vec<f64> = g.node_ids().map(|u| g.node(u).work).collect();
+            let initial = initial::topo_chunks(&g, &weights, 4);
+            let init_cut =
+                QuotientGraph::build(&g, &P::from_raw(&initial)).edge_cut();
+            let refined = partition(&g, 4, &PartitionConfig::default());
+            let ref_cut = QuotientGraph::build(&g, &refined).edge_cut();
+            assert!(
+                ref_cut <= init_cut + 1e-9,
+                "refined cut {ref_cut} worse than initial {init_cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = builder::gnp_dag_weighted(80, 0.08, 9);
+        let a = partition(&g, 5, &PartitionConfig::default());
+        let b = partition(&g, 5, &PartitionConfig::default());
+        assert_eq!(a, b);
+    }
+}

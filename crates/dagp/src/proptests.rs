@@ -1,0 +1,79 @@
+//! Property-based validation of the partitioner.
+
+use crate::{bisect, partition, BalanceWeight, PartitionConfig};
+use dhp_dag::builder;
+use dhp_dag::quotient::{is_acyclic_partition, QuotientGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_always_valid(
+        n in 5usize..120,
+        p in 0.02f64..0.3,
+        k in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let cfg = PartitionConfig { seed, ..Default::default() };
+        let part = partition(&g, k, &cfg);
+        prop_assert!(part.validate(&g));
+        prop_assert_eq!(part.num_blocks(), k.min(n));
+        prop_assert!(is_acyclic_partition(&g, &part));
+    }
+
+    #[test]
+    fn bisection_valid_on_structured_graphs(width in 2usize..30, seed in any::<u64>()) {
+        let g = builder::fork_join(width, 2.0, 3.0, 4.0);
+        let cfg = PartitionConfig { seed, ..Default::default() };
+        let part = bisect(&g, &cfg);
+        prop_assert_eq!(part.num_blocks(), 2);
+        prop_assert!(is_acyclic_partition(&g, &part));
+    }
+
+    #[test]
+    fn cut_never_exceeds_total_volume(
+        n in 10usize..80,
+        p in 0.05f64..0.3,
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let part = partition(&g, k, &PartitionConfig::default());
+        let cut = QuotientGraph::build(&g, &part).edge_cut();
+        prop_assert!(cut <= g.total_volume() + 1e-9);
+    }
+
+    #[test]
+    fn all_balance_criteria_work(
+        n in 10usize..60,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, 0.15, seed);
+        for balance in [BalanceWeight::Work, BalanceWeight::Memory, BalanceWeight::TaskRequirement] {
+            let cfg = PartitionConfig { balance, ..Default::default() };
+            let part = partition(&g, 3, &cfg);
+            prop_assert!(is_acyclic_partition(&g, &part));
+        }
+    }
+
+    #[test]
+    fn chains_partition_into_intervals(len in 6usize..60, k in 2usize..6, seed in any::<u64>()) {
+        // On a chain, any acyclic partition into contiguous quotient must
+        // keep parts as intervals; verify the partitioner's parts are
+        // contiguous runs.
+        let g = builder::chain(len, 1.0, 1.0, 1.0);
+        let cfg = PartitionConfig { seed, ..Default::default() };
+        let part = partition(&g, k, &cfg);
+        prop_assert!(is_acyclic_partition(&g, &part));
+        // contiguous: along the chain, the block id changes exactly k-1 times
+        let mut changes = 0;
+        for w in g.node_ids().collect::<Vec<_>>().windows(2) {
+            if part.block_of(w[0]) != part.block_of(w[1]) {
+                changes += 1;
+            }
+        }
+        prop_assert_eq!(changes, k.min(len) - 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Makespan lower bounds for DAGP-PM instances.
+//!
+//! Both bounds are valid for *every* feasible mapping, so they can prune
+//! the branch-and-bound search and certify the quality of heuristic
+//! solutions even on instances too large to solve exactly.
+
+use dhp_dag::critical::bottom_weights;
+use dhp_dag::{Dag, NodeId};
+use dhp_platform::Cluster;
+
+/// Critical-path bound: every task runs at the fastest speed in the
+/// cluster and all communication is free. Any real mapping executes every
+/// path of `G` no faster, because a path through blocks
+/// `V_1, …, V_m` costs at least `Σ_i w_{V_i}/s_{V_i} ≥ Σ_u w_u / s_max`
+/// over the path's tasks.
+pub fn critical_path_bound(g: &Dag, cluster: &Cluster) -> f64 {
+    let s_max = cluster
+        .iter()
+        .map(|(_, p)| p.speed)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    match bottom_weights(g, |u: NodeId| g.node(u).work / s_max, |_| 0.0) {
+        Some(b) => b.into_iter().fold(0.0, f64::max),
+        None => f64::INFINITY, // cyclic input: nothing is feasible
+    }
+}
+
+/// Aggregate-work bound: the block with the largest `w_{V_i}/s_i`
+/// dominates the mediant `Σ w_{V_i} / Σ s_i = W / Σ s_i`, and the
+/// denominator is at most the sum of the `min(k', k)` fastest speeds.
+/// Hence `μ ≥ W / (sum of all speeds)` for every mapping.
+pub fn total_work_bound(g: &Dag, cluster: &Cluster) -> f64 {
+    let total_speed: f64 = cluster.iter().map(|(_, p)| p.speed).sum();
+    if total_speed <= 0.0 {
+        return f64::INFINITY;
+    }
+    g.total_work() / total_speed
+}
+
+/// The tighter of the two bounds.
+pub fn makespan_lower_bound(g: &Dag, cluster: &Cluster) -> f64 {
+    critical_path_bound(g, cluster).max(total_work_bound(g, cluster))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+    use dhp_platform::Processor;
+
+    fn cluster(speeds: &[f64]) -> Cluster {
+        Cluster::new(
+            speeds
+                .iter()
+                .map(|&s| Processor::new("p", s, 1000.0))
+                .collect(),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn chain_bound_is_whole_chain_at_top_speed() {
+        let g = builder::chain(10, 3.0, 1.0, 1.0);
+        let c = cluster(&[2.0, 6.0]);
+        // A chain admits no parallelism: CP bound = 10*3/6 = 5.
+        assert_eq!(critical_path_bound(&g, &c), 5.0);
+        // Work bound: 30 / 8 = 3.75 — CP bound dominates.
+        assert_eq!(total_work_bound(&g, &c), 3.75);
+        assert_eq!(makespan_lower_bound(&g, &c), 5.0);
+    }
+
+    #[test]
+    fn wide_graph_work_bound_dominates() {
+        let g = builder::fork_join(64, 5.0, 1.0, 0.0);
+        let c = cluster(&[1.0, 1.0]);
+        // CP bound: 3 tasks deep * 5 = 15 ; work bound: 330/2 = 165.
+        assert!(total_work_bound(&g, &c) > critical_path_bound(&g, &c));
+        assert_eq!(makespan_lower_bound(&g, &c), 330.0 / 2.0);
+    }
+
+    #[test]
+    fn single_processor_bound_is_serial_time() {
+        let g = builder::fork_join(4, 2.0, 1.0, 1.0);
+        let c = cluster(&[4.0]);
+        // One processor: the mapping must serialise everything;
+        // work bound gives exactly Σw/s.
+        assert_eq!(total_work_bound(&g, &c), g.total_work() / 4.0);
+    }
+
+    #[test]
+    fn empty_graph_bounds_are_zero() {
+        let g = Dag::new();
+        let c = cluster(&[1.0]);
+        assert_eq!(makespan_lower_bound(&g, &c), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based validation of the exact solver.
+//!
+//! The central property: on every small instance where a heuristic from
+//! `dhp-core` returns a mapping, the exact solver (i) also finds one
+//! (completeness) and (ii) never reports a worse makespan (optimality).
+
+use crate::bounds::makespan_lower_bound;
+use crate::solver::{solve, ExactConfig};
+use dhp_core::makespan::makespan_of_mapping;
+use dhp_core::mapping::validate;
+use dhp_core::prelude::*;
+use dhp_dag::builder;
+use dhp_platform::{Cluster, Processor};
+use proptest::prelude::*;
+
+/// Strategy: a small random weighted DAG (6–8 nodes keeps `B(n)` tame).
+fn small_dag() -> impl Strategy<Value = dhp_dag::Dag> {
+    (5usize..=8, 0.15f64..0.45, any::<u64>())
+        .prop_map(|(n, p, seed)| builder::gnp_dag_weighted(n, p, seed))
+}
+
+/// Strategy: a 2–4 processor heterogeneous cluster generous enough that
+/// most instances are feasible, tight enough that memory matters.
+fn small_cluster() -> impl Strategy<Value = Cluster> {
+    (
+        proptest::collection::vec((1.0f64..8.0, 20.0f64..200.0), 2..=4),
+        0.5f64..4.0,
+    )
+        .prop_map(|(procs, beta)| {
+            Cluster::new(
+                procs
+                    .into_iter()
+                    .map(|(s, m)| Processor::new("p", s, m))
+                    .collect(),
+                beta,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_solution_is_valid_and_respects_lower_bounds(
+        g in small_dag(),
+        cluster in small_cluster(),
+    ) {
+        if let Some(sol) = solve(&g, &cluster, &ExactConfig::default()).unwrap() {
+            prop_assert!(validate(&g, &cluster, &sol.mapping).is_ok());
+            // Reported makespan is the mapping's true makespan.
+            let recomputed = makespan_of_mapping(&g, &cluster, &sol.mapping);
+            prop_assert!((sol.makespan - recomputed).abs() <= 1e-9 * recomputed.max(1.0));
+            // Never below the instance lower bound.
+            let lb = makespan_lower_bound(&g, &cluster);
+            prop_assert!(sol.makespan >= lb - 1e-9 * lb.max(1.0),
+                "optimum {} below lower bound {lb}", sol.makespan);
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_exact_optimum(
+        g in small_dag(),
+        cluster in small_cluster(),
+    ) {
+        let exact = solve(&g, &cluster, &ExactConfig::default()).unwrap();
+        if let Ok(r) = dag_het_part(&g, &cluster, &DagHetPartConfig::default()) {
+            let sol = exact.as_ref();
+            // Completeness: heuristic feasible => exact feasible.
+            prop_assert!(sol.is_some(),
+                "DagHetPart found a mapping but the exact solver found none");
+            let sol = sol.unwrap();
+            prop_assert!(sol.makespan <= r.makespan * (1.0 + 1e-9),
+                "exact {} worse than DagHetPart {}", sol.makespan, r.makespan);
+        }
+        if let Ok(m) = dag_het_mem(&g, &cluster) {
+            let mk = makespan_of_mapping(&g, &cluster, &m);
+            if let Some(sol) = exact {
+                prop_assert!(sol.makespan <= mk * (1.0 + 1e-9),
+                    "exact {} worse than DagHetMem {mk}", sol.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_optimum_is_serial_execution(
+        n in 2usize..=8,
+        p in 0.1f64..0.4,
+        seed in any::<u64>(),
+        speed in 0.5f64..8.0,
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        // Plenty of memory: the only mapping shape is "one block".
+        let cluster = Cluster::new(vec![Processor::new("solo", speed, 1e9)], 1.0);
+        let sol = solve(&g, &cluster, &ExactConfig::default()).unwrap().unwrap();
+        let serial = g.total_work() / speed;
+        prop_assert!((sol.makespan - serial).abs() <= 1e-9 * serial.max(1.0));
+        prop_assert_eq!(sol.mapping.num_blocks(), 1);
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts_the_optimum(
+        g in small_dag(),
+    ) {
+        let procs = vec![
+            Processor::new("a", 2.0, 500.0),
+            Processor::new("b", 1.0, 500.0),
+            Processor::new("c", 4.0, 500.0),
+        ];
+        let slow = Cluster::new(procs.clone(), 0.5);
+        let fast = Cluster::new(procs, 5.0);
+        let cfg = ExactConfig::default();
+        if let (Some(s), Some(f)) = (
+            solve(&g, &slow, &cfg).unwrap(),
+            solve(&g, &fast, &cfg).unwrap(),
+        ) {
+            // The slow-β optimum mapping is also available at fast β with
+            // a no-larger makespan, so opt(fast) ≤ opt(slow).
+            prop_assert!(f.makespan <= s.makespan * (1.0 + 1e-9),
+                "β=5 optimum {} worse than β=0.5 optimum {}", f.makespan, s.makespan);
+        }
+    }
+
+    #[test]
+    fn adding_a_processor_never_hurts_the_optimum(
+        g in small_dag(),
+        s_new in 0.5f64..8.0,
+    ) {
+        let base = vec![
+            Processor::new("a", 2.0, 300.0),
+            Processor::new("b", 1.0, 300.0),
+        ];
+        let mut extended = base.clone();
+        extended.push(Processor::new("extra", s_new, 300.0));
+        let cfg = ExactConfig::default();
+        let small = solve(&g, &Cluster::new(base, 1.0), &cfg).unwrap();
+        let big = solve(&g, &Cluster::new(extended, 1.0), &cfg).unwrap();
+        if let Some(s) = small {
+            let b = big.expect("superset cluster must stay feasible");
+            prop_assert!(b.makespan <= s.makespan * (1.0 + 1e-9));
+        }
+    }
+}

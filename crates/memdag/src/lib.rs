@@ -1,0 +1,180 @@
+#![warn(missing_docs)]
+
+//! # dhp-memdag
+//!
+//! Peak-memory-minimising sequential traversals of workflow DAGs — the
+//! `memDag` substrate of the paper (Kayaaslan, Lambert, Marchal, Uçar,
+//! *Scheduling series-parallel task graphs to minimize peak memory*,
+//! TCS 2018). The scheduler uses it to compute the memory requirement
+//! `r_{V_i}` of a block: the peak memory of the best sequential execution
+//! order of the block's tasks.
+//!
+//! ## Memory model
+//!
+//! Executing a block's tasks in a sequential order `σ`, the memory in use
+//! while executing task `u` is
+//!
+//! * the task's own working memory `m_u`,
+//! * all its input and output files (edges incident to `u`), and
+//! * every *internal* file `(v, w)` produced earlier (`v` before `u`) and
+//!   not yet consumed (`w` after `u`): these stay resident between the
+//!   producer's and consumer's steps.
+//!
+//! Files crossing the block boundary (modelled by the per-task *external
+//! load*) are charged while the incident task executes, so a singleton
+//! block reproduces the paper's `r_u = Σ c_in + Σ c_out + m_u`.
+//!
+//! ## Algorithms
+//!
+//! * [`liveness::traversal_peak`] — exact O(V+E) evaluation of any order.
+//! * [`spdecomp`] — recursive series/parallel/complex decomposition of an
+//!   arbitrary DAG (exact series-parallel tree when the graph is
+//!   two-terminal node-series-parallel).
+//! * [`sptraversal`] — Liu-style hill–valley profile merging over the
+//!   decomposition, optimal in the classical tree/SP cases.
+//! * [`greedy`] — memory-greedy list traversal used both inside `Complex`
+//!   cores and as an independent strategy.
+//! * [`best_traversal`] — runs all strategies and returns the best order
+//!   found together with its exactly evaluated peak.
+//! * [`dpopt::dp_min_peak`] — exact optimum by subset DP (≤ 20 nodes),
+//!   the referee used by the property tests.
+//!
+//! ```
+//! // A fork where one branch produces a big intermediate file: the
+//! // traversal engine finds an order whose peak matches the exact DP
+//! // optimum.
+//! let mut g = dhp_dag::Dag::new();
+//! let s = g.add_node(0.0, 1.0);
+//! let a = g.add_node(0.0, 1.0);
+//! let b = g.add_node(0.0, 1.0);
+//! let t = g.add_node(0.0, 1.0);
+//! g.add_edge(s, a, 1.0);
+//! g.add_edge(s, b, 1.0);
+//! g.add_edge(a, t, 8.0); // heavy intermediate
+//! g.add_edge(b, t, 1.0);
+//!
+//! let ext = vec![0.0; 4];
+//! let found = dhp_memdag::best_traversal(&g, &ext);
+//! let optimum = dhp_memdag::dp_min_peak(&g, &ext);
+//! assert!(found.peak >= optimum);
+//! assert_eq!(found.order.len(), 4);
+//! ```
+
+pub mod dpopt;
+pub mod greedy;
+pub mod liveness;
+pub mod spdecomp;
+pub mod sptraversal;
+
+pub use dpopt::{dp_min_peak, dp_min_peak_plain};
+
+use dhp_dag::{Dag, NodeId};
+
+#[cfg(test)]
+mod proptests;
+
+/// A traversal and its exactly evaluated peak memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traversal {
+    /// Topological order of all tasks.
+    pub order: Vec<NodeId>,
+    /// Peak memory of `order` under the block memory model.
+    pub peak: f64,
+}
+
+/// Computes the best traversal found over all implemented strategies
+/// (series-parallel merge, memory-greedy, plain topological), evaluating
+/// each exactly and keeping the minimum.
+///
+/// `ext[u]` is the external (boundary) load of task `u`: the total volume
+/// of files exchanged with tasks outside this DAG, charged while `u`
+/// executes. Pass zeroes for a standalone workflow.
+///
+/// # Panics
+/// Panics if `g` is cyclic or `ext.len() != g.node_count()`.
+pub fn best_traversal(g: &Dag, ext: &[f64]) -> Traversal {
+    assert_eq!(ext.len(), g.node_count(), "ext length mismatch");
+    if g.is_empty() {
+        return Traversal {
+            order: Vec::new(),
+            peak: 0.0,
+        };
+    }
+    let topo = dhp_dag::topo::topo_sort(g).expect("best_traversal requires a DAG");
+
+    let mut best = Traversal {
+        peak: liveness::traversal_peak(g, ext, &topo),
+        order: topo,
+    };
+
+    let greedy = greedy::greedy_order(g, ext);
+    let gp = liveness::traversal_peak(g, ext, &greedy);
+    if gp < best.peak {
+        best = Traversal {
+            order: greedy,
+            peak: gp,
+        };
+    }
+
+    let sp = sptraversal::sp_order(g, ext);
+    let sp_peak = liveness::traversal_peak(g, ext, &sp);
+    if sp_peak < best.peak {
+        best = Traversal {
+            order: sp,
+            peak: sp_peak,
+        };
+    }
+
+    best
+}
+
+/// Convenience wrapper: the minimum peak memory found for `g` with no
+/// external load (`r` of the whole workflow on one processor).
+pub fn min_peak(g: &Dag) -> f64 {
+    best_traversal(g, &vec![0.0; g.node_count()]).peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::new();
+        let t = best_traversal(&g, &[]);
+        assert_eq!(t.peak, 0.0);
+        assert!(t.order.is_empty());
+    }
+
+    #[test]
+    fn single_node_peak_is_requirement() {
+        let mut g = Dag::new();
+        g.add_node(1.0, 42.0);
+        let t = best_traversal(&g, &[7.0]);
+        assert_eq!(t.peak, 49.0);
+    }
+
+    #[test]
+    fn chain_peak_is_max_task_requirement() {
+        // In a chain, memory never accumulates beyond one task's
+        // requirement: r_u = in + out + m.
+        let g = builder::chain(6, 1.0, 10.0, 3.0);
+        let t = best_traversal(&g, &[0.0; 6]);
+        // middle tasks: 3 (in) + 3 (out) + 10 = 16
+        assert_eq!(t.peak, 16.0);
+    }
+
+    #[test]
+    fn best_is_never_worse_than_topo() {
+        for seed in 0..10 {
+            let g = builder::gnp_dag_weighted(24, 0.2, seed);
+            let ext = vec![0.0; 24];
+            let topo = dhp_dag::topo::topo_sort(&g).unwrap();
+            let tp = liveness::traversal_peak(&g, &ext, &topo);
+            let best = best_traversal(&g, &ext);
+            assert!(best.peak <= tp + 1e-9);
+            assert!(dhp_dag::topo::is_topological_order(&g, &best.order));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based validation of the traversal engine.
+
+use crate::dpopt::dp_min_peak;
+use crate::liveness::{brute_force_min, traversal_peak};
+use crate::{best_traversal, spdecomp};
+use dhp_dag::builder;
+use dhp_dag::topo::is_topological_order;
+use dhp_dag::Dag;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random out-tree on n nodes with random weights: node i>0 gets a parent
+/// uniformly among 0..i.
+fn random_out_tree(n: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::new();
+    let ids: Vec<_> = (0..n)
+        .map(|_| {
+            g.add_node(
+                rng.random_range(1.0..10.0),
+                rng.random_range(1.0..20.0),
+            )
+        })
+        .collect();
+    for i in 1..n {
+        let p = rng.random_range(0..i);
+        g.add_edge(ids[p], ids[i], rng.random_range(1.0..15.0));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn best_traversal_is_valid_and_bounded(n in 3usize..9, p in 0.1f64..0.5, seed in any::<u64>()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext: Vec<f64> = vec![0.0; n];
+        let t = best_traversal(&g, &ext);
+        prop_assert!(is_topological_order(&g, &t.order));
+        let opt = brute_force_min(&g, &ext);
+        prop_assert!(t.peak + 1e-9 >= opt, "found below optimum?!");
+        // The heuristics should stay close to optimal on tiny graphs.
+        prop_assert!(
+            t.peak <= opt * 1.5 + 1e-9,
+            "peak {} far from optimum {}", t.peak, opt
+        );
+    }
+
+    #[test]
+    fn dp_referee_on_midsize_graphs(n in 9usize..14, p in 0.1f64..0.4, seed in any::<u64>()) {
+        // Beyond brute force's reach: the subset DP referees the
+        // traversal engine up to 14 nodes.
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext = vec![0.0; n];
+        let t = best_traversal(&g, &ext);
+        let opt = dp_min_peak(&g, &ext);
+        prop_assert!(t.peak + 1e-9 * opt.max(1.0) >= opt,
+            "heuristic {} below DP optimum {}", t.peak, opt);
+        prop_assert!(t.peak <= opt * 1.6 + 1e-9,
+            "peak {} too far from optimum {}", t.peak, opt);
+    }
+
+    #[test]
+    fn dp_agrees_with_brute_force(n in 3usize..9, p in 0.1f64..0.5, seed in any::<u64>()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext: Vec<f64> = (0..n).map(|i| (i % 4) as f64).collect();
+        let dp = dp_min_peak(&g, &ext);
+        let bf = brute_force_min(&g, &ext);
+        prop_assert!((dp - bf).abs() < 1e-9 * bf.max(1.0), "dp {dp} vs bf {bf}");
+    }
+
+    #[test]
+    fn optimal_on_random_out_trees(n in 3usize..9, seed in any::<u64>()) {
+        let g = random_out_tree(n, seed);
+        let ext = vec![0.0; n];
+        let t = best_traversal(&g, &ext);
+        let opt = brute_force_min(&g, &ext);
+        prop_assert!(
+            (t.peak - opt).abs() < 1e-9,
+            "tree traversal {} vs optimum {}", t.peak, opt
+        );
+    }
+
+    #[test]
+    fn peak_at_least_max_task_requirement(n in 2usize..20, p in 0.1f64..0.4, seed in any::<u64>()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext = vec![0.0; n];
+        let t = best_traversal(&g, &ext);
+        let max_req = g
+            .node_ids()
+            .map(|u| g.task_requirement(u))
+            .fold(0.0f64, f64::max);
+        prop_assert!(t.peak + 1e-9 >= max_req);
+    }
+
+    #[test]
+    fn ext_monotone(n in 2usize..12, p in 0.1f64..0.4, seed in any::<u64>(), bump in 1.0f64..50.0) {
+        // Increasing one task's external load cannot decrease the best peak.
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext0 = vec![0.0; n];
+        let mut ext1 = ext0.clone();
+        ext1[0] = bump;
+        let t0 = best_traversal(&g, &ext0);
+        let t1 = best_traversal(&g, &ext1);
+        prop_assert!(t1.peak + 1e-9 >= t0.peak);
+    }
+
+    #[test]
+    fn decomposition_is_exhaustive_partition(n in 2usize..25, p in 0.05f64..0.4, seed in any::<u64>()) {
+        let g = builder::gnp_dag(n, p, seed);
+        let tree = spdecomp::decompose(&g);
+        let mut tasks = tree.tasks();
+        prop_assert_eq!(tasks.len(), n);
+        tasks.sort();
+        tasks.dedup();
+        prop_assert_eq!(tasks.len(), n);
+    }
+
+    #[test]
+    fn evaluation_deterministic(n in 2usize..15, p in 0.1f64..0.4, seed in any::<u64>()) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext = vec![0.0; n];
+        let a = best_traversal(&g, &ext);
+        let b = best_traversal(&g, &ext);
+        prop_assert_eq!(a.order, b.order);
+        prop_assert_eq!(a.peak, b.peak);
+    }
+
+    #[test]
+    fn traversal_peak_matches_stepwise_recompute(n in 2usize..12, p in 0.1f64..0.5, seed in any::<u64>()) {
+        // Cross-check the O(V+E) evaluation against a naive O(V*E) one.
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let ext = vec![0.0; n];
+        let order = dhp_dag::topo::topo_sort(&g).unwrap();
+        let fast = traversal_peak(&g, &ext, &order);
+        // naive: for each step, recompute live set from scratch
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let mut naive: f64 = 0.0;
+        for (i, &u) in order.iter().enumerate() {
+            let mut m = g.node(u).memory + ext[u.idx()];
+            for e in g.edge_ids() {
+                let ed = g.edge(e);
+                let (ps, pd) = (pos[&ed.src], pos[&ed.dst]);
+                // live during step i: produced before i, consumed at or after i
+                // outputs of u itself also occupy memory
+                if (ps < i && pd >= i) || ps == i {
+                    m += ed.volume;
+                }
+            }
+            naive = naive.max(m);
+        }
+        prop_assert!((fast - naive).abs() < 1e-6, "fast {fast} naive {naive}");
+    }
+}

@@ -1,0 +1,419 @@
+//! Recursive series/parallel/complex decomposition of a DAG.
+//!
+//! The decomposition generalises two-terminal series-parallel (SP)
+//! recognition to arbitrary DAGs:
+//!
+//! * **Series split** — fix a topological order of the node set and add a
+//!   virtual source/sink. A node is a *separator* iff no edge (including
+//!   the virtual ones) spans its position; every source-to-sink execution
+//!   must pass through each separator, and no edge jumps across one, so
+//!   the set decomposes into the sequence of separators and the intervals
+//!   between them.
+//! * **Parallel split** — the nodes of an interval between two separators
+//!   fall apart into weakly connected components with no edges between
+//!   them: they can be interleaved arbitrarily.
+//! * **Complex core** — a set with no separators and a single connected
+//!   component is not (node-)series-parallel; it is kept as an opaque
+//!   core and ordered heuristically by the caller.
+//!
+//! On a two-terminal node-SP graph the result contains no `Complex`
+//! nodes, which is what makes the Liu-style merge in
+//! [`crate::sptraversal`] exact there.
+
+use dhp_dag::{Dag, NodeId};
+
+/// The decomposition tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpTree {
+    /// A single task.
+    Leaf(NodeId),
+    /// Stages executed strictly one after another.
+    Series(Vec<SpTree>),
+    /// Independent components with no edges between them.
+    Parallel(Vec<SpTree>),
+    /// A non-series-parallel core (nodes in topological order).
+    Complex(Vec<NodeId>),
+}
+
+impl SpTree {
+    /// Number of tasks covered by this subtree.
+    pub fn len(&self) -> usize {
+        match self {
+            SpTree::Leaf(_) => 1,
+            SpTree::Series(c) | SpTree::Parallel(c) => c.iter().map(SpTree::len).sum(),
+            SpTree::Complex(v) => v.len(),
+        }
+    }
+
+    /// True if the subtree covers no tasks (never produced by
+    /// [`decompose`]; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the decomposition contains no `Complex` core, i.e. the
+    /// graph is (two-terminal node-)series-parallel.
+    pub fn is_series_parallel(&self) -> bool {
+        match self {
+            SpTree::Leaf(_) => true,
+            SpTree::Series(c) | SpTree::Parallel(c) => {
+                c.iter().all(SpTree::is_series_parallel)
+            }
+            SpTree::Complex(_) => false,
+        }
+    }
+
+    /// All covered tasks, in tree order.
+    pub fn tasks(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<NodeId>) {
+        match self {
+            SpTree::Leaf(u) => out.push(*u),
+            SpTree::Series(c) | SpTree::Parallel(c) => {
+                for t in c {
+                    t.collect(out);
+                }
+            }
+            SpTree::Complex(v) => out.extend_from_slice(v),
+        }
+    }
+}
+
+/// Decomposes the whole graph.
+///
+/// # Panics
+/// Panics if `g` is cyclic.
+pub fn decompose(g: &Dag) -> SpTree {
+    let order = dhp_dag::topo::topo_sort(g).expect("decompose requires a DAG");
+    if order.is_empty() {
+        return SpTree::Series(Vec::new());
+    }
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (i, &u) in order.iter().enumerate() {
+        pos[u.idx()] = i;
+    }
+    decompose_set(g, &pos, order)
+}
+
+/// Decomposes a node subset given in ascending global topological
+/// position (`pos`).
+#[allow(clippy::only_used_in_recursion)]
+fn decompose_set(g: &Dag, pos: &[usize], nodes: Vec<NodeId>) -> SpTree {
+    let m = nodes.len();
+    if m == 1 {
+        return SpTree::Leaf(nodes[0]);
+    }
+    // Local index of each node (usize::MAX = not in set). A scratch map
+    // allocated per call; sets shrink geometrically so this stays cheap.
+    let mut local = vec![usize::MAX; g.node_count()];
+    for (i, &u) in nodes.iter().enumerate() {
+        local[u.idx()] = i;
+    }
+
+    // cover[i] = number of edges spanning position i (exclusive of
+    // endpoints), built with a difference array.
+    let mut diff = vec![0i64; m + 1];
+    let span = |lo: usize, hi: usize, diff: &mut Vec<i64>| {
+        // covers positions lo..=hi
+        if lo <= hi {
+            diff[lo] += 1;
+            diff[hi + 1] -= 1;
+        }
+    };
+    let mut internal_in = vec![0usize; m];
+    let mut internal_out = vec![0usize; m];
+    for (i, &u) in nodes.iter().enumerate() {
+        for &e in g.out_edges(u) {
+            let v = g.edge(e).dst;
+            let j = local[v.idx()];
+            if j != usize::MAX {
+                internal_out[i] += 1;
+                internal_in[j] += 1;
+                if j > i + 1 {
+                    span(i + 1, j - 1, &mut diff);
+                }
+            }
+        }
+    }
+    // Virtual source edges to every internal source v: cover 0..iv-1.
+    // Virtual sink edges from every internal sink v: cover iv+1..m-1.
+    for i in 0..m {
+        if internal_in[i] == 0 && i >= 1 {
+            span(0, i - 1, &mut diff);
+        }
+        if internal_out[i] == 0 && i + 1 < m {
+            span(i + 1, m - 1, &mut diff);
+        }
+    }
+    let mut cover = vec![0i64; m];
+    let mut acc = 0i64;
+    for i in 0..m {
+        acc += diff[i];
+        cover[i] = acc;
+    }
+
+    let separators: Vec<usize> = (0..m).filter(|&i| cover[i] == 0).collect();
+
+    if separators.is_empty() {
+        // No series structure: try parallel split.
+        let comps = weak_components(g, &local, &nodes);
+        if comps.len() == 1 {
+            return SpTree::Complex(nodes);
+        }
+        let children = comps
+            .into_iter()
+            .map(|c| decompose_set(g, pos, c))
+            .collect();
+        return flatten(SpTree::Parallel(children));
+    }
+
+    // Series structure: separators are singleton stages; maximal runs of
+    // non-separators between them are parallel-decomposed intervals.
+    let is_sep: Vec<bool> = {
+        let mut v = vec![false; m];
+        for &s in &separators {
+            v[s] = true;
+        }
+        v
+    };
+    let mut stages: Vec<SpTree> = Vec::new();
+    let mut i = 0usize;
+    while i < m {
+        if is_sep[i] {
+            stages.push(SpTree::Leaf(nodes[i]));
+            i += 1;
+        } else {
+            let start = i;
+            while i < m && !is_sep[i] {
+                i += 1;
+            }
+            let interval: Vec<NodeId> = nodes[start..i].to_vec();
+            let comps = weak_components(g, &local, &interval);
+            if comps.len() == 1 {
+                stages.push(decompose_set(g, pos, interval));
+            } else {
+                let children = comps
+                    .into_iter()
+                    .map(|c| decompose_set(g, pos, c))
+                    .collect();
+                stages.push(flatten(SpTree::Parallel(children)));
+            }
+        }
+    }
+    flatten(SpTree::Series(stages))
+}
+
+/// Weakly connected components of the induced subgraph on `subset`
+/// (edges with both endpoints inside). Components are returned with
+/// nodes in ascending topological position, components ordered by their
+/// first node.
+fn weak_components(g: &Dag, local: &[usize], subset: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut in_subset = vec![false; g.node_count()];
+    for &u in subset {
+        in_subset[u.idx()] = true;
+    }
+    let _ = local;
+    let mut comp = vec![usize::MAX; g.node_count()];
+    let mut next = 0usize;
+    for &root in subset {
+        if comp[root.idx()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![root];
+        comp[root.idx()] = next;
+        while let Some(u) = stack.pop() {
+            let neighbours = g
+                .children(u)
+                .chain(g.parents(u))
+                .collect::<Vec<_>>();
+            for v in neighbours {
+                if in_subset[v.idx()] && comp[v.idx()] == usize::MAX {
+                    comp[v.idx()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    let mut out = vec![Vec::new(); next];
+    for &u in subset {
+        out[comp[u.idx()]].push(u);
+    }
+    out
+}
+
+/// Collapses nested single-child / same-kind nodes for canonical trees.
+fn flatten(t: SpTree) -> SpTree {
+    match t {
+        SpTree::Series(c) => {
+            let mut out = Vec::with_capacity(c.len());
+            for ch in c {
+                match flatten(ch) {
+                    SpTree::Series(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                SpTree::Series(out)
+            }
+        }
+        SpTree::Parallel(c) => {
+            let mut out = Vec::with_capacity(c.len());
+            for ch in c {
+                match flatten(ch) {
+                    SpTree::Parallel(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().unwrap()
+            } else {
+                SpTree::Parallel(out)
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+
+    #[test]
+    fn chain_is_series_of_leaves() {
+        let g = builder::chain(4, 1.0, 1.0, 1.0);
+        let t = decompose(&g);
+        assert!(t.is_series_parallel());
+        match &t {
+            SpTree::Series(c) => {
+                assert_eq!(c.len(), 4);
+                assert!(c.iter().all(|x| matches!(x, SpTree::Leaf(_))));
+            }
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fork_join_is_series_with_parallel_middle() {
+        let g = builder::fork_join(3, 1.0, 1.0, 1.0);
+        let t = decompose(&g);
+        assert!(t.is_series_parallel());
+        match &t {
+            SpTree::Series(c) => {
+                assert_eq!(c.len(), 3);
+                assert!(matches!(c[0], SpTree::Leaf(_)));
+                match &c[1] {
+                    SpTree::Parallel(p) => assert_eq!(p.len(), 3),
+                    other => panic!("expected parallel middle, got {other:?}"),
+                }
+                assert!(matches!(c[2], SpTree::Leaf(_)));
+            }
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn n_graph_is_complex() {
+        // s1->t1, s1->t2, s2->t2: the classic non-SP "N".
+        let mut g = Dag::new();
+        let s1 = g.add_node(1.0, 1.0);
+        let s2 = g.add_node(1.0, 1.0);
+        let t1 = g.add_node(1.0, 1.0);
+        let t2 = g.add_node(1.0, 1.0);
+        g.add_edge(s1, t1, 1.0);
+        g.add_edge(s1, t2, 1.0);
+        g.add_edge(s2, t2, 1.0);
+        let t = decompose(&g);
+        assert!(!t.is_series_parallel());
+        assert!(matches!(t, SpTree::Complex(_)));
+    }
+
+    #[test]
+    fn disconnected_graphs_are_parallel() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        let c = g.add_node(1.0, 1.0);
+        let d = g.add_node(1.0, 1.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(c, d, 1.0);
+        let t = decompose(&g);
+        assert!(t.is_series_parallel());
+        assert!(matches!(t, SpTree::Parallel(_)));
+    }
+
+    #[test]
+    fn tasks_cover_everything_once() {
+        for seed in 0..10 {
+            let g = builder::gnp_dag(20, 0.2, seed);
+            let t = decompose(&g);
+            let mut tasks = t.tasks();
+            assert_eq!(tasks.len(), 20);
+            tasks.sort();
+            tasks.dedup();
+            assert_eq!(tasks.len(), 20);
+        }
+    }
+
+    #[test]
+    fn tree_order_is_topological() {
+        for seed in 0..10 {
+            let g = builder::gnp_dag(25, 0.15, seed);
+            let t = decompose(&g);
+            // series order + any parallel interleave must be topological;
+            // the canonical collect order is one such interleave.
+            assert!(dhp_dag::topo::is_topological_order(&g, &t.tasks()));
+        }
+    }
+
+    #[test]
+    fn diamond_with_shortcut_still_sp() {
+        // s->a->t, s->b->t, s->t
+        let mut g = Dag::new();
+        let s = g.add_node(1.0, 1.0);
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        let t = g.add_node(1.0, 1.0);
+        g.add_edge(s, a, 1.0);
+        g.add_edge(s, b, 1.0);
+        g.add_edge(a, t, 1.0);
+        g.add_edge(b, t, 1.0);
+        g.add_edge(s, t, 1.0);
+        let tree = decompose(&g);
+        assert!(tree.is_series_parallel());
+    }
+
+    #[test]
+    fn deep_nested_structure() {
+        // series of two fork-joins sharing a middle separator
+        let mut g = Dag::new();
+        let s = g.add_node(1.0, 1.0);
+        let a = g.add_node(1.0, 1.0);
+        let b = g.add_node(1.0, 1.0);
+        let mid = g.add_node(1.0, 1.0);
+        let c = g.add_node(1.0, 1.0);
+        let d = g.add_node(1.0, 1.0);
+        let t = g.add_node(1.0, 1.0);
+        for &x in &[a, b] {
+            g.add_edge(s, x, 1.0);
+            g.add_edge(x, mid, 1.0);
+        }
+        for &x in &[c, d] {
+            g.add_edge(mid, x, 1.0);
+            g.add_edge(x, t, 1.0);
+        }
+        let tree = decompose(&g);
+        assert!(tree.is_series_parallel());
+        match tree {
+            SpTree::Series(stages) => assert_eq!(stages.len(), 5),
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Liu-style traversal construction over the series/parallel/complex
+//! decomposition.
+//!
+//! Each decomposition subtree is ordered recursively; parallel components
+//! are interleaved by *hill–valley merging*: every component's memory
+//! profile is cut into atomic segments at its running minima, and segment
+//! queues are merged by the classical pairwise rule — run `x` before `y`
+//! iff `max(P_x, D_x + P_y) ≤ max(P_y, D_y + P_x)`, where `P` is the
+//! segment's peak over its start and `D` its net memory delta. This is
+//! Liu's optimal merging for tree-shaped profiles and a strong heuristic
+//! in general; the final order is always evaluated exactly by the caller.
+
+use crate::greedy;
+use crate::spdecomp::{decompose, SpTree};
+use dhp_dag::util::BitSet;
+use dhp_dag::{Dag, NodeId};
+
+/// An atomic run of tasks with its relative memory profile.
+#[derive(Clone, Debug)]
+struct Segment {
+    tasks: Vec<NodeId>,
+    /// Peak memory during the segment, relative to the segment start.
+    peak: f64,
+    /// Net memory delta across the segment.
+    delta: f64,
+}
+
+/// Computes a traversal order guided by the SP decomposition.
+pub fn sp_order(g: &Dag, ext: &[f64]) -> Vec<NodeId> {
+    let tree = decompose(g);
+    order_of(g, ext, &tree)
+}
+
+fn order_of(g: &Dag, ext: &[f64], tree: &SpTree) -> Vec<NodeId> {
+    match tree {
+        SpTree::Leaf(u) => vec![*u],
+        SpTree::Series(stages) => {
+            let mut out = Vec::with_capacity(tree.len());
+            for s in stages {
+                out.extend(order_of(g, ext, s));
+            }
+            out
+        }
+        SpTree::Parallel(children) => {
+            let queues: Vec<Vec<Segment>> = children
+                .iter()
+                .map(|c| {
+                    let order = order_of(g, ext, c);
+                    segment_profile(g, ext, &order)
+                })
+                .collect();
+            merge_segments(queues)
+        }
+        SpTree::Complex(nodes) => complex_order(g, ext, nodes),
+    }
+}
+
+/// Orders a non-SP core with the memory-greedy heuristic on its induced
+/// subgraph; boundary files are folded into the external load.
+fn complex_order(g: &Dag, ext: &[f64], nodes: &[NodeId]) -> Vec<NodeId> {
+    let (sub, back) = g.induced_subgraph(nodes);
+    let mut member = BitSet::new(g.node_count());
+    for &u in nodes {
+        member.set(u.idx());
+    }
+    // Local external load: the global one plus boundary edges.
+    let mut sub_ext = vec![0.0f64; sub.node_count()];
+    for (i, &orig) in back.iter().enumerate() {
+        let mut boundary = 0.0;
+        for &e in g.in_edges(orig) {
+            if !member.get(g.edge(e).src.idx()) {
+                boundary += g.edge(e).volume;
+            }
+        }
+        for &e in g.out_edges(orig) {
+            if !member.get(g.edge(e).dst.idx()) {
+                boundary += g.edge(e).volume;
+            }
+        }
+        sub_ext[i] = ext[orig.idx()] + boundary;
+    }
+    greedy::greedy_order(&sub, &sub_ext)
+        .into_iter()
+        .map(|u| back[u.idx()])
+        .collect()
+}
+
+/// Simulates `order` as one component and cuts it into atomic segments at
+/// the running minima of its relative memory curve.
+fn segment_profile(g: &Dag, ext: &[f64], order: &[NodeId]) -> Vec<Segment> {
+    let mut member = BitSet::new(g.node_count());
+    for &u in order {
+        member.set(u.idx());
+    }
+    // Relative curve: value after each task, and transient during it.
+    // Boundary inputs are live from the start: fold them into the start
+    // value so the relative curve begins at 0 and drops as they are
+    // consumed... Instead we track absolute values and subtract the
+    // running baseline at segment starts.
+    let mut live = 0.0f64;
+    for &u in order {
+        for &e in g.in_edges(u) {
+            if !member.get(g.edge(e).src.idx()) {
+                live += g.edge(e).volume;
+            }
+        }
+    }
+    let start0 = live;
+    let mut segments = Vec::new();
+    let mut seg_tasks: Vec<NodeId> = Vec::new();
+    let mut seg_start = start0;
+    let mut seg_peak = start0;
+    let mut running_min = start0;
+    for (i, &u) in order.iter().enumerate() {
+        let node = g.node(u);
+        let outputs: f64 = g.out_edges(u).iter().map(|&e| g.edge(e).volume).sum();
+        let inputs: f64 = g.in_edges(u).iter().map(|&e| g.edge(e).volume).sum();
+        let current = live + node.memory + outputs + ext[u.idx()];
+        seg_peak = seg_peak.max(current);
+        live += outputs - inputs;
+        seg_tasks.push(u);
+        let last = i + 1 == order.len();
+        if live < running_min - 1e-12 || last {
+            // New record minimum (or end): close the segment.
+            running_min = running_min.min(live);
+            segments.push(Segment {
+                tasks: std::mem::take(&mut seg_tasks),
+                peak: seg_peak - seg_start,
+                delta: live - seg_start,
+            });
+            seg_start = live;
+            seg_peak = live;
+        }
+    }
+    segments
+}
+
+/// Linearised priority of a segment under the classical pairwise rule
+/// ("run `x` before `y` iff `max(P_x, D_x + P_y) ≤ max(P_y, D_y + P_x)`"):
+/// memory-releasing segments (`D ≤ 0`) come first ordered by increasing
+/// peak, then memory-accumulating segments ordered by decreasing `P − D`.
+/// This total order is consistent with the pairwise rule, which lets the
+/// merge use a heap instead of rescanning all queue heads.
+fn rank(s: &Segment) -> (u8, f64) {
+    if s.delta <= 0.0 {
+        (0, s.peak)
+    } else {
+        (1, -(s.peak - s.delta))
+    }
+}
+
+/// Merges per-component segment queues by repeatedly emitting the
+/// best-ranked available head segment (heads only: within a component the
+/// segment order is fixed). Runs in `O(S log Q)`.
+fn merge_segments(mut queues: Vec<Vec<Segment>>) -> Vec<NodeId> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Head {
+        class: u8,
+        key: f64,
+        queue: usize,
+        index: usize,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // max-heap: best segment = smallest (class, key, queue)
+            other
+                .class
+                .cmp(&self.class)
+                .then(other.key.total_cmp(&self.key))
+                .then(other.queue.cmp(&self.queue))
+        }
+    }
+
+    let total: usize = queues
+        .iter()
+        .map(|q| q.iter().map(|s| s.tasks.len()).sum::<usize>())
+        .sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Head> = queues
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| !q.is_empty())
+        .map(|(qi, q)| {
+            let (class, key) = rank(&q[0]);
+            Head {
+                class,
+                key,
+                queue: qi,
+                index: 0,
+            }
+        })
+        .collect();
+    while let Some(Head { queue, index, .. }) = heap.pop() {
+        out.append(&mut queues[queue][index].tasks);
+        let next = index + 1;
+        if next < queues[queue].len() {
+            let (class, key) = rank(&queues[queue][next]);
+            heap.push(Head {
+                class,
+                key,
+                queue,
+                index: next,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::{brute_force_min, traversal_peak};
+    use dhp_dag::builder;
+    use dhp_dag::topo::is_topological_order;
+
+    #[test]
+    fn sp_order_is_topological() {
+        for seed in 0..15 {
+            let g = builder::gnp_dag_weighted(25, 0.15, seed);
+            let n = g.node_count();
+            let order = sp_order(&g, &vec![0.0; n]);
+            assert!(is_topological_order(&g, &order), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimal_on_out_trees() {
+        // A star of chains from one root: classic Liu territory.
+        // root -> chain_i of length 2, with distinct file sizes.
+        let mut g = Dag::new();
+        let root = g.add_node(0.0, 1.0);
+        for i in 0..4 {
+            let a = g.add_node(0.0, 1.0 + i as f64);
+            let b = g.add_node(0.0, 1.0);
+            g.add_edge(root, a, 2.0 + 3.0 * i as f64);
+            g.add_edge(a, b, 1.0);
+        }
+        let n = g.node_count();
+        let ext = vec![0.0; n];
+        let order = sp_order(&g, &ext);
+        let peak = traversal_peak(&g, &ext, &order);
+        assert!(
+            (peak - brute_force_min(&g, &ext)).abs() < 1e-9,
+            "sp order peak {peak} vs optimum {}",
+            brute_force_min(&g, &ext)
+        );
+    }
+
+    #[test]
+    fn optimal_on_fork_joins() {
+        let g = builder::fork_join(4, 1.0, 3.0, 2.0);
+        let n = g.node_count();
+        let ext = vec![0.0; n];
+        let order = sp_order(&g, &ext);
+        let peak = traversal_peak(&g, &ext, &order);
+        assert!((peak - brute_force_min(&g, &ext)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_complex_cores() {
+        // N-graph plus surrounding chain.
+        let mut g = Dag::new();
+        let s = g.add_node(1.0, 1.0);
+        let s1 = g.add_node(1.0, 2.0);
+        let s2 = g.add_node(1.0, 2.0);
+        let t1 = g.add_node(1.0, 2.0);
+        let t2 = g.add_node(1.0, 2.0);
+        let t = g.add_node(1.0, 1.0);
+        g.add_edge(s, s1, 1.0);
+        g.add_edge(s, s2, 1.0);
+        g.add_edge(s1, t1, 1.0);
+        g.add_edge(s1, t2, 1.0);
+        g.add_edge(s2, t2, 1.0);
+        g.add_edge(t1, t, 1.0);
+        g.add_edge(t2, t, 1.0);
+        let n = g.node_count();
+        let ext = vec![0.0; n];
+        let order = sp_order(&g, &ext);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn segment_profiles_net_to_boundary_delta() {
+        let g = builder::chain(5, 1.0, 2.0, 3.0);
+        let order: Vec<_> = g.node_ids().collect();
+        let segs = segment_profile(&g, &[0.0; 5], &order);
+        let total_delta: f64 = segs.iter().map(|s| s.delta).sum();
+        // closed component: no boundary files, net zero
+        assert!(total_delta.abs() < 1e-9);
+        let tasks: usize = segs.iter().map(|s| s.tasks.len()).sum();
+        assert_eq!(tasks, 5);
+    }
+}

@@ -1,0 +1,287 @@
+//! The paper's experimental cluster configurations.
+//!
+//! Table 2 (default kinds), Table 3 (MoreHet / LessHet), the homogeneous
+//! `NoHet` cluster, and the three cluster sizes (small = 3 of each kind,
+//! default = 6, large = 10).
+
+use crate::cluster::Cluster;
+use crate::processor::Processor;
+use serde::{Deserialize, Serialize};
+
+/// One of the six real machine kinds of Table 2 with `(speed, memory)`
+/// per heterogeneity level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// `local` — very slow machines.
+    Local,
+    /// `A1` — fast, mid memory.
+    A1,
+    /// `A2` — slow, large memory.
+    A2,
+    /// `N1` — average.
+    N1,
+    /// `N2` — very small memory.
+    N2,
+    /// `C2` — luxury machine: high speed and large memory.
+    C2,
+}
+
+impl MachineKind {
+    /// All six kinds in the paper's listing order.
+    pub const ALL: [MachineKind; 6] = [
+        MachineKind::Local,
+        MachineKind::A1,
+        MachineKind::A2,
+        MachineKind::N1,
+        MachineKind::N2,
+        MachineKind::C2,
+    ];
+
+    /// Kind name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Local => "local",
+            MachineKind::A1 => "A1",
+            MachineKind::A2 => "A2",
+            MachineKind::N1 => "N1",
+            MachineKind::N2 => "N2",
+            MachineKind::C2 => "C2",
+        }
+    }
+
+    /// `(speed, memory)` in the default cluster (Table 2).
+    pub fn default_spec(self) -> (f64, f64) {
+        match self {
+            MachineKind::Local => (4.0, 16.0),
+            MachineKind::A1 => (32.0, 32.0),
+            MachineKind::A2 => (6.0, 64.0),
+            MachineKind::N1 => (12.0, 16.0),
+            MachineKind::N2 => (8.0, 8.0),
+            MachineKind::C2 => (32.0, 192.0),
+        }
+    }
+
+    /// `(speed, memory)` in the MoreHet cluster (Table 3, left): the
+    /// smaller half of memories/speeds halved, the bigger half doubled.
+    pub fn more_het_spec(self) -> (f64, f64) {
+        match self {
+            MachineKind::Local => (2.0, 8.0),
+            MachineKind::A1 => (64.0, 64.0),
+            MachineKind::A2 => (3.0, 128.0),
+            MachineKind::N1 => (24.0, 8.0),
+            MachineKind::N2 => (4.0, 4.0),
+            MachineKind::C2 => (64.0, 384.0),
+        }
+    }
+
+    /// `(speed, memory)` in the LessHet cluster (Table 3, right): values
+    /// squeezed towards the middle; the biggest memory stays at 192 so
+    /// that the most memory-demanding task still fits.
+    pub fn less_het_spec(self) -> (f64, f64) {
+        match self {
+            MachineKind::Local => (8.0, 64.0),
+            MachineKind::A1 => (16.0, 64.0),
+            MachineKind::A2 => (12.0, 128.0),
+            MachineKind::N1 => (12.0, 64.0),
+            MachineKind::N2 => (16.0, 32.0),
+            MachineKind::C2 => (16.0, 192.0),
+        }
+    }
+}
+
+/// Heterogeneity level of a cluster configuration (paper §5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterKind {
+    /// Table 2 values.
+    Default,
+    /// Table 3 left: more heterogeneous.
+    MoreHet,
+    /// Table 3 right: less heterogeneous.
+    LessHet,
+    /// Homogeneous: every processor is a `C2`.
+    NoHet,
+}
+
+impl ClusterKind {
+    /// All four levels ordered from homogeneous to most heterogeneous.
+    pub const ALL: [ClusterKind; 4] = [
+        ClusterKind::NoHet,
+        ClusterKind::LessHet,
+        ClusterKind::Default,
+        ClusterKind::MoreHet,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterKind::Default => "default",
+            ClusterKind::MoreHet => "MoreHet",
+            ClusterKind::LessHet => "LessHet",
+            ClusterKind::NoHet => "NoHet",
+        }
+    }
+
+    fn spec(self, kind: MachineKind) -> (f64, f64) {
+        match self {
+            ClusterKind::Default => kind.default_spec(),
+            ClusterKind::MoreHet => kind.more_het_spec(),
+            ClusterKind::LessHet => kind.less_het_spec(),
+            ClusterKind::NoHet => MachineKind::C2.default_spec(),
+        }
+    }
+}
+
+/// Cluster size: number of nodes of each machine kind (paper §5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterSize {
+    /// 3 of each kind → 18 processors.
+    Small,
+    /// 6 of each kind → 36 processors (the default).
+    Default,
+    /// 10 of each kind → 60 processors.
+    Large,
+}
+
+impl ClusterSize {
+    /// All sizes, ascending.
+    pub const ALL: [ClusterSize; 3] = [
+        ClusterSize::Small,
+        ClusterSize::Default,
+        ClusterSize::Large,
+    ];
+
+    /// Copies per machine kind.
+    pub fn per_kind(self) -> usize {
+        match self {
+            ClusterSize::Small => 3,
+            ClusterSize::Default => 6,
+            ClusterSize::Large => 10,
+        }
+    }
+
+    /// Total processor count (6 kinds).
+    pub fn total(self) -> usize {
+        6 * self.per_kind()
+    }
+}
+
+/// Default bandwidth `β` used unless a CCR experiment overrides it.
+pub const DEFAULT_BANDWIDTH: f64 = 1.0;
+
+/// Builds a cluster with the given heterogeneity level and size.
+pub fn cluster(kind: ClusterKind, size: ClusterSize) -> Cluster {
+    let mut procs = Vec::with_capacity(size.total());
+    for mk in MachineKind::ALL {
+        let (speed, memory) = kind.spec(mk);
+        let name = match kind {
+            ClusterKind::NoHet => "C2".to_string(),
+            _ => mk.name().to_string(),
+        };
+        for _ in 0..size.per_kind() {
+            procs.push(Processor::new(name.clone(), speed, memory));
+        }
+    }
+    Cluster::new(procs, DEFAULT_BANDWIDTH)
+}
+
+/// The default experimental environment: Table 2 kinds, 6 of each.
+pub fn default_cluster() -> Cluster {
+    cluster(ClusterKind::Default, ClusterSize::Default)
+}
+
+/// The small (18-processor) default-kind cluster.
+pub fn small_cluster() -> Cluster {
+    cluster(ClusterKind::Default, ClusterSize::Small)
+}
+
+/// The large (60-processor) default-kind cluster.
+pub fn large_cluster() -> Cluster {
+    cluster(ClusterKind::Default, ClusterSize::Large)
+}
+
+/// The more-heterogeneous cluster (Table 3 left), default size.
+pub fn more_het_cluster() -> Cluster {
+    cluster(ClusterKind::MoreHet, ClusterSize::Default)
+}
+
+/// The less-heterogeneous cluster (Table 3 right), default size.
+pub fn less_het_cluster() -> Cluster {
+    cluster(ClusterKind::LessHet, ClusterSize::Default)
+}
+
+/// The homogeneous cluster (all `C2`), default size.
+pub fn no_het_cluster() -> Cluster {
+    cluster(ClusterKind::NoHet, ClusterSize::Default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_matches_table2() {
+        let c = default_cluster();
+        assert_eq!(c.len(), 36);
+        assert_eq!(c.bandwidth, DEFAULT_BANDWIDTH);
+        // 6 "local" at (4, 16)
+        let locals: Vec<_> = c.iter().filter(|(_, p)| p.kind == "local").collect();
+        assert_eq!(locals.len(), 6);
+        assert!(locals.iter().all(|(_, p)| p.speed == 4.0 && p.memory == 16.0));
+        // 6 "C2" at (32, 192)
+        let c2: Vec<_> = c.iter().filter(|(_, p)| p.kind == "C2").collect();
+        assert_eq!(c2.len(), 6);
+        assert!(c2.iter().all(|(_, p)| p.speed == 32.0 && p.memory == 192.0));
+        assert_eq!(c.max_memory(), 192.0);
+        assert_eq!(c.min_memory(), 8.0);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(small_cluster().len(), 18);
+        assert_eq!(default_cluster().len(), 36);
+        assert_eq!(large_cluster().len(), 60);
+    }
+
+    #[test]
+    fn more_het_matches_table3() {
+        let c = more_het_cluster();
+        assert_eq!(c.len(), 36);
+        let a2: Vec<_> = c.iter().filter(|(_, p)| p.kind == "A2").collect();
+        assert!(a2.iter().all(|(_, p)| p.speed == 3.0 && p.memory == 128.0));
+        assert_eq!(c.max_memory(), 384.0);
+        assert_eq!(c.min_memory(), 4.0);
+    }
+
+    #[test]
+    fn less_het_keeps_192_cap() {
+        let c = less_het_cluster();
+        assert_eq!(c.max_memory(), 192.0);
+        assert_eq!(c.min_memory(), 32.0);
+        let c2: Vec<_> = c.iter().filter(|(_, p)| p.kind == "C2").collect();
+        assert!(c2.iter().all(|(_, p)| p.speed == 16.0 && p.memory == 192.0));
+    }
+
+    #[test]
+    fn no_het_is_all_c2() {
+        let c = no_het_cluster();
+        assert!(c.iter().all(|(_, p)| p.kind == "C2"
+            && p.speed == 32.0
+            && p.memory == 192.0));
+    }
+
+    #[test]
+    fn more_het_really_is_more_heterogeneous() {
+        // Coefficient of variation of memory should grow with heterogeneity.
+        fn cv(c: &Cluster) -> f64 {
+            let vals: Vec<f64> = c.iter().map(|(_, p)| p.memory).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            var.sqrt() / mean
+        }
+        let no = cv(&no_het_cluster());
+        let less = cv(&less_het_cluster());
+        let def = cv(&default_cluster());
+        let more = cv(&more_het_cluster());
+        assert!(no < less && less < def && def < more, "{no} {less} {def} {more}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: the analytic makespan model must upper-bound the
+//! simulated execution for every valid mapping, and the simulation must
+//! respect basic sanity invariants.
+
+use crate::engine::simulate;
+use dhp_core::mapping::Mapping;
+use dhp_dag::{builder, Partition};
+use dhp_platform::{Cluster, ProcId, Processor};
+use proptest::prelude::*;
+
+fn random_cluster(k: usize, seed: u64) -> Cluster {
+    let procs = (0..k)
+        .map(|i| {
+            Processor::new(
+                format!("p{i}"),
+                1.0 + ((seed as usize + i) % 5) as f64,
+                1e9,
+            )
+        })
+        .collect();
+    Cluster::new(procs, 1.0 + (seed % 4) as f64)
+}
+
+/// A topo-chunk mapping of a random DAG onto k processors.
+fn chunk_mapping(g: &dhp_dag::Dag, k: usize) -> Mapping {
+    let order = dhp_dag::topo::topo_sort(g).unwrap();
+    let n = g.node_count();
+    let mut raw = vec![0u32; n];
+    for (i, &u) in order.iter().enumerate() {
+        raw[u.idx()] = ((i * k) / n) as u32;
+    }
+    let partition = Partition::from_raw(&raw);
+    let k_eff = partition.num_blocks();
+    Mapping {
+        proc_of_block: (0..k_eff).map(|b| Some(ProcId(b as u32))).collect(),
+        partition,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analytic_upper_bounds_simulation(
+        n in 4usize..40,
+        p in 0.05f64..0.4,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let cluster = random_cluster(6, seed);
+        let mapping = chunk_mapping(&g, k);
+        let analytic = dhp_core::makespan::makespan_of_mapping(&g, &cluster, &mapping);
+        let sim = simulate(&g, &cluster, &mapping);
+        prop_assert!(
+            sim.makespan <= analytic * (1.0 + 1e-9),
+            "simulated {} exceeds analytic bound {}", sim.makespan, analytic
+        );
+    }
+
+    #[test]
+    fn simulation_respects_precedence(
+        n in 4usize..30,
+        p in 0.1f64..0.4,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let cluster = random_cluster(5, seed);
+        let mapping = chunk_mapping(&g, k);
+        let sim = simulate(&g, &cluster, &mapping);
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            prop_assert!(
+                sim.task_start[ed.dst.idx()] >= sim.task_finish[ed.src.idx()] - 1e-9,
+                "consumer started before producer finished"
+            );
+        }
+        // Tasks sharing a processor never overlap.
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                if a < b
+                    && mapping.partition.block_of(a) == mapping.partition.block_of(b)
+                {
+                    let (s1, f1) = (sim.task_start[a.idx()], sim.task_finish[a.idx()]);
+                    let (s2, f2) = (sim.task_start[b.idx()], sim.task_finish[b.idx()]);
+                    prop_assert!(f1 <= s2 + 1e-9 || f2 <= s1 + 1e-9, "overlap on processor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_last_finish(
+        n in 4usize..25,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, 0.2, seed);
+        let cluster = random_cluster(4, seed);
+        let mapping = chunk_mapping(&g, 3);
+        let sim = simulate(&g, &cluster, &mapping);
+        let last = sim.task_finish.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!((sim.makespan - last).abs() < 1e-12);
+        prop_assert!(sim.makespan > 0.0);
+    }
+
+    #[test]
+    fn timelines_of_random_mappings_are_physical(
+        n in 4usize..40,
+        p in 0.05f64..0.4,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = builder::gnp_dag_weighted(n, p, seed);
+        let cluster = random_cluster(6, seed);
+        let mapping = chunk_mapping(&g, k);
+        let sim = simulate(&g, &cluster, &mapping);
+        let tl = crate::timeline::timeline(&g, &cluster, &mapping, &sim);
+        prop_assert!(tl.check_no_overlap().is_ok());
+        // Every task appears exactly once.
+        let total: usize = tl.lanes.iter().map(|l| l.intervals.len()).sum();
+        prop_assert_eq!(total, g.node_count());
+        // Busy time per lane is the block's work over its speed.
+        for lane in &tl.lanes {
+            let expect: f64 = lane
+                .intervals
+                .iter()
+                .map(|iv| g.node(iv.task).work)
+                .sum::<f64>()
+                / cluster.speed(lane.proc);
+            prop_assert!((lane.busy - expect).abs() <= 1e-9 * expect.max(1.0));
+        }
+        // Rendering never panics and scales with the lane count.
+        let chart = tl.render(40);
+        prop_assert_eq!(chart.lines().count(), tl.lanes.len() + 1);
+    }
+
+    #[test]
+    fn slower_links_never_speed_up_execution(
+        n in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        use crate::links::LinkModel;
+        use crate::engine::simulate_with_links;
+        let g = builder::gnp_dag_weighted(n, 0.25, seed);
+        let cluster = random_cluster(5, seed);
+        let mapping = chunk_mapping(&g, 4);
+        let fast = simulate_with_links(
+            &g, &cluster, &mapping, &LinkModel::Uniform(cluster.bandwidth),
+        );
+        let rates: Vec<f64> = cluster.iter().map(|_| cluster.bandwidth / 3.0).collect();
+        let slow = simulate_with_links(
+            &g, &cluster, &mapping, &LinkModel::PerProcessor(rates),
+        );
+        prop_assert!(slow.makespan >= fast.makespan - 1e-9,
+            "slower links sped execution up: {} < {}", slow.makespan, fast.makespan);
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate model validation: the heuristics' analytic makespan upper
+//! bounds the simulated execution of their own mappings on real workflow
+//! families, and the memory-oblivious HEFT comparator demonstrates why
+//! the memory constraint matters.
+
+use dhp_core::fitting::scale_cluster_with_headroom;
+use dhp_core::prelude::*;
+use dhp_platform::configs;
+use dhp_sim::{simulate, simulate_with_links, LinkModel};
+use dhp_wfgen::{Family, WorkflowInstance};
+
+#[test]
+fn analytic_bound_holds_for_all_families() {
+    for family in Family::ALL {
+        let inst = WorkflowInstance::simulated(family, 200, 77);
+        let cluster =
+            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        let sim = simulate(&inst.graph, &cluster, &r.mapping);
+        assert!(
+            sim.makespan <= r.makespan * (1.0 + 1e-9),
+            "{}: simulated {} exceeds analytic {}",
+            inst.name,
+            sim.makespan,
+            r.makespan
+        );
+        // And the simulated block memory equals the requirement used for
+        // the feasibility check.
+        for (b, members) in r.mapping.partition.members().iter().enumerate() {
+            let req = dhp_core::blockmem::block_requirement(&inst.graph, members);
+            assert!(
+                (sim.block_peak_memory[b] - req).abs() <= 1e-6 * req.max(1.0),
+                "{} block {b}: sim peak {} vs requirement {req}",
+                inst.name,
+                sim.block_peak_memory[b]
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_mappings_also_respect_the_bound() {
+    let inst = WorkflowInstance::simulated(Family::Montage, 300, 5);
+    let cluster =
+        scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+    let m = dag_het_mem(&inst.graph, &cluster).unwrap();
+    let analytic = makespan_of_mapping(&inst.graph, &cluster, &m);
+    let sim = simulate(&inst.graph, &cluster, &m);
+    assert!(sim.makespan <= analytic * (1.0 + 1e-9));
+}
+
+#[test]
+fn heterogeneous_links_never_speed_up_min_capped_transfers() {
+    // Capping every link at β (PerProcessor all equal to β) must
+    // reproduce the uniform simulation exactly; slower endpoints only
+    // delay.
+    let inst = WorkflowInstance::simulated(Family::Blast, 200, 5);
+    let cluster =
+        scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+    let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
+    let uniform = simulate(&inst.graph, &cluster, &r.mapping);
+    let same = simulate_with_links(
+        &inst.graph,
+        &cluster,
+        &r.mapping,
+        &LinkModel::PerProcessor(vec![cluster.bandwidth; cluster.len()]),
+    );
+    assert!((uniform.makespan - same.makespan).abs() < 1e-9);
+    let slower = simulate_with_links(
+        &inst.graph,
+        &cluster,
+        &r.mapping,
+        &LinkModel::PerProcessor(
+            (0..cluster.len())
+                .map(|i| {
+                    if i % 2 == 0 {
+                        cluster.bandwidth
+                    } else {
+                        cluster.bandwidth / 4.0
+                    }
+                })
+                .collect(),
+        ),
+    );
+    assert!(slower.makespan >= uniform.makespan - 1e-9);
+}
+
+#[test]
+fn heft_is_fast_but_memory_oblivious() {
+    // On a memory-tight platform, HEFT's makespan-optimal schedule
+    // overflows memories that DagHetPart provably respects.
+    let inst = WorkflowInstance::simulated(Family::Seismology, 300, 11);
+    let g = &inst.graph;
+    //
+
+    // A platform that can hold every task somewhere, but with little slack.
+    let cluster = scale_cluster_with_headroom(g, &configs::default_cluster(), 1.05);
+    let schedule = dhp_core::heft::heft(g, &cluster);
+    assert!(schedule.makespan > 0.0);
+    let violations = dhp_core::heft::memory_violations(g, &cluster, &schedule);
+    // DagHetPart on the same platform is valid by construction.
+    if let Ok(r) = dag_het_part(g, &cluster, &DagHetPartConfig::default()) {
+        validate(g, &cluster, &r.mapping).unwrap();
+        // If HEFT happened to be feasible there is nothing to show, but on
+        // this fanned-out instance it overflows with high margin.
+        assert!(
+            !violations.is_empty(),
+            "expected HEFT to overflow the tight memories"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! BLAST: `split_fasta` splits the input database into fragments searched
+//! by a wide fan of `blastall` tasks, whose outputs are concatenated by
+//! `cat_blast` and post-processed by a final `cat` task. Highly
+//! fanned-out.
+
+use super::Ctx;
+
+/// Builds a BLAST instance with exactly `n` tasks (`n ≥ 4`).
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(4);
+    let width = n - 3;
+    let split = ctx.task("split_fasta");
+    let merge = ctx.task("cat_blast");
+    let post = ctx.task("cat");
+    for i in 0..width {
+        let t = ctx.task(&format!("blastall_{i}"));
+        ctx.edge(split, t);
+        ctx.edge(t, merge);
+    }
+    ctx.edge(merge, post);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+
+    #[test]
+    fn exact_count_and_shape() {
+        let g = Family::Blast.generate(200, &WeightModel::unit(), 0);
+        assert_eq!(g.node_count(), 200);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.targets().count(), 1);
+        let src = g.sources().next().unwrap();
+        assert_eq!(g.out_degree(src), 197);
+    }
+}

@@ -1,0 +1,45 @@
+//! BWA: genome indexing plus read splitting feed a wide fan of `bwa_align`
+//! tasks (each needs both the index and its read chunk); alignments are
+//! concatenated and post-processed. Highly fanned-out.
+
+use super::Ctx;
+
+/// Builds a BWA instance with exactly `n` tasks (`n ≥ 6`).
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(6);
+    let width = n - 5;
+    let stage = ctx.task("stage_in");
+    let index = ctx.task("bwa_index");
+    let split = ctx.task("fastq_reduce");
+    ctx.edge(stage, index);
+    ctx.edge(stage, split);
+    let merge = ctx.task("cat_bwa");
+    let post = ctx.task("cat");
+    for i in 0..width {
+        let t = ctx.task(&format!("bwa_align_{i}"));
+        ctx.edge(index, t);
+        ctx.edge(split, t);
+        ctx.edge(t, merge);
+    }
+    ctx.edge(merge, post);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+
+    #[test]
+    fn exact_count_and_shape() {
+        let g = Family::Bwa.generate(300, &WeightModel::unit(), 0);
+        assert_eq!(g.node_count(), 300);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.targets().count(), 1);
+        // aligners have two parents each
+        let aligners = g
+            .node_ids()
+            .filter(|&u| g.in_degree(u) == 2 && g.out_degree(u) == 1)
+            .count();
+        assert_eq!(aligners, 295);
+    }
+}

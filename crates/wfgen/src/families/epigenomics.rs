@@ -1,0 +1,59 @@
+//! Epigenomics: per sequencing lane, a `fastq_split` fans out into
+//! parallel four-stage pipelines (`filter_contams` → `sol2sanger` →
+//! `fastq2bfq` → `map`) merged by a per-lane `map_merge`; lanes are
+//! combined globally and post-processed by a short pileup chain.
+//! Chain-dominated: one of the two least fanned-out families.
+
+use super::Ctx;
+
+const PIPELINE_LEN: usize = 4;
+
+/// Builds an Epigenomics instance with approximately `n` tasks.
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(16);
+    let lanes = (n / 400).clamp(1, 8);
+    // n ≈ 1 (source) + lanes*(2 + 4W) + 4 (global merge + pileup chain)
+    let budget = n.saturating_sub(5);
+    let per_lane = budget / lanes;
+    let pipes = (per_lane.saturating_sub(2) / PIPELINE_LEN).max(1);
+    let mut leftover =
+        budget.saturating_sub(lanes * (2 + PIPELINE_LEN * pipes)) / PIPELINE_LEN;
+
+    let src = ctx.task("stage_in");
+    let global_merge = ctx.task("maps_merge_global");
+    for l in 0..lanes {
+        let extra = leftover.min(pipes);
+        leftover -= extra;
+        let split = ctx.task(&format!("fastq_split_l{l}"));
+        ctx.edge(src, split);
+        let merge = ctx.task(&format!("map_merge_l{l}"));
+        for w in 0..pipes + extra {
+            let filter = ctx.task(&format!("filter_contams_l{l}_{w}"));
+            ctx.edge(split, filter);
+            let last = ctx.chain_from(filter, PIPELINE_LEN - 1, &format!("pipe_l{l}_{w}"));
+            ctx.edge(last, merge);
+        }
+        ctx.edge(merge, global_merge);
+    }
+    let pileup = ctx.chain_from(global_merge, 3, "pileup");
+    let _ = pileup;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+    use dhp_dag::topo::topo_levels;
+
+    #[test]
+    fn count_close_and_chainlike() {
+        for n in [200usize, 1_000, 4_000] {
+            let g = Family::Epigenomics.generate(n, &WeightModel::unit(), 0);
+            assert!(g.node_count().abs_diff(n) <= n / 20, "n={n} got {}", g.node_count());
+            assert_eq!(g.sources().count(), 1);
+            // depth must reflect the 4-stage pipelines plus pre/post stages
+            let depth = *topo_levels(&g).unwrap().iter().max().unwrap();
+            assert!(depth >= 7, "depth {depth}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! 1000Genome: for each chromosome, a fan of `individuals` tasks is
+//! merged by `individuals_merge`; together with a per-chromosome
+//! `sifting` task, the merged data feeds `mutation_overlap` and
+//! `frequency` analyses for each studied population.
+
+use super::Ctx;
+
+/// Populations analysed per chromosome (the real workflow studies 7
+/// super-populations; the paper's instances use a handful — we fix 5).
+const POPULATIONS: usize = 5;
+
+/// Builds a 1000Genome instance with approximately `n` tasks.
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(20);
+    // Per chromosome: I individuals + merge + sifting + 2 tasks per
+    // population. Chromosome count grows slowly with n (max 22 like the
+    // human genome).
+    let chromosomes = (n / 150).clamp(1, 22);
+    let fixed_per_chrom = 2 + 2 * POPULATIONS;
+    let budget = n - 1; // minus the staging source
+    let per_chrom = budget / chromosomes;
+    let individuals = per_chrom.saturating_sub(fixed_per_chrom).max(1);
+    let mut leftover = budget.saturating_sub(chromosomes * (individuals + fixed_per_chrom));
+
+    let src = ctx.task("stage_in");
+    for c in 0..chromosomes {
+        let extra = if leftover > 0 {
+            let e = leftover.min(individuals); // spread mildly
+            leftover -= e;
+            e
+        } else {
+            0
+        };
+        let merge = ctx.task(&format!("individuals_merge_c{c}"));
+        for i in 0..individuals + extra {
+            let t = ctx.task(&format!("individuals_c{c}_{i}"));
+            ctx.edge(src, t);
+            ctx.edge(t, merge);
+        }
+        let sifting = ctx.task(&format!("sifting_c{c}"));
+        ctx.edge(src, sifting);
+        for p in 0..POPULATIONS {
+            let mutation = ctx.task(&format!("mutation_overlap_c{c}_p{p}"));
+            let frequency = ctx.task(&format!("frequency_c{c}_p{p}"));
+            ctx.edge(merge, mutation);
+            ctx.edge(sifting, mutation);
+            ctx.edge(merge, frequency);
+            ctx.edge(sifting, frequency);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+
+    #[test]
+    fn count_close_and_structured() {
+        for n in [200usize, 1_000, 4_000] {
+            let g = Family::Genome.generate(n, &WeightModel::unit(), 0);
+            assert!(g.node_count().abs_diff(n) <= n / 20, "n={n} got {}", g.node_count());
+            assert_eq!(g.sources().count(), 1);
+            // mutation/frequency tasks have exactly two parents
+            let two_parent = g.node_ids().filter(|&u| g.in_degree(u) == 2).count();
+            assert!(two_parent > 0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Seismology: the most fanned-out family. One data-staging source feeds
+//! a huge fan of independent `sG1IterDecon` deconvolution tasks whose
+//! results are combined by a single `wrapper_siftSTFByMisfit` sink.
+
+use super::Ctx;
+
+/// Builds a seismology instance with exactly `n` tasks (`n ≥ 3`).
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(3);
+    let width = n - 2;
+    let src = ctx.task("stage_in");
+    let sink = ctx.task("wrapper_siftSTFByMisfit");
+    for i in 0..width {
+        let t = ctx.task(&format!("sG1IterDecon_{i}"));
+        ctx.edge(src, t);
+        ctx.edge(t, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+
+    #[test]
+    fn exact_count_and_shape() {
+        let g = Family::Seismology.generate(500, &WeightModel::unit(), 0);
+        assert_eq!(g.node_count(), 500);
+        assert_eq!(g.edge_count(), 2 * 498);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.targets().count(), 1);
+        // fan width
+        let src = g.sources().next().unwrap();
+        assert_eq!(g.out_degree(src), 498);
+    }
+}

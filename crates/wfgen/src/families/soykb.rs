@@ -1,0 +1,76 @@
+//! SoyKB: starts with a long preprocessing chain, then runs per-sample
+//! GATK pipelines (seven stages each), combines the per-sample gVCFs, and
+//! ends with a fork-join selection/filtering segment. Chain-dominated at
+//! small sizes; parallelism grows with instance size (paper §5.2.5).
+
+use super::Ctx;
+
+const SAMPLE_CHAIN: usize = 7;
+const MAX_TAIL_FORK: usize = 50;
+
+/// Builds a SoyKB instance with approximately `n` tasks.
+pub(crate) fn build(ctx: &mut Ctx, n: usize) {
+    let n = n.max(20);
+    // Entry chain takes a sizeable fraction of small instances.
+    let entry_chain = (n / 5).clamp(5, 250);
+    // n ≈ entry_chain + S*SAMPLE_CHAIN + 1 (combine) + F (tail fork) + 1 (sink)
+    let rest = n.saturating_sub(entry_chain + 2);
+    // First assume the tail fork is as wide as the sample count.
+    let mut samples = (rest / (SAMPLE_CHAIN + 1)).max(1);
+    let mut fork = samples;
+    if fork > MAX_TAIL_FORK {
+        fork = MAX_TAIL_FORK;
+        samples = (rest.saturating_sub(fork) / SAMPLE_CHAIN).max(1);
+    }
+    let used = entry_chain + samples * SAMPLE_CHAIN + 1 + fork + 1;
+    let pad = n.saturating_sub(used);
+
+    let src = ctx.task("stage_in");
+    // Entry chain, extended by any rounding remainder.
+    let chain_end = ctx.chain_from(src, entry_chain - 1 + pad, "prep");
+    let combine = ctx.task("combine_variants");
+    for s in 0..samples {
+        let first = ctx.task(&format!("align_to_ref_s{s}"));
+        ctx.edge(chain_end, first);
+        let last = ctx.chain_from(first, SAMPLE_CHAIN - 1, &format!("gatk_s{s}"));
+        ctx.edge(last, combine);
+    }
+    let sink = ctx.task("merge_filtered");
+    for f in 0..fork {
+        let t = ctx.task(&format!("select_filter_{f}"));
+        ctx.edge(combine, t);
+        ctx.edge(t, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::families::Family;
+    use crate::weights::WeightModel;
+    use dhp_dag::topo::topo_levels;
+
+    #[test]
+    fn small_instances_are_chain_dominated() {
+        let g = Family::Soykb.generate(200, &WeightModel::unit(), 0);
+        assert!(g.node_count().abs_diff(200) <= 10, "got {}", g.node_count());
+        let depth = *topo_levels(&g).unwrap().iter().max().unwrap();
+        // entry chain of ~40 plus pipelines
+        assert!(depth >= 40, "depth {depth}");
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.targets().count(), 1);
+    }
+
+    #[test]
+    fn parallelism_grows_with_size() {
+        fn width(n: usize) -> usize {
+            let g = Family::Soykb.generate(n, &WeightModel::unit(), 0);
+            let lv = topo_levels(&g).unwrap();
+            let mut count = vec![0usize; lv.iter().max().unwrap() + 1];
+            for &l in &lv {
+                count[l] += 1;
+            }
+            count.into_iter().max().unwrap()
+        }
+        assert!(width(2_000) > width(200));
+    }
+}

@@ -1,0 +1,116 @@
+//! Weight models for generated workflows.
+//!
+//! The paper (§5.1.1) draws uniformly distributed values: 1–10 for edge
+//! volumes, 1–1000 for task workloads, and 1–192 for task memory weights,
+//! mimicking the ranges observed in historical trace data.
+
+use dhp_dag::Dag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inclusive uniform ranges for the three weight kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightModel {
+    /// Task workload `w_u` range.
+    pub work: (f64, f64),
+    /// Task memory `m_u` range.
+    pub memory: (f64, f64),
+    /// Edge communication volume `c_{u,v}` range.
+    pub volume: (f64, f64),
+}
+
+impl WeightModel {
+    /// The paper's simulated-workflow model: volume 1–10, work 1–1000,
+    /// memory 1–192.
+    pub fn paper() -> Self {
+        Self {
+            work: (1.0, 1000.0),
+            memory: (1.0, 192.0),
+            volume: (1.0, 10.0),
+        }
+    }
+
+    /// Unit weights (useful in tests).
+    pub fn unit() -> Self {
+        Self {
+            work: (1.0, 1.0),
+            memory: (1.0, 1.0),
+            volume: (1.0, 1.0),
+        }
+    }
+
+    /// Draws a workload.
+    pub fn draw_work(&self, rng: &mut StdRng) -> f64 {
+        draw(rng, self.work)
+    }
+
+    /// Draws a memory weight.
+    pub fn draw_memory(&self, rng: &mut StdRng) -> f64 {
+        draw(rng, self.memory)
+    }
+
+    /// Draws an edge volume.
+    pub fn draw_volume(&self, rng: &mut StdRng) -> f64 {
+        draw(rng, self.volume)
+    }
+}
+
+fn draw(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Overwrites all node and edge weights of `g` with fresh draws from the
+/// model (used after a topology has been constructed).
+pub fn assign_weights(g: &mut Dag, model: &WeightModel, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for u in g.node_ids().collect::<Vec<_>>() {
+        let n = g.node_mut(u);
+        n.work = draw(&mut rng, model.work);
+        n.memory = draw(&mut rng, model.memory);
+    }
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        g.edge_mut(e).volume = draw(&mut rng, model.volume);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhp_dag::builder;
+
+    #[test]
+    fn paper_ranges_respected() {
+        let mut g = builder::gnp_dag(60, 0.2, 5);
+        assign_weights(&mut g, &WeightModel::paper(), 17);
+        for u in g.node_ids() {
+            let n = g.node(u);
+            assert!((1.0..=1000.0).contains(&n.work));
+            assert!((1.0..=192.0).contains(&n.memory));
+        }
+        for e in g.edge_ids() {
+            assert!((1.0..=10.0).contains(&g.edge(e).volume));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = builder::gnp_dag(30, 0.2, 5);
+        let mut b = builder::gnp_dag(30, 0.2, 5);
+        assign_weights(&mut a, &WeightModel::paper(), 99);
+        assign_weights(&mut b, &WeightModel::paper(), 99);
+        assert_eq!(a.total_work(), b.total_work());
+        assert_eq!(a.total_volume(), b.total_volume());
+    }
+
+    #[test]
+    fn unit_model_is_constant() {
+        let mut g = builder::gnp_dag(10, 0.3, 1);
+        assign_weights(&mut g, &WeightModel::unit(), 3);
+        assert_eq!(g.total_work(), 10.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Capacity planning: which cluster (size × heterogeneity level) executes
+//! a given workflow fastest? Sweeps the paper's platform configurations
+//! for one workflow and prints a ranking — the practical question behind
+//! the paper's §5.2.2–§5.2.3 experiments.
+//!
+//! ```sh
+//! cargo run --release --example cluster_planning [family] [num_tasks]
+//! ```
+
+use dhp_core::fitting::scale_cluster_to_fit;
+use dhp_core::prelude::*;
+use dhp_platform::{configs, ClusterKind, ClusterSize};
+use dhp_wfgen::{Family, WorkflowInstance};
+
+fn main() {
+    let family = std::env::args()
+        .nth(1)
+        .and_then(|s| Family::parse(&s))
+        .unwrap_or(Family::Blast);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+
+    let inst = WorkflowInstance::simulated(family, n, 7);
+    println!(
+        "planning for {} ({} tasks)\n",
+        inst.name,
+        inst.graph.node_count()
+    );
+    println!(
+        "{:<10} {:>6} {:>14} {:>8} {:>10}",
+        "kind", "procs", "makespan", "k'", "used"
+    );
+
+    let mut rows = Vec::new();
+    for kind in ClusterKind::ALL {
+        for size in ClusterSize::ALL {
+            let cluster =
+                scale_cluster_to_fit(&inst.graph, &configs::cluster(kind, size));
+            match dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()) {
+                Ok(r) => {
+                    validate(&inst.graph, &cluster, &r.mapping).expect("valid");
+                    println!(
+                        "{:<10} {:>6} {:>14.1} {:>8} {:>10}",
+                        kind.name(),
+                        cluster.len(),
+                        r.makespan,
+                        r.kprime,
+                        r.mapping.procs_used()
+                    );
+                    rows.push((kind, size, r.makespan));
+                }
+                Err(e) => println!(
+                    "{:<10} {:>6} {:>14} {:>8} {:>10}",
+                    kind.name(),
+                    cluster.len(),
+                    format!("{e}"),
+                    "-",
+                    "-"
+                ),
+            }
+        }
+    }
+
+    if let Some((kind, size, ms)) = rows
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+    {
+        println!(
+            "\nbest: {} cluster with {} processors (makespan {ms:.1})",
+            kind.name(),
+            size.total()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! How far from optimal is DagHetPart?
+//!
+//! DAGP-PM is NP-complete, so the paper can only ever compare heuristics
+//! against each other. This example uses the `dhp-exact` branch-and-bound
+//! solver to *certify* optimality gaps on small instances: for a batch of
+//! random 8-task workflows on a miniature heterogeneous cluster it prints
+//! the exact optimum, both heuristics' makespans, and the resulting gaps.
+//!
+//! Run with: `cargo run --release -p dhp-exact --example exact_gap`
+
+use dhp_core::makespan::makespan_of_mapping;
+use dhp_core::prelude::*;
+use dhp_exact::{makespan_lower_bound, solve, ExactConfig};
+use dhp_platform::{Cluster, Processor};
+
+fn main() {
+    let cluster = Cluster::new(
+        vec![
+            Processor::new("C2", 32.0, 192.0),
+            Processor::new("A1", 32.0, 32.0),
+            Processor::new("A2", 6.0, 64.0),
+            Processor::new("N1", 12.0, 16.0),
+        ],
+        1.0,
+    );
+
+    println!("| seed | lower bound | exact | DagHetPart | gap | DagHetMem | gap |");
+    println!("|------|-------------|-------|------------|-----|-----------|-----|");
+
+    let mut part_gaps = Vec::new();
+    let mut mem_gaps = Vec::new();
+    for seed in 0..12u64 {
+        let g = dhp_dag::builder::gnp_dag_weighted(8, 0.3, seed);
+        let Some(exact) = solve(&g, &cluster, &ExactConfig::default()).expect("within limits")
+        else {
+            println!("| {seed} | — | infeasible | — | — | — | — |");
+            continue;
+        };
+        let lb = makespan_lower_bound(&g, &cluster);
+        let part = dag_het_part(&g, &cluster, &DagHetPartConfig::default())
+            .map(|r| r.makespan)
+            .ok();
+        let mem = dag_het_mem(&g, &cluster)
+            .map(|m| makespan_of_mapping(&g, &cluster, &m))
+            .ok();
+        let fmt = |v: Option<f64>| v.map_or("fail".into(), |v| format!("{v:.2}"));
+        let gap = |v: Option<f64>| {
+            v.map_or("—".into(), |v| format!("{:.2}x", v / exact.makespan))
+        };
+        println!(
+            "| {seed} | {lb:.2} | {:.2} | {} | {} | {} | {} |",
+            exact.makespan,
+            fmt(part),
+            gap(part),
+            fmt(mem),
+            gap(mem),
+        );
+        if let Some(p) = part {
+            part_gaps.push(p / exact.makespan);
+        }
+        if let Some(m) = mem {
+            mem_gaps.push(m / exact.makespan);
+        }
+    }
+
+    let geo = |v: &[f64]| v.iter().product::<f64>().powf(1.0 / v.len().max(1) as f64);
+    println!();
+    println!(
+        "geometric-mean optimality gap: DagHetPart {:.2}x ({} instances), DagHetMem {:.2}x ({})",
+        geo(&part_gaps),
+        part_gaps.len(),
+        geo(&mem_gaps),
+        mem_gaps.len(),
+    );
+    println!(
+        "(the heuristic's Step-1 k' sweep + Step-4 swaps typically land within \
+         a small factor of optimal; the memory-only baseline is much further off)"
+    );
+}

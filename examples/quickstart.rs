@@ -1,0 +1,72 @@
+//! Quickstart: build a small workflow, describe a heterogeneous cluster,
+//! and map the workflow with both heuristics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dhp_core::prelude::*;
+use dhp_dag::Dag;
+use dhp_platform::{Cluster, Processor};
+
+fn main() {
+    // 1. A small analysis workflow: ingest -> {clean, index} -> analyze
+    //    -> {plot, report}. Node weights are (work, memory); edge weights
+    //    are the communicated file sizes.
+    let mut g = Dag::new();
+    let ingest = g.add_node(40.0, 8.0);
+    let clean = g.add_node(120.0, 24.0);
+    let index = g.add_node(60.0, 16.0);
+    let analyze = g.add_node(400.0, 20.0);
+    let plot = g.add_node(30.0, 6.0);
+    let report = g.add_node(10.0, 4.0);
+    g.add_edge(ingest, clean, 12.0);
+    g.add_edge(ingest, index, 8.0);
+    g.add_edge(clean, analyze, 20.0);
+    g.add_edge(index, analyze, 10.0);
+    g.add_edge(analyze, plot, 6.0);
+    g.add_edge(analyze, report, 2.0);
+    g.add_edge(plot, report, 1.0);
+
+    // 2. A heterogeneous platform: memory sizes and speeds differ.
+    let cluster = Cluster::new(
+        vec![
+            Processor::new("fat-node", 8.0, 256.0),
+            Processor::new("fast-node", 32.0, 64.0),
+            Processor::new("small-node", 4.0, 32.0),
+        ],
+        1.0, // interconnect bandwidth β
+    );
+
+    // 3. Map with the memory-aware baseline (DagHetMem)...
+    let base = dag_het_mem(&g, &cluster).expect("baseline finds a mapping");
+    let base_ms = makespan_of_mapping(&g, &cluster, &base);
+    println!(
+        "DagHetMem : {} block(s), makespan {base_ms:.2}",
+        base.num_blocks()
+    );
+
+    // 4. ...and with the four-step DagHetPart heuristic.
+    let result = dag_het_part(&g, &cluster, &DagHetPartConfig::default())
+        .expect("DagHetPart finds a mapping");
+    println!(
+        "DagHetPart: {} block(s) (k' = {}), makespan {:.2}  ({:.2}x better)",
+        result.mapping.num_blocks(),
+        result.kprime,
+        result.makespan,
+        base_ms / result.makespan,
+    );
+
+    // 5. Every returned mapping satisfies the DAGP-PM constraints:
+    //    acyclic quotient graph, one processor per block, and the block
+    //    memory requirement within the processor memory.
+    validate(&g, &cluster, &result.mapping).expect("mapping is valid");
+    for (i, members) in result.mapping.partition.members().iter().enumerate() {
+        let proc = result.mapping.proc_of_block[i].unwrap();
+        println!(
+            "  block {i} -> {} ({} tasks)",
+            cluster.proc(proc).kind,
+            members.len()
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration tests: generated workflows from every family,
+//! both heuristics, full validation — spanning all workspace crates.
+
+use dhp_core::fitting::scale_cluster_to_fit;
+use dhp_core::prelude::*;
+use dhp_platform::configs;
+use dhp_wfgen::{Family, WorkflowInstance};
+
+#[test]
+fn every_family_schedules_on_default_cluster() {
+    for family in Family::ALL {
+        let inst = WorkflowInstance::simulated(family, 200, 42);
+        let cluster = scale_cluster_to_fit(&inst.graph, &configs::default_cluster());
+
+        let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+            .unwrap_or_else(|e| panic!("{}: DagHetPart failed: {e}", inst.name));
+        validate(&inst.graph, &cluster, &part.mapping)
+            .unwrap_or_else(|e| panic!("{}: invalid DagHetPart mapping: {e}", inst.name));
+        assert!(part.makespan.is_finite() && part.makespan > 0.0);
+
+        let mem = dag_het_mem(&inst.graph, &cluster)
+            .unwrap_or_else(|e| panic!("{}: DagHetMem failed: {e}", inst.name));
+        validate(&inst.graph, &cluster, &mem)
+            .unwrap_or_else(|e| panic!("{}: invalid DagHetMem mapping: {e}", inst.name));
+    }
+}
+
+#[test]
+fn real_world_suite_schedules_everywhere() {
+    // Same 5 % memory headroom as the experiment harness: the paper
+    // normalises real-world memory weights so they fit the cluster
+    // (§5.1.2), and exact fit leaves hub blocks zero slack (DESIGN.md §9).
+    use dhp_core::fitting::scale_cluster_with_headroom;
+    for inst in dhp_wfgen::real_world_suite(7) {
+        let cluster =
+            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+        validate(&inst.graph, &cluster, &part.mapping).unwrap();
+        let mem = dag_het_mem(&inst.graph, &cluster).unwrap();
+        validate(&inst.graph, &cluster, &mem).unwrap();
+    }
+}
+
+#[test]
+fn cluster_size_scaling_end_to_end() {
+    // The same workflow must schedule on small, default, and large
+    // clusters, and the reported makespans must be finite and positive.
+    let inst = WorkflowInstance::simulated(Family::Blast, 400, 3);
+    for cluster in [
+        configs::small_cluster(),
+        configs::default_cluster(),
+        configs::large_cluster(),
+    ] {
+        let cluster = scale_cluster_to_fit(&inst.graph, &cluster);
+        let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
+        validate(&inst.graph, &cluster, &r.mapping).unwrap();
+        assert!(r.mapping.procs_used() <= cluster.len());
+    }
+}
+
+#[test]
+fn heterogeneity_levels_end_to_end() {
+    use dhp_platform::{ClusterKind, ClusterSize};
+    let inst = WorkflowInstance::simulated(Family::Genome, 300, 9);
+    for kind in ClusterKind::ALL {
+        let cluster = scale_cluster_to_fit(
+            &inst.graph,
+            &configs::cluster(kind, ClusterSize::Default),
+        );
+        let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        validate(&inst.graph, &cluster, &r.mapping).unwrap();
+    }
+}
+
+#[test]
+fn bandwidth_sweep_end_to_end() {
+    // Varying β changes the makespan but never validity.
+    let inst = WorkflowInstance::simulated(Family::Bwa, 300, 5);
+    let base = scale_cluster_to_fit(&inst.graph, &configs::default_cluster());
+    let mut makespans = Vec::new();
+    for beta in [0.1, 1.0, 5.0] {
+        let cluster = base.with_bandwidth(beta);
+        let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
+        validate(&inst.graph, &cluster, &r.mapping).unwrap();
+        makespans.push(r.makespan);
+    }
+    // Larger bandwidth can only help a fixed mapping; across heuristic
+    // runs we still expect a (weakly) decreasing trend on this fanned
+    // workflow.
+    assert!(
+        makespans[2] <= makespans[0] + 1e-9,
+        "β=5 should beat β=0.1: {makespans:?}"
+    );
+}
+
+#[test]
+fn work_scaling_keeps_validity_and_grows_makespan() {
+    let mut inst = WorkflowInstance::simulated(Family::Seismology, 250, 2);
+    let cluster = scale_cluster_to_fit(&inst.graph, &configs::default_cluster());
+    let before = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
+        .unwrap()
+        .makespan;
+    inst.scale_work(4.0);
+    let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
+    validate(&inst.graph, &cluster, &r.mapping).unwrap();
+    assert!(
+        r.makespan > before,
+        "4x work must increase the makespan ({before} -> {})",
+        r.makespan
+    );
+}
+
+#[test]
+fn dot_roundtrip_through_scheduler() {
+    // Export a generated workflow to DOT, re-import, schedule the import:
+    // both graphs must produce identical makespans (structure preserved).
+    let inst = WorkflowInstance::simulated(Family::Montage, 200, 8);
+    let dot = dhp_dag::dot::to_dot(&inst.graph, &inst.name);
+    let reimported = dhp_dag::dot::from_dot(&dot).unwrap();
+    assert_eq!(reimported.node_count(), inst.graph.node_count());
+    let cluster = scale_cluster_to_fit(&inst.graph, &configs::small_cluster());
+    let a = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
+    let b = dag_het_part(&reimported, &cluster, &DagHetPartConfig::default()).unwrap();
+    assert!((a.makespan - b.makespan).abs() < 1e-6 * a.makespan.max(1.0));
+}

@@ -1,0 +1,153 @@
+//! Validity-focused integration tests: the DAGP-PM constraints must hold
+//! for every mapping either heuristic ever returns, across stress
+//! configurations (tight memories, skewed weights, extreme topologies).
+
+use dhp_core::fitting::{max_task_requirement, scale_cluster_to_fit};
+use dhp_core::prelude::*;
+use dhp_dag::builder;
+use dhp_platform::{configs, Cluster, Processor};
+use dhp_wfgen::{Family, WorkflowInstance};
+
+/// A barely-sufficient cluster: heterogeneous, with the largest memory
+/// just above the largest task requirement.
+fn tight_cluster(g: &dhp_dag::Dag, k: usize, seed: u64) -> Cluster {
+    let need = max_task_requirement(g);
+    let procs = (0..k)
+        .map(|i| {
+            let jitter = 1.0 + ((seed as usize + i) % 5) as f64 * 0.3;
+            Processor::new(
+                format!("p{i}"),
+                1.0 + (i % 7) as f64 * 2.0,
+                need * (0.4 + 0.7 * jitter / 2.5) + 1.0,
+            )
+        })
+        .collect();
+    Cluster::new(procs, 1.0)
+}
+
+#[test]
+fn tight_memory_mappings_are_valid_or_fail_cleanly() {
+    for (i, family) in Family::ALL.into_iter().enumerate() {
+        let inst = WorkflowInstance::simulated(family, 200, 100 + i as u64);
+        let cluster = tight_cluster(&inst.graph, 12, i as u64);
+        match dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()) {
+            Ok(r) => {
+                validate(&inst.graph, &cluster, &r.mapping)
+                    .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+            }
+            Err(SchedError::NoSolution) => {} // clean failure is acceptable
+        }
+        match dag_het_mem(&inst.graph, &cluster) {
+            Ok(m) => {
+                validate(&inst.graph, &cluster, &m)
+                    .unwrap_or_else(|e| panic!("{} baseline: {e}", inst.name));
+            }
+            Err(SchedError::NoSolution) => {}
+        }
+    }
+}
+
+#[test]
+fn extreme_topologies_are_valid() {
+    let cases: Vec<(&str, dhp_dag::Dag)> = vec![
+        ("long-chain", builder::chain(300, 5.0, 8.0, 3.0)),
+        ("wide-fork", builder::fork_join(150, 2.0, 4.0, 2.0)),
+        // Unusually dense random DAGs concentrate many heavy tasks; give
+        // the platform headroom so a solution exists.
+        ("dense-gnp", builder::gnp_dag_weighted(80, 0.3, 17)),
+        (
+            "layered",
+            builder::layered_random(12, 8, 0.25, (1.0, 100.0), (1.0, 50.0), (1.0, 8.0), 23),
+        ),
+    ];
+    for (name, g) in cases {
+        let fitted = scale_cluster_to_fit(&g, &configs::default_cluster());
+        let cluster = if name == "dense-gnp" {
+            let procs = fitted
+                .iter()
+                .map(|(_, p)| Processor::new(p.kind.clone(), p.speed, p.memory * 4.0))
+                .collect();
+            Cluster::new(procs, fitted.bandwidth)
+        } else {
+            fitted
+        };
+        let r = dag_het_part(&g, &cluster, &DagHetPartConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate(&g, &cluster, &r.mapping).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn single_processor_cluster_degenerates_gracefully() {
+    let g = builder::chain(50, 3.0, 5.0, 2.0);
+    let solo = Cluster::new(vec![Processor::new("solo", 2.0, 1e6)], 1.0);
+    let r = dag_het_part(&g, &solo, &DagHetPartConfig::default()).unwrap();
+    assert_eq!(r.mapping.num_blocks(), 1);
+    // single block, no communication: Σw / s
+    assert!((r.makespan - g.total_work() / 2.0).abs() < 1e-9);
+    let m = dag_het_mem(&g, &solo).unwrap();
+    assert_eq!(m.num_blocks(), 1);
+}
+
+#[test]
+fn ablation_configs_stay_valid() {
+    let inst = WorkflowInstance::simulated(Family::Epigenomics, 250, 31);
+    let cluster = scale_cluster_to_fit(&inst.graph, &configs::default_cluster());
+    let mut base_ms = None;
+    for (swaps, idle, triple) in [
+        (true, true, true),
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+        (false, false, false),
+    ] {
+        let cfg = DagHetPartConfig {
+            enable_swaps: swaps,
+            enable_idle_moves: idle,
+            enable_triple_merge: triple,
+            ..Default::default()
+        };
+        let r = dag_het_part(&inst.graph, &cluster, &cfg).unwrap();
+        validate(&inst.graph, &cluster, &r.mapping).unwrap();
+        if swaps && idle && triple {
+            base_ms = Some(r.makespan);
+        } else if let Some(b) = base_ms {
+            // The full configuration must be at least as good as any
+            // ablated one (local search only ever improves).
+            assert!(b <= r.makespan + 1e-6, "full {b} vs ablated {}", r.makespan);
+        }
+    }
+}
+
+#[test]
+fn step4_never_degrades_makespan() {
+    for seed in 0..4 {
+        let inst = WorkflowInstance::simulated(Family::Montage, 200, seed);
+        let cluster = scale_cluster_to_fit(&inst.graph, &configs::small_cluster());
+        let no_step4 = DagHetPartConfig {
+            enable_swaps: false,
+            enable_idle_moves: false,
+            ..Default::default()
+        };
+        let with_step4 = DagHetPartConfig::default();
+        let a = dag_het_part(&inst.graph, &cluster, &no_step4).unwrap();
+        let b = dag_het_part(&inst.graph, &cluster, &with_step4).unwrap();
+        assert!(
+            b.makespan <= a.makespan + 1e-6,
+            "seed {seed}: step 4 degraded {} -> {}",
+            a.makespan,
+            b.makespan
+        );
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let inst = WorkflowInstance::simulated(Family::Soykb, 200, 77);
+    let cluster = scale_cluster_to_fit(&inst.graph, &configs::default_cluster());
+    let cfg = DagHetPartConfig::default();
+    let a = dag_het_part(&inst.graph, &cluster, &cfg).unwrap();
+    let b = dag_het_part(&inst.graph, &cluster, &cfg).unwrap();
+    assert_eq!(a.kprime, b.kprime);
+    assert!((a.makespan - b.makespan).abs() < 1e-12);
+}
