@@ -12,15 +12,9 @@ fn bench_partition(c: &mut Criterion) {
     for &n in &[1_000usize, 4_000] {
         let g = Family::Genome.generate(n, &WeightModel::paper(), 9);
         for &k in &[2usize, 8, 36] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        dhp_dagp::partition(black_box(&g), k, &PartitionConfig::default())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("n{n}"), k), &k, |b, &k| {
+                b.iter(|| dhp_dagp::partition(black_box(&g), k, &PartitionConfig::default()))
+            });
         }
     }
     group.finish();

@@ -24,11 +24,7 @@ fn bench_critical_path(c: &mut Criterion) {
     let speeds: Vec<f64> = (0..60).map(|i| 1.0 + (i % 6) as f64 * 5.0).collect();
     c.bench_function("quotient_critical_path_60", |b| {
         b.iter(|| {
-            dhp_core::makespan::quotient_critical_path(
-                black_box(&q),
-                black_box(&speeds),
-                1.0,
-            )
+            dhp_core::makespan::quotient_critical_path(black_box(&q), black_box(&speeds), 1.0)
         })
     });
 }

@@ -14,11 +14,9 @@ fn bench_best_traversal(c: &mut Criterion) {
         for family in [Family::Genome, Family::Epigenomics] {
             let g = family.generate(n, &WeightModel::paper(), 5);
             let ext = vec![0.0; g.node_count()];
-            group.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &n,
-                |b, _| b.iter(|| dhp_memdag::best_traversal(black_box(&g), black_box(&ext))),
-            );
+            group.bench_with_input(BenchmarkId::new(family.name(), n), &n, |b, _| {
+                b.iter(|| dhp_memdag::best_traversal(black_box(&g), black_box(&ext)))
+            });
         }
     }
     group.finish();
@@ -30,9 +28,7 @@ fn bench_traversal_eval(c: &mut Criterion) {
     let ext = vec![0.0; g.node_count()];
     let order = dhp_dag::topo::topo_sort(&g).unwrap();
     c.bench_function("traversal_peak_montage_4000", |b| {
-        b.iter(|| {
-            dhp_memdag::liveness::traversal_peak(black_box(&g), black_box(&ext), &order)
-        })
+        b.iter(|| dhp_memdag::liveness::traversal_peak(black_box(&g), black_box(&ext), &order))
     });
 }
 

@@ -1,0 +1,48 @@
+//! Online co-scheduling engine throughput: wall-clock of serving a
+//! burst of workflows end-to-end (admission + per-lease DagHetPart +
+//! discrete-event execution), per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhp_online::{fit_cluster, serve, AdmissionPolicy, OnlineConfig};
+use dhp_platform::configs;
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::hint::black_box;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    for &n in &[10usize, 30] {
+        let subs = dhp_online::submission::stream(
+            n,
+            &[Family::Blast, Family::Seismology, Family::Genome],
+            (20, 60),
+            &ArrivalProcess::Burst { at: 0.0 },
+            42,
+        );
+        let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
+        for policy in AdmissionPolicy::ALL {
+            let cfg = OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("burst/{}", policy.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        serve(
+                            black_box(&cluster),
+                            black_box(subs.clone()),
+                            black_box(&cfg),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -174,16 +174,24 @@ fn instances(opts: &Opts) -> Vec<WorkflowInstance> {
 }
 
 fn by_class(outcomes: &[Outcome]) -> Vec<(SizeClass, Vec<&Outcome>)> {
-    [SizeClass::Real, SizeClass::Small, SizeClass::Mid, SizeClass::Big]
-        .into_iter()
-        .map(|c| {
-            (
-                c,
-                outcomes.iter().filter(|o| o.size_class == c).collect::<Vec<_>>(),
-            )
-        })
-        .filter(|(_, v)| !v.is_empty())
-        .collect()
+    [
+        SizeClass::Real,
+        SizeClass::Small,
+        SizeClass::Mid,
+        SizeClass::Big,
+    ]
+    .into_iter()
+    .map(|c| {
+        (
+            c,
+            outcomes
+                .iter()
+                .filter(|o| o.size_class == c)
+                .collect::<Vec<_>>(),
+        )
+    })
+    .filter(|(_, v)| !v.is_empty())
+    .collect()
 }
 
 fn cloned(v: &[&Outcome]) -> Vec<Outcome> {
@@ -250,7 +258,12 @@ fn fig3_left(ctx: &Ctx) {
         .collect();
     print_table(
         "Fig. 3 (left) — relative makespan of DagHetPart vs DagHetMem, default cluster",
-        &["workflow type", "instances", "relative makespan", "improvement x"],
+        &[
+            "workflow type",
+            "instances",
+            "relative makespan",
+            "improvement x",
+        ],
         &rows,
     );
 }
@@ -261,7 +274,11 @@ fn fig3_right(ctx: &Ctx) {
     let mut rows = Vec::new();
     for size in ClusterSize::ALL {
         let cluster = configs::cluster(ClusterKind::Default, size);
-        let key = if size == ClusterSize::Default { "default".to_string() } else { format!("default-{}", size.total()) };
+        let key = if size == ClusterSize::Default {
+            "default".to_string()
+        } else {
+            format!("default-{}", size.total())
+        };
         let outcomes = ctx.suite_on(&key, &cluster, &insts);
         for (class, v) in by_class(&outcomes) {
             rows.push(vec![
@@ -286,7 +303,11 @@ fn fig4(ctx: &Ctx) {
     let mut rows = Vec::new();
     for kind in ClusterKind::ALL {
         let cluster = configs::cluster(kind, ClusterSize::Default);
-        let key = if kind == ClusterKind::Default { "default".to_string() } else { format!("het-{}", kind.name()) };
+        let key = if kind == ClusterKind::Default {
+            "default".to_string()
+        } else {
+            format!("het-{}", kind.name())
+        };
         let outcomes = ctx.suite_on(&key, &cluster, &insts);
         for (class, v) in by_class(&outcomes) {
             rows.push(vec![
@@ -299,7 +320,12 @@ fn fig4(ctx: &Ctx) {
     }
     print_table(
         "Fig. 4 — relative (left) and absolute (right) makespan by heterogeneity level",
-        &["cluster", "workflow type", "relative makespan", "absolute makespan (geo-mean)"],
+        &[
+            "cluster",
+            "workflow type",
+            "relative makespan",
+            "absolute makespan (geo-mean)",
+        ],
         &rows,
     );
 }
@@ -319,11 +345,7 @@ fn per_family_series(ctx: &Ctx, absolute: bool) -> Vec<Vec<String>> {
             } else {
                 pct(o.relative_pct())
             };
-            rows.push(vec![
-                family.name().into(),
-                format!("{}", o.tasks),
-                value,
-            ]);
+            rows.push(vec![family.name().into(), format!("{}", o.tasks), value]);
         }
     }
     rows
@@ -354,7 +376,11 @@ fn fig7(ctx: &Ctx) {
     let mut rows = Vec::new();
     for beta in betas {
         let cluster = configs::default_cluster().with_bandwidth(beta);
-        let key = if beta == 1.0 { "default".to_string() } else { format!("beta-{beta}") };
+        let key = if beta == 1.0 {
+            "default".to_string()
+        } else {
+            format!("beta-{beta}")
+        };
         let outcomes = ctx.suite_on(&key, &cluster, &insts);
         for (class, v) in by_class(&outcomes) {
             rows.push(vec![
@@ -451,8 +477,7 @@ fn fig8_9_table4(ctx: &Ctx, mode: Timing) {
             let rows: Vec<Vec<String>> = by_class(&outcomes)
                 .into_iter()
                 .map(|(class, v)| {
-                    let rel: Vec<f64> =
-                        v.iter().filter_map(|o| o.relative_runtime()).collect();
+                    let rel: Vec<f64> = v.iter().filter_map(|o| o.relative_runtime()).collect();
                     let abs: Vec<f64> = v
                         .iter()
                         .filter_map(|o| o.part.as_ref().map(|p| p.time.as_secs_f64()))
@@ -464,16 +489,16 @@ fn fig8_9_table4(ctx: &Ctx, mode: Timing) {
                             Some(xs.iter().sum::<f64>() / xs.len() as f64)
                         }
                     };
-                    vec![
-                        class.name().into(),
-                        num(mean(&rel)),
-                        secs(mean(&abs)),
-                    ]
+                    vec![class.name().into(), num(mean(&rel)), secs(mean(&abs))]
                 })
                 .collect();
             print_table(
                 "Table 4 — relative and absolute running times of DagHetPart",
-                &["workflow set", "avg relative runtime", "avg absolute runtime"],
+                &[
+                    "workflow set",
+                    "avg relative runtime",
+                    "avg absolute runtime",
+                ],
                 &rows,
             );
         }
@@ -488,7 +513,11 @@ fn sched_success(ctx: &Ctx) {
     let mut rows = Vec::new();
     for size in ClusterSize::ALL {
         let cluster = configs::cluster(ClusterKind::Default, size);
-        let key = if size == ClusterSize::Default { "default".to_string() } else { format!("default-{}", size.total()) };
+        let key = if size == ClusterSize::Default {
+            "default".to_string()
+        } else {
+            format!("default-{}", size.total())
+        };
         let outcomes = ctx.suite_on(&key, &cluster, &insts);
         for (class, v) in by_class(&outcomes) {
             let part_ok = v.iter().filter(|o| o.part.is_some()).count();
@@ -519,10 +548,7 @@ fn ablation_suite(opts: &Opts) -> Vec<WorkflowInstance> {
     dhp_wfgen::simulated_suite(&sizes, opts.seed)
 }
 
-fn run_with_cfg(
-    insts: &[WorkflowInstance],
-    cfg: &DagHetPartConfig,
-) -> (usize, Option<f64>) {
+fn run_with_cfg(insts: &[WorkflowInstance], cfg: &DagHetPartConfig) -> (usize, Option<f64>) {
     let cluster = configs::default_cluster();
     let mut makespans = Vec::new();
     let mut solved = 0;
@@ -557,8 +583,16 @@ fn ablate_kprime(ctx: &Ctx) {
         "Ablation — k' sweep (paper default) vs fixed k' = k",
         &["variant", "solved", "geo-mean makespan"],
         &[
-            vec!["sweep k'=1..k".into(), format!("{}/{}", sweep.0, insts.len()), num(sweep.1)],
-            vec!["fixed k'=36".into(), format!("{}/{}", fixed.0, insts.len()), num(fixed.1)],
+            vec![
+                "sweep k'=1..k".into(),
+                format!("{}/{}", sweep.0, insts.len()),
+                num(sweep.1),
+            ],
+            vec![
+                "fixed k'=36".into(),
+                format!("{}/{}", fixed.0, insts.len()),
+                num(fixed.1),
+            ],
         ],
     );
 }
@@ -622,7 +656,8 @@ fn ablate_traversal(ctx: &Ctx) {
     // the memory-greedy and SP-guided strategies, per family.
     let mut rows = Vec::new();
     for family in Family::ALL {
-        let inst = WorkflowInstance::simulated(family, if opts.full { 4_000 } else { 1_000 }, opts.seed);
+        let inst =
+            WorkflowInstance::simulated(family, if opts.full { 4_000 } else { 1_000 }, opts.seed);
         let g = &inst.graph;
         let ext = vec![0.0; g.node_count()];
         let topo = dhp_dag::topo::topo_sort(g).unwrap();
@@ -641,7 +676,13 @@ fn ablate_traversal(ctx: &Ctx) {
     }
     print_table(
         "Ablation — traversal strategies (peak memory; lower is better)",
-        &["workflow", "plain topo", "memory-greedy", "SP-guided", "best gain x"],
+        &[
+            "workflow",
+            "plain topo",
+            "memory-greedy",
+            "SP-guided",
+            "best gain x",
+        ],
         &rows,
     );
 }
@@ -656,7 +697,10 @@ fn heft_motivation(ctx: &Ctx) {
     let opts = &ctx.opts;
     let cluster = configs::default_cluster();
     let mut rows = Vec::new();
-    for inst in instances(opts).into_iter().take(if opts.full { 40 } else { 20 }) {
+    for inst in instances(opts)
+        .into_iter()
+        .take(if opts.full { 40 } else { 20 })
+    {
         let c = scale_cluster_with_headroom(&inst.graph, &cluster, 1.05);
         let schedule = dhp_core::heft::heft(&inst.graph, &c);
         let violations = dhp_core::heft::memory_violations(&inst.graph, &c, &schedule);
@@ -679,7 +723,13 @@ fn heft_motivation(ctx: &Ctx) {
     }
     print_table(
         "Extension — memory-oblivious HEFT vs DagHetPart (motivation for DAGP-PM)",
-        &["workflow", "HEFT makespan", "overflowing procs", "worst overflow", "DagHetPart makespan"],
+        &[
+            "workflow",
+            "HEFT makespan",
+            "overflowing procs",
+            "worst overflow",
+            "DagHetPart makespan",
+        ],
         &rows,
     );
 }
@@ -726,7 +776,10 @@ fn het_links(ctx: &Ctx) {
     let opts = &ctx.opts;
     let cluster = configs::default_cluster();
     let mut rows = Vec::new();
-    for inst in instances(opts).into_iter().take(if opts.full { 40 } else { 15 }) {
+    for inst in instances(opts)
+        .into_iter()
+        .take(if opts.full { 40 } else { 15 })
+    {
         let c = scale_cluster_with_headroom(&inst.graph, &cluster, 1.05);
         let Ok(r) = dag_het_part(&inst.graph, &c, &DagHetPartConfig::default()) else {
             continue;
@@ -759,7 +812,12 @@ fn het_links(ctx: &Ctx) {
     }
     print_table(
         "Extension — executing the uniform-β mapping under heterogeneous links",
-        &["workflow", "simulated (uniform β)", "simulated (het links)", "impact"],
+        &[
+            "workflow",
+            "simulated (uniform β)",
+            "simulated (het links)",
+            "impact",
+        ],
         &rows,
     );
 }
@@ -787,8 +845,7 @@ fn exact_gap(ctx: &Ctx) {
     for seed in seeds {
         let g = dhp_dag::builder::gnp_dag_weighted(8, 0.3, ctx.opts.seed.wrapping_add(seed));
         let c = scale_cluster_with_headroom(&g, &mini, 1.05);
-        let Some(exact) = solve(&g, &c, &ExactConfig::default()).expect("n=8 within limits")
-        else {
+        let Some(exact) = solve(&g, &c, &ExactConfig::default()).expect("n=8 within limits") else {
             continue;
         };
         let part = dag_het_part(&g, &c, &DagHetPartConfig::default())
@@ -829,7 +886,14 @@ fn exact_gap(ctx: &Ctx) {
     ]);
     print_table(
         "Extension — certified optimality gap on 8-task instances (4-proc heterogeneous slice)",
-        &["instance", "optimum", "DagHetPart", "gap", "DagHetMem", "gap"],
+        &[
+            "instance",
+            "optimum",
+            "DagHetPart",
+            "gap",
+            "DagHetMem",
+            "gap",
+        ],
         &rows,
     );
 }
@@ -850,16 +914,34 @@ fn step_trace(ctx: &Ctx) {
             ..DagHetPartConfig::default()
         };
         let Ok((r, t)) = dag_het_part_traced(&inst.graph, &c, &cfg) else {
-            rows.push(vec![inst.name.clone(), "no solution".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                inst.name.clone(),
+                "no solution".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         rows.push(vec![
             inst.name.clone(),
             format!("{}", t.kprime),
-            format!("{} -> {} ({} leftover)", t.blocks_after_partition, t.blocks_after_assign, t.unassigned_after_assign),
+            format!(
+                "{} -> {} ({} leftover)",
+                t.blocks_after_partition, t.blocks_after_assign, t.unassigned_after_assign
+            ),
             num(Some(t.after_merge)),
-            format!("{} ({:+.1} %)", num(Some(t.after_swaps)), 100.0 * (t.after_swaps / t.after_merge - 1.0)),
-            format!("{} ({:+.1} %)", num(Some(r.makespan)), 100.0 * (r.makespan / t.after_merge - 1.0)),
+            format!(
+                "{} ({:+.1} %)",
+                num(Some(t.after_swaps)),
+                100.0 * (t.after_swaps / t.after_merge - 1.0)
+            ),
+            format!(
+                "{} ({:+.1} %)",
+                num(Some(r.makespan)),
+                100.0 * (r.makespan / t.after_merge - 1.0)
+            ),
         ]);
     }
     print_table(
@@ -881,7 +963,10 @@ fn ablate_partitioner(ctx: &Ctx) {
     for family in dhp_wfgen::Family::ALL {
         let inst = dhp_wfgen::WorkflowInstance::simulated(family, n, opts.seed);
         let g = &inst.graph;
-        let cfg = PartitionConfig { seed: opts.seed, ..PartitionConfig::default() };
+        let cfg = PartitionConfig {
+            seed: opts.seed,
+            ..PartitionConfig::default()
+        };
         let native = partition(g, k, &cfg);
         let und = undirected::partition_undirected(g, k, &cfg);
         let cut_native = undirected::cut_of(g, &native);
@@ -890,11 +975,7 @@ fn ablate_partitioner(ctx: &Ctx) {
         // before any platform decisions).
         let est = |p: &dhp_dag::Partition| {
             let q = dhp_dag::QuotientGraph::build(g, p);
-            dhp_core::makespan::quotient_makespan(
-                &q.graph,
-                &vec![1.0; p.num_blocks()],
-                1.0,
-            )
+            dhp_core::makespan::quotient_makespan(&q.graph, &vec![1.0; p.num_blocks()], 1.0)
         };
         rows.push(vec![
             inst.name.clone(),

@@ -11,11 +11,10 @@ use std::time::Instant;
 fn main() {
     for (family, n) in [(Family::Seismology, 20_000), (Family::Genome, 10_000)] {
         let inst = WorkflowInstance::simulated(family, n, 42);
-        let cluster =
-            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
         let t0 = Instant::now();
-        let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
-            .expect("DagHetPart");
+        let part =
+            dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).expect("DagHetPart");
         let t_part = t0.elapsed();
         validate(&inst.graph, &cluster, &part.mapping).expect("valid");
         let t1 = Instant::now();

@@ -54,9 +54,7 @@ impl Outcome {
     /// Relative runtime DagHetPart / DagHetMem, if both ran.
     pub fn relative_runtime(&self) -> Option<f64> {
         match (&self.part, &self.mem) {
-            (Some(p), Some(m)) => {
-                Some(p.time.as_secs_f64() / m.time.as_secs_f64().max(1e-9))
-            }
+            (Some(p), Some(m)) => Some(p.time.as_secs_f64() / m.time.as_secs_f64().max(1e-9)),
             _ => None,
         }
     }
@@ -103,7 +101,7 @@ pub fn run_instance(inst: &WorkflowInstance, cluster: &Cluster) -> Outcome {
     }
 }
 
-/// Runs a set of instances in parallel (one crossbeam worker per core;
+/// Runs a set of instances in parallel (one scoped worker per core;
 /// DagHetPart's inner sweep is forced sequential to avoid nested
 /// oversubscription).
 pub fn run_suite(instances: &[WorkflowInstance], cluster: &Cluster) -> Vec<Outcome> {
@@ -113,9 +111,9 @@ pub fn run_suite(instances: &[WorkflowInstance], cluster: &Cluster) -> Vec<Outco
         .map(|n| n.get())
         .unwrap_or(4)
         .min(instances.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= instances.len() {
                     break;
@@ -124,8 +122,7 @@ pub fn run_suite(instances: &[WorkflowInstance], cluster: &Cluster) -> Vec<Outco
                 results.lock().push((i, out));
             });
         }
-    })
-    .expect("suite worker panicked");
+    });
     let mut rows = results.into_inner();
     rows.sort_by_key(|(i, _)| *i);
     rows.into_iter().map(|(_, o)| o).collect()

@@ -41,7 +41,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 4] = ["quiet", "simulate", "gantt", "help"];
+const SWITCHES: [&str; 5] = ["quiet", "simulate", "gantt", "help", "summary"];
 
 impl Args {
     /// Parses a token stream (without the program name).
@@ -93,7 +93,9 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not a number: {v:?}")),
         }
     }
 
@@ -101,7 +103,9 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: not an integer: {v:?}")),
         }
     }
 
@@ -144,7 +148,10 @@ mod tests {
             parse("schedule --workflow --quiet"),
             Err(ArgError::Unexpected(_))
         ));
-        assert!(matches!(parse("schedule --cluster"), Err(ArgError::Unexpected(_))));
+        assert!(matches!(
+            parse("schedule --cluster"),
+            Err(ArgError::Unexpected(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ USAGE:
   daghetpart schedule --workflow FILE [--cluster NAME|FILE] [options]
   daghetpart generate --family NAME --tasks N [--seed N] [--format wfcommons|dot]
   daghetpart inspect  --workflow FILE
+  daghetpart queue    [--workflows N] [--policy NAME] [options]   (alias: serve)
   daghetpart cluster-template
 
 SCHEDULE OPTIONS:
@@ -38,12 +39,32 @@ GENERATE OPTIONS:
   --tasks N             approximate task count
   --seed N              RNG seed (default 42)
   --format FMT          wfcommons (default) or dot
+
+QUEUE OPTIONS (online co-scheduling of a workflow stream):
+  --workflows N         number of submissions (default 20)
+  --families LIST       comma-separated families to cycle (default
+                        blast,seismology,genome)
+  --tasks LO-HI         per-workflow task count range (default 20-60)
+  --process NAME        poisson (default) | uniform | burst
+  --rate R              Poisson arrival rate (default 0.05)
+  --interval T          uniform inter-arrival spacing (default 10)
+  --policy NAME         fifo (default) | shortest | memfit
+  --algorithm NAME      daghetpart (default) | daghetmem
+  --lease-tasks N       target tasks per leased processor (default 25)
+  --min-procs N         lease size lower bound (default 1)
+  --max-procs N         lease size upper bound (default unbounded)
+  --cluster NAME|FILE   shared cluster (default: default)
+  --bandwidth B         override the cluster bandwidth
+  --headroom H          fleet-wide memory scaling so the hottest task of
+                        the stream fits (default 1.05; 0 disables)
+  --seed N              stream RNG seed (default 42)
+  --summary             print a text summary instead of the JSON report
+  --output FILE         write the report to FILE
 ";
 
 /// Loads a workflow from a `.json` (WfCommons) or `.dot` file.
 fn load_workflow(path: &str) -> Result<WorkflowInstance, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -54,13 +75,16 @@ fn load_workflow(path: &str) -> Result<WorkflowInstance, String> {
         Ok(WorkflowInstance {
             name,
             family: None,
-            size_class: if n < 200 { SizeClass::Real } else { SizeClass::of_size(n) },
+            size_class: if n < 200 {
+                SizeClass::Real
+            } else {
+                SizeClass::of_size(n)
+            },
             requested_size: n,
             graph,
         })
     } else {
-        wfcommons::from_json(&text, &ImportConfig::default())
-            .map_err(|e| format!("{path}: {e}"))
+        wfcommons::from_json(&text, &ImportConfig::default()).map_err(|e| format!("{path}: {e}"))
     }
 }
 
@@ -83,8 +107,7 @@ pub fn schedule(args: &Args) -> Result<String, String> {
         cluster = scale_cluster_with_headroom(&inst.graph, &cluster, headroom);
     } else if !every_task_fits(&inst.graph, &cluster) {
         return Err(
-            "a task exceeds every processor memory; enlarge the cluster or use --headroom"
-                .into(),
+            "a task exceeds every processor memory; enlarge the cluster or use --headroom".into(),
         );
     }
 
@@ -105,8 +128,14 @@ pub fn schedule(args: &Args) -> Result<String, String> {
     validate(&inst.graph, &cluster, &mapping)
         .map_err(|e| format!("internal error: produced mapping invalid: {e}"))?;
 
-    let mut report =
-        ScheduleReport::new(&inst.name, algorithm, &inst.graph, &cluster, &mapping, makespan);
+    let mut report = ScheduleReport::new(
+        &inst.name,
+        algorithm,
+        &inst.graph,
+        &cluster,
+        &mapping,
+        makespan,
+    );
     let mut gantt = String::new();
     if args.switch("simulate") || args.switch("gantt") {
         let sim = dhp_sim::simulate(&inst.graph, &cluster, &mapping);
@@ -215,7 +244,7 @@ fn parse_family(name: &str) -> Result<Family, String> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::run;
 
     fn cli(line: &str) -> Result<String, String> {
@@ -287,7 +316,10 @@ mod tests {
     #[test]
     fn gantt_switch_appends_chart() {
         let wf = tmp("gantt.json");
-        cli(&format!("generate --family genome --tasks 200 --output {wf}")).unwrap();
+        cli(&format!(
+            "generate --family genome --tasks 200 --output {wf}"
+        ))
+        .unwrap();
         let out = cli(&format!("schedule --workflow {wf} --cluster small --gantt")).unwrap();
         assert!(out.contains("mean utilisation"));
         assert!(out.contains("time 0"));
@@ -314,7 +346,10 @@ mod tests {
         )
         .unwrap();
         let wf = tmp("custom.json");
-        cli(&format!("generate --family soykb --tasks 200 --output {wf}")).unwrap();
+        cli(&format!(
+            "generate --family soykb --tasks 200 --output {wf}"
+        ))
+        .unwrap();
         let out = cli(&format!("schedule --workflow {wf} --cluster {cf}")).unwrap();
         let report: crate::report::ScheduleReport = serde_json::from_str(&out).unwrap();
         assert!(report.blocks <= 2);
@@ -324,18 +359,26 @@ mod tests {
     #[test]
     fn bandwidth_override_changes_model() {
         let wf = tmp("beta.json");
-        cli(&format!("generate --family blast --tasks 200 --output {wf}")).unwrap();
+        cli(&format!(
+            "generate --family blast --tasks 200 --output {wf}"
+        ))
+        .unwrap();
         let slow = cli(&format!("schedule --workflow {wf} --bandwidth 0.1")).unwrap();
         let fast = cli(&format!("schedule --workflow {wf} --bandwidth 5")).unwrap();
         let slow: crate::report::ScheduleReport = serde_json::from_str(&slow).unwrap();
         let fast: crate::report::ScheduleReport = serde_json::from_str(&fast).unwrap();
-        assert!(fast.makespan <= slow.makespan * 1.5, "β=5 should not be much worse");
+        assert!(
+            fast.makespan <= slow.makespan * 1.5,
+            "β=5 should not be much worse"
+        );
     }
 
     #[test]
     fn helpful_errors() {
         assert!(cli("schedule").unwrap_err().contains("--workflow"));
-        assert!(cli("frobnicate").unwrap_err().contains("unknown subcommand"));
+        assert!(cli("frobnicate")
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(cli("generate --family nosuch --tasks 10")
             .unwrap_err()
             .contains("unknown family"));

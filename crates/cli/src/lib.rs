@@ -10,6 +10,9 @@
 //! * `generate` — produce a workflow instance from one of the seven
 //!   paper families, as WfCommons JSON or DOT.
 //! * `inspect` — print structural statistics of a workflow file.
+//! * `queue` (alias `serve`) — co-schedule a generated stream of
+//!   workflows online on one shared cluster and report per-workflow
+//!   wait/stretch plus fleet throughput/utilisation.
 //! * `cluster-template` — print an example cluster JSON file.
 //!
 //! The heavy lifting lives in the workspace libraries; this crate only
@@ -18,6 +21,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod queue;
 pub mod report;
 pub mod spec;
 
@@ -34,7 +38,11 @@ pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, String> 
         "schedule" => commands::schedule(&args),
         "generate" => commands::generate(&args),
         "inspect" => commands::inspect(&args),
+        "queue" | "serve" => queue::queue(&args),
         "cluster-template" => Ok(commands::cluster_template()),
-        other => Err(format!("unknown subcommand {other:?}\n\n{}", commands::USAGE)),
+        other => Err(format!(
+            "unknown subcommand {other:?}\n\n{}",
+            commands::USAGE
+        )),
     }
 }

@@ -1,0 +1,195 @@
+//! `daghetpart queue` (alias `serve`): online multi-workflow
+//! co-scheduling on one shared cluster.
+
+use crate::args::Args;
+use crate::spec::resolve_cluster;
+use dhp_core::partial::Algorithm;
+use dhp_online::{fit_cluster, serve, AdmissionPolicy, LeaseSizing, OnlineConfig};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+
+/// Runs the online co-scheduling engine on a generated submission
+/// stream and prints the serving report (JSON, or a text summary with
+/// `--summary`).
+pub fn queue(args: &Args) -> Result<String, String> {
+    let n = args.get_usize("workflows", 20)?;
+    if n == 0 {
+        return Err("--workflows must be positive".into());
+    }
+    let families = parse_families(args.get_or("families", "blast,seismology,genome"))?;
+    let tasks = parse_task_range(args.get_or("tasks", "20-60"))?;
+    let seed = args.get_usize("seed", 42)? as u64;
+
+    let process = match args.get_or("process", "poisson") {
+        "poisson" => ArrivalProcess::Poisson {
+            rate: positive(args.get_f64("rate", 0.05)?, "--rate")?,
+        },
+        "uniform" => ArrivalProcess::Uniform {
+            interval: positive(args.get_f64("interval", 10.0)?, "--interval")?,
+        },
+        "burst" => ArrivalProcess::Burst { at: 0.0 },
+        other => {
+            return Err(format!(
+                "unknown --process {other:?} (poisson|uniform|burst)"
+            ))
+        }
+    };
+
+    let policy = AdmissionPolicy::parse(args.get_or("policy", "fifo"))
+        .ok_or("unknown --policy (fifo|shortest|memfit)")?;
+    let algorithm = Algorithm::parse(args.get_or("algorithm", "daghetpart"))
+        .ok_or("unknown --algorithm (daghetpart|daghetmem)")?;
+    let lease = LeaseSizing {
+        tasks_per_proc: args.get_usize("lease-tasks", 25)?.max(1),
+        min_procs: args.get_usize("min-procs", 1)?.max(1),
+        max_procs: args.get_usize("max-procs", usize::MAX)?.max(1),
+    };
+    if lease.min_procs > lease.max_procs {
+        return Err(format!(
+            "--min-procs {} exceeds --max-procs {}",
+            lease.min_procs, lease.max_procs
+        ));
+    }
+
+    let mut cluster = resolve_cluster(args.get_or("cluster", "default"))?;
+    if let Some(beta) = args.get("bandwidth") {
+        let beta: f64 = beta.parse().map_err(|_| format!("--bandwidth: {beta:?}"))?;
+        cluster = cluster.with_bandwidth(positive(beta, "--bandwidth")?);
+    }
+
+    let subs = dhp_online::submission::stream(n, &families, tasks, &process, seed);
+    let headroom = args.get_f64("headroom", 1.05)?;
+    if headroom != 0.0 {
+        if headroom < 1.0 {
+            return Err("--headroom must be >= 1 (or 0 to disable)".into());
+        }
+        cluster = fit_cluster(&cluster, &subs, headroom);
+    }
+
+    let cfg = OnlineConfig {
+        policy,
+        lease,
+        algorithm,
+        solver: Default::default(),
+    };
+    let out = serve(&cluster, subs, &cfg);
+
+    let text = if args.switch("summary") {
+        out.report.summary()
+    } else {
+        out.report.to_json()
+    };
+    if let Some(path) = args.get("output") {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        return Ok(format!(
+            "wrote {path}: {} completed, {} rejected, utilization {:.1}%",
+            out.report.fleet.completed,
+            out.report.fleet.rejected,
+            100.0 * out.report.fleet.utilization
+        ));
+    }
+    Ok(text)
+}
+
+fn positive(x: f64, flag: &str) -> Result<f64, String> {
+    if x > 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("{flag} must be positive"))
+    }
+}
+
+fn parse_families(list: &str) -> Result<Vec<Family>, String> {
+    let fams: Result<Vec<Family>, String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            Family::ALL
+                .into_iter()
+                .find(|f| f.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+                    format!("unknown family {name:?}; choose from {}", names.join("|"))
+                })
+        })
+        .collect();
+    let fams = fams?;
+    if fams.is_empty() {
+        return Err("--families must name at least one family".into());
+    }
+    Ok(fams)
+}
+
+fn parse_task_range(spec: &str) -> Result<(usize, usize), String> {
+    let parse_one = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("--tasks: not an integer: {s:?}"))
+    };
+    let (lo, hi) = match spec.split_once('-') {
+        Some((a, b)) => (parse_one(a)?, parse_one(b)?),
+        None => {
+            let v = parse_one(spec)?;
+            (v, v)
+        }
+    };
+    if lo < 2 || hi < lo {
+        return Err(format!(
+            "--tasks: bad range {spec:?} (want LO-HI with 2 <= LO <= HI)"
+        ));
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn cli(line: &str) -> Result<String, String> {
+        run(line.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn queue_reports_json_with_all_workflows() {
+        let out = cli("queue --workflows 5 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7")
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 5);
+        assert_eq!(report.policy, "fifo");
+        assert_eq!(report.algorithm, "daghetpart");
+    }
+
+    #[test]
+    fn serve_alias_and_summary() {
+        let out = cli("serve --workflows 4 --families seismology --tasks 20-30 \
+             --process uniform --interval 5 --policy shortest \
+             --cluster small --summary")
+        .unwrap();
+        assert!(out.contains("policy shortest"), "{out}");
+        assert!(out.contains("throughput"), "{out}");
+    }
+
+    #[test]
+    fn queue_is_deterministic() {
+        let line = "queue --workflows 4 --families blast --tasks 20-30 \
+                    --process poisson --rate 0.1 --cluster small --seed 11";
+        assert_eq!(cli(line).unwrap(), cli(line).unwrap());
+    }
+
+    #[test]
+    fn queue_rejects_bad_flags() {
+        assert!(cli("queue --workflows 0").is_err());
+        assert!(cli("queue --families nosuch")
+            .unwrap_err()
+            .contains("family"));
+        assert!(cli("queue --tasks 9-3").is_err());
+        assert!(cli("queue --policy nosuch").is_err());
+        assert!(cli("queue --process nosuch").is_err());
+        assert!(cli("queue --rate -1").is_err());
+        assert!(cli("queue --min-procs 8 --max-procs 4")
+            .unwrap_err()
+            .contains("exceeds"));
+    }
+}

@@ -114,8 +114,14 @@ mod tests {
         let g = dhp_dag::builder::fork_join(6, 10.0, 4.0, 2.0);
         let cluster = configs::default_cluster();
         let r = dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap();
-        let report =
-            ScheduleReport::new("forkjoin", "daghetpart", &g, &cluster, &r.mapping, r.makespan);
+        let report = ScheduleReport::new(
+            "forkjoin",
+            "daghetpart",
+            &g,
+            &cluster,
+            &r.mapping,
+            r.makespan,
+        );
         assert_eq!(report.tasks, g.node_count());
         assert_eq!(report.blocks, r.mapping.num_blocks());
         let total_tasks: usize = report.mapping.iter().map(|b| b.tasks.len()).sum();

@@ -78,9 +78,10 @@ impl ClusterSpec {
     pub fn from_cluster(cluster: &Cluster) -> ClusterSpec {
         let mut lines: Vec<ProcSpec> = Vec::new();
         for (_, p) in cluster.iter() {
-            match lines.iter_mut().find(|l| {
-                l.name == p.kind && l.speed == p.speed && l.memory == p.memory
-            }) {
+            match lines
+                .iter_mut()
+                .find(|l| l.name == p.kind && l.speed == p.speed && l.memory == p.memory)
+            {
                 Some(l) => l.count += 1,
                 None => lines.push(ProcSpec {
                     name: p.kind.clone(),

@@ -151,7 +151,10 @@ mod tests {
     fn fails_without_enough_memory() {
         let g = builder::fork_join(64, 1.0, 10.0, 10.0);
         let cluster = Cluster::new(vec![Processor::new("tiny", 1.0, 12.0)], 1.0);
-        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+        assert_eq!(
+            dag_het_mem(&g, &cluster).unwrap_err(),
+            SchedError::NoSolution
+        );
     }
 
     #[test]
@@ -163,17 +166,26 @@ mod tests {
         let b = NodeId(1);
         g.add_edge(a, b, 1.0);
         let cluster = Cluster::new(vec![Processor::new("p", 1.0, 50.0)], 1.0);
-        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+        assert_eq!(
+            dag_het_mem(&g, &cluster).unwrap_err(),
+            SchedError::NoSolution
+        );
     }
 
     #[test]
     fn empty_inputs_fail() {
         let g = Dag::new();
         let cluster = configs::default_cluster();
-        assert_eq!(dag_het_mem(&g, &cluster).unwrap_err(), SchedError::NoSolution);
+        assert_eq!(
+            dag_het_mem(&g, &cluster).unwrap_err(),
+            SchedError::NoSolution
+        );
         let g2 = builder::chain(3, 1.0, 1.0, 1.0);
         let empty = Cluster::new(vec![], 1.0);
-        assert_eq!(dag_het_mem(&g2, &empty).unwrap_err(), SchedError::NoSolution);
+        assert_eq!(
+            dag_het_mem(&g2, &empty).unwrap_err(),
+            SchedError::NoSolution
+        );
         let _ = ProcId(0);
     }
 

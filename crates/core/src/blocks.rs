@@ -114,7 +114,11 @@ impl BlockSet {
     pub fn split_block(&mut self, g: &Dag, i: usize, parts: Vec<Vec<NodeId>>) -> Vec<usize> {
         assert!(!parts.is_empty());
         let total: usize = parts.iter().map(Vec::len).sum();
-        assert_eq!(total, self.blocks[i].members.len(), "split must cover block");
+        assert_eq!(
+            total,
+            self.blocks[i].members.len(),
+            "split must cover block"
+        );
         self.remove_block(i);
         parts
             .into_iter()

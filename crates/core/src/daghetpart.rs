@@ -3,8 +3,8 @@
 //! For every tentative block count `k' = 1..k` the driver runs the full
 //! pipeline (partition → assign → merge → swap) and keeps the mapping
 //! with the smallest makespan. The sweep is embarrassingly parallel and
-//! is fanned out over crossbeam scoped threads (one chunk of `k'` values
-//! per worker, no shared mutable state beyond the result slot).
+//! is fanned out over `std::thread::scope` workers (one chunk of `k'`
+//! values per worker, no shared mutable state beyond the result slot).
 
 use crate::blocks::BlockSet;
 use crate::makespan::blockset_makespan;
@@ -94,26 +94,23 @@ pub fn dag_het_part(
             .unwrap_or(4)
             .min(kprimes.len());
         let chunk = kprimes.len().div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let consider = &consider;
             for ws in kprimes.chunks(chunk) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for &kp in ws {
                         consider(kp, run_once(g, cluster, kp, cfg));
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
     } else {
         for &kp in &kprimes {
             consider(kp, run_once(g, cluster, kp, cfg));
         }
     }
 
-    let (makespan, kprime, mapping) = best
-        .into_inner()
-        .ok_or(SchedError::NoSolution)?;
+    let (makespan, kprime, mapping) = best.into_inner().ok_or(SchedError::NoSolution)?;
     Ok(MappingResult {
         mapping,
         makespan,
@@ -291,8 +288,10 @@ mod tests {
     #[test]
     fn produces_valid_mappings() {
         let g = builder::gnp_dag_weighted(80, 0.06, 11);
+        // 5% headroom like the experiment harness: exact fitting leaves
+        // hub-heavy random graphs with no feasible merge slack.
         let cluster =
-            crate::fitting::scale_cluster_to_fit(&g, &configs::default_cluster());
+            crate::fitting::scale_cluster_with_headroom(&g, &configs::default_cluster(), 1.05);
         let r = dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap();
         assert!(validate(&g, &cluster, &r.mapping).is_ok());
         assert!(r.makespan.is_finite() && r.makespan > 0.0);
@@ -341,10 +340,8 @@ mod tests {
     #[test]
     fn no_solution_on_starved_platform() {
         let g = builder::gnp_dag_weighted(30, 0.2, 1);
-        let cluster = dhp_platform::Cluster::new(
-            vec![dhp_platform::Processor::new("tiny", 1.0, 2.0)],
-            1.0,
-        );
+        let cluster =
+            dhp_platform::Cluster::new(vec![dhp_platform::Processor::new("tiny", 1.0, 2.0)], 1.0);
         assert_eq!(
             dag_het_part(&g, &cluster, &DagHetPartConfig::default()).unwrap_err(),
             SchedError::NoSolution
@@ -373,7 +370,10 @@ mod tests {
         assert!(trace.after_swaps <= trace.after_merge * (1.0 + 1e-12));
         assert!(trace.after_idle_moves <= trace.after_swaps * (1.0 + 1e-12));
         assert!((trace.after_idle_moves - traced.makespan).abs() < 1e-9 * traced.makespan);
-        assert!(trace.blocks_after_assign >= trace.blocks_after_partition - trace.kprime.min(trace.blocks_after_partition));
+        assert!(
+            trace.blocks_after_assign
+                >= trace.blocks_after_partition - trace.kprime.min(trace.blocks_after_partition)
+        );
         assert!(validate(&g, &cluster, &traced.mapping).is_ok());
     }
 
@@ -382,11 +382,8 @@ mod tests {
         // Memory-tight cluster: Step 2 must leave blocks unassigned, and
         // the trace must show Step 3 absorbing them.
         let g = builder::gnp_dag_weighted(80, 0.05, 4);
-        let cluster = crate::fitting::scale_cluster_with_headroom(
-            &g,
-            &configs::small_cluster(),
-            1.05,
-        );
+        let cluster =
+            crate::fitting::scale_cluster_with_headroom(&g, &configs::small_cluster(), 1.05);
         let cfg = DagHetPartConfig {
             kprime: KprimeMode::Fixed(18),
             ..DagHetPartConfig::default()
@@ -398,4 +395,3 @@ mod tests {
         }
     }
 }
-

@@ -89,6 +89,9 @@ mod tests {
         let r1 = scaled.memory(dhp_platform::ProcId(35)) / c.memory(dhp_platform::ProcId(35));
         assert!((r0 - r1).abs() < 1e-9);
         // speeds untouched
-        assert_eq!(scaled.speed(dhp_platform::ProcId(7)), c.speed(dhp_platform::ProcId(7)));
+        assert_eq!(
+            scaled.speed(dhp_platform::ProcId(7)),
+            c.speed(dhp_platform::ProcId(7))
+        );
     }
 }

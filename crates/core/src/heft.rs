@@ -48,8 +48,7 @@ pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
     assert!(!g.is_empty() && !cluster.is_empty());
     let n = g.node_count();
     let beta = cluster.bandwidth;
-    let mean_speed: f64 =
-        cluster.iter().map(|(_, p)| p.speed).sum::<f64>() / cluster.len() as f64;
+    let mean_speed: f64 = cluster.iter().map(|(_, p)| p.speed).sum::<f64>() / cluster.len() as f64;
 
     // Upward ranks with mean costs.
     let order = dhp_dag::topo::topo_sort(g).expect("heft requires a DAG");
@@ -63,11 +62,7 @@ pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
         rank[u.idx()] = g.node(u).work / mean_speed + tail;
     }
     let mut by_rank: Vec<NodeId> = g.node_ids().collect();
-    by_rank.sort_by(|&a, &b| {
-        rank[b.idx()]
-            .total_cmp(&rank[a.idx()])
-            .then(a.cmp(&b))
-    });
+    by_rank.sort_by(|&a, &b| rank[b.idx()].total_cmp(&rank[a.idx()]).then(a.cmp(&b)));
 
     // Insertion-based EFT.
     let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.len()]; // sorted intervals

@@ -42,6 +42,7 @@ pub mod heft;
 pub mod makespan;
 pub mod mapping;
 pub mod metrics;
+pub mod partial;
 pub mod steps;
 
 pub use baseline::dag_het_mem;

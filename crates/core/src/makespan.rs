@@ -30,11 +30,7 @@ pub fn quotient_makespan(q: &Dag, speeds: &[f64], bandwidth: f64) -> f64 {
 
 /// The critical path of a quotient graph under the same costs, or `None`
 /// if cyclic/empty.
-pub fn quotient_critical_path(
-    q: &Dag,
-    speeds: &[f64],
-    bandwidth: f64,
-) -> Option<Vec<NodeId>> {
+pub fn quotient_critical_path(q: &Dag, speeds: &[f64], bandwidth: f64) -> Option<Vec<NodeId>> {
     critical_path(
         q,
         |u: NodeId| q.node(u).work / speeds[u.idx()],
@@ -121,10 +117,7 @@ mod tests {
     #[test]
     fn single_block_no_communication() {
         let g = dhp_dag::builder::chain(5, 10.0, 1.0, 100.0);
-        let cluster = dhp_platform::Cluster::new(
-            vec![Processor::new("p", 4.0, 100.0)],
-            1.0,
-        );
+        let cluster = dhp_platform::Cluster::new(vec![Processor::new("p", 4.0, 100.0)], 1.0);
         let mapping = Mapping {
             partition: Partition::single_block(5),
             proc_of_block: vec![Some(ProcId(0))],
@@ -136,10 +129,7 @@ mod tests {
     #[test]
     fn unassigned_blocks_assume_unit_speed() {
         let g = dhp_dag::builder::chain(2, 6.0, 1.0, 2.0);
-        let cluster = dhp_platform::Cluster::new(
-            vec![Processor::new("p", 3.0, 100.0)],
-            2.0,
-        );
+        let cluster = dhp_platform::Cluster::new(vec![Processor::new("p", 3.0, 100.0)], 2.0);
         let mapping = Mapping {
             partition: Partition::from_raw(&[0, 1]),
             proc_of_block: vec![Some(ProcId(0)), None],

@@ -30,7 +30,11 @@ impl Mapping {
 
     /// Number of distinct processors in use.
     pub fn procs_used(&self) -> usize {
-        self.proc_of_block.iter().flatten().collect::<HashSet<_>>().len()
+        self.proc_of_block
+            .iter()
+            .flatten()
+            .collect::<HashSet<_>>()
+            .len()
     }
 }
 

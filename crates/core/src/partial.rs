@@ -1,0 +1,163 @@
+//! Scheduling onto partial clusters (processor leases).
+//!
+//! The offline heuristics map one workflow onto a whole [`Cluster`].
+//! The online engine instead hands each workflow a
+//! [`SubCluster`] lease and needs the resulting
+//! [`Mapping`] expressed in the *parent* cluster's processor ids, so
+//! that fleet-level invariants (distinct processors across concurrent
+//! workflows) can be checked against one shared id space.
+//!
+//! [`schedule_on_subcluster`] runs a solver on the lease view and
+//! returns both forms of the mapping: `local` (lease-relative ids, the
+//! form the simulator consumes together with the lease view) and
+//! `global` (parent ids, the form fleet bookkeeping consumes).
+
+use crate::baseline::dag_het_mem;
+use crate::daghetpart::{dag_het_part, DagHetPartConfig};
+use crate::makespan::makespan_of_mapping;
+use crate::mapping::Mapping;
+use crate::metrics::MappingResult;
+use crate::SchedError;
+use dhp_dag::Dag;
+use dhp_platform::SubCluster;
+
+/// Which solver to run on a lease.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The four-step partitioning heuristic (paper §4.2).
+    DagHetPart,
+    /// The memory-traversal baseline (paper §4.1).
+    DagHetMem,
+}
+
+impl Algorithm {
+    /// Display name as used by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::DagHetPart => "daghetpart",
+            Algorithm::DagHetMem => "daghetmem",
+        }
+    }
+
+    /// Parses a CLI algorithm name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s {
+            "daghetpart" => Some(Algorithm::DagHetPart),
+            "daghetmem" => Some(Algorithm::DagHetMem),
+            _ => None,
+        }
+    }
+}
+
+/// A schedule produced on a lease: the same mapping in lease-local and
+/// parent-global processor ids.
+#[derive(Clone, Debug)]
+pub struct SubClusterSchedule {
+    /// Solver result against the lease view (local processor ids).
+    pub local: MappingResult,
+    /// The same mapping translated to parent processor ids.
+    pub global: Mapping,
+}
+
+/// Translates a lease-local mapping into parent processor ids.
+pub fn remap_to_parent(sub: &SubCluster, mapping: &Mapping) -> Mapping {
+    Mapping {
+        partition: mapping.partition.clone(),
+        proc_of_block: mapping
+            .proc_of_block
+            .iter()
+            .map(|p| p.map(|local| sub.to_global(local)))
+            .collect(),
+    }
+}
+
+/// Runs `algorithm` on the lease view and returns the schedule in both
+/// id spaces. `Err(SchedError::NoSolution)` means the lease is too
+/// small (not enough aggregate memory) — the caller may retry with a
+/// larger lease.
+pub fn schedule_on_subcluster(
+    g: &Dag,
+    sub: &SubCluster,
+    algorithm: Algorithm,
+    cfg: &DagHetPartConfig,
+) -> Result<SubClusterSchedule, SchedError> {
+    let view = sub.cluster();
+    let local = match algorithm {
+        Algorithm::DagHetPart => dag_het_part(g, view, cfg)?,
+        Algorithm::DagHetMem => {
+            let start = std::time::Instant::now();
+            let mapping = dag_het_mem(g, view)?;
+            let makespan = makespan_of_mapping(g, view, &mapping);
+            let kprime = mapping.num_blocks();
+            MappingResult {
+                mapping,
+                makespan,
+                kprime,
+                elapsed: start.elapsed(),
+            }
+        }
+    };
+    let global = remap_to_parent(sub, &local.mapping);
+    Ok(SubClusterSchedule { local, global })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate;
+    use dhp_dag::builder;
+    use dhp_platform::{Cluster, ProcId, Processor};
+
+    fn cluster() -> Cluster {
+        Cluster::new(
+            vec![
+                Processor::new("m0", 2.0, 64.0),
+                Processor::new("m1", 4.0, 128.0),
+                Processor::new("m2", 1.0, 32.0),
+                Processor::new("m3", 8.0, 256.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn global_mapping_is_valid_against_parent() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        for algo in [Algorithm::DagHetPart, Algorithm::DagHetMem] {
+            let s = schedule_on_subcluster(&g, &sub, algo, &DagHetPartConfig::default())
+                .expect("lease large enough");
+            // Local mapping valid against the view, global against the parent.
+            validate(&g, sub.cluster(), &s.local.mapping).unwrap();
+            validate(&g, &c, &s.global).unwrap();
+            // Every used processor must belong to the lease.
+            for p in s.global.proc_of_block.iter().flatten() {
+                assert!(sub.global_ids().contains(p), "{p} outside lease");
+            }
+        }
+    }
+
+    #[test]
+    fn too_small_lease_reports_no_solution() {
+        // Total memory of the lease is far below the chain's footprint.
+        let g = builder::chain(40, 1.0, 30.0, 5.0);
+        let c = cluster();
+        let sub = c.subcluster(&[ProcId(2)]);
+        let r = schedule_on_subcluster(
+            &g,
+            &sub,
+            Algorithm::DagHetPart,
+            &DagHetPartConfig::default(),
+        );
+        assert_eq!(r.err(), Some(SchedError::NoSolution));
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for algo in [Algorithm::DagHetPart, Algorithm::DagHetMem] {
+            assert_eq!(Algorithm::parse(algo.name()), Some(algo));
+        }
+        assert_eq!(Algorithm::parse("heft"), None);
+    }
+}

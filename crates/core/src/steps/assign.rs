@@ -49,12 +49,7 @@ impl Ord for QueuedBlock {
 /// Runs `BiggestAssign` on the Step-1 block set, returning the Step-2
 /// block set: every mapped block fits its processor; unassigned blocks
 /// (if any) have been split down to the smallest memory where possible.
-pub fn biggest_assign(
-    g: &Dag,
-    cluster: &Cluster,
-    bs: BlockSet,
-    cfg: &PartitionConfig,
-) -> BlockSet {
+pub fn biggest_assign(g: &Dag, cluster: &Cluster, bs: BlockSet, cfg: &PartitionConfig) -> BlockSet {
     let mut seq = 0u64;
     let mut queue: BinaryHeap<QueuedBlock> = BinaryHeap::new();
     for b in bs.iter() {

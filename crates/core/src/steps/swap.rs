@@ -64,9 +64,7 @@ pub fn swap_blocks(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
                 let ms = quotient_makespan(&q.graph, &speeds_q, cluster.bandwidth);
                 speeds_q[qi] = si;
                 speeds_q[qj] = sj;
-                if ms < best_ms - 1e-12
-                    && best_pair.is_none_or(|(_, _, b)| ms < b)
-                {
+                if ms < best_ms - 1e-12 && best_pair.is_none_or(|(_, _, b)| ms < b) {
                     best_pair = Some((i, j, ms));
                 }
             }
@@ -94,10 +92,7 @@ pub fn swap_blocks(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
 pub fn idle_moves(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
     debug_assert!(bs.unassigned().is_empty());
     let used: HashSet<ProcId> = bs.iter().filter_map(|b| b.proc).collect();
-    let mut idle: Vec<ProcId> = cluster
-        .proc_ids()
-        .filter(|p| !used.contains(p))
-        .collect();
+    let mut idle: Vec<ProcId> = cluster.proc_ids().filter(|p| !used.contains(p)).collect();
     if idle.is_empty() {
         return 0;
     }
@@ -138,8 +133,7 @@ pub fn idle_moves(g: &Dag, cluster: &Cluster, bs: &mut BlockSet) -> usize {
                 .iter()
                 .copied()
                 .filter(|&p| {
-                    cluster.speed(p) > cur_speed
-                        && bs.block(block).req <= cluster.memory(p)
+                    cluster.speed(p) > cur_speed && bs.block(block).req <= cluster.memory(p)
                 })
                 .max_by(|a, b| {
                     cluster
@@ -204,7 +198,11 @@ mod tests {
         let after = crate::makespan::blockset_makespan(&g, &bs, &cluster);
         assert_eq!(swaps, 1);
         assert!(after < before);
-        assert_eq!(bs.block(0).proc, Some(ProcId(1)), "heavy block on fast proc");
+        assert_eq!(
+            bs.block(0).proc,
+            Some(ProcId(1)),
+            "heavy block on fast proc"
+        );
     }
 
     #[test]

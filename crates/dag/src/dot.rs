@@ -25,7 +25,11 @@ pub fn to_dot(g: &Dag, name: &str) -> String {
     }
     for e in g.edge_ids() {
         let ed = g.edge(e);
-        let _ = writeln!(s, "  n{} -> n{} [volume={}];", ed.src.0, ed.dst.0, ed.volume);
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [volume={}];",
+            ed.src.0, ed.dst.0, ed.volume
+        );
     }
     s.push_str("}\n");
     s
@@ -97,7 +101,9 @@ pub fn from_dot(input: &str) -> Result<Dag, DotError> {
         }
         let (head, attrs) = match stmt.find('[') {
             Some(i) => {
-                let close = stmt.rfind(']').ok_or_else(|| DotError::BadStatement(stmt.into()))?;
+                let close = stmt
+                    .rfind(']')
+                    .ok_or_else(|| DotError::BadStatement(stmt.into()))?;
                 (stmt[..i].trim(), parse_attrs(&stmt[i + 1..close]))
             }
             None => (stmt, HashMap::new()),
@@ -196,16 +202,17 @@ mod tests {
 
     #[test]
     fn rejects_non_digraph() {
-        assert_eq!(from_dot("graph g { a -- b; }").err(), Some(DotError::NotADigraph));
+        assert_eq!(
+            from_dot("graph g { a -- b; }").err(),
+            Some(DotError::NotADigraph)
+        );
         assert_eq!(from_dot("nonsense").err(), Some(DotError::NotADigraph));
     }
 
     #[test]
     fn ignores_keywords_and_graph_attrs() {
-        let g = from_dot(
-            "digraph g { rankdir=LR; node [shape=box]; a [work=5]; a -> b; }",
-        )
-        .unwrap();
+        let g =
+            from_dot("digraph g { rankdir=LR; node [shape=box]; a [work=5]; a -> b; }").unwrap();
         assert_eq!(g.node_count(), 2);
         let a = g
             .node_ids()

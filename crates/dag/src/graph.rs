@@ -212,12 +212,16 @@ impl Dag {
 
     /// Children `C_u` of a task (targets of its out-edges).
     pub fn children(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_adj[u.idx()].iter().map(|&e| self.edges[e.idx()].dst)
+        self.out_adj[u.idx()]
+            .iter()
+            .map(|&e| self.edges[e.idx()].dst)
     }
 
     /// Parents `Π_u` of a task (sources of its in-edges).
     pub fn parents(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.in_adj[u.idx()].iter().map(|&e| self.edges[e.idx()].src)
+        self.in_adj[u.idx()]
+            .iter()
+            .map(|&e| self.edges[e.idx()].src)
     }
 
     /// Out-degree of `u`.

@@ -38,7 +38,7 @@ proptest! {
     fn cycle_found_iff_cyclic((n, p, seed) in dag_params(), extra in any::<u32>()) {
         let mut g = builder::gnp_dag(n, p, seed);
         // Optionally inject a back edge to create a cycle.
-        let inject = extra % 2 == 0;
+        let inject = extra.is_multiple_of(2);
         if inject {
             // add edge from the last node to the first along some path
             let order = topo_sort(&g).unwrap();

@@ -106,9 +106,7 @@ pub fn partition(g: &Dag, k: usize, cfg: &PartitionConfig) -> Partition {
     let weights: Vec<f64> = match cfg.balance {
         BalanceWeight::Work => g.node_ids().map(|u| g.node(u).work).collect(),
         BalanceWeight::Memory => g.node_ids().map(|u| g.node(u).memory).collect(),
-        BalanceWeight::TaskRequirement => {
-            g.node_ids().map(|u| g.task_requirement(u)).collect()
-        }
+        BalanceWeight::TaskRequirement => g.node_ids().map(|u| g.task_requirement(u)).collect(),
     };
 
     // 1. Coarsen.
@@ -212,8 +210,7 @@ mod tests {
             let g = builder::gnp_dag_weighted(100, 0.08, seed);
             let weights: Vec<f64> = g.node_ids().map(|u| g.node(u).work).collect();
             let initial = initial::topo_chunks(&g, &weights, 4);
-            let init_cut =
-                QuotientGraph::build(&g, &P::from_raw(&initial)).edge_cut();
+            let init_cut = QuotientGraph::build(&g, &P::from_raw(&initial)).edge_cut();
             let refined = partition(&g, 4, &PartitionConfig::default());
             let ref_cut = QuotientGraph::build(&g, &refined).edge_cut();
             assert!(

@@ -18,13 +18,7 @@ use dhp_dag::Dag;
 
 /// Refines `assignment` in place. `assignment[u]` must be a valid part in
 /// `0..k` satisfying the monotone invariant.
-pub fn refine(
-    g: &Dag,
-    weights: &[f64],
-    assignment: &mut [u32],
-    k: usize,
-    cfg: &PartitionConfig,
-) {
+pub fn refine(g: &Dag, weights: &[f64], assignment: &mut [u32], k: usize, cfg: &PartitionConfig) {
     let n = g.node_count();
     debug_assert_eq!(assignment.len(), n);
     if k <= 1 || n <= k {

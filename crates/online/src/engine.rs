@@ -1,0 +1,638 @@
+//! The event-driven co-scheduling engine.
+//!
+//! [`serve`] advances a global virtual clock over two event kinds —
+//! workflow *arrivals* (from the submission stream) and workflow
+//! *completions* (computed by `dhp-sim` on the workflow's lease) — and
+//! runs an admission pass at every event boundary:
+//!
+//! 1. the admission policy ranks the queue ([`AdmissionPolicy`]);
+//! 2. the engine sizes a lease ([`LeaseSizing`]) and carves the
+//!    highest-memory free processors into a
+//!    [`SubCluster`] view;
+//! 3. the offline solver maps the workflow onto the lease
+//!    ([`schedule_on_subcluster`]); on `NoSolution` the lease size is
+//!    doubled (up to all free processors), after which the workflow
+//!    either waits for more capacity or — if the whole idle cluster
+//!    cannot hold it — is rejected;
+//! 4. the discrete-event simulator executes the mapping on the lease
+//!    view, fixing the completion instant and per-processor busy time.
+//!
+//! Completions at an instant are processed before arrivals at the same
+//! instant (freed processors are visible to the newly arrived work),
+//! and every tie is broken by submission id, so a run is a pure
+//! function of `(cluster, submissions, config)` — asserted by the
+//! integration tests.
+
+use crate::policy::{AdmissionPolicy, LeaseSizing};
+use crate::report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
+use crate::submission::Submission;
+use dhp_core::daghetpart::DagHetPartConfig;
+use dhp_core::fitting::max_task_requirement;
+use dhp_core::mapping::Mapping;
+use dhp_core::partial::{schedule_on_subcluster, Algorithm};
+use dhp_core::SchedError;
+use dhp_platform::{Cluster, ProcId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct OnlineConfig {
+    /// Queue-ranking policy.
+    pub policy: AdmissionPolicy,
+    /// Lease sizing rule.
+    pub lease: LeaseSizing,
+    /// Solver run on each lease.
+    pub algorithm: Algorithm,
+    /// DagHetPart settings (ignored by DagHetMem).
+    pub solver: DagHetPartConfig,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            policy: AdmissionPolicy::Fifo,
+            lease: LeaseSizing::default(),
+            algorithm: Algorithm::DagHetPart,
+            solver: DagHetPartConfig::default(),
+        }
+    }
+}
+
+/// A queued workflow with its admission-relevant statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct Pending {
+    pub(crate) id: usize,
+    pub(crate) arrival: f64,
+    pub(crate) total_work: f64,
+    pub(crate) max_task_req: f64,
+    submission: Submission,
+}
+
+/// One granted lease with its full schedule — returned for validation
+/// and replay alongside the serialisable report.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// The served submission (graph included).
+    pub submission: Submission,
+    /// The mapping in *parent-cluster* processor ids.
+    pub mapping: Mapping,
+    /// Leased processors (parent ids, grant order).
+    pub lease: Vec<ProcId>,
+    /// Lease grant instant.
+    pub start: f64,
+    /// Completion instant.
+    pub finish: f64,
+}
+
+/// Result of [`serve`]: the serialisable report plus the placements.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Metrics, in completion order.
+    pub report: ServeReport,
+    /// Every served workflow's lease and mapping, in completion order
+    /// (matching `report.workflows`).
+    pub placements: Vec<Placement>,
+}
+
+#[derive(Debug)]
+struct Completion {
+    time: f64,
+    seq: u64,
+    /// Index into `records`/`in_service` bookkeeping.
+    slot: usize,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct InService {
+    record: WorkflowRecord,
+    placement: Placement,
+}
+
+/// Serves a submission stream on a shared cluster. See the module docs
+/// for the event loop; the returned outcome is deterministic for fixed
+/// inputs.
+pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig) -> ServeOutcome {
+    assert!(
+        !cluster.is_empty(),
+        "serve needs at least one processor (an empty cluster can admit nothing)"
+    );
+    let mut subs = submissions;
+    subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+
+    // Free processors, scanned in the heuristics' canonical
+    // memory-descending order so every lease grabs the biggest free
+    // memories first (feasibility is monotone in that choice).
+    let mem_order: Vec<ProcId> = cluster.ids_by_memory_desc();
+    let mut free = vec![true; cluster.len()];
+    let mut free_count = cluster.len();
+
+    let mut queue: Vec<Pending> = Vec::new();
+    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+
+    let mut in_service: Vec<Option<InService>> = Vec::new();
+    let mut finished: Vec<WorkflowRecord> = Vec::new();
+    let mut placements: Vec<Placement> = Vec::new();
+    let mut rejected: Vec<RejectedRecord> = Vec::new();
+    let mut busy_time = vec![0.0f64; cluster.len()];
+
+    let mut next_arrival = 0usize;
+    let mut clock = 0.0f64;
+
+    loop {
+        // ------------------------------------------------ next event(s)
+        let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
+        let completion_time = events.peek().map(|c| c.time);
+        match (completion_time, arrival_time) {
+            (None, None) if queue.is_empty() => break,
+            (None, None) => {
+                // Queue non-empty with nothing in flight: every
+                // processor is free, so the admission pass below must
+                // either admit or reject each head candidate; falling
+                // through with an unchanged clock is safe.
+            }
+            // Completions first at equal instants: freed processors
+            // must be visible to same-instant arrivals.
+            (Some(tc), ta) if ta.is_none_or(|t| tc <= t) => {
+                clock = tc;
+                while let Some(c) = events.peek() {
+                    if c.time > clock {
+                        break;
+                    }
+                    let c = events.pop().unwrap();
+                    let done = in_service[c.slot].take().expect("one completion per slot");
+                    for &p in &done.placement.lease {
+                        debug_assert!(!free[p.idx()]);
+                        free[p.idx()] = true;
+                    }
+                    free_count += done.placement.lease.len();
+                    finished.push(done.record);
+                    placements.push(done.placement);
+                }
+            }
+            (_, Some(ta)) => {
+                clock = ta;
+                while let Some(s) = subs.get(next_arrival) {
+                    if s.arrival > clock {
+                        break;
+                    }
+                    let s = subs[next_arrival].clone();
+                    next_arrival += 1;
+                    let req = max_task_requirement(&s.instance.graph);
+                    if req > cluster.max_memory() * (1.0 + 1e-9) {
+                        rejected.push(RejectedRecord {
+                            id: s.id,
+                            name: s.instance.name.clone(),
+                            arrival: s.arrival,
+                            reason: format!(
+                                "task requirement {req:.2} exceeds the largest processor \
+                                 memory {:.2}",
+                                cluster.max_memory()
+                            ),
+                        });
+                        continue;
+                    }
+                    queue.push(Pending {
+                        id: s.id,
+                        arrival: s.arrival,
+                        total_work: s.instance.graph.total_work(),
+                        max_task_req: req,
+                        submission: s,
+                    });
+                }
+            }
+            // `(Some, None)` always satisfies the completion guard.
+            (Some(_), None) => unreachable!(),
+        }
+
+        // ------------------------------------------------ admission pass
+        // Keep admitting until a full pass changes nothing.
+        loop {
+            let mut admitted_any = false;
+            let order = cfg.policy.candidate_order(&queue);
+            for qi in order {
+                if free_count == 0 {
+                    break;
+                }
+                let cand = &queue[qi];
+                match try_admit(cluster, &mem_order, &free, cand, cfg, clock) {
+                    Admit::Granted(boxed) => {
+                        let (record, placement, sim_busy) = *boxed;
+                        for &p in &placement.lease {
+                            free[p.idx()] = false;
+                        }
+                        free_count -= placement.lease.len();
+                        for (p, b) in sim_busy {
+                            busy_time[p.idx()] += b;
+                        }
+                        let slot = in_service.len();
+                        events.push(Completion {
+                            time: placement.finish,
+                            seq,
+                            slot,
+                        });
+                        seq += 1;
+                        in_service.push(Some(InService { record, placement }));
+                        queue.remove(qi);
+                        admitted_any = true;
+                        break; // re-rank: queue indices shifted
+                    }
+                    Admit::Wait => {
+                        // Not placeable right now; under FIFO this blocks
+                        // the line, under the others the next candidate
+                        // gets a chance.
+                        continue;
+                    }
+                    Admit::Reject(reason) => {
+                        rejected.push(RejectedRecord {
+                            id: cand.id,
+                            name: cand.submission.instance.name.clone(),
+                            arrival: cand.arrival,
+                            reason,
+                        });
+                        queue.remove(qi);
+                        admitted_any = true; // queue changed: re-rank
+                        break;
+                    }
+                }
+            }
+            if !admitted_any {
+                break;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- report
+    let horizon = finished.iter().map(|r| r.finish).fold(0.0, f64::max);
+    let completed = finished.len();
+    let mean = |xs: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+        let mut n = 0usize;
+        let (mut sum, mut max) = (0.0, 0.0);
+        for x in xs {
+            n += 1;
+            sum += x;
+            max = f64::max(max, x);
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (sum / n as f64, max)
+        }
+    };
+    let (mean_wait, max_wait) = mean(&mut finished.iter().map(|r| r.wait));
+    let (mean_stretch, max_stretch) = mean(&mut finished.iter().map(|r| r.stretch));
+    let (mean_lease, _) = mean(&mut finished.iter().map(|r| r.lease.len() as f64));
+    let utilization = if horizon > 0.0 {
+        busy_time.iter().sum::<f64>() / (horizon * cluster.len() as f64)
+    } else {
+        0.0
+    };
+    let peak_concurrency = peak_overlap(&finished);
+
+    ServeOutcome {
+        report: ServeReport {
+            policy: cfg.policy.name().to_string(),
+            algorithm: cfg.algorithm.name().to_string(),
+            cluster_procs: cluster.len(),
+            bandwidth: cluster.bandwidth,
+            workflows: finished,
+            rejected,
+            fleet: FleetMetrics {
+                completed,
+                rejected: 0, // patched below
+                horizon,
+                throughput: if horizon > 0.0 {
+                    completed as f64 / horizon
+                } else {
+                    0.0
+                },
+                utilization,
+                mean_wait,
+                max_wait,
+                mean_stretch,
+                max_stretch,
+                mean_lease,
+                peak_concurrency,
+            },
+        },
+        placements,
+    }
+    .with_rejected_count()
+}
+
+impl ServeOutcome {
+    fn with_rejected_count(mut self) -> Self {
+        self.report.fleet.rejected = self.report.rejected.len();
+        self
+    }
+}
+
+/// Everything a granted lease produces: the metrics record, the
+/// placement, and per-processor busy time (global ids).
+type Grant = (WorkflowRecord, Placement, Vec<(ProcId, f64)>);
+
+enum Admit {
+    /// Lease granted; box keeps the variant small.
+    Granted(Box<Grant>),
+    /// Cannot be placed on the currently free processors; keep queued.
+    Wait,
+    /// Cannot be placed even on the whole idle cluster; drop.
+    Reject(String),
+}
+
+fn try_admit(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    clock: f64,
+) -> Admit {
+    let free_sorted: Vec<ProcId> = mem_order
+        .iter()
+        .copied()
+        .filter(|p| free[p.idx()])
+        .collect();
+    if free_sorted.is_empty() {
+        return Admit::Wait;
+    }
+    let whole_cluster_free = free_sorted.len() == cluster.len();
+
+    // The lease takes the biggest free memories first, so feasibility of
+    // the hottest task is decided by the first free processor.
+    if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
+        return if whole_cluster_free {
+            Admit::Reject(format!(
+                "task requirement {:.2} exceeds every processor memory",
+                cand.max_task_req
+            ))
+        } else {
+            Admit::Wait
+        };
+    }
+
+    let g = &cand.submission.instance.graph;
+    let target = cfg.lease.target(g.node_count()).min(free_sorted.len());
+    // Escalate by doubling when the target lease has too little memory:
+    // jumping straight to "all free processors" would hand one workflow
+    // the whole cluster and serialise the fleet. Feasibility outranks
+    // the sizing cap, so escalation may exceed `max_procs`.
+    let mut sizes = Vec::new();
+    let mut size = target;
+    loop {
+        sizes.push(size);
+        if size == free_sorted.len() {
+            break;
+        }
+        size = (size * 2).min(free_sorted.len());
+    }
+
+    for size in sizes {
+        let lease: Vec<ProcId> = free_sorted[..size].to_vec();
+        let sub = cluster.subcluster(&lease);
+        match schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver) {
+            Err(SchedError::NoSolution) => continue,
+            Ok(sched) => {
+                // Execute on the lease view: the virtual clock advances
+                // by the *simulated* makespan, and per-processor busy
+                // time feeds fleet utilisation.
+                let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
+                let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
+                let busy: Vec<(ProcId, f64)> = tl
+                    .lanes
+                    .iter()
+                    .map(|lane| (sub.to_global(lane.proc), lane.busy))
+                    .collect();
+                let start = clock;
+                let finish = clock + sim.makespan;
+                let service = sim.makespan;
+                let record = WorkflowRecord {
+                    id: cand.id,
+                    name: cand.submission.instance.name.clone(),
+                    tasks: g.node_count(),
+                    arrival: cand.arrival,
+                    start,
+                    finish,
+                    wait: start - cand.arrival,
+                    service,
+                    response: finish - cand.arrival,
+                    stretch: if service > 0.0 {
+                        (finish - cand.arrival) / service
+                    } else {
+                        1.0
+                    },
+                    model_makespan: sched.local.makespan,
+                    lease: lease.iter().map(|p| p.0).collect(),
+                    blocks: sched.local.mapping.num_blocks(),
+                };
+                let placement = Placement {
+                    submission: cand.submission.clone(),
+                    mapping: sched.global,
+                    lease,
+                    start,
+                    finish,
+                };
+                return Admit::Granted(Box::new((record, placement, busy)));
+            }
+        }
+    }
+
+    if whole_cluster_free {
+        Admit::Reject(format!(
+            "no valid mapping exists on the whole idle cluster \
+             ({} processors, {:.2} total memory)",
+            cluster.len(),
+            cluster.total_memory()
+        ))
+    } else {
+        Admit::Wait
+    }
+}
+
+/// Scales the cluster's memories (smallest proportional factor) so the
+/// hottest task across *all* submissions fits the largest processor
+/// with `headroom` slack — the fleet-level analogue of
+/// [`dhp_core::fitting::scale_cluster_with_headroom`], applied once so
+/// every workflow sees the same shared platform.
+pub fn fit_cluster(cluster: &Cluster, submissions: &[Submission], headroom: f64) -> Cluster {
+    let mut fitted = cluster.clone();
+    for s in submissions {
+        fitted =
+            dhp_core::fitting::scale_cluster_with_headroom(&s.instance.graph, &fitted, headroom);
+    }
+    fitted
+}
+
+/// Largest number of overlapping `[start, finish)` service intervals.
+fn peak_overlap(records: &[WorkflowRecord]) -> usize {
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        edges.push((r.start, 1));
+        edges.push((r.finish, -1));
+    }
+    // Ends before starts at the same instant.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut cur, mut peak) = (0i32, 0i32);
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::submission::stream;
+    use dhp_core::mapping::validate;
+    use dhp_platform::Processor;
+    use dhp_wfgen::arrivals::ArrivalProcess;
+    use dhp_wfgen::Family;
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(
+            vec![
+                Processor::new("big", 4.0, 600.0),
+                Processor::new("mid", 2.0, 400.0),
+                Processor::new("mid", 2.0, 400.0),
+                Processor::new("sml", 1.0, 250.0),
+            ],
+            1.0,
+        )
+    }
+
+    fn small_stream(n: usize) -> Vec<Submission> {
+        stream(
+            n,
+            &[Family::Blast, Family::Seismology],
+            (20, 40),
+            &ArrivalProcess::Poisson { rate: 0.05 },
+            42,
+        )
+    }
+
+    #[test]
+    fn serves_everything_on_an_ample_cluster() {
+        let cluster = small_cluster();
+        let out = serve(&cluster, small_stream(6), &OnlineConfig::default());
+        assert_eq!(out.report.fleet.completed, 6);
+        assert_eq!(out.report.fleet.rejected, 0);
+        assert_eq!(out.placements.len(), 6);
+        for p in &out.placements {
+            validate(&p.submission.instance.graph, &cluster, &p.mapping)
+                .expect("global mapping valid against the shared cluster");
+            assert!(p.finish > p.start);
+        }
+        let f = &out.report.fleet;
+        assert!(f.throughput > 0.0);
+        assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
+        assert!(f.mean_stretch >= 1.0);
+    }
+
+    #[test]
+    fn leases_never_overlap_in_time() {
+        let cluster = small_cluster();
+        let out = serve(
+            &cluster,
+            stream(
+                10,
+                &[Family::Blast],
+                (20, 40),
+                &ArrivalProcess::Burst { at: 0.0 },
+                7,
+            ),
+            &OnlineConfig::default(),
+        );
+        assert_eq!(out.report.fleet.completed, 10);
+        // Per processor: served intervals must be disjoint.
+        for p in cluster.proc_ids() {
+            let mut spans: Vec<(f64, f64)> = out
+                .report
+                .workflows
+                .iter()
+                .filter(|r| r.lease.contains(&p.0))
+                .map(|r| (r.start, r.finish))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "processor {p} double-leased: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_workflow_is_rejected_not_starved() {
+        // One task needing more memory than any processor has.
+        let mut subs = small_stream(2);
+        let mut g = dhp_dag::Dag::new();
+        g.add_node(5.0, 10_000.0);
+        subs.push(Submission {
+            id: 99,
+            arrival: 0.0,
+            instance: dhp_wfgen::WorkflowInstance {
+                name: "monster".into(),
+                family: None,
+                size_class: dhp_wfgen::SizeClass::Real,
+                requested_size: 1,
+                graph: g,
+            },
+        });
+        let out = serve(&small_cluster(), subs, &OnlineConfig::default());
+        assert_eq!(out.report.fleet.rejected, 1);
+        assert_eq!(out.report.rejected[0].id, 99);
+        assert_eq!(out.report.fleet.completed, 2);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_reports() {
+        let cluster = small_cluster();
+        let a = serve(&cluster, small_stream(8), &OnlineConfig::default());
+        let b = serve(&cluster, small_stream(8), &OnlineConfig::default());
+        assert_eq!(a.report.to_json(), b.report.to_json());
+    }
+
+    #[test]
+    fn all_policies_serve_the_same_set() {
+        let cluster = small_cluster();
+        for policy in AdmissionPolicy::ALL {
+            let cfg = OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            };
+            let out = serve(&cluster, small_stream(8), &cfg);
+            assert_eq!(
+                out.report.fleet.completed,
+                8,
+                "policy {} dropped work",
+                policy.name()
+            );
+            let mut ids: Vec<usize> = out.report.workflows.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # dhp-online
+//!
+//! An **online multi-workflow co-scheduling engine** on one shared
+//! memory-heterogeneous cluster — the serving layer above the paper's
+//! offline DAGP-PM heuristics.
+//!
+//! The paper maps a *single* workflow onto an *idle* platform. In a
+//! production setting workflows arrive continuously and compete for the
+//! same processors. This crate closes that gap without touching the
+//! solvers: it slices the shared [`Cluster`](dhp_platform::Cluster)
+//! into disjoint [`SubCluster`](dhp_platform::SubCluster) *leases*,
+//! runs `dag_het_part`/`dag_het_mem` per lease
+//! ([`dhp_core::partial::schedule_on_subcluster`]), executes each
+//! mapping with the `dhp-sim` discrete-event simulator to fix its
+//! completion instant, and advances a global virtual clock over
+//! arrival/completion events.
+//!
+//! * [`Submission`]/[`submission::stream`] — workflow arrival streams
+//!   (Poisson / uniform / burst, via [`dhp_wfgen::arrivals`]).
+//! * [`AdmissionPolicy`] — FIFO (head-of-line blocking),
+//!   shortest-workflow-first, memory-fit-first.
+//! * [`LeaseSizing`] — how many processors each workflow gets.
+//! * [`serve`] — the engine; returns a [`ServeOutcome`] holding the
+//!   serialisable [`ServeReport`] (per-workflow wait/stretch/service,
+//!   fleet throughput/utilisation) plus every [`Placement`] (lease +
+//!   global mapping) for validation and replay.
+//!
+//! Runs are deterministic: a fixed `(cluster, submissions, config)`
+//! triple always yields the identical report.
+//!
+//! ```
+//! use dhp_online::prelude::*;
+//! use dhp_wfgen::arrivals::ArrivalProcess;
+//! use dhp_wfgen::Family;
+//!
+//! let subs = dhp_online::submission::stream(
+//!     5, &[Family::Blast], (20, 40), &ArrivalProcess::Burst { at: 0.0 }, 42);
+//! // Scale the shared platform once so the hottest task of the whole
+//! // stream fits (the paper's §5.1.2 normalisation, fleet-wide).
+//! let cluster = fit_cluster(&dhp_platform::configs::default_cluster(), &subs, 1.05);
+//! let out = serve(&cluster, subs, &OnlineConfig::default());
+//! assert_eq!(out.report.fleet.completed, 5);
+//! for p in &out.placements {
+//!     dhp_core::mapping::validate(&p.submission.instance.graph, &cluster, &p.mapping).unwrap();
+//! }
+//! ```
+
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod submission;
+
+pub use engine::{fit_cluster, serve, OnlineConfig, Placement, ServeOutcome};
+pub use policy::{AdmissionPolicy, LeaseSizing};
+pub use report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
+pub use submission::Submission;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::engine::{fit_cluster, serve, OnlineConfig, Placement, ServeOutcome};
+    pub use crate::policy::{AdmissionPolicy, LeaseSizing};
+    pub use crate::report::ServeReport;
+    pub use crate::submission::Submission;
+}

@@ -1,0 +1,166 @@
+//! Admission policies and lease sizing.
+//!
+//! When processors free up (or new work arrives), the engine must
+//! decide *which* queued workflow to admit next and *how many*
+//! processors to lease to it. Policies only rank the queue; the
+//! feasibility test (can the solver actually produce a valid mapping on
+//! the candidate lease?) stays in the engine, so every policy sees the
+//! identical admission machinery.
+
+/// Which queued workflow to try next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order with head-of-line blocking: nothing jumps
+    /// the queue, even if the head cannot currently be placed.
+    Fifo,
+    /// Smallest total work first (SJF-style): minimises mean wait under
+    /// bursts, at the cost of potentially starving big workflows.
+    ShortestFirst,
+    /// Hardest-to-place memory footprint first (best-fit decreasing on
+    /// the hottest task requirement): big-memory workflows grab the
+    /// big-memory processors while they are free.
+    MemoryFitFirst,
+}
+
+impl AdmissionPolicy {
+    /// Display/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ShortestFirst => "shortest",
+            AdmissionPolicy::MemoryFitFirst => "memfit",
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "fifo" => Some(AdmissionPolicy::Fifo),
+            "shortest" | "sjf" => Some(AdmissionPolicy::ShortestFirst),
+            "memfit" | "memory-fit" => Some(AdmissionPolicy::MemoryFitFirst),
+            _ => None,
+        }
+    }
+
+    /// All policies (for sweeps and tests).
+    pub const ALL: [AdmissionPolicy; 3] = [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::ShortestFirst,
+        AdmissionPolicy::MemoryFitFirst,
+    ];
+
+    /// Candidate order: indices into `queue` in the order this policy
+    /// wants them tried. `Fifo` returns only the head (head-of-line
+    /// blocking); the others rank the whole queue.
+    pub(crate) fn candidate_order(self, queue: &[crate::engine::Pending]) -> Vec<usize> {
+        match self {
+            AdmissionPolicy::Fifo => {
+                if queue.is_empty() {
+                    vec![]
+                } else {
+                    vec![0]
+                }
+            }
+            AdmissionPolicy::ShortestFirst => {
+                let mut idx: Vec<usize> = (0..queue.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    queue[a]
+                        .total_work
+                        .total_cmp(&queue[b].total_work)
+                        .then(queue[a].id.cmp(&queue[b].id))
+                });
+                idx
+            }
+            AdmissionPolicy::MemoryFitFirst => {
+                let mut idx: Vec<usize> = (0..queue.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    queue[b]
+                        .max_task_req
+                        .total_cmp(&queue[a].max_task_req)
+                        .then(queue[a].id.cmp(&queue[b].id))
+                });
+                idx
+            }
+        }
+    }
+}
+
+/// How many processors a workflow's lease should target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseSizing {
+    /// Target tasks per leased processor; the lease size is
+    /// `ceil(tasks / tasks_per_proc)` clamped to the bounds below.
+    pub tasks_per_proc: usize,
+    /// Lower bound on the lease size.
+    pub min_procs: usize,
+    /// Upper bound on the lease size (caps how much of the cluster one
+    /// workflow can monopolise).
+    pub max_procs: usize,
+}
+
+impl Default for LeaseSizing {
+    fn default() -> Self {
+        LeaseSizing {
+            tasks_per_proc: 25,
+            min_procs: 1,
+            max_procs: usize::MAX,
+        }
+    }
+}
+
+impl LeaseSizing {
+    /// Target lease size for a workflow with `tasks` tasks. Degenerate
+    /// bounds are normalised (`min` raised to 1, `max` raised to `min`)
+    /// rather than panicking.
+    pub fn target(&self, tasks: usize) -> usize {
+        let lo = self.min_procs.max(1);
+        let hi = self.max_procs.max(lo);
+        tasks.div_ceil(self.tasks_per_proc.max(1)).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in AdmissionPolicy::ALL {
+            assert_eq!(AdmissionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(
+            AdmissionPolicy::parse("sjf"),
+            Some(AdmissionPolicy::ShortestFirst)
+        );
+        assert_eq!(AdmissionPolicy::parse("unknown"), None);
+    }
+
+    #[test]
+    fn lease_target_scales_and_clamps() {
+        let s = LeaseSizing {
+            tasks_per_proc: 25,
+            min_procs: 2,
+            max_procs: 6,
+        };
+        assert_eq!(s.target(10), 2); // floor at min
+        assert_eq!(s.target(100), 4); // 100/25
+        assert_eq!(s.target(101), 5); // ceil
+        assert_eq!(s.target(10_000), 6); // cap at max
+    }
+
+    #[test]
+    fn degenerate_bounds_do_not_panic() {
+        let s = LeaseSizing {
+            tasks_per_proc: 0,
+            min_procs: 8,
+            max_procs: 4,
+        };
+        assert_eq!(s.target(100), 8); // min wins; max raised to min
+        let z = LeaseSizing {
+            tasks_per_proc: 25,
+            min_procs: 0,
+            max_procs: 0,
+        };
+        assert_eq!(z.target(10), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Serialisable results of one serving run: per-workflow records and
+//! fleet-level aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one completed workflow.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowRecord {
+    /// Submission id.
+    pub id: usize,
+    /// Instance name (family + size + index).
+    pub name: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Arrival instant.
+    pub arrival: f64,
+    /// Instant the lease was granted and execution started.
+    pub start: f64,
+    /// Completion instant (simulated).
+    pub finish: f64,
+    /// `start - arrival`.
+    pub wait: f64,
+    /// Simulated execution time on the lease (`finish - start`).
+    pub service: f64,
+    /// `finish - arrival`.
+    pub response: f64,
+    /// Slowdown `response / service` (>= 1; 1 = never waited).
+    pub stretch: f64,
+    /// Analytic (model) makespan the solver promised on the lease; the
+    /// simulated `service` is never larger (paper §3.3).
+    pub model_makespan: f64,
+    /// Global processor ids of the lease, in grant order.
+    pub lease: Vec<u32>,
+    /// Number of blocks of the chosen mapping.
+    pub blocks: usize,
+}
+
+/// A workflow the engine could not serve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RejectedRecord {
+    /// Submission id.
+    pub id: usize,
+    /// Instance name.
+    pub name: String,
+    /// Arrival instant.
+    pub arrival: f64,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Fleet-level aggregates over the whole run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Workflows completed.
+    pub completed: usize,
+    /// Workflows rejected (infeasible on this cluster).
+    pub rejected: usize,
+    /// End of the run: the last completion instant.
+    pub horizon: f64,
+    /// Completed workflows per unit of virtual time.
+    pub throughput: f64,
+    /// Busy processor-time divided by `horizon × cluster size`.
+    pub utilization: f64,
+    /// Mean time from arrival to lease grant.
+    pub mean_wait: f64,
+    /// Largest wait.
+    pub max_wait: f64,
+    /// Mean slowdown (`response / service`).
+    pub mean_stretch: f64,
+    /// Largest slowdown.
+    pub max_stretch: f64,
+    /// Mean lease size (processors per workflow).
+    pub mean_lease: f64,
+    /// Largest number of workflows in service at once.
+    pub peak_concurrency: usize,
+}
+
+/// Everything one serving run reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Admission policy name.
+    pub policy: String,
+    /// Solver name.
+    pub algorithm: String,
+    /// Cluster size (processors).
+    pub cluster_procs: usize,
+    /// Cluster interconnect bandwidth.
+    pub bandwidth: f64,
+    /// Per-workflow records, in completion order.
+    pub workflows: Vec<WorkflowRecord>,
+    /// Rejected submissions, in rejection order.
+    pub rejected: Vec<RejectedRecord>,
+    /// Fleet aggregates.
+    pub fleet: FleetMetrics,
+}
+
+impl ServeReport {
+    /// Pretty-printed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// A short human-readable summary (one line per aggregate).
+    pub fn summary(&self) -> String {
+        let f = &self.fleet;
+        format!(
+            "policy {} · algorithm {} · {} procs\n\
+             completed {:>5}   rejected {:>4}   horizon {:.2}\n\
+             throughput {:.4}/t   utilization {:.1}%   peak concurrency {}\n\
+             wait   mean {:.2}  max {:.2}\n\
+             stretch mean {:.3}  max {:.3}   mean lease {:.2} procs",
+            self.policy,
+            self.algorithm,
+            self.cluster_procs,
+            f.completed,
+            f.rejected,
+            f.horizon,
+            f.throughput,
+            100.0 * f.utilization,
+            f.peak_concurrency,
+            f.mean_wait,
+            f.max_wait,
+            f.mean_stretch,
+            f.max_stretch,
+            f.mean_lease,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            policy: "fifo".into(),
+            algorithm: "daghetpart".into(),
+            cluster_procs: 4,
+            bandwidth: 1.0,
+            workflows: vec![WorkflowRecord {
+                id: 0,
+                name: "blast-30-0".into(),
+                tasks: 30,
+                arrival: 0.0,
+                start: 0.0,
+                finish: 12.5,
+                wait: 0.0,
+                service: 12.5,
+                response: 12.5,
+                stretch: 1.0,
+                model_makespan: 13.0,
+                lease: vec![1, 3],
+                blocks: 2,
+            }],
+            rejected: vec![],
+            fleet: FleetMetrics {
+                completed: 1,
+                rejected: 0,
+                horizon: 12.5,
+                throughput: 0.08,
+                utilization: 0.5,
+                mean_wait: 0.0,
+                max_wait: 0.0,
+                mean_stretch: 1.0,
+                max_stretch: 1.0,
+                mean_lease: 2.0,
+                peak_concurrency: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let back: ServeReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn summary_mentions_key_metrics() {
+        let s = sample().summary();
+        assert!(s.contains("fifo"));
+        assert!(s.contains("throughput"));
+        assert!(s.contains("stretch"));
+    }
+}

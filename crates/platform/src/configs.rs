@@ -144,11 +144,8 @@ pub enum ClusterSize {
 
 impl ClusterSize {
     /// All sizes, ascending.
-    pub const ALL: [ClusterSize; 3] = [
-        ClusterSize::Small,
-        ClusterSize::Default,
-        ClusterSize::Large,
-    ];
+    pub const ALL: [ClusterSize; 3] =
+        [ClusterSize::Small, ClusterSize::Default, ClusterSize::Large];
 
     /// Copies per machine kind.
     pub fn per_kind(self) -> usize {
@@ -226,7 +223,9 @@ mod tests {
         // 6 "local" at (4, 16)
         let locals: Vec<_> = c.iter().filter(|(_, p)| p.kind == "local").collect();
         assert_eq!(locals.len(), 6);
-        assert!(locals.iter().all(|(_, p)| p.speed == 4.0 && p.memory == 16.0));
+        assert!(locals
+            .iter()
+            .all(|(_, p)| p.speed == 4.0 && p.memory == 16.0));
         // 6 "C2" at (32, 192)
         let c2: Vec<_> = c.iter().filter(|(_, p)| p.kind == "C2").collect();
         assert_eq!(c2.len(), 6);
@@ -264,9 +263,9 @@ mod tests {
     #[test]
     fn no_het_is_all_c2() {
         let c = no_het_cluster();
-        assert!(c.iter().all(|(_, p)| p.kind == "C2"
-            && p.speed == 32.0
-            && p.memory == 192.0));
+        assert!(c
+            .iter()
+            .all(|(_, p)| p.kind == "C2" && p.speed == 32.0 && p.memory == 192.0));
     }
 
     #[test]
@@ -282,6 +281,9 @@ mod tests {
         let less = cv(&less_het_cluster());
         let def = cv(&default_cluster());
         let more = cv(&more_het_cluster());
-        assert!(no < less && less < def && def < more, "{no} {less} {def} {more}");
+        assert!(
+            no < less && less < def && def < more,
+            "{no} {less} {def} {more}"
+        );
     }
 }

@@ -26,7 +26,9 @@
 pub mod cluster;
 pub mod configs;
 pub mod processor;
+pub mod subcluster;
 
 pub use cluster::{Cluster, ProcId};
 pub use configs::{ClusterKind, ClusterSize, MachineKind};
 pub use processor::Processor;
+pub use subcluster::SubCluster;

@@ -1,0 +1,159 @@
+//! Sub-cluster views: disjoint processor leases carved out of a shared
+//! [`Cluster`].
+//!
+//! The online co-scheduling engine (`dhp-online`) runs many workflows on
+//! one cluster at a time. Each workflow receives a *lease*: a subset of
+//! the processors, materialised as a [`SubCluster`] — a self-contained
+//! [`Cluster`] view (same bandwidth, subset of processors, dense local
+//! ids) plus the translation table back to the parent's processor ids.
+//!
+//! The existing solvers (`dag_het_part`, `dag_het_mem`, the simulator)
+//! are oblivious to leasing: they see an ordinary [`Cluster`] through
+//! [`SubCluster::cluster`] and produce mappings in *local* ids, which
+//! [`SubCluster::to_global`] translates back for fleet-level accounting.
+
+use crate::cluster::{Cluster, ProcId};
+
+/// A view of a subset of a parent cluster's processors.
+///
+/// Local processor ids are dense (`0..len`), ordered exactly as the
+/// subset was given; `global_ids` maps them back to the parent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubCluster {
+    view: Cluster,
+    global_ids: Vec<ProcId>,
+}
+
+impl SubCluster {
+    /// Builds a view of `procs` (parent ids) of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `procs` is empty, contains an out-of-range id, or
+    /// contains duplicates — a lease is a *set* of processors.
+    pub fn new(parent: &Cluster, procs: &[ProcId]) -> Self {
+        assert!(
+            !procs.is_empty(),
+            "a sub-cluster needs at least one processor"
+        );
+        let mut seen = vec![false; parent.len()];
+        let processors = procs
+            .iter()
+            .map(|&p| {
+                assert!(
+                    p.idx() < parent.len(),
+                    "processor {p} not in parent cluster"
+                );
+                assert!(!seen[p.idx()], "processor {p} leased twice");
+                seen[p.idx()] = true;
+                parent.proc(p).clone()
+            })
+            .collect();
+        SubCluster {
+            view: Cluster::new(processors, parent.bandwidth),
+            global_ids: procs.to_vec(),
+        }
+    }
+
+    /// The lease as an ordinary cluster (local processor ids `0..len`).
+    #[inline]
+    pub fn cluster(&self) -> &Cluster {
+        &self.view
+    }
+
+    /// Number of leased processors.
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// True if the lease is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+
+    /// Parent ids of the leased processors, in local-id order.
+    pub fn global_ids(&self) -> &[ProcId] {
+        &self.global_ids
+    }
+
+    /// Translates a local processor id to the parent's id.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range for this lease.
+    #[inline]
+    pub fn to_global(&self, local: ProcId) -> ProcId {
+        self.global_ids[local.idx()]
+    }
+
+    /// Translates a parent processor id into this lease, if leased.
+    pub fn to_local(&self, global: ProcId) -> Option<ProcId> {
+        self.global_ids
+            .iter()
+            .position(|&g| g == global)
+            .map(|i| ProcId(i as u32))
+    }
+}
+
+impl Cluster {
+    /// Carves a [`SubCluster`] view out of this cluster. See
+    /// [`SubCluster::new`] for panics.
+    pub fn subcluster(&self, procs: &[ProcId]) -> SubCluster {
+        SubCluster::new(self, procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::Processor;
+
+    fn parent() -> Cluster {
+        Cluster::new(
+            vec![
+                Processor::new("a", 4.0, 16.0),
+                Processor::new("b", 32.0, 192.0),
+                Processor::new("c", 8.0, 8.0),
+                Processor::new("d", 6.0, 192.0),
+            ],
+            2.5,
+        )
+    }
+
+    #[test]
+    fn view_preserves_processors_and_bandwidth() {
+        let c = parent();
+        let sub = c.subcluster(&[ProcId(3), ProcId(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.cluster().bandwidth, 2.5);
+        assert_eq!(sub.cluster().proc(ProcId(0)).kind, "d");
+        assert_eq!(sub.cluster().proc(ProcId(1)).kind, "a");
+    }
+
+    #[test]
+    fn id_translation_roundtrips() {
+        let c = parent();
+        let sub = c.subcluster(&[ProcId(1), ProcId(2)]);
+        assert_eq!(sub.to_global(ProcId(0)), ProcId(1));
+        assert_eq!(sub.to_global(ProcId(1)), ProcId(2));
+        assert_eq!(sub.to_local(ProcId(2)), Some(ProcId(1)));
+        assert_eq!(sub.to_local(ProcId(0)), None);
+        assert_eq!(sub.global_ids(), &[ProcId(1), ProcId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leased twice")]
+    fn duplicate_lease_rejected() {
+        parent().subcluster(&[ProcId(1), ProcId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in parent")]
+    fn out_of_range_rejected() {
+        parent().subcluster(&[ProcId(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_lease_rejected() {
+        parent().subcluster(&[]);
+    }
+}

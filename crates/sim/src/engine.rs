@@ -235,10 +235,7 @@ pub fn simulate_with_links(
         let b = block_of[u.idx()];
         block_finish[b] = block_finish[b].max(task_finish[u.idx()]);
     }
-    let block_peak_memory = orders
-        .iter()
-        .map(|order| executed_peak(g, order))
-        .collect();
+    let block_peak_memory = orders.iter().map(|order| executed_peak(g, order)).collect();
 
     SimResult {
         makespan,
@@ -398,8 +395,7 @@ mod tests {
         assert_eq!(r.task_start[2], 3.0);
         assert_eq!(r.makespan, 102.0);
         // The analytic model overestimates: block0 finish + comm + other.
-        let analytic =
-            dhp_core::makespan::makespan_of_mapping(&g, &cluster, &mapping);
+        let analytic = dhp_core::makespan::makespan_of_mapping(&g, &cluster, &mapping);
         assert!(analytic >= r.makespan);
         assert_eq!(analytic, 102.0 + 1.0 + 2.0);
     }

@@ -34,9 +34,7 @@ impl LinkModel {
     pub fn worst_case(&self) -> f64 {
         match self {
             LinkModel::Uniform(beta) => *beta,
-            LinkModel::PerProcessor(rates) => {
-                rates.iter().copied().fold(f64::INFINITY, f64::min)
-            }
+            LinkModel::PerProcessor(rates) => rates.iter().copied().fold(f64::INFINITY, f64::min),
         }
     }
 
@@ -44,9 +42,7 @@ impl LinkModel {
     pub fn validate(&self) -> bool {
         match self {
             LinkModel::Uniform(beta) => *beta > 0.0,
-            LinkModel::PerProcessor(rates) => {
-                !rates.is_empty() && rates.iter().all(|&r| r > 0.0)
-            }
+            LinkModel::PerProcessor(rates) => !rates.is_empty() && rates.iter().all(|&r| r > 0.0),
         }
     }
 }

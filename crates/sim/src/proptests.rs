@@ -10,13 +10,7 @@ use proptest::prelude::*;
 
 fn random_cluster(k: usize, seed: u64) -> Cluster {
     let procs = (0..k)
-        .map(|i| {
-            Processor::new(
-                format!("p{i}"),
-                1.0 + ((seed as usize + i) % 5) as f64,
-                1e9,
-            )
-        })
+        .map(|i| Processor::new(format!("p{i}"), 1.0 + ((seed as usize + i) % 5) as f64, 1e9))
         .collect();
     Cluster::new(procs, 1.0 + (seed % 4) as f64)
 }

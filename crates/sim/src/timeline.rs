@@ -58,12 +58,7 @@ pub struct Timeline {
 }
 
 /// Builds the timeline of a simulated mapping.
-pub fn timeline(
-    _g: &Dag,
-    cluster: &Cluster,
-    mapping: &Mapping,
-    sim: &SimResult,
-) -> Timeline {
+pub fn timeline(_g: &Dag, cluster: &Cluster, mapping: &Mapping, sim: &SimResult) -> Timeline {
     let mut lanes: Vec<Lane> = Vec::new();
     for (block, members) in mapping.partition.members().iter().enumerate() {
         let proc = mapping.proc_of_block[block].expect("complete mapping");
@@ -138,7 +133,9 @@ impl Timeline {
         let mut out = String::new();
         out.push_str(&format!(
             "time 0 {:-^1$} {2:.2}\n",
-            "", width.saturating_sub(8), self.makespan
+            "",
+            width.saturating_sub(8),
+            self.makespan
         ));
         for lane in &self.lanes {
             let mut row = vec!['·'; width];
@@ -168,10 +165,7 @@ mod tests {
     use dhp_core::prelude::*;
     use dhp_platform::configs;
 
-    fn scheduled(
-        family: dhp_wfgen::Family,
-        n: usize,
-    ) -> (Dag, Cluster, Mapping, SimResult) {
+    fn scheduled(family: dhp_wfgen::Family, n: usize) -> (Dag, Cluster, Mapping, SimResult) {
         let inst = dhp_wfgen::WorkflowInstance::simulated(family, n, 3);
         let cluster = dhp_core::fitting::scale_cluster_with_headroom(
             &inst.graph,
@@ -189,7 +183,8 @@ mod tests {
         let tl = timeline(&g, &cluster, &mapping, &sim);
         let total: usize = tl.lanes.iter().map(|l| l.intervals.len()).sum();
         assert_eq!(total, g.node_count());
-        tl.check_no_overlap().expect("one task at a time per processor");
+        tl.check_no_overlap()
+            .expect("one task at a time per processor");
         assert!(tl.makespan > 0.0);
         assert!(tl.mean_utilisation() > 0.0 && tl.mean_utilisation() <= 1.0 + 1e-9);
     }
@@ -229,10 +224,7 @@ mod tests {
     #[test]
     fn single_block_lane_is_fully_busy() {
         let g = dhp_dag::builder::chain(5, 4.0, 1.0, 1.0);
-        let cluster = Cluster::new(
-            vec![dhp_platform::Processor::new("solo", 2.0, 100.0)],
-            1.0,
-        );
+        let cluster = Cluster::new(vec![dhp_platform::Processor::new("solo", 2.0, 100.0)], 1.0);
         let mapping = Mapping {
             partition: dhp_dag::Partition::single_block(5),
             proc_of_block: vec![Some(ProcId(0))],

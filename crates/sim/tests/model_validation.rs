@@ -13,8 +13,7 @@ use dhp_wfgen::{Family, WorkflowInstance};
 fn analytic_bound_holds_for_all_families() {
     for family in Family::ALL {
         let inst = WorkflowInstance::simulated(family, 200, 77);
-        let cluster =
-            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
         let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
         let sim = simulate(&inst.graph, &cluster, &r.mapping);
@@ -42,8 +41,7 @@ fn analytic_bound_holds_for_all_families() {
 #[test]
 fn baseline_mappings_also_respect_the_bound() {
     let inst = WorkflowInstance::simulated(Family::Montage, 300, 5);
-    let cluster =
-        scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+    let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
     let m = dag_het_mem(&inst.graph, &cluster).unwrap();
     let analytic = makespan_of_mapping(&inst.graph, &cluster, &m);
     let sim = simulate(&inst.graph, &cluster, &m);
@@ -56,8 +54,7 @@ fn heterogeneous_links_never_speed_up_min_capped_transfers() {
     // reproduce the uniform simulation exactly; slower endpoints only
     // delay.
     let inst = WorkflowInstance::simulated(Family::Blast, 200, 5);
-    let cluster =
-        scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+    let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
     let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).unwrap();
     let uniform = simulate(&inst.graph, &cluster, &r.mapping);
     let same = simulate_with_links(

@@ -16,8 +16,7 @@ pub(crate) fn build(ctx: &mut Ctx, n: usize) {
     let budget = n.saturating_sub(5);
     let per_lane = budget / lanes;
     let pipes = (per_lane.saturating_sub(2) / PIPELINE_LEN).max(1);
-    let mut leftover =
-        budget.saturating_sub(lanes * (2 + PIPELINE_LEN * pipes)) / PIPELINE_LEN;
+    let mut leftover = budget.saturating_sub(lanes * (2 + PIPELINE_LEN * pipes)) / PIPELINE_LEN;
 
     let src = ctx.task("stage_in");
     let global_merge = ctx.task("maps_merge_global");
@@ -49,7 +48,11 @@ mod tests {
     fn count_close_and_chainlike() {
         for n in [200usize, 1_000, 4_000] {
             let g = Family::Epigenomics.generate(n, &WeightModel::unit(), 0);
-            assert!(g.node_count().abs_diff(n) <= n / 20, "n={n} got {}", g.node_count());
+            assert!(
+                g.node_count().abs_diff(n) <= n / 20,
+                "n={n} got {}",
+                g.node_count()
+            );
             assert_eq!(g.sources().count(), 1);
             // depth must reflect the 4-stage pipelines plus pre/post stages
             let depth = *topo_levels(&g).unwrap().iter().max().unwrap();

@@ -59,7 +59,11 @@ mod tests {
     fn count_close_and_structured() {
         for n in [200usize, 1_000, 4_000] {
             let g = Family::Genome.generate(n, &WeightModel::unit(), 0);
-            assert!(g.node_count().abs_diff(n) <= n / 20, "n={n} got {}", g.node_count());
+            assert!(
+                g.node_count().abs_diff(n) <= n / 20,
+                "n={n} got {}",
+                g.node_count()
+            );
             assert_eq!(g.sources().count(), 1);
             // mutation/frequency tasks have exactly two parents
             let two_parent = g.node_ids().filter(|&u| g.in_degree(u) == 2).count();

@@ -55,7 +55,11 @@ mod tests {
     fn count_close_and_layered() {
         for n in [200usize, 1_000] {
             let g = Family::Montage.generate(n, &WeightModel::unit(), 0);
-            assert!(g.node_count().abs_diff(n) <= 3, "n={n} got {}", g.node_count());
+            assert!(
+                g.node_count().abs_diff(n) <= 3,
+                "n={n} got {}",
+                g.node_count()
+            );
             assert_eq!(g.sources().count(), 1);
             assert_eq!(g.targets().count(), 1);
             // diffs have two project parents

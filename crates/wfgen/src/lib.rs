@@ -29,6 +29,7 @@
 //! assert_eq!(back.graph.node_count(), inst.graph.node_count());
 //! ```
 
+pub mod arrivals;
 pub mod families;
 pub mod realworld;
 pub mod weights;

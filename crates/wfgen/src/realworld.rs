@@ -174,10 +174,7 @@ fn assign_trace_weights(g: &mut Dag, measured_fraction: f64, rng: &mut StdRng) {
         }
     }
     // Normalise memory to the cap.
-    let max_mem = ids
-        .iter()
-        .map(|&u| g.node(u).memory)
-        .fold(0.0f64, f64::max);
+    let max_mem = ids.iter().map(|&u| g.node(u).memory).fold(0.0f64, f64::max);
     if max_mem > MEMORY_CAP {
         let f = MEMORY_CAP / max_mem;
         for &u in &ids {
@@ -200,7 +197,11 @@ mod tests {
         assert_eq!(s.len(), 5);
         for inst in &s {
             assert_eq!(inst.graph.node_count(), inst.requested_size);
-            assert!((11..=58).contains(&inst.graph.node_count()), "{}", inst.name);
+            assert!(
+                (11..=58).contains(&inst.graph.node_count()),
+                "{}",
+                inst.name
+            );
             assert!(!is_cyclic(&inst.graph));
             assert_eq!(inst.graph.sources().count(), 1, "{}", inst.name);
             assert_eq!(inst.size_class, SizeClass::Real);
@@ -211,10 +212,7 @@ mod tests {
     fn weights_have_unit_tail_and_cap() {
         for inst in suite(2) {
             let g = &inst.graph;
-            let unit = g
-                .node_ids()
-                .filter(|&u| g.node(u).work == 1.0)
-                .count();
+            let unit = g.node_ids().filter(|&u| g.node(u).work == 1.0).count();
             assert!(unit >= 1, "{} should have weight-1 tasks", inst.name);
             for u in g.node_ids() {
                 assert!(g.node(u).memory <= MEMORY_CAP + 1e-9);

@@ -91,7 +91,11 @@ pub struct WfInstance {
     /// Instance name.
     pub name: String,
     /// Format version (`"1.5"` on export).
-    #[serde(default, rename = "schemaVersion", skip_serializing_if = "Option::is_none")]
+    #[serde(
+        default,
+        rename = "schemaVersion",
+        skip_serializing_if = "Option::is_none"
+    )]
     pub schema_version: Option<String>,
     /// The workflow body.
     pub workflow: WfWorkflow,
@@ -285,8 +289,12 @@ pub fn from_instance(doc: &WfInstance, cfg: &ImportConfig) -> Result<WorkflowIns
 /// producer and an input of the consumer.
 pub fn to_instance(inst: &WorkflowInstance, bytes_per_unit: f64) -> WfInstance {
     let g = &inst.graph;
-    let task_name =
-        |u: NodeId| g.node(u).label.clone().unwrap_or_else(|| format!("task{}", u.idx()));
+    let task_name = |u: NodeId| {
+        g.node(u)
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("task{}", u.idx()))
+    };
     let tasks = g
         .node_ids()
         .map(|u| {
@@ -488,13 +496,7 @@ mod tests {
         // (same quotient-relevant quantities).
         let inst = WorkflowInstance::simulated(Family::Bwa, 200, 3);
         let back = roundtrip(&inst);
-        assert_eq!(
-            inst.graph.sources().count(),
-            back.graph.sources().count()
-        );
-        assert_eq!(
-            inst.graph.targets().count(),
-            back.graph.targets().count()
-        );
+        assert_eq!(inst.graph.sources().count(), back.graph.sources().count());
+        assert_eq!(inst.graph.targets().count(), back.graph.targets().count());
     }
 }

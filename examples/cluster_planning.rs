@@ -36,8 +36,7 @@ fn main() {
     let mut rows = Vec::new();
     for kind in ClusterKind::ALL {
         for size in ClusterSize::ALL {
-            let cluster =
-                scale_cluster_to_fit(&inst.graph, &configs::cluster(kind, size));
+            let cluster = scale_cluster_to_fit(&inst.graph, &configs::cluster(kind, size));
             match dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()) {
                 Ok(r) => {
                     validate(&inst.graph, &cluster, &r.mapping).expect("valid");
@@ -63,10 +62,7 @@ fn main() {
         }
     }
 
-    if let Some((kind, size, ms)) = rows
-        .iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
-    {
+    if let Some((kind, size, ms)) = rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()) {
         println!(
             "\nbest: {} cluster with {} processors (makespan {ms:.1})",
             kind.name(),

@@ -44,9 +44,8 @@ fn main() {
             .map(|m| makespan_of_mapping(&g, &cluster, &m))
             .ok();
         let fmt = |v: Option<f64>| v.map_or("fail".into(), |v| format!("{v:.2}"));
-        let gap = |v: Option<f64>| {
-            v.map_or("—".into(), |v| format!("{:.2}x", v / exact.makespan))
-        };
+        let gap =
+            |v: Option<f64>| v.map_or("—".into(), |v| format!("{:.2}x", v / exact.makespan));
         println!(
             "| {seed} | {lb:.2} | {:.2} | {} | {} | {} | {} |",
             exact.makespan,

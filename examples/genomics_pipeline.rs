@@ -29,8 +29,7 @@ fn main() {
 
     // The paper's default platform (Table 2), memory-normalised so the
     // most demanding task fits somewhere (§5.1.2).
-    let cluster =
-        scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+    let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
     println!(
         "cluster: {} processors, memories {:.0}..{:.0}, speeds 4..32",
         cluster.len(),
@@ -57,8 +56,8 @@ fn main() {
         }
     };
 
-    let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
-        .expect("DagHetPart");
+    let part =
+        dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default()).expect("DagHetPart");
     validate(&inst.graph, &cluster, &part.mapping).expect("valid");
     println!(
         "DagHetPart: makespan {:>12.1}  ({} blocks on {} processors, k'={}, {:?})",

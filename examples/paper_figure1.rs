@@ -86,7 +86,9 @@ fn main() {
         proc_of_block: (0..4).map(|i| Some(ProcId(i))).collect(),
     };
     let cluster = Cluster::new(
-        (0..4).map(|i| Processor::new(format!("p{i}"), 1.0, 100.0)).collect(),
+        (0..4)
+            .map(|i| Processor::new(format!("p{i}"), 1.0, 100.0))
+            .collect(),
         1.0,
     );
     match validate(&g, &cluster, &mapping) {
@@ -114,7 +116,10 @@ fn main() {
         ms, part.makespan, exact.makespan
     );
     assert!(exact.makespan <= part.makespan + 1e-9);
-    assert!(part.makespan <= ms + 1e-9, "the heuristic beats the figure's example");
+    assert!(
+        part.makespan <= ms + 1e-9,
+        "the heuristic beats the figure's example"
+    );
 
     // For reference, the serial lower line: 9 units of work on one
     // unit-speed processor.
@@ -122,5 +127,8 @@ fn main() {
         partition: Partition::single_block(9),
         proc_of_block: vec![Some(ProcId(0))],
     };
-    println!("serial on one processor: {}", makespan_of_mapping(&g, &cluster, &serial));
+    println!(
+        "serial on one processor: {}",
+        makespan_of_mapping(&g, &cluster, &serial)
+    );
 }

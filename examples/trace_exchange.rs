@@ -46,10 +46,9 @@ fn main() {
     assert_eq!(imported.graph.node_count(), inst.graph.node_count());
 
     // 3. Schedule with both heuristics.
-    let cluster =
-        scale_cluster_with_headroom(&imported.graph, &configs::default_cluster(), 1.05);
-    let part = dag_het_part(&imported.graph, &cluster, &DagHetPartConfig::default())
-        .expect("DagHetPart");
+    let cluster = scale_cluster_with_headroom(&imported.graph, &configs::default_cluster(), 1.05);
+    let part =
+        dag_het_part(&imported.graph, &cluster, &DagHetPartConfig::default()).expect("DagHetPart");
     let mem_mapping = dag_het_mem(&imported.graph, &cluster).expect("DagHetMem");
     let mem_makespan = makespan_of_mapping(&imported.graph, &cluster, &mem_mapping);
     println!(

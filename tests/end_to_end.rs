@@ -32,8 +32,7 @@ fn real_world_suite_schedules_everywhere() {
     // (§5.1.2), and exact fit leaves hub blocks zero slack (DESIGN.md §9).
     use dhp_core::fitting::scale_cluster_with_headroom;
     for inst in dhp_wfgen::real_world_suite(7) {
-        let cluster =
-            scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
+        let cluster = scale_cluster_with_headroom(&inst.graph, &configs::default_cluster(), 1.05);
         let part = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
         validate(&inst.graph, &cluster, &part.mapping).unwrap();
@@ -64,10 +63,8 @@ fn heterogeneity_levels_end_to_end() {
     use dhp_platform::{ClusterKind, ClusterSize};
     let inst = WorkflowInstance::simulated(Family::Genome, 300, 9);
     for kind in ClusterKind::ALL {
-        let cluster = scale_cluster_to_fit(
-            &inst.graph,
-            &configs::cluster(kind, ClusterSize::Default),
-        );
+        let cluster =
+            scale_cluster_to_fit(&inst.graph, &configs::cluster(kind, ClusterSize::Default));
         let r = dag_het_part(&inst.graph, &cluster, &DagHetPartConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         validate(&inst.graph, &cluster, &r.mapping).unwrap();

@@ -1,0 +1,149 @@
+//! Integration test of the online co-scheduling engine under a
+//! 100-workflow arrival burst (ISSUE 1 acceptance criteria):
+//!
+//! * every emitted mapping passes `dhp_core::mapping::validate` against
+//!   the shared cluster,
+//! * leases never overlap — neither among workflows in service at the
+//!   same instant nor, over time, on any single processor,
+//! * the run is deterministic for a fixed seed,
+//! * the fleet report carries sane throughput/stretch/utilisation.
+
+use dhp_core::mapping::validate;
+use dhp_online::{fit_cluster, serve, AdmissionPolicy, OnlineConfig, ServeOutcome};
+use dhp_platform::configs;
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+
+const N: usize = 100;
+const SEED: u64 = 2024;
+
+fn burst_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
+    let subs = dhp_online::submission::stream(
+        N,
+        &[
+            Family::Blast,
+            Family::Seismology,
+            Family::Genome,
+            Family::Bwa,
+        ],
+        (20, 60),
+        &ArrivalProcess::Burst { at: 0.0 },
+        SEED,
+    );
+    let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
+    let cfg = OnlineConfig {
+        policy,
+        ..OnlineConfig::default()
+    };
+    let out = serve(&cluster, subs, &cfg);
+    (cluster, out)
+}
+
+#[test]
+fn hundred_workflow_burst_all_served_and_valid() {
+    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    let fleet = &out.report.fleet;
+    assert_eq!(
+        fleet.completed, N,
+        "burst must be fully served (rejected: {:?})",
+        out.report.rejected
+    );
+    assert_eq!(fleet.rejected, 0);
+    assert_eq!(out.placements.len(), N);
+
+    // Zero validation failures: every mapping is a valid DAGP-PM
+    // solution against the *shared* cluster, and only uses its lease.
+    for p in &out.placements {
+        validate(&p.submission.instance.graph, &cluster, &p.mapping)
+            .unwrap_or_else(|e| panic!("workflow {} invalid: {e}", p.submission.id));
+        for proc in p.mapping.proc_of_block.iter().flatten() {
+            assert!(
+                p.lease.contains(proc),
+                "workflow {} mapped onto {proc} outside its lease",
+                p.submission.id
+            );
+        }
+    }
+}
+
+#[test]
+fn hundred_workflow_burst_leases_never_overlap() {
+    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    // Per processor, the time intervals of all workflows that leased it
+    // must be pairwise disjoint.
+    for proc in cluster.proc_ids() {
+        let mut spans: Vec<(f64, f64, usize)> = out
+            .placements
+            .iter()
+            .filter(|p| p.lease.contains(&proc))
+            .map(|p| (p.start, p.finish, p.submission.id))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "processor {proc} leased to workflow {} while {} still held it \
+                 ({:?} vs {:?})",
+                w[1].2,
+                w[0].2,
+                w[1],
+                w[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn hundred_workflow_burst_is_deterministic() {
+    let (_, a) = burst_run(AdmissionPolicy::Fifo);
+    let (_, b) = burst_run(AdmissionPolicy::Fifo);
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    // Placements agree too (the report alone could mask lease diffs).
+    for (x, y) in a.placements.iter().zip(&b.placements) {
+        assert_eq!(x.submission.id, y.submission.id);
+        assert_eq!(x.lease, y.lease);
+        assert_eq!(x.start, y.start);
+        assert_eq!(x.finish, y.finish);
+    }
+}
+
+#[test]
+fn hundred_workflow_burst_reports_sane_fleet_metrics() {
+    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    let f = &out.report.fleet;
+    assert!(f.horizon > 0.0);
+    assert!((f.throughput - N as f64 / f.horizon).abs() < 1e-9);
+    assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
+    assert!(f.mean_stretch >= 1.0);
+    assert!(f.max_stretch >= f.mean_stretch);
+    assert!(f.mean_wait >= 0.0 && f.max_wait >= f.mean_wait);
+    assert!(f.mean_lease >= 1.0 && f.mean_lease <= cluster.len() as f64);
+    assert!(f.peak_concurrency >= 1 && f.peak_concurrency <= N);
+    // A burst on a 36-processor cluster must actually co-schedule.
+    assert!(
+        f.peak_concurrency > 1,
+        "burst never ran two workflows concurrently"
+    );
+}
+
+#[test]
+fn every_policy_serves_the_burst_without_validation_failures() {
+    for policy in AdmissionPolicy::ALL {
+        let (cluster, out) = burst_run(policy);
+        assert_eq!(
+            out.report.fleet.completed,
+            N,
+            "policy {} lost workflows",
+            policy.name()
+        );
+        for p in &out.placements {
+            validate(&p.submission.instance.graph, &cluster, &p.mapping).unwrap_or_else(|e| {
+                panic!(
+                    "policy {}: workflow {} invalid: {e}",
+                    policy.name(),
+                    p.submission.id
+                )
+            });
+        }
+    }
+}

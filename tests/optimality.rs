@@ -47,7 +47,10 @@ fn daghetpart_gap_on_structured_motifs() {
     let mean_gap = gaps.iter().product::<f64>().powf(1.0 / gaps.len() as f64);
     // Loose ceiling: DagHetPart is a heuristic, but on 8-task motifs it
     // should land within 2.5x of optimal (empirically ~1.0-1.6).
-    assert!(mean_gap < 2.5, "geometric-mean gap {mean_gap} too large: {gaps:?}");
+    assert!(
+        mean_gap < 2.5,
+        "geometric-mean gap {mean_gap} too large: {gaps:?}"
+    );
 }
 
 /// On a batch of random 7-node DAGs, both heuristics are optimal-bounded
@@ -59,8 +62,7 @@ fn random_batch_heuristics_bounded_by_optimum() {
         let g = dhp_dag::builder::gnp_dag_weighted(7, 0.3, seed);
         // Normalise memories the way the experiment harness does
         // (paper §5.1.2): scale the platform so the hottest task fits.
-        let cluster =
-            dhp_core::fitting::scale_cluster_with_headroom(&g, &het_cluster(), 1.05);
+        let cluster = dhp_core::fitting::scale_cluster_with_headroom(&g, &het_cluster(), 1.05);
         let Some(exact) = solve(&g, &cluster, &ExactConfig::default()).unwrap() else {
             continue;
         };
@@ -73,7 +75,10 @@ fn random_batch_heuristics_bounded_by_optimum() {
             assert!(exact.makespan <= mk * (1.0 + 1e-9), "seed {seed}");
         }
     }
-    assert!(solved >= 15, "exact solver solved only {solved}/20 instances");
+    assert!(
+        solved >= 15,
+        "exact solver solved only {solved}/20 instances"
+    );
 }
 
 /// The exact solver agrees with the paper's Fig. 1 example: with the
@@ -102,10 +107,7 @@ fn paper_figure1_instance() {
     }
     // 4 unit-speed processors with ample memory (the paper's example has
     // no memory constraint in play).
-    let cluster = Cluster::new(
-        (0..4).map(|_| Processor::new("u", 1.0, 1e6)).collect(),
-        1.0,
-    );
+    let cluster = Cluster::new((0..4).map(|_| Processor::new("u", 1.0, 1e6)).collect(), 1.0);
     let exact = solve(&g, &cluster, &ExactConfig::default())
         .unwrap()
         .unwrap();
@@ -125,7 +127,9 @@ fn feasibility_frontier_matches() {
     let g = dhp_dag::builder::chain(6, 1.0, 10.0, 5.0);
     // Each interior task needs 5 + 10 + 5 = 20.
     let starved = Cluster::new(vec![Processor::new("tiny", 1.0, 12.0)], 1.0);
-    assert!(solve(&g, &starved, &ExactConfig::default()).unwrap().is_none());
+    assert!(solve(&g, &starved, &ExactConfig::default())
+        .unwrap()
+        .is_none());
     assert!(dag_het_part(&g, &starved, &DagHetPartConfig::default()).is_err());
     assert!(dag_het_mem(&g, &starved).is_err());
 
@@ -134,5 +138,8 @@ fn feasibility_frontier_matches() {
         1.0,
     );
     let sol = solve(&g, &adequate, &ExactConfig::default()).unwrap();
-    assert!(sol.is_some(), "6 x 20-memory processors suffice for the chain");
+    assert!(
+        sol.is_some(),
+        "6 x 20-memory processors suffice for the chain"
+    );
 }

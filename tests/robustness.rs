@@ -160,10 +160,7 @@ fn barely_sufficient_memory_succeeds_or_fails_cleanly() {
     // around the whole-graph requirement: below it everything fails
     // with NoSolution (never panics), at/above it both succeed.
     let g = dhp_dag::builder::chain(8, 2.0, 4.0, 3.0);
-    let whole = dhp_core::blockmem::block_requirement(
-        &g,
-        &g.node_ids().collect::<Vec<_>>(),
-    );
+    let whole = dhp_core::blockmem::block_requirement(&g, &g.node_ids().collect::<Vec<_>>());
     for f in [0.5, 0.9, 0.99, 1.0, 1.2] {
         let c = solo(1.0, whole * f);
         let part = dag_het_part(&g, &c, &DagHetPartConfig::default());

@@ -1,0 +1,452 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` facade.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (the build environment has
+//! no `syn`/`quote`). Supported shapes — exactly what the workspace
+//! uses:
+//!
+//! * structs with named fields,
+//! * newtype structs (`struct Id(pub u32);`),
+//! * enums whose variants are all unit variants;
+//!
+//! with the attributes `#[serde(rename = "...")]`, `alias = "..."`,
+//! `default`, `default = "path"`, `skip_serializing_if = "path"` on
+//! fields and `#[serde(rename_all = "lowercase")]` / `rename` on
+//! containers and variants. Anything else is a compile error, not a
+//! silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct SerdeMeta {
+    rename: Option<String>,
+    aliases: Vec<String>,
+    default: Option<Option<String>>, // Some(None) = bare `default`
+    skip_if: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Field {
+    ident: String,
+    meta: SerdeMeta,
+}
+
+struct Variant {
+    ident: String,
+    meta: SerdeMeta,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    UnitEnum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    meta: SerdeMeta,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ------------------------------------------------------------- parsing
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde_derive: expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, merging `serde` metas.
+    fn eat_attrs(&mut self) -> Result<SerdeMeta, String> {
+        let mut meta = SerdeMeta::default();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(name)) = inner.first() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                parse_serde_args(args.stream(), &mut meta)?;
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("serde_derive: malformed attribute: {other:?}")),
+            }
+        }
+        Ok(meta)
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_serde_args(args: TokenStream, meta: &mut SerdeMeta) -> Result<(), String> {
+    let mut cur = Cursor::new(args);
+    loop {
+        if cur.peek().is_none() {
+            return Ok(());
+        }
+        let key = cur.expect_ident()?;
+        let value = if cur.eat_punct('=') {
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())?),
+                other => {
+                    return Err(format!(
+                        "serde_derive: expected string after {key} =, got {other:?}"
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => meta.rename = Some(v),
+            ("alias", Some(v)) => meta.aliases.push(v),
+            ("default", v) => meta.default = Some(v),
+            ("skip_serializing_if", Some(v)) => meta.skip_if = Some(v),
+            ("rename_all", Some(v)) => meta.rename_all = Some(v),
+            (k, _) => return Err(format!("serde_derive: unsupported serde attribute `{k}`")),
+        }
+        if !cur.eat_punct(',') && cur.peek().is_some() {
+            return Err("serde_derive: expected `,` between serde attributes".into());
+        }
+    }
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("serde_derive: expected string literal, got {lit}"))
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    let meta = cur.eat_attrs()?;
+    cur.eat_vis();
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        return Err("serde_derive: expected `struct` or `enum`".into());
+    };
+    let name = cur.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => {
+            return Err(format!(
+                "serde_derive: expected body for `{name}`, got {other:?}"
+            ))
+        }
+    };
+    let shape = match (is_enum, body.delimiter()) {
+        (false, Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())?),
+        (false, Delimiter::Parenthesis) => {
+            // Newtype only: exactly one field (vis + type, no commas at
+            // angle-depth 0 after stripping a trailing comma).
+            let mut cur = Cursor::new(body.stream());
+            cur.eat_attrs()?;
+            cur.eat_vis();
+            let mut depth = 0i32;
+            while let Some(t) = cur.next() {
+                if let TokenTree::Punct(p) = &t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 && cur.peek().is_some() => {
+                            return Err(format!(
+                                "serde_derive: tuple struct `{name}` has more than one field"
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Shape::Newtype
+        }
+        (true, Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream(), &name)?),
+        _ => return Err(format!("serde_derive: unsupported body shape for `{name}`")),
+    };
+    Ok(Input { name, meta, shape })
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let meta = cur.eat_attrs()?;
+        cur.eat_vis();
+        let ident = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("serde_derive: expected `:` after field `{ident}`"));
+        }
+        // Skip the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = cur.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        cur.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cur.next();
+        }
+        fields.push(Field { ident, meta });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let meta = cur.eat_attrs()?;
+        let ident = cur.expect_ident()?;
+        match cur.peek() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                cur.next();
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: enum `{enum_name}` variant `{ident}` is not a unit \
+                     variant ({other:?}); only unit enums are supported"
+                ))
+            }
+        }
+        variants.push(Variant { ident, meta });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+fn apply_rename_all(rule: &str, ident: &str) -> String {
+    match rule {
+        "lowercase" => ident.to_lowercase(),
+        "UPPERCASE" => ident.to_uppercase(),
+        "snake_case" => {
+            let mut out = String::new();
+            for (i, c) in ident.chars().enumerate() {
+                if c.is_uppercase() && i > 0 {
+                    out.push('_');
+                }
+                out.extend(c.to_lowercase());
+            }
+            out
+        }
+        _ => ident.to_string(),
+    }
+}
+
+fn variant_wire_name(input: &Input, v: &Variant) -> String {
+    if let Some(r) = &v.meta.rename {
+        return r.clone();
+    }
+    match &input.meta.rename_all {
+        Some(rule) => apply_rename_all(rule, &v.ident),
+        None => v.ident.clone(),
+    }
+}
+
+fn field_wire_name(input: &Input, f: &Field) -> String {
+    if let Some(r) = &f.meta.rename {
+        return r.clone();
+    }
+    match &input.meta.rename_all {
+        Some(rule) => apply_rename_all(rule, &f.ident),
+        None => f.ident.clone(),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let wire = field_wire_name(input, f);
+                let push = format!(
+                    "__m.push((String::from({wire:?}), ::serde::Serialize::to_value(&self.{})));",
+                    f.ident
+                );
+                match &f.meta.skip_if {
+                    Some(path) => {
+                        s.push_str(&format!("if !({path}(&self.{})) {{ {push} }}\n", f.ident))
+                    }
+                    None => {
+                        s.push_str(&push);
+                        s.push('\n');
+                    }
+                }
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let wire = variant_wire_name(input, v);
+                s.push_str(&format!(
+                    "{name}::{} => ::serde::Value::String(String::from({wire:?})),\n",
+                    v.ident
+                ));
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", __v.kind(), {name:?}))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                let wire = field_wire_name(input, f);
+                let mut names = vec![wire.clone()];
+                names.extend(f.meta.aliases.iter().cloned());
+                let names_src: Vec<String> = names.iter().map(|n| format!("{n:?}")).collect();
+                let absent = match &f.meta.default {
+                    Some(Some(path)) => format!("{path}()"),
+                    Some(None) => "::core::default::Default::default()".to_string(),
+                    None => format!("::serde::Deserialize::missing({wire:?})?"),
+                };
+                s.push_str(&format!(
+                    "{}: match ::serde::__find(__o, &[{}]) {{\n\
+                     Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                     None => {absent},\n}},\n",
+                    f.ident,
+                    names_src.join(", ")
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let mut s = format!(
+                "let __s = __v.as_str().ok_or_else(|| \
+                 ::serde::DeError::expected(\"string\", __v.kind(), {name:?}))?;\n\
+                 match __s {{\n"
+            );
+            for v in variants {
+                let wire = variant_wire_name(input, v);
+                s.push_str(&format!("{wire:?} => Ok({name}::{}),\n", v.ident));
+            }
+            s.push_str(&format!(
+                "__other => Err(::serde::DeError(format!(\
+                 \"unknown variant {{:?}} of {name}\", __other))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

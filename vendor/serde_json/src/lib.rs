@@ -1,0 +1,395 @@
+//! Workspace-local stand-in for `serde_json`: JSON text parsing and
+//! printing over the vendored [`serde::Value`] tree.
+//!
+//! Supports the full JSON grammar (objects, arrays, strings with
+//! escapes incl. `\uXXXX`, numbers, booleans, null). Numbers are
+//! `f64`-backed, which is exact for every integer the workspace
+//! serialises (|x| < 2^53).
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Parse or data-model error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Deserialises a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serialises `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+// ------------------------------------------------------------- printing
+
+fn write_value(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(x) => write_number(*x, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(xs) => write_seq(
+            xs.iter(),
+            indent,
+            level,
+            out,
+            ['[', ']'],
+            |x, out, ind, lvl| write_value(x, ind, lvl, out),
+        ),
+        Value::Object(m) => write_seq(
+            m.iter(),
+            indent,
+            level,
+            out,
+            ['{', '}'],
+            |(k, x), out, ind, lvl| {
+                write_string(k, out);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(x, ind, lvl, out);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: Iterator>(
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    delims: [char; 2],
+    mut write_item: impl FnMut(I::Item, &mut String, Option<usize>, usize),
+) {
+    out.push(delims[0]);
+    let mut any = false;
+    for (i, item) in items.enumerate() {
+        any = true;
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (level + 1)));
+        }
+        write_item(item, out, indent, level + 1);
+    }
+    if any {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * level));
+        }
+    }
+    out.push(delims[1]);
+}
+
+fn write_number(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/inf; serde_json does the same for invalid floats
+    } else if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_word("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_word("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_word("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null}, "e": true}"#;
+        let v = parse_value(src).unwrap();
+        let printed = to_string(&v).unwrap();
+        assert_eq!(parse_value(&printed).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let mut s = String::new();
+        write_number(3.0, &mut s);
+        assert_eq!(s, "3");
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_value("{\"a\": }").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}
