@@ -1,9 +1,10 @@
 //! Online co-scheduling engine throughput: wall-clock of serving a
 //! burst of workflows end-to-end (admission + per-lease DagHetPart +
-//! discrete-event execution), per policy.
+//! discrete-event execution), per policy — plus a Poisson trace
+//! contrasting fifo vs fifo-backfill and load-aware lease sizing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dhp_online::{fit_cluster, serve, AdmissionPolicy, OnlineConfig};
+use dhp_online::{fit_cluster, serve, AdmissionPolicy, LeaseSizing, OnlineConfig};
 use dhp_platform::configs;
 use dhp_wfgen::arrivals::ArrivalProcess;
 use dhp_wfgen::Family;
@@ -44,5 +45,55 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// Admission-layer cost of the ISSUE-2 features on a queueing Poisson
+/// trace: conservative backfilling (reservation scans + constrained
+/// grants) and queue-length-aware lease sizing.
+fn bench_backfill_and_load_aware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_poisson");
+    group.sample_size(10);
+    let n = 30usize;
+    let subs = dhp_online::submission::stream(
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (20, 60),
+        &ArrivalProcess::Poisson { rate: 0.2 },
+        42,
+    );
+    let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
+    let variants: [(&str, OnlineConfig); 3] = [
+        (
+            "fifo",
+            OnlineConfig {
+                policy: AdmissionPolicy::Fifo,
+                ..OnlineConfig::default()
+            },
+        ),
+        (
+            "fifo-backfill",
+            OnlineConfig {
+                policy: AdmissionPolicy::FifoBackfill,
+                ..OnlineConfig::default()
+            },
+        ),
+        (
+            "fifo-backfill+load-aware",
+            OnlineConfig {
+                policy: AdmissionPolicy::FifoBackfill,
+                lease: LeaseSizing {
+                    shrink_under_load: true,
+                    ..LeaseSizing::default()
+                },
+                ..OnlineConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in &variants {
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+            b.iter(|| serve(black_box(&cluster), black_box(subs.clone()), black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_backfill_and_load_aware);
 criterion_main!(benches);

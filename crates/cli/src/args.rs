@@ -41,7 +41,14 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 5] = ["quiet", "simulate", "gantt", "help", "summary"];
+const SWITCHES: [&str; 6] = [
+    "quiet",
+    "simulate",
+    "gantt",
+    "help",
+    "summary",
+    "lease-load-aware",
+];
 
 impl Args {
     /// Parses a token stream (without the program name).

@@ -48,11 +48,13 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
   --process NAME        poisson (default) | uniform | burst
   --rate R              Poisson arrival rate (default 0.05)
   --interval T          uniform inter-arrival spacing (default 10)
-  --policy NAME         fifo (default) | shortest | memfit
+  --policy NAME         fifo (default) | fifo-backfill | shortest | memfit
   --algorithm NAME      daghetpart (default) | daghetmem
   --lease-tasks N       target tasks per leased processor (default 25)
   --min-procs N         lease size lower bound (default 1)
   --max-procs N         lease size upper bound (default unbounded)
+  --lease-load-aware    shrink lease targets as the admission queue grows
+                        (bursts parallelise instead of serialising)
   --cluster NAME|FILE   shared cluster (default: default)
   --bandwidth B         override the cluster bandwidth
   --headroom H          fleet-wide memory scaling so the hottest task of

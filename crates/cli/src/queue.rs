@@ -36,13 +36,14 @@ pub fn queue(args: &Args) -> Result<String, String> {
     };
 
     let policy = AdmissionPolicy::parse(args.get_or("policy", "fifo"))
-        .ok_or("unknown --policy (fifo|shortest|memfit)")?;
+        .ok_or("unknown --policy (fifo|fifo-backfill|shortest|memfit)")?;
     let algorithm = Algorithm::parse(args.get_or("algorithm", "daghetpart"))
         .ok_or("unknown --algorithm (daghetpart|daghetmem)")?;
     let lease = LeaseSizing {
         tasks_per_proc: args.get_usize("lease-tasks", 25)?.max(1),
         min_procs: args.get_usize("min-procs", 1)?.max(1),
         max_procs: args.get_usize("max-procs", usize::MAX)?.max(1),
+        shrink_under_load: args.switch("lease-load-aware"),
     };
     if lease.min_procs > lease.max_procs {
         return Err(format!(
@@ -169,6 +170,20 @@ mod tests {
         .unwrap();
         assert!(out.contains("policy shortest"), "{out}");
         assert!(out.contains("throughput"), "{out}");
+    }
+
+    #[test]
+    fn backfill_policy_and_load_aware_sizing_parse_and_serve() {
+        let out = cli("queue --workflows 5 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7 \
+             --policy fifo-backfill --lease-load-aware")
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.policy, "fifo-backfill");
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 5);
+        for r in &report.workflows {
+            assert!(r.baseline_makespan.is_finite() && r.baseline_makespan > 0.0);
+        }
     }
 
     #[test]

@@ -101,6 +101,23 @@ pub fn schedule_on_subcluster(
     Ok(SubClusterSchedule { local, global })
 }
 
+/// Schedules `g` alone on the *whole idle* cluster and returns the
+/// model makespan — the dedicated-cluster baseline the online engine
+/// divides response times by (its `stretch` metric). The cluster is
+/// viewed as a lease over all of its processors in the heuristics'
+/// canonical memory-descending order, so the baseline is exactly what
+/// the same solver would promise a workflow that never had to share.
+pub fn dedicated_baseline(
+    g: &Dag,
+    cluster: &dhp_platform::Cluster,
+    algorithm: Algorithm,
+    cfg: &DagHetPartConfig,
+) -> Result<f64, SchedError> {
+    let ids = cluster.ids_by_memory_desc();
+    let sub = cluster.subcluster(&ids);
+    schedule_on_subcluster(g, &sub, algorithm, cfg).map(|s| s.local.makespan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +168,21 @@ mod tests {
             &DagHetPartConfig::default(),
         );
         assert_eq!(r.err(), Some(SchedError::NoSolution));
+    }
+
+    #[test]
+    fn dedicated_baseline_is_the_whole_cluster_makespan() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let sub = c.subcluster(&c.ids_by_memory_desc());
+        for algo in [Algorithm::DagHetPart, Algorithm::DagHetMem] {
+            let direct = schedule_on_subcluster(&g, &sub, algo, &DagHetPartConfig::default())
+                .expect("whole cluster is large enough");
+            let b = dedicated_baseline(&g, &c, algo, &DagHetPartConfig::default())
+                .expect("whole cluster is large enough");
+            assert_eq!(b, direct.local.makespan);
+            assert!(b.is_finite() && b > 0.0);
+        }
     }
 
     #[test]

@@ -17,6 +17,26 @@
 //! 4. the discrete-event simulator executes the mapping on the lease
 //!    view, fixing the completion instant and per-processor busy time.
 //!
+//! Under [`AdmissionPolicy::FifoBackfill`] the engine additionally
+//! performs *conservative backfilling*: when the FIFO head cannot be
+//! placed, its **reservation** is computed — the earliest instant at
+//! which, replaying the pending completions in time order, enough
+//! processors free up for the head to be placeable — and later
+//! arrivals are admitted only if their simulated finish does not push
+//! past that reservation. Backfilled work therefore never delays the
+//! head (its processors are free again by the reservation instant),
+//! but small workflows fill the holes the head cannot use. Per pass, at
+//! most [`BACKFILL_DEPTH`] candidates are solver-evaluated (the
+//! standard backfill-window bound, keeping deep queues from triggering
+//! a solver run per queued workflow at every event); candidates whose
+//! work lower bound already overshoots the reservation are skipped for
+//! free and do not count against the window.
+//!
+//! Each admitted workflow is also solved once *alone on the whole idle
+//! cluster* ([`dedicated_baseline`]); the resulting makespan is cached
+//! in its [`WorkflowRecord`] and is the denominator of the reported
+//! `stretch`, next to the lease-relative `slowdown`.
+//!
 //! Completions at an instant are processed before arrivals at the same
 //! instant (freed processors are visible to the newly arrived work),
 //! and every tie is broken by submission id, so a run is a pure
@@ -29,11 +49,18 @@ use crate::submission::Submission;
 use dhp_core::daghetpart::DagHetPartConfig;
 use dhp_core::fitting::max_task_requirement;
 use dhp_core::mapping::Mapping;
-use dhp_core::partial::{schedule_on_subcluster, Algorithm};
+use dhp_core::partial::{dedicated_baseline, schedule_on_subcluster, Algorithm};
 use dhp_core::SchedError;
 use dhp_platform::{Cluster, ProcId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// How many queued candidates behind a blocked FIFO head are
+/// solver-evaluated per admission pass under
+/// [`AdmissionPolicy::FifoBackfill`] — the backfill window. Bounds the
+/// per-event admission cost on deep queues; cheap work-bound skips do
+/// not count against it.
+pub const BACKFILL_DEPTH: usize = 16;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -205,6 +232,8 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                             id: s.id,
                             name: s.instance.name.clone(),
                             arrival: s.arrival,
+                            rejected_at: clock,
+                            wait: clock - s.arrival,
                             reason: format!(
                                 "task requirement {req:.2} exceeds the largest processor \
                                  memory {:.2}",
@@ -231,14 +260,62 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
         loop {
             let mut admitted_any = false;
             let order = cfg.policy.candidate_order(&queue);
-            for qi in order {
+            // Conservative backfilling: once the FIFO head fails to
+            // place, its reservation caps every later candidate's
+            // simulated finish. `None` = no cap (head placeable, or a
+            // policy without reservations).
+            let mut reservation: Option<f64> = None;
+            // Aggregate speed of the free processors: a backfill
+            // candidate's makespan is at least `total_work / free_speed`
+            // even with zero communication, so candidates that cannot
+            // possibly beat the reservation are skipped without paying
+            // for a solver run.
+            let free_speed: f64 = cluster
+                .proc_ids()
+                .filter(|p| free[p.idx()])
+                .map(|p| cluster.speed(p))
+                .sum();
+            let mut evaluated_backfills = 0usize;
+            for (pos, qi) in order.into_iter().enumerate() {
                 if free_count == 0 {
                     break;
                 }
                 let cand = &queue[qi];
-                match try_admit(cluster, &mem_order, &free, cand, cfg, clock) {
+                if let Some(resv) = reservation {
+                    if evaluated_backfills >= BACKFILL_DEPTH {
+                        break;
+                    }
+                    if free_speed <= 0.0 || clock + cand.total_work / free_speed > resv + 1e-9 {
+                        continue;
+                    }
+                    evaluated_backfills += 1;
+                }
+                match try_admit(cluster, &mem_order, &free, cand, cfg, clock, queue.len()) {
                     Admit::Granted(boxed) => {
-                        let (record, placement, sim_busy) = *boxed;
+                        if let Some(resv) = reservation {
+                            if boxed.1.finish > resv + 1e-9 {
+                                // Would run past the head's reservation
+                                // and delay it — keep this one queued.
+                                continue;
+                            }
+                        }
+                        let (mut record, placement, sim_busy) = *boxed;
+                        // The dedicated-cluster baseline is only worth
+                        // computing for grants that survive the
+                        // reservation check; solved once per workflow.
+                        let baseline = dedicated_baseline(
+                            &cand.submission.instance.graph,
+                            cluster,
+                            cfg.algorithm,
+                            &cfg.solver,
+                        )
+                        .unwrap_or(record.service);
+                        record.baseline_makespan = baseline;
+                        record.stretch = if baseline > 0.0 {
+                            record.response / baseline
+                        } else {
+                            1.0
+                        };
                         for &p in &placement.lease {
                             free[p.idx()] = false;
                         }
@@ -261,7 +338,19 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                     Admit::Wait => {
                         // Not placeable right now; under FIFO this blocks
                         // the line, under the others the next candidate
-                        // gets a chance.
+                        // gets a chance — capped by the head's
+                        // reservation when backfilling.
+                        if cfg.policy == AdmissionPolicy::FifoBackfill && pos == 0 {
+                            reservation = Some(head_reservation(
+                                cluster,
+                                &mem_order,
+                                &free,
+                                &events,
+                                &in_service,
+                                cand,
+                                cfg,
+                            ));
+                        }
                         continue;
                     }
                     Admit::Reject(reason) => {
@@ -269,6 +358,8 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                             id: cand.id,
                             name: cand.submission.instance.name.clone(),
                             arrival: cand.arrival,
+                            rejected_at: clock,
+                            wait: clock - cand.arrival,
                             reason,
                         });
                         queue.remove(qi);
@@ -302,13 +393,24 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
     };
     let (mean_wait, max_wait) = mean(&mut finished.iter().map(|r| r.wait));
     let (mean_stretch, max_stretch) = mean(&mut finished.iter().map(|r| r.stretch));
+    let (mean_slowdown, max_slowdown) = mean(&mut finished.iter().map(|r| r.slowdown));
     let (mean_lease, _) = mean(&mut finished.iter().map(|r| r.lease.len() as f64));
-    let utilization = if horizon > 0.0 {
-        busy_time.iter().sum::<f64>() / (horizon * cluster.len() as f64)
+    // Utilisation is measured over the active window [first served
+    // arrival, horizon]: a trace whose first workflow arrives late must
+    // not count the leading dead time as wasted capacity.
+    let window_start = finished
+        .iter()
+        .map(|r| r.arrival)
+        .fold(f64::INFINITY, f64::min)
+        .min(horizon);
+    let window = horizon - window_start;
+    let utilization = if window > 0.0 {
+        busy_time.iter().sum::<f64>() / (window * cluster.len() as f64)
     } else {
         0.0
     };
     let peak_concurrency = peak_overlap(&finished);
+    let rejected_count = rejected.len();
 
     ServeOutcome {
         report: ServeReport {
@@ -320,10 +422,11 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
             rejected,
             fleet: FleetMetrics {
                 completed,
-                rejected: 0, // patched below
+                rejected: rejected_count,
                 horizon,
-                throughput: if horizon > 0.0 {
-                    completed as f64 / horizon
+                window_start,
+                throughput: if window > 0.0 {
+                    completed as f64 / window
                 } else {
                     0.0
                 },
@@ -332,19 +435,13 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                 max_wait,
                 mean_stretch,
                 max_stretch,
+                mean_slowdown,
+                max_slowdown,
                 mean_lease,
                 peak_concurrency,
             },
         },
         placements,
-    }
-    .with_rejected_count()
-}
-
-impl ServeOutcome {
-    fn with_rejected_count(mut self) -> Self {
-        self.report.fleet.rejected = self.report.rejected.len();
-        self
     }
 }
 
@@ -361,6 +458,24 @@ enum Admit {
     Reject(String),
 }
 
+/// The doubling ladder of candidate lease sizes, `target` up to `cap`
+/// (all free processors). Escalating instead of jumping straight to
+/// "all free processors" keeps one workflow from monopolising the
+/// cluster and serialising the fleet; feasibility outranks the sizing
+/// cap, so escalation may exceed `max_procs`.
+fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut size = target.clamp(1, cap);
+    loop {
+        sizes.push(size);
+        if size == cap {
+            break;
+        }
+        size = (size * 2).min(cap);
+    }
+    sizes
+}
+
 fn try_admit(
     cluster: &Cluster,
     mem_order: &[ProcId],
@@ -368,6 +483,7 @@ fn try_admit(
     cand: &Pending,
     cfg: &OnlineConfig,
     clock: f64,
+    queue_len: usize,
 ) -> Admit {
     let free_sorted: Vec<ProcId> = mem_order
         .iter()
@@ -393,22 +509,8 @@ fn try_admit(
     }
 
     let g = &cand.submission.instance.graph;
-    let target = cfg.lease.target(g.node_count()).min(free_sorted.len());
-    // Escalate by doubling when the target lease has too little memory:
-    // jumping straight to "all free processors" would hand one workflow
-    // the whole cluster and serialise the fleet. Feasibility outranks
-    // the sizing cap, so escalation may exceed `max_procs`.
-    let mut sizes = Vec::new();
-    let mut size = target;
-    loop {
-        sizes.push(size);
-        if size == free_sorted.len() {
-            break;
-        }
-        size = (size * 2).min(free_sorted.len());
-    }
-
-    for size in sizes {
+    let target = cfg.lease.target_under_load(g.node_count(), queue_len);
+    for size in escalation_sizes(target, free_sorted.len()) {
         let lease: Vec<ProcId> = free_sorted[..size].to_vec();
         let sub = cluster.subcluster(&lease);
         match schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver) {
@@ -437,11 +539,17 @@ fn try_admit(
                     wait: start - cand.arrival,
                     service,
                     response: finish - cand.arrival,
-                    stretch: if service > 0.0 {
+                    slowdown: if service > 0.0 {
                         (finish - cand.arrival) / service
                     } else {
                         1.0
                     },
+                    // Stretch and its dedicated-cluster denominator are
+                    // filled in by the engine once the grant survives
+                    // the reservation check (so discarded backfill
+                    // grants never pay for a whole-cluster solve).
+                    stretch: 0.0,
+                    baseline_makespan: 0.0,
                     model_makespan: sched.local.makespan,
                     lease: lease.iter().map(|p| p.0).collect(),
                     blocks: sched.local.mapping.num_blocks(),
@@ -468,6 +576,88 @@ fn try_admit(
     } else {
         Admit::Wait
     }
+}
+
+/// Solver feasibility only — can `cand` be placed on the processors
+/// marked free in `free`? Mirrors [`try_admit`]'s lease search without
+/// running the simulator (the reservation scan only needs a yes/no).
+fn can_place(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+) -> bool {
+    let free_sorted: Vec<ProcId> = mem_order
+        .iter()
+        .copied()
+        .filter(|p| free[p.idx()])
+        .collect();
+    if free_sorted.is_empty() {
+        return false;
+    }
+    if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
+        return false;
+    }
+    let g = &cand.submission.instance.graph;
+    let target = cfg.lease.target(g.node_count());
+    for size in escalation_sizes(target, free_sorted.len()) {
+        let sub = cluster.subcluster(&free_sorted[..size]);
+        if schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver).is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The blocked FIFO head's reservation: pending completions are
+/// replayed in `(time, seq)` order onto the current free set, and the
+/// first instant at which the head becomes placeable is returned.
+/// `f64::INFINITY` means the head is not placeable even once everything
+/// drains (it will be rejected when the cluster is idle), so backfill
+/// is unconstrained.
+///
+/// Placeability is monotone in the freed set (freeing more processors
+/// only adds memory), so the earliest feasible prefix of completions is
+/// found by binary search — `O(log k)` solver probes instead of `O(k)`.
+fn head_reservation(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    events: &BinaryHeap<Completion>,
+    in_service: &[Option<InService>],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+) -> f64 {
+    let mut pending: Vec<&Completion> = events.iter().collect();
+    pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+    // Placeable once completions[0..=i] have freed their leases?
+    let feasible_after = |i: usize| -> bool {
+        let mut hypothetical = free.to_vec();
+        for c in &pending[..=i] {
+            let done = in_service[c.slot]
+                .as_ref()
+                .expect("pending completion holds its slot");
+            for &p in &done.placement.lease {
+                hypothetical[p.idx()] = true;
+            }
+        }
+        can_place(cluster, mem_order, &hypothetical, cand, cfg)
+    };
+    if pending.is_empty() || !feasible_after(pending.len() - 1) {
+        return f64::INFINITY;
+    }
+    // Smallest i with feasible_after(i); invariant: feasible at `hi`.
+    let (mut lo, mut hi) = (0usize, pending.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible_after(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    pending[hi].time
 }
 
 /// Scales the cluster's memories (smallest proportional factor) so the
@@ -547,39 +737,59 @@ mod tests {
         let f = &out.report.fleet;
         assert!(f.throughput > 0.0);
         assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
-        assert!(f.mean_stretch >= 1.0);
+        assert!(f.mean_slowdown >= 1.0);
+        assert!(f.mean_stretch > 0.0);
+        for r in &out.report.workflows {
+            assert!(r.baseline_makespan.is_finite() && r.baseline_makespan > 0.0);
+            assert!((r.stretch - r.response / r.baseline_makespan).abs() < 1e-12);
+            assert!((r.slowdown - r.response / r.service).abs() < 1e-12);
+        }
     }
 
     #[test]
     fn leases_never_overlap_in_time() {
+        // Every (arrival process × policy) combination must keep the
+        // per-processor served intervals disjoint.
         let cluster = small_cluster();
-        let out = serve(
-            &cluster,
-            stream(
-                10,
-                &[Family::Blast],
-                (20, 40),
-                &ArrivalProcess::Burst { at: 0.0 },
-                7,
-            ),
-            &OnlineConfig::default(),
-        );
-        assert_eq!(out.report.fleet.completed, 10);
-        // Per processor: served intervals must be disjoint.
-        for p in cluster.proc_ids() {
-            let mut spans: Vec<(f64, f64)> = out
-                .report
-                .workflows
-                .iter()
-                .filter(|r| r.lease.contains(&p.0))
-                .map(|r| (r.start, r.finish))
-                .collect();
-            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for w in spans.windows(2) {
-                assert!(
-                    w[1].0 >= w[0].1 - 1e-9,
-                    "processor {p} double-leased: {w:?}"
+        let processes = [
+            ArrivalProcess::Burst { at: 0.0 },
+            ArrivalProcess::Poisson { rate: 0.05 },
+            ArrivalProcess::Uniform { interval: 10.0 },
+        ];
+        for process in &processes {
+            for policy in AdmissionPolicy::ALL {
+                let cfg = OnlineConfig {
+                    policy,
+                    ..OnlineConfig::default()
+                };
+                let out = serve(
+                    &cluster,
+                    stream(10, &[Family::Blast], (20, 40), process, 7),
+                    &cfg,
                 );
+                assert_eq!(
+                    out.report.fleet.completed,
+                    10,
+                    "{process:?} under {} dropped work",
+                    policy.name()
+                );
+                for p in cluster.proc_ids() {
+                    let mut spans: Vec<(f64, f64)> = out
+                        .report
+                        .workflows
+                        .iter()
+                        .filter(|r| r.lease.contains(&p.0))
+                        .map(|r| (r.start, r.finish))
+                        .collect();
+                    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    for w in spans.windows(2) {
+                        assert!(
+                            w[1].0 >= w[0].1 - 1e-9,
+                            "processor {p} double-leased under {process:?}/{}: {w:?}",
+                            policy.name()
+                        );
+                    }
+                }
             }
         }
     }
@@ -603,8 +813,153 @@ mod tests {
         });
         let out = serve(&small_cluster(), subs, &OnlineConfig::default());
         assert_eq!(out.report.fleet.rejected, 1);
-        assert_eq!(out.report.rejected[0].id, 99);
+        let rej = &out.report.rejected[0];
+        assert_eq!(rej.id, 99);
+        // Screened out on arrival: the rejection instant is recorded
+        // and the implied wait is zero.
+        assert_eq!(rej.rejected_at, rej.arrival);
+        assert_eq!(rej.wait, 0.0);
         assert_eq!(out.report.fleet.completed, 2);
+    }
+
+    /// A three-processor cluster where the head needs the (busy) big
+    /// processor: FIFO blocks the line, fifo-backfill serves a small
+    /// later job in the hole without delaying the head's start.
+    fn backfill_scenario() -> (Cluster, Vec<Submission>) {
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("big", 1.0, 1000.0),
+                Processor::new("sml", 1.0, 100.0),
+                Processor::new("sml", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        let single = |id: usize, arrival: f64, work: f64, mem: f64, name: &str| {
+            let mut g = dhp_dag::Dag::new();
+            g.add_node(work, mem);
+            Submission {
+                id,
+                arrival,
+                instance: dhp_wfgen::WorkflowInstance {
+                    name: name.into(),
+                    family: None,
+                    size_class: dhp_wfgen::SizeClass::Real,
+                    requested_size: 1,
+                    graph: g,
+                },
+            }
+        };
+        let subs = vec![
+            // Occupies the big-memory processor until t=100.
+            single(0, 0.0, 100.0, 900.0, "hog"),
+            // The head: only fits the big processor, so it must wait.
+            single(1, 1.0, 10.0, 500.0, "head"),
+            // Small and quick: fits a small processor, done long before
+            // the head's reservation at t=100.
+            single(2, 2.0, 1.0, 50.0, "minnow"),
+        ];
+        (cluster, subs)
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_but_backfill_fills_the_hole() {
+        let (cluster, subs) = backfill_scenario();
+        let run = |policy| {
+            let cfg = OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            };
+            serve(&cluster, subs.clone(), &cfg)
+        };
+        let by_id = |out: &ServeOutcome, id: usize| -> WorkflowRecord {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("workflow {id} not served"))
+                .clone()
+        };
+
+        let fifo = run(AdmissionPolicy::Fifo);
+        let backfill = run(AdmissionPolicy::FifoBackfill);
+        assert_eq!(fifo.report.fleet.completed, 3);
+        assert_eq!(backfill.report.fleet.completed, 3);
+
+        // FIFO: the blocked head holds up the minnow until the hog
+        // completes at t=100.
+        assert_eq!(by_id(&fifo, 1).start, 100.0);
+        assert_eq!(by_id(&fifo, 2).start, 100.0);
+
+        // Backfill: the minnow runs immediately on a small processor...
+        assert_eq!(by_id(&backfill, 2).start, 2.0);
+        // ...without delaying the head past its reservation (t=100, the
+        // hog's completion — identical to the FIFO start).
+        assert_eq!(by_id(&backfill, 1).start, 100.0);
+    }
+
+    #[test]
+    fn utilization_ignores_leading_dead_time() {
+        // Shifting every arrival by a constant must not deflate
+        // utilization: the measured window starts at the first served
+        // arrival, not at t=0.
+        let cluster = small_cluster();
+        let base = small_stream(6);
+        let shifted = crate::submission::shift_arrivals(base.clone(), 10_000.0);
+        let a = serve(&cluster, base, &OnlineConfig::default());
+        let b = serve(&cluster, shifted, &OnlineConfig::default());
+        assert_eq!(a.report.fleet.completed, b.report.fleet.completed);
+        assert!(
+            (a.report.fleet.utilization - b.report.fleet.utilization).abs() < 1e-9,
+            "shifted trace deflated utilization: {} vs {}",
+            a.report.fleet.utilization,
+            b.report.fleet.utilization
+        );
+        assert!(
+            (b.report.fleet.window_start - (a.report.fleet.window_start + 10_000.0)).abs() < 1e-9
+        );
+        // Throughput is window-relative for the same reason.
+        assert!(
+            (a.report.fleet.throughput - b.report.fleet.throughput).abs() < 1e-9,
+            "shifted trace deflated throughput: {} vs {}",
+            a.report.fleet.throughput,
+            b.report.fleet.throughput
+        );
+    }
+
+    #[test]
+    fn load_aware_sizing_shrinks_leases_under_burst() {
+        // A burst with load-aware sizing must not serialise: leases
+        // shrink with the backlog, so mean lease size drops (or at
+        // least concurrency holds) relative to the load-blind run.
+        let cluster = small_cluster();
+        let subs = stream(
+            8,
+            &[Family::Blast],
+            (40, 60),
+            &ArrivalProcess::Burst { at: 0.0 },
+            13,
+        );
+        let run = |shrink: bool| {
+            let cfg = OnlineConfig {
+                lease: LeaseSizing {
+                    tasks_per_proc: 20,
+                    shrink_under_load: shrink,
+                    ..LeaseSizing::default()
+                },
+                ..OnlineConfig::default()
+            };
+            serve(&cluster, subs.clone(), &cfg)
+        };
+        let blind = run(false);
+        let aware = run(true);
+        assert_eq!(blind.report.fleet.completed, 8);
+        assert_eq!(aware.report.fleet.completed, 8);
+        assert!(
+            aware.report.fleet.mean_lease <= blind.report.fleet.mean_lease + 1e-9,
+            "load-aware sizing grew leases: {} vs {}",
+            aware.report.fleet.mean_lease,
+            blind.report.fleet.mean_lease
+        );
     }
 
     #[test]

@@ -19,13 +19,17 @@
 //!
 //! * [`Submission`]/[`submission::stream`] — workflow arrival streams
 //!   (Poisson / uniform / burst, via [`dhp_wfgen::arrivals`]).
-//! * [`AdmissionPolicy`] — FIFO (head-of-line blocking),
+//! * [`AdmissionPolicy`] — FIFO (head-of-line blocking), FIFO with
+//!   conservative backfilling (reservation-preserving),
 //!   shortest-workflow-first, memory-fit-first.
-//! * [`LeaseSizing`] — how many processors each workflow gets.
+//! * [`LeaseSizing`] — how many processors each workflow gets,
+//!   optionally shrinking targets as the queue grows
+//!   (`shrink_under_load`).
 //! * [`serve`] — the engine; returns a [`ServeOutcome`] holding the
-//!   serialisable [`ServeReport`] (per-workflow wait/stretch/service,
-//!   fleet throughput/utilisation) plus every [`Placement`] (lease +
-//!   global mapping) for validation and replay.
+//!   serialisable [`ServeReport`] (per-workflow wait/service, the
+//!   dedicated-cluster `stretch` and lease-relative `slowdown`, fleet
+//!   throughput/utilisation) plus every [`Placement`] (lease + global
+//!   mapping) for validation and replay.
 //!
 //! Runs are deterministic: a fixed `(cluster, submissions, config)`
 //! triple always yields the identical report.

@@ -13,6 +13,13 @@ pub enum AdmissionPolicy {
     /// Strict arrival order with head-of-line blocking: nothing jumps
     /// the queue, even if the head cannot currently be placed.
     Fifo,
+    /// Arrival order with *conservative backfilling*: when the head
+    /// cannot be placed, the engine computes its reservation (the
+    /// earliest instant enough processors free up, from the pending
+    /// completions) and admits later arrivals only if their simulated
+    /// finish does not push past that reservation — so the head is
+    /// never delayed, but small work fills the holes.
+    FifoBackfill,
     /// Smallest total work first (SJF-style): minimises mean wait under
     /// bursts, at the cost of potentially starving big workflows.
     ShortestFirst,
@@ -27,6 +34,7 @@ impl AdmissionPolicy {
     pub fn name(self) -> &'static str {
         match self {
             AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::FifoBackfill => "fifo-backfill",
             AdmissionPolicy::ShortestFirst => "shortest",
             AdmissionPolicy::MemoryFitFirst => "memfit",
         }
@@ -36,6 +44,7 @@ impl AdmissionPolicy {
     pub fn parse(s: &str) -> Option<AdmissionPolicy> {
         match s {
             "fifo" => Some(AdmissionPolicy::Fifo),
+            "fifo-backfill" | "backfill" => Some(AdmissionPolicy::FifoBackfill),
             "shortest" | "sjf" => Some(AdmissionPolicy::ShortestFirst),
             "memfit" | "memory-fit" => Some(AdmissionPolicy::MemoryFitFirst),
             _ => None,
@@ -43,15 +52,18 @@ impl AdmissionPolicy {
     }
 
     /// All policies (for sweeps and tests).
-    pub const ALL: [AdmissionPolicy; 3] = [
+    pub const ALL: [AdmissionPolicy; 4] = [
         AdmissionPolicy::Fifo,
+        AdmissionPolicy::FifoBackfill,
         AdmissionPolicy::ShortestFirst,
         AdmissionPolicy::MemoryFitFirst,
     ];
 
     /// Candidate order: indices into `queue` in the order this policy
     /// wants them tried. `Fifo` returns only the head (head-of-line
-    /// blocking); the others rank the whole queue.
+    /// blocking); `FifoBackfill` returns the whole queue in arrival
+    /// order (the engine enforces the head's reservation); the others
+    /// rank the whole queue.
     pub(crate) fn candidate_order(self, queue: &[crate::engine::Pending]) -> Vec<usize> {
         match self {
             AdmissionPolicy::Fifo => {
@@ -61,6 +73,9 @@ impl AdmissionPolicy {
                     vec![0]
                 }
             }
+            // The queue is maintained in (arrival, id) order, so plain
+            // index order *is* arrival order.
+            AdmissionPolicy::FifoBackfill => (0..queue.len()).collect(),
             AdmissionPolicy::ShortestFirst => {
                 let mut idx: Vec<usize> = (0..queue.len()).collect();
                 idx.sort_by(|&a, &b| {
@@ -96,6 +111,13 @@ pub struct LeaseSizing {
     /// Upper bound on the lease size (caps how much of the cluster one
     /// workflow can monopolise).
     pub max_procs: usize,
+    /// Queue-length-aware sizing: when set, the target shrinks as the
+    /// admission queue grows (divided by the number of queued
+    /// workflows, floored at `min_procs`), so a burst of workflows
+    /// parallelises across small leases instead of serialising behind
+    /// one big one. Feasibility escalation (lease doubling) still
+    /// applies on top of the shrunken target.
+    pub shrink_under_load: bool,
 }
 
 impl Default for LeaseSizing {
@@ -104,6 +126,7 @@ impl Default for LeaseSizing {
             tasks_per_proc: 25,
             min_procs: 1,
             max_procs: usize::MAX,
+            shrink_under_load: false,
         }
     }
 }
@@ -116,6 +139,19 @@ impl LeaseSizing {
         let lo = self.min_procs.max(1);
         let hi = self.max_procs.max(lo);
         tasks.div_ceil(self.tasks_per_proc.max(1)).clamp(lo, hi)
+    }
+
+    /// Target lease size under queue pressure: with `shrink_under_load`
+    /// set, [`target`](Self::target) is divided by `queue_len` (the
+    /// number of workflows currently queued, candidate included) so the
+    /// free processors are shared across the whole backlog; otherwise
+    /// identical to `target`.
+    pub fn target_under_load(&self, tasks: usize, queue_len: usize) -> usize {
+        let base = self.target(tasks);
+        if !self.shrink_under_load || queue_len <= 1 {
+            return base;
+        }
+        base.div_ceil(queue_len).max(self.min_procs.max(1))
     }
 }
 
@@ -141,6 +177,7 @@ mod tests {
             tasks_per_proc: 25,
             min_procs: 2,
             max_procs: 6,
+            shrink_under_load: false,
         };
         assert_eq!(s.target(10), 2); // floor at min
         assert_eq!(s.target(100), 4); // 100/25
@@ -154,13 +191,38 @@ mod tests {
             tasks_per_proc: 0,
             min_procs: 8,
             max_procs: 4,
+            shrink_under_load: false,
         };
         assert_eq!(s.target(100), 8); // min wins; max raised to min
         let z = LeaseSizing {
             tasks_per_proc: 25,
             min_procs: 0,
             max_procs: 0,
+            shrink_under_load: false,
         };
         assert_eq!(z.target(10), 1);
+    }
+
+    #[test]
+    fn load_aware_sizing_shrinks_with_queue_length() {
+        let s = LeaseSizing {
+            tasks_per_proc: 25,
+            min_procs: 2,
+            max_procs: 16,
+            shrink_under_load: true,
+        };
+        // 200 tasks → base target 8.
+        assert_eq!(s.target_under_load(200, 0), 8); // empty queue: unchanged
+        assert_eq!(s.target_under_load(200, 1), 8); // alone in the queue
+        assert_eq!(s.target_under_load(200, 2), 4);
+        assert_eq!(s.target_under_load(200, 3), 3); // ceil(8/3)
+        assert_eq!(s.target_under_load(200, 100), 2); // floored at min_procs
+
+        // Without the mode, queue length is ignored.
+        let off = LeaseSizing {
+            shrink_under_load: false,
+            ..s
+        };
+        assert_eq!(off.target_under_load(200, 100), 8);
     }
 }

@@ -24,8 +24,20 @@ pub struct WorkflowRecord {
     pub service: f64,
     /// `finish - arrival`.
     pub response: f64,
-    /// Slowdown `response / service` (>= 1; 1 = never waited).
+    /// Lease-relative slowdown `response / service` (>= 1; 1 = never
+    /// waited). Distorted under load: a tiny lease inflates `service`
+    /// and hides queueing delay — use `stretch` for cross-run
+    /// comparisons.
+    pub slowdown: f64,
+    /// Dedicated-cluster stretch `response / baseline_makespan`: how
+    /// much slower this workflow ran than it would have alone on the
+    /// whole idle cluster. The load-independent denominator makes
+    /// stretches comparable across policies and traffic levels.
     pub stretch: f64,
+    /// Model makespan of this workflow scheduled alone on the whole
+    /// idle cluster ([`dhp_core::partial::dedicated_baseline`]) — the
+    /// denominator of `stretch`, computed once at admission.
+    pub baseline_makespan: f64,
     /// Analytic (model) makespan the solver promised on the lease; the
     /// simulated `service` is never larger (paper §3.3).
     pub model_makespan: f64,
@@ -44,6 +56,12 @@ pub struct RejectedRecord {
     pub name: String,
     /// Arrival instant.
     pub arrival: f64,
+    /// Instant the engine gave up on it (the virtual clock at
+    /// rejection). Equals `arrival` when the workflow was screened out
+    /// on arrival; later when it queued first.
+    pub rejected_at: f64,
+    /// Time spent queued before rejection: `rejected_at - arrival`.
+    pub wait: f64,
     /// Why it was rejected.
     pub reason: String,
 }
@@ -57,18 +75,29 @@ pub struct FleetMetrics {
     pub rejected: usize,
     /// End of the run: the last completion instant.
     pub horizon: f64,
-    /// Completed workflows per unit of virtual time.
+    /// Start of the measured window: the first served arrival. Traces
+    /// whose first workflow arrives late would otherwise count the
+    /// leading dead time as idle capacity.
+    pub window_start: f64,
+    /// Completed workflows per unit of virtual time over the measured
+    /// window (`horizon - window_start`), so late-starting traces are
+    /// not deflated by leading dead time.
     pub throughput: f64,
-    /// Busy processor-time divided by `horizon × cluster size`.
+    /// Busy processor-time divided by
+    /// `(horizon - window_start) × cluster size`.
     pub utilization: f64,
     /// Mean time from arrival to lease grant.
     pub mean_wait: f64,
     /// Largest wait.
     pub max_wait: f64,
-    /// Mean slowdown (`response / service`).
+    /// Mean dedicated-cluster stretch (`response / baseline_makespan`).
     pub mean_stretch: f64,
-    /// Largest slowdown.
+    /// Largest dedicated-cluster stretch.
     pub max_stretch: f64,
+    /// Mean lease-relative slowdown (`response / service`).
+    pub mean_slowdown: f64,
+    /// Largest lease-relative slowdown.
+    pub max_slowdown: f64,
     /// Mean lease size (processors per workflow).
     pub mean_lease: f64,
     /// Largest number of workflows in service at once.
@@ -108,7 +137,8 @@ impl ServeReport {
              completed {:>5}   rejected {:>4}   horizon {:.2}\n\
              throughput {:.4}/t   utilization {:.1}%   peak concurrency {}\n\
              wait   mean {:.2}  max {:.2}\n\
-             stretch mean {:.3}  max {:.3}   mean lease {:.2} procs",
+             stretch mean {:.3}  max {:.3}   (dedicated-cluster baseline)\n\
+             slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs",
             self.policy,
             self.algorithm,
             self.cluster_procs,
@@ -122,6 +152,8 @@ impl ServeReport {
             f.max_wait,
             f.mean_stretch,
             f.max_stretch,
+            f.mean_slowdown,
+            f.max_slowdown,
             f.mean_lease,
         )
     }
@@ -147,22 +179,34 @@ mod tests {
                 wait: 0.0,
                 service: 12.5,
                 response: 12.5,
-                stretch: 1.0,
+                slowdown: 1.0,
+                stretch: 1.25,
+                baseline_makespan: 10.0,
                 model_makespan: 13.0,
                 lease: vec![1, 3],
                 blocks: 2,
             }],
-            rejected: vec![],
+            rejected: vec![RejectedRecord {
+                id: 1,
+                name: "blast-99-0".into(),
+                arrival: 2.0,
+                rejected_at: 6.0,
+                wait: 4.0,
+                reason: "too big".into(),
+            }],
             fleet: FleetMetrics {
                 completed: 1,
-                rejected: 0,
+                rejected: 1,
                 horizon: 12.5,
+                window_start: 0.0,
                 throughput: 0.08,
                 utilization: 0.5,
                 mean_wait: 0.0,
                 max_wait: 0.0,
-                mean_stretch: 1.0,
-                max_stretch: 1.0,
+                mean_stretch: 1.25,
+                max_stretch: 1.25,
+                mean_slowdown: 1.0,
+                max_slowdown: 1.0,
                 mean_lease: 2.0,
                 peak_concurrency: 1,
             },
@@ -182,5 +226,6 @@ mod tests {
         assert!(s.contains("fifo"));
         assert!(s.contains("throughput"));
         assert!(s.contains("stretch"));
+        assert!(s.contains("slowdown"));
     }
 }

@@ -1,6 +1,6 @@
 //! Online co-scheduling demo: a Poisson stream of genomics workflows
-//! served on one shared heterogeneous cluster, comparing the three
-//! admission policies.
+//! served on one shared heterogeneous cluster, comparing the four
+//! admission policies (fifo, fifo-backfill, shortest, memfit).
 //!
 //! Run with:
 //! ```sh
@@ -44,22 +44,27 @@ fn main() {
         println!("{}\n", out.report.summary());
     }
 
-    // Detail view for the last few completions under FIFO.
+    // Detail view for the last few completions under FIFO. `stretch`
+    // divides the response by the dedicated-cluster baseline makespan
+    // (what the workflow would take alone on the idle cluster);
+    // `slowdown` divides it by the observed lease service time.
     let out = serve(&cluster, submissions, &OnlineConfig::default());
     println!("last five completions (fifo):");
     println!(
-        "{:>4} {:>22} {:>8} {:>8} {:>8} {:>7} {:>6}",
-        "id", "name", "arrival", "wait", "service", "stretch", "lease"
+        "{:>4} {:>22} {:>8} {:>8} {:>8} {:>9} {:>7} {:>8} {:>6}",
+        "id", "name", "arrival", "wait", "service", "baseline", "stretch", "slowdown", "lease"
     );
     for r in out.report.workflows.iter().rev().take(5).rev() {
         println!(
-            "{:>4} {:>22} {:>8.2} {:>8.2} {:>8.2} {:>7.3} {:>6}",
+            "{:>4} {:>22} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>7.3} {:>8.3} {:>6}",
             r.id,
             r.name,
             r.arrival,
             r.wait,
             r.service,
+            r.baseline_makespan,
             r.stretch,
+            r.slowdown,
             r.lease.len()
         );
     }

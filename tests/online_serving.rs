@@ -1,23 +1,32 @@
 //! Integration test of the online co-scheduling engine under a
-//! 100-workflow arrival burst (ISSUE 1 acceptance criteria):
+//! 100-workflow arrival burst (ISSUE 1 acceptance criteria) and a
+//! 100-workflow Poisson trace (ISSUE 2 acceptance criteria):
 //!
 //! * every emitted mapping passes `dhp_core::mapping::validate` against
 //!   the shared cluster,
 //! * leases never overlap — neither among workflows in service at the
 //!   same instant nor, over time, on any single processor,
 //! * the run is deterministic for a fixed seed,
-//! * the fleet report carries sane throughput/stretch/utilisation.
+//! * the fleet report carries sane throughput/stretch/utilisation,
+//! * `fifo-backfill` serves the identical set with mean wait no worse
+//!   than plain `fifo`, and every record carries a finite
+//!   dedicated-cluster `baseline_makespan` backing the reported
+//!   stretch.
 
 use dhp_core::mapping::validate;
 use dhp_online::{fit_cluster, serve, AdmissionPolicy, OnlineConfig, ServeOutcome};
 use dhp_platform::configs;
 use dhp_wfgen::arrivals::ArrivalProcess;
 use dhp_wfgen::Family;
+use std::sync::OnceLock;
 
 const N: usize = 100;
 const SEED: u64 = 2024;
 
-fn burst_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
+fn run_with(
+    policy: AdmissionPolicy,
+    process: &ArrivalProcess,
+) -> (dhp_platform::Cluster, ServeOutcome) {
     let subs = dhp_online::submission::stream(
         N,
         &[
@@ -27,7 +36,7 @@ fn burst_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
             Family::Bwa,
         ],
         (20, 60),
-        &ArrivalProcess::Burst { at: 0.0 },
+        process,
         SEED,
     );
     let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
@@ -39,9 +48,41 @@ fn burst_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
     (cluster, out)
 }
 
+fn burst_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
+    run_with(policy, &ArrivalProcess::Burst { at: 0.0 })
+}
+
+fn poisson_run(policy: AdmissionPolicy) -> (dhp_platform::Cluster, ServeOutcome) {
+    run_with(policy, &ArrivalProcess::Poisson { rate: 0.05 })
+}
+
+/// The FIFO burst run, shared by the tests that only *read* it (serving
+/// is deterministic, so sharing cannot couple the tests).
+fn burst_fifo() -> &'static (dhp_platform::Cluster, ServeOutcome) {
+    static RUN: OnceLock<(dhp_platform::Cluster, ServeOutcome)> = OnceLock::new();
+    RUN.get_or_init(|| burst_run(AdmissionPolicy::Fifo))
+}
+
+/// The Poisson runs (fifo and fifo-backfill), shared the same way.
+fn poisson_pair() -> &'static [(dhp_platform::Cluster, ServeOutcome); 2] {
+    static RUN: OnceLock<[(dhp_platform::Cluster, ServeOutcome); 2]> = OnceLock::new();
+    RUN.get_or_init(|| {
+        [
+            poisson_run(AdmissionPolicy::Fifo),
+            poisson_run(AdmissionPolicy::FifoBackfill),
+        ]
+    })
+}
+
+fn served_ids(out: &ServeOutcome) -> Vec<usize> {
+    let mut ids: Vec<usize> = out.report.workflows.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
 #[test]
 fn hundred_workflow_burst_all_served_and_valid() {
-    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    let (cluster, out) = burst_fifo();
     let fleet = &out.report.fleet;
     assert_eq!(
         fleet.completed, N,
@@ -54,7 +95,7 @@ fn hundred_workflow_burst_all_served_and_valid() {
     // Zero validation failures: every mapping is a valid DAGP-PM
     // solution against the *shared* cluster, and only uses its lease.
     for p in &out.placements {
-        validate(&p.submission.instance.graph, &cluster, &p.mapping)
+        validate(&p.submission.instance.graph, cluster, &p.mapping)
             .unwrap_or_else(|e| panic!("workflow {} invalid: {e}", p.submission.id));
         for proc in p.mapping.proc_of_block.iter().flatten() {
             assert!(
@@ -68,7 +109,7 @@ fn hundred_workflow_burst_all_served_and_valid() {
 
 #[test]
 fn hundred_workflow_burst_leases_never_overlap() {
-    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    let (cluster, out) = burst_fifo();
     // Per processor, the time intervals of all workflows that leased it
     // must be pairwise disjoint.
     for proc in cluster.proc_ids() {
@@ -95,8 +136,9 @@ fn hundred_workflow_burst_leases_never_overlap() {
 
 #[test]
 fn hundred_workflow_burst_is_deterministic() {
-    let (_, a) = burst_run(AdmissionPolicy::Fifo);
+    let (_, a) = burst_fifo();
     let (_, b) = burst_run(AdmissionPolicy::Fifo);
+    let b = &b;
     assert_eq!(a.report.to_json(), b.report.to_json());
     // Placements agree too (the report alone could mask lease diffs).
     for (x, y) in a.placements.iter().zip(&b.placements) {
@@ -109,13 +151,15 @@ fn hundred_workflow_burst_is_deterministic() {
 
 #[test]
 fn hundred_workflow_burst_reports_sane_fleet_metrics() {
-    let (cluster, out) = burst_run(AdmissionPolicy::Fifo);
+    let (cluster, out) = burst_fifo();
     let f = &out.report.fleet;
     assert!(f.horizon > 0.0);
-    assert!((f.throughput - N as f64 / f.horizon).abs() < 1e-9);
+    assert!((f.throughput - N as f64 / (f.horizon - f.window_start)).abs() < 1e-9);
     assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
-    assert!(f.mean_stretch >= 1.0);
+    assert!(f.mean_stretch > 0.0);
     assert!(f.max_stretch >= f.mean_stretch);
+    assert!(f.mean_slowdown >= 1.0);
+    assert!(f.max_slowdown >= f.mean_slowdown);
     assert!(f.mean_wait >= 0.0 && f.max_wait >= f.mean_wait);
     assert!(f.mean_lease >= 1.0 && f.mean_lease <= cluster.len() as f64);
     assert!(f.peak_concurrency >= 1 && f.peak_concurrency <= N);
@@ -127,9 +171,67 @@ fn hundred_workflow_burst_reports_sane_fleet_metrics() {
 }
 
 #[test]
+fn poisson_backfill_matches_fifo_served_set_with_no_worse_waits() {
+    let [(_, fifo), (_, backfill)] = poisson_pair();
+
+    // Backfilling must not introduce rejections or change the served
+    // set — it only reorders admissions inside reservation holes.
+    assert_eq!(fifo.report.fleet.rejected, 0);
+    assert_eq!(backfill.report.fleet.rejected, 0);
+    assert_eq!(served_ids(fifo), served_ids(backfill));
+
+    assert!(
+        backfill.report.fleet.mean_wait <= fifo.report.fleet.mean_wait + 1e-9,
+        "backfill regressed mean wait: {} vs fifo {}",
+        backfill.report.fleet.mean_wait,
+        fifo.report.fleet.mean_wait
+    );
+}
+
+#[test]
+fn poisson_backfill_is_deterministic() {
+    let (_, a) = &poisson_pair()[1];
+    let (_, b) = poisson_run(AdmissionPolicy::FifoBackfill);
+    let b = &b;
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn poisson_records_carry_dedicated_cluster_baselines() {
+    let (_, out) = &poisson_pair()[1];
+    for r in &out.report.workflows {
+        assert!(
+            r.baseline_makespan.is_finite() && r.baseline_makespan > 0.0,
+            "workflow {} lacks a dedicated-cluster baseline: {}",
+            r.id,
+            r.baseline_makespan
+        );
+        assert!(
+            (r.stretch - r.response / r.baseline_makespan).abs() < 1e-12,
+            "workflow {}: stretch not response/baseline",
+            r.id
+        );
+        assert!(
+            (r.slowdown - r.response / r.service).abs() < 1e-12,
+            "workflow {}: slowdown not response/service",
+            r.id
+        );
+        assert!(r.slowdown >= 1.0 - 1e-12);
+    }
+}
+
+#[test]
 fn every_policy_serves_the_burst_without_validation_failures() {
     for policy in AdmissionPolicy::ALL {
-        let (cluster, out) = burst_run(policy);
+        // The FIFO run is shared; the other policies run fresh.
+        let owned;
+        let (cluster, out) = if policy == AdmissionPolicy::Fifo {
+            let (c, o) = burst_fifo();
+            (c, o)
+        } else {
+            owned = burst_run(policy);
+            (&owned.0, &owned.1)
+        };
         assert_eq!(
             out.report.fleet.completed,
             N,
@@ -137,7 +239,7 @@ fn every_policy_serves_the_burst_without_validation_failures() {
             policy.name()
         );
         for p in &out.placements {
-            validate(&p.submission.instance.graph, &cluster, &p.mapping).unwrap_or_else(|e| {
+            validate(&p.submission.instance.graph, cluster, &p.mapping).unwrap_or_else(|e| {
                 panic!(
                     "policy {}: workflow {} invalid: {e}",
                     policy.name(),
