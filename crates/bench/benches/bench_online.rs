@@ -1,7 +1,9 @@
 //! Online co-scheduling engine throughput: wall-clock of serving a
 //! burst of workflows end-to-end (admission + per-lease DagHetPart +
 //! discrete-event execution), per policy — plus a Poisson trace
-//! contrasting fifo vs fifo-backfill and load-aware lease sizing.
+//! contrasting fifo vs fifo-backfill and load-aware lease sizing, and
+//! a repeat-heavy trace contrasting the content-addressed solve cache
+//! against `--no-solve-cache` (`bench_solve_cache`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dhp_online::{fit_cluster, serve, AdmissionPolicy, LeaseSizing, OnlineConfig};
@@ -95,5 +97,53 @@ fn bench_backfill_and_load_aware(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve, bench_backfill_and_load_aware);
+/// ISSUE-3 headline: a repeat-heavy trace (many submissions cycling
+/// through few unique topologies — the shape of production serving
+/// traffic) with the content-addressed solve cache on vs off. With the
+/// cache, admission cost collapses to ~one solver run per *unique*
+/// topology; without it, every submission pays a fresh solve plus a
+/// whole-cluster baseline solve.
+fn bench_solve_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_cache");
+    group.sample_size(10);
+    let unique = 10usize;
+    for &n in &[60usize, 200] {
+        let subs = dhp_online::submission::repeating_stream(
+            unique,
+            n,
+            &[Family::Blast, Family::Seismology, Family::Genome],
+            (26, 50),
+            &ArrivalProcess::Burst { at: 0.0 },
+            11,
+        );
+        let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
+        for (name, cached) in [("cached", true), ("uncached", false)] {
+            let cfg = OnlineConfig {
+                solve_cache: cached,
+                ..OnlineConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("repeat{unique}/{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        serve(
+                            black_box(&cluster),
+                            black_box(subs.clone()),
+                            black_box(&cfg),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve,
+    bench_backfill_and_load_aware,
+    bench_solve_cache
+);
 criterion_main!(benches);

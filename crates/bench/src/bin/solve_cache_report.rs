@@ -1,0 +1,81 @@
+//! Produces the `BENCH_online.json` snapshot: solver-effort and
+//! wall-clock numbers of the content-addressed solve cache on the
+//! ISSUE-3 repeat-heavy acceptance trace (500 submissions, 10 unique
+//! topologies, burst arrivals).
+//!
+//! ```text
+//! cargo run --release -p dhp-bench --bin solve_cache_report > BENCH_online.json
+//! ```
+
+use dhp_online::{fit_cluster, serve, OnlineConfig};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::time::Instant;
+
+fn main() {
+    let unique = 10usize;
+    let n = 500usize;
+    let subs = dhp_online::submission::repeating_stream(
+        unique,
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (26, 50),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    let cluster = fit_cluster(&dhp_platform::configs::default_cluster(), &subs, 1.05);
+
+    let run = |cached: bool| {
+        let cfg = OnlineConfig {
+            solve_cache: cached,
+            ..OnlineConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = serve(&cluster, subs.clone(), &cfg);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (cached, cached_secs) = run(true);
+    let (uncached, uncached_secs) = run(false);
+    assert_eq!(
+        {
+            let mut a = cached.report.clone();
+            a.fleet.clear_solve_stats();
+            a.to_json()
+        },
+        {
+            let mut b = uncached.report.clone();
+            b.fleet.clear_solve_stats();
+            b.to_json()
+        },
+        "cache changed the scheduling outcome"
+    );
+
+    let cf = &cached.report.fleet;
+    let uf = &uncached.report.fleet;
+    let probes = cf.solve_cache_hits + cf.solve_cache_misses;
+    println!("{{");
+    println!("  \"bench\": \"solve_cache/repeat10/500\",");
+    println!("  \"trace\": {{ \"submissions\": {n}, \"unique_topologies\": {unique}, \"process\": \"burst\", \"policy\": \"fifo\" }},");
+    println!(
+        "  \"cached\": {{ \"solver_invocations\": {}, \"cache_hits\": {}, \"baseline_solves\": {}, \"hit_rate_pct\": {:.2}, \"wall_seconds\": {:.3} }},",
+        cf.solve_cache_misses,
+        cf.solve_cache_hits,
+        cf.baseline_solves,
+        100.0 * cf.solve_cache_hits as f64 / probes.max(1) as f64,
+        cached_secs
+    );
+    println!(
+        "  \"uncached\": {{ \"solver_invocations\": {}, \"baseline_solves\": {}, \"wall_seconds\": {:.3} }},",
+        uf.solve_cache_misses, uf.baseline_solves, uncached_secs
+    );
+    println!(
+        "  \"solves_avoided\": {},",
+        uf.solve_cache_misses - cf.solve_cache_misses
+    );
+    println!(
+        "  \"speedup\": {:.2},",
+        uncached_secs / cached_secs.max(1e-9)
+    );
+    println!("  \"reports_byte_identical_modulo_stats\": true");
+    println!("}}");
+}

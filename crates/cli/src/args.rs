@@ -41,13 +41,14 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 6] = [
+const SWITCHES: [&str; 7] = [
     "quiet",
     "simulate",
     "gantt",
     "help",
     "summary",
     "lease-load-aware",
+    "no-solve-cache",
 ];
 
 impl Args {

@@ -45,6 +45,8 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
   --families LIST       comma-separated families to cycle (default
                         blast,seismology,genome)
   --tasks LO-HI         per-workflow task count range (default 20-60)
+  --unique K            cycle K distinct instances over the N submissions
+                        (repeat-heavy traffic; default 0 = all distinct)
   --process NAME        poisson (default) | uniform | burst
   --rate R              Poisson arrival rate (default 0.05)
   --interval T          uniform inter-arrival spacing (default 10)
@@ -55,6 +57,10 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
   --max-procs N         lease size upper bound (default unbounded)
   --lease-load-aware    shrink lease targets as the admission queue grows
                         (bursts parallelise instead of serialising)
+  --no-solve-cache      disable the content-addressed solve cache (every
+                        admission probe pays a fresh solver run; scheduling
+                        outcome is identical, only the solver statistics in
+                        the report change)
   --cluster NAME|FILE   shared cluster (default: default)
   --bandwidth B         override the cluster bandwidth
   --headroom H          fleet-wide memory scaling so the hottest task of

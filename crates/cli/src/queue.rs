@@ -58,7 +58,15 @@ pub fn queue(args: &Args) -> Result<String, String> {
         cluster = cluster.with_bandwidth(positive(beta, "--bandwidth")?);
     }
 
-    let subs = dhp_online::submission::stream(n, &families, tasks, &process, seed);
+    // `--unique K` generates a repeat-heavy trace: K distinct instances
+    // cycled for n submissions (production-shaped traffic, ideal for
+    // the solve cache). 0 (default) = every submission distinct.
+    let unique = args.get_usize("unique", 0)?;
+    let subs = if unique > 0 {
+        dhp_online::submission::repeating_stream(unique, n, &families, tasks, &process, seed)
+    } else {
+        dhp_online::submission::stream(n, &families, tasks, &process, seed)
+    };
     let headroom = args.get_f64("headroom", 1.05)?;
     if headroom != 0.0 {
         if headroom < 1.0 {
@@ -72,6 +80,10 @@ pub fn queue(args: &Args) -> Result<String, String> {
         lease,
         algorithm,
         solver: Default::default(),
+        // Escape hatch: `--no-solve-cache` forces a fresh solver run
+        // per probe (identical scheduling outcome, only slower — the
+        // solver statistics in the report show the difference).
+        solve_cache: !args.switch("no-solve-cache"),
     };
     let out = serve(&cluster, subs, &cfg);
 
@@ -184,6 +196,47 @@ mod tests {
         for r in &report.workflows {
             assert!(r.baseline_makespan.is_finite() && r.baseline_makespan > 0.0);
         }
+    }
+
+    #[test]
+    fn queue_surfaces_solve_cache_stats_and_escape_hatch() {
+        let base = "queue --workflows 6 --families blast --tasks 20-30 \
+                    --process burst --cluster small --seed 7";
+        let cached: dhp_online::ServeReport = serde_json::from_str(&cli(base).unwrap()).unwrap();
+        let uncached: dhp_online::ServeReport =
+            serde_json::from_str(&cli(&format!("{base} --no-solve-cache")).unwrap()).unwrap();
+        // The cache is on by default and reports its counters; the
+        // escape hatch records zero hits and one solver run per probe.
+        assert!(cached.fleet.solve_cache_misses > 0);
+        assert!(cached.fleet.baseline_solves > 0);
+        assert_eq!(uncached.fleet.solve_cache_hits, 0);
+        assert!(uncached.fleet.solve_cache_misses >= cached.fleet.solve_cache_misses);
+        // Identical scheduling outcome either way.
+        let mut a = cached.clone();
+        let mut b = uncached.clone();
+        a.fleet.clear_solve_stats();
+        b.fleet.clear_solve_stats();
+        assert_eq!(a.to_json(), b.to_json());
+        // The text summary mentions the counters too.
+        let summary = cli(&format!("{base} --summary")).unwrap();
+        assert!(summary.contains("solve cache hits"), "{summary}");
+        assert!(summary.contains("baseline solves"), "{summary}");
+    }
+
+    #[test]
+    fn queue_unique_generates_repeat_heavy_traffic_the_cache_eats() {
+        let out = cli("queue --workflows 12 --unique 3 --families blast \
+             --tasks 26-40 --process burst --cluster small --seed 7")
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 12);
+        // 3 unique topologies cycling: repeats hit the cache, and the
+        // deduplicated baseline batch solves each topology once.
+        assert!(
+            report.fleet.solve_cache_hits > 0,
+            "no hits on a repeat trace"
+        );
+        assert!(report.fleet.baseline_solves <= 3);
     }
 
     #[test]

@@ -117,7 +117,15 @@ fn earliest_slot(busy: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
     candidate
 }
 
+/// Inserts `iv` into the sorted interval list. The insertion point is
+/// found by binary search, and the overwhelmingly common case — tasks
+/// land in rank order, so the new interval starts at or after the last
+/// one — appends without shifting the tail.
 fn insert_interval(busy: &mut Vec<(f64, f64)>, iv: (f64, f64)) {
+    if busy.last().is_none_or(|&(s, _)| s <= iv.0) {
+        busy.push(iv);
+        return;
+    }
     let pos = busy.partition_point(|&(s, _)| s < iv.0);
     busy.insert(pos, iv);
 }
@@ -266,5 +274,58 @@ mod tests {
         assert_eq!(earliest_slot(&busy, 0.0, 3.0), 2.0); // gap 2..10
         assert_eq!(earliest_slot(&busy, 0.0, 9.0), 12.0); // too big, append
         assert_eq!(earliest_slot(&busy, 11.0, 1.0), 12.0);
+    }
+
+    /// Regression for the insertion bookkeeping under many intervals:
+    /// interleaving gap-filling inserts with appends must keep the busy
+    /// list sorted and pairwise disjoint, and every scheduled slot must
+    /// be the earliest feasible one.
+    #[test]
+    fn insert_interval_keeps_many_intervals_sorted_and_disjoint() {
+        let mut busy: Vec<(f64, f64)> = Vec::new();
+        // Deterministic mix: long strides first (leaving gaps), then
+        // unit fillers that must land inside the gaps, then appends.
+        let mut demands: Vec<(f64, f64)> = Vec::new();
+        for i in 0..100 {
+            demands.push((3.0 * i as f64, 2.0)); // (ready, dur): gap of 1 after each
+        }
+        for i in 0..100 {
+            demands.push((3.0 * i as f64, 1.0)); // fills the 1-wide gaps exactly
+        }
+        demands.push((0.0, 5.0)); // forced to append at the end
+        for (ready, dur) in demands {
+            let est = earliest_slot(&busy, ready, dur);
+            assert!(est >= ready);
+            insert_interval(&mut busy, (est, est + dur));
+        }
+        assert_eq!(busy.len(), 201);
+        for w in busy.windows(2) {
+            assert!(w[0].0 <= w[1].0, "list no longer sorted: {w:?}");
+            assert!(w[0].1 <= w[1].0 + 1e-12, "intervals overlap: {w:?}");
+        }
+        // The fillers really went into the holes: the first 300 units
+        // of the timeline are packed solid.
+        let packed_until =
+            busy.iter()
+                .take_while(|&&(s, _)| s < 300.0)
+                .fold(0.0f64, |t, &(s, f)| {
+                    assert!((s - t).abs() < 1e-12, "hole left before {s}");
+                    f.max(t)
+                });
+        assert_eq!(packed_until, 300.0);
+    }
+
+    /// The out-of-order path: an interval starting before the current
+    /// head must be inserted at the front, not appended.
+    #[test]
+    fn insert_interval_handles_out_of_order_inserts() {
+        let mut busy = vec![(5.0, 6.0), (8.0, 9.0)];
+        insert_interval(&mut busy, (0.0, 1.0));
+        insert_interval(&mut busy, (6.5, 7.0));
+        insert_interval(&mut busy, (9.0, 10.0)); // equal-start append path
+        assert_eq!(
+            busy,
+            vec![(0.0, 1.0), (5.0, 6.0), (6.5, 7.0), (8.0, 9.0), (9.0, 10.0)]
+        );
     }
 }

@@ -20,9 +20,12 @@ use crate::metrics::MappingResult;
 use crate::SchedError;
 use dhp_dag::Dag;
 use dhp_platform::SubCluster;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which solver to run on a lease.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// The four-step partitioning heuristic (paper §4.2).
     DagHetPart,
@@ -118,6 +121,179 @@ pub fn dedicated_baseline(
     schedule_on_subcluster(g, &sub, algorithm, cfg).map(|s| s.local.makespan)
 }
 
+// ---------------------------------------------------------------------
+// Content-addressed solve cache
+
+/// Hit/miss counters of a [`SolveCache`], snapshot via
+/// [`SolveCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveCacheStats {
+    /// Calls answered from a memoized entry (including memoized
+    /// `NoSolution` outcomes).
+    pub hits: u64,
+    /// Calls that ran a solver. With the cache disabled every call is a
+    /// miss, so this field always counts solver invocations.
+    pub misses: u64,
+}
+
+/// Cache key: everything a solve outcome depends on.
+///
+/// * the workflow's structural fingerprint ([`Dag::fingerprint`]),
+/// * the lease's shape signature ([`SubCluster::shape_signature`]) —
+///   concrete processor ids are *not* part of the key, the cached
+///   local-id mapping is remapped onto the probe's processors on a hit,
+/// * the algorithm,
+/// * a hash of the solver configuration ([`SolveCache::config_hash`]).
+type SolveKey = (u64, u64, Algorithm, u64);
+
+/// A memoized solve outcome in lease-local processor ids. Solved
+/// entries sit behind an [`Arc`] so a hit clones a refcount under the
+/// map lock, not an O(tasks) mapping.
+#[derive(Clone, Debug)]
+enum CachedSolve {
+    Solved(Arc<MappingResult>),
+    NoSolution,
+}
+
+/// Content-addressed memoization of [`schedule_on_subcluster`] (and,
+/// through it, of [`dedicated_baseline`] makespans, which are
+/// whole-cluster solves under the same key space).
+///
+/// Entries store the solver result in *lease-local* ids, so a hit from
+/// a lease carved out of different concrete processors — but with an
+/// identical shape — only pays for the id remap. `NoSolution` outcomes
+/// are memoized too: the engine's lease-escalation ladder probes the
+/// same infeasible shapes repeatedly.
+///
+/// The cache is shared across threads (`&SolveCache` is `Sync`): the
+/// map sits behind a [`parking_lot::Mutex`] held only for lookups and
+/// inserts — never across a solver run, so concurrent misses on
+/// distinct keys solve in parallel. Two concurrent misses on the *same*
+/// key would both solve and last-write-wins; the engine avoids this by
+/// deduplicating its parallel baseline batch up front.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    enabled: bool,
+    map: parking_lot::Mutex<HashMap<SolveKey, CachedSolve>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        SolveCache {
+            enabled: true,
+            ..SolveCache::default()
+        }
+    }
+
+    /// A pass-through cache: never memoizes, but still counts every
+    /// call as a miss, so solver-invocation statistics stay comparable
+    /// between cached and uncached runs (`--no-solve-cache`).
+    pub fn disabled() -> Self {
+        SolveCache::default()
+    }
+
+    /// Whether this cache memoizes (false for [`SolveCache::disabled`]).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> SolveCacheStats {
+        SolveCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hash of a solver configuration, for the cache key. Computed over
+    /// the `Debug` rendering: every config field is `Debug`-visible, so
+    /// any change to any field changes the key (fields containing
+    /// floats make a structural `Hash` derive unavailable).
+    pub fn config_hash(cfg: &DagHetPartConfig) -> u64 {
+        dhp_dag::fingerprint::fnv1a_bytes(format!("{cfg:?}").bytes())
+    }
+
+    /// Memoizing [`schedule_on_subcluster`]. `fingerprint` must be
+    /// `g.fingerprint()` — callers that schedule the same graph many
+    /// times (the online engine) compute it once per submission instead
+    /// of once per probe.
+    pub fn schedule(
+        &self,
+        g: &Dag,
+        fingerprint: u64,
+        sub: &SubCluster,
+        algorithm: Algorithm,
+        cfg: &DagHetPartConfig,
+        config_hash: u64,
+    ) -> Result<SubClusterSchedule, SchedError> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return schedule_on_subcluster(g, sub, algorithm, cfg);
+        }
+        let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
+        // Cheap under the lock: an Arc refcount bump (or the unit
+        // NoSolution marker); the O(tasks) materialisation below runs
+        // with the lock released.
+        let cached: Option<CachedSolve> = self.map.lock().get(&key).cloned();
+        if let Some(entry) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return match entry {
+                CachedSolve::NoSolution => Err(SchedError::NoSolution),
+                CachedSolve::Solved(local) => {
+                    let global = remap_to_parent(sub, &local.mapping);
+                    Ok(SubClusterSchedule {
+                        local: (*local).clone(),
+                        global,
+                    })
+                }
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match schedule_on_subcluster(g, sub, algorithm, cfg) {
+            Err(SchedError::NoSolution) => {
+                self.map.lock().insert(key, CachedSolve::NoSolution);
+                Err(SchedError::NoSolution)
+            }
+            Ok(sched) => {
+                let entry = CachedSolve::Solved(Arc::new(sched.local.clone()));
+                self.map.lock().insert(key, entry);
+                Ok(sched)
+            }
+        }
+    }
+
+    /// Memoizing [`dedicated_baseline`]: a whole-cluster solve, cached
+    /// under the same key space as lease solves (the whole cluster in
+    /// canonical order is just one more lease shape).
+    pub fn dedicated_baseline(
+        &self,
+        g: &Dag,
+        fingerprint: u64,
+        cluster: &dhp_platform::Cluster,
+        algorithm: Algorithm,
+        cfg: &DagHetPartConfig,
+        config_hash: u64,
+    ) -> Result<f64, SchedError> {
+        let ids = cluster.ids_by_memory_desc();
+        let sub = cluster.subcluster(&ids);
+        self.schedule(g, fingerprint, &sub, algorithm, cfg, config_hash)
+            .map(|s| s.local.makespan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +359,138 @@ mod tests {
             assert_eq!(b, direct.local.makespan);
             assert!(b.is_finite() && b > 0.0);
         }
+    }
+
+    #[test]
+    fn cache_hits_reproduce_the_direct_solve_exactly() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        for algo in [Algorithm::DagHetPart, Algorithm::DagHetMem] {
+            let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+            let direct = schedule_on_subcluster(&g, &sub, algo, &cfg).unwrap();
+            let miss = cache.schedule(&g, fp, &sub, algo, &cfg, chash).unwrap();
+            let hit = cache.schedule(&g, fp, &sub, algo, &cfg, chash).unwrap();
+            for got in [&miss, &hit] {
+                assert_eq!(got.local.makespan, direct.local.makespan);
+                assert_eq!(got.local.mapping.partition, direct.local.mapping.partition);
+                assert_eq!(got.global.proc_of_block, direct.global.proc_of_block);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+    }
+
+    #[test]
+    fn cache_remaps_hits_onto_the_probes_concrete_processors() {
+        // m1 (4, 128) twice over: lease {1} and a same-shape lease from
+        // a cluster where that shape sits at a different id.
+        let g = builder::chain(4, 2.0, 4.0, 1.0);
+        let a = cluster();
+        let b = Cluster::new(
+            vec![
+                Processor::new("pad", 1.0, 32.0),
+                Processor::new("pad", 1.0, 32.0),
+                Processor::new("m1-twin", 4.0, 128.0),
+            ],
+            1.0,
+        );
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        let sub_a = a.subcluster(&[ProcId(1)]);
+        let sub_b = b.subcluster(&[ProcId(2)]);
+        assert_eq!(sub_a.shape_signature(), sub_b.shape_signature());
+        let first = cache
+            .schedule(&g, fp, &sub_a, Algorithm::DagHetPart, &cfg, chash)
+            .unwrap();
+        let second = cache
+            .schedule(&g, fp, &sub_b, Algorithm::DagHetPart, &cfg, chash)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(first.local.makespan, second.local.makespan);
+        // Same local mapping, different global ids: the remap trick.
+        assert_eq!(
+            first.local.mapping.proc_of_block,
+            second.local.mapping.proc_of_block
+        );
+        validate(&g, &b, &second.global).unwrap();
+        for p in second.global.proc_of_block.iter().flatten() {
+            assert_eq!(*p, ProcId(2));
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_no_solution_too() {
+        let g = builder::chain(40, 1.0, 30.0, 5.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        let sub = c.subcluster(&[ProcId(2)]);
+        for _ in 0..3 {
+            let r = cache.schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash);
+            assert_eq!(r.err(), Some(SchedError::NoSolution));
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_counts_solver_invocations_but_never_memoizes() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::disabled();
+        let fp = g.fingerprint();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        for _ in 0..2 {
+            cache
+                .schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert!(cache.is_empty() && !cache.is_enabled());
+    }
+
+    #[test]
+    fn cached_dedicated_baseline_matches_direct() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        for algo in [Algorithm::DagHetPart, Algorithm::DagHetMem] {
+            let direct = dedicated_baseline(&g, &c, algo, &cfg).unwrap();
+            let miss = cache
+                .dedicated_baseline(&g, fp, &c, algo, &cfg, chash)
+                .unwrap();
+            let hit = cache
+                .dedicated_baseline(&g, fp, &c, algo, &cfg, chash)
+                .unwrap();
+            assert_eq!(miss, direct);
+            assert_eq!(hit, direct);
+        }
+    }
+
+    #[test]
+    fn config_hash_tracks_config_changes() {
+        let a = DagHetPartConfig::default();
+        let b = DagHetPartConfig {
+            enable_swaps: false,
+            ..DagHetPartConfig::default()
+        };
+        assert_eq!(SolveCache::config_hash(&a), SolveCache::config_hash(&a));
+        assert_ne!(SolveCache::config_hash(&a), SolveCache::config_hash(&b));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Structural fingerprints of weighted DAGs.
+//!
+//! The online engine sees the same workflow topologies over and over
+//! (wfcommons recipes instantiated repeatedly, burst traces cycling
+//! through a family mix). [`Dag::fingerprint`] condenses everything the
+//! schedulers care about — topology plus work/memory/volume weights —
+//! into one `u64`, so solver results can be memoized under a
+//! content-addressed key instead of being recomputed per submission.
+//!
+//! The hash is FNV-1a over the graph serialised in canonical
+//! (deterministic Kahn) topological order: node weights in topo order,
+//! then edges as `(topo position of src, topo position of dst, volume)`
+//! triples in sorted order. Two graphs built identically — or differing
+//! only in a node renumbering that preserves the canonical topo order —
+//! fingerprint equal; any change to the structure or to a weight bit
+//! changes the hash with FNV's usual 2^-64-ish collision odds. Node
+//! *labels* are deliberately excluded: instances named `blast-30-0` and
+//! `blast-30-17` share one solver solution if their graphs agree.
+//!
+//! This is a cache key, not a graph-isomorphism certificate: graphs that
+//! are isomorphic under an order-changing renumbering may hash apart
+//! (harmless — at worst a redundant solve), and a collision between
+//! genuinely different graphs is astronomically unlikely but not
+//! impossible (the cache trades that risk for O(1) admission).
+
+use crate::graph::Dag;
+use crate::topo::topo_sort;
+
+/// FNV-1a offset basis — the hash state every fingerprint starts from.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one 64-bit word into an FNV-1a state, byte by byte. Shared by
+/// the cache-key hashes across the workspace (graph fingerprints here,
+/// solver-config hashes in `dhp-core`).
+#[inline]
+pub fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a byte stream, from the offset basis.
+pub fn fnv1a_bytes(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for byte in bytes {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Dag {
+    /// Content hash of the graph's structure and weights (see the
+    /// module docs for what is and is not covered). Falls back to node
+    /// index order if the graph is (transiently) cyclic, so the method
+    /// is total.
+    pub fn fingerprint(&self) -> u64 {
+        let order = topo_sort(self).unwrap_or_else(|| self.node_ids().collect());
+        let mut pos = vec![0u32; self.node_count()];
+        for (i, &u) in order.iter().enumerate() {
+            pos[u.idx()] = i as u32;
+        }
+
+        let mut h = FNV_OFFSET;
+        h = fnv1a_u64(h, self.node_count() as u64);
+        h = fnv1a_u64(h, self.edge_count() as u64);
+        for &u in &order {
+            let n = self.node(u);
+            h = fnv1a_u64(h, n.work.to_bits());
+            h = fnv1a_u64(h, n.memory.to_bits());
+        }
+        let mut edges: Vec<(u32, u32, u64)> = self
+            .edge_ids()
+            .map(|e| {
+                let ed = self.edge(e);
+                (pos[ed.src.idx()], pos[ed.dst.idx()], ed.volume.to_bits())
+            })
+            .collect();
+        edges.sort_unstable();
+        for (s, d, v) in edges {
+            h = fnv1a_u64(h, s as u64);
+            h = fnv1a_u64(h, d as u64);
+            h = fnv1a_u64(h, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn identical_construction_hashes_equal() {
+        let a = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let b = builder::fork_join(6, 10.0, 4.0, 2.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn labels_do_not_affect_the_fingerprint() {
+        let mut a = builder::chain(4, 1.0, 2.0, 3.0);
+        let base = a.fingerprint();
+        a.node_mut(NodeId(1)).label = Some("renamed-task".into());
+        assert_eq!(a.fingerprint(), base);
+    }
+
+    #[test]
+    fn weight_and_structure_changes_change_the_fingerprint() {
+        let base = builder::chain(4, 1.0, 2.0, 3.0);
+        let fp = base.fingerprint();
+
+        let mut work = base.clone();
+        work.node_mut(NodeId(2)).work += 1.0;
+        assert_ne!(work.fingerprint(), fp);
+
+        let mut mem = base.clone();
+        mem.node_mut(NodeId(2)).memory += 1.0;
+        assert_ne!(mem.fingerprint(), fp);
+
+        let mut vol = base.clone();
+        let e = vol.edge_between(NodeId(0), NodeId(1)).unwrap();
+        vol.edge_mut(e).volume += 1.0;
+        assert_ne!(vol.fingerprint(), fp);
+
+        let mut extra = base.clone();
+        extra.add_edge(NodeId(0), NodeId(3), 0.5);
+        assert_ne!(extra.fingerprint(), fp);
+    }
+
+    /// The ISSUE's collision sanity check: a zoo of distinct small DAGs
+    /// must produce pairwise-distinct fingerprints.
+    #[test]
+    fn distinct_small_dags_hash_apart() {
+        let mut zoo: Vec<Dag> = Vec::new();
+        for n in 2..8 {
+            zoo.push(builder::chain(n, 1.0, 2.0, 3.0));
+            zoo.push(builder::fork_join(n, 5.0, 1.0, 1.0));
+        }
+        for seed in 0..20 {
+            zoo.push(builder::gnp_dag_weighted(12, 0.3, seed));
+        }
+        let mut fps: Vec<u64> = zoo.iter().map(Dag::fingerprint).collect();
+        fps.sort_unstable();
+        let before = fps.len();
+        fps.dedup();
+        assert_eq!(fps.len(), before, "fingerprint collision in the zoo");
+    }
+
+    #[test]
+    fn empty_graph_is_total() {
+        assert_eq!(Dag::new().fingerprint(), Dag::new().fingerprint());
+    }
+}

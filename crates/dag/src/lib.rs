@@ -55,6 +55,7 @@ pub mod builder;
 pub mod critical;
 pub mod cycles;
 pub mod dot;
+pub mod fingerprint;
 pub mod graph;
 pub mod quotient;
 pub mod reach;

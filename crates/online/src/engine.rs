@@ -33,15 +33,36 @@
 //! free and do not count against the window.
 //!
 //! Each admitted workflow is also solved once *alone on the whole idle
-//! cluster* ([`dedicated_baseline`]); the resulting makespan is cached
-//! in its [`WorkflowRecord`] and is the denominator of the reported
-//! `stretch`, next to the lease-relative `slowdown`.
+//! cluster* ([`dhp_core::partial::dedicated_baseline`]); the resulting
+//! makespan is recorded in its [`WorkflowRecord`] and is the
+//! denominator of the reported `stretch`, next to the lease-relative
+//! `slowdown`. These whole-cluster solves are **deferred off the
+//! admission critical path**: the engine only remembers each admitted
+//! workflow's structural fingerprint and drains the baseline solves at
+//! report time as one deduplicated batch fanned over
+//! `std::thread::scope` worker threads.
+//!
+//! Every solver call — admission probes, reservation feasibility scans
+//! and the baseline batch — goes through a content-addressed
+//! [`SolveCache`] keyed by `(workflow fingerprint, lease shape
+//! signature, algorithm, solver-config hash)`. Realistic traces repeat
+//! the same topologies on the same lease shapes over and over, so
+//! repeat traffic admits in near-O(1): the cached lease-local mapping
+//! is remapped onto the probe's concrete processors. `--no-solve-cache`
+//! (engine: [`OnlineConfig::solve_cache`] = false) bypasses
+//! memoization; the *scheduling outcome is byte-identical either way*
+//! (asserted by `tests/solve_cache.rs`), only the
+//! [`FleetMetrics`] solver statistics differ.
 //!
 //! Completions at an instant are processed before arrivals at the same
 //! instant (freed processors are visible to the newly arrived work),
 //! and every tie is broken by submission id, so a run is a pure
 //! function of `(cluster, submissions, config)` — asserted by the
-//! integration tests.
+//! integration tests. This holds with the cache on: entries are only
+//! ever *shape-equivalent* replays of what the solver would have
+//! produced, and the deferred baseline batch deduplicates jobs up
+//! front so its hit/miss counts are independent of thread
+//! interleaving.
 
 use crate::policy::{AdmissionPolicy, LeaseSizing};
 use crate::report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
@@ -49,11 +70,12 @@ use crate::submission::Submission;
 use dhp_core::daghetpart::DagHetPartConfig;
 use dhp_core::fitting::max_task_requirement;
 use dhp_core::mapping::Mapping;
-use dhp_core::partial::{dedicated_baseline, schedule_on_subcluster, Algorithm};
+use dhp_core::partial::{Algorithm, SolveCache, SubClusterSchedule};
 use dhp_core::SchedError;
-use dhp_platform::{Cluster, ProcId};
+use dhp_platform::{Cluster, ProcId, SubCluster};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 /// How many queued candidates behind a blocked FIFO head are
 /// solver-evaluated per admission pass under
@@ -73,6 +95,12 @@ pub struct OnlineConfig {
     pub algorithm: Algorithm,
     /// DagHetPart settings (ignored by DagHetMem).
     pub solver: DagHetPartConfig,
+    /// Memoize solver outcomes in a content-addressed [`SolveCache`]
+    /// (default). When false the engine still routes every solve
+    /// through a pass-through cache so solver-invocation statistics
+    /// stay comparable, but nothing is memoized — the CLI's
+    /// `--no-solve-cache` escape hatch.
+    pub solve_cache: bool,
 }
 
 impl Default for OnlineConfig {
@@ -82,6 +110,7 @@ impl Default for OnlineConfig {
             lease: LeaseSizing::default(),
             algorithm: Algorithm::DagHetPart,
             solver: DagHetPartConfig::default(),
+            solve_cache: true,
         }
     }
 }
@@ -93,6 +122,9 @@ pub(crate) struct Pending {
     pub(crate) arrival: f64,
     pub(crate) total_work: f64,
     pub(crate) max_task_req: f64,
+    /// [`dhp_dag::Dag::fingerprint`] of the graph, computed once on
+    /// arrival and reused by every cache probe for this workflow.
+    fingerprint: u64,
     submission: Submission,
 }
 
@@ -154,16 +186,39 @@ impl Ord for Completion {
 struct InService {
     record: WorkflowRecord,
     placement: Placement,
+    fingerprint: u64,
 }
 
 /// Serves a submission stream on a shared cluster. See the module docs
 /// for the event loop; the returned outcome is deterministic for fixed
-/// inputs.
+/// inputs. A fresh [`SolveCache`] is created per call (pass-through
+/// when [`OnlineConfig::solve_cache`] is off); use [`serve_with_cache`]
+/// to share one cache across runs.
 pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig) -> ServeOutcome {
+    let cache = if cfg.solve_cache {
+        SolveCache::new()
+    } else {
+        SolveCache::disabled()
+    };
+    serve_with_cache(cluster, submissions, cfg, &cache)
+}
+
+/// [`serve`] with a caller-owned [`SolveCache`], so repeat traffic
+/// across *runs* (not just within one trace) skips the solver too. The
+/// report's solver statistics count only this run's probes; memoized
+/// entries carried in from earlier runs surface as hits.
+pub fn serve_with_cache(
+    cluster: &Cluster,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+) -> ServeOutcome {
     assert!(
         !cluster.is_empty(),
         "serve needs at least one processor (an empty cluster can admit nothing)"
     );
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let stats_at_entry = cache.stats();
     let mut subs = submissions;
     subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
 
@@ -180,6 +235,9 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
 
     let mut in_service: Vec<Option<InService>> = Vec::new();
     let mut finished: Vec<WorkflowRecord> = Vec::new();
+    // Fingerprint of finished[i]'s workflow — the deferred baseline
+    // batch deduplicates on these.
+    let mut finished_fp: Vec<u64> = Vec::new();
     let mut placements: Vec<Placement> = Vec::new();
     let mut rejected: Vec<RejectedRecord> = Vec::new();
     let mut busy_time = vec![0.0f64; cluster.len()];
@@ -215,6 +273,7 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                     }
                     free_count += done.placement.lease.len();
                     finished.push(done.record);
+                    finished_fp.push(done.fingerprint);
                     placements.push(done.placement);
                 }
             }
@@ -247,6 +306,7 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                         arrival: s.arrival,
                         total_work: s.instance.graph.total_work(),
                         max_task_req: req,
+                        fingerprint: s.instance.graph.fingerprint(),
                         submission: s,
                     });
                 }
@@ -290,7 +350,17 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                     }
                     evaluated_backfills += 1;
                 }
-                match try_admit(cluster, &mem_order, &free, cand, cfg, clock, queue.len()) {
+                match try_admit(
+                    cluster,
+                    &mem_order,
+                    &free,
+                    cand,
+                    cfg,
+                    cache,
+                    config_hash,
+                    clock,
+                    queue.len(),
+                ) {
                     Admit::Granted(boxed) => {
                         if let Some(resv) = reservation {
                             if boxed.1.finish > resv + 1e-9 {
@@ -299,23 +369,13 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                                 continue;
                             }
                         }
-                        let (mut record, placement, sim_busy) = *boxed;
-                        // The dedicated-cluster baseline is only worth
-                        // computing for grants that survive the
-                        // reservation check; solved once per workflow.
-                        let baseline = dedicated_baseline(
-                            &cand.submission.instance.graph,
-                            cluster,
-                            cfg.algorithm,
-                            &cfg.solver,
-                        )
-                        .unwrap_or(record.service);
-                        record.baseline_makespan = baseline;
-                        record.stretch = if baseline > 0.0 {
-                            record.response / baseline
-                        } else {
-                            1.0
-                        };
+                        let (record, placement, sim_busy) = *boxed;
+                        let fingerprint = cand.fingerprint;
+                        // The dedicated-cluster baseline (stretch
+                        // denominator) is NOT solved here: admission
+                        // only notes the fingerprint, and the solves
+                        // drain as one deduplicated parallel batch at
+                        // report time.
                         for &p in &placement.lease {
                             free[p.idx()] = false;
                         }
@@ -330,7 +390,11 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                             slot,
                         });
                         seq += 1;
-                        in_service.push(Some(InService { record, placement }));
+                        in_service.push(Some(InService {
+                            record,
+                            placement,
+                            fingerprint,
+                        }));
                         queue.remove(qi);
                         admitted_any = true;
                         break; // re-rank: queue indices shifted
@@ -349,6 +413,8 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                                 &in_service,
                                 cand,
                                 cfg,
+                                cache,
+                                config_hash,
                             ));
                         }
                         continue;
@@ -373,6 +439,88 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
             }
         }
     }
+
+    // ------------------------------------------------- baseline batch
+    // The dedicated-cluster baselines deferred during admission drain
+    // here, off the critical path: deduplicated by fingerprint (one
+    // solve per unique topology when the cache memoizes; one per
+    // workflow when it is disabled, preserving honest uncached solver
+    // counts) and fanned over scoped worker threads sharing the cache.
+    // Each job writes its own slot, so the batch is deterministic
+    // regardless of thread interleaving.
+    let stats_after_admission = cache.stats();
+    let jobs: Vec<usize> = if cache.is_enabled() {
+        let mut seen: HashSet<u64> = HashSet::new();
+        (0..finished.len())
+            .filter(|&i| seen.insert(finished_fp[i]))
+            .collect()
+    } else {
+        (0..finished.len()).collect()
+    };
+    let results: Vec<parking_lot::Mutex<Option<Result<f64, SchedError>>>> =
+        jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    // The batch is already parallel across jobs, so each job runs the
+    // *sequential* k'-sweep driver — otherwise every one of the P
+    // workers would fan its sweep over P more threads (P² threads on P
+    // cores). The two drivers agree exactly (ties break towards the
+    // smaller k' for precisely this reason), so results are unchanged;
+    // only the batch's cache keys carry the sequential config's hash.
+    let batch_solver = DagHetPartConfig {
+        parallel: false,
+        ..cfg.solver.clone()
+    };
+    let batch_config_hash = SolveCache::config_hash(&batch_solver);
+    if !jobs.is_empty() {
+        let next = AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    let Some(&i) = jobs.get(j) else { break };
+                    let g = &placements[i].submission.instance.graph;
+                    *results[j].lock() = Some(cache.dedicated_baseline(
+                        g,
+                        finished_fp[i],
+                        cluster,
+                        cfg.algorithm,
+                        &batch_solver,
+                        batch_config_hash,
+                    ));
+                });
+            }
+        });
+    }
+    let baseline_of: HashMap<u64, Result<f64, SchedError>> = jobs
+        .iter()
+        .zip(&results)
+        .map(|(&i, r)| {
+            (
+                finished_fp[i],
+                r.lock().clone().expect("every baseline job ran"),
+            )
+        })
+        .collect();
+    for (i, r) in finished.iter_mut().enumerate() {
+        // An infeasible whole-cluster baseline cannot happen for an
+        // admitted workflow (its lease is a subset of the cluster and
+        // feasibility is monotone in added memory), but fall back to
+        // the lease service time rather than panicking.
+        let baseline = match &baseline_of[&finished_fp[i]] {
+            Ok(b) => *b,
+            Err(_) => r.service,
+        };
+        r.baseline_makespan = baseline;
+        r.stretch = if baseline > 0.0 {
+            r.response / baseline
+        } else {
+            1.0
+        };
+    }
+    let stats_at_exit = cache.stats();
 
     // ---------------------------------------------------------- report
     let horizon = finished.iter().map(|r| r.finish).fold(0.0, f64::max);
@@ -439,6 +587,12 @@ pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig
                 max_slowdown,
                 mean_lease,
                 peak_concurrency,
+                // Solver-effort statistics for *this run's* probes
+                // (admission + reservation scans + baseline batch);
+                // entries carried in by a shared cache surface as hits.
+                solve_cache_hits: stats_at_exit.hits - stats_at_entry.hits,
+                solve_cache_misses: stats_at_exit.misses - stats_at_entry.misses,
+                baseline_solves: stats_at_exit.misses - stats_after_admission.misses,
             },
         },
         placements,
@@ -476,138 +630,205 @@ fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
     sizes
 }
 
-fn try_admit(
+/// Outcome of one lease-search probe ([`find_placement`]).
+enum Probe {
+    /// A feasible lease (as the solved [`SubCluster`] view, which
+    /// carries the leased global ids) with its schedule.
+    Placed {
+        sub: SubCluster,
+        sched: SubClusterSchedule,
+    },
+    /// The hottest task does not fit the largest free memory.
+    MemoryBlocked { whole_cluster_free: bool },
+    /// No lease carved from the free set admits a valid mapping (also
+    /// covers an empty free set, with `whole_cluster_free` false).
+    Unplaceable { whole_cluster_free: bool },
+}
+
+/// The single lease search shared by admission ([`try_admit`]) and the
+/// reservation feasibility scan ([`can_place`]): filter the free
+/// processors in canonical memory order, screen the hottest task, and
+/// walk the escalation ladder until a solve succeeds. Both callers
+/// going through one code path (and one [`SolveCache`]) is what kills
+/// the historic double solve — a reservation probe that found a
+/// feasible lease leaves the solved schedule in the cache, and the
+/// later real admission on the same shape replays it instead of
+/// resolving. (The callers' `target`s differ under
+/// `shrink_under_load`, where admission sizes by queue length but the
+/// reservation scan cannot know the future backlog — there the probe
+/// and the admission may walk different lease shapes and the replay is
+/// not guaranteed.)
+#[allow(clippy::too_many_arguments)]
+fn find_placement(
     cluster: &Cluster,
     mem_order: &[ProcId],
     free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
-    clock: f64,
-    queue_len: usize,
-) -> Admit {
+    cache: &SolveCache,
+    config_hash: u64,
+    target: usize,
+) -> Probe {
     let free_sorted: Vec<ProcId> = mem_order
         .iter()
         .copied()
         .filter(|p| free[p.idx()])
         .collect();
     if free_sorted.is_empty() {
-        return Admit::Wait;
+        return Probe::Unplaceable {
+            whole_cluster_free: false,
+        };
     }
     let whole_cluster_free = free_sorted.len() == cluster.len();
 
     // The lease takes the biggest free memories first, so feasibility of
     // the hottest task is decided by the first free processor.
     if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
-        return if whole_cluster_free {
-            Admit::Reject(format!(
-                "task requirement {:.2} exceeds every processor memory",
-                cand.max_task_req
-            ))
-        } else {
-            Admit::Wait
-        };
+        return Probe::MemoryBlocked { whole_cluster_free };
     }
 
     let g = &cand.submission.instance.graph;
-    let target = cfg.lease.target_under_load(g.node_count(), queue_len);
     for size in escalation_sizes(target, free_sorted.len()) {
-        let lease: Vec<ProcId> = free_sorted[..size].to_vec();
-        let sub = cluster.subcluster(&lease);
-        match schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver) {
+        let sub = cluster.subcluster(&free_sorted[..size]);
+        match cache.schedule(
+            g,
+            cand.fingerprint,
+            &sub,
+            cfg.algorithm,
+            &cfg.solver,
+            config_hash,
+        ) {
             Err(SchedError::NoSolution) => continue,
-            Ok(sched) => {
-                // Execute on the lease view: the virtual clock advances
-                // by the *simulated* makespan, and per-processor busy
-                // time feeds fleet utilisation.
-                let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
-                let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
-                let busy: Vec<(ProcId, f64)> = tl
-                    .lanes
-                    .iter()
-                    .map(|lane| (sub.to_global(lane.proc), lane.busy))
-                    .collect();
-                let start = clock;
-                let finish = clock + sim.makespan;
-                let service = sim.makespan;
-                let record = WorkflowRecord {
-                    id: cand.id,
-                    name: cand.submission.instance.name.clone(),
-                    tasks: g.node_count(),
-                    arrival: cand.arrival,
-                    start,
-                    finish,
-                    wait: start - cand.arrival,
-                    service,
-                    response: finish - cand.arrival,
-                    slowdown: if service > 0.0 {
-                        (finish - cand.arrival) / service
-                    } else {
-                        1.0
-                    },
-                    // Stretch and its dedicated-cluster denominator are
-                    // filled in by the engine once the grant survives
-                    // the reservation check (so discarded backfill
-                    // grants never pay for a whole-cluster solve).
-                    stretch: 0.0,
-                    baseline_makespan: 0.0,
-                    model_makespan: sched.local.makespan,
-                    lease: lease.iter().map(|p| p.0).collect(),
-                    blocks: sched.local.mapping.num_blocks(),
-                };
-                let placement = Placement {
-                    submission: cand.submission.clone(),
-                    mapping: sched.global,
-                    lease,
-                    start,
-                    finish,
-                };
-                return Admit::Granted(Box::new((record, placement, busy)));
-            }
+            Ok(sched) => return Probe::Placed { sub, sched },
         }
     }
+    Probe::Unplaceable { whole_cluster_free }
+}
 
-    if whole_cluster_free {
-        Admit::Reject(format!(
-            "no valid mapping exists on the whole idle cluster \
-             ({} processors, {:.2} total memory)",
-            cluster.len(),
-            cluster.total_memory()
-        ))
-    } else {
-        Admit::Wait
-    }
+#[allow(clippy::too_many_arguments)]
+fn try_admit(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+    queue_len: usize,
+) -> Admit {
+    let g = &cand.submission.instance.graph;
+    let target = cfg.lease.target_under_load(g.node_count(), queue_len);
+    let (sub, sched) = match find_placement(
+        cluster,
+        mem_order,
+        free,
+        cand,
+        cfg,
+        cache,
+        config_hash,
+        target,
+    ) {
+        Probe::Placed { sub, sched } => (sub, sched),
+        Probe::MemoryBlocked {
+            whole_cluster_free: true,
+        } => {
+            return Admit::Reject(format!(
+                "task requirement {:.2} exceeds every processor memory",
+                cand.max_task_req
+            ))
+        }
+        Probe::Unplaceable {
+            whole_cluster_free: true,
+        } => {
+            return Admit::Reject(format!(
+                "no valid mapping exists on the whole idle cluster \
+                 ({} processors, {:.2} total memory)",
+                cluster.len(),
+                cluster.total_memory()
+            ))
+        }
+        Probe::MemoryBlocked { .. } | Probe::Unplaceable { .. } => return Admit::Wait,
+    };
+
+    // Execute on the lease view: the virtual clock advances by the
+    // *simulated* makespan, and per-processor busy time feeds fleet
+    // utilisation.
+    let lease: Vec<ProcId> = sub.global_ids().to_vec();
+    let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
+    let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
+    let busy: Vec<(ProcId, f64)> = tl
+        .lanes
+        .iter()
+        .map(|lane| (sub.to_global(lane.proc), lane.busy))
+        .collect();
+    let start = clock;
+    let finish = clock + sim.makespan;
+    let service = sim.makespan;
+    let record = WorkflowRecord {
+        id: cand.id,
+        name: cand.submission.instance.name.clone(),
+        tasks: g.node_count(),
+        arrival: cand.arrival,
+        start,
+        finish,
+        wait: start - cand.arrival,
+        service,
+        response: finish - cand.arrival,
+        slowdown: if service > 0.0 {
+            (finish - cand.arrival) / service
+        } else {
+            1.0
+        },
+        // Stretch and its dedicated-cluster denominator are filled in
+        // by the deferred baseline batch at report time (so discarded
+        // backfill grants never pay for a whole-cluster solve, and
+        // admitted ones never pay for it on the critical path).
+        stretch: 0.0,
+        baseline_makespan: 0.0,
+        model_makespan: sched.local.makespan,
+        lease: lease.iter().map(|p| p.0).collect(),
+        blocks: sched.local.mapping.num_blocks(),
+    };
+    let placement = Placement {
+        submission: cand.submission.clone(),
+        mapping: sched.global,
+        lease,
+        start,
+        finish,
+    };
+    Admit::Granted(Box::new((record, placement, busy)))
 }
 
 /// Solver feasibility only — can `cand` be placed on the processors
-/// marked free in `free`? Mirrors [`try_admit`]'s lease search without
-/// running the simulator (the reservation scan only needs a yes/no).
+/// marked free in `free`? Shares [`find_placement`] with [`try_admit`]
+/// (the reservation scan only needs a yes/no, but the solve it pays
+/// for stays in the cache for the eventual admission to reuse).
 fn can_place(
     cluster: &Cluster,
     mem_order: &[ProcId],
     free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
 ) -> bool {
-    let free_sorted: Vec<ProcId> = mem_order
-        .iter()
-        .copied()
-        .filter(|p| free[p.idx()])
-        .collect();
-    if free_sorted.is_empty() {
-        return false;
-    }
-    if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
-        return false;
-    }
-    let g = &cand.submission.instance.graph;
-    let target = cfg.lease.target(g.node_count());
-    for size in escalation_sizes(target, free_sorted.len()) {
-        let sub = cluster.subcluster(&free_sorted[..size]);
-        if schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver).is_ok() {
-            return true;
-        }
-    }
-    false
+    let target = cfg
+        .lease
+        .target(cand.submission.instance.graph.node_count());
+    matches!(
+        find_placement(
+            cluster,
+            mem_order,
+            free,
+            cand,
+            cfg,
+            cache,
+            config_hash,
+            target
+        ),
+        Probe::Placed { .. }
+    )
 }
 
 /// The blocked FIFO head's reservation: pending completions are
@@ -620,6 +841,7 @@ fn can_place(
 /// Placeability is monotone in the freed set (freeing more processors
 /// only adds memory), so the earliest feasible prefix of completions is
 /// found by binary search — `O(log k)` solver probes instead of `O(k)`.
+#[allow(clippy::too_many_arguments)]
 fn head_reservation(
     cluster: &Cluster,
     mem_order: &[ProcId],
@@ -628,6 +850,8 @@ fn head_reservation(
     in_service: &[Option<InService>],
     cand: &Pending,
     cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
 ) -> f64 {
     let mut pending: Vec<&Completion> = events.iter().collect();
     pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
@@ -642,7 +866,15 @@ fn head_reservation(
                 hypothetical[p.idx()] = true;
             }
         }
-        can_place(cluster, mem_order, &hypothetical, cand, cfg)
+        can_place(
+            cluster,
+            mem_order,
+            &hypothetical,
+            cand,
+            cfg,
+            cache,
+            config_hash,
+        )
     };
     if pending.is_empty() || !feasible_after(pending.len() - 1) {
         return f64::INFINITY;

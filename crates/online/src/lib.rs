@@ -56,15 +56,21 @@ pub mod policy;
 pub mod report;
 pub mod submission;
 
-pub use engine::{fit_cluster, serve, OnlineConfig, Placement, ServeOutcome};
+pub use engine::{fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, ServeOutcome};
 pub use policy::{AdmissionPolicy, LeaseSizing};
 pub use report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
 pub use submission::Submission;
+// The content-addressed solve cache the engine memoizes with; exposed
+// so callers can share one cache across [`serve_with_cache`] runs.
+pub use dhp_core::partial::{SolveCache, SolveCacheStats};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::engine::{fit_cluster, serve, OnlineConfig, Placement, ServeOutcome};
+    pub use crate::engine::{
+        fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, ServeOutcome,
+    };
     pub use crate::policy::{AdmissionPolicy, LeaseSizing};
     pub use crate::report::ServeReport;
     pub use crate::submission::Submission;
+    pub use dhp_core::partial::SolveCache;
 }

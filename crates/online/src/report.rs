@@ -36,7 +36,9 @@ pub struct WorkflowRecord {
     pub stretch: f64,
     /// Model makespan of this workflow scheduled alone on the whole
     /// idle cluster ([`dhp_core::partial::dedicated_baseline`]) — the
-    /// denominator of `stretch`, computed once at admission.
+    /// denominator of `stretch`, solved off the admission critical
+    /// path by the engine's deferred report-time baseline batch (one
+    /// solve per unique topology when the solve cache is on).
     pub baseline_makespan: f64,
     /// Analytic (model) makespan the solver promised on the lease; the
     /// simulated `service` is never larger (paper §3.3).
@@ -102,6 +104,33 @@ pub struct FleetMetrics {
     pub mean_lease: f64,
     /// Largest number of workflows in service at once.
     pub peak_concurrency: usize,
+    /// Solver probes answered from the content-addressed solve cache
+    /// (admission, reservation scans and the baseline batch). Always 0
+    /// with `--no-solve-cache`.
+    #[serde(default)]
+    pub solve_cache_hits: u64,
+    /// Actual solver invocations: cache misses, or every probe when
+    /// the cache is disabled. The cache's value is this number staying
+    /// near the count of *unique* workflow topologies on repeat-heavy
+    /// traces.
+    #[serde(default)]
+    pub solve_cache_misses: u64,
+    /// Dedicated-cluster baseline solves performed by the deferred
+    /// report-time batch (deduplicated by workflow fingerprint when
+    /// the cache is on; one per served workflow when it is off).
+    #[serde(default)]
+    pub baseline_solves: u64,
+}
+
+impl FleetMetrics {
+    /// Zeroes the solver-effort statistics, leaving every scheduling
+    /// outcome untouched. The cache equivalence tests compare reports
+    /// through this: caching must change *only* these counters.
+    pub fn clear_solve_stats(&mut self) {
+        self.solve_cache_hits = 0;
+        self.solve_cache_misses = 0;
+        self.baseline_solves = 0;
+    }
 }
 
 /// Everything one serving run reports.
@@ -132,13 +161,20 @@ impl ServeReport {
     /// A short human-readable summary (one line per aggregate).
     pub fn summary(&self) -> String {
         let f = &self.fleet;
+        let probes = f.solve_cache_hits + f.solve_cache_misses;
+        let hit_rate = if probes > 0 {
+            100.0 * f.solve_cache_hits as f64 / probes as f64
+        } else {
+            0.0
+        };
         format!(
             "policy {} · algorithm {} · {} procs\n\
              completed {:>5}   rejected {:>4}   horizon {:.2}\n\
              throughput {:.4}/t   utilization {:.1}%   peak concurrency {}\n\
              wait   mean {:.2}  max {:.2}\n\
              stretch mean {:.3}  max {:.3}   (dedicated-cluster baseline)\n\
-             slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs",
+             slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs\n\
+             solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}",
             self.policy,
             self.algorithm,
             self.cluster_procs,
@@ -155,6 +191,10 @@ impl ServeReport {
             f.mean_slowdown,
             f.max_slowdown,
             f.mean_lease,
+            f.solve_cache_hits,
+            f.solve_cache_misses,
+            hit_rate,
+            f.baseline_solves,
         )
     }
 }
@@ -209,6 +249,9 @@ mod tests {
                 max_slowdown: 1.0,
                 mean_lease: 2.0,
                 peak_concurrency: 1,
+                solve_cache_hits: 3,
+                solve_cache_misses: 2,
+                baseline_solves: 1,
             },
         }
     }
@@ -227,5 +270,32 @@ mod tests {
         assert!(s.contains("throughput"));
         assert!(s.contains("stretch"));
         assert!(s.contains("slowdown"));
+        assert!(s.contains("solve cache hits 3"));
+        assert!(s.contains("hit rate 60.0%"));
+        assert!(s.contains("baseline solves 1"));
+    }
+
+    #[test]
+    fn clear_solve_stats_touches_only_the_counters() {
+        let mut r = sample();
+        let before = r.clone();
+        r.fleet.clear_solve_stats();
+        assert_eq!(r.fleet.solve_cache_hits, 0);
+        assert_eq!(r.fleet.solve_cache_misses, 0);
+        assert_eq!(r.fleet.baseline_solves, 0);
+        r.fleet.solve_cache_hits = before.fleet.solve_cache_hits;
+        r.fleet.solve_cache_misses = before.fleet.solve_cache_misses;
+        r.fleet.baseline_solves = before.fleet.baseline_solves;
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn reports_without_stats_fields_still_deserialize() {
+        // `#[serde(default)]` keeps pre-cache JSON reports loadable.
+        let mut r = sample();
+        r.fleet.clear_solve_stats();
+        let json = r.to_json();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fleet.solve_cache_misses, 0);
     }
 }

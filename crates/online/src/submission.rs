@@ -63,6 +63,33 @@ pub fn stream(
     zip_stream(instances, &times)
 }
 
+/// A *repeat-heavy* stream: `unique` distinct instances generated as in
+/// [`stream`], then cycled until `n` submissions exist — the shape of
+/// real serving traffic, where the same wfcommons recipes are submitted
+/// over and over with fresh arrival times. Ideal fodder for the solve
+/// cache: at most `unique` distinct workflow fingerprints appear no
+/// matter how long the trace runs.
+///
+/// # Panics
+/// Panics if `unique` is zero while `n` is not.
+pub fn repeating_stream(
+    unique: usize,
+    n: usize,
+    families: &[Family],
+    tasks: (usize, usize),
+    process: &ArrivalProcess,
+    seed: u64,
+) -> Vec<Submission> {
+    assert!(
+        unique > 0 || n == 0,
+        "a non-empty repeating stream needs at least one unique instance"
+    );
+    let pool = mixed_workload(unique.min(n), families, tasks, seed);
+    let instances = (0..n).map(|i| pool[i % pool.len()].clone()).collect();
+    let times = arrival_times(n, process, seed);
+    zip_stream(instances, &times)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +106,30 @@ mod tests {
             assert_eq!(x.instance.name, y.instance.name);
         }
         assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn repeating_stream_cycles_a_fixed_instance_pool() {
+        let p = ArrivalProcess::Poisson { rate: 0.5 };
+        let subs = repeating_stream(3, 10, &[Family::Blast], (20, 30), &p, 5);
+        assert_eq!(subs.len(), 10);
+        // Ids are fresh per submission, arrivals are non-decreasing.
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+        assert!(subs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Exactly three distinct graph fingerprints, cycling.
+        let fps: Vec<u64> = subs
+            .iter()
+            .map(|s| s.instance.graph.fingerprint())
+            .collect();
+        let mut unique = fps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+        for (i, fp) in fps.iter().enumerate() {
+            assert_eq!(*fp, fps[i % 3]);
+        }
     }
 
     #[test]

@@ -91,6 +91,45 @@ impl SubCluster {
             .position(|&g| g == global)
             .map(|i| ProcId(i as u32))
     }
+
+    /// Content hash of the lease's *shape*: the ordered `(speed,
+    /// memory)` sequence of its processors plus the interconnect
+    /// bandwidth — everything the solvers and the simulator can observe
+    /// about a lease. Concrete parent processor ids and processor kind
+    /// names are deliberately excluded, so two leases carved from
+    /// different physical processors but with identical shapes share
+    /// one solve-cache entry, and the cached (local-id) mapping can be
+    /// remapped onto either lease's concrete processors.
+    ///
+    /// The sequence is hashed in view order, not sorted: a solver's
+    /// output depends on the order it sees the processors in. The
+    /// online engine always carves leases in the cluster's canonical
+    /// memory-descending order ([`Cluster::ids_by_memory_desc`]), so
+    /// for engine leases view order *is* the canonical sorted shape and
+    /// equal multisets hash equal.
+    pub fn shape_signature(&self) -> u64 {
+        // Deliberately local FNV-1a rather than a dependency on
+        // `dhp-dag` (which exports the shared helper): `dhp-platform`
+        // is a leaf crate depending only on serde, and the signature
+        // is an independent key component — it never has to match
+        // another crate's hash bit-for-bit.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.view.bandwidth.to_bits());
+        mix(self.view.len() as u64);
+        for (_, p) in self.view.iter() {
+            mix(p.speed.to_bits());
+            mix(p.memory.to_bits());
+        }
+        h
+    }
 }
 
 impl Cluster {
@@ -137,6 +176,38 @@ mod tests {
         assert_eq!(sub.to_local(ProcId(2)), Some(ProcId(1)));
         assert_eq!(sub.to_local(ProcId(0)), None);
         assert_eq!(sub.global_ids(), &[ProcId(1), ProcId(2)]);
+    }
+
+    #[test]
+    fn shape_signature_ignores_concrete_ids_but_not_shape() {
+        let c = parent();
+        // b (32, 192) and d (6, 192) differ in speed, so the signatures
+        // of their singleton leases differ; leasing the *same* shape
+        // from different parent positions matches.
+        let twin = Cluster::new(
+            vec![
+                Processor::new("x", 32.0, 192.0),
+                Processor::new("y", 4.0, 16.0),
+            ],
+            2.5,
+        );
+        let b = c.subcluster(&[ProcId(1)]);
+        let d = c.subcluster(&[ProcId(3)]);
+        let x = twin.subcluster(&[ProcId(0)]);
+        assert_ne!(b.shape_signature(), d.shape_signature());
+        assert_eq!(b.shape_signature(), x.shape_signature());
+
+        // Order matters: the solver sees processors in view order.
+        let ab = c.subcluster(&[ProcId(0), ProcId(1)]);
+        let ba = c.subcluster(&[ProcId(1), ProcId(0)]);
+        assert_ne!(ab.shape_signature(), ba.shape_signature());
+
+        // Bandwidth is part of the shape.
+        let slow = Cluster::new(vec![Processor::new("x", 32.0, 192.0)], 1.0);
+        assert_ne!(
+            slow.subcluster(&[ProcId(0)]).shape_signature(),
+            x.shape_signature()
+        );
     }
 
     #[test]
