@@ -47,9 +47,11 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-/// Admission-layer cost of the ISSUE-2 features on a queueing Poisson
-/// trace: conservative backfilling (reservation scans + constrained
-/// grants) and queue-length-aware lease sizing.
+/// Admission-layer cost of the adaptive-admission features on a
+/// queueing Poisson trace: conservative backfilling (reservation scans
+/// and constrained grants), aggressive EASY backfilling (once-per-event
+/// reservations and carve-out checks), queue-length-aware lease sizing,
+/// and elastic lease growth (suffix re-solves on completion events).
 fn bench_backfill_and_load_aware(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_poisson");
     group.sample_size(10);
@@ -62,7 +64,7 @@ fn bench_backfill_and_load_aware(c: &mut Criterion) {
         42,
     );
     let cluster = fit_cluster(&configs::default_cluster(), &subs, 1.05);
-    let variants: [(&str, OnlineConfig); 3] = [
+    let variants: [(&str, OnlineConfig); 5] = [
         (
             "fifo",
             OnlineConfig {
@@ -85,6 +87,21 @@ fn bench_backfill_and_load_aware(c: &mut Criterion) {
                     shrink_under_load: true,
                     ..LeaseSizing::default()
                 },
+                ..OnlineConfig::default()
+            },
+        ),
+        (
+            "easy-backfill",
+            OnlineConfig {
+                policy: AdmissionPolicy::EasyBackfill,
+                ..OnlineConfig::default()
+            },
+        ),
+        (
+            "fifo-backfill+elastic",
+            OnlineConfig {
+                policy: AdmissionPolicy::FifoBackfill,
+                elastic: Some(4),
                 ..OnlineConfig::default()
             },
         ),

@@ -1,10 +1,11 @@
-//! Produces the `BENCH_online.json` snapshot: solver-effort and
-//! wall-clock numbers of the content-addressed solve cache on the
-//! ISSUE-3 repeat-heavy acceptance trace (500 submissions, 10 unique
-//! topologies, burst arrivals).
+//! Produces the `solve_cache` section of `BENCH_online.json`:
+//! solver-effort and wall-clock numbers of the content-addressed solve
+//! cache on the ISSUE-3 repeat-heavy acceptance trace (500 submissions,
+//! 10 unique topologies, burst arrivals). The `adaptive_admission`
+//! section comes from the sibling `adaptive_admission_report` bin.
 //!
 //! ```text
-//! cargo run --release -p dhp-bench --bin solve_cache_report > BENCH_online.json
+//! cargo run --release -p dhp-bench --bin solve_cache_report
 //! ```
 
 use dhp_online::{fit_cluster, serve, OnlineConfig};

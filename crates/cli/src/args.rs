@@ -117,6 +117,21 @@ impl Args {
         }
     }
 
+    /// Strictly positive integer flag without a default: absent means
+    /// `None`; when given, the value must parse as an integer `>= 1` —
+    /// an explicit `0` (or a negative / non-numeric token) is a usage
+    /// error with the flag named, never a degenerate run.
+    pub fn get_positive_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Err(_) => Err(format!("--{key}: not a positive integer: {v:?}")),
+                Ok(0) => Err(format!("--{key} must be positive (got 0)")),
+                Ok(n) => Ok(Some(n)),
+            },
+        }
+    }
+
     /// True when `--key` was given as a switch.
     pub fn switch(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
@@ -167,6 +182,24 @@ mod tests {
         assert_eq!(
             parse("schedule --seed 1 --seed 2").unwrap_err(),
             ArgError::Duplicate("seed".into())
+        );
+    }
+
+    #[test]
+    fn positive_usize_rejects_zero_and_junk_with_the_flag_named() {
+        let a = parse("queue --unique 3").unwrap();
+        assert_eq!(a.get_positive_usize("unique").unwrap(), Some(3));
+        assert_eq!(a.get_positive_usize("elastic").unwrap(), None);
+        let z = parse("queue --unique 0 --elastic -2").unwrap();
+        let err = z.get_positive_usize("unique").unwrap_err();
+        assert!(
+            err.contains("--unique") && err.contains("positive"),
+            "{err}"
+        );
+        let err = z.get_positive_usize("elastic").unwrap_err();
+        assert!(
+            err.contains("--elastic") && err.contains("positive"),
+            "{err}"
         );
     }
 

@@ -45,12 +45,22 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
   --families LIST       comma-separated families to cycle (default
                         blast,seismology,genome)
   --tasks LO-HI         per-workflow task count range (default 20-60)
-  --unique K            cycle K distinct instances over the N submissions
-                        (repeat-heavy traffic; default 0 = all distinct)
+  --unique K            cycle K >= 1 distinct instances over the N
+                        submissions (repeat-heavy traffic; omit for all
+                        distinct)
   --process NAME        poisson (default) | uniform | burst
   --rate R              Poisson arrival rate (default 0.05)
   --interval T          uniform inter-arrival spacing (default 10)
-  --policy NAME         fifo (default) | fifo-backfill | shortest | memfit
+  --policy NAME         fifo (default) | fifo-backfill | easy-backfill |
+                        shortest | memfit (easy-backfill reserves for the
+                        blocked head once per event and lets backfills run
+                        past the reservation on processors the head does
+                        not need)
+  --elastic T           elastic lease growth: when a completion leaves
+                        processors idle with fewer than T >= 1 workflows
+                        queued, grow the running workflow with the most
+                        unstarted work (its suffix is re-solved on the
+                        grown lease; T=1 grows only on an empty queue)
   --algorithm NAME      daghetpart (default) | daghetmem
   --lease-tasks N       target tasks per leased processor (default 25)
   --min-procs N         lease size lower bound (default 1)

@@ -36,7 +36,7 @@ pub fn queue(args: &Args) -> Result<String, String> {
     };
 
     let policy = AdmissionPolicy::parse(args.get_or("policy", "fifo"))
-        .ok_or("unknown --policy (fifo|fifo-backfill|shortest|memfit)")?;
+        .ok_or("unknown --policy (fifo|fifo-backfill|easy-backfill|shortest|memfit)")?;
     let algorithm = Algorithm::parse(args.get_or("algorithm", "daghetpart"))
         .ok_or("unknown --algorithm (daghetpart|daghetmem)")?;
     let lease = LeaseSizing {
@@ -60,13 +60,19 @@ pub fn queue(args: &Args) -> Result<String, String> {
 
     // `--unique K` generates a repeat-heavy trace: K distinct instances
     // cycled for n submissions (production-shaped traffic, ideal for
-    // the solve cache). 0 (default) = every submission distinct.
-    let unique = args.get_usize("unique", 0)?;
-    let subs = if unique > 0 {
-        dhp_online::submission::repeating_stream(unique, n, &families, tasks, &process, seed)
-    } else {
-        dhp_online::submission::stream(n, &families, tasks, &process, seed)
+    // the solve cache). Omitting the flag keeps every submission
+    // distinct; an explicit `--unique 0` is a usage error.
+    let subs = match args.get_positive_usize("unique")? {
+        Some(unique) => {
+            dhp_online::submission::repeating_stream(unique, n, &families, tasks, &process, seed)
+        }
+        None => dhp_online::submission::stream(n, &families, tasks, &process, seed),
     };
+    // `--elastic T` enables elastic lease growth: freed processors grow
+    // a running lease whenever fewer than T workflows are queued (T=1:
+    // only when the queue is empty). A non-positive threshold would
+    // never trigger — usage error instead of a silently static run.
+    let elastic = args.get_positive_usize("elastic")?;
     let headroom = args.get_f64("headroom", 1.05)?;
     if headroom != 0.0 {
         if headroom < 1.0 {
@@ -84,6 +90,7 @@ pub fn queue(args: &Args) -> Result<String, String> {
         // per probe (identical scheduling outcome, only slower — the
         // solver statistics in the report show the difference).
         solve_cache: !args.switch("no-solve-cache"),
+        elastic,
     };
     let out = serve(&cluster, subs, &cfg);
 
@@ -237,6 +244,43 @@ mod tests {
             "no hits on a repeat trace"
         );
         assert!(report.fleet.baseline_solves <= 3);
+    }
+
+    #[test]
+    fn easy_backfill_and_elastic_parse_and_serve() {
+        let out = cli(
+            "queue --workflows 6 --unique 2 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7 \
+             --policy easy-backfill --elastic 2",
+        )
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.policy, "easy-backfill");
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 6);
+        // The summary surfaces the growth counter.
+        let summary = cli("queue --workflows 4 --families blast --tasks 20-30 \
+             --process uniform --interval 40 --cluster small --elastic 1 --summary")
+        .unwrap();
+        assert!(summary.contains("leases grown"), "{summary}");
+    }
+
+    #[test]
+    fn zero_unique_and_zero_elastic_are_usage_errors() {
+        // An explicit `--unique 0` used to fall through to the
+        // all-distinct default; it now fails loudly, as does a
+        // non-positive `--elastic` threshold (which would never grow).
+        let err = cli("queue --workflows 4 --unique 0").unwrap_err();
+        assert!(
+            err.contains("--unique") && err.contains("positive"),
+            "{err}"
+        );
+        let err = cli("queue --workflows 4 --elastic 0").unwrap_err();
+        assert!(
+            err.contains("--elastic") && err.contains("positive"),
+            "{err}"
+        );
+        let err = cli("queue --workflows 4 --elastic -1").unwrap_err();
+        assert!(err.contains("--elastic"), "{err}");
     }
 
     #[test]

@@ -121,6 +121,61 @@ pub fn dedicated_baseline(
     schedule_on_subcluster(g, &sub, algorithm, cfg).map(|s| s.local.makespan)
 }
 
+/// A re-solved *suffix* of a partially executed workflow: the induced
+/// sub-DAG over its not-yet-started tasks, scheduled on a (typically
+/// grown) lease. Produced by [`solve_suffix`]; consumed by the online
+/// engine's elastic lease growth.
+#[derive(Clone, Debug)]
+pub struct SuffixSolve {
+    /// The induced suffix DAG (dense local node ids).
+    pub dag: Dag,
+    /// Suffix-local node id → original node id.
+    pub back: Vec<dhp_dag::NodeId>,
+    /// Structural fingerprint of the suffix DAG (the solve-cache key
+    /// component, exposed so callers can correlate cache traffic).
+    pub fingerprint: u64,
+    /// The suffix schedule on the target lease, in both id spaces.
+    pub schedule: SubClusterSchedule,
+}
+
+/// Extracts the induced sub-DAG over `suffix` (original node ids of
+/// `g`, any order, duplicates ignored) and schedules it on `sub`
+/// through `cache` — the solve entry point of elastic lease growth.
+///
+/// Cross-boundary files (edges from already-executed tasks into the
+/// suffix) are dropped by the induced subgraph: the caller releases
+/// the suffix schedule only after the committed prefix has drained, so
+/// every such file's producer has finished and the file is modelled as
+/// locally available at the suffix's start. `Err(NoSolution)` means the
+/// lease cannot hold the suffix (the caller keeps the old schedule).
+///
+/// # Panics
+/// Panics if `suffix` is empty — an empty suffix means there is nothing
+/// left to re-schedule and the caller should not have probed.
+pub fn solve_suffix(
+    g: &Dag,
+    suffix: &[dhp_dag::NodeId],
+    sub: &SubCluster,
+    algorithm: Algorithm,
+    cfg: &DagHetPartConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+) -> Result<SuffixSolve, SchedError> {
+    assert!(!suffix.is_empty(), "cannot re-solve an empty suffix");
+    let mut sorted = suffix.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let (dag, back) = g.induced_subgraph(&sorted);
+    let fingerprint = dag.fingerprint();
+    let schedule = cache.schedule(&dag, fingerprint, sub, algorithm, cfg, config_hash)?;
+    Ok(SuffixSolve {
+        dag,
+        back,
+        fingerprint,
+        schedule,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Content-addressed solve cache
 
@@ -480,6 +535,80 @@ mod tests {
             assert_eq!(miss, direct);
             assert_eq!(hit, direct);
         }
+    }
+
+    #[test]
+    fn suffix_solve_schedules_the_induced_subdag() {
+        // Chain 0→1→2→3; suffix {2, 3} re-solved alone must equal a
+        // direct solve of a 2-chain on the same lease.
+        let g = builder::chain(4, 3.0, 4.0, 1.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let suffix: Vec<dhp_dag::NodeId> = g.node_ids().skip(2).collect();
+        let s = solve_suffix(
+            &g,
+            &suffix,
+            &sub,
+            Algorithm::DagHetPart,
+            &cfg,
+            &cache,
+            chash,
+        )
+        .expect("lease holds the 2-task suffix");
+        assert_eq!(s.dag.node_count(), 2);
+        assert_eq!(s.back, suffix);
+        // The suffix mapping is a valid mapping of the suffix DAG, in
+        // both id spaces.
+        validate(&s.dag, sub.cluster(), &s.schedule.local.mapping).unwrap();
+        validate(&s.dag, &c, &s.schedule.global).unwrap();
+        // Equivalent to scheduling the detached 2-chain directly (the
+        // induced subgraph of a chain tail is a chain).
+        let tail = builder::chain(2, 3.0, 4.0, 1.0);
+        assert_eq!(s.fingerprint, tail.fingerprint());
+        let direct = schedule_on_subcluster(&tail, &sub, Algorithm::DagHetPart, &cfg).unwrap();
+        assert_eq!(s.schedule.local.makespan, direct.local.makespan);
+    }
+
+    #[test]
+    fn suffix_solve_reports_no_solution_on_a_tiny_lease() {
+        let g = builder::chain(40, 1.0, 30.0, 5.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let sub = c.subcluster(&[ProcId(2)]);
+        let suffix: Vec<dhp_dag::NodeId> = g.node_ids().skip(1).collect();
+        let r = solve_suffix(
+            &g,
+            &suffix,
+            &sub,
+            Algorithm::DagHetPart,
+            &cfg,
+            &cache,
+            chash,
+        );
+        assert_eq!(r.err(), Some(SchedError::NoSolution));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty suffix")]
+    fn empty_suffix_is_a_caller_bug() {
+        let g = builder::chain(3, 1.0, 1.0, 1.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let cache = SolveCache::new();
+        let _ = solve_suffix(
+            &g,
+            &[],
+            &c.subcluster(&[ProcId(0)]),
+            Algorithm::DagHetPart,
+            &cfg,
+            &cache,
+            SolveCache::config_hash(&cfg),
+        );
     }
 
     #[test]

@@ -30,7 +30,41 @@
 //! standard backfill-window bound, keeping deep queues from triggering
 //! a solver run per queued workflow at every event); candidates whose
 //! work lower bound already overshoots the reservation are skipped for
-//! free and do not count against the window.
+//! free and do not count against the window. A single pass may admit
+//! several candidates; after every same-pass grant the pass's cached
+//! state is refreshed — the free-speed aggregate behind the work lower
+//! bound drops by the granted lease's speeds, and the conservative
+//! reservation is re-derived against the shrunken free set before it
+//! filters the next candidate — so neither can go stale within a pass
+//! (each computation is recorded as a [`ReservationRecord`] for the
+//! pinning tests).
+//!
+//! [`AdmissionPolicy::EasyBackfill`] is the *aggressive* (EASY) split
+//! of the same idea: the blocked head's reservation is computed lazily
+//! **once per event** (not re-derived per pass) and a later arrival
+//! that places *now* is admitted even when its simulated finish runs
+//! past the reservation, provided the head would still be placeable at
+//! the reservation instant on the processors the backfill leaves
+//! behind. Safe (within-reservation) grants are made first — EASY's
+//! same-instant admissions are a superset of the conservative ones —
+//! and the aggressive grants deliberately check against the
+//! reservation's original completion replay, trading the conservative
+//! never-delay-the-head guarantee for throughput.
+//!
+//! With [`OnlineConfig::elastic`] set, a completion event whose freed
+//! processors would otherwise idle (fewer queued workflows than the
+//! threshold) *grows* a running lease instead: the in-service workflow
+//! with the most unstarted work has its suffix DAG
+//! ([`dhp_core::partial::solve_suffix`]) re-solved on `lease ∪ freed`
+//! and its placement swapped at the current clock — only when the
+//! re-solve genuinely finishes earlier, and always after the committed
+//! prefix drains, so the swap never overlaps the already-running
+//! tasks. Under a backfilling policy a blocked head keeps its promise:
+//! a growth that would stay busy past the head's reservation is taken
+//! only if the head remains placeable at the reservation instant
+//! without the grown lease. The old completion event goes stale in the
+//! heap and is skipped on pop; [`FleetMetrics::lease_grown`] counts
+//! the swaps.
 //!
 //! Each admitted workflow is also solved once *alone on the whole idle
 //! cluster* ([`dhp_core::partial::dedicated_baseline`]); the resulting
@@ -101,6 +135,13 @@ pub struct OnlineConfig {
     /// stay comparable, but nothing is memoized — the CLI's
     /// `--no-solve-cache` escape hatch.
     pub solve_cache: bool,
+    /// Elastic lease growth (`--elastic N`): `Some(threshold)` lets a
+    /// completion event whose freed processors would otherwise idle —
+    /// strictly fewer than `threshold` workflows queued — hand them to
+    /// the running workflow with the most unstarted work, re-solving
+    /// its suffix DAG on the grown lease. `Some(1)` grows only when the
+    /// queue is empty; `None` (default) keeps leases static.
+    pub elastic: Option<usize>,
 }
 
 impl Default for OnlineConfig {
@@ -111,6 +152,7 @@ impl Default for OnlineConfig {
             algorithm: Algorithm::DagHetPart,
             solver: DagHetPartConfig::default(),
             solve_cache: true,
+            elastic: None,
         }
     }
 }
@@ -134,14 +176,71 @@ pub(crate) struct Pending {
 pub struct Placement {
     /// The served submission (graph included).
     pub submission: Submission,
-    /// The mapping in *parent-cluster* processor ids.
+    /// The *as-admitted* mapping in parent-cluster processor ids (a
+    /// complete, valid mapping of the whole graph). When `regrow` is
+    /// set, the suffix tasks actually executed per `regrow.mapping`
+    /// instead.
     pub mapping: Mapping,
-    /// Leased processors (parent ids, grant order).
+    /// Leased processors (parent ids, grant order). After an elastic
+    /// growth this is the grown lease; the extra processors joined at
+    /// the growth instant, not at `start`.
     pub lease: Vec<ProcId>,
     /// Lease grant instant.
     pub start: f64,
     /// Completion instant.
     pub finish: f64,
+    /// The elastic re-solves of this workflow's suffixes, in growth
+    /// order (empty for statically leased workflows). A task's executed
+    /// schedule is given by the *last* entry whose `suffix` contains it
+    /// (earlier entries were superseded before those tasks started), or
+    /// by the as-admitted `mapping` if no entry does.
+    pub regrow: Vec<Regrow>,
+}
+
+/// The re-solved suffix phase of an elastically grown lease.
+#[derive(Clone, Debug)]
+pub struct Regrow {
+    /// Instant the suffix schedule begins: the committed prefix has
+    /// drained by then, and it is never earlier than the growth event.
+    pub at: f64,
+    /// Original node ids of the re-scheduled suffix, ascending
+    /// (index-aligned with `suffix_dag`'s dense local ids).
+    pub suffix: Vec<dhp_dag::NodeId>,
+    /// The induced suffix DAG.
+    pub suffix_dag: dhp_dag::Dag,
+    /// The suffix mapping in parent processor ids — a complete, valid
+    /// mapping of `suffix_dag`.
+    pub mapping: Mapping,
+}
+
+/// Why the engine (re)computed a head reservation — exposed so tests
+/// can pin the stale-state fixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservationTrigger {
+    /// The effective FIFO head failed to place and opened a backfill
+    /// window.
+    HeadBlocked,
+    /// A same-pass admission invalidated the conservative bound, and it
+    /// was re-derived against the current free set before filtering the
+    /// next candidate (the stale-reservation fix; never emitted by
+    /// [`AdmissionPolicy::EasyBackfill`], whose reservation is
+    /// deliberately computed once per event).
+    PostAdmission,
+}
+
+/// One head-reservation computation (engine instrumentation, not part
+/// of the serialisable report).
+#[derive(Clone, Debug)]
+pub struct ReservationRecord {
+    /// Virtual-clock instant of the computation.
+    pub at: f64,
+    /// Submission id of the blocked head the reservation protects.
+    pub head_id: usize,
+    /// The reservation instant (`f64::INFINITY` when the head is not
+    /// placeable even once everything drains).
+    pub reservation: f64,
+    /// What prompted the computation.
+    pub trigger: ReservationTrigger,
 }
 
 /// Result of [`serve`]: the serialisable report plus the placements.
@@ -152,6 +251,10 @@ pub struct ServeOutcome {
     /// Every served workflow's lease and mapping, in completion order
     /// (matching `report.workflows`).
     pub placements: Vec<Placement>,
+    /// Every head-reservation computation under the backfilling
+    /// policies, in decision order — the observable behind the
+    /// conservative guarantee and its pinning tests.
+    pub reservations: Vec<ReservationRecord>,
 }
 
 #[derive(Debug)]
@@ -187,6 +290,21 @@ struct InService {
     record: WorkflowRecord,
     placement: Placement,
     fingerprint: u64,
+    /// Sequence number of this workflow's *live* completion event.
+    /// Elastic growth re-schedules completions by pushing a fresh event
+    /// and bumping this; heap entries whose seq no longer matches are
+    /// stale and skipped on pop.
+    live_seq: u64,
+    /// Absolute per-task start instants under the current schedule (the
+    /// committed/suffix split point of elastic growth).
+    task_start: Vec<f64>,
+    /// Absolute per-task finish instants under the current schedule.
+    task_finish: Vec<f64>,
+    /// Global processor of every task under the current schedule.
+    task_proc: Vec<ProcId>,
+    /// Per-processor busy time already credited to the fleet for this
+    /// workflow (subtracted exactly on an elastic swap).
+    busy: Vec<(ProcId, f64)>,
 }
 
 /// Serves a submission stream on a shared cluster. See the module docs
@@ -244,6 +362,14 @@ pub fn serve_with_cache(
 
     let mut next_arrival = 0usize;
     let mut clock = 0.0f64;
+    let mut reservations: Vec<ReservationRecord> = Vec::new();
+    let mut lease_grown: u64 = 0;
+    // Completions arm elastic growth, but the growth decision waits
+    // until every same-instant arrival has been queued and offered the
+    // freed processors (completions are processed first at equal
+    // instants, so the flag may carry into the arrival iteration of
+    // the same clock).
+    let mut growth_pending = false;
 
     loop {
         // ------------------------------------------------ next event(s)
@@ -266,7 +392,18 @@ pub fn serve_with_cache(
                         break;
                     }
                     let c = events.pop().unwrap();
-                    let done = in_service[c.slot].take().expect("one completion per slot");
+                    // Elastic growth re-schedules completions: a heap
+                    // entry whose seq no longer matches its slot's live
+                    // event is stale — drop it.
+                    let live = in_service[c.slot]
+                        .as_ref()
+                        .is_some_and(|s| s.live_seq == c.seq);
+                    if !live {
+                        continue;
+                    }
+                    let done = in_service[c.slot]
+                        .take()
+                        .expect("live completion holds its slot");
                     for &p in &done.placement.lease {
                         debug_assert!(!free[p.idx()]);
                         free[p.idx()] = true;
@@ -275,6 +412,7 @@ pub fn serve_with_cache(
                     finished.push(done.record);
                     finished_fp.push(done.fingerprint);
                     placements.push(done.placement);
+                    growth_pending = true;
                 }
             }
             (_, Some(ta)) => {
@@ -316,36 +454,108 @@ pub fn serve_with_cache(
         }
 
         // ------------------------------------------------ admission pass
-        // Keep admitting until a full pass changes nothing.
+        // Keep admitting until a full pass changes nothing. One pass may
+        // admit (and reject) several candidates: decisions are recorded
+        // against the pass's candidate order and the queue is compacted
+        // only at the end of the pass, so indices stay valid throughout.
+        // After every same-pass grant the pass's cached state is
+        // refreshed — `free_speed` drops by the granted lease's speeds
+        // and a conservative reservation is marked dirty and lazily
+        // re-derived before the next candidate consults it — so neither
+        // can go stale within a pass.
+        //
+        // EASY's once-per-event head reservation, cached across the
+        // passes of this event: (head id, reservation).
+        let mut event_resv: Option<(usize, f64)> = None;
         loop {
-            let mut admitted_any = false;
+            let mut changed = false;
             let order = cfg.policy.candidate_order(&queue);
-            // Conservative backfilling: once the FIFO head fails to
-            // place, its reservation caps every later candidate's
-            // simulated finish. `None` = no cap (head placeable, or a
-            // policy without reservations).
+            // Backfilling: once the effective FIFO head fails to place,
+            // its reservation caps every later candidate's simulated
+            // finish. `None` = no cap (head placeable, or a policy
+            // without reservations).
             let mut reservation: Option<f64> = None;
+            let mut reservation_dirty = false;
+            // Queue index of the blocked head the reservation protects.
+            let mut head_qi: Option<usize> = None;
             // Aggregate speed of the free processors: a backfill
             // candidate's makespan is at least `total_work / free_speed`
             // even with zero communication, so candidates that cannot
             // possibly beat the reservation are skipped without paying
-            // for a solver run.
-            let free_speed: f64 = cluster
+            // for a solver run. Kept fresh across same-pass admissions.
+            let mut free_speed: f64 = cluster
                 .proc_ids()
                 .filter(|p| free[p.idx()])
                 .map(|p| cluster.speed(p))
                 .sum();
             let mut evaluated_backfills = 0usize;
-            for (pos, qi) in order.into_iter().enumerate() {
+            // Queue indices admitted or rejected this pass.
+            let mut taken: Vec<usize> = Vec::new();
+            // EASY: placeable candidates whose finish (or work bound)
+            // overshoots the reservation — retried aggressively after
+            // every safe grant has been made.
+            let mut deferred: Vec<usize> = Vec::new();
+            for (pos, qi) in order.iter().copied().enumerate() {
                 if free_count == 0 {
                     break;
                 }
-                let cand = &queue[qi];
-                if let Some(resv) = reservation {
+                // The *effective head*: every candidate ranked before
+                // this one was taken this pass, so this is the head of
+                // the queue as it will stand after compaction — the
+                // position whose blocking opens a backfill window.
+                let effective_head = taken.len() == pos;
+                if reservation.is_some() {
                     if evaluated_backfills >= BACKFILL_DEPTH {
                         break;
                     }
-                    if free_speed <= 0.0 || clock + cand.total_work / free_speed > resv + 1e-9 {
+                    // Re-derive a dirty conservative bound before it
+                    // filters anything: a reservation computed before a
+                    // same-pass admission reflects a free set that no
+                    // longer exists (the stale-reservation fix). EASY
+                    // keeps its event-level reservation by design.
+                    if reservation_dirty {
+                        let head = &queue[head_qi.expect("a reservation implies a head")];
+                        let fresh = head_reservation(
+                            cluster,
+                            &mem_order,
+                            &free,
+                            &events,
+                            &in_service,
+                            head,
+                            cfg,
+                            cache,
+                            config_hash,
+                        );
+                        reservations.push(ReservationRecord {
+                            at: clock,
+                            head_id: head.id,
+                            reservation: fresh,
+                            trigger: ReservationTrigger::PostAdmission,
+                        });
+                        reservation = Some(fresh);
+                        reservation_dirty = false;
+                    }
+                    let resv = reservation.unwrap();
+                    if free_speed <= 0.0 || clock + queue[qi].total_work / free_speed > resv + 1e-9
+                    {
+                        // Cannot possibly finish inside the hole. EASY
+                        // may still take it aggressively in phase 2 —
+                        // but only screen in candidates whose hottest
+                        // task fits the largest free memory, so the
+                        // bounded deferral list is not wasted on
+                        // certainly unplaceable ones.
+                        if cfg.policy == AdmissionPolicy::EasyBackfill
+                            && deferred.len() < BACKFILL_DEPTH
+                        {
+                            let max_free_mem = cluster
+                                .proc_ids()
+                                .filter(|p| free[p.idx()])
+                                .map(|p| cluster.memory(p))
+                                .fold(0.0, f64::max);
+                            if queue[qi].max_task_req <= max_free_mem * (1.0 + 1e-9) {
+                                deferred.push(qi);
+                            }
+                        }
                         continue;
                     }
                     evaluated_backfills += 1;
@@ -354,72 +564,96 @@ pub fn serve_with_cache(
                     cluster,
                     &mem_order,
                     &free,
-                    cand,
+                    &queue[qi],
                     cfg,
                     cache,
                     config_hash,
                     clock,
-                    queue.len(),
+                    queue.len() - taken.len(),
                 ) {
-                    Admit::Granted(boxed) => {
+                    Admit::Granted(grant) => {
                         if let Some(resv) = reservation {
-                            if boxed.1.finish > resv + 1e-9 {
+                            if grant.placement.finish > resv + 1e-9 {
                                 // Would run past the head's reservation
-                                // and delay it — keep this one queued.
+                                // and delay it — conservative keeps it
+                                // queued, EASY retries it in phase 2.
+                                if cfg.policy == AdmissionPolicy::EasyBackfill
+                                    && deferred.len() < BACKFILL_DEPTH
+                                {
+                                    deferred.push(qi);
+                                }
                                 continue;
                             }
                         }
-                        let (record, placement, sim_busy) = *boxed;
-                        let fingerprint = cand.fingerprint;
-                        // The dedicated-cluster baseline (stretch
-                        // denominator) is NOT solved here: admission
-                        // only notes the fingerprint, and the solves
-                        // drain as one deduplicated parallel batch at
-                        // report time.
-                        for &p in &placement.lease {
-                            free[p.idx()] = false;
-                        }
-                        free_count -= placement.lease.len();
-                        for (p, b) in sim_busy {
-                            busy_time[p.idx()] += b;
-                        }
-                        let slot = in_service.len();
-                        events.push(Completion {
-                            time: placement.finish,
-                            seq,
-                            slot,
-                        });
-                        seq += 1;
-                        in_service.push(Some(InService {
-                            record,
-                            placement,
+                        let fingerprint = queue[qi].fingerprint;
+                        free_speed -= commit_grant(
+                            *grant,
                             fingerprint,
-                        }));
-                        queue.remove(qi);
-                        admitted_any = true;
-                        break; // re-rank: queue indices shifted
+                            cluster,
+                            &mut free,
+                            &mut free_count,
+                            &mut busy_time,
+                            &mut events,
+                            &mut seq,
+                            &mut in_service,
+                        );
+                        // Only the conservative policy re-derives its
+                        // bound after a grant; EASY's event reservation
+                        // is stale across grants by contract.
+                        if cfg.policy == AdmissionPolicy::FifoBackfill && reservation.is_some() {
+                            reservation_dirty = true;
+                        }
+                        taken.push(qi);
+                        changed = true;
                     }
                     Admit::Wait => {
                         // Not placeable right now; under FIFO this blocks
                         // the line, under the others the next candidate
                         // gets a chance — capped by the head's
                         // reservation when backfilling.
-                        if cfg.policy == AdmissionPolicy::FifoBackfill && pos == 0 {
-                            reservation = Some(head_reservation(
-                                cluster,
-                                &mem_order,
-                                &free,
-                                &events,
-                                &in_service,
-                                cand,
-                                cfg,
-                                cache,
-                                config_hash,
-                            ));
+                        if cfg.policy.backfills() && effective_head && reservation.is_none() {
+                            let cand = &queue[qi];
+                            let resv = match event_resv {
+                                // EASY: reuse this event's reservation,
+                                // computed at most once (stale across
+                                // same-event admissions by design).
+                                Some((id, r))
+                                    if cfg.policy == AdmissionPolicy::EasyBackfill
+                                        && id == cand.id =>
+                                {
+                                    r
+                                }
+                                _ => {
+                                    let r = head_reservation(
+                                        cluster,
+                                        &mem_order,
+                                        &free,
+                                        &events,
+                                        &in_service,
+                                        cand,
+                                        cfg,
+                                        cache,
+                                        config_hash,
+                                    );
+                                    reservations.push(ReservationRecord {
+                                        at: clock,
+                                        head_id: cand.id,
+                                        reservation: r,
+                                        trigger: ReservationTrigger::HeadBlocked,
+                                    });
+                                    if cfg.policy == AdmissionPolicy::EasyBackfill {
+                                        event_resv = Some((cand.id, r));
+                                    }
+                                    r
+                                }
+                            };
+                            reservation = Some(resv);
+                            head_qi = Some(qi);
                         }
                         continue;
                     }
                     Admit::Reject(reason) => {
+                        let cand = &queue[qi];
                         rejected.push(RejectedRecord {
                             id: cand.id,
                             name: cand.submission.instance.name.clone(),
@@ -428,15 +662,129 @@ pub fn serve_with_cache(
                             wait: clock - cand.arrival,
                             reason,
                         });
-                        queue.remove(qi);
-                        admitted_any = true; // queue changed: re-rank
-                        break;
+                        taken.push(qi);
+                        changed = true;
                     }
                 }
             }
-            if !admitted_any {
+            // EASY phase 2: aggressive backfills. Every safe grant has
+            // already been made above (so EASY's same-instant
+            // admissions are a superset of the conservative ones by
+            // construction); the deferred candidates are now admitted
+            // if they place on the current free set and the head would
+            // still be placeable at the reservation instant on the
+            // processors they leave behind. The check runs against the
+            // reservation's original completion replay — EASY
+            // deliberately does not refresh it, which is exactly the
+            // conservative guarantee being traded away.
+            if cfg.policy == AdmissionPolicy::EasyBackfill {
+                if let (Some(resv), Some(hq)) = (reservation, head_qi) {
+                    // The aggressive phase gets its own probe window:
+                    // on deep queues phase 1 exhausts the shared one,
+                    // and EASY's whole point is paying extra probes for
+                    // the grants conservative cannot make.
+                    for qi in deferred.into_iter().take(BACKFILL_DEPTH) {
+                        if free_count == 0 {
+                            break;
+                        }
+                        let Admit::Granted(grant) = try_admit(
+                            cluster,
+                            &mem_order,
+                            &free,
+                            &queue[qi],
+                            cfg,
+                            cache,
+                            config_hash,
+                            clock,
+                            queue.len() - taken.len(),
+                        ) else {
+                            continue;
+                        };
+                        let safe = grant.placement.finish <= resv + 1e-9;
+                        if !safe
+                            && !head_fits_at(
+                                cluster,
+                                &mem_order,
+                                &free,
+                                &grant.placement.lease,
+                                None,
+                                &events,
+                                &in_service,
+                                &queue[hq],
+                                cfg,
+                                cache,
+                                config_hash,
+                                resv,
+                            )
+                        {
+                            continue;
+                        }
+                        let fingerprint = queue[qi].fingerprint;
+                        commit_grant(
+                            *grant,
+                            fingerprint,
+                            cluster,
+                            &mut free,
+                            &mut free_count,
+                            &mut busy_time,
+                            &mut events,
+                            &mut seq,
+                            &mut in_service,
+                        );
+                        taken.push(qi);
+                        changed = true;
+                    }
+                }
+            }
+            // Compact the queue: indices taken this pass, removed back
+            // to front so the remaining indices stay valid.
+            taken.sort_unstable_by(|a, b| b.cmp(a));
+            for qi in taken {
+                queue.remove(qi);
+            }
+            if !changed {
                 break;
             }
+        }
+
+        // --------------------------------------------- elastic growth
+        // Freed processors the queue cannot use right now (it is empty
+        // or below the threshold) are handed to the running workflow
+        // with the most unstarted work: its suffix DAG is re-solved on
+        // the grown lease and the placement swapped at the current
+        // clock — only when the re-solve genuinely finishes earlier.
+        // The decision is deferred while arrivals at this very instant
+        // are still un-queued: they get first claim on the freed
+        // processors (their iteration runs next, at the same clock).
+        // Each successful growth enlists at least one previously free
+        // processor, so the loop terminates.
+        let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
+        if let Some(threshold) = cfg.elastic {
+            while growth_pending
+                && !arrivals_pending
+                && queue.len() < threshold
+                && free_count > 0
+                && grow_lease(
+                    cluster,
+                    &mem_order,
+                    &mut free,
+                    &mut free_count,
+                    &mut busy_time,
+                    &mut events,
+                    &mut seq,
+                    &mut in_service,
+                    &queue,
+                    cfg,
+                    cache,
+                    config_hash,
+                    clock,
+                )
+            {
+                lease_grown += 1;
+            }
+        }
+        if !arrivals_pending {
+            growth_pending = false;
         }
     }
 
@@ -593,15 +941,30 @@ pub fn serve_with_cache(
                 solve_cache_hits: stats_at_exit.hits - stats_at_entry.hits,
                 solve_cache_misses: stats_at_exit.misses - stats_at_entry.misses,
                 baseline_solves: stats_at_exit.misses - stats_after_admission.misses,
+                lease_grown,
             },
         },
         placements,
+        reservations,
     }
 }
 
 /// Everything a granted lease produces: the metrics record, the
-/// placement, and per-processor busy time (global ids).
-type Grant = (WorkflowRecord, Placement, Vec<(ProcId, f64)>);
+/// placement, per-processor busy time, and the absolute per-task
+/// schedule elastic growth splits at.
+struct Grant {
+    record: WorkflowRecord,
+    placement: Placement,
+    /// Per-processor busy time (global ids, one entry per lease
+    /// processor, in lease-carve order — not sorted).
+    busy: Vec<(ProcId, f64)>,
+    /// Absolute per-task start instants under the admitted schedule.
+    task_start: Vec<f64>,
+    /// Absolute per-task finish instants under the admitted schedule.
+    task_finish: Vec<f64>,
+    /// Global processor of every task under the admitted schedule.
+    task_proc: Vec<ProcId>,
+}
 
 enum Admit {
     /// Lease granted; box keeps the variant small.
@@ -610,6 +973,65 @@ enum Admit {
     Wait,
     /// Cannot be placed even on the whole idle cluster; drop.
     Reject(String),
+}
+
+/// Books a granted lease into the engine state: marks the lease busy,
+/// credits busy time, schedules the completion event and stores the
+/// in-service bookkeeping. Returns the aggregate speed of the leased
+/// processors so the admission pass can refresh its free-speed lower
+/// bound (the stale-`free_speed` fix: after a same-pass grant the bound
+/// must filter against the shrunken free set, not the pass-entry one).
+#[allow(clippy::too_many_arguments)]
+fn commit_grant(
+    grant: Grant,
+    fingerprint: u64,
+    cluster: &Cluster,
+    free: &mut [bool],
+    free_count: &mut usize,
+    busy_time: &mut [f64],
+    events: &mut BinaryHeap<Completion>,
+    seq: &mut u64,
+    in_service: &mut Vec<Option<InService>>,
+) -> f64 {
+    let Grant {
+        record,
+        placement,
+        busy,
+        task_start,
+        task_finish,
+        task_proc,
+    } = grant;
+    // The dedicated-cluster baseline (stretch denominator) is NOT
+    // solved here: admission only notes the fingerprint, and the solves
+    // drain as one deduplicated parallel batch at report time.
+    let mut lease_speed = 0.0;
+    for &p in &placement.lease {
+        debug_assert!(free[p.idx()]);
+        free[p.idx()] = false;
+        lease_speed += cluster.speed(p);
+    }
+    *free_count -= placement.lease.len();
+    for (p, b) in &busy {
+        busy_time[p.idx()] += *b;
+    }
+    let slot = in_service.len();
+    events.push(Completion {
+        time: placement.finish,
+        seq: *seq,
+        slot,
+    });
+    in_service.push(Some(InService {
+        record,
+        placement,
+        fingerprint,
+        live_seq: *seq,
+        task_start,
+        task_finish,
+        task_proc,
+        busy,
+    }));
+    *seq += 1;
+    lease_speed
 }
 
 /// The doubling ladder of candidate lease sizes, `target` up to `cap`
@@ -762,6 +1184,17 @@ fn try_admit(
         .iter()
         .map(|lane| (sub.to_global(lane.proc), lane.busy))
         .collect();
+    // The absolute per-task schedule: elastic growth later splits it
+    // into the committed prefix and the re-solvable suffix.
+    let task_start: Vec<f64> = sim.task_start.iter().map(|t| clock + t).collect();
+    let task_finish: Vec<f64> = sim.task_finish.iter().map(|t| clock + t).collect();
+    let task_proc: Vec<ProcId> = g
+        .node_ids()
+        .map(|u| {
+            let b = sched.local.mapping.partition.block_of(u).idx();
+            sub.to_global(sched.local.mapping.proc_of_block[b].expect("complete mapping"))
+        })
+        .collect();
     let start = clock;
     let finish = clock + sim.makespan;
     let service = sim.makespan;
@@ -789,6 +1222,7 @@ fn try_admit(
         model_makespan: sched.local.makespan,
         lease: lease.iter().map(|p| p.0).collect(),
         blocks: sched.local.mapping.num_blocks(),
+        lease_grown: false,
     };
     let placement = Placement {
         submission: cand.submission.clone(),
@@ -796,8 +1230,16 @@ fn try_admit(
         lease,
         start,
         finish,
+        regrow: Vec::new(),
     };
-    Admit::Granted(Box::new((record, placement, busy)))
+    Admit::Granted(Box::new(Grant {
+        record,
+        placement,
+        busy,
+        task_start,
+        task_finish,
+        task_proc,
+    }))
 }
 
 /// Solver feasibility only — can `cand` be placed on the processors
@@ -853,7 +1295,16 @@ fn head_reservation(
     cache: &SolveCache,
     config_hash: u64,
 ) -> f64 {
-    let mut pending: Vec<&Completion> = events.iter().collect();
+    // Stale heap entries (superseded by an elastic growth) free
+    // nothing; only live completions participate in the replay.
+    let mut pending: Vec<&Completion> = events
+        .iter()
+        .filter(|c| {
+            in_service[c.slot]
+                .as_ref()
+                .is_some_and(|s| s.live_seq == c.seq)
+        })
+        .collect();
     pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
     // Placeable once completions[0..=i] have freed their leases?
     let feasible_after = |i: usize| -> bool {
@@ -890,6 +1341,277 @@ fn head_reservation(
         }
     }
     pending[hi].time
+}
+
+/// The shared head-placeability replay: with `exclude` (a candidate's
+/// would-be lease, or the processors a growth wants to claim) held
+/// busy past the reservation, is the blocked head still placeable at
+/// `resv` once every pending completion up to that instant has freed
+/// its lease? `skip_slot` drops one workflow's completion from the
+/// replay — the elastic-growth guard passes the candidate's own slot,
+/// whose old completion the swap would supersede.
+///
+/// Used by EASY's aggressive-backfill check (where the replay
+/// deliberately uses the reservation's own completion horizon — it is
+/// *not* refreshed after earlier aggressive grants of the same event,
+/// which is the conservative guarantee EASY trades for throughput:
+/// piled-up aggressive backfills may each pass this check alone yet
+/// jointly delay the head) and by the elastic-growth head guard.
+#[allow(clippy::too_many_arguments)]
+fn head_fits_at(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    exclude: &[ProcId],
+    skip_slot: Option<usize>,
+    events: &BinaryHeap<Completion>,
+    in_service: &[Option<InService>],
+    head: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    resv: f64,
+) -> bool {
+    let mut hyp = free.to_vec();
+    for &p in exclude {
+        hyp[p.idx()] = false;
+    }
+    for c in events.iter() {
+        if c.time > resv + 1e-9 || Some(c.slot) == skip_slot {
+            continue;
+        }
+        if let Some(svc) = in_service[c.slot].as_ref() {
+            if svc.live_seq == c.seq {
+                for &p in &svc.placement.lease {
+                    hyp[p.idx()] = true;
+                }
+            }
+        }
+    }
+    can_place(cluster, mem_order, &hyp, head, cfg, cache, config_hash)
+}
+
+/// One elastic-growth attempt: ranks the in-service workflows by
+/// unstarted work (ties on id), re-solves the best candidate's suffix
+/// DAG on its lease grown by the currently free processors, and swaps
+/// the placement when the re-solve finishes strictly earlier *and*
+/// enlists at least one previously free processor. The suffix schedule
+/// is released only once the committed prefix (running tasks included)
+/// has drained, so the swap never overlaps already-running tasks.
+/// Under a backfilling policy a blocked queue head keeps its promise:
+/// a swap whose grown lease stays busy past the head's reservation is
+/// taken only if the head remains placeable at the reservation instant
+/// without it. At most [`BACKFILL_DEPTH`] candidates are re-solved per
+/// attempt (the admission path's probe-bound discipline). Returns
+/// whether a swap happened.
+#[allow(clippy::too_many_arguments)]
+fn grow_lease(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &mut [bool],
+    free_count: &mut usize,
+    busy_time: &mut [f64],
+    events: &mut BinaryHeap<Completion>,
+    seq: &mut u64,
+    in_service: &mut [Option<InService>],
+    queue: &[Pending],
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+) -> bool {
+    let mut cands: Vec<(usize, f64, usize)> = in_service
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, svc)| {
+            let svc = svc.as_ref()?;
+            let g = &svc.placement.submission.instance.graph;
+            let remaining: f64 = g
+                .node_ids()
+                .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+                .map(|u| g.node(u).work)
+                .sum();
+            (remaining > 0.0).then_some((slot, remaining, svc.record.id))
+        })
+        .collect();
+    cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.cmp(&b.2)));
+    // Bound the solver probes per attempt, mirroring the admission
+    // pass's backfill window — a failed improvement check usually paid
+    // a full suffix solve (suffix shapes are mostly unique, so the
+    // cache rarely answers them).
+    cands.truncate(BACKFILL_DEPTH);
+    let free_ids: Vec<ProcId> = mem_order
+        .iter()
+        .copied()
+        .filter(|p| free[p.idx()])
+        .collect();
+    // The head guard: with a backfilling policy and a blocked head
+    // waiting, the head's current reservation is computed once, and
+    // every swap below must honour it — elastic growth must not seize
+    // the processors the head's promise assumed would be free.
+    let head_guard: Option<(&Pending, f64)> = match queue.first() {
+        Some(head) if cfg.policy.backfills() => {
+            let resv = head_reservation(
+                cluster,
+                mem_order,
+                free,
+                events,
+                &*in_service,
+                head,
+                cfg,
+                cache,
+                config_hash,
+            );
+            resv.is_finite().then_some((head, resv))
+        }
+        _ => None,
+    };
+
+    for (slot, _, _) in cands {
+        let svc = in_service[slot].as_ref().expect("ranked above");
+        let g = &svc.placement.submission.instance.graph;
+        let suffix: Vec<dhp_dag::NodeId> = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+            .collect();
+        // The committed prefix drains first; the suffix schedule is
+        // released at its last finish (cross-boundary files are local
+        // by then — see `solve_suffix`).
+        let release = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] <= clock + 1e-9)
+            .map(|u| svc.task_finish[u.idx()])
+            .fold(clock, f64::max);
+        let union = cluster
+            .subcluster(&svc.placement.lease)
+            .grown(cluster, &free_ids);
+        let Ok(s) = dhp_core::partial::solve_suffix(
+            g,
+            &suffix,
+            &union,
+            cfg.algorithm,
+            &cfg.solver,
+            cache,
+            config_hash,
+        ) else {
+            continue;
+        };
+        let sim = dhp_sim::simulate(&s.dag, union.cluster(), &s.schedule.local.mapping);
+        let new_finish = release + sim.makespan;
+        if new_finish >= svc.record.finish - 1e-9 {
+            continue; // no genuine win on the grown lease
+        }
+        // Claim only the processors the suffix actually uses; a swap
+        // that enlists no new processor is not a growth (and skipping
+        // it bounds the growth loop by the free count).
+        let old_lease: HashSet<u32> = svc.placement.lease.iter().map(|p| p.0).collect();
+        let mut suffix_proc: Vec<ProcId> = Vec::with_capacity(s.back.len());
+        let mut used_new: Vec<ProcId> = Vec::new();
+        for u in s.dag.node_ids() {
+            let b = s.schedule.local.mapping.partition.block_of(u).idx();
+            let p = union.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"));
+            suffix_proc.push(p);
+            if !old_lease.contains(&p.0) && !used_new.contains(&p) {
+                used_new.push(p);
+            }
+        }
+        if used_new.is_empty() {
+            continue;
+        }
+        // Honour the blocked head's reservation. A swap finishing by
+        // the reservation returns everything it holds in time and
+        // cannot delay the head; one running past it must leave the
+        // head placeable at the reservation instant on what remains —
+        // the current free set minus the newly claimed processors,
+        // plus every other live completion up to the reservation (the
+        // candidate's own old completion no longer happens).
+        if let Some((head, resv)) = head_guard {
+            if new_finish > resv + 1e-9
+                && !head_fits_at(
+                    cluster,
+                    mem_order,
+                    free,
+                    &used_new,
+                    Some(slot),
+                    events,
+                    in_service,
+                    head,
+                    cfg,
+                    cache,
+                    config_hash,
+                    resv,
+                )
+            {
+                continue;
+            }
+        }
+
+        // ---- commit the swap
+        let svc = in_service[slot].as_mut().expect("ranked above");
+        for (i, &orig) in s.back.iter().enumerate() {
+            svc.task_start[orig.idx()] = release + sim.task_start[i];
+            svc.task_finish[orig.idx()] = release + sim.task_finish[i];
+            svc.task_proc[orig.idx()] = suffix_proc[i];
+        }
+        // Replace this workflow's busy-time contribution: subtract
+        // exactly what was credited, re-credit the swapped schedule.
+        for (p, b) in &svc.busy {
+            busy_time[p.idx()] -= *b;
+        }
+        let g = &svc.placement.submission.instance.graph;
+        let mut by_proc: HashMap<ProcId, f64> = HashMap::new();
+        for u in g.node_ids() {
+            *by_proc.entry(svc.task_proc[u.idx()]).or_insert(0.0) +=
+                svc.task_finish[u.idx()] - svc.task_start[u.idx()];
+        }
+        let mut busy: Vec<(ProcId, f64)> = by_proc.into_iter().collect();
+        busy.sort_by_key(|&(p, _)| p);
+        for (p, b) in &busy {
+            busy_time[p.idx()] += *b;
+        }
+        svc.busy = busy;
+        // The grown lease, in the canonical order of the union view.
+        let lease: Vec<ProcId> = union
+            .global_ids()
+            .iter()
+            .copied()
+            .filter(|p| old_lease.contains(&p.0) || used_new.contains(p))
+            .collect();
+        for &p in &used_new {
+            debug_assert!(free[p.idx()]);
+            free[p.idx()] = false;
+        }
+        *free_count -= used_new.len();
+        // Re-schedule the completion; the old heap entry goes stale.
+        events.push(Completion {
+            time: new_finish,
+            seq: *seq,
+            slot,
+        });
+        svc.live_seq = *seq;
+        *seq += 1;
+        let r = &mut svc.record;
+        r.finish = new_finish;
+        r.service = new_finish - r.start;
+        r.response = new_finish - r.arrival;
+        r.slowdown = if r.service > 0.0 {
+            r.response / r.service
+        } else {
+            1.0
+        };
+        r.lease = lease.iter().map(|p| p.0).collect();
+        r.lease_grown = true;
+        svc.placement.finish = new_finish;
+        svc.placement.lease = lease;
+        svc.placement.regrow.push(Regrow {
+            at: release,
+            suffix: s.back,
+            suffix_dag: s.dag,
+            mapping: s.schedule.global,
+        });
+        return true;
+    }
+    false
 }
 
 /// Scales the cluster's memories (smallest proportional factor) so the
@@ -1058,6 +1780,7 @@ mod tests {
     /// processor: FIFO blocks the line, fifo-backfill serves a small
     /// later job in the hole without delaying the head's start.
     fn backfill_scenario() -> (Cluster, Vec<Submission>) {
+        use crate::submission::single_task;
         let cluster = Cluster::new(
             vec![
                 Processor::new("big", 1.0, 1000.0),
@@ -1066,29 +1789,14 @@ mod tests {
             ],
             1.0,
         );
-        let single = |id: usize, arrival: f64, work: f64, mem: f64, name: &str| {
-            let mut g = dhp_dag::Dag::new();
-            g.add_node(work, mem);
-            Submission {
-                id,
-                arrival,
-                instance: dhp_wfgen::WorkflowInstance {
-                    name: name.into(),
-                    family: None,
-                    size_class: dhp_wfgen::SizeClass::Real,
-                    requested_size: 1,
-                    graph: g,
-                },
-            }
-        };
         let subs = vec![
             // Occupies the big-memory processor until t=100.
-            single(0, 0.0, 100.0, 900.0, "hog"),
+            single_task(0, 0.0, 100.0, 900.0, "hog"),
             // The head: only fits the big processor, so it must wait.
-            single(1, 1.0, 10.0, 500.0, "head"),
+            single_task(1, 1.0, 10.0, 500.0, "head"),
             // Small and quick: fits a small processor, done long before
             // the head's reservation at t=100.
-            single(2, 2.0, 1.0, 50.0, "minnow"),
+            single_task(2, 2.0, 1.0, 50.0, "minnow"),
         ];
         (cluster, subs)
     }
@@ -1127,6 +1835,374 @@ mod tests {
         // ...without delaying the head past its reservation (t=100, the
         // hog's completion — identical to the FIFO start).
         assert_eq!(by_id(&backfill, 1).start, 100.0);
+    }
+
+    /// Pins the stale-state fixes: two same-instant backfills must be
+    /// admitted in ONE pass, with the conservative reservation
+    /// re-derived after the first grant (a `PostAdmission` record) and
+    /// both grants inside the fresh bound. Reverting the fix — keeping
+    /// the pass-entry reservation and free speed across same-pass
+    /// admissions — makes the `PostAdmission` assertion fail.
+    #[test]
+    fn same_pass_admissions_refresh_the_reservation_and_free_speed() {
+        use crate::submission::single_task;
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("big", 1.0, 1000.0),
+                Processor::new("sml", 1.0, 100.0),
+                Processor::new("sml", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 900.0, "hog"),
+            single_task(1, 1.0, 10.0, 500.0, "head"),
+            // Two same-instant backfill candidates: both fit the small
+            // processors and finish far inside the head's reservation
+            // at t=100.
+            single_task(2, 2.0, 1.0, 50.0, "minnow-1"),
+            single_task(3, 2.0, 5.0, 50.0, "minnow-2"),
+        ];
+        let cfg = OnlineConfig {
+            policy: AdmissionPolicy::FifoBackfill,
+            ..OnlineConfig::default()
+        };
+        let out = serve(&cluster, subs, &cfg);
+        assert_eq!(out.report.fleet.completed, 4);
+        let by_id = |id: usize| -> WorkflowRecord {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap()
+                .clone()
+        };
+        // Both minnows backfill at their shared arrival instant — one
+        // admission pass serves them back to back.
+        assert_eq!(by_id(2).start, 2.0);
+        assert_eq!(by_id(3).start, 2.0);
+        // The head starts exactly at its reservation, never later.
+        assert_eq!(by_id(1).start, 100.0);
+        // The fix's observable: after the first same-pass grant the
+        // reservation was re-derived against the shrunken free set.
+        let post: Vec<&ReservationRecord> = out
+            .reservations
+            .iter()
+            .filter(|r| r.trigger == ReservationTrigger::PostAdmission)
+            .collect();
+        assert!(
+            !post.is_empty(),
+            "no PostAdmission reservation re-derivation recorded: {:?}",
+            out.reservations
+        );
+        // Every reservation ever computed for the head bounds its
+        // actual start (the conservative guarantee), and the same-pass
+        // grants stayed inside the freshest bound.
+        for r in out.reservations.iter().filter(|r| r.head_id == 1) {
+            assert!(by_id(1).start <= r.reservation + 1e-9);
+        }
+        for id in [2usize, 3] {
+            assert!(by_id(id).finish <= 100.0 + 1e-9);
+        }
+    }
+
+    /// EASY vs conservative on a hole the conservative bound cannot
+    /// use: a long-running job fits a small processor the head does not
+    /// need, so `easy-backfill` starts it immediately while
+    /// `fifo-backfill` (whose grants must finish inside the
+    /// reservation) keeps it queued until the head clears — and the
+    /// head starts at its reservation either way.
+    #[test]
+    fn easy_backfill_admits_past_the_reservation_on_spare_processors() {
+        use crate::submission::single_task;
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("big", 1.0, 1000.0),
+                Processor::new("sml", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 900.0, "hog"),
+            single_task(1, 1.0, 10.0, 500.0, "head"),
+            // Runs far past the head's reservation (t=100), but on the
+            // small processor the head cannot use anyway.
+            single_task(2, 2.0, 500.0, 50.0, "whale"),
+        ];
+        let run = |policy| {
+            let cfg = OnlineConfig {
+                policy,
+                ..OnlineConfig::default()
+            };
+            serve(&cluster, subs.clone(), &cfg)
+        };
+        let conservative = run(AdmissionPolicy::FifoBackfill);
+        let easy = run(AdmissionPolicy::EasyBackfill);
+        let start = |out: &ServeOutcome, id: usize| {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap()
+                .start
+        };
+        // Conservative: the whale's finish (t≈502) overshoots the
+        // reservation, so it waits for the head.
+        assert_eq!(start(&conservative, 2), 100.0);
+        // EASY: admitted immediately — the head still fits the big
+        // processor at the reservation instant.
+        assert_eq!(start(&easy, 2), 2.0);
+        // The head is not delayed in either run.
+        assert_eq!(start(&conservative, 1), 100.0);
+        assert_eq!(start(&easy, 1), 100.0);
+        assert!(easy.report.fleet.mean_wait < conservative.report.fleet.mean_wait);
+        // EASY's same-instant admissions are a superset of the
+        // conservative ones: everything conservative served with zero
+        // wait, EASY served with zero wait too.
+        for r in &conservative.report.workflows {
+            if r.wait == 0.0 {
+                let e = easy.report.workflows.iter().find(|x| x.id == r.id).unwrap();
+                assert_eq!(e.wait, 0.0, "easy delayed {}", r.id);
+            }
+        }
+    }
+
+    /// Elastic growth: a fork workflow serialised on a one-processor
+    /// lease gets the just-freed second processor, its unstarted suffix
+    /// is re-solved on the grown lease, and it finishes much earlier —
+    /// deterministically, with truthful busy-time accounting.
+    #[test]
+    fn elastic_growth_reschedules_the_suffix_on_freed_processors() {
+        use crate::submission::single_task;
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("p0", 1.0, 200.0),
+                Processor::new("p1", 1.0, 200.0),
+            ],
+            1.0,
+        );
+        // root → {a, b, c}: on one processor this serialises to
+        // 1 + 10 + 100 + 100 = 211.
+        let mut g = dhp_dag::Dag::new();
+        let root = g.add_node(1.0, 1.0);
+        for work in [10.0, 100.0, 100.0] {
+            let v = g.add_node(work, 1.0);
+            g.add_edge(root, v, 0.1);
+        }
+        let fork = Submission {
+            id: 1,
+            arrival: 0.0,
+            instance: dhp_wfgen::WorkflowInstance {
+                name: "fork".into(),
+                family: None,
+                size_class: dhp_wfgen::SizeClass::Real,
+                requested_size: 4,
+                graph: g,
+            },
+        };
+        // The blocker holds the other processor until t=5; the fork is
+        // admitted at t=0 on the one remaining processor.
+        let subs = vec![single_task(0, 0.0, 5.0, 1.0, "blocker"), fork];
+        let run = |elastic| {
+            let cfg = OnlineConfig {
+                elastic,
+                ..OnlineConfig::default()
+            };
+            serve(&cluster, subs.clone(), &cfg)
+        };
+        let fixed = run(None);
+        let grown = run(Some(1));
+        let record = |out: &ServeOutcome| {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == 1)
+                .unwrap()
+                .clone()
+        };
+        // Static leases: the fork serialises on its single processor.
+        assert_eq!(fixed.report.fleet.lease_grown, 0);
+        assert!(!record(&fixed).lease_grown);
+        assert_eq!(record(&fixed).finish, 211.0);
+        // Elastic: at t=5 the blocker's processor grows the fork's
+        // lease; the unstarted 100+100 suffix re-solves onto two
+        // processors and the fork finishes at 11 + 100 = 111 (the
+        // committed prefix — root and the running 10-work task —
+        // drains first).
+        assert_eq!(grown.report.fleet.lease_grown, 1);
+        let r = record(&grown);
+        assert!(r.lease_grown);
+        assert_eq!(r.finish, 111.0);
+        assert_eq!(r.lease.len(), 2, "lease did not grow: {:?}", r.lease);
+        // The regrow exposes a valid suffix mapping on the shared
+        // cluster, released only after the committed prefix drained.
+        let p = grown
+            .placements
+            .iter()
+            .find(|p| p.submission.id == 1)
+            .unwrap();
+        assert_eq!(p.regrow.len(), 1, "exactly one growth recorded");
+        let regrow = &p.regrow[0];
+        assert_eq!(regrow.suffix.len(), 2);
+        assert_eq!(regrow.at, 11.0);
+        validate(&regrow.suffix_dag, &cluster, &regrow.mapping)
+            .expect("suffix mapping valid against the shared cluster");
+        // Fleet accounting stays truthful after the swap.
+        let f = &grown.report.fleet;
+        assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
+        assert!(f.utilization >= fixed.report.fleet.utilization - 1e-9);
+        // Byte-identical determinism.
+        let again = run(Some(1));
+        assert_eq!(grown.report.to_json(), again.report.to_json());
+    }
+
+    /// Same-instant arrivals outrank elastic growth (code-review fix):
+    /// a workflow arriving at the very instant a completion frees a
+    /// processor gets that processor, not a running workflow's grown
+    /// lease — completions are processed first at equal instants, so
+    /// the growth decision must wait for the arrival's iteration.
+    #[test]
+    fn elastic_growth_yields_to_same_instant_arrivals() {
+        use crate::submission::single_task;
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("p0", 1.0, 100.0),
+                Processor::new("p1", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        // A serial fork (1 + 10 + 100 + 100) on p1 whose suffix would
+        // love p0 the moment it frees at t=5 — but a newcomer arrives
+        // at exactly t=5 and has first claim.
+        let mut g = dhp_dag::Dag::new();
+        let root = g.add_node(1.0, 1.0);
+        for work in [10.0, 100.0, 100.0] {
+            let v = g.add_node(work, 1.0);
+            g.add_edge(root, v, 0.1);
+        }
+        let subs = vec![
+            single_task(0, 0.0, 5.0, 1.0, "blocker"), // p0 until t=5
+            Submission {
+                id: 1,
+                arrival: 0.0,
+                instance: dhp_wfgen::WorkflowInstance {
+                    name: "grower".into(),
+                    family: None,
+                    size_class: dhp_wfgen::SizeClass::Real,
+                    requested_size: 4,
+                    graph: g,
+                },
+            },
+            single_task(2, 5.0, 7.0, 1.0, "newcomer"),
+        ];
+        let cfg = OnlineConfig {
+            elastic: Some(1),
+            ..OnlineConfig::default()
+        };
+        let out = serve(&cluster, subs, &cfg);
+        let by_id = |id: usize| -> WorkflowRecord {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap()
+                .clone()
+        };
+        // The newcomer starts the instant the blocker's processor
+        // frees; growing the fork onto it (which would hold it until
+        // t=111) loses to the same-instant arrival.
+        assert_eq!(by_id(2).start, 5.0);
+        assert_eq!(by_id(2).wait, 0.0);
+        assert_eq!(out.report.fleet.lease_grown, 0);
+        assert_eq!(by_id(1).finish, 211.0);
+    }
+
+    /// The head guard (code-review fix): elastic growth must not seize
+    /// free processors a blocked backfill head's reservation assumed
+    /// would be available. The head here needs the big processor (for
+    /// its fat-output root) *plus* one small one; growing the running
+    /// fork onto the free small processor past the reservation would
+    /// push the head from t=100 to t=121 — under `fifo-backfill` the
+    /// guard refuses the swap, under plain `fifo` (no reservations, no
+    /// guarantee) the growth goes ahead and the head waits.
+    #[test]
+    fn elastic_growth_never_delays_a_blocked_backfill_head() {
+        use crate::submission::single_task;
+        let cluster = Cluster::new(
+            vec![
+                Processor::new("big", 1.0, 145.0),
+                Processor::new("sml", 1.0, 90.0),
+                Processor::new("sml", 1.0, 90.0),
+            ],
+            1.0,
+        );
+        // The head: root with two 70-volume output files → any block
+        // holding the root needs >= 141 memory (the big processor), and
+        // a single-processor placement needs >= 150 (nowhere) — so the
+        // head needs big AND a small processor.
+        let mut h = dhp_dag::Dag::new();
+        let p = h.add_node(1.0, 1.0);
+        for _ in 0..2 {
+            let v = h.add_node(100.0, 10.0);
+            h.add_edge(p, v, 70.0);
+        }
+        // The grower: a serial fork (1 + 3×60 work) on one small
+        // processor, whose unstarted suffix would love the other one.
+        let mut g = dhp_dag::Dag::new();
+        let root = g.add_node(1.0, 1.0);
+        for _ in 0..3 {
+            let v = g.add_node(60.0, 1.0);
+            g.add_edge(root, v, 0.1);
+        }
+        let wf = |id: usize, graph: dhp_dag::Dag, name: &str, arrival: f64| Submission {
+            id,
+            arrival,
+            instance: dhp_wfgen::WorkflowInstance {
+                name: name.into(),
+                family: None,
+                size_class: dhp_wfgen::SizeClass::Real,
+                requested_size: graph.node_count(),
+                graph,
+            },
+        };
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 140.0, "hog"), // big until t=100
+            single_task(1, 0.0, 4.0, 85.0, "filler"), // sml1 until t=4
+            wf(2, g, "grower", 0.0),                  // sml2 until t=181
+            wf(3, h, "head", 1.0),                    // blocked: needs big + a sml
+        ];
+        let run = |policy| {
+            let cfg = OnlineConfig {
+                policy,
+                elastic: Some(2),
+                ..OnlineConfig::default()
+            };
+            serve(&cluster, subs.clone(), &cfg)
+        };
+        let start = |out: &ServeOutcome, id: usize| {
+            out.report
+                .workflows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap()
+                .start
+        };
+        // fifo-backfill: at t=4 the filler's processor frees with only
+        // the head queued; growing the grower onto it (busy until 121)
+        // would overshoot the head's reservation (t=100, when big
+        // frees) — the guard refuses, and the head starts on time.
+        let guarded = run(AdmissionPolicy::FifoBackfill);
+        assert_eq!(guarded.report.fleet.lease_grown, 0);
+        assert_eq!(start(&guarded, 3), 100.0);
+        for r in guarded.reservations.iter().filter(|r| r.head_id == 3) {
+            assert!(start(&guarded, 3) <= r.reservation + 1e-9);
+        }
+        // Plain fifo grants no reservations, so nothing stops the
+        // growth — the grower finishes earlier (121 instead of 181)
+        // and the unprotected head waits for it.
+        let unguarded = run(AdmissionPolicy::Fifo);
+        assert_eq!(unguarded.report.fleet.lease_grown, 1);
+        assert_eq!(start(&unguarded, 3), 121.0);
     }
 
     #[test]

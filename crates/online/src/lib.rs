@@ -56,7 +56,10 @@ pub mod policy;
 pub mod report;
 pub mod submission;
 
-pub use engine::{fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, ServeOutcome};
+pub use engine::{
+    fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
+    ReservationTrigger, ServeOutcome,
+};
 pub use policy::{AdmissionPolicy, LeaseSizing};
 pub use report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
 pub use submission::Submission;
@@ -67,7 +70,8 @@ pub use dhp_core::partial::{SolveCache, SolveCacheStats};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::engine::{
-        fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, ServeOutcome,
+        fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
+        ReservationTrigger, ServeOutcome,
     };
     pub use crate::policy::{AdmissionPolicy, LeaseSizing};
     pub use crate::report::ServeReport;

@@ -20,6 +20,17 @@ pub enum AdmissionPolicy {
     /// finish does not push past that reservation — so the head is
     /// never delayed, but small work fills the holes.
     FifoBackfill,
+    /// Arrival order with *aggressive (EASY) backfilling*: like
+    /// [`FifoBackfill`](AdmissionPolicy::FifoBackfill) the blocked head
+    /// gets a reservation, but the reservation is computed lazily once
+    /// per event (not re-derived per pass) and a later arrival that
+    /// places *now* may be admitted even if it runs past the
+    /// reservation, provided the head is still placeable at the
+    /// reservation instant on the processors the backfill does not
+    /// take. Trades the conservative never-delay-the-head guarantee for
+    /// throughput: piled-up aggressive backfills can push the head past
+    /// its original promise.
+    EasyBackfill,
     /// Smallest total work first (SJF-style): minimises mean wait under
     /// bursts, at the cost of potentially starving big workflows.
     ShortestFirst,
@@ -35,6 +46,7 @@ impl AdmissionPolicy {
         match self {
             AdmissionPolicy::Fifo => "fifo",
             AdmissionPolicy::FifoBackfill => "fifo-backfill",
+            AdmissionPolicy::EasyBackfill => "easy-backfill",
             AdmissionPolicy::ShortestFirst => "shortest",
             AdmissionPolicy::MemoryFitFirst => "memfit",
         }
@@ -45,6 +57,7 @@ impl AdmissionPolicy {
         match s {
             "fifo" => Some(AdmissionPolicy::Fifo),
             "fifo-backfill" | "backfill" => Some(AdmissionPolicy::FifoBackfill),
+            "easy-backfill" | "easy" => Some(AdmissionPolicy::EasyBackfill),
             "shortest" | "sjf" => Some(AdmissionPolicy::ShortestFirst),
             "memfit" | "memory-fit" => Some(AdmissionPolicy::MemoryFitFirst),
             _ => None,
@@ -52,12 +65,22 @@ impl AdmissionPolicy {
     }
 
     /// All policies (for sweeps and tests).
-    pub const ALL: [AdmissionPolicy; 4] = [
+    pub const ALL: [AdmissionPolicy; 5] = [
         AdmissionPolicy::Fifo,
         AdmissionPolicy::FifoBackfill,
+        AdmissionPolicy::EasyBackfill,
         AdmissionPolicy::ShortestFirst,
         AdmissionPolicy::MemoryFitFirst,
     ];
+
+    /// True for the two backfilling variants (the policies that compute
+    /// head reservations in the engine).
+    pub fn backfills(self) -> bool {
+        matches!(
+            self,
+            AdmissionPolicy::FifoBackfill | AdmissionPolicy::EasyBackfill
+        )
+    }
 
     /// Candidate order: indices into `queue` in the order this policy
     /// wants them tried. `Fifo` returns only the head (head-of-line
@@ -75,7 +98,9 @@ impl AdmissionPolicy {
             }
             // The queue is maintained in (arrival, id) order, so plain
             // index order *is* arrival order.
-            AdmissionPolicy::FifoBackfill => (0..queue.len()).collect(),
+            AdmissionPolicy::FifoBackfill | AdmissionPolicy::EasyBackfill => {
+                (0..queue.len()).collect()
+            }
             AdmissionPolicy::ShortestFirst => {
                 let mut idx: Vec<usize> = (0..queue.len()).collect();
                 idx.sort_by(|&a, &b| {
@@ -168,7 +193,14 @@ mod tests {
             AdmissionPolicy::parse("sjf"),
             Some(AdmissionPolicy::ShortestFirst)
         );
+        assert_eq!(
+            AdmissionPolicy::parse("easy"),
+            Some(AdmissionPolicy::EasyBackfill)
+        );
         assert_eq!(AdmissionPolicy::parse("unknown"), None);
+        assert!(AdmissionPolicy::FifoBackfill.backfills());
+        assert!(AdmissionPolicy::EasyBackfill.backfills());
+        assert!(!AdmissionPolicy::Fifo.backfills());
     }
 
     #[test]

@@ -43,10 +43,18 @@ pub struct WorkflowRecord {
     /// Analytic (model) makespan the solver promised on the lease; the
     /// simulated `service` is never larger (paper §3.3).
     pub model_makespan: f64,
-    /// Global processor ids of the lease, in grant order.
+    /// Global processor ids of the lease, in grant order. After an
+    /// elastic growth this is the *grown* lease; the extra processors
+    /// joined at the growth instant, not at `start`.
     pub lease: Vec<u32>,
     /// Number of blocks of the chosen mapping.
     pub blocks: usize,
+    /// True when elastic growth re-solved this workflow's suffix onto a
+    /// grown lease mid-flight (`finish`, `service`, `response`,
+    /// `slowdown`, `stretch` and `lease` all reflect the grown
+    /// schedule). Absent/false in pre-elastic reports.
+    #[serde(default)]
+    pub lease_grown: bool,
 }
 
 /// A workflow the engine could not serve.
@@ -120,6 +128,12 @@ pub struct FleetMetrics {
     /// the cache is on; one per served workflow when it is off).
     #[serde(default)]
     pub baseline_solves: u64,
+    /// Elastic lease growths: completion events whose freed processors
+    /// were handed to a running workflow (its not-yet-started suffix
+    /// re-solved on the grown lease) instead of idling. Always 0
+    /// without `--elastic`.
+    #[serde(default)]
+    pub lease_grown: u64,
 }
 
 impl FleetMetrics {
@@ -174,7 +188,8 @@ impl ServeReport {
              wait   mean {:.2}  max {:.2}\n\
              stretch mean {:.3}  max {:.3}   (dedicated-cluster baseline)\n\
              slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs\n\
-             solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}",
+             solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}\n\
+             leases grown {}",
             self.policy,
             self.algorithm,
             self.cluster_procs,
@@ -195,6 +210,7 @@ impl ServeReport {
             f.solve_cache_misses,
             hit_rate,
             f.baseline_solves,
+            f.lease_grown,
         )
     }
 }
@@ -225,6 +241,7 @@ mod tests {
                 model_makespan: 13.0,
                 lease: vec![1, 3],
                 blocks: 2,
+                lease_grown: false,
             }],
             rejected: vec![RejectedRecord {
                 id: 1,
@@ -252,6 +269,7 @@ mod tests {
                 solve_cache_hits: 3,
                 solve_cache_misses: 2,
                 baseline_solves: 1,
+                lease_grown: 0,
             },
         }
     }
@@ -273,6 +291,7 @@ mod tests {
         assert!(s.contains("solve cache hits 3"));
         assert!(s.contains("hit rate 60.0%"));
         assert!(s.contains("baseline solves 1"));
+        assert!(s.contains("leases grown 0"));
     }
 
     #[test]

@@ -48,6 +48,26 @@ pub fn shift_arrivals(mut subs: Vec<Submission>, dt: f64) -> Vec<Submission> {
     subs
 }
 
+/// A single-task workflow submission — the smallest admissible unit,
+/// used by crafted scheduling scenarios (backfill holes, reservation
+/// pinning) and property tests where the admission logic, not the
+/// solver, is under the microscope.
+pub fn single_task(id: usize, arrival: f64, work: f64, memory: f64, name: &str) -> Submission {
+    let mut g = dhp_dag::Dag::new();
+    g.add_node(work, memory);
+    Submission {
+        id,
+        arrival,
+        instance: WorkflowInstance {
+            name: name.into(),
+            family: None,
+            size_class: dhp_wfgen::SizeClass::Real,
+            requested_size: 1,
+            graph: g,
+        },
+    }
+}
+
 /// A mixed-family stream with the given arrival process: `n` workflows
 /// cycling through `families`, task counts uniform in `tasks`
 /// (inclusive), fully deterministic in `seed`.

@@ -92,6 +92,35 @@ impl SubCluster {
             .map(|i| ProcId(i as u32))
     }
 
+    /// This lease grown by `extra` parent processors: a fresh view over
+    /// the union of the leased ids and `extra`, carved from `parent` in
+    /// the engine's canonical memory-descending order
+    /// ([`Cluster::ids_by_memory_desc`]) — the same order every
+    /// admission lease is carved in, so a grown lease of a given shape
+    /// shares its solve-cache entry with any identically shaped
+    /// admission lease. Ids already leased may appear in `extra` (the
+    /// union is a set).
+    ///
+    /// # Panics
+    /// Panics if an id is out of range for `parent`, or if this lease
+    /// was not carved from `parent` (an id check catches most misuse).
+    pub fn grown(&self, parent: &Cluster, extra: &[ProcId]) -> SubCluster {
+        let mut member = vec![false; parent.len()];
+        for &p in self.global_ids.iter().chain(extra) {
+            assert!(
+                p.idx() < parent.len(),
+                "processor {p} not in parent cluster"
+            );
+            member[p.idx()] = true;
+        }
+        let ids: Vec<ProcId> = parent
+            .ids_by_memory_desc()
+            .into_iter()
+            .filter(|p| member[p.idx()])
+            .collect();
+        parent.subcluster(&ids)
+    }
+
     /// Content hash of the lease's *shape*: the ordered `(speed,
     /// memory)` sequence of its processors plus the interconnect
     /// bandwidth — everything the solvers and the simulator can observe
@@ -208,6 +237,31 @@ mod tests {
             slow.subcluster(&[ProcId(0)]).shape_signature(),
             x.shape_signature()
         );
+    }
+
+    #[test]
+    fn grown_unions_in_canonical_memory_order() {
+        let c = parent();
+        // Lease {a} grown by {d, a}: duplicates collapse, and the grown
+        // view is carved big-memory-first (d: 192 before a: 16).
+        let sub = c.subcluster(&[ProcId(0)]);
+        let grown = sub.grown(&c, &[ProcId(3), ProcId(0)]);
+        assert_eq!(grown.global_ids(), &[ProcId(3), ProcId(0)]);
+        assert_eq!(grown.cluster().proc(ProcId(0)).kind, "d");
+        // Growing by nothing re-carves the same membership canonically.
+        let same = sub.grown(&c, &[]);
+        assert_eq!(same.global_ids(), &[ProcId(0)]);
+        // A grown lease hashes equal to the identically shaped
+        // admission lease (canonical order on both sides).
+        let direct = c.subcluster(&[ProcId(3), ProcId(0)]);
+        assert_eq!(grown.shape_signature(), direct.shape_signature());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in parent")]
+    fn grown_rejects_out_of_range_extra() {
+        let c = parent();
+        c.subcluster(&[ProcId(0)]).grown(&c, &[ProcId(9)]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Online co-scheduling demo: a Poisson stream of genomics workflows
-//! served on one shared heterogeneous cluster, comparing the four
-//! admission policies (fifo, fifo-backfill, shortest, memfit).
+//! served on one shared heterogeneous cluster, comparing the five
+//! admission policies (fifo, fifo-backfill, easy-backfill, shortest, memfit).
 //!
 //! Run with:
 //! ```sh

@@ -3,7 +3,7 @@
 //!
 //! * caching changes **nothing** about scheduling: cache-on and
 //!   `--no-solve-cache` runs produce byte-identical JSON reports across
-//!   {burst, poisson, uniform} × all four admission policies, once the
+//!   {burst, poisson, uniform} × all five admission policies, once the
 //!   solver-effort counters (the one thing caching exists to change)
 //!   are normalised;
 //! * a repeat-heavy 500-submission trace with ≤ 10 unique topologies
