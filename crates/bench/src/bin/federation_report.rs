@@ -1,0 +1,135 @@
+//! Produces the `federation` section of `BENCH_online.json`: the
+//! ISSUE-5 acceptance numbers on the two-cluster burst trace — 500
+//! submissions cycling 10 unique topologies served by a federation of
+//! two LessHet/small members under each routing policy, against one
+//! member serving the stream alone.
+//!
+//! Gates asserted at snapshot time: every routing policy is
+//! byte-identically deterministic across two runs, per-cluster
+//! completions sum to the fleet count, the shared solve cache hits
+//! across the members, and `least-loaded` mean wait does not exceed the
+//! single-cluster mean wait.
+//!
+//! ```text
+//! cargo run --release -p dhp-bench --bin federation_report
+//! ```
+//!
+//! (The `solve_cache` and `adaptive_admission` sections come from the
+//! sibling report bins; `BENCH_online.json` holds all three.)
+
+use dhp_online::{
+    fit_cluster, serve, serve_federation, FederationReport, OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::Federation;
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::time::Instant;
+
+fn main() {
+    let unique = 10usize;
+    let n = 500usize;
+    let subs = dhp_online::submission::repeating_stream(
+        unique,
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (8, 80),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    // The ISSUE-4 acceptance platform, federated: two identical
+    // LessHet/small members (identical shapes = maximal shared-cache
+    // reuse, and the single-member run is the natural baseline).
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &subs,
+        1.05,
+    );
+    let federation = Federation::homogeneous(member.clone(), 2);
+
+    let t0 = Instant::now();
+    let single = serve(&member, subs.clone(), &OnlineConfig::default());
+    let single_secs = t0.elapsed().as_secs_f64();
+
+    let run = |routing: RoutingPolicy| -> (FederationReport, f64) {
+        let t0 = Instant::now();
+        let out = serve_federation(&federation, subs.clone(), &OnlineConfig::default(), routing);
+        let secs = t0.elapsed().as_secs_f64();
+        let again = serve_federation(&federation, subs.clone(), &OnlineConfig::default(), routing);
+        assert_eq!(
+            out.report.to_json(),
+            again.report.to_json(),
+            "{} is not deterministic",
+            routing.name()
+        );
+        let f = &out.report.fleet;
+        assert_eq!(
+            f.completed,
+            out.report
+                .clusters
+                .iter()
+                .map(|c| c.fleet.completed)
+                .sum::<usize>(),
+            "{}: per-cluster completions do not sum to the fleet count",
+            routing.name()
+        );
+        assert!(
+            f.solve_cache_hits > 0,
+            "{}: the shared cache never hit across the members",
+            routing.name()
+        );
+        (out.report, secs)
+    };
+
+    let (rr, rr_secs) = run(RoutingPolicy::RoundRobin);
+    let (ll, ll_secs) = run(RoutingPolicy::LeastLoaded);
+    let (bf, bf_secs) = run(RoutingPolicy::BestFit);
+
+    // The acceptance gate: doubling capacity under least-loaded routing
+    // must not wait longer than the single member.
+    assert!(
+        ll.fleet.mean_wait <= single.report.fleet.mean_wait + 1e-9,
+        "least-loaded federation regressed mean wait: {} vs single {}",
+        ll.fleet.mean_wait,
+        single.report.fleet.mean_wait
+    );
+
+    let line = |name: &str, r: &FederationReport, secs: f64| {
+        format!(
+            "    \"{name}\": {{ \"mean_wait\": {:.3}, \"max_wait\": {:.3}, \
+             \"utilization_pct\": {:.2}, \"horizon\": {:.2}, \"spillovers\": {}, \
+             \"cache_hits\": {}, \"solver_invocations\": {}, \"wall_seconds\": {:.3} }}",
+            r.fleet.mean_wait,
+            r.fleet.max_wait,
+            100.0 * r.fleet.utilization,
+            r.fleet.horizon,
+            r.spillovers,
+            r.fleet.solve_cache_hits,
+            r.fleet.solve_cache_misses,
+            secs
+        )
+    };
+    println!("{{");
+    println!("  \"bench\": \"federation/two-cluster/repeat10/500\",");
+    println!("  \"trace\": {{ \"submissions\": {n}, \"unique_topologies\": {unique}, \"process\": \"burst\", \"members\": \"2 x lesshet/small\" }},");
+    println!(
+        "  \"single_cluster\": {{ \"mean_wait\": {:.3}, \"max_wait\": {:.3}, \"utilization_pct\": {:.2}, \"horizon\": {:.2}, \"wall_seconds\": {:.3} }},",
+        single.report.fleet.mean_wait,
+        single.report.fleet.max_wait,
+        100.0 * single.report.fleet.utilization,
+        single.report.fleet.horizon,
+        single_secs
+    );
+    println!("  \"runs\": {{");
+    println!("{},", line("round-robin", &rr, rr_secs));
+    println!("{},", line("least-loaded", &ll, ll_secs));
+    println!("{}", line("best-fit", &bf, bf_secs));
+    println!("  }},");
+    println!(
+        "  \"least_loaded_mean_wait_vs_single_pct\": {:.2},",
+        100.0 * (1.0 - ll.fleet.mean_wait / single.report.fleet.mean_wait.max(1e-12))
+    );
+    println!("  \"per_cluster_metrics_sum_to_fleet\": true,");
+    println!("  \"deterministic_across_two_runs\": true");
+    println!("}}");
+}

@@ -41,7 +41,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 7] = [
+const SWITCHES: [&str; 8] = [
     "quiet",
     "simulate",
     "gantt",
@@ -49,6 +49,7 @@ const SWITCHES: [&str; 7] = [
     "summary",
     "lease-load-aware",
     "no-solve-cache",
+    "cache-aware",
 ];
 
 impl Args {

@@ -71,7 +71,19 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
                         admission probe pays a fresh solver run; scheduling
                         outcome is identical, only the solver statistics in
                         the report change)
+  --cache-cap N         bound the solve cache to an LRU capacity of N
+                        entries (evictions are counted in the report);
+                        default unbounded
+  --cache-aware         among equally eligible backfill candidates, try
+                        those whose (workflow, lease shape) solve is
+                        already cached first
   --cluster NAME|FILE   shared cluster (default: default)
+  --clusters LIST       serve a *federation*: comma-separated cluster
+                        names/files, one engine per member, a shared solve
+                        cache, cross-cluster spillover, and a merged
+                        fleet report (mutually exclusive with --cluster)
+  --routing NAME        federation routing: round-robin | least-loaded
+                        (default) | best-fit (requires --clusters)
   --bandwidth B         override the cluster bandwidth
   --headroom H          fleet-wide memory scaling so the hottest task of
                         the stream fits (default 1.05; 0 disables)

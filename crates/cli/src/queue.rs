@@ -1,10 +1,14 @@
 //! `daghetpart queue` (alias `serve`): online multi-workflow
-//! co-scheduling on one shared cluster.
+//! co-scheduling on one shared cluster, or — with `--clusters` — across
+//! a federation of clusters.
 
 use crate::args::Args;
 use crate::spec::resolve_cluster;
 use dhp_core::partial::Algorithm;
-use dhp_online::{fit_cluster, serve, AdmissionPolicy, LeaseSizing, OnlineConfig};
+use dhp_online::{
+    fit_cluster, serve, serve_federation, AdmissionPolicy, LeaseSizing, OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::Federation;
 use dhp_wfgen::arrivals::ArrivalProcess;
 use dhp_wfgen::Family;
 
@@ -52,11 +56,21 @@ pub fn queue(args: &Args) -> Result<String, String> {
         ));
     }
 
-    let mut cluster = resolve_cluster(args.get_or("cluster", "default"))?;
-    if let Some(beta) = args.get("bandwidth") {
-        let beta: f64 = beta.parse().map_err(|_| format!("--bandwidth: {beta:?}"))?;
-        cluster = cluster.with_bandwidth(positive(beta, "--bandwidth")?);
+    // `--clusters a,b,...` switches to the federation tier; `--cluster`
+    // keeps the single-cluster engine. Naming both is ambiguous.
+    if args.get("cluster").is_some() && args.get("clusters").is_some() {
+        return Err("--cluster and --clusters are mutually exclusive".into());
     }
+    if args.get("routing").is_some() && args.get("clusters").is_none() {
+        return Err("--routing requires --clusters (a federation to route across)".into());
+    }
+    let bandwidth = match args.get("bandwidth") {
+        Some(beta) => {
+            let beta: f64 = beta.parse().map_err(|_| format!("--bandwidth: {beta:?}"))?;
+            Some(positive(beta, "--bandwidth")?)
+        }
+        None => None,
+    };
 
     // `--unique K` generates a repeat-heavy trace: K distinct instances
     // cycled for n submissions (production-shaped traffic, ideal for
@@ -74,11 +88,8 @@ pub fn queue(args: &Args) -> Result<String, String> {
     // never trigger — usage error instead of a silently static run.
     let elastic = args.get_positive_usize("elastic")?;
     let headroom = args.get_f64("headroom", 1.05)?;
-    if headroom != 0.0 {
-        if headroom < 1.0 {
-            return Err("--headroom must be >= 1 (or 0 to disable)".into());
-        }
-        cluster = fit_cluster(&cluster, &subs, headroom);
+    if headroom != 0.0 && headroom < 1.0 {
+        return Err("--headroom must be >= 1 (or 0 to disable)".into());
     }
 
     let cfg = OnlineConfig {
@@ -90,8 +101,71 @@ pub fn queue(args: &Args) -> Result<String, String> {
         // per probe (identical scheduling outcome, only slower — the
         // solver statistics in the report show the difference).
         solve_cache: !args.switch("no-solve-cache"),
+        // `--cache-cap N` bounds the solve cache to an LRU capacity;
+        // evictions surface in the report's solver statistics.
+        cache_cap: args.get_positive_usize("cache-cap")?,
+        // `--cache-aware` prefers warm-cache candidates among equally
+        // eligible backfill ties.
+        cache_aware: args.switch("cache-aware"),
         elastic,
     };
+    if cfg.cache_cap.is_some() && !cfg.solve_cache {
+        return Err("--cache-cap is meaningless with --no-solve-cache".into());
+    }
+    if cfg.cache_aware && !cfg.solve_cache {
+        return Err("--cache-aware is meaningless with --no-solve-cache \
+                    (nothing is ever warm in a disabled cache)"
+            .into());
+    }
+
+    // ------------------------------------------------ federation path
+    if let Some(spec) = args.get("clusters") {
+        let routing = RoutingPolicy::parse(args.get_or("routing", "least-loaded"))
+            .ok_or("unknown --routing (round-robin|least-loaded|best-fit)")?;
+        let mut members = Vec::new();
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let mut c = resolve_cluster(name)?;
+            if let Some(beta) = bandwidth {
+                c = c.with_bandwidth(beta);
+            }
+            if headroom != 0.0 {
+                c = fit_cluster(&c, &subs, headroom);
+            }
+            members.push(c);
+        }
+        if members.is_empty() {
+            return Err("--clusters must name at least one cluster".into());
+        }
+        let federation = Federation::new(members);
+        let out = serve_federation(&federation, subs, &cfg, routing);
+        let text = if args.switch("summary") {
+            out.report.summary()
+        } else {
+            out.report.to_json()
+        };
+        if let Some(path) = args.get("output") {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            return Ok(format!(
+                "wrote {path}: {} members, {} completed, {} rejected, \
+                 {} spillovers, utilization {:.1}%",
+                out.report.clusters.len(),
+                out.report.fleet.completed,
+                out.report.fleet.rejected,
+                out.report.spillovers,
+                100.0 * out.report.fleet.utilization
+            ));
+        }
+        return Ok(text);
+    }
+
+    // --------------------------------------------- single-cluster path
+    let mut cluster = resolve_cluster(args.get_or("cluster", "default"))?;
+    if let Some(beta) = bandwidth {
+        cluster = cluster.with_bandwidth(beta);
+    }
+    if headroom != 0.0 {
+        cluster = fit_cluster(&cluster, &subs, headroom);
+    }
     let out = serve(&cluster, subs, &cfg);
 
     let text = if args.switch("summary") {
@@ -281,6 +355,80 @@ mod tests {
         );
         let err = cli("queue --workflows 4 --elastic -1").unwrap_err();
         assert!(err.contains("--elastic"), "{err}");
+    }
+
+    #[test]
+    fn federation_clusters_and_routing_serve() {
+        let base = "queue --workflows 6 --families blast --tasks 20-30 \
+                    --process burst --seed 7 --clusters small,small";
+        for routing in ["round-robin", "least-loaded", "best-fit"] {
+            let out = cli(&format!("{base} --routing {routing}")).unwrap();
+            let report: dhp_online::FederationReport = serde_json::from_str(&out).unwrap();
+            assert_eq!(report.routing, routing);
+            assert_eq!(report.clusters.len(), 2);
+            assert_eq!(report.total_procs, 36);
+            assert_eq!(report.fleet.completed + report.fleet.rejected, 6);
+            let served: usize = report.clusters.iter().map(|c| c.fleet.completed).sum();
+            assert_eq!(served, report.fleet.completed);
+        }
+        // Routing defaults to least-loaded; the summary names it.
+        let summary = cli(&format!("{base} --summary")).unwrap();
+        assert!(summary.contains("routing least-loaded"), "{summary}");
+        assert!(summary.contains("cluster 1:"), "{summary}");
+        // Deterministic like the single-cluster path.
+        assert_eq!(cli(base).unwrap(), cli(base).unwrap());
+    }
+
+    #[test]
+    fn cache_cap_bounds_the_cache_and_reports_evictions() {
+        let out = cli("queue --workflows 12 --unique 4 --families blast \
+             --tasks 26-40 --process uniform --interval 15 --cluster small \
+             --seed 7 --cache-cap 1")
+        .unwrap();
+        let capped: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert!(
+            capped.fleet.solve_cache_evictions > 0,
+            "a 1-entry cache on a 4-topology trace must evict"
+        );
+        // The cap changes solver effort only, never the schedule.
+        let out = cli("queue --workflows 12 --unique 4 --families blast \
+             --tasks 26-40 --process uniform --interval 15 --cluster small \
+             --seed 7")
+        .unwrap();
+        let unbounded: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        let mut a = capped.clone();
+        let mut b = unbounded.clone();
+        a.fleet.clear_solve_stats();
+        b.fleet.clear_solve_stats();
+        assert_eq!(a.to_json(), b.to_json());
+        // `--cache-aware` parses and serves.
+        let out = cli("queue --workflows 6 --unique 2 --families blast \
+             --tasks 20-30 --process burst --cluster small --seed 7 \
+             --policy fifo-backfill --cache-aware")
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 6);
+    }
+
+    #[test]
+    fn federation_and_cache_flag_misuse_is_rejected() {
+        let err = cli("queue --workflows 4 --routing least-loaded").unwrap_err();
+        assert!(err.contains("--routing requires --clusters"), "{err}");
+        let err = cli("queue --workflows 4 --cluster small --clusters small,small").unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = cli("queue --workflows 4 --clusters small,small --routing nosuch").unwrap_err();
+        assert!(err.contains("--routing"), "{err}");
+        let err = cli("queue --workflows 4 --cache-cap 0").unwrap_err();
+        assert!(
+            err.contains("--cache-cap") && err.contains("positive"),
+            "{err}"
+        );
+        let err = cli("queue --workflows 4 --cache-cap 10 --no-solve-cache").unwrap_err();
+        assert!(err.contains("--cache-cap"), "{err}");
+        let err = cli("queue --workflows 4 --cache-aware --no-solve-cache").unwrap_err();
+        assert!(err.contains("--cache-aware"), "{err}");
+        let err = cli("queue --workflows 4 --clusters ,").unwrap_err();
+        assert!(err.contains("at least one cluster"), "{err}");
     }
 
     #[test]

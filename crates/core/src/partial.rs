@@ -1,6 +1,7 @@
 //! Scheduling onto partial clusters (processor leases).
 //!
-//! The offline heuristics map one workflow onto a whole [`Cluster`].
+//! The offline heuristics map one workflow onto a whole
+//! [`Cluster`](dhp_platform::Cluster).
 //! The online engine instead hands each workflow a
 //! [`SubCluster`] lease and needs the resulting
 //! [`Mapping`] expressed in the *parent* cluster's processor ids, so
@@ -189,6 +190,10 @@ pub struct SolveCacheStats {
     /// Calls that ran a solver. With the cache disabled every call is a
     /// miss, so this field always counts solver invocations.
     pub misses: u64,
+    /// Entries evicted by a capacity-bounded cache
+    /// ([`SolveCache::with_capacity`]); always 0 for the unbounded
+    /// default.
+    pub evictions: u64,
 }
 
 /// Cache key: everything a solve outcome depends on.
@@ -226,19 +231,63 @@ enum CachedSolve {
 /// distinct keys solve in parallel. Two concurrent misses on the *same*
 /// key would both solve and last-write-wins; the engine avoids this by
 /// deduplicating its parallel baseline batch up front.
+///
+/// [`SolveCache::with_capacity`] bounds the cache to an LRU capacity:
+/// every hit refreshes its entry's recency stamp, and an insert that
+/// would exceed the bound first evicts the least-recently-used entry
+/// (evictions are counted in [`SolveCacheStats::evictions`]). Unbounded
+/// streams of novel topologies therefore cannot grow memory without
+/// limit.
 #[derive(Debug, Default)]
 pub struct SolveCache {
     enabled: bool,
-    map: parking_lot::Mutex<HashMap<SolveKey, CachedSolve>>,
+    /// LRU bound; `None` = unbounded.
+    capacity: Option<usize>,
+    store: parking_lot::Mutex<Store>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The memoization map plus the monotone recency clock. Both live
+/// under one mutex: a hit's stamp refresh and an insert's eviction
+/// must observe a consistent (entry, stamp) view.
+#[derive(Debug, Default)]
+struct Store {
+    entries: HashMap<SolveKey, (CachedSolve, u64)>,
+    tick: u64,
+}
+
+impl Store {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 impl SolveCache {
-    /// An empty, enabled cache.
+    /// An empty, enabled, unbounded cache.
     pub fn new() -> Self {
         SolveCache {
             enabled: true,
+            ..SolveCache::default()
+        }
+    }
+
+    /// An empty, enabled cache holding at most `capacity` entries, the
+    /// least-recently-used evicted first.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity cache is
+    /// [`SolveCache::disabled`].
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a zero-capacity cache cannot memoize; use SolveCache::disabled()"
+        );
+        SolveCache {
+            enabled: true,
+            capacity: Some(capacity),
             ..SolveCache::default()
         }
     }
@@ -255,9 +304,14 @@ impl SolveCache {
         self.enabled
     }
 
+    /// The LRU bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.store.lock().entries.len()
     }
 
     /// True when nothing is memoized yet.
@@ -265,12 +319,58 @@ impl SolveCache {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> SolveCacheStats {
         SolveCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether a *solved* entry for this exact key is memoized right
+    /// now. A pure peek: it neither counts as a hit nor refreshes the
+    /// entry's LRU stamp — the online engine's cache-aware admission
+    /// tiebreak consults it without perturbing the statistics the
+    /// reports pin.
+    pub fn is_warm(
+        &self,
+        fingerprint: u64,
+        shape: u64,
+        algorithm: Algorithm,
+        config_hash: u64,
+    ) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let key: SolveKey = (fingerprint, shape, algorithm, config_hash);
+        matches!(
+            self.store.lock().entries.get(&key),
+            Some((CachedSolve::Solved(_), _))
+        )
+    }
+
+    /// Memoizes `value` under `key`, evicting the least-recently-used
+    /// entry first when the capacity bound would be exceeded.
+    fn insert(&self, key: SolveKey, value: CachedSolve) {
+        let mut store = self.store.lock();
+        if let Some(cap) = self.capacity {
+            while store.entries.len() >= cap && !store.entries.contains_key(&key) {
+                // Stamps are unique (the tick is monotone under the
+                // lock), so the victim is well-defined and eviction
+                // order is the recency order.
+                let victim = store
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| *k)
+                    .expect("len >= cap >= 1 entries");
+                store.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = store.touch();
+        store.entries.insert(key, (value, stamp));
     }
 
     /// Hash of a solver configuration, for the cache key. Computed over
@@ -300,9 +400,16 @@ impl SolveCache {
         }
         let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
         // Cheap under the lock: an Arc refcount bump (or the unit
-        // NoSolution marker); the O(tasks) materialisation below runs
-        // with the lock released.
-        let cached: Option<CachedSolve> = self.map.lock().get(&key).cloned();
+        // NoSolution marker) plus the LRU stamp refresh; the O(tasks)
+        // materialisation below runs with the lock released.
+        let cached: Option<CachedSolve> = {
+            let mut store = self.store.lock();
+            let tick = store.touch();
+            store.entries.get_mut(&key).map(|e| {
+                e.1 = tick;
+                e.0.clone()
+            })
+        };
         if let Some(entry) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return match entry {
@@ -319,12 +426,11 @@ impl SolveCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         match schedule_on_subcluster(g, sub, algorithm, cfg) {
             Err(SchedError::NoSolution) => {
-                self.map.lock().insert(key, CachedSolve::NoSolution);
+                self.insert(key, CachedSolve::NoSolution);
                 Err(SchedError::NoSolution)
             }
             Ok(sched) => {
-                let entry = CachedSolve::Solved(Arc::new(sched.local.clone()));
-                self.map.lock().insert(key, entry);
+                self.insert(key, CachedSolve::Solved(Arc::new(sched.local.clone())));
                 Ok(sched)
             }
         }
@@ -609,6 +715,89 @@ mod tests {
             &cache,
             SolveCache::config_hash(&cfg),
         );
+    }
+
+    #[test]
+    fn capped_cache_evicts_least_recently_used() {
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let graphs: Vec<Dag> = (4..7).map(|n| builder::chain(n, 2.0, 4.0, 1.0)).collect();
+        let solve = |g: &Dag| {
+            cache
+                .schedule(g, g.fingerprint(), &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap()
+        };
+        solve(&graphs[0]); // miss, {g0}
+        solve(&graphs[1]); // miss, {g0, g1}
+        solve(&graphs[0]); // hit — refreshes g0's recency
+        solve(&graphs[2]); // miss at capacity: evicts g1 (the LRU), {g0, g2}
+        assert_eq!(cache.len(), 2);
+        assert!(cache.is_warm(
+            graphs[0].fingerprint(),
+            sub.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
+        assert!(!cache.is_warm(
+            graphs[1].fingerprint(),
+            sub.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
+        solve(&graphs[0]); // still a hit: the refresh protected it
+        solve(&graphs[1]); // miss again (was evicted): evicts g2
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 4, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn is_warm_peeks_without_touching_stats() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let shape = sub.shape_signature();
+        assert!(!cache.is_warm(fp, shape, Algorithm::DagHetPart, chash));
+        cache
+            .schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+            .unwrap();
+        assert!(cache.is_warm(fp, shape, Algorithm::DagHetPart, chash));
+        // Peeking is free: the counters only saw the one real solve.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        // A memoized NoSolution is not "warm" (it will not admit), and
+        // a disabled cache is never warm.
+        let big = builder::chain(40, 1.0, 30.0, 5.0);
+        let tiny = c.subcluster(&[ProcId(2)]);
+        let _ = cache.schedule(
+            &big,
+            big.fingerprint(),
+            &tiny,
+            Algorithm::DagHetPart,
+            &cfg,
+            chash,
+        );
+        assert!(!cache.is_warm(
+            big.fingerprint(),
+            tiny.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
+        assert!(!SolveCache::disabled().is_warm(fp, shape, Algorithm::DagHetPart, chash));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_cache_is_a_caller_bug() {
+        SolveCache::with_capacity(0);
     }
 
     #[test]

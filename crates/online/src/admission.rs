@@ -1,0 +1,728 @@
+//! The admission layer: candidate passes, lease probing, and head
+//! reservations.
+//!
+//! At every event boundary the engine runs `admission_passes`:
+//!
+//! 1. the admission policy ranks the queue
+//!    ([`AdmissionPolicy`]);
+//! 2. a lease is sized and the highest-memory free processors are
+//!    carved into a [`SubCluster`] view;
+//! 3. the offline solver maps the workflow onto the lease; on
+//!    `NoSolution` the lease size is doubled (up to all free
+//!    processors), after which the workflow either waits for more
+//!    capacity or — if the whole idle cluster cannot hold it — is
+//!    rejected;
+//! 4. the discrete-event simulator executes the mapping on the lease
+//!    view, fixing the completion instant and per-processor busy time.
+//!
+//! Under `FifoBackfill` the pass additionally performs *conservative
+//! backfilling*: when the FIFO head cannot be placed, its
+//! **reservation** is computed (`head_reservation`) — the earliest
+//! instant at which, replaying the pending completions in time order,
+//! enough processors free up for the head to be placeable — and later
+//! arrivals are admitted only if their simulated finish does not push
+//! past that reservation. Per pass, at most [`BACKFILL_DEPTH`]
+//! candidates are solver-evaluated; candidates whose work lower bound
+//! already overshoots the reservation are skipped for free. A single
+//! pass may admit several candidates; after every same-pass grant the
+//! pass's cached state is refreshed — the free-speed aggregate drops by
+//! the granted lease's speeds, and the conservative reservation is
+//! re-derived against the shrunken free set before it filters the next
+//! candidate (each computation is recorded as a [`ReservationRecord`]
+//! for the pinning tests).
+//!
+//! `EasyBackfill` is the *aggressive* (EASY) split of the same idea:
+//! the blocked head's reservation is computed lazily **once per event**
+//! (not re-derived per pass) and a later arrival that places *now* is
+//! admitted even when its simulated finish runs past the reservation,
+//! provided the head would still be placeable at the reservation
+//! instant on the processors the backfill leaves behind
+//! (`head_fits_at`). Safe (within-reservation) grants are made first
+//! — EASY's same-instant admissions are a superset of the conservative
+//! ones — and the aggressive grants deliberately check against the
+//! reservation's original completion replay, trading the conservative
+//! never-delay-the-head guarantee for throughput.
+//!
+//! With [`OnlineConfig::cache_aware`](crate::engine::OnlineConfig) set,
+//! equally eligible backfill candidates (same arrival instant, under a
+//! backfilling policy) are tried warm-cache-first: a candidate whose
+//! `(fingerprint, lease shape)` already has a memoized solve admits in
+//! O(1) where a cold one pays a solver run, so preferring it spends the
+//! backfill window's bounded probe budget where it is cheapest. The
+//! tiebreak never reorders across arrival instants — eligibility still
+//! ranks first, the cache only splits ties.
+
+use crate::engine::OnlineConfig;
+use crate::event::EventQueue;
+use crate::lease::{commit_grant, escalation_sizes, Grant};
+use crate::policy::AdmissionPolicy;
+use crate::report::RejectedRecord;
+use crate::state::{ClusterState, InService, Pending};
+use dhp_core::partial::{SolveCache, SubClusterSchedule};
+use dhp_core::SchedError;
+use dhp_platform::{Cluster, ProcId, SubCluster};
+
+/// How many queued candidates behind a blocked FIFO head are
+/// solver-evaluated per admission pass under
+/// [`AdmissionPolicy::FifoBackfill`] — the backfill window. Bounds the
+/// per-event admission cost on deep queues; cheap work-bound skips do
+/// not count against it.
+pub const BACKFILL_DEPTH: usize = 16;
+
+/// Why the engine (re)computed a head reservation — exposed so tests
+/// can pin the stale-state fixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservationTrigger {
+    /// The effective FIFO head failed to place and opened a backfill
+    /// window.
+    HeadBlocked,
+    /// A same-pass admission invalidated the conservative bound, and it
+    /// was re-derived against the current free set before filtering the
+    /// next candidate (the stale-reservation fix; never emitted by
+    /// [`AdmissionPolicy::EasyBackfill`], whose reservation is
+    /// deliberately computed once per event).
+    PostAdmission,
+}
+
+/// One head-reservation computation (engine instrumentation, not part
+/// of the serialisable report).
+#[derive(Clone, Debug)]
+pub struct ReservationRecord {
+    /// Virtual-clock instant of the computation.
+    pub at: f64,
+    /// Submission id of the blocked head the reservation protects.
+    pub head_id: usize,
+    /// The reservation instant (`f64::INFINITY` when the head is not
+    /// placeable even once everything drains).
+    pub reservation: f64,
+    /// What prompted the computation.
+    pub trigger: ReservationTrigger,
+}
+
+/// Outcome of one admission probe ([`try_admit`]).
+pub(crate) enum Admit {
+    /// Lease granted; box keeps the variant small.
+    Granted(Box<Grant>),
+    /// Cannot be placed on the currently free processors; keep queued.
+    Wait,
+    /// Cannot be placed even on the whole idle cluster; drop.
+    Reject(String),
+}
+
+/// Outcome of one lease-search probe ([`find_placement`]).
+enum Probe {
+    /// A feasible lease (as the solved [`SubCluster`] view, which
+    /// carries the leased global ids) with its schedule.
+    Placed {
+        sub: SubCluster,
+        sched: SubClusterSchedule,
+    },
+    /// The hottest task does not fit the largest free memory.
+    MemoryBlocked { whole_cluster_free: bool },
+    /// No lease carved from the free set admits a valid mapping (also
+    /// covers an empty free set, with `whole_cluster_free` false).
+    Unplaceable { whole_cluster_free: bool },
+}
+
+/// Runs admission passes at the current event boundary until a full
+/// pass changes nothing. One pass may admit (and reject) several
+/// candidates: decisions are recorded against the pass's candidate
+/// order and the queue is compacted only at the end of the pass, so
+/// indices stay valid throughout. After every same-pass grant the
+/// pass's cached state is refreshed — `free_speed` drops by the granted
+/// lease's speeds and a conservative reservation is marked dirty and
+/// lazily re-derived before the next candidate consults it — so neither
+/// can go stale within a pass.
+pub(crate) fn admission_passes(
+    state: &mut ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+) {
+    // EASY's once-per-event head reservation, cached across the passes
+    // of this event: (head id, reservation).
+    let mut event_resv: Option<(usize, f64)> = None;
+    loop {
+        let mut changed = false;
+        let mut order = cfg.policy.candidate_order(&state.queue);
+        if cfg.cache_aware && cfg.policy.backfills() && state.queue.len() > 1 {
+            // Cache-aware tiebreak: among same-arrival backfill
+            // candidates, warm `(fingerprint, shape)` pairs go first.
+            // Warmth is sampled at pass entry; same-pass grants may
+            // stale it, which only costs tiebreak quality, never
+            // eligibility.
+            let queue_len = state.queue.len();
+            let warm: Vec<bool> = state
+                .queue
+                .iter()
+                .map(|p| warm_in_cache(state, p, cfg, cache, config_hash, queue_len))
+                .collect();
+            order.sort_by(|&a, &b| {
+                let (qa, qb) = (&state.queue[a], &state.queue[b]);
+                qa.arrival
+                    .total_cmp(&qb.arrival)
+                    .then(warm[b].cmp(&warm[a]))
+                    .then(qa.id.cmp(&qb.id))
+            });
+        }
+        // Backfilling: once the effective FIFO head fails to place,
+        // its reservation caps every later candidate's simulated
+        // finish. `None` = no cap (head placeable, or a policy
+        // without reservations).
+        let mut reservation: Option<f64> = None;
+        let mut reservation_dirty = false;
+        // Queue index of the blocked head the reservation protects.
+        let mut head_qi: Option<usize> = None;
+        // Aggregate speed of the free processors: a backfill
+        // candidate's makespan is at least `total_work / free_speed`
+        // even with zero communication, so candidates that cannot
+        // possibly beat the reservation are skipped without paying
+        // for a solver run. Kept fresh across same-pass admissions.
+        let mut free_speed: f64 = state.free_speed();
+        let mut evaluated_backfills = 0usize;
+        // Queue indices admitted or rejected this pass.
+        let mut taken: Vec<usize> = Vec::new();
+        // EASY: placeable candidates whose finish (or work bound)
+        // overshoots the reservation — retried aggressively after
+        // every safe grant has been made.
+        let mut deferred: Vec<usize> = Vec::new();
+        for (pos, qi) in order.iter().copied().enumerate() {
+            if state.free_count == 0 {
+                break;
+            }
+            // The *effective head*: every candidate ranked before
+            // this one was taken this pass, so this is the head of
+            // the queue as it will stand after compaction — the
+            // position whose blocking opens a backfill window.
+            let effective_head = taken.len() == pos;
+            if reservation.is_some() {
+                if evaluated_backfills >= BACKFILL_DEPTH {
+                    break;
+                }
+                // Re-derive a dirty conservative bound before it
+                // filters anything: a reservation computed before a
+                // same-pass admission reflects a free set that no
+                // longer exists (the stale-reservation fix). EASY
+                // keeps its event-level reservation by design.
+                if reservation_dirty {
+                    let head = &state.queue[head_qi.expect("a reservation implies a head")];
+                    let fresh = head_reservation(
+                        &state.cluster,
+                        &state.mem_order,
+                        &state.free,
+                        &state.events,
+                        &state.in_service,
+                        head,
+                        cfg,
+                        cache,
+                        config_hash,
+                    );
+                    state.reservations.push(ReservationRecord {
+                        at: clock,
+                        head_id: head.id,
+                        reservation: fresh,
+                        trigger: ReservationTrigger::PostAdmission,
+                    });
+                    reservation = Some(fresh);
+                    reservation_dirty = false;
+                }
+                let resv = reservation.unwrap();
+                if free_speed <= 0.0
+                    || clock + state.queue[qi].total_work / free_speed > resv + 1e-9
+                {
+                    // Cannot possibly finish inside the hole. EASY
+                    // may still take it aggressively in phase 2 —
+                    // but only screen in candidates whose hottest
+                    // task fits the largest free memory, so the
+                    // bounded deferral list is not wasted on
+                    // certainly unplaceable ones.
+                    if cfg.policy == AdmissionPolicy::EasyBackfill
+                        && deferred.len() < BACKFILL_DEPTH
+                    {
+                        let max_free_mem = state
+                            .cluster
+                            .proc_ids()
+                            .filter(|p| state.free[p.idx()])
+                            .map(|p| state.cluster.memory(p))
+                            .fold(0.0, f64::max);
+                        if state.queue[qi].max_task_req <= max_free_mem * (1.0 + 1e-9) {
+                            deferred.push(qi);
+                        }
+                    }
+                    continue;
+                }
+                evaluated_backfills += 1;
+            }
+            match try_admit(
+                &state.cluster,
+                &state.mem_order,
+                &state.free,
+                &state.queue[qi],
+                cfg,
+                cache,
+                config_hash,
+                clock,
+                state.queue.len() - taken.len(),
+                state.cluster_id,
+            ) {
+                Admit::Granted(grant) => {
+                    if let Some(resv) = reservation {
+                        if grant.placement.finish > resv + 1e-9 {
+                            // Would run past the head's reservation
+                            // and delay it — conservative keeps it
+                            // queued, EASY retries it in phase 2.
+                            if cfg.policy == AdmissionPolicy::EasyBackfill
+                                && deferred.len() < BACKFILL_DEPTH
+                            {
+                                deferred.push(qi);
+                            }
+                            continue;
+                        }
+                    }
+                    let fingerprint = state.queue[qi].fingerprint;
+                    free_speed -= commit_grant(*grant, fingerprint, state);
+                    // Only the conservative policy re-derives its
+                    // bound after a grant; EASY's event reservation
+                    // is stale across grants by contract.
+                    if cfg.policy == AdmissionPolicy::FifoBackfill && reservation.is_some() {
+                        reservation_dirty = true;
+                    }
+                    taken.push(qi);
+                    changed = true;
+                }
+                Admit::Wait => {
+                    // Not placeable right now; under FIFO this blocks
+                    // the line, under the others the next candidate
+                    // gets a chance — capped by the head's
+                    // reservation when backfilling.
+                    if cfg.policy.backfills() && effective_head && reservation.is_none() {
+                        let cand = &state.queue[qi];
+                        let resv = match event_resv {
+                            // EASY: reuse this event's reservation,
+                            // computed at most once (stale across
+                            // same-event admissions by design).
+                            Some((id, r))
+                                if cfg.policy == AdmissionPolicy::EasyBackfill && id == cand.id =>
+                            {
+                                r
+                            }
+                            _ => {
+                                let r = head_reservation(
+                                    &state.cluster,
+                                    &state.mem_order,
+                                    &state.free,
+                                    &state.events,
+                                    &state.in_service,
+                                    cand,
+                                    cfg,
+                                    cache,
+                                    config_hash,
+                                );
+                                state.reservations.push(ReservationRecord {
+                                    at: clock,
+                                    head_id: cand.id,
+                                    reservation: r,
+                                    trigger: ReservationTrigger::HeadBlocked,
+                                });
+                                if cfg.policy == AdmissionPolicy::EasyBackfill {
+                                    event_resv = Some((cand.id, r));
+                                }
+                                r
+                            }
+                        };
+                        reservation = Some(resv);
+                        head_qi = Some(qi);
+                    }
+                    continue;
+                }
+                Admit::Reject(reason) => {
+                    let cand = &state.queue[qi];
+                    state.rejected.push(RejectedRecord {
+                        id: cand.id,
+                        name: cand.submission.instance.name.clone(),
+                        arrival: cand.arrival,
+                        rejected_at: clock,
+                        wait: clock - cand.arrival,
+                        reason,
+                        cluster_id: state.cluster_id,
+                    });
+                    taken.push(qi);
+                    changed = true;
+                }
+            }
+        }
+        // EASY phase 2: aggressive backfills. Every safe grant has
+        // already been made above (so EASY's same-instant
+        // admissions are a superset of the conservative ones by
+        // construction); the deferred candidates are now admitted
+        // if they place on the current free set and the head would
+        // still be placeable at the reservation instant on the
+        // processors they leave behind. The check runs against the
+        // reservation's original completion replay — EASY
+        // deliberately does not refresh it, which is exactly the
+        // conservative guarantee being traded away.
+        if cfg.policy == AdmissionPolicy::EasyBackfill {
+            if let (Some(resv), Some(hq)) = (reservation, head_qi) {
+                // The aggressive phase gets its own probe window:
+                // on deep queues phase 1 exhausts the shared one,
+                // and EASY's whole point is paying extra probes for
+                // the grants conservative cannot make.
+                for qi in deferred.into_iter().take(BACKFILL_DEPTH) {
+                    if state.free_count == 0 {
+                        break;
+                    }
+                    let Admit::Granted(grant) = try_admit(
+                        &state.cluster,
+                        &state.mem_order,
+                        &state.free,
+                        &state.queue[qi],
+                        cfg,
+                        cache,
+                        config_hash,
+                        clock,
+                        state.queue.len() - taken.len(),
+                        state.cluster_id,
+                    ) else {
+                        continue;
+                    };
+                    let safe = grant.placement.finish <= resv + 1e-9;
+                    if !safe
+                        && !head_fits_at(
+                            &state.cluster,
+                            &state.mem_order,
+                            &state.free,
+                            &grant.placement.lease,
+                            None,
+                            &state.events,
+                            &state.in_service,
+                            &state.queue[hq],
+                            cfg,
+                            cache,
+                            config_hash,
+                            resv,
+                        )
+                    {
+                        continue;
+                    }
+                    let fingerprint = state.queue[qi].fingerprint;
+                    commit_grant(*grant, fingerprint, state);
+                    taken.push(qi);
+                    changed = true;
+                }
+            }
+        }
+        // Compact the queue: indices taken this pass, removed back
+        // to front so the remaining indices stay valid.
+        taken.sort_unstable_by(|a, b| b.cmp(a));
+        for qi in taken {
+            state.queue.remove(qi);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Whether `cand`'s first admission probe — the lease the engine would
+/// carve for it right now — already has a memoized solve. Consulted by
+/// the cache-aware tiebreak; never touches the cache's statistics or
+/// LRU order.
+fn warm_in_cache(
+    state: &ClusterState,
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    queue_len: usize,
+) -> bool {
+    let free_sorted: Vec<ProcId> = state
+        .mem_order
+        .iter()
+        .copied()
+        .filter(|p| state.free[p.idx()])
+        .collect();
+    if free_sorted.is_empty()
+        || cand.max_task_req > state.cluster.memory(free_sorted[0]) * (1.0 + 1e-9)
+    {
+        return false;
+    }
+    // The same load-aware target `try_admit` will use, so the probed
+    // shape is the lease the engine would actually carve (under
+    // `shrink_under_load` the two would otherwise diverge and the
+    // tiebreak would consult the wrong cache key).
+    let target = cfg
+        .lease
+        .target_under_load(cand.submission.instance.graph.node_count(), queue_len);
+    let size = target.clamp(1, free_sorted.len());
+    let sub = state.cluster.subcluster(&free_sorted[..size]);
+    cache.is_warm(
+        cand.fingerprint,
+        sub.shape_signature(),
+        cfg.algorithm,
+        config_hash,
+    )
+}
+
+/// The single lease search shared by admission ([`try_admit`]) and the
+/// reservation feasibility scan ([`can_place`]): filter the free
+/// processors in canonical memory order, screen the hottest task, and
+/// walk the escalation ladder until a solve succeeds. Both callers
+/// going through one code path (and one [`SolveCache`]) is what kills
+/// the historic double solve — a reservation probe that found a
+/// feasible lease leaves the solved schedule in the cache, and the
+/// later real admission on the same shape replays it instead of
+/// resolving. (The callers' `target`s differ under
+/// `shrink_under_load`, where admission sizes by queue length but the
+/// reservation scan cannot know the future backlog — there the probe
+/// and the admission may walk different lease shapes and the replay is
+/// not guaranteed.)
+#[allow(clippy::too_many_arguments)]
+fn find_placement(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    target: usize,
+) -> Probe {
+    let free_sorted: Vec<ProcId> = mem_order
+        .iter()
+        .copied()
+        .filter(|p| free[p.idx()])
+        .collect();
+    if free_sorted.is_empty() {
+        return Probe::Unplaceable {
+            whole_cluster_free: false,
+        };
+    }
+    let whole_cluster_free = free_sorted.len() == cluster.len();
+
+    // The lease takes the biggest free memories first, so feasibility of
+    // the hottest task is decided by the first free processor.
+    if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
+        return Probe::MemoryBlocked { whole_cluster_free };
+    }
+
+    let g = &cand.submission.instance.graph;
+    for size in escalation_sizes(target, free_sorted.len()) {
+        let sub = cluster.subcluster(&free_sorted[..size]);
+        match cache.schedule(
+            g,
+            cand.fingerprint,
+            &sub,
+            cfg.algorithm,
+            &cfg.solver,
+            config_hash,
+        ) {
+            Err(SchedError::NoSolution) => continue,
+            Ok(sched) => return Probe::Placed { sub, sched },
+        }
+    }
+    Probe::Unplaceable { whole_cluster_free }
+}
+
+/// One admission probe: lease search, simulation, and the would-be
+/// grant (committed by the caller via
+/// [`commit_grant`](crate::lease::commit_grant)).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_admit(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+    queue_len: usize,
+    cluster_id: Option<usize>,
+) -> Admit {
+    let g = &cand.submission.instance.graph;
+    let target = cfg.lease.target_under_load(g.node_count(), queue_len);
+    let (sub, sched) = match find_placement(
+        cluster,
+        mem_order,
+        free,
+        cand,
+        cfg,
+        cache,
+        config_hash,
+        target,
+    ) {
+        Probe::Placed { sub, sched } => (sub, sched),
+        Probe::MemoryBlocked {
+            whole_cluster_free: true,
+        } => {
+            return Admit::Reject(format!(
+                "task requirement {:.2} exceeds every processor memory",
+                cand.max_task_req
+            ))
+        }
+        Probe::Unplaceable {
+            whole_cluster_free: true,
+        } => {
+            return Admit::Reject(format!(
+                "no valid mapping exists on the whole idle cluster \
+                 ({} processors, {:.2} total memory)",
+                cluster.len(),
+                cluster.total_memory()
+            ))
+        }
+        Probe::MemoryBlocked { .. } | Probe::Unplaceable { .. } => return Admit::Wait,
+    };
+    Admit::Granted(Box::new(Grant::build(cand, sub, sched, clock, cluster_id)))
+}
+
+/// Solver feasibility only — can `cand` be placed on the processors
+/// marked free in `free`? Shares [`find_placement`] with [`try_admit`]
+/// (the reservation scan only needs a yes/no, but the solve it pays
+/// for stays in the cache for the eventual admission to reuse). Also
+/// the probe behind federation's `best-fit` routing and cross-cluster
+/// spillover.
+pub(crate) fn can_place(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+) -> bool {
+    let target = cfg
+        .lease
+        .target(cand.submission.instance.graph.node_count());
+    matches!(
+        find_placement(
+            cluster,
+            mem_order,
+            free,
+            cand,
+            cfg,
+            cache,
+            config_hash,
+            target
+        ),
+        Probe::Placed { .. }
+    )
+}
+
+/// The blocked FIFO head's reservation: pending completions are
+/// replayed in `(time, seq)` order onto the current free set, and the
+/// first instant at which the head becomes placeable is returned.
+/// `f64::INFINITY` means the head is not placeable even once everything
+/// drains (it will be rejected when the cluster is idle), so backfill
+/// is unconstrained.
+///
+/// Placeability is monotone in the freed set (freeing more processors
+/// only adds memory), so the earliest feasible prefix of completions is
+/// found by binary search — `O(log k)` solver probes instead of `O(k)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn head_reservation(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    events: &EventQueue,
+    in_service: &[Option<InService>],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+) -> f64 {
+    // Stale heap entries (superseded by an elastic growth) free
+    // nothing; only live completions participate in the replay.
+    let mut pending: Vec<&crate::event::Completion> = events
+        .iter()
+        .filter(|c| {
+            in_service[c.slot]
+                .as_ref()
+                .is_some_and(|s| s.live_seq == c.seq)
+        })
+        .collect();
+    pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+    // Placeable once completions[0..=i] have freed their leases?
+    let feasible_after = |i: usize| -> bool {
+        let mut hypothetical = free.to_vec();
+        for c in &pending[..=i] {
+            let done = in_service[c.slot]
+                .as_ref()
+                .expect("pending completion holds its slot");
+            for &p in &done.placement.lease {
+                hypothetical[p.idx()] = true;
+            }
+        }
+        can_place(
+            cluster,
+            mem_order,
+            &hypothetical,
+            cand,
+            cfg,
+            cache,
+            config_hash,
+        )
+    };
+    if pending.is_empty() || !feasible_after(pending.len() - 1) {
+        return f64::INFINITY;
+    }
+    // Smallest i with feasible_after(i); invariant: feasible at `hi`.
+    let (mut lo, mut hi) = (0usize, pending.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible_after(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    pending[hi].time
+}
+
+/// The shared head-placeability replay: with `exclude` (a candidate's
+/// would-be lease, or the processors a growth wants to claim) held
+/// busy past the reservation, is the blocked head still placeable at
+/// `resv` once every pending completion up to that instant has freed
+/// its lease? `skip_slot` drops one workflow's completion from the
+/// replay — the elastic-growth guard passes the candidate's own slot,
+/// whose old completion the swap would supersede.
+///
+/// Used by EASY's aggressive-backfill check (where the replay
+/// deliberately uses the reservation's own completion horizon — it is
+/// *not* refreshed after earlier aggressive grants of the same event,
+/// which is the conservative guarantee EASY trades for throughput:
+/// piled-up aggressive backfills may each pass this check alone yet
+/// jointly delay the head) and by the elastic-growth head guard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn head_fits_at(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    exclude: &[ProcId],
+    skip_slot: Option<usize>,
+    events: &EventQueue,
+    in_service: &[Option<InService>],
+    head: &Pending,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    resv: f64,
+) -> bool {
+    let mut hyp = free.to_vec();
+    for &p in exclude {
+        hyp[p.idx()] = false;
+    }
+    for c in events.iter() {
+        if c.time > resv + 1e-9 || Some(c.slot) == skip_slot {
+            continue;
+        }
+        if let Some(svc) = in_service[c.slot].as_ref() {
+            if svc.live_seq == c.seq {
+                for &p in &svc.placement.lease {
+                    hyp[p.idx()] = true;
+                }
+            }
+        }
+    }
+    can_place(cluster, mem_order, &hyp, head, cfg, cache, config_hash)
+}

@@ -1,74 +1,30 @@
-//! The event-driven co-scheduling engine.
+//! The event-driven co-scheduling engine: a thin orchestrator over the
+//! layered engine modules.
 //!
 //! [`serve`] advances a global virtual clock over two event kinds —
 //! workflow *arrivals* (from the submission stream) and workflow
 //! *completions* (computed by `dhp-sim` on the workflow's lease) — and
-//! runs an admission pass at every event boundary:
+//! at every event boundary runs the admission layer and, when enabled,
+//! the elastic-growth step. The layers:
 //!
-//! 1. the admission policy ranks the queue ([`AdmissionPolicy`]);
-//! 2. the engine sizes a lease ([`LeaseSizing`]) and carves the
-//!    highest-memory free processors into a
-//!    [`SubCluster`] view;
-//! 3. the offline solver maps the workflow onto the lease
-//!    ([`schedule_on_subcluster`]); on `NoSolution` the lease size is
-//!    doubled (up to all free processors), after which the workflow
-//!    either waits for more capacity or — if the whole idle cluster
-//!    cannot hold it — is rejected;
-//! 4. the discrete-event simulator executes the mapping on the lease
-//!    view, fixing the completion instant and per-processor busy time.
+//! * `event` — the virtual-clock completion heap and the
+//!   `(time, seq)` staleness discipline;
+//! * `state` — `ClusterState`: the free set, the admission
+//!   queue, in-service bookkeeping and accumulating run results;
+//! * [`crate::admission`] — the policy passes
+//!   (`admission_passes`),
+//!   conservative/EASY backfilling, head reservations;
+//! * [`crate::lease`] — grant construction/commitment, the lease
+//!   escalation ladder, elastic growth (`run_growth`).
 //!
-//! Under [`AdmissionPolicy::FifoBackfill`] the engine additionally
-//! performs *conservative backfilling*: when the FIFO head cannot be
-//! placed, its **reservation** is computed — the earliest instant at
-//! which, replaying the pending completions in time order, enough
-//! processors free up for the head to be placeable — and later
-//! arrivals are admitted only if their simulated finish does not push
-//! past that reservation. Backfilled work therefore never delays the
-//! head (its processors are free again by the reservation instant),
-//! but small workflows fill the holes the head cannot use. Per pass, at
-//! most [`BACKFILL_DEPTH`] candidates are solver-evaluated (the
-//! standard backfill-window bound, keeping deep queues from triggering
-//! a solver run per queued workflow at every event); candidates whose
-//! work lower bound already overshoots the reservation are skipped for
-//! free and do not count against the window. A single pass may admit
-//! several candidates; after every same-pass grant the pass's cached
-//! state is refreshed — the free-speed aggregate behind the work lower
-//! bound drops by the granted lease's speeds, and the conservative
-//! reservation is re-derived against the shrunken free set before it
-//! filters the next candidate — so neither can go stale within a pass
-//! (each computation is recorded as a [`ReservationRecord`] for the
-//! pinning tests).
-//!
-//! [`AdmissionPolicy::EasyBackfill`] is the *aggressive* (EASY) split
-//! of the same idea: the blocked head's reservation is computed lazily
-//! **once per event** (not re-derived per pass) and a later arrival
-//! that places *now* is admitted even when its simulated finish runs
-//! past the reservation, provided the head would still be placeable at
-//! the reservation instant on the processors the backfill leaves
-//! behind. Safe (within-reservation) grants are made first — EASY's
-//! same-instant admissions are a superset of the conservative ones —
-//! and the aggressive grants deliberately check against the
-//! reservation's original completion replay, trading the conservative
-//! never-delay-the-head guarantee for throughput.
-//!
-//! With [`OnlineConfig::elastic`] set, a completion event whose freed
-//! processors would otherwise idle (fewer queued workflows than the
-//! threshold) *grows* a running lease instead: the in-service workflow
-//! with the most unstarted work has its suffix DAG
-//! ([`dhp_core::partial::solve_suffix`]) re-solved on `lease ∪ freed`
-//! and its placement swapped at the current clock — only when the
-//! re-solve genuinely finishes earlier, and always after the committed
-//! prefix drains, so the swap never overlaps the already-running
-//! tasks. Under a backfilling policy a blocked head keeps its promise:
-//! a growth that would stay busy past the head's reservation is taken
-//! only if the head remains placeable at the reservation instant
-//! without the grown lease. The old completion event goes stale in the
-//! heap and is skipped on pop; [`FleetMetrics::lease_grown`] counts
-//! the swaps.
+//! This module only sequences them — pop events, enqueue arrivals,
+//! admit, grow — and assembles the final [`ServeOutcome`]: the deferred
+//! dedicated-baseline batch plus the fleet metrics.
 //!
 //! Each admitted workflow is also solved once *alone on the whole idle
 //! cluster* ([`dhp_core::partial::dedicated_baseline`]); the resulting
-//! makespan is recorded in its [`WorkflowRecord`] and is the
+//! makespan is recorded in its
+//! [`WorkflowRecord`](crate::report::WorkflowRecord) and is the
 //! denominator of the reported `stretch`, next to the lease-relative
 //! `slowdown`. These whole-cluster solves are **deferred off the
 //! admission critical path**: the engine only remembers each admitted
@@ -85,8 +41,9 @@
 //! is remapped onto the probe's concrete processors. `--no-solve-cache`
 //! (engine: [`OnlineConfig::solve_cache`] = false) bypasses
 //! memoization; the *scheduling outcome is byte-identical either way*
-//! (asserted by `tests/solve_cache.rs`), only the
-//! [`FleetMetrics`] solver statistics differ.
+//! (asserted by `tests/solve_cache.rs`), only the [`FleetMetrics`]
+//! solver statistics differ. [`OnlineConfig::cache_cap`] bounds the
+//! cache to an LRU capacity for unbounded streams.
 //!
 //! Completions at an instant are processed before arrivals at the same
 //! instant (freed processors are visible to the newly arrived work),
@@ -98,25 +55,22 @@
 //! front so its hit/miss counts are independent of thread
 //! interleaving.
 
+use crate::admission::admission_passes;
+use crate::lease::run_growth;
 use crate::policy::{AdmissionPolicy, LeaseSizing};
-use crate::report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
-use crate::submission::Submission;
+use crate::report::{FleetMetrics, ServeReport};
+use crate::state::ClusterState;
+use crate::submission::{peak_overlap, Submission};
 use dhp_core::daghetpart::DagHetPartConfig;
-use dhp_core::fitting::max_task_requirement;
-use dhp_core::mapping::Mapping;
-use dhp_core::partial::{Algorithm, SolveCache, SubClusterSchedule};
+use dhp_core::partial::{Algorithm, SolveCache, SolveCacheStats};
 use dhp_core::SchedError;
-use dhp_platform::{Cluster, ProcId, SubCluster};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use dhp_platform::Cluster;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
-/// How many queued candidates behind a blocked FIFO head are
-/// solver-evaluated per admission pass under
-/// [`AdmissionPolicy::FifoBackfill`] — the backfill window. Bounds the
-/// per-event admission cost on deep queues; cheap work-bound skips do
-/// not count against it.
-pub const BACKFILL_DEPTH: usize = 16;
+pub use crate::admission::{ReservationRecord, ReservationTrigger, BACKFILL_DEPTH};
+pub use crate::state::{Placement, Regrow};
+pub use crate::submission::fit_cluster;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -135,6 +89,21 @@ pub struct OnlineConfig {
     /// stay comparable, but nothing is memoized — the CLI's
     /// `--no-solve-cache` escape hatch.
     pub solve_cache: bool,
+    /// LRU bound on the solve cache (`--cache-cap N`): at most this
+    /// many memoized entries, the least-recently-used evicted first, so
+    /// unbounded submission streams cannot grow memory without limit.
+    /// `None` (default) keeps the cache unbounded. Ignored when
+    /// `solve_cache` is off or when the caller passes its own cache to
+    /// [`serve_with_cache`].
+    pub cache_cap: Option<usize>,
+    /// Cache-aware admission tiebreak (`--cache-aware`): among equally
+    /// eligible backfill candidates (same arrival instant under a
+    /// backfilling policy), try those whose `(fingerprint, lease
+    /// shape)` is already warm in the solve cache first — their probe
+    /// is a cache hit, so the bounded backfill window is spent where
+    /// admission is cheapest. Off by default (keeps the admission order
+    /// byte-identical to the id-tiebreak engine).
+    pub cache_aware: bool,
     /// Elastic lease growth (`--elastic N`): `Some(threshold)` lets a
     /// completion event whose freed processors would otherwise idle —
     /// strictly fewer than `threshold` workflows queued — hand them to
@@ -152,95 +121,11 @@ impl Default for OnlineConfig {
             algorithm: Algorithm::DagHetPart,
             solver: DagHetPartConfig::default(),
             solve_cache: true,
+            cache_cap: None,
+            cache_aware: false,
             elastic: None,
         }
     }
-}
-
-/// A queued workflow with its admission-relevant statistics.
-#[derive(Clone, Debug)]
-pub(crate) struct Pending {
-    pub(crate) id: usize,
-    pub(crate) arrival: f64,
-    pub(crate) total_work: f64,
-    pub(crate) max_task_req: f64,
-    /// [`dhp_dag::Dag::fingerprint`] of the graph, computed once on
-    /// arrival and reused by every cache probe for this workflow.
-    fingerprint: u64,
-    submission: Submission,
-}
-
-/// One granted lease with its full schedule — returned for validation
-/// and replay alongside the serialisable report.
-#[derive(Clone, Debug)]
-pub struct Placement {
-    /// The served submission (graph included).
-    pub submission: Submission,
-    /// The *as-admitted* mapping in parent-cluster processor ids (a
-    /// complete, valid mapping of the whole graph). When `regrow` is
-    /// set, the suffix tasks actually executed per `regrow.mapping`
-    /// instead.
-    pub mapping: Mapping,
-    /// Leased processors (parent ids, grant order). After an elastic
-    /// growth this is the grown lease; the extra processors joined at
-    /// the growth instant, not at `start`.
-    pub lease: Vec<ProcId>,
-    /// Lease grant instant.
-    pub start: f64,
-    /// Completion instant.
-    pub finish: f64,
-    /// The elastic re-solves of this workflow's suffixes, in growth
-    /// order (empty for statically leased workflows). A task's executed
-    /// schedule is given by the *last* entry whose `suffix` contains it
-    /// (earlier entries were superseded before those tasks started), or
-    /// by the as-admitted `mapping` if no entry does.
-    pub regrow: Vec<Regrow>,
-}
-
-/// The re-solved suffix phase of an elastically grown lease.
-#[derive(Clone, Debug)]
-pub struct Regrow {
-    /// Instant the suffix schedule begins: the committed prefix has
-    /// drained by then, and it is never earlier than the growth event.
-    pub at: f64,
-    /// Original node ids of the re-scheduled suffix, ascending
-    /// (index-aligned with `suffix_dag`'s dense local ids).
-    pub suffix: Vec<dhp_dag::NodeId>,
-    /// The induced suffix DAG.
-    pub suffix_dag: dhp_dag::Dag,
-    /// The suffix mapping in parent processor ids — a complete, valid
-    /// mapping of `suffix_dag`.
-    pub mapping: Mapping,
-}
-
-/// Why the engine (re)computed a head reservation — exposed so tests
-/// can pin the stale-state fixes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReservationTrigger {
-    /// The effective FIFO head failed to place and opened a backfill
-    /// window.
-    HeadBlocked,
-    /// A same-pass admission invalidated the conservative bound, and it
-    /// was re-derived against the current free set before filtering the
-    /// next candidate (the stale-reservation fix; never emitted by
-    /// [`AdmissionPolicy::EasyBackfill`], whose reservation is
-    /// deliberately computed once per event).
-    PostAdmission,
-}
-
-/// One head-reservation computation (engine instrumentation, not part
-/// of the serialisable report).
-#[derive(Clone, Debug)]
-pub struct ReservationRecord {
-    /// Virtual-clock instant of the computation.
-    pub at: f64,
-    /// Submission id of the blocked head the reservation protects.
-    pub head_id: usize,
-    /// The reservation instant (`f64::INFINITY` when the head is not
-    /// placeable even once everything drains).
-    pub reservation: f64,
-    /// What prompted the computation.
-    pub trigger: ReservationTrigger,
 }
 
 /// Result of [`serve`]: the serialisable report plus the placements.
@@ -257,67 +142,24 @@ pub struct ServeOutcome {
     pub reservations: Vec<ReservationRecord>,
 }
 
-#[derive(Debug)]
-struct Completion {
-    time: f64,
-    seq: u64,
-    /// Index into `records`/`in_service` bookkeeping.
-    slot: usize,
-}
-
-impl PartialEq for Completion {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+/// Builds the cache [`serve`] runs with: pass-through when
+/// `solve_cache` is off, LRU-bounded when `cache_cap` is set.
+pub(crate) fn make_cache(cfg: &OnlineConfig) -> SolveCache {
+    match (cfg.solve_cache, cfg.cache_cap) {
+        (false, _) => SolveCache::disabled(),
+        (true, None) => SolveCache::new(),
+        (true, Some(cap)) => SolveCache::with_capacity(cap),
     }
-}
-impl Eq for Completion {}
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by (time, seq).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-struct InService {
-    record: WorkflowRecord,
-    placement: Placement,
-    fingerprint: u64,
-    /// Sequence number of this workflow's *live* completion event.
-    /// Elastic growth re-schedules completions by pushing a fresh event
-    /// and bumping this; heap entries whose seq no longer matches are
-    /// stale and skipped on pop.
-    live_seq: u64,
-    /// Absolute per-task start instants under the current schedule (the
-    /// committed/suffix split point of elastic growth).
-    task_start: Vec<f64>,
-    /// Absolute per-task finish instants under the current schedule.
-    task_finish: Vec<f64>,
-    /// Global processor of every task under the current schedule.
-    task_proc: Vec<ProcId>,
-    /// Per-processor busy time already credited to the fleet for this
-    /// workflow (subtracted exactly on an elastic swap).
-    busy: Vec<(ProcId, f64)>,
 }
 
 /// Serves a submission stream on a shared cluster. See the module docs
 /// for the event loop; the returned outcome is deterministic for fixed
 /// inputs. A fresh [`SolveCache`] is created per call (pass-through
-/// when [`OnlineConfig::solve_cache`] is off); use [`serve_with_cache`]
-/// to share one cache across runs.
+/// when [`OnlineConfig::solve_cache`] is off, LRU-bounded under
+/// [`OnlineConfig::cache_cap`]); use [`serve_with_cache`] to share one
+/// cache across runs.
 pub fn serve(cluster: &Cluster, submissions: Vec<Submission>, cfg: &OnlineConfig) -> ServeOutcome {
-    let cache = if cfg.solve_cache {
-        SolveCache::new()
-    } else {
-        SolveCache::disabled()
-    };
+    let cache = make_cache(cfg);
     serve_with_cache(cluster, submissions, cfg, &cache)
 }
 
@@ -331,52 +173,21 @@ pub fn serve_with_cache(
     cfg: &OnlineConfig,
     cache: &SolveCache,
 ) -> ServeOutcome {
-    assert!(
-        !cluster.is_empty(),
-        "serve needs at least one processor (an empty cluster can admit nothing)"
-    );
     let config_hash = SolveCache::config_hash(&cfg.solver);
     let stats_at_entry = cache.stats();
     let mut subs = submissions;
     subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
 
-    // Free processors, scanned in the heuristics' canonical
-    // memory-descending order so every lease grabs the biggest free
-    // memories first (feasibility is monotone in that choice).
-    let mem_order: Vec<ProcId> = cluster.ids_by_memory_desc();
-    let mut free = vec![true; cluster.len()];
-    let mut free_count = cluster.len();
-
-    let mut queue: Vec<Pending> = Vec::new();
-    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-
-    let mut in_service: Vec<Option<InService>> = Vec::new();
-    let mut finished: Vec<WorkflowRecord> = Vec::new();
-    // Fingerprint of finished[i]'s workflow — the deferred baseline
-    // batch deduplicates on these.
-    let mut finished_fp: Vec<u64> = Vec::new();
-    let mut placements: Vec<Placement> = Vec::new();
-    let mut rejected: Vec<RejectedRecord> = Vec::new();
-    let mut busy_time = vec![0.0f64; cluster.len()];
-
+    let mut state = ClusterState::new(cluster, None);
     let mut next_arrival = 0usize;
     let mut clock = 0.0f64;
-    let mut reservations: Vec<ReservationRecord> = Vec::new();
-    let mut lease_grown: u64 = 0;
-    // Completions arm elastic growth, but the growth decision waits
-    // until every same-instant arrival has been queued and offered the
-    // freed processors (completions are processed first at equal
-    // instants, so the flag may carry into the arrival iteration of
-    // the same clock).
-    let mut growth_pending = false;
 
     loop {
         // ------------------------------------------------ next event(s)
         let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
-        let completion_time = events.peek().map(|c| c.time);
+        let completion_time = state.next_completion_time();
         match (completion_time, arrival_time) {
-            (None, None) if queue.is_empty() => break,
+            (None, None) if state.queue.is_empty() => break,
             (None, None) => {
                 // Queue non-empty with nothing in flight: every
                 // processor is free, so the admission pass below must
@@ -387,33 +198,7 @@ pub fn serve_with_cache(
             // must be visible to same-instant arrivals.
             (Some(tc), ta) if ta.is_none_or(|t| tc <= t) => {
                 clock = tc;
-                while let Some(c) = events.peek() {
-                    if c.time > clock {
-                        break;
-                    }
-                    let c = events.pop().unwrap();
-                    // Elastic growth re-schedules completions: a heap
-                    // entry whose seq no longer matches its slot's live
-                    // event is stale — drop it.
-                    let live = in_service[c.slot]
-                        .as_ref()
-                        .is_some_and(|s| s.live_seq == c.seq);
-                    if !live {
-                        continue;
-                    }
-                    let done = in_service[c.slot]
-                        .take()
-                        .expect("live completion holds its slot");
-                    for &p in &done.placement.lease {
-                        debug_assert!(!free[p.idx()]);
-                        free[p.idx()] = true;
-                    }
-                    free_count += done.placement.lease.len();
-                    finished.push(done.record);
-                    finished_fp.push(done.fingerprint);
-                    placements.push(done.placement);
-                    growth_pending = true;
-                }
+                state.process_due_completions(clock);
             }
             (_, Some(ta)) => {
                 clock = ta;
@@ -423,370 +208,55 @@ pub fn serve_with_cache(
                     }
                     let s = subs[next_arrival].clone();
                     next_arrival += 1;
-                    let req = max_task_requirement(&s.instance.graph);
-                    if req > cluster.max_memory() * (1.0 + 1e-9) {
-                        rejected.push(RejectedRecord {
-                            id: s.id,
-                            name: s.instance.name.clone(),
-                            arrival: s.arrival,
-                            rejected_at: clock,
-                            wait: clock - s.arrival,
-                            reason: format!(
-                                "task requirement {req:.2} exceeds the largest processor \
-                                 memory {:.2}",
-                                cluster.max_memory()
-                            ),
-                        });
-                        continue;
-                    }
-                    queue.push(Pending {
-                        id: s.id,
-                        arrival: s.arrival,
-                        total_work: s.instance.graph.total_work(),
-                        max_task_req: req,
-                        fingerprint: s.instance.graph.fingerprint(),
-                        submission: s,
-                    });
+                    state.enqueue_arrival(s, clock);
                 }
             }
             // `(Some, None)` always satisfies the completion guard.
             (Some(_), None) => unreachable!(),
         }
 
-        // ------------------------------------------------ admission pass
-        // Keep admitting until a full pass changes nothing. One pass may
-        // admit (and reject) several candidates: decisions are recorded
-        // against the pass's candidate order and the queue is compacted
-        // only at the end of the pass, so indices stay valid throughout.
-        // After every same-pass grant the pass's cached state is
-        // refreshed — `free_speed` drops by the granted lease's speeds
-        // and a conservative reservation is marked dirty and lazily
-        // re-derived before the next candidate consults it — so neither
-        // can go stale within a pass.
-        //
-        // EASY's once-per-event head reservation, cached across the
-        // passes of this event: (head id, reservation).
-        let mut event_resv: Option<(usize, f64)> = None;
-        loop {
-            let mut changed = false;
-            let order = cfg.policy.candidate_order(&queue);
-            // Backfilling: once the effective FIFO head fails to place,
-            // its reservation caps every later candidate's simulated
-            // finish. `None` = no cap (head placeable, or a policy
-            // without reservations).
-            let mut reservation: Option<f64> = None;
-            let mut reservation_dirty = false;
-            // Queue index of the blocked head the reservation protects.
-            let mut head_qi: Option<usize> = None;
-            // Aggregate speed of the free processors: a backfill
-            // candidate's makespan is at least `total_work / free_speed`
-            // even with zero communication, so candidates that cannot
-            // possibly beat the reservation are skipped without paying
-            // for a solver run. Kept fresh across same-pass admissions.
-            let mut free_speed: f64 = cluster
-                .proc_ids()
-                .filter(|p| free[p.idx()])
-                .map(|p| cluster.speed(p))
-                .sum();
-            let mut evaluated_backfills = 0usize;
-            // Queue indices admitted or rejected this pass.
-            let mut taken: Vec<usize> = Vec::new();
-            // EASY: placeable candidates whose finish (or work bound)
-            // overshoots the reservation — retried aggressively after
-            // every safe grant has been made.
-            let mut deferred: Vec<usize> = Vec::new();
-            for (pos, qi) in order.iter().copied().enumerate() {
-                if free_count == 0 {
-                    break;
-                }
-                // The *effective head*: every candidate ranked before
-                // this one was taken this pass, so this is the head of
-                // the queue as it will stand after compaction — the
-                // position whose blocking opens a backfill window.
-                let effective_head = taken.len() == pos;
-                if reservation.is_some() {
-                    if evaluated_backfills >= BACKFILL_DEPTH {
-                        break;
-                    }
-                    // Re-derive a dirty conservative bound before it
-                    // filters anything: a reservation computed before a
-                    // same-pass admission reflects a free set that no
-                    // longer exists (the stale-reservation fix). EASY
-                    // keeps its event-level reservation by design.
-                    if reservation_dirty {
-                        let head = &queue[head_qi.expect("a reservation implies a head")];
-                        let fresh = head_reservation(
-                            cluster,
-                            &mem_order,
-                            &free,
-                            &events,
-                            &in_service,
-                            head,
-                            cfg,
-                            cache,
-                            config_hash,
-                        );
-                        reservations.push(ReservationRecord {
-                            at: clock,
-                            head_id: head.id,
-                            reservation: fresh,
-                            trigger: ReservationTrigger::PostAdmission,
-                        });
-                        reservation = Some(fresh);
-                        reservation_dirty = false;
-                    }
-                    let resv = reservation.unwrap();
-                    if free_speed <= 0.0 || clock + queue[qi].total_work / free_speed > resv + 1e-9
-                    {
-                        // Cannot possibly finish inside the hole. EASY
-                        // may still take it aggressively in phase 2 —
-                        // but only screen in candidates whose hottest
-                        // task fits the largest free memory, so the
-                        // bounded deferral list is not wasted on
-                        // certainly unplaceable ones.
-                        if cfg.policy == AdmissionPolicy::EasyBackfill
-                            && deferred.len() < BACKFILL_DEPTH
-                        {
-                            let max_free_mem = cluster
-                                .proc_ids()
-                                .filter(|p| free[p.idx()])
-                                .map(|p| cluster.memory(p))
-                                .fold(0.0, f64::max);
-                            if queue[qi].max_task_req <= max_free_mem * (1.0 + 1e-9) {
-                                deferred.push(qi);
-                            }
-                        }
-                        continue;
-                    }
-                    evaluated_backfills += 1;
-                }
-                match try_admit(
-                    cluster,
-                    &mem_order,
-                    &free,
-                    &queue[qi],
-                    cfg,
-                    cache,
-                    config_hash,
-                    clock,
-                    queue.len() - taken.len(),
-                ) {
-                    Admit::Granted(grant) => {
-                        if let Some(resv) = reservation {
-                            if grant.placement.finish > resv + 1e-9 {
-                                // Would run past the head's reservation
-                                // and delay it — conservative keeps it
-                                // queued, EASY retries it in phase 2.
-                                if cfg.policy == AdmissionPolicy::EasyBackfill
-                                    && deferred.len() < BACKFILL_DEPTH
-                                {
-                                    deferred.push(qi);
-                                }
-                                continue;
-                            }
-                        }
-                        let fingerprint = queue[qi].fingerprint;
-                        free_speed -= commit_grant(
-                            *grant,
-                            fingerprint,
-                            cluster,
-                            &mut free,
-                            &mut free_count,
-                            &mut busy_time,
-                            &mut events,
-                            &mut seq,
-                            &mut in_service,
-                        );
-                        // Only the conservative policy re-derives its
-                        // bound after a grant; EASY's event reservation
-                        // is stale across grants by contract.
-                        if cfg.policy == AdmissionPolicy::FifoBackfill && reservation.is_some() {
-                            reservation_dirty = true;
-                        }
-                        taken.push(qi);
-                        changed = true;
-                    }
-                    Admit::Wait => {
-                        // Not placeable right now; under FIFO this blocks
-                        // the line, under the others the next candidate
-                        // gets a chance — capped by the head's
-                        // reservation when backfilling.
-                        if cfg.policy.backfills() && effective_head && reservation.is_none() {
-                            let cand = &queue[qi];
-                            let resv = match event_resv {
-                                // EASY: reuse this event's reservation,
-                                // computed at most once (stale across
-                                // same-event admissions by design).
-                                Some((id, r))
-                                    if cfg.policy == AdmissionPolicy::EasyBackfill
-                                        && id == cand.id =>
-                                {
-                                    r
-                                }
-                                _ => {
-                                    let r = head_reservation(
-                                        cluster,
-                                        &mem_order,
-                                        &free,
-                                        &events,
-                                        &in_service,
-                                        cand,
-                                        cfg,
-                                        cache,
-                                        config_hash,
-                                    );
-                                    reservations.push(ReservationRecord {
-                                        at: clock,
-                                        head_id: cand.id,
-                                        reservation: r,
-                                        trigger: ReservationTrigger::HeadBlocked,
-                                    });
-                                    if cfg.policy == AdmissionPolicy::EasyBackfill {
-                                        event_resv = Some((cand.id, r));
-                                    }
-                                    r
-                                }
-                            };
-                            reservation = Some(resv);
-                            head_qi = Some(qi);
-                        }
-                        continue;
-                    }
-                    Admit::Reject(reason) => {
-                        let cand = &queue[qi];
-                        rejected.push(RejectedRecord {
-                            id: cand.id,
-                            name: cand.submission.instance.name.clone(),
-                            arrival: cand.arrival,
-                            rejected_at: clock,
-                            wait: clock - cand.arrival,
-                            reason,
-                        });
-                        taken.push(qi);
-                        changed = true;
-                    }
-                }
-            }
-            // EASY phase 2: aggressive backfills. Every safe grant has
-            // already been made above (so EASY's same-instant
-            // admissions are a superset of the conservative ones by
-            // construction); the deferred candidates are now admitted
-            // if they place on the current free set and the head would
-            // still be placeable at the reservation instant on the
-            // processors they leave behind. The check runs against the
-            // reservation's original completion replay — EASY
-            // deliberately does not refresh it, which is exactly the
-            // conservative guarantee being traded away.
-            if cfg.policy == AdmissionPolicy::EasyBackfill {
-                if let (Some(resv), Some(hq)) = (reservation, head_qi) {
-                    // The aggressive phase gets its own probe window:
-                    // on deep queues phase 1 exhausts the shared one,
-                    // and EASY's whole point is paying extra probes for
-                    // the grants conservative cannot make.
-                    for qi in deferred.into_iter().take(BACKFILL_DEPTH) {
-                        if free_count == 0 {
-                            break;
-                        }
-                        let Admit::Granted(grant) = try_admit(
-                            cluster,
-                            &mem_order,
-                            &free,
-                            &queue[qi],
-                            cfg,
-                            cache,
-                            config_hash,
-                            clock,
-                            queue.len() - taken.len(),
-                        ) else {
-                            continue;
-                        };
-                        let safe = grant.placement.finish <= resv + 1e-9;
-                        if !safe
-                            && !head_fits_at(
-                                cluster,
-                                &mem_order,
-                                &free,
-                                &grant.placement.lease,
-                                None,
-                                &events,
-                                &in_service,
-                                &queue[hq],
-                                cfg,
-                                cache,
-                                config_hash,
-                                resv,
-                            )
-                        {
-                            continue;
-                        }
-                        let fingerprint = queue[qi].fingerprint;
-                        commit_grant(
-                            *grant,
-                            fingerprint,
-                            cluster,
-                            &mut free,
-                            &mut free_count,
-                            &mut busy_time,
-                            &mut events,
-                            &mut seq,
-                            &mut in_service,
-                        );
-                        taken.push(qi);
-                        changed = true;
-                    }
-                }
-            }
-            // Compact the queue: indices taken this pass, removed back
-            // to front so the remaining indices stay valid.
-            taken.sort_unstable_by(|a, b| b.cmp(a));
-            for qi in taken {
-                queue.remove(qi);
-            }
-            if !changed {
-                break;
-            }
-        }
+        admission_passes(&mut state, cfg, cache, config_hash, clock);
 
-        // --------------------------------------------- elastic growth
-        // Freed processors the queue cannot use right now (it is empty
-        // or below the threshold) are handed to the running workflow
-        // with the most unstarted work: its suffix DAG is re-solved on
-        // the grown lease and the placement swapped at the current
-        // clock — only when the re-solve genuinely finishes earlier.
-        // The decision is deferred while arrivals at this very instant
-        // are still un-queued: they get first claim on the freed
-        // processors (their iteration runs next, at the same clock).
-        // Each successful growth enlists at least one previously free
-        // processor, so the loop terminates.
         let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
-        if let Some(threshold) = cfg.elastic {
-            while growth_pending
-                && !arrivals_pending
-                && queue.len() < threshold
-                && free_count > 0
-                && grow_lease(
-                    cluster,
-                    &mem_order,
-                    &mut free,
-                    &mut free_count,
-                    &mut busy_time,
-                    &mut events,
-                    &mut seq,
-                    &mut in_service,
-                    &queue,
-                    cfg,
-                    cache,
-                    config_hash,
-                    clock,
-                )
-            {
-                lease_grown += 1;
-            }
-        }
-        if !arrivals_pending {
-            growth_pending = false;
-        }
+        run_growth(&mut state, cfg, cache, config_hash, clock, arrivals_pending);
     }
+
+    let mid = cache.stats();
+    finalize(state, cfg, cache, diff_stats(mid, stats_at_entry))
+}
+
+/// `a - b`, counter-wise — solver statistics accumulated between two
+/// snapshots of the same cache.
+pub(crate) fn diff_stats(a: SolveCacheStats, b: SolveCacheStats) -> SolveCacheStats {
+    SolveCacheStats {
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        evictions: a.evictions - b.evictions,
+    }
+}
+
+/// Drains the deferred dedicated-baseline batch and assembles the final
+/// [`ServeOutcome`] from a finished event loop's state. `pre` carries
+/// the solver statistics already accumulated by this run's admission
+/// phase (the federation tier attributes those per cluster; the
+/// single-cluster engine passes the whole-run delta).
+pub(crate) fn finalize(
+    state: ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    pre: SolveCacheStats,
+) -> ServeOutcome {
+    let ClusterState {
+        cluster,
+        mut finished,
+        finished_fp,
+        placements,
+        rejected,
+        busy_time,
+        reservations,
+        lease_grown,
+        ..
+    } = state;
 
     // ------------------------------------------------- baseline batch
     // The dedicated-cluster baselines deferred during admission drain
@@ -796,7 +266,7 @@ pub fn serve_with_cache(
     // counts) and fanned over scoped worker threads sharing the cache.
     // Each job writes its own slot, so the batch is deterministic
     // regardless of thread interleaving.
-    let stats_after_admission = cache.stats();
+    let stats_before_batch = cache.stats();
     let jobs: Vec<usize> = if cache.is_enabled() {
         let mut seen: HashSet<u64> = HashSet::new();
         (0..finished.len())
@@ -833,7 +303,7 @@ pub fn serve_with_cache(
                     *results[j].lock() = Some(cache.dedicated_baseline(
                         g,
                         finished_fp[i],
-                        cluster,
+                        &cluster,
                         cfg.algorithm,
                         &batch_solver,
                         batch_config_hash,
@@ -868,7 +338,7 @@ pub fn serve_with_cache(
             1.0
         };
     }
-    let stats_at_exit = cache.stats();
+    let batch = diff_stats(cache.stats(), stats_before_batch);
 
     // ---------------------------------------------------------- report
     let horizon = finished.iter().map(|r| r.finish).fold(0.0, f64::max);
@@ -938,1364 +408,14 @@ pub fn serve_with_cache(
                 // Solver-effort statistics for *this run's* probes
                 // (admission + reservation scans + baseline batch);
                 // entries carried in by a shared cache surface as hits.
-                solve_cache_hits: stats_at_exit.hits - stats_at_entry.hits,
-                solve_cache_misses: stats_at_exit.misses - stats_at_entry.misses,
-                baseline_solves: stats_at_exit.misses - stats_after_admission.misses,
+                solve_cache_hits: pre.hits + batch.hits,
+                solve_cache_misses: pre.misses + batch.misses,
+                baseline_solves: batch.misses,
+                solve_cache_evictions: pre.evictions + batch.evictions,
                 lease_grown,
             },
         },
         placements,
         reservations,
-    }
-}
-
-/// Everything a granted lease produces: the metrics record, the
-/// placement, per-processor busy time, and the absolute per-task
-/// schedule elastic growth splits at.
-struct Grant {
-    record: WorkflowRecord,
-    placement: Placement,
-    /// Per-processor busy time (global ids, one entry per lease
-    /// processor, in lease-carve order — not sorted).
-    busy: Vec<(ProcId, f64)>,
-    /// Absolute per-task start instants under the admitted schedule.
-    task_start: Vec<f64>,
-    /// Absolute per-task finish instants under the admitted schedule.
-    task_finish: Vec<f64>,
-    /// Global processor of every task under the admitted schedule.
-    task_proc: Vec<ProcId>,
-}
-
-enum Admit {
-    /// Lease granted; box keeps the variant small.
-    Granted(Box<Grant>),
-    /// Cannot be placed on the currently free processors; keep queued.
-    Wait,
-    /// Cannot be placed even on the whole idle cluster; drop.
-    Reject(String),
-}
-
-/// Books a granted lease into the engine state: marks the lease busy,
-/// credits busy time, schedules the completion event and stores the
-/// in-service bookkeeping. Returns the aggregate speed of the leased
-/// processors so the admission pass can refresh its free-speed lower
-/// bound (the stale-`free_speed` fix: after a same-pass grant the bound
-/// must filter against the shrunken free set, not the pass-entry one).
-#[allow(clippy::too_many_arguments)]
-fn commit_grant(
-    grant: Grant,
-    fingerprint: u64,
-    cluster: &Cluster,
-    free: &mut [bool],
-    free_count: &mut usize,
-    busy_time: &mut [f64],
-    events: &mut BinaryHeap<Completion>,
-    seq: &mut u64,
-    in_service: &mut Vec<Option<InService>>,
-) -> f64 {
-    let Grant {
-        record,
-        placement,
-        busy,
-        task_start,
-        task_finish,
-        task_proc,
-    } = grant;
-    // The dedicated-cluster baseline (stretch denominator) is NOT
-    // solved here: admission only notes the fingerprint, and the solves
-    // drain as one deduplicated parallel batch at report time.
-    let mut lease_speed = 0.0;
-    for &p in &placement.lease {
-        debug_assert!(free[p.idx()]);
-        free[p.idx()] = false;
-        lease_speed += cluster.speed(p);
-    }
-    *free_count -= placement.lease.len();
-    for (p, b) in &busy {
-        busy_time[p.idx()] += *b;
-    }
-    let slot = in_service.len();
-    events.push(Completion {
-        time: placement.finish,
-        seq: *seq,
-        slot,
-    });
-    in_service.push(Some(InService {
-        record,
-        placement,
-        fingerprint,
-        live_seq: *seq,
-        task_start,
-        task_finish,
-        task_proc,
-        busy,
-    }));
-    *seq += 1;
-    lease_speed
-}
-
-/// The doubling ladder of candidate lease sizes, `target` up to `cap`
-/// (all free processors). Escalating instead of jumping straight to
-/// "all free processors" keeps one workflow from monopolising the
-/// cluster and serialising the fleet; feasibility outranks the sizing
-/// cap, so escalation may exceed `max_procs`.
-fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
-    let mut sizes = Vec::new();
-    let mut size = target.clamp(1, cap);
-    loop {
-        sizes.push(size);
-        if size == cap {
-            break;
-        }
-        size = (size * 2).min(cap);
-    }
-    sizes
-}
-
-/// Outcome of one lease-search probe ([`find_placement`]).
-enum Probe {
-    /// A feasible lease (as the solved [`SubCluster`] view, which
-    /// carries the leased global ids) with its schedule.
-    Placed {
-        sub: SubCluster,
-        sched: SubClusterSchedule,
-    },
-    /// The hottest task does not fit the largest free memory.
-    MemoryBlocked { whole_cluster_free: bool },
-    /// No lease carved from the free set admits a valid mapping (also
-    /// covers an empty free set, with `whole_cluster_free` false).
-    Unplaceable { whole_cluster_free: bool },
-}
-
-/// The single lease search shared by admission ([`try_admit`]) and the
-/// reservation feasibility scan ([`can_place`]): filter the free
-/// processors in canonical memory order, screen the hottest task, and
-/// walk the escalation ladder until a solve succeeds. Both callers
-/// going through one code path (and one [`SolveCache`]) is what kills
-/// the historic double solve — a reservation probe that found a
-/// feasible lease leaves the solved schedule in the cache, and the
-/// later real admission on the same shape replays it instead of
-/// resolving. (The callers' `target`s differ under
-/// `shrink_under_load`, where admission sizes by queue length but the
-/// reservation scan cannot know the future backlog — there the probe
-/// and the admission may walk different lease shapes and the replay is
-/// not guaranteed.)
-#[allow(clippy::too_many_arguments)]
-fn find_placement(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &[bool],
-    cand: &Pending,
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-    target: usize,
-) -> Probe {
-    let free_sorted: Vec<ProcId> = mem_order
-        .iter()
-        .copied()
-        .filter(|p| free[p.idx()])
-        .collect();
-    if free_sorted.is_empty() {
-        return Probe::Unplaceable {
-            whole_cluster_free: false,
-        };
-    }
-    let whole_cluster_free = free_sorted.len() == cluster.len();
-
-    // The lease takes the biggest free memories first, so feasibility of
-    // the hottest task is decided by the first free processor.
-    if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
-        return Probe::MemoryBlocked { whole_cluster_free };
-    }
-
-    let g = &cand.submission.instance.graph;
-    for size in escalation_sizes(target, free_sorted.len()) {
-        let sub = cluster.subcluster(&free_sorted[..size]);
-        match cache.schedule(
-            g,
-            cand.fingerprint,
-            &sub,
-            cfg.algorithm,
-            &cfg.solver,
-            config_hash,
-        ) {
-            Err(SchedError::NoSolution) => continue,
-            Ok(sched) => return Probe::Placed { sub, sched },
-        }
-    }
-    Probe::Unplaceable { whole_cluster_free }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn try_admit(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &[bool],
-    cand: &Pending,
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-    clock: f64,
-    queue_len: usize,
-) -> Admit {
-    let g = &cand.submission.instance.graph;
-    let target = cfg.lease.target_under_load(g.node_count(), queue_len);
-    let (sub, sched) = match find_placement(
-        cluster,
-        mem_order,
-        free,
-        cand,
-        cfg,
-        cache,
-        config_hash,
-        target,
-    ) {
-        Probe::Placed { sub, sched } => (sub, sched),
-        Probe::MemoryBlocked {
-            whole_cluster_free: true,
-        } => {
-            return Admit::Reject(format!(
-                "task requirement {:.2} exceeds every processor memory",
-                cand.max_task_req
-            ))
-        }
-        Probe::Unplaceable {
-            whole_cluster_free: true,
-        } => {
-            return Admit::Reject(format!(
-                "no valid mapping exists on the whole idle cluster \
-                 ({} processors, {:.2} total memory)",
-                cluster.len(),
-                cluster.total_memory()
-            ))
-        }
-        Probe::MemoryBlocked { .. } | Probe::Unplaceable { .. } => return Admit::Wait,
-    };
-
-    // Execute on the lease view: the virtual clock advances by the
-    // *simulated* makespan, and per-processor busy time feeds fleet
-    // utilisation.
-    let lease: Vec<ProcId> = sub.global_ids().to_vec();
-    let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
-    let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
-    let busy: Vec<(ProcId, f64)> = tl
-        .lanes
-        .iter()
-        .map(|lane| (sub.to_global(lane.proc), lane.busy))
-        .collect();
-    // The absolute per-task schedule: elastic growth later splits it
-    // into the committed prefix and the re-solvable suffix.
-    let task_start: Vec<f64> = sim.task_start.iter().map(|t| clock + t).collect();
-    let task_finish: Vec<f64> = sim.task_finish.iter().map(|t| clock + t).collect();
-    let task_proc: Vec<ProcId> = g
-        .node_ids()
-        .map(|u| {
-            let b = sched.local.mapping.partition.block_of(u).idx();
-            sub.to_global(sched.local.mapping.proc_of_block[b].expect("complete mapping"))
-        })
-        .collect();
-    let start = clock;
-    let finish = clock + sim.makespan;
-    let service = sim.makespan;
-    let record = WorkflowRecord {
-        id: cand.id,
-        name: cand.submission.instance.name.clone(),
-        tasks: g.node_count(),
-        arrival: cand.arrival,
-        start,
-        finish,
-        wait: start - cand.arrival,
-        service,
-        response: finish - cand.arrival,
-        slowdown: if service > 0.0 {
-            (finish - cand.arrival) / service
-        } else {
-            1.0
-        },
-        // Stretch and its dedicated-cluster denominator are filled in
-        // by the deferred baseline batch at report time (so discarded
-        // backfill grants never pay for a whole-cluster solve, and
-        // admitted ones never pay for it on the critical path).
-        stretch: 0.0,
-        baseline_makespan: 0.0,
-        model_makespan: sched.local.makespan,
-        lease: lease.iter().map(|p| p.0).collect(),
-        blocks: sched.local.mapping.num_blocks(),
-        lease_grown: false,
-    };
-    let placement = Placement {
-        submission: cand.submission.clone(),
-        mapping: sched.global,
-        lease,
-        start,
-        finish,
-        regrow: Vec::new(),
-    };
-    Admit::Granted(Box::new(Grant {
-        record,
-        placement,
-        busy,
-        task_start,
-        task_finish,
-        task_proc,
-    }))
-}
-
-/// Solver feasibility only — can `cand` be placed on the processors
-/// marked free in `free`? Shares [`find_placement`] with [`try_admit`]
-/// (the reservation scan only needs a yes/no, but the solve it pays
-/// for stays in the cache for the eventual admission to reuse).
-fn can_place(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &[bool],
-    cand: &Pending,
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-) -> bool {
-    let target = cfg
-        .lease
-        .target(cand.submission.instance.graph.node_count());
-    matches!(
-        find_placement(
-            cluster,
-            mem_order,
-            free,
-            cand,
-            cfg,
-            cache,
-            config_hash,
-            target
-        ),
-        Probe::Placed { .. }
-    )
-}
-
-/// The blocked FIFO head's reservation: pending completions are
-/// replayed in `(time, seq)` order onto the current free set, and the
-/// first instant at which the head becomes placeable is returned.
-/// `f64::INFINITY` means the head is not placeable even once everything
-/// drains (it will be rejected when the cluster is idle), so backfill
-/// is unconstrained.
-///
-/// Placeability is monotone in the freed set (freeing more processors
-/// only adds memory), so the earliest feasible prefix of completions is
-/// found by binary search — `O(log k)` solver probes instead of `O(k)`.
-#[allow(clippy::too_many_arguments)]
-fn head_reservation(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &[bool],
-    events: &BinaryHeap<Completion>,
-    in_service: &[Option<InService>],
-    cand: &Pending,
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-) -> f64 {
-    // Stale heap entries (superseded by an elastic growth) free
-    // nothing; only live completions participate in the replay.
-    let mut pending: Vec<&Completion> = events
-        .iter()
-        .filter(|c| {
-            in_service[c.slot]
-                .as_ref()
-                .is_some_and(|s| s.live_seq == c.seq)
-        })
-        .collect();
-    pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
-    // Placeable once completions[0..=i] have freed their leases?
-    let feasible_after = |i: usize| -> bool {
-        let mut hypothetical = free.to_vec();
-        for c in &pending[..=i] {
-            let done = in_service[c.slot]
-                .as_ref()
-                .expect("pending completion holds its slot");
-            for &p in &done.placement.lease {
-                hypothetical[p.idx()] = true;
-            }
-        }
-        can_place(
-            cluster,
-            mem_order,
-            &hypothetical,
-            cand,
-            cfg,
-            cache,
-            config_hash,
-        )
-    };
-    if pending.is_empty() || !feasible_after(pending.len() - 1) {
-        return f64::INFINITY;
-    }
-    // Smallest i with feasible_after(i); invariant: feasible at `hi`.
-    let (mut lo, mut hi) = (0usize, pending.len() - 1);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if feasible_after(mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    pending[hi].time
-}
-
-/// The shared head-placeability replay: with `exclude` (a candidate's
-/// would-be lease, or the processors a growth wants to claim) held
-/// busy past the reservation, is the blocked head still placeable at
-/// `resv` once every pending completion up to that instant has freed
-/// its lease? `skip_slot` drops one workflow's completion from the
-/// replay — the elastic-growth guard passes the candidate's own slot,
-/// whose old completion the swap would supersede.
-///
-/// Used by EASY's aggressive-backfill check (where the replay
-/// deliberately uses the reservation's own completion horizon — it is
-/// *not* refreshed after earlier aggressive grants of the same event,
-/// which is the conservative guarantee EASY trades for throughput:
-/// piled-up aggressive backfills may each pass this check alone yet
-/// jointly delay the head) and by the elastic-growth head guard.
-#[allow(clippy::too_many_arguments)]
-fn head_fits_at(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &[bool],
-    exclude: &[ProcId],
-    skip_slot: Option<usize>,
-    events: &BinaryHeap<Completion>,
-    in_service: &[Option<InService>],
-    head: &Pending,
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-    resv: f64,
-) -> bool {
-    let mut hyp = free.to_vec();
-    for &p in exclude {
-        hyp[p.idx()] = false;
-    }
-    for c in events.iter() {
-        if c.time > resv + 1e-9 || Some(c.slot) == skip_slot {
-            continue;
-        }
-        if let Some(svc) = in_service[c.slot].as_ref() {
-            if svc.live_seq == c.seq {
-                for &p in &svc.placement.lease {
-                    hyp[p.idx()] = true;
-                }
-            }
-        }
-    }
-    can_place(cluster, mem_order, &hyp, head, cfg, cache, config_hash)
-}
-
-/// One elastic-growth attempt: ranks the in-service workflows by
-/// unstarted work (ties on id), re-solves the best candidate's suffix
-/// DAG on its lease grown by the currently free processors, and swaps
-/// the placement when the re-solve finishes strictly earlier *and*
-/// enlists at least one previously free processor. The suffix schedule
-/// is released only once the committed prefix (running tasks included)
-/// has drained, so the swap never overlaps already-running tasks.
-/// Under a backfilling policy a blocked queue head keeps its promise:
-/// a swap whose grown lease stays busy past the head's reservation is
-/// taken only if the head remains placeable at the reservation instant
-/// without it. At most [`BACKFILL_DEPTH`] candidates are re-solved per
-/// attempt (the admission path's probe-bound discipline). Returns
-/// whether a swap happened.
-#[allow(clippy::too_many_arguments)]
-fn grow_lease(
-    cluster: &Cluster,
-    mem_order: &[ProcId],
-    free: &mut [bool],
-    free_count: &mut usize,
-    busy_time: &mut [f64],
-    events: &mut BinaryHeap<Completion>,
-    seq: &mut u64,
-    in_service: &mut [Option<InService>],
-    queue: &[Pending],
-    cfg: &OnlineConfig,
-    cache: &SolveCache,
-    config_hash: u64,
-    clock: f64,
-) -> bool {
-    let mut cands: Vec<(usize, f64, usize)> = in_service
-        .iter()
-        .enumerate()
-        .filter_map(|(slot, svc)| {
-            let svc = svc.as_ref()?;
-            let g = &svc.placement.submission.instance.graph;
-            let remaining: f64 = g
-                .node_ids()
-                .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
-                .map(|u| g.node(u).work)
-                .sum();
-            (remaining > 0.0).then_some((slot, remaining, svc.record.id))
-        })
-        .collect();
-    cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.cmp(&b.2)));
-    // Bound the solver probes per attempt, mirroring the admission
-    // pass's backfill window — a failed improvement check usually paid
-    // a full suffix solve (suffix shapes are mostly unique, so the
-    // cache rarely answers them).
-    cands.truncate(BACKFILL_DEPTH);
-    let free_ids: Vec<ProcId> = mem_order
-        .iter()
-        .copied()
-        .filter(|p| free[p.idx()])
-        .collect();
-    // The head guard: with a backfilling policy and a blocked head
-    // waiting, the head's current reservation is computed once, and
-    // every swap below must honour it — elastic growth must not seize
-    // the processors the head's promise assumed would be free.
-    let head_guard: Option<(&Pending, f64)> = match queue.first() {
-        Some(head) if cfg.policy.backfills() => {
-            let resv = head_reservation(
-                cluster,
-                mem_order,
-                free,
-                events,
-                &*in_service,
-                head,
-                cfg,
-                cache,
-                config_hash,
-            );
-            resv.is_finite().then_some((head, resv))
-        }
-        _ => None,
-    };
-
-    for (slot, _, _) in cands {
-        let svc = in_service[slot].as_ref().expect("ranked above");
-        let g = &svc.placement.submission.instance.graph;
-        let suffix: Vec<dhp_dag::NodeId> = g
-            .node_ids()
-            .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
-            .collect();
-        // The committed prefix drains first; the suffix schedule is
-        // released at its last finish (cross-boundary files are local
-        // by then — see `solve_suffix`).
-        let release = g
-            .node_ids()
-            .filter(|u| svc.task_start[u.idx()] <= clock + 1e-9)
-            .map(|u| svc.task_finish[u.idx()])
-            .fold(clock, f64::max);
-        let union = cluster
-            .subcluster(&svc.placement.lease)
-            .grown(cluster, &free_ids);
-        let Ok(s) = dhp_core::partial::solve_suffix(
-            g,
-            &suffix,
-            &union,
-            cfg.algorithm,
-            &cfg.solver,
-            cache,
-            config_hash,
-        ) else {
-            continue;
-        };
-        let sim = dhp_sim::simulate(&s.dag, union.cluster(), &s.schedule.local.mapping);
-        let new_finish = release + sim.makespan;
-        if new_finish >= svc.record.finish - 1e-9 {
-            continue; // no genuine win on the grown lease
-        }
-        // Claim only the processors the suffix actually uses; a swap
-        // that enlists no new processor is not a growth (and skipping
-        // it bounds the growth loop by the free count).
-        let old_lease: HashSet<u32> = svc.placement.lease.iter().map(|p| p.0).collect();
-        let mut suffix_proc: Vec<ProcId> = Vec::with_capacity(s.back.len());
-        let mut used_new: Vec<ProcId> = Vec::new();
-        for u in s.dag.node_ids() {
-            let b = s.schedule.local.mapping.partition.block_of(u).idx();
-            let p = union.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"));
-            suffix_proc.push(p);
-            if !old_lease.contains(&p.0) && !used_new.contains(&p) {
-                used_new.push(p);
-            }
-        }
-        if used_new.is_empty() {
-            continue;
-        }
-        // Honour the blocked head's reservation. A swap finishing by
-        // the reservation returns everything it holds in time and
-        // cannot delay the head; one running past it must leave the
-        // head placeable at the reservation instant on what remains —
-        // the current free set minus the newly claimed processors,
-        // plus every other live completion up to the reservation (the
-        // candidate's own old completion no longer happens).
-        if let Some((head, resv)) = head_guard {
-            if new_finish > resv + 1e-9
-                && !head_fits_at(
-                    cluster,
-                    mem_order,
-                    free,
-                    &used_new,
-                    Some(slot),
-                    events,
-                    in_service,
-                    head,
-                    cfg,
-                    cache,
-                    config_hash,
-                    resv,
-                )
-            {
-                continue;
-            }
-        }
-
-        // ---- commit the swap
-        let svc = in_service[slot].as_mut().expect("ranked above");
-        for (i, &orig) in s.back.iter().enumerate() {
-            svc.task_start[orig.idx()] = release + sim.task_start[i];
-            svc.task_finish[orig.idx()] = release + sim.task_finish[i];
-            svc.task_proc[orig.idx()] = suffix_proc[i];
-        }
-        // Replace this workflow's busy-time contribution: subtract
-        // exactly what was credited, re-credit the swapped schedule.
-        for (p, b) in &svc.busy {
-            busy_time[p.idx()] -= *b;
-        }
-        let g = &svc.placement.submission.instance.graph;
-        let mut by_proc: HashMap<ProcId, f64> = HashMap::new();
-        for u in g.node_ids() {
-            *by_proc.entry(svc.task_proc[u.idx()]).or_insert(0.0) +=
-                svc.task_finish[u.idx()] - svc.task_start[u.idx()];
-        }
-        let mut busy: Vec<(ProcId, f64)> = by_proc.into_iter().collect();
-        busy.sort_by_key(|&(p, _)| p);
-        for (p, b) in &busy {
-            busy_time[p.idx()] += *b;
-        }
-        svc.busy = busy;
-        // The grown lease, in the canonical order of the union view.
-        let lease: Vec<ProcId> = union
-            .global_ids()
-            .iter()
-            .copied()
-            .filter(|p| old_lease.contains(&p.0) || used_new.contains(p))
-            .collect();
-        for &p in &used_new {
-            debug_assert!(free[p.idx()]);
-            free[p.idx()] = false;
-        }
-        *free_count -= used_new.len();
-        // Re-schedule the completion; the old heap entry goes stale.
-        events.push(Completion {
-            time: new_finish,
-            seq: *seq,
-            slot,
-        });
-        svc.live_seq = *seq;
-        *seq += 1;
-        let r = &mut svc.record;
-        r.finish = new_finish;
-        r.service = new_finish - r.start;
-        r.response = new_finish - r.arrival;
-        r.slowdown = if r.service > 0.0 {
-            r.response / r.service
-        } else {
-            1.0
-        };
-        r.lease = lease.iter().map(|p| p.0).collect();
-        r.lease_grown = true;
-        svc.placement.finish = new_finish;
-        svc.placement.lease = lease;
-        svc.placement.regrow.push(Regrow {
-            at: release,
-            suffix: s.back,
-            suffix_dag: s.dag,
-            mapping: s.schedule.global,
-        });
-        return true;
-    }
-    false
-}
-
-/// Scales the cluster's memories (smallest proportional factor) so the
-/// hottest task across *all* submissions fits the largest processor
-/// with `headroom` slack — the fleet-level analogue of
-/// [`dhp_core::fitting::scale_cluster_with_headroom`], applied once so
-/// every workflow sees the same shared platform.
-pub fn fit_cluster(cluster: &Cluster, submissions: &[Submission], headroom: f64) -> Cluster {
-    let mut fitted = cluster.clone();
-    for s in submissions {
-        fitted =
-            dhp_core::fitting::scale_cluster_with_headroom(&s.instance.graph, &fitted, headroom);
-    }
-    fitted
-}
-
-/// Largest number of overlapping `[start, finish)` service intervals.
-fn peak_overlap(records: &[WorkflowRecord]) -> usize {
-    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(records.len() * 2);
-    for r in records {
-        edges.push((r.start, 1));
-        edges.push((r.finish, -1));
-    }
-    // Ends before starts at the same instant.
-    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let (mut cur, mut peak) = (0i32, 0i32);
-    for (_, d) in edges {
-        cur += d;
-        peak = peak.max(cur);
-    }
-    peak as usize
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::submission::stream;
-    use dhp_core::mapping::validate;
-    use dhp_platform::Processor;
-    use dhp_wfgen::arrivals::ArrivalProcess;
-    use dhp_wfgen::Family;
-
-    fn small_cluster() -> Cluster {
-        Cluster::new(
-            vec![
-                Processor::new("big", 4.0, 600.0),
-                Processor::new("mid", 2.0, 400.0),
-                Processor::new("mid", 2.0, 400.0),
-                Processor::new("sml", 1.0, 250.0),
-            ],
-            1.0,
-        )
-    }
-
-    fn small_stream(n: usize) -> Vec<Submission> {
-        stream(
-            n,
-            &[Family::Blast, Family::Seismology],
-            (20, 40),
-            &ArrivalProcess::Poisson { rate: 0.05 },
-            42,
-        )
-    }
-
-    #[test]
-    fn serves_everything_on_an_ample_cluster() {
-        let cluster = small_cluster();
-        let out = serve(&cluster, small_stream(6), &OnlineConfig::default());
-        assert_eq!(out.report.fleet.completed, 6);
-        assert_eq!(out.report.fleet.rejected, 0);
-        assert_eq!(out.placements.len(), 6);
-        for p in &out.placements {
-            validate(&p.submission.instance.graph, &cluster, &p.mapping)
-                .expect("global mapping valid against the shared cluster");
-            assert!(p.finish > p.start);
-        }
-        let f = &out.report.fleet;
-        assert!(f.throughput > 0.0);
-        assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
-        assert!(f.mean_slowdown >= 1.0);
-        assert!(f.mean_stretch > 0.0);
-        for r in &out.report.workflows {
-            assert!(r.baseline_makespan.is_finite() && r.baseline_makespan > 0.0);
-            assert!((r.stretch - r.response / r.baseline_makespan).abs() < 1e-12);
-            assert!((r.slowdown - r.response / r.service).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn leases_never_overlap_in_time() {
-        // Every (arrival process × policy) combination must keep the
-        // per-processor served intervals disjoint.
-        let cluster = small_cluster();
-        let processes = [
-            ArrivalProcess::Burst { at: 0.0 },
-            ArrivalProcess::Poisson { rate: 0.05 },
-            ArrivalProcess::Uniform { interval: 10.0 },
-        ];
-        for process in &processes {
-            for policy in AdmissionPolicy::ALL {
-                let cfg = OnlineConfig {
-                    policy,
-                    ..OnlineConfig::default()
-                };
-                let out = serve(
-                    &cluster,
-                    stream(10, &[Family::Blast], (20, 40), process, 7),
-                    &cfg,
-                );
-                assert_eq!(
-                    out.report.fleet.completed,
-                    10,
-                    "{process:?} under {} dropped work",
-                    policy.name()
-                );
-                for p in cluster.proc_ids() {
-                    let mut spans: Vec<(f64, f64)> = out
-                        .report
-                        .workflows
-                        .iter()
-                        .filter(|r| r.lease.contains(&p.0))
-                        .map(|r| (r.start, r.finish))
-                        .collect();
-                    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
-                    for w in spans.windows(2) {
-                        assert!(
-                            w[1].0 >= w[0].1 - 1e-9,
-                            "processor {p} double-leased under {process:?}/{}: {w:?}",
-                            policy.name()
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn hopeless_workflow_is_rejected_not_starved() {
-        // One task needing more memory than any processor has.
-        let mut subs = small_stream(2);
-        let mut g = dhp_dag::Dag::new();
-        g.add_node(5.0, 10_000.0);
-        subs.push(Submission {
-            id: 99,
-            arrival: 0.0,
-            instance: dhp_wfgen::WorkflowInstance {
-                name: "monster".into(),
-                family: None,
-                size_class: dhp_wfgen::SizeClass::Real,
-                requested_size: 1,
-                graph: g,
-            },
-        });
-        let out = serve(&small_cluster(), subs, &OnlineConfig::default());
-        assert_eq!(out.report.fleet.rejected, 1);
-        let rej = &out.report.rejected[0];
-        assert_eq!(rej.id, 99);
-        // Screened out on arrival: the rejection instant is recorded
-        // and the implied wait is zero.
-        assert_eq!(rej.rejected_at, rej.arrival);
-        assert_eq!(rej.wait, 0.0);
-        assert_eq!(out.report.fleet.completed, 2);
-    }
-
-    /// A three-processor cluster where the head needs the (busy) big
-    /// processor: FIFO blocks the line, fifo-backfill serves a small
-    /// later job in the hole without delaying the head's start.
-    fn backfill_scenario() -> (Cluster, Vec<Submission>) {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("big", 1.0, 1000.0),
-                Processor::new("sml", 1.0, 100.0),
-                Processor::new("sml", 1.0, 100.0),
-            ],
-            1.0,
-        );
-        let subs = vec![
-            // Occupies the big-memory processor until t=100.
-            single_task(0, 0.0, 100.0, 900.0, "hog"),
-            // The head: only fits the big processor, so it must wait.
-            single_task(1, 1.0, 10.0, 500.0, "head"),
-            // Small and quick: fits a small processor, done long before
-            // the head's reservation at t=100.
-            single_task(2, 2.0, 1.0, 50.0, "minnow"),
-        ];
-        (cluster, subs)
-    }
-
-    #[test]
-    fn fifo_head_of_line_blocks_but_backfill_fills_the_hole() {
-        let (cluster, subs) = backfill_scenario();
-        let run = |policy| {
-            let cfg = OnlineConfig {
-                policy,
-                ..OnlineConfig::default()
-            };
-            serve(&cluster, subs.clone(), &cfg)
-        };
-        let by_id = |out: &ServeOutcome, id: usize| -> WorkflowRecord {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == id)
-                .unwrap_or_else(|| panic!("workflow {id} not served"))
-                .clone()
-        };
-
-        let fifo = run(AdmissionPolicy::Fifo);
-        let backfill = run(AdmissionPolicy::FifoBackfill);
-        assert_eq!(fifo.report.fleet.completed, 3);
-        assert_eq!(backfill.report.fleet.completed, 3);
-
-        // FIFO: the blocked head holds up the minnow until the hog
-        // completes at t=100.
-        assert_eq!(by_id(&fifo, 1).start, 100.0);
-        assert_eq!(by_id(&fifo, 2).start, 100.0);
-
-        // Backfill: the minnow runs immediately on a small processor...
-        assert_eq!(by_id(&backfill, 2).start, 2.0);
-        // ...without delaying the head past its reservation (t=100, the
-        // hog's completion — identical to the FIFO start).
-        assert_eq!(by_id(&backfill, 1).start, 100.0);
-    }
-
-    /// Pins the stale-state fixes: two same-instant backfills must be
-    /// admitted in ONE pass, with the conservative reservation
-    /// re-derived after the first grant (a `PostAdmission` record) and
-    /// both grants inside the fresh bound. Reverting the fix — keeping
-    /// the pass-entry reservation and free speed across same-pass
-    /// admissions — makes the `PostAdmission` assertion fail.
-    #[test]
-    fn same_pass_admissions_refresh_the_reservation_and_free_speed() {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("big", 1.0, 1000.0),
-                Processor::new("sml", 1.0, 100.0),
-                Processor::new("sml", 1.0, 100.0),
-            ],
-            1.0,
-        );
-        let subs = vec![
-            single_task(0, 0.0, 100.0, 900.0, "hog"),
-            single_task(1, 1.0, 10.0, 500.0, "head"),
-            // Two same-instant backfill candidates: both fit the small
-            // processors and finish far inside the head's reservation
-            // at t=100.
-            single_task(2, 2.0, 1.0, 50.0, "minnow-1"),
-            single_task(3, 2.0, 5.0, 50.0, "minnow-2"),
-        ];
-        let cfg = OnlineConfig {
-            policy: AdmissionPolicy::FifoBackfill,
-            ..OnlineConfig::default()
-        };
-        let out = serve(&cluster, subs, &cfg);
-        assert_eq!(out.report.fleet.completed, 4);
-        let by_id = |id: usize| -> WorkflowRecord {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == id)
-                .unwrap()
-                .clone()
-        };
-        // Both minnows backfill at their shared arrival instant — one
-        // admission pass serves them back to back.
-        assert_eq!(by_id(2).start, 2.0);
-        assert_eq!(by_id(3).start, 2.0);
-        // The head starts exactly at its reservation, never later.
-        assert_eq!(by_id(1).start, 100.0);
-        // The fix's observable: after the first same-pass grant the
-        // reservation was re-derived against the shrunken free set.
-        let post: Vec<&ReservationRecord> = out
-            .reservations
-            .iter()
-            .filter(|r| r.trigger == ReservationTrigger::PostAdmission)
-            .collect();
-        assert!(
-            !post.is_empty(),
-            "no PostAdmission reservation re-derivation recorded: {:?}",
-            out.reservations
-        );
-        // Every reservation ever computed for the head bounds its
-        // actual start (the conservative guarantee), and the same-pass
-        // grants stayed inside the freshest bound.
-        for r in out.reservations.iter().filter(|r| r.head_id == 1) {
-            assert!(by_id(1).start <= r.reservation + 1e-9);
-        }
-        for id in [2usize, 3] {
-            assert!(by_id(id).finish <= 100.0 + 1e-9);
-        }
-    }
-
-    /// EASY vs conservative on a hole the conservative bound cannot
-    /// use: a long-running job fits a small processor the head does not
-    /// need, so `easy-backfill` starts it immediately while
-    /// `fifo-backfill` (whose grants must finish inside the
-    /// reservation) keeps it queued until the head clears — and the
-    /// head starts at its reservation either way.
-    #[test]
-    fn easy_backfill_admits_past_the_reservation_on_spare_processors() {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("big", 1.0, 1000.0),
-                Processor::new("sml", 1.0, 100.0),
-            ],
-            1.0,
-        );
-        let subs = vec![
-            single_task(0, 0.0, 100.0, 900.0, "hog"),
-            single_task(1, 1.0, 10.0, 500.0, "head"),
-            // Runs far past the head's reservation (t=100), but on the
-            // small processor the head cannot use anyway.
-            single_task(2, 2.0, 500.0, 50.0, "whale"),
-        ];
-        let run = |policy| {
-            let cfg = OnlineConfig {
-                policy,
-                ..OnlineConfig::default()
-            };
-            serve(&cluster, subs.clone(), &cfg)
-        };
-        let conservative = run(AdmissionPolicy::FifoBackfill);
-        let easy = run(AdmissionPolicy::EasyBackfill);
-        let start = |out: &ServeOutcome, id: usize| {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == id)
-                .unwrap()
-                .start
-        };
-        // Conservative: the whale's finish (t≈502) overshoots the
-        // reservation, so it waits for the head.
-        assert_eq!(start(&conservative, 2), 100.0);
-        // EASY: admitted immediately — the head still fits the big
-        // processor at the reservation instant.
-        assert_eq!(start(&easy, 2), 2.0);
-        // The head is not delayed in either run.
-        assert_eq!(start(&conservative, 1), 100.0);
-        assert_eq!(start(&easy, 1), 100.0);
-        assert!(easy.report.fleet.mean_wait < conservative.report.fleet.mean_wait);
-        // EASY's same-instant admissions are a superset of the
-        // conservative ones: everything conservative served with zero
-        // wait, EASY served with zero wait too.
-        for r in &conservative.report.workflows {
-            if r.wait == 0.0 {
-                let e = easy.report.workflows.iter().find(|x| x.id == r.id).unwrap();
-                assert_eq!(e.wait, 0.0, "easy delayed {}", r.id);
-            }
-        }
-    }
-
-    /// Elastic growth: a fork workflow serialised on a one-processor
-    /// lease gets the just-freed second processor, its unstarted suffix
-    /// is re-solved on the grown lease, and it finishes much earlier —
-    /// deterministically, with truthful busy-time accounting.
-    #[test]
-    fn elastic_growth_reschedules_the_suffix_on_freed_processors() {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("p0", 1.0, 200.0),
-                Processor::new("p1", 1.0, 200.0),
-            ],
-            1.0,
-        );
-        // root → {a, b, c}: on one processor this serialises to
-        // 1 + 10 + 100 + 100 = 211.
-        let mut g = dhp_dag::Dag::new();
-        let root = g.add_node(1.0, 1.0);
-        for work in [10.0, 100.0, 100.0] {
-            let v = g.add_node(work, 1.0);
-            g.add_edge(root, v, 0.1);
-        }
-        let fork = Submission {
-            id: 1,
-            arrival: 0.0,
-            instance: dhp_wfgen::WorkflowInstance {
-                name: "fork".into(),
-                family: None,
-                size_class: dhp_wfgen::SizeClass::Real,
-                requested_size: 4,
-                graph: g,
-            },
-        };
-        // The blocker holds the other processor until t=5; the fork is
-        // admitted at t=0 on the one remaining processor.
-        let subs = vec![single_task(0, 0.0, 5.0, 1.0, "blocker"), fork];
-        let run = |elastic| {
-            let cfg = OnlineConfig {
-                elastic,
-                ..OnlineConfig::default()
-            };
-            serve(&cluster, subs.clone(), &cfg)
-        };
-        let fixed = run(None);
-        let grown = run(Some(1));
-        let record = |out: &ServeOutcome| {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == 1)
-                .unwrap()
-                .clone()
-        };
-        // Static leases: the fork serialises on its single processor.
-        assert_eq!(fixed.report.fleet.lease_grown, 0);
-        assert!(!record(&fixed).lease_grown);
-        assert_eq!(record(&fixed).finish, 211.0);
-        // Elastic: at t=5 the blocker's processor grows the fork's
-        // lease; the unstarted 100+100 suffix re-solves onto two
-        // processors and the fork finishes at 11 + 100 = 111 (the
-        // committed prefix — root and the running 10-work task —
-        // drains first).
-        assert_eq!(grown.report.fleet.lease_grown, 1);
-        let r = record(&grown);
-        assert!(r.lease_grown);
-        assert_eq!(r.finish, 111.0);
-        assert_eq!(r.lease.len(), 2, "lease did not grow: {:?}", r.lease);
-        // The regrow exposes a valid suffix mapping on the shared
-        // cluster, released only after the committed prefix drained.
-        let p = grown
-            .placements
-            .iter()
-            .find(|p| p.submission.id == 1)
-            .unwrap();
-        assert_eq!(p.regrow.len(), 1, "exactly one growth recorded");
-        let regrow = &p.regrow[0];
-        assert_eq!(regrow.suffix.len(), 2);
-        assert_eq!(regrow.at, 11.0);
-        validate(&regrow.suffix_dag, &cluster, &regrow.mapping)
-            .expect("suffix mapping valid against the shared cluster");
-        // Fleet accounting stays truthful after the swap.
-        let f = &grown.report.fleet;
-        assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
-        assert!(f.utilization >= fixed.report.fleet.utilization - 1e-9);
-        // Byte-identical determinism.
-        let again = run(Some(1));
-        assert_eq!(grown.report.to_json(), again.report.to_json());
-    }
-
-    /// Same-instant arrivals outrank elastic growth (code-review fix):
-    /// a workflow arriving at the very instant a completion frees a
-    /// processor gets that processor, not a running workflow's grown
-    /// lease — completions are processed first at equal instants, so
-    /// the growth decision must wait for the arrival's iteration.
-    #[test]
-    fn elastic_growth_yields_to_same_instant_arrivals() {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("p0", 1.0, 100.0),
-                Processor::new("p1", 1.0, 100.0),
-            ],
-            1.0,
-        );
-        // A serial fork (1 + 10 + 100 + 100) on p1 whose suffix would
-        // love p0 the moment it frees at t=5 — but a newcomer arrives
-        // at exactly t=5 and has first claim.
-        let mut g = dhp_dag::Dag::new();
-        let root = g.add_node(1.0, 1.0);
-        for work in [10.0, 100.0, 100.0] {
-            let v = g.add_node(work, 1.0);
-            g.add_edge(root, v, 0.1);
-        }
-        let subs = vec![
-            single_task(0, 0.0, 5.0, 1.0, "blocker"), // p0 until t=5
-            Submission {
-                id: 1,
-                arrival: 0.0,
-                instance: dhp_wfgen::WorkflowInstance {
-                    name: "grower".into(),
-                    family: None,
-                    size_class: dhp_wfgen::SizeClass::Real,
-                    requested_size: 4,
-                    graph: g,
-                },
-            },
-            single_task(2, 5.0, 7.0, 1.0, "newcomer"),
-        ];
-        let cfg = OnlineConfig {
-            elastic: Some(1),
-            ..OnlineConfig::default()
-        };
-        let out = serve(&cluster, subs, &cfg);
-        let by_id = |id: usize| -> WorkflowRecord {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == id)
-                .unwrap()
-                .clone()
-        };
-        // The newcomer starts the instant the blocker's processor
-        // frees; growing the fork onto it (which would hold it until
-        // t=111) loses to the same-instant arrival.
-        assert_eq!(by_id(2).start, 5.0);
-        assert_eq!(by_id(2).wait, 0.0);
-        assert_eq!(out.report.fleet.lease_grown, 0);
-        assert_eq!(by_id(1).finish, 211.0);
-    }
-
-    /// The head guard (code-review fix): elastic growth must not seize
-    /// free processors a blocked backfill head's reservation assumed
-    /// would be available. The head here needs the big processor (for
-    /// its fat-output root) *plus* one small one; growing the running
-    /// fork onto the free small processor past the reservation would
-    /// push the head from t=100 to t=121 — under `fifo-backfill` the
-    /// guard refuses the swap, under plain `fifo` (no reservations, no
-    /// guarantee) the growth goes ahead and the head waits.
-    #[test]
-    fn elastic_growth_never_delays_a_blocked_backfill_head() {
-        use crate::submission::single_task;
-        let cluster = Cluster::new(
-            vec![
-                Processor::new("big", 1.0, 145.0),
-                Processor::new("sml", 1.0, 90.0),
-                Processor::new("sml", 1.0, 90.0),
-            ],
-            1.0,
-        );
-        // The head: root with two 70-volume output files → any block
-        // holding the root needs >= 141 memory (the big processor), and
-        // a single-processor placement needs >= 150 (nowhere) — so the
-        // head needs big AND a small processor.
-        let mut h = dhp_dag::Dag::new();
-        let p = h.add_node(1.0, 1.0);
-        for _ in 0..2 {
-            let v = h.add_node(100.0, 10.0);
-            h.add_edge(p, v, 70.0);
-        }
-        // The grower: a serial fork (1 + 3×60 work) on one small
-        // processor, whose unstarted suffix would love the other one.
-        let mut g = dhp_dag::Dag::new();
-        let root = g.add_node(1.0, 1.0);
-        for _ in 0..3 {
-            let v = g.add_node(60.0, 1.0);
-            g.add_edge(root, v, 0.1);
-        }
-        let wf = |id: usize, graph: dhp_dag::Dag, name: &str, arrival: f64| Submission {
-            id,
-            arrival,
-            instance: dhp_wfgen::WorkflowInstance {
-                name: name.into(),
-                family: None,
-                size_class: dhp_wfgen::SizeClass::Real,
-                requested_size: graph.node_count(),
-                graph,
-            },
-        };
-        let subs = vec![
-            single_task(0, 0.0, 100.0, 140.0, "hog"), // big until t=100
-            single_task(1, 0.0, 4.0, 85.0, "filler"), // sml1 until t=4
-            wf(2, g, "grower", 0.0),                  // sml2 until t=181
-            wf(3, h, "head", 1.0),                    // blocked: needs big + a sml
-        ];
-        let run = |policy| {
-            let cfg = OnlineConfig {
-                policy,
-                elastic: Some(2),
-                ..OnlineConfig::default()
-            };
-            serve(&cluster, subs.clone(), &cfg)
-        };
-        let start = |out: &ServeOutcome, id: usize| {
-            out.report
-                .workflows
-                .iter()
-                .find(|r| r.id == id)
-                .unwrap()
-                .start
-        };
-        // fifo-backfill: at t=4 the filler's processor frees with only
-        // the head queued; growing the grower onto it (busy until 121)
-        // would overshoot the head's reservation (t=100, when big
-        // frees) — the guard refuses, and the head starts on time.
-        let guarded = run(AdmissionPolicy::FifoBackfill);
-        assert_eq!(guarded.report.fleet.lease_grown, 0);
-        assert_eq!(start(&guarded, 3), 100.0);
-        for r in guarded.reservations.iter().filter(|r| r.head_id == 3) {
-            assert!(start(&guarded, 3) <= r.reservation + 1e-9);
-        }
-        // Plain fifo grants no reservations, so nothing stops the
-        // growth — the grower finishes earlier (121 instead of 181)
-        // and the unprotected head waits for it.
-        let unguarded = run(AdmissionPolicy::Fifo);
-        assert_eq!(unguarded.report.fleet.lease_grown, 1);
-        assert_eq!(start(&unguarded, 3), 121.0);
-    }
-
-    #[test]
-    fn utilization_ignores_leading_dead_time() {
-        // Shifting every arrival by a constant must not deflate
-        // utilization: the measured window starts at the first served
-        // arrival, not at t=0.
-        let cluster = small_cluster();
-        let base = small_stream(6);
-        let shifted = crate::submission::shift_arrivals(base.clone(), 10_000.0);
-        let a = serve(&cluster, base, &OnlineConfig::default());
-        let b = serve(&cluster, shifted, &OnlineConfig::default());
-        assert_eq!(a.report.fleet.completed, b.report.fleet.completed);
-        assert!(
-            (a.report.fleet.utilization - b.report.fleet.utilization).abs() < 1e-9,
-            "shifted trace deflated utilization: {} vs {}",
-            a.report.fleet.utilization,
-            b.report.fleet.utilization
-        );
-        assert!(
-            (b.report.fleet.window_start - (a.report.fleet.window_start + 10_000.0)).abs() < 1e-9
-        );
-        // Throughput is window-relative for the same reason.
-        assert!(
-            (a.report.fleet.throughput - b.report.fleet.throughput).abs() < 1e-9,
-            "shifted trace deflated throughput: {} vs {}",
-            a.report.fleet.throughput,
-            b.report.fleet.throughput
-        );
-    }
-
-    #[test]
-    fn load_aware_sizing_shrinks_leases_under_burst() {
-        // A burst with load-aware sizing must not serialise: leases
-        // shrink with the backlog, so mean lease size drops (or at
-        // least concurrency holds) relative to the load-blind run.
-        let cluster = small_cluster();
-        let subs = stream(
-            8,
-            &[Family::Blast],
-            (40, 60),
-            &ArrivalProcess::Burst { at: 0.0 },
-            13,
-        );
-        let run = |shrink: bool| {
-            let cfg = OnlineConfig {
-                lease: LeaseSizing {
-                    tasks_per_proc: 20,
-                    shrink_under_load: shrink,
-                    ..LeaseSizing::default()
-                },
-                ..OnlineConfig::default()
-            };
-            serve(&cluster, subs.clone(), &cfg)
-        };
-        let blind = run(false);
-        let aware = run(true);
-        assert_eq!(blind.report.fleet.completed, 8);
-        assert_eq!(aware.report.fleet.completed, 8);
-        assert!(
-            aware.report.fleet.mean_lease <= blind.report.fleet.mean_lease + 1e-9,
-            "load-aware sizing grew leases: {} vs {}",
-            aware.report.fleet.mean_lease,
-            blind.report.fleet.mean_lease
-        );
-    }
-
-    #[test]
-    fn identical_runs_produce_identical_reports() {
-        let cluster = small_cluster();
-        let a = serve(&cluster, small_stream(8), &OnlineConfig::default());
-        let b = serve(&cluster, small_stream(8), &OnlineConfig::default());
-        assert_eq!(a.report.to_json(), b.report.to_json());
-    }
-
-    #[test]
-    fn all_policies_serve_the_same_set() {
-        let cluster = small_cluster();
-        for policy in AdmissionPolicy::ALL {
-            let cfg = OnlineConfig {
-                policy,
-                ..OnlineConfig::default()
-            };
-            let out = serve(&cluster, small_stream(8), &cfg);
-            assert_eq!(
-                out.report.fleet.completed,
-                8,
-                "policy {} dropped work",
-                policy.name()
-            );
-            let mut ids: Vec<usize> = out.report.workflows.iter().map(|r| r.id).collect();
-            ids.sort_unstable();
-            assert_eq!(ids, (0..8).collect::<Vec<_>>());
-        }
     }
 }

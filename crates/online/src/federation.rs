@@ -1,0 +1,947 @@
+//! Multi-cluster federation: online co-scheduling across several
+//! independent clusters under one merged virtual clock.
+//!
+//! A [`Federation`] is an ordered list of
+//! member clusters with no cross-cluster interconnect: every workflow
+//! is served entirely inside one member, so the per-cluster engine —
+//! `ClusterState` plus the admission/lease layers — applies
+//! unchanged. This module adds the fleet tier on top:
+//!
+//! * **Routing** ([`RoutingPolicy`]): each arriving workflow is
+//!   assigned a *home* cluster — `round-robin` (arrival order cycling
+//!   the members), `least-loaded` (smallest total queued work), or
+//!   `best-fit` (among members that can place it *right now* — probed
+//!   with the admission layer's own `can_place` — the one with the
+//!   least free speed, i.e. the tightest fit; falling back to
+//!   least-loaded when nobody can place it immediately).
+//! * **Spillover**: when a workflow is still queued after its home
+//!   cluster's admission pass (the home queue blocks), it may migrate
+//!   to the first other member that can place it *now* — remote
+//!   backfilling across the federation. At most
+//!   [`BACKFILL_DEPTH`] queued
+//!   candidates are probed per cluster per event, and a workflow
+//!   migrates at most once per event, so the sweep is bounded and
+//!   ping-pong-free.
+//! * **Shared solve cache**: all members probe one
+//!   [`SolveCache`]. Lease shapes are content-addressed
+//!   (concrete processor ids are not part of the key), so a lease
+//!   solved on one cluster is a cache hit for any identically shaped
+//!   lease on *any other* cluster — on homogeneous federations repeat
+//!   traffic admits in near-O(1) fleet-wide.
+//! * **Merged metrics**: every member produces its own
+//!   [`ServeReport`] (records stamped with the member's `cluster_id`),
+//!   and the [`FederationReport`] adds fleet-level
+//!   [`FleetMetrics`] whose counters are the exact sums of the
+//!   per-cluster ones (solver statistics are attributed to the member
+//!   whose probes caused them).
+//!
+//! Events are processed in the single-cluster engine's order —
+//! completions before arrivals at equal instants, members in index
+//! order — so a federated run is a pure function of
+//! `(federation, submissions, config, routing)`.
+
+use crate::admission::{admission_passes, can_place, BACKFILL_DEPTH};
+use crate::engine::{finalize, make_cache, OnlineConfig, ServeOutcome};
+use crate::lease::run_growth;
+use crate::report::{FleetMetrics, ServeReport, WorkflowRecord};
+use crate::state::{ClusterState, Pending};
+use crate::submission::{peak_overlap, Submission};
+use dhp_core::fitting::max_task_requirement;
+use dhp_core::partial::{SolveCache, SolveCacheStats};
+use dhp_platform::Federation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How an arriving workflow is assigned its home cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Cycle the members in arrival order — oblivious, perfectly fair
+    /// in submission count, blind to load and fit.
+    RoundRobin,
+    /// The member with the least total queued work (ties: smaller
+    /// member index). Queued work is the load signal the admission
+    /// queue itself exposes; in-service work is deliberately ignored —
+    /// a busy cluster with an empty queue is about to be free.
+    LeastLoaded,
+    /// Among members that can place the workflow *right now* (probed
+    /// with the admission layer's `can_place`, so the solve lands in
+    /// the shared cache for the eventual admission to replay), the one
+    /// with the least aggregate free speed — the tightest fit, keeping
+    /// large free pools intact for large arrivals. Falls back to
+    /// least-loaded when no member can place it immediately.
+    BestFit,
+}
+
+impl RoutingPolicy {
+    /// Display/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::BestFit => "best-fit",
+        }
+    }
+
+    /// Parses a CLI routing name.
+    pub fn parse(s: &str) -> Option<RoutingPolicy> {
+        match s {
+            "round-robin" | "rr" => Some(RoutingPolicy::RoundRobin),
+            "least-loaded" | "load" => Some(RoutingPolicy::LeastLoaded),
+            "best-fit" | "fit" => Some(RoutingPolicy::BestFit),
+            _ => None,
+        }
+    }
+
+    /// All routing policies (for sweeps and tests).
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::BestFit,
+    ];
+}
+
+/// Everything one federated serving run reports: per-cluster
+/// [`ServeReport`]s plus fleet-level merged metrics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FederationReport {
+    /// Routing policy name.
+    pub routing: String,
+    /// Admission policy name (shared by every member).
+    pub policy: String,
+    /// Solver name.
+    pub algorithm: String,
+    /// Total processors across the federation.
+    pub total_procs: usize,
+    /// Cross-cluster spillover migrations (a workflow leaving its home
+    /// queue for a member that could place it immediately).
+    pub spillovers: u64,
+    /// Per-member serving reports, in member-index order. Each record
+    /// carries its member's `cluster_id`.
+    pub clusters: Vec<ServeReport>,
+    /// Fleet-level merged metrics: counters are exact sums of the
+    /// per-cluster ones, means are completion-weighted, the horizon and
+    /// utilisation window span the whole federation, and
+    /// `peak_concurrency` is recomputed over the merged record set.
+    pub fleet: FleetMetrics,
+}
+
+impl FederationReport {
+    /// Pretty-printed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// A short human-readable summary: the merged fleet line plus one
+    /// line per member.
+    pub fn summary(&self) -> String {
+        let f = &self.fleet;
+        let mut s = format!(
+            "federation · routing {} · policy {} · {} members · {} procs\n\
+             completed {:>5}   rejected {:>4}   spillovers {:>4}   horizon {:.2}\n\
+             throughput {:.4}/t   utilization {:.1}%   peak concurrency {}\n\
+             wait   mean {:.2}  max {:.2}\n\
+             stretch mean {:.3}  max {:.3}\n\
+             solve cache hits {}  misses {}  evictions {}   leases grown {}\n",
+            self.routing,
+            self.policy,
+            self.clusters.len(),
+            self.total_procs,
+            f.completed,
+            f.rejected,
+            self.spillovers,
+            f.horizon,
+            f.throughput,
+            100.0 * f.utilization,
+            f.peak_concurrency,
+            f.mean_wait,
+            f.max_wait,
+            f.mean_stretch,
+            f.max_stretch,
+            f.solve_cache_hits,
+            f.solve_cache_misses,
+            f.solve_cache_evictions,
+            f.lease_grown,
+        );
+        for (i, c) in self.clusters.iter().enumerate() {
+            s.push_str(&format!(
+                "  cluster {i}: {} procs · completed {} · rejected {} · \
+                 mean wait {:.2} · utilization {:.1}%\n",
+                c.cluster_procs,
+                c.fleet.completed,
+                c.fleet.rejected,
+                c.fleet.mean_wait,
+                100.0 * c.fleet.utilization,
+            ));
+        }
+        s
+    }
+}
+
+/// Result of [`serve_federation`]: the serialisable report plus every
+/// member's full [`ServeOutcome`] (placements and reservation records
+/// included), in member-index order.
+#[derive(Clone, Debug)]
+pub struct FederationOutcome {
+    /// Per-cluster reports and merged fleet metrics.
+    pub report: FederationReport,
+    /// One engine outcome per member cluster.
+    pub outcomes: Vec<ServeOutcome>,
+}
+
+/// Serves a submission stream across a federation of clusters. A fresh
+/// [`SolveCache`] — shared by every member — is created per call
+/// (honouring [`OnlineConfig::solve_cache`] and
+/// [`OnlineConfig::cache_cap`]); use [`serve_federation_with_cache`] to
+/// share one across runs. Deterministic for fixed inputs.
+pub fn serve_federation(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+) -> FederationOutcome {
+    let cache = make_cache(cfg);
+    serve_federation_with_cache(federation, submissions, cfg, routing, &cache)
+}
+
+/// Per-cluster solver-statistics attribution: runs `f` and charges the
+/// cache-counter movement it caused to `acc`. Exact because the
+/// federated event loop is single-threaded (only the per-member
+/// baseline batches parallelise, and those run inside `finalize` with
+/// their own accounting).
+fn attributed<T>(cache: &SolveCache, acc: &mut SolveCacheStats, f: impl FnOnce() -> T) -> T {
+    let before = cache.stats();
+    let out = f();
+    let after = cache.stats();
+    acc.hits += after.hits - before.hits;
+    acc.misses += after.misses - before.misses;
+    acc.evictions += after.evictions - before.evictions;
+    out
+}
+
+/// [`serve_federation`] with a caller-owned shared [`SolveCache`].
+pub fn serve_federation_with_cache(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    cache: &SolveCache,
+) -> FederationOutcome {
+    let n = federation.len();
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let mut states: Vec<ClusterState> = federation
+        .iter()
+        .map(|(i, c)| ClusterState::new(c, Some(i)))
+        .collect();
+    // Solver statistics attributed per member as the loop runs.
+    let mut acc: Vec<SolveCacheStats> = vec![SolveCacheStats::default(); n];
+    let mut subs = submissions;
+    subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+
+    let mut next_arrival = 0usize;
+    let mut clock = 0.0f64;
+    let mut rr_next = 0usize;
+    let mut spillovers = 0u64;
+
+    loop {
+        // ------------------------------------------------ next event(s)
+        let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
+        let completion_time = states
+            .iter()
+            .filter_map(|s| s.next_completion_time())
+            .min_by(|a, b| a.total_cmp(b));
+        match (completion_time, arrival_time) {
+            (None, None) if states.iter().all(|s| s.queue.is_empty()) => break,
+            (None, None) => {
+                // Some queue is non-empty with nothing in flight
+                // anywhere: every processor of every member is free, so
+                // the admission passes below either admit or reject
+                // each head candidate (the single-cluster invariant,
+                // member by member).
+            }
+            // Completions first at equal instants, members in index
+            // order: freed processors must be visible to same-instant
+            // arrivals and to the spillover sweep.
+            (Some(tc), ta) if ta.is_none_or(|t| tc <= t) => {
+                clock = tc;
+                for st in states.iter_mut() {
+                    st.process_due_completions(clock);
+                }
+            }
+            (_, Some(ta)) => {
+                clock = ta;
+                while let Some(s) = subs.get(next_arrival) {
+                    if s.arrival > clock {
+                        break;
+                    }
+                    let s = subs[next_arrival].clone();
+                    next_arrival += 1;
+                    let home = route(
+                        routing,
+                        &mut rr_next,
+                        &states,
+                        &s,
+                        cfg,
+                        cache,
+                        config_hash,
+                        &mut acc,
+                    );
+                    states[home].enqueue_arrival(s, clock);
+                }
+            }
+            (Some(_), None) => unreachable!(),
+        }
+
+        // --------------------------------------------- admission passes
+        for i in 0..n {
+            let st = &mut states[i];
+            attributed(cache, &mut acc[i], || {
+                admission_passes(st, cfg, cache, config_hash, clock)
+            });
+        }
+
+        // -------------------------------------------------- spillover
+        spillovers += spill(&mut states, cfg, cache, config_hash, clock, &mut acc);
+
+        // ---------------------------------------------- elastic growth
+        let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
+        for i in 0..n {
+            let st = &mut states[i];
+            attributed(cache, &mut acc[i], || {
+                run_growth(st, cfg, cache, config_hash, clock, arrivals_pending)
+            });
+        }
+    }
+
+    // ------------------------------------------------------- finalize
+    let outcomes: Vec<ServeOutcome> = states
+        .into_iter()
+        .zip(acc)
+        .map(|(st, pre)| finalize(st, cfg, cache, pre))
+        .collect();
+    let clusters: Vec<ServeReport> = outcomes.iter().map(|o| o.report.clone()).collect();
+    let fleet = merge_fleet(&clusters, federation.total_procs());
+    FederationOutcome {
+        report: FederationReport {
+            routing: routing.name().to_string(),
+            policy: cfg.policy.name().to_string(),
+            algorithm: cfg.algorithm.name().to_string(),
+            total_procs: federation.total_procs(),
+            spillovers,
+            clusters,
+            fleet,
+        },
+        outcomes,
+    }
+}
+
+/// Picks an arriving submission's home cluster. `BestFit` probes the
+/// members with the admission layer's `can_place`; those probes are
+/// attributed to the member they ran against, and their solves stay in
+/// the shared cache for the eventual admission to replay.
+#[allow(clippy::too_many_arguments)]
+fn route(
+    routing: RoutingPolicy,
+    rr_next: &mut usize,
+    states: &[ClusterState],
+    s: &Submission,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    acc: &mut [SolveCacheStats],
+) -> usize {
+    let n = states.len();
+    if n == 1 {
+        return 0;
+    }
+    // Memory screen first: a member whose largest processor cannot hold
+    // the workflow's hottest task would *permanently reject* it on
+    // arrival, so routing is restricted to members that can — on a
+    // heterogeneous federation a big-memory workflow must never be
+    // rejected by a small home while a capable member idles
+    // ([`Federation::max_memory`](dhp_platform::Federation::max_memory)
+    // is the real admission ceiling). When no member passes the screen
+    // every home yields the same rejection, so the unscreened pool is
+    // used and the (deterministic) home records it.
+    let req = max_task_requirement(&s.instance.graph);
+    let mut pool: Vec<usize> = (0..n)
+        .filter(|&i| req <= states[i].cluster.max_memory() * (1.0 + 1e-9))
+        .collect();
+    if pool.is_empty() {
+        pool = (0..n).collect();
+    }
+    let least_loaded = |pool: &[usize]| -> usize {
+        pool.iter()
+            .copied()
+            .min_by(|&a, &b| {
+                states[a]
+                    .queued_work()
+                    .total_cmp(&states[b].queued_work())
+                    .then(a.cmp(&b))
+            })
+            .expect("the routing pool is never empty")
+    };
+    match routing {
+        RoutingPolicy::RoundRobin => {
+            let i = pool[*rr_next % pool.len()];
+            *rr_next += 1;
+            i
+        }
+        RoutingPolicy::LeastLoaded => least_loaded(&pool),
+        RoutingPolicy::BestFit => {
+            let probe = probe_pending(s);
+            let mut best: Option<(f64, usize)> = None;
+            for &j in &pool {
+                let st = &states[j];
+                let fits = attributed(cache, &mut acc[j], || {
+                    can_place(
+                        &st.cluster,
+                        &st.mem_order,
+                        &st.free,
+                        &probe,
+                        cfg,
+                        cache,
+                        config_hash,
+                    )
+                });
+                if !fits {
+                    continue;
+                }
+                let speed = st.free_speed();
+                if best.is_none_or(|(s0, _)| speed < s0) {
+                    best = Some((speed, j));
+                }
+            }
+            best.map_or_else(|| least_loaded(&pool), |(_, j)| j)
+        }
+    }
+}
+
+/// A transient [`Pending`] view of an arriving submission, for routing
+/// probes (the real `Pending` is built by the home cluster's
+/// `enqueue_arrival`).
+fn probe_pending(s: &Submission) -> Pending {
+    Pending {
+        id: s.id,
+        arrival: s.arrival,
+        total_work: s.instance.graph.total_work(),
+        max_task_req: max_task_requirement(&s.instance.graph),
+        fingerprint: s.instance.graph.fingerprint(),
+        submission: s.clone(),
+    }
+}
+
+/// The cross-cluster spillover sweep: every workflow still queued after
+/// its home cluster's admission pass is offered to the first other
+/// member that can place it *now*; each mover is admitted on its new
+/// home *immediately* (before the sweep probes the next candidate), so
+/// several blocked workflows can never all claim the same free
+/// processors, and a source whose entries migrated away re-runs its own
+/// admission afterwards — the departure may have unblocked its new
+/// effective head at this very instant. Bounded: at most
+/// [`BACKFILL_DEPTH`] queued candidates are probed per source cluster
+/// per event, and a workflow migrates at most once per event (no
+/// ping-pong). Returns the number of migrations.
+fn spill(
+    states: &mut [ClusterState],
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+    acc: &mut [SolveCacheStats],
+) -> u64 {
+    let n = states.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut moved = 0u64;
+    let mut moved_ids: HashSet<usize> = HashSet::new();
+    let mut drained_sources: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let mut qi = 0usize;
+        let mut probed = 0usize;
+        while qi < states[i].queue.len() && probed < BACKFILL_DEPTH {
+            if moved_ids.contains(&states[i].queue[qi].id) {
+                qi += 1;
+                continue;
+            }
+            probed += 1;
+            let mut dest: Option<usize> = None;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                // The probe is charged to the *source*: spillover is
+                // the home queue's cost of finding a new home.
+                let (src, st) = (i, &states[j]);
+                let cand = &states[i].queue[qi];
+                let fits = attributed(cache, &mut acc[src], || {
+                    can_place(
+                        &st.cluster,
+                        &st.mem_order,
+                        &st.free,
+                        cand,
+                        cfg,
+                        cache,
+                        config_hash,
+                    )
+                });
+                if fits {
+                    dest = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = dest {
+                let p = states[i].queue.remove(qi);
+                moved_ids.insert(p.id);
+                states[j].insert_pending(p);
+                moved += 1;
+                drained_sources.push(i);
+                // Consume the receiver's capacity right now: the mover
+                // was placeable an instant ago, and admitting it before
+                // the next probe keeps every later `can_place` honest
+                // about what is actually still free.
+                let st = &mut states[j];
+                attributed(cache, &mut acc[j], || {
+                    admission_passes(st, cfg, cache, config_hash, clock)
+                });
+            } else {
+                qi += 1;
+            }
+        }
+    }
+    // A departure can unblock its old queue — under FIFO the migrated
+    // head was the only candidate ever tried — so every drained source
+    // gets one more admission round at this event.
+    drained_sources.sort_unstable();
+    drained_sources.dedup();
+    for i in drained_sources {
+        let st = &mut states[i];
+        attributed(cache, &mut acc[i], || {
+            admission_passes(st, cfg, cache, config_hash, clock)
+        });
+    }
+    moved
+}
+
+/// Merges the per-cluster fleet metrics into the federation-level
+/// block: exact sums for counters and solver statistics,
+/// completion-weighted means, a federation-wide utilisation window, and
+/// peak concurrency recomputed over the merged record set.
+fn merge_fleet(clusters: &[ServeReport], total_procs: usize) -> FleetMetrics {
+    let completed: usize = clusters.iter().map(|c| c.fleet.completed).sum();
+    let rejected: usize = clusters.iter().map(|c| c.fleet.rejected).sum();
+    let horizon = clusters.iter().map(|c| c.fleet.horizon).fold(0.0, f64::max);
+    let window_start = clusters
+        .iter()
+        .filter(|c| c.fleet.completed > 0)
+        .map(|c| c.fleet.window_start)
+        .fold(f64::INFINITY, f64::min)
+        .min(horizon);
+    let window = horizon - window_start;
+    // Per-member busy processor-time, reconstructed exactly from each
+    // member's utilisation over its own window.
+    let busy: f64 = clusters
+        .iter()
+        .map(|c| {
+            c.fleet.utilization * (c.fleet.horizon - c.fleet.window_start) * c.cluster_procs as f64
+        })
+        .sum();
+    let weighted = |f: &dyn Fn(&FleetMetrics) -> f64| -> f64 {
+        if completed == 0 {
+            return 0.0;
+        }
+        clusters
+            .iter()
+            .map(|c| f(&c.fleet) * c.fleet.completed as f64)
+            .sum::<f64>()
+            / completed as f64
+    };
+    let maxed = |f: &dyn Fn(&FleetMetrics) -> f64| -> f64 {
+        clusters.iter().map(|c| f(&c.fleet)).fold(0.0, f64::max)
+    };
+    let all_records: Vec<WorkflowRecord> = clusters
+        .iter()
+        .flat_map(|c| c.workflows.iter().cloned())
+        .collect();
+    FleetMetrics {
+        completed,
+        rejected,
+        horizon,
+        window_start,
+        throughput: if window > 0.0 {
+            completed as f64 / window
+        } else {
+            0.0
+        },
+        utilization: if window > 0.0 {
+            busy / (window * total_procs as f64)
+        } else {
+            0.0
+        },
+        mean_wait: weighted(&|f| f.mean_wait),
+        max_wait: maxed(&|f| f.max_wait),
+        mean_stretch: weighted(&|f| f.mean_stretch),
+        max_stretch: maxed(&|f| f.max_stretch),
+        mean_slowdown: weighted(&|f| f.mean_slowdown),
+        max_slowdown: maxed(&|f| f.max_slowdown),
+        mean_lease: weighted(&|f| f.mean_lease),
+        peak_concurrency: peak_overlap(&all_records),
+        solve_cache_hits: clusters.iter().map(|c| c.fleet.solve_cache_hits).sum(),
+        solve_cache_misses: clusters.iter().map(|c| c.fleet.solve_cache_misses).sum(),
+        baseline_solves: clusters.iter().map(|c| c.fleet.baseline_solves).sum(),
+        solve_cache_evictions: clusters.iter().map(|c| c.fleet.solve_cache_evictions).sum(),
+        lease_grown: clusters.iter().map(|c| c.fleet.lease_grown).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::serve;
+    use crate::policy::AdmissionPolicy;
+    use crate::submission::{single_task, stream};
+    use dhp_platform::{Cluster, Processor};
+    use dhp_wfgen::arrivals::ArrivalProcess;
+    use dhp_wfgen::Family;
+
+    fn member() -> Cluster {
+        Cluster::new(
+            vec![
+                Processor::new("big", 4.0, 600.0),
+                Processor::new("mid", 2.0, 400.0),
+                Processor::new("sml", 1.0, 250.0),
+            ],
+            1.0,
+        )
+    }
+
+    fn burst(n: usize) -> Vec<Submission> {
+        stream(
+            n,
+            &[Family::Blast, Family::Seismology],
+            (20, 40),
+            &ArrivalProcess::Burst { at: 0.0 },
+            7,
+        )
+    }
+
+    #[test]
+    fn routing_names_roundtrip() {
+        for r in RoutingPolicy::ALL {
+            assert_eq!(RoutingPolicy::parse(r.name()), Some(r));
+        }
+        assert_eq!(RoutingPolicy::parse("rr"), Some(RoutingPolicy::RoundRobin));
+        assert_eq!(
+            RoutingPolicy::parse("load"),
+            Some(RoutingPolicy::LeastLoaded)
+        );
+        assert_eq!(RoutingPolicy::parse("fit"), Some(RoutingPolicy::BestFit));
+        assert_eq!(RoutingPolicy::parse("nosuch"), None);
+    }
+
+    #[test]
+    fn single_member_federation_matches_the_plain_engine() {
+        // The federated loop over one member must reduce to `serve`:
+        // identical records (modulo the cluster_id stamp) and identical
+        // fleet metrics, solver statistics included.
+        let cluster = member();
+        let subs = burst(6);
+        let plain = serve(&cluster, subs.clone(), &OnlineConfig::default());
+        let fed = serve_federation(
+            &Federation::from(cluster),
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+        );
+        assert_eq!(fed.report.clusters.len(), 1);
+        assert_eq!(fed.report.spillovers, 0);
+        let mut stripped = fed.report.clusters[0].clone();
+        for r in &mut stripped.workflows {
+            assert_eq!(r.cluster_id, Some(0));
+            r.cluster_id = None;
+        }
+        for r in &mut stripped.rejected {
+            r.cluster_id = None;
+        }
+        assert_eq!(stripped.to_json(), plain.report.to_json());
+        assert_eq!(fed.report.fleet.completed, plain.report.fleet.completed);
+    }
+
+    #[test]
+    fn federated_runs_are_deterministic() {
+        let fed = Federation::new(vec![member(), member()]);
+        for routing in RoutingPolicy::ALL {
+            let a = serve_federation(&fed, burst(10), &OnlineConfig::default(), routing);
+            let b = serve_federation(&fed, burst(10), &OnlineConfig::default(), routing);
+            assert_eq!(
+                a.report.to_json(),
+                b.report.to_json(),
+                "{} is not deterministic",
+                routing.name()
+            );
+        }
+    }
+
+    #[test]
+    fn per_cluster_metrics_sum_to_fleet_metrics() {
+        let fed = Federation::new(vec![member(), member()]);
+        for routing in RoutingPolicy::ALL {
+            let out = serve_federation(&fed, burst(12), &OnlineConfig::default(), routing);
+            let f = &out.report.fleet;
+            let sum = |g: &dyn Fn(&FleetMetrics) -> u64| -> u64 {
+                out.report.clusters.iter().map(|c| g(&c.fleet)).sum()
+            };
+            assert_eq!(
+                f.completed,
+                out.report
+                    .clusters
+                    .iter()
+                    .map(|c| c.fleet.completed)
+                    .sum::<usize>()
+            );
+            assert_eq!(
+                f.rejected,
+                out.report
+                    .clusters
+                    .iter()
+                    .map(|c| c.fleet.rejected)
+                    .sum::<usize>()
+            );
+            assert_eq!(f.solve_cache_hits, sum(&|f| f.solve_cache_hits));
+            assert_eq!(f.solve_cache_misses, sum(&|f| f.solve_cache_misses));
+            assert_eq!(f.baseline_solves, sum(&|f| f.baseline_solves));
+            assert_eq!(f.lease_grown, sum(&|f| f.lease_grown));
+            // Every workflow served exactly once, on a real member.
+            let mut ids: Vec<usize> = out
+                .report
+                .clusters
+                .iter()
+                .flat_map(|c| c.workflows.iter().map(|r| r.id))
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..12).collect::<Vec<_>>(), "{}", routing.name());
+            for (i, c) in out.report.clusters.iter().enumerate() {
+                for r in &c.workflows {
+                    assert_eq!(r.cluster_id, Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_the_members() {
+        // Two idle members, two same-instant arrivals: round-robin puts
+        // one on each.
+        let fed = Federation::new(vec![member(), member()]);
+        let subs = vec![
+            single_task(0, 0.0, 10.0, 50.0, "a"),
+            single_task(1, 0.0, 10.0, 50.0, "b"),
+        ];
+        let out = serve_federation(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+        );
+        assert_eq!(out.report.clusters[0].fleet.completed, 1);
+        assert_eq!(out.report.clusters[1].fleet.completed, 1);
+    }
+
+    #[test]
+    fn spillover_moves_blocked_work_to_a_free_member() {
+        // Round-robin homes (by arrival order): hog → member 0 (busy
+        // until t=100), filler → member 1 (busy until t=2.5), spiller →
+        // member 0, where it blocks behind the hog. At t=2.5 the
+        // filler's completion frees member 1, and the spillover sweep
+        // must migrate the spiller there instead of letting it wait out
+        // the hog until t=100.
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let fed = Federation::new(vec![small.clone(), small]);
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 50.0, "hog"),   // rr → member 0
+            single_task(1, 0.5, 2.0, 50.0, "filler"),  // rr → member 1
+            single_task(2, 1.0, 5.0, 50.0, "spiller"), // rr → member 0, blocked
+        ];
+        let out = serve_federation(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+        );
+        assert!(out.report.spillovers >= 1, "no spillover happened");
+        let spiller = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .find(|r| r.id == 2)
+            .expect("spiller served");
+        // Served the moment member 1 freed, not at t=100.
+        assert_eq!(spiller.start, 2.5);
+        assert_eq!(spiller.cluster_id, Some(1));
+    }
+
+    #[test]
+    fn routing_never_rejects_work_a_capable_member_could_serve() {
+        // Heterogeneous federation: member 0's largest memory is 100,
+        // member 1's is 1000. A workflow whose hottest task needs 500
+        // arrives when every blind routing would home it on member 0
+        // (round-robin parity, emptier queue) — the memory screen must
+        // steer it to member 1 instead of letting member 0 reject it
+        // while a capable member idles.
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let big = Cluster::new(vec![Processor::new("q", 1.0, 1000.0)], 1.0);
+        let fed = Federation::new(vec![small, big]);
+        let subs = vec![single_task(0, 0.0, 5.0, 500.0, "needs-big")];
+        for routing in RoutingPolicy::ALL {
+            let out = serve_federation(&fed, subs.clone(), &OnlineConfig::default(), routing);
+            assert_eq!(
+                out.report.fleet.rejected,
+                0,
+                "{} rejected a workflow member 1 could serve",
+                routing.name()
+            );
+            let r = &out.report.clusters[1].workflows[0];
+            assert_eq!((r.id, r.cluster_id, r.start), (0, Some(1), 0.0));
+        }
+        // A task no member can hold is still rejected — once, on a
+        // deterministic home.
+        let hopeless = vec![single_task(0, 0.0, 5.0, 5000.0, "monster")];
+        let out = serve_federation(
+            &fed,
+            hopeless,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+        );
+        assert_eq!(out.report.fleet.rejected, 1);
+        assert_eq!(out.report.fleet.completed, 0);
+    }
+
+    #[test]
+    fn spillover_readmits_the_drained_source_queue_in_the_same_event() {
+        // Member 0: a big and a small processor; member 1: one big
+        // processor. Round-robin homes (arrival order): hog → m0's big
+        // (until t=100), quick → m1 (until t=2), head A (needs big
+        // memory) → m0 where it blocks, B (small) → m1 where it queues
+        // (then migrates behind m0's blocked FIFO head A at t=1). At
+        // t=2 member 1 frees and A spills there; m0's queue now heads
+        // the perfectly placeable B — the drained source must re-run
+        // admission at t=2 instead of idling B until the next event.
+        let m0 = Cluster::new(
+            vec![
+                Processor::new("big", 1.0, 500.0),
+                Processor::new("sml", 1.0, 100.0),
+            ],
+            1.0,
+        );
+        let m1 = Cluster::new(vec![Processor::new("big", 1.0, 500.0)], 1.0);
+        let fed = Federation::new(vec![m0, m1]);
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 450.0, "hog"),  // rr → m0 big
+            single_task(1, 0.0, 2.0, 450.0, "quick"),  // rr → m1
+            single_task(2, 1.0, 50.0, 400.0, "headA"), // rr → m0, blocked
+            single_task(3, 1.0, 5.0, 50.0, "B"),       // rr → m1, queued
+        ];
+        let out = serve_federation(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+        );
+        let find = |id: usize| {
+            out.report
+                .clusters
+                .iter()
+                .flat_map(|c| c.workflows.iter())
+                .find(|r| r.id == id)
+                .unwrap()
+                .clone()
+        };
+        // A ends up on member 1 the instant it frees...
+        assert_eq!((find(2).cluster_id, find(2).start), (Some(1), 2.0));
+        // ...and B starts on member 0 at that same instant: the source
+        // re-admission, not the next completion at t=52.
+        assert_eq!((find(3).cluster_id, find(3).start), (Some(0), 2.0));
+        assert!(out.report.spillovers >= 1);
+    }
+
+    #[test]
+    fn shared_cache_hits_across_members_on_same_shape_leases() {
+        // Two identical members, two same-topology workflows routed to
+        // different members: the second member's admission must replay
+        // the first's solve from the shared cache.
+        let fed = Federation::new(vec![member(), member()]);
+        let subs = {
+            let mut s = burst(2);
+            // Same instance on both: clone 0's graph into 1.
+            let g = s[0].instance.clone();
+            s[1].instance = g;
+            s
+        };
+        let out = serve_federation(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+        );
+        assert_eq!(out.report.fleet.completed, 2);
+        assert_eq!(out.report.clusters[0].fleet.completed, 1);
+        assert_eq!(out.report.clusters[1].fleet.completed, 1);
+        assert!(
+            out.report.fleet.solve_cache_hits > 0,
+            "same-shape lease on the second member did not hit the shared cache: {:?}",
+            (
+                out.report.fleet.solve_cache_hits,
+                out.report.fleet.solve_cache_misses
+            )
+        );
+        // And the hit landed on the *second* member's account.
+        assert!(out.report.clusters[1].fleet.solve_cache_hits > 0);
+    }
+
+    #[test]
+    fn least_loaded_beats_single_cluster_mean_wait_on_a_burst() {
+        // The acceptance pinning test: a two-member federation under
+        // least-loaded routing must not be slower (mean wait) than one
+        // member alone serving the same burst.
+        let cluster = member();
+        let subs = burst(10);
+        let single = serve(&cluster, subs.clone(), &OnlineConfig::default());
+        let fed = serve_federation(
+            &Federation::homogeneous(cluster, 2),
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+        );
+        assert_eq!(
+            fed.report.fleet.completed + fed.report.fleet.rejected,
+            single.report.fleet.completed + single.report.fleet.rejected
+        );
+        assert!(
+            fed.report.fleet.mean_wait <= single.report.fleet.mean_wait + 1e-9,
+            "two least-loaded members waited longer than one cluster: {} vs {}",
+            fed.report.fleet.mean_wait,
+            single.report.fleet.mean_wait
+        );
+    }
+
+    #[test]
+    fn federation_report_roundtrips_and_summarises() {
+        let fed = Federation::new(vec![member(), member()]);
+        let out = serve_federation(
+            &fed,
+            burst(4),
+            &OnlineConfig {
+                policy: AdmissionPolicy::FifoBackfill,
+                ..OnlineConfig::default()
+            },
+            RoutingPolicy::BestFit,
+        );
+        let back: FederationReport = serde_json::from_str(&out.report.to_json()).unwrap();
+        assert_eq!(back, out.report);
+        let s = out.report.summary();
+        assert!(s.contains("routing best-fit"), "{s}");
+        assert!(s.contains("cluster 0"), "{s}");
+        assert!(s.contains("cluster 1"), "{s}");
+    }
+}

@@ -1,0 +1,421 @@
+//! The lease lifecycle: grant construction, commitment into engine
+//! state, the escalation ladder, and elastic growth.
+//!
+//! A `Grant` is everything one admitted lease produces — the metrics
+//! record, the placement, per-processor busy time, and the absolute
+//! per-task schedule elastic growth later splits. `commit_grant`
+//! books it into the `ClusterState`; `grow_lease` implements the
+//! elastic re-solve of a running workflow's suffix onto freed
+//! processors (driven by `run_growth` at completion events whose
+//! freed processors would otherwise idle).
+
+use crate::admission::{head_fits_at, head_reservation, BACKFILL_DEPTH};
+use crate::engine::OnlineConfig;
+use crate::report::WorkflowRecord;
+use crate::state::{ClusterState, InService, Pending, Placement, Regrow};
+use dhp_core::partial::{SolveCache, SubClusterSchedule};
+use dhp_platform::{ProcId, SubCluster};
+use std::collections::{HashMap, HashSet};
+
+/// Everything a granted lease produces: the metrics record, the
+/// placement, per-processor busy time, and the absolute per-task
+/// schedule elastic growth splits at.
+pub(crate) struct Grant {
+    pub(crate) record: WorkflowRecord,
+    pub(crate) placement: Placement,
+    /// Per-processor busy time (global ids, one entry per lease
+    /// processor, in lease-carve order — not sorted).
+    pub(crate) busy: Vec<(ProcId, f64)>,
+    /// Absolute per-task start instants under the admitted schedule.
+    pub(crate) task_start: Vec<f64>,
+    /// Absolute per-task finish instants under the admitted schedule.
+    pub(crate) task_finish: Vec<f64>,
+    /// Global processor of every task under the admitted schedule.
+    pub(crate) task_proc: Vec<ProcId>,
+}
+
+impl Grant {
+    /// Executes the solved schedule on the lease view and assembles the
+    /// grant: the virtual clock advances by the *simulated* makespan,
+    /// and per-processor busy time feeds fleet utilisation.
+    pub(crate) fn build(
+        cand: &Pending,
+        sub: SubCluster,
+        sched: SubClusterSchedule,
+        clock: f64,
+        cluster_id: Option<usize>,
+    ) -> Grant {
+        let g = &cand.submission.instance.graph;
+        let lease: Vec<ProcId> = sub.global_ids().to_vec();
+        let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
+        let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
+        let busy: Vec<(ProcId, f64)> = tl
+            .lanes
+            .iter()
+            .map(|lane| (sub.to_global(lane.proc), lane.busy))
+            .collect();
+        // The absolute per-task schedule: elastic growth later splits it
+        // into the committed prefix and the re-solvable suffix.
+        let task_start: Vec<f64> = sim.task_start.iter().map(|t| clock + t).collect();
+        let task_finish: Vec<f64> = sim.task_finish.iter().map(|t| clock + t).collect();
+        let task_proc: Vec<ProcId> = g
+            .node_ids()
+            .map(|u| {
+                let b = sched.local.mapping.partition.block_of(u).idx();
+                sub.to_global(sched.local.mapping.proc_of_block[b].expect("complete mapping"))
+            })
+            .collect();
+        let start = clock;
+        let finish = clock + sim.makespan;
+        let service = sim.makespan;
+        let record = WorkflowRecord {
+            id: cand.id,
+            name: cand.submission.instance.name.clone(),
+            tasks: g.node_count(),
+            arrival: cand.arrival,
+            start,
+            finish,
+            wait: start - cand.arrival,
+            service,
+            response: finish - cand.arrival,
+            slowdown: if service > 0.0 {
+                (finish - cand.arrival) / service
+            } else {
+                1.0
+            },
+            // Stretch and its dedicated-cluster denominator are filled in
+            // by the deferred baseline batch at report time (so discarded
+            // backfill grants never pay for a whole-cluster solve, and
+            // admitted ones never pay for it on the critical path).
+            stretch: 0.0,
+            baseline_makespan: 0.0,
+            model_makespan: sched.local.makespan,
+            lease: lease.iter().map(|p| p.0).collect(),
+            blocks: sched.local.mapping.num_blocks(),
+            lease_grown: false,
+            cluster_id,
+        };
+        let placement = Placement {
+            submission: cand.submission.clone(),
+            mapping: sched.global,
+            lease,
+            start,
+            finish,
+            regrow: Vec::new(),
+        };
+        Grant {
+            record,
+            placement,
+            busy,
+            task_start,
+            task_finish,
+            task_proc,
+        }
+    }
+}
+
+/// Books a granted lease into the engine state: marks the lease busy,
+/// credits busy time, schedules the completion event and stores the
+/// in-service bookkeeping. Returns the aggregate speed of the leased
+/// processors so the admission pass can refresh its free-speed lower
+/// bound (the stale-`free_speed` fix: after a same-pass grant the bound
+/// must filter against the shrunken free set, not the pass-entry one).
+pub(crate) fn commit_grant(grant: Grant, fingerprint: u64, state: &mut ClusterState) -> f64 {
+    let Grant {
+        record,
+        placement,
+        busy,
+        task_start,
+        task_finish,
+        task_proc,
+    } = grant;
+    // The dedicated-cluster baseline (stretch denominator) is NOT
+    // solved here: admission only notes the fingerprint, and the solves
+    // drain as one deduplicated parallel batch at report time.
+    let mut lease_speed = 0.0;
+    for &p in &placement.lease {
+        debug_assert!(state.free[p.idx()]);
+        state.free[p.idx()] = false;
+        lease_speed += state.cluster.speed(p);
+    }
+    state.free_count -= placement.lease.len();
+    for (p, b) in &busy {
+        state.busy_time[p.idx()] += *b;
+    }
+    let slot = state.in_service.len();
+    let seq = state.events.push(placement.finish, slot);
+    state.in_service.push(Some(InService {
+        record,
+        placement,
+        fingerprint,
+        live_seq: seq,
+        task_start,
+        task_finish,
+        task_proc,
+        busy,
+    }));
+    lease_speed
+}
+
+/// The doubling ladder of candidate lease sizes, `target` up to `cap`
+/// (all free processors). Escalating instead of jumping straight to
+/// "all free processors" keeps one workflow from monopolising the
+/// cluster and serialising the fleet; feasibility outranks the sizing
+/// cap, so escalation may exceed `max_procs`.
+pub(crate) fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut size = target.clamp(1, cap);
+    loop {
+        sizes.push(size);
+        if size == cap {
+            break;
+        }
+        size = (size * 2).min(cap);
+    }
+    sizes
+}
+
+/// The elastic-growth step run after the admission passes of an event:
+/// freed processors the queue cannot use right now (it is empty or
+/// below the threshold) are handed to the running workflow with the
+/// most unstarted work — its suffix DAG is re-solved on the grown lease
+/// and the placement swapped at the current clock, only when the
+/// re-solve genuinely finishes earlier. The decision is deferred while
+/// arrivals at this very instant are still un-queued: they get first
+/// claim on the freed processors (their iteration runs next, at the
+/// same clock). Each successful growth enlists at least one previously
+/// free processor, so the loop terminates.
+pub(crate) fn run_growth(
+    state: &mut ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+    arrivals_pending: bool,
+) {
+    if let Some(threshold) = cfg.elastic {
+        while state.growth_pending
+            && !arrivals_pending
+            && state.queue.len() < threshold
+            && state.free_count > 0
+            && grow_lease(state, cfg, cache, config_hash, clock)
+        {
+            state.lease_grown += 1;
+        }
+    }
+    if !arrivals_pending {
+        state.growth_pending = false;
+    }
+}
+
+/// One elastic-growth attempt: ranks the in-service workflows by
+/// unstarted work (ties on id), re-solves the best candidate's suffix
+/// DAG on its lease grown by the currently free processors, and swaps
+/// the placement when the re-solve finishes strictly earlier *and*
+/// enlists at least one previously free processor. The suffix schedule
+/// is released only once the committed prefix (running tasks included)
+/// has drained, so the swap never overlaps already-running tasks.
+/// Under a backfilling policy a blocked queue head keeps its promise:
+/// a swap whose grown lease stays busy past the head's reservation is
+/// taken only if the head remains placeable at the reservation instant
+/// without it. At most [`BACKFILL_DEPTH`] candidates are re-solved per
+/// attempt (the admission path's probe-bound discipline). Returns
+/// whether a swap happened.
+fn grow_lease(
+    state: &mut ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+) -> bool {
+    let mut cands: Vec<(usize, f64, usize)> = state
+        .in_service
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, svc)| {
+            let svc = svc.as_ref()?;
+            let g = &svc.placement.submission.instance.graph;
+            let remaining: f64 = g
+                .node_ids()
+                .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+                .map(|u| g.node(u).work)
+                .sum();
+            (remaining > 0.0).then_some((slot, remaining, svc.record.id))
+        })
+        .collect();
+    cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.cmp(&b.2)));
+    // Bound the solver probes per attempt, mirroring the admission
+    // pass's backfill window — a failed improvement check usually paid
+    // a full suffix solve (suffix shapes are mostly unique, so the
+    // cache rarely answers them).
+    cands.truncate(BACKFILL_DEPTH);
+    let free_ids: Vec<ProcId> = state
+        .mem_order
+        .iter()
+        .copied()
+        .filter(|p| state.free[p.idx()])
+        .collect();
+    // The head guard: with a backfilling policy and a blocked head
+    // waiting, the head's current reservation is computed once, and
+    // every swap below must honour it — elastic growth must not seize
+    // the processors the head's promise assumed would be free.
+    let head_guard: Option<(&Pending, f64)> = match state.queue.first() {
+        Some(head) if cfg.policy.backfills() => {
+            let resv = head_reservation(
+                &state.cluster,
+                &state.mem_order,
+                &state.free,
+                &state.events,
+                &state.in_service,
+                head,
+                cfg,
+                cache,
+                config_hash,
+            );
+            resv.is_finite().then_some((head, resv))
+        }
+        _ => None,
+    };
+
+    for (slot, _, _) in cands {
+        let svc = state.in_service[slot].as_ref().expect("ranked above");
+        let g = &svc.placement.submission.instance.graph;
+        let suffix: Vec<dhp_dag::NodeId> = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+            .collect();
+        // The committed prefix drains first; the suffix schedule is
+        // released at its last finish (cross-boundary files are local
+        // by then — see `solve_suffix`).
+        let release = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] <= clock + 1e-9)
+            .map(|u| svc.task_finish[u.idx()])
+            .fold(clock, f64::max);
+        let union = state
+            .cluster
+            .subcluster(&svc.placement.lease)
+            .grown(&state.cluster, &free_ids);
+        let Ok(s) = dhp_core::partial::solve_suffix(
+            g,
+            &suffix,
+            &union,
+            cfg.algorithm,
+            &cfg.solver,
+            cache,
+            config_hash,
+        ) else {
+            continue;
+        };
+        let sim = dhp_sim::simulate(&s.dag, union.cluster(), &s.schedule.local.mapping);
+        let new_finish = release + sim.makespan;
+        if new_finish >= svc.record.finish - 1e-9 {
+            continue; // no genuine win on the grown lease
+        }
+        // Claim only the processors the suffix actually uses; a swap
+        // that enlists no new processor is not a growth (and skipping
+        // it bounds the growth loop by the free count).
+        let old_lease: HashSet<u32> = svc.placement.lease.iter().map(|p| p.0).collect();
+        let mut suffix_proc: Vec<ProcId> = Vec::with_capacity(s.back.len());
+        let mut used_new: Vec<ProcId> = Vec::new();
+        for u in s.dag.node_ids() {
+            let b = s.schedule.local.mapping.partition.block_of(u).idx();
+            let p = union.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"));
+            suffix_proc.push(p);
+            if !old_lease.contains(&p.0) && !used_new.contains(&p) {
+                used_new.push(p);
+            }
+        }
+        if used_new.is_empty() {
+            continue;
+        }
+        // Honour the blocked head's reservation. A swap finishing by
+        // the reservation returns everything it holds in time and
+        // cannot delay the head; one running past it must leave the
+        // head placeable at the reservation instant on what remains —
+        // the current free set minus the newly claimed processors,
+        // plus every other live completion up to the reservation (the
+        // candidate's own old completion no longer happens).
+        if let Some((head, resv)) = head_guard {
+            if new_finish > resv + 1e-9
+                && !head_fits_at(
+                    &state.cluster,
+                    &state.mem_order,
+                    &state.free,
+                    &used_new,
+                    Some(slot),
+                    &state.events,
+                    &state.in_service,
+                    head,
+                    cfg,
+                    cache,
+                    config_hash,
+                    resv,
+                )
+            {
+                continue;
+            }
+        }
+
+        // ---- commit the swap
+        let svc = state.in_service[slot].as_mut().expect("ranked above");
+        for (i, &orig) in s.back.iter().enumerate() {
+            svc.task_start[orig.idx()] = release + sim.task_start[i];
+            svc.task_finish[orig.idx()] = release + sim.task_finish[i];
+            svc.task_proc[orig.idx()] = suffix_proc[i];
+        }
+        // Replace this workflow's busy-time contribution: subtract
+        // exactly what was credited, re-credit the swapped schedule.
+        for (p, b) in &svc.busy {
+            state.busy_time[p.idx()] -= *b;
+        }
+        let g = &svc.placement.submission.instance.graph;
+        let mut by_proc: HashMap<ProcId, f64> = HashMap::new();
+        for u in g.node_ids() {
+            *by_proc.entry(svc.task_proc[u.idx()]).or_insert(0.0) +=
+                svc.task_finish[u.idx()] - svc.task_start[u.idx()];
+        }
+        let mut busy: Vec<(ProcId, f64)> = by_proc.into_iter().collect();
+        busy.sort_by_key(|&(p, _)| p);
+        for (p, b) in &busy {
+            state.busy_time[p.idx()] += *b;
+        }
+        svc.busy = busy;
+        // The grown lease, in the canonical order of the union view.
+        let lease: Vec<ProcId> = union
+            .global_ids()
+            .iter()
+            .copied()
+            .filter(|p| old_lease.contains(&p.0) || used_new.contains(p))
+            .collect();
+        for &p in &used_new {
+            debug_assert!(state.free[p.idx()]);
+            state.free[p.idx()] = false;
+        }
+        state.free_count -= used_new.len();
+        // Re-schedule the completion; the old heap entry goes stale.
+        let seq = state.events.push(new_finish, slot);
+        svc.live_seq = seq;
+        let r = &mut svc.record;
+        r.finish = new_finish;
+        r.service = new_finish - r.start;
+        r.response = new_finish - r.arrival;
+        r.slowdown = if r.service > 0.0 {
+            r.response / r.service
+        } else {
+            1.0
+        };
+        r.lease = lease.iter().map(|p| p.0).collect();
+        r.lease_grown = true;
+        svc.placement.finish = new_finish;
+        svc.placement.lease = lease;
+        svc.placement.regrow.push(Regrow {
+            at: release,
+            suffix: s.back,
+            suffix_dag: s.dag,
+            mapping: s.schedule.global,
+        });
+        return true;
+    }
+    false
+}

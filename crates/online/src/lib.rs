@@ -51,18 +51,29 @@
 //! }
 //! ```
 
+pub mod admission;
 pub mod engine;
+#[cfg(test)]
+mod engine_tests;
+mod event;
+pub mod federation;
+pub mod lease;
 pub mod policy;
 pub mod report;
+mod state;
 pub mod submission;
 
 pub use engine::{
     fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
     ReservationTrigger, ServeOutcome,
 };
+pub use federation::{
+    serve_federation, serve_federation_with_cache, FederationOutcome, FederationReport,
+    RoutingPolicy,
+};
 pub use policy::{AdmissionPolicy, LeaseSizing};
 pub use report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
-pub use submission::Submission;
+pub use submission::{peak_overlap, Submission};
 // The content-addressed solve cache the engine memoizes with; exposed
 // so callers can share one cache across [`serve_with_cache`] runs.
 pub use dhp_core::partial::{SolveCache, SolveCacheStats};
@@ -73,8 +84,13 @@ pub mod prelude {
         fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
         ReservationTrigger, ServeOutcome,
     };
+    pub use crate::federation::{
+        serve_federation, serve_federation_with_cache, FederationOutcome, FederationReport,
+        RoutingPolicy,
+    };
     pub use crate::policy::{AdmissionPolicy, LeaseSizing};
     pub use crate::report::ServeReport;
     pub use crate::submission::Submission;
     pub use dhp_core::partial::SolveCache;
+    pub use dhp_platform::Federation;
 }

@@ -87,7 +87,7 @@ impl AdmissionPolicy {
     /// blocking); `FifoBackfill` returns the whole queue in arrival
     /// order (the engine enforces the head's reservation); the others
     /// rank the whole queue.
-    pub(crate) fn candidate_order(self, queue: &[crate::engine::Pending]) -> Vec<usize> {
+    pub(crate) fn candidate_order(self, queue: &[crate::state::Pending]) -> Vec<usize> {
         match self {
             AdmissionPolicy::Fifo => {
                 if queue.is_empty() {

@@ -55,6 +55,12 @@ pub struct WorkflowRecord {
     /// schedule). Absent/false in pre-elastic reports.
     #[serde(default)]
     pub lease_grown: bool,
+    /// Federation member index of the cluster that served this
+    /// workflow. `None` (and absent from the JSON) for single-cluster
+    /// runs, so their reports keep the pre-federation schema
+    /// byte-for-byte.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster_id: Option<usize>,
 }
 
 /// A workflow the engine could not serve.
@@ -74,6 +80,10 @@ pub struct RejectedRecord {
     pub wait: f64,
     /// Why it was rejected.
     pub reason: String,
+    /// Federation member index of the cluster that rejected it; `None`
+    /// (absent from the JSON) for single-cluster runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster_id: Option<usize>,
 }
 
 /// Fleet-level aggregates over the whole run.
@@ -128,6 +138,10 @@ pub struct FleetMetrics {
     /// the cache is on; one per served workflow when it is off).
     #[serde(default)]
     pub baseline_solves: u64,
+    /// Entries evicted by the LRU-bounded solve cache (`--cache-cap`).
+    /// Always 0 for the default unbounded cache.
+    #[serde(default)]
+    pub solve_cache_evictions: u64,
     /// Elastic lease growths: completion events whose freed processors
     /// were handed to a running workflow (its not-yet-started suffix
     /// re-solved on the grown lease) instead of idling. Always 0
@@ -144,6 +158,7 @@ impl FleetMetrics {
         self.solve_cache_hits = 0;
         self.solve_cache_misses = 0;
         self.baseline_solves = 0;
+        self.solve_cache_evictions = 0;
     }
 }
 
@@ -188,7 +203,8 @@ impl ServeReport {
              wait   mean {:.2}  max {:.2}\n\
              stretch mean {:.3}  max {:.3}   (dedicated-cluster baseline)\n\
              slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs\n\
-             solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}\n\
+             solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}  \
+             evictions {}\n\
              leases grown {}",
             self.policy,
             self.algorithm,
@@ -210,6 +226,7 @@ impl ServeReport {
             f.solve_cache_misses,
             hit_rate,
             f.baseline_solves,
+            f.solve_cache_evictions,
             f.lease_grown,
         )
     }
@@ -242,6 +259,7 @@ mod tests {
                 lease: vec![1, 3],
                 blocks: 2,
                 lease_grown: false,
+                cluster_id: None,
             }],
             rejected: vec![RejectedRecord {
                 id: 1,
@@ -250,6 +268,7 @@ mod tests {
                 rejected_at: 6.0,
                 wait: 4.0,
                 reason: "too big".into(),
+                cluster_id: None,
             }],
             fleet: FleetMetrics {
                 completed: 1,
@@ -269,6 +288,7 @@ mod tests {
                 solve_cache_hits: 3,
                 solve_cache_misses: 2,
                 baseline_solves: 1,
+                solve_cache_evictions: 0,
                 lease_grown: 0,
             },
         }

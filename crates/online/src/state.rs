@@ -1,0 +1,258 @@
+//! Per-cluster engine state: the admission queue, the free-processor
+//! set, in-service bookkeeping, and the accumulating run results.
+//!
+//! [`ClusterState`] owns everything one shared cluster's event loop
+//! mutates. The single-cluster engine ([`crate::engine::serve`]) drives
+//! exactly one of these; the federation tier
+//! ([`crate::federation::serve_federation`]) drives one per member
+//! cluster under a merged virtual clock — which is precisely why this
+//! state is a value and not a pile of locals.
+
+use crate::event::EventQueue;
+use crate::report::{RejectedRecord, WorkflowRecord};
+use crate::submission::Submission;
+use dhp_core::fitting::max_task_requirement;
+use dhp_core::mapping::Mapping;
+use dhp_platform::{Cluster, ProcId};
+
+/// A queued workflow with its admission-relevant statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct Pending {
+    pub(crate) id: usize,
+    pub(crate) arrival: f64,
+    pub(crate) total_work: f64,
+    pub(crate) max_task_req: f64,
+    /// [`dhp_dag::Dag::fingerprint`] of the graph, computed once on
+    /// arrival and reused by every cache probe for this workflow.
+    pub(crate) fingerprint: u64,
+    pub(crate) submission: Submission,
+}
+
+/// One granted lease with its full schedule — returned for validation
+/// and replay alongside the serialisable report.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// The served submission (graph included).
+    pub submission: Submission,
+    /// The *as-admitted* mapping in parent-cluster processor ids (a
+    /// complete, valid mapping of the whole graph). When `regrow` is
+    /// set, the suffix tasks actually executed per `regrow.mapping`
+    /// instead.
+    pub mapping: Mapping,
+    /// Leased processors (parent ids, grant order). After an elastic
+    /// growth this is the grown lease; the extra processors joined at
+    /// the growth instant, not at `start`.
+    pub lease: Vec<ProcId>,
+    /// Lease grant instant.
+    pub start: f64,
+    /// Completion instant.
+    pub finish: f64,
+    /// The elastic re-solves of this workflow's suffixes, in growth
+    /// order (empty for statically leased workflows). A task's executed
+    /// schedule is given by the *last* entry whose `suffix` contains it
+    /// (earlier entries were superseded before those tasks started), or
+    /// by the as-admitted `mapping` if no entry does.
+    pub regrow: Vec<Regrow>,
+}
+
+/// The re-solved suffix phase of an elastically grown lease.
+#[derive(Clone, Debug)]
+pub struct Regrow {
+    /// Instant the suffix schedule begins: the committed prefix has
+    /// drained by then, and it is never earlier than the growth event.
+    pub at: f64,
+    /// Original node ids of the re-scheduled suffix, ascending
+    /// (index-aligned with `suffix_dag`'s dense local ids).
+    pub suffix: Vec<dhp_dag::NodeId>,
+    /// The induced suffix DAG.
+    pub suffix_dag: dhp_dag::Dag,
+    /// The suffix mapping in parent processor ids — a complete, valid
+    /// mapping of `suffix_dag`.
+    pub mapping: Mapping,
+}
+
+/// Bookkeeping of one workflow currently holding a lease.
+pub(crate) struct InService {
+    pub(crate) record: WorkflowRecord,
+    pub(crate) placement: Placement,
+    pub(crate) fingerprint: u64,
+    /// Sequence number of this workflow's *live* completion event.
+    /// Elastic growth re-schedules completions by pushing a fresh event
+    /// and bumping this; heap entries whose seq no longer matches are
+    /// stale and skipped on pop.
+    pub(crate) live_seq: u64,
+    /// Absolute per-task start instants under the current schedule (the
+    /// committed/suffix split point of elastic growth).
+    pub(crate) task_start: Vec<f64>,
+    /// Absolute per-task finish instants under the current schedule.
+    pub(crate) task_finish: Vec<f64>,
+    /// Global processor of every task under the current schedule.
+    pub(crate) task_proc: Vec<ProcId>,
+    /// Per-processor busy time already credited to the fleet for this
+    /// workflow (subtracted exactly on an elastic swap).
+    pub(crate) busy: Vec<(ProcId, f64)>,
+}
+
+/// Everything one shared cluster's event loop owns and mutates: the
+/// cluster itself (plus its canonical memory-descending carve order),
+/// the free set, the admission queue, the completion-event heap, the
+/// in-service table, and the accumulating per-run results.
+pub(crate) struct ClusterState {
+    /// The shared cluster this state serves.
+    pub(crate) cluster: Cluster,
+    /// Free processors, scanned in the heuristics' canonical
+    /// memory-descending order so every lease grabs the biggest free
+    /// memories first (feasibility is monotone in that choice).
+    pub(crate) mem_order: Vec<ProcId>,
+    pub(crate) free: Vec<bool>,
+    pub(crate) free_count: usize,
+    /// The admission queue, maintained in `(arrival, id)` order.
+    pub(crate) queue: Vec<Pending>,
+    pub(crate) events: EventQueue,
+    pub(crate) in_service: Vec<Option<InService>>,
+    pub(crate) finished: Vec<WorkflowRecord>,
+    /// Fingerprint of `finished[i]`'s workflow — the deferred baseline
+    /// batch deduplicates on these.
+    pub(crate) finished_fp: Vec<u64>,
+    pub(crate) placements: Vec<Placement>,
+    pub(crate) rejected: Vec<RejectedRecord>,
+    pub(crate) busy_time: Vec<f64>,
+    pub(crate) reservations: Vec<crate::admission::ReservationRecord>,
+    pub(crate) lease_grown: u64,
+    /// Completions arm elastic growth, but the growth decision waits
+    /// until every same-instant arrival has been queued and offered the
+    /// freed processors (completions are processed first at equal
+    /// instants, so the flag may carry into the arrival iteration of
+    /// the same clock).
+    pub(crate) growth_pending: bool,
+    /// Federation member index stamped into every record (`None` for
+    /// the single-cluster engine, keeping its reports byte-identical
+    /// to the pre-federation schema).
+    pub(crate) cluster_id: Option<usize>,
+}
+
+impl ClusterState {
+    pub(crate) fn new(cluster: &Cluster, cluster_id: Option<usize>) -> Self {
+        assert!(
+            !cluster.is_empty(),
+            "serve needs at least one processor (an empty cluster can admit nothing)"
+        );
+        ClusterState {
+            mem_order: cluster.ids_by_memory_desc(),
+            free: vec![true; cluster.len()],
+            free_count: cluster.len(),
+            queue: Vec::new(),
+            events: EventQueue::new(),
+            in_service: Vec::new(),
+            finished: Vec::new(),
+            finished_fp: Vec::new(),
+            placements: Vec::new(),
+            rejected: Vec::new(),
+            busy_time: vec![0.0f64; cluster.len()],
+            reservations: Vec::new(),
+            lease_grown: 0,
+            growth_pending: false,
+            cluster_id,
+            cluster: cluster.clone(),
+        }
+    }
+
+    /// Instant of the earliest pending completion event (stale entries
+    /// included — they are skipped on pop, and a stale entry's instant
+    /// never precedes the live one for the same slot, so waking up for
+    /// one is harmless: the pop loop drops it and the admission pass
+    /// runs on unchanged state).
+    pub(crate) fn next_completion_time(&self) -> Option<f64> {
+        self.events.peek_time()
+    }
+
+    /// Pops every completion event due at or before `clock`: frees the
+    /// lease, records the finished workflow, and arms elastic growth.
+    /// Stale entries (superseded by an elastic growth) are dropped.
+    pub(crate) fn process_due_completions(&mut self, clock: f64) {
+        while let Some(c) = self.events.peek() {
+            if c.time > clock {
+                break;
+            }
+            let c = self.events.pop().unwrap();
+            // Elastic growth re-schedules completions: a heap entry
+            // whose seq no longer matches its slot's live event is
+            // stale — drop it.
+            let live = self.in_service[c.slot]
+                .as_ref()
+                .is_some_and(|s| s.live_seq == c.seq);
+            if !live {
+                continue;
+            }
+            let done = self.in_service[c.slot]
+                .take()
+                .expect("live completion holds its slot");
+            for &p in &done.placement.lease {
+                debug_assert!(!self.free[p.idx()]);
+                self.free[p.idx()] = true;
+            }
+            self.free_count += done.placement.lease.len();
+            self.finished.push(done.record);
+            self.finished_fp.push(done.fingerprint);
+            self.placements.push(done.placement);
+            self.growth_pending = true;
+        }
+    }
+
+    /// Screens an arriving submission against the cluster-wide memory
+    /// ceiling and either queues it or records the rejection.
+    pub(crate) fn enqueue_arrival(&mut self, s: Submission, clock: f64) {
+        let req = max_task_requirement(&s.instance.graph);
+        if req > self.cluster.max_memory() * (1.0 + 1e-9) {
+            self.rejected.push(RejectedRecord {
+                id: s.id,
+                name: s.instance.name.clone(),
+                arrival: s.arrival,
+                rejected_at: clock,
+                wait: clock - s.arrival,
+                reason: format!(
+                    "task requirement {req:.2} exceeds the largest processor \
+                     memory {:.2}",
+                    self.cluster.max_memory()
+                ),
+                cluster_id: self.cluster_id,
+            });
+            return;
+        }
+        self.queue.push(Pending {
+            id: s.id,
+            arrival: s.arrival,
+            total_work: s.instance.graph.total_work(),
+            max_task_req: req,
+            fingerprint: s.instance.graph.fingerprint(),
+            submission: s,
+        });
+    }
+
+    /// Inserts an already-screened pending workflow at its `(arrival,
+    /// id)` position — cross-cluster spillover migrates queue entries
+    /// with this, preserving the arrival-order invariant the FIFO
+    /// policies rely on.
+    pub(crate) fn insert_pending(&mut self, p: Pending) {
+        let pos = self
+            .queue
+            .partition_point(|q| (q.arrival, q.id) < (p.arrival, p.id));
+        self.queue.insert(pos, p);
+    }
+
+    /// Total outstanding work queued on this cluster — the `least-loaded`
+    /// routing signal.
+    pub(crate) fn queued_work(&self) -> f64 {
+        self.queue.iter().map(|p| p.total_work).sum()
+    }
+
+    /// Aggregate speed of the currently free processors — the
+    /// `best-fit` routing signal (larger = more immediate capacity).
+    pub(crate) fn free_speed(&self) -> f64 {
+        self.cluster
+            .proc_ids()
+            .filter(|p| self.free[p.idx()])
+            .map(|p| self.cluster.speed(p))
+            .sum()
+    }
+}

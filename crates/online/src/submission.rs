@@ -1,5 +1,10 @@
-//! Workflow submissions: what the online engine consumes.
+//! Workflow submissions and trace utilities: what the online engine
+//! consumes, plus the stream-level helpers that operate on traces and
+//! their records rather than on engine state ([`fit_cluster`],
+//! [`peak_overlap`], [`shift_arrivals`]).
 
+use crate::report::WorkflowRecord;
+use dhp_platform::Cluster;
 use dhp_wfgen::arrivals::{arrival_times, mixed_workload, ArrivalProcess};
 use dhp_wfgen::{Family, WorkflowInstance};
 
@@ -108,6 +113,41 @@ pub fn repeating_stream(
     let instances = (0..n).map(|i| pool[i % pool.len()].clone()).collect();
     let times = arrival_times(n, process, seed);
     zip_stream(instances, &times)
+}
+
+/// Scales the cluster's memories (smallest proportional factor) so the
+/// hottest task across *all* submissions fits the largest processor
+/// with `headroom` slack — the fleet-level analogue of
+/// [`dhp_core::fitting::scale_cluster_with_headroom`], applied once so
+/// every workflow sees the same shared platform. A trace utility, not
+/// engine logic: it reads only the submission stream.
+pub fn fit_cluster(cluster: &Cluster, submissions: &[Submission], headroom: f64) -> Cluster {
+    let mut fitted = cluster.clone();
+    for s in submissions {
+        fitted =
+            dhp_core::fitting::scale_cluster_with_headroom(&s.instance.graph, &fitted, headroom);
+    }
+    fitted
+}
+
+/// Largest number of overlapping `[start, finish)` service intervals
+/// across the given records — the fleet's peak concurrency. Pure trace
+/// arithmetic (it never consults engine state), which is why it lives
+/// here; the federation tier reuses it across the merged record set.
+pub fn peak_overlap(records: &[WorkflowRecord]) -> usize {
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        edges.push((r.start, 1));
+        edges.push((r.finish, -1));
+    }
+    // Ends before starts at the same instant.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut cur, mut peak) = (0i32, 0i32);
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
 }
 
 #[cfg(test)]
