@@ -1,0 +1,188 @@
+//! Produces the `fleet_elasticity` section of `BENCH_online.json`: the
+//! ISSUE-6 acceptance numbers on the two-cluster burst trace — 500
+//! submissions cycling 10 unique topologies served by two LessHet/small
+//! members under least-loaded routing, with member 1 **failing at peak
+//! load** in each failure mode, and with a fresh member **joining**
+//! after the failure.
+//!
+//! Gates asserted at snapshot time: every chaos scenario is
+//! byte-identically deterministic across two runs; the terminal classes
+//! (`completed`, `rejected`, `lost`) partition the stream exactly with
+//! fleet counters the exact per-member sums; serving continues past the
+//! failure instant; and the Join-rebalanced run waits strictly less
+//! than the fail-only run.
+//!
+//! ```text
+//! cargo run --release -p dhp-bench --bin chaos_report
+//! ```
+
+use dhp_online::{
+    fit_cluster, serve_federation, serve_federation_chaos, FailureMode, FederationReport,
+    MembershipPlan, OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::{ClusterSpec, Federation, MemberSpec};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::time::Instant;
+
+fn main() {
+    let unique = 10usize;
+    let n = 500usize;
+    let subs = dhp_online::submission::repeating_stream(
+        unique,
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (8, 80),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &subs,
+        1.05,
+    );
+    let federation = Federation::homogeneous(member.clone(), 2);
+    let routing = RoutingPolicy::LeastLoaded;
+    let cfg = OnlineConfig::default();
+
+    // The joiner replays the fitted platform as inline processor lines.
+    let joiner = {
+        let spec = ClusterSpec::from_cluster(&member);
+        MemberSpec {
+            name: None,
+            bandwidth: spec.bandwidth,
+            processors: spec.processors,
+        }
+    };
+    // A burst at t=0 has the queues at their deepest early: failing at
+    // t=5 is guaranteed to tear down in-service work at peak load.
+    let fail_at = 5.0;
+    let join_at = 10.0;
+
+    let run = |name: &str, plan: &MembershipPlan| -> (FederationReport, f64) {
+        let t0 = Instant::now();
+        let out = serve_federation_chaos(&federation, subs.clone(), &cfg, routing, plan)
+            .expect("the chaos plan validates");
+        let secs = t0.elapsed().as_secs_f64();
+        let again = serve_federation_chaos(&federation, subs.clone(), &cfg, routing, plan)
+            .expect("the chaos plan validates");
+        assert_eq!(
+            out.report.to_json(),
+            again.report.to_json(),
+            "{name} is not deterministic"
+        );
+        let f = &out.report.fleet;
+        assert_eq!(
+            f.completed + f.rejected + f.lost,
+            n,
+            "{name}: the terminal classes do not partition the stream"
+        );
+        for (label, fleet_count, sum) in [
+            (
+                "completed",
+                f.completed,
+                out.report
+                    .clusters
+                    .iter()
+                    .map(|c| c.fleet.completed)
+                    .sum::<usize>(),
+            ),
+            (
+                "rejected",
+                f.rejected,
+                out.report
+                    .clusters
+                    .iter()
+                    .map(|c| c.fleet.rejected)
+                    .sum::<usize>(),
+            ),
+            (
+                "lost",
+                f.lost,
+                out.report
+                    .clusters
+                    .iter()
+                    .map(|c| c.fleet.lost)
+                    .sum::<usize>(),
+            ),
+        ] {
+            assert_eq!(
+                fleet_count, sum,
+                "{name}: fleet {label} is not the per-member sum"
+            );
+        }
+        assert!(
+            out.report.clusters[0]
+                .workflows
+                .iter()
+                .any(|r| r.finish > fail_at),
+            "{name}: no completion after the membership events"
+        );
+        (out.report, secs)
+    };
+
+    let t0 = Instant::now();
+    let baseline = serve_federation(&federation, subs.clone(), &cfg, routing);
+    let baseline_secs = t0.elapsed().as_secs_f64();
+
+    let requeue_plan = MembershipPlan::new().fail(1, fail_at, FailureMode::Requeue);
+    let lost_plan = MembershipPlan::new().fail(1, fail_at, FailureMode::Lost);
+    let join_plan = MembershipPlan::new()
+        .fail(1, fail_at, FailureMode::Requeue)
+        .join(joiner, join_at);
+
+    let (requeue, requeue_secs) = run("fail-requeue", &requeue_plan);
+    let (lost, lost_secs) = run("fail-lost", &lost_plan);
+    let (join, join_secs) = run("fail-join", &join_plan);
+
+    // The Join acceptance gate: rebalancing onto the joiner must wait
+    // strictly less than surviving on one member alone.
+    assert!(
+        join.fleet.mean_wait < requeue.fleet.mean_wait,
+        "joining after the failure did not improve mean wait: {} vs {}",
+        join.fleet.mean_wait,
+        requeue.fleet.mean_wait
+    );
+    assert!(
+        lost.fleet.lost > 0,
+        "a peak failure in lost mode must tear down in-service work"
+    );
+
+    let line = |name: &str, r: &FederationReport, secs: f64| {
+        format!(
+            "    \"{name}\": {{ \"completed\": {}, \"rejected\": {}, \"lost\": {}, \
+             \"mean_wait\": {:.3}, \"max_wait\": {:.3}, \"utilization_pct\": {:.2}, \
+             \"horizon\": {:.2}, \"spillovers\": {}, \"wall_seconds\": {:.3} }}",
+            r.fleet.completed,
+            r.fleet.rejected,
+            r.fleet.lost,
+            r.fleet.mean_wait,
+            r.fleet.max_wait,
+            100.0 * r.fleet.utilization,
+            r.fleet.horizon,
+            r.spillovers,
+            secs
+        )
+    };
+    println!("{{");
+    println!("  \"bench\": \"fleet-elasticity/two-cluster/repeat10/500\",");
+    println!(
+        "  \"trace\": {{ \"submissions\": {n}, \"unique_topologies\": {unique}, \
+         \"process\": \"burst\", \"members\": \"2 x lesshet/small\", \
+         \"routing\": \"least-loaded\", \"fail_at\": {fail_at}, \"join_at\": {join_at} }},"
+    );
+    println!("  \"runs\": {{");
+    println!("{},", line("no-chaos", &baseline.report, baseline_secs));
+    println!("{},", line("fail-requeue", &requeue, requeue_secs));
+    println!("{},", line("fail-lost", &lost, lost_secs));
+    println!("{}", line("fail-join", &join, join_secs));
+    println!("  }},");
+    println!(
+        "  \"join_mean_wait_vs_fail_only_pct\": {:.2},",
+        100.0 * (1.0 - join.fleet.mean_wait / requeue.fleet.mean_wait.max(1e-12))
+    );
+    println!("  \"terminal_classes_partition_exactly\": true,");
+    println!("  \"deterministic_across_two_runs\": true");
+    println!("}}");
+}

@@ -61,6 +61,12 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
                         queued, grow the running workflow with the most
                         unstarted work (its suffix is re-solved on the
                         grown lease; T=1 grows only on an empty queue)
+  --elastic-shrink T    elastic lease shrinking, the dual: when T >= 1 or
+                        more workflows are queued, reclaim processors from
+                        the running workflow with the most unstarted work
+                        (its suffix is re-solved on the reduced lease) so
+                        admission can use them; never delays a blocked
+                        head's backfill reservation
   --algorithm NAME      daghetpart (default) | daghetmem
   --lease-tasks N       target tasks per leased processor (default 25)
   --min-procs N         lease size lower bound (default 1)
@@ -84,6 +90,11 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
                         fleet report (mutually exclusive with --cluster)
   --routing NAME        federation routing: round-robin | least-loaded
                         (default) | best-fit (requires --clusters)
+  --chaos FILE          membership plan (JSON): time-ordered drain / fail /
+                        join events merged into the federated clock
+                        (requires --clusters)
+  --failure-mode NAME   requeue | lost — fills in `mode` for fail events
+                        that omit it (requires --chaos)
   --bandwidth B         override the cluster bandwidth
   --headroom H          fleet-wide memory scaling so the hottest task of
                         the stream fits (default 1.05; 0 disables)

@@ -6,7 +6,8 @@ use crate::args::Args;
 use crate::spec::resolve_cluster;
 use dhp_core::partial::Algorithm;
 use dhp_online::{
-    fit_cluster, serve, serve_federation, AdmissionPolicy, LeaseSizing, OnlineConfig, RoutingPolicy,
+    fit_cluster, serve, serve_federation, serve_federation_chaos, AdmissionPolicy, FailureMode,
+    LeaseSizing, MembershipPlan, OnlineConfig, RoutingPolicy,
 };
 use dhp_platform::Federation;
 use dhp_wfgen::arrivals::ArrivalProcess;
@@ -64,6 +65,12 @@ pub fn queue(args: &Args) -> Result<String, String> {
     if args.get("routing").is_some() && args.get("clusters").is_none() {
         return Err("--routing requires --clusters (a federation to route across)".into());
     }
+    if args.get("chaos").is_some() && args.get("clusters").is_none() {
+        return Err("--chaos requires --clusters (membership events act on a federation)".into());
+    }
+    if args.get("failure-mode").is_some() && args.get("chaos").is_none() {
+        return Err("--failure-mode requires --chaos (it defaults the plan's fail events)".into());
+    }
     let bandwidth = match args.get("bandwidth") {
         Some(beta) => {
             let beta: f64 = beta.parse().map_err(|_| format!("--bandwidth: {beta:?}"))?;
@@ -87,6 +94,12 @@ pub fn queue(args: &Args) -> Result<String, String> {
     // only when the queue is empty). A non-positive threshold would
     // never trigger — usage error instead of a silently static run.
     let elastic = args.get_positive_usize("elastic")?;
+    // `--elastic-shrink T` enables the dual reclamation: when T or more
+    // workflows are queued, processors are clawed back from the running
+    // workflow with the most unstarted work (suffix re-solved on the
+    // reduced lease) to unblock admission. Like `--elastic`, a
+    // non-positive threshold is a usage error.
+    let elastic_shrink = args.get_positive_usize("elastic-shrink")?;
     let headroom = args.get_f64("headroom", 1.05)?;
     if headroom != 0.0 && headroom < 1.0 {
         return Err("--headroom must be >= 1 (or 0 to disable)".into());
@@ -108,6 +121,7 @@ pub fn queue(args: &Args) -> Result<String, String> {
         // eligible backfill ties.
         cache_aware: args.switch("cache-aware"),
         elastic,
+        elastic_shrink,
     };
     if cfg.cache_cap.is_some() && !cfg.solve_cache {
         return Err("--cache-cap is meaningless with --no-solve-cache".into());
@@ -137,7 +151,36 @@ pub fn queue(args: &Args) -> Result<String, String> {
             return Err("--clusters must name at least one cluster".into());
         }
         let federation = Federation::new(members);
-        let out = serve_federation(&federation, subs, &cfg, routing);
+        // `--chaos events.json` merges a membership plan into the run;
+        // `--failure-mode` fills in `mode` for fail events that omit it.
+        let out = match args.get("chaos") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read chaos plan {path:?}: {e}"))?;
+                let mut plan = MembershipPlan::from_json(&text)?;
+                if let Some(mode) = args.get("failure-mode") {
+                    let mode = FailureMode::parse(mode)
+                        .ok_or_else(|| format!("unknown --failure-mode {mode:?} (requeue|lost)"))?;
+                    plan = plan.with_default_mode(mode);
+                }
+                // Joining members get the same bandwidth override and
+                // workload fit the initial members got — a raw named
+                // joiner would fail every memory probe against a trace
+                // fitted to the scaled members and silently serve
+                // nothing.
+                plan = plan.map_join_clusters(|mut c| {
+                    if let Some(beta) = bandwidth {
+                        c = c.with_bandwidth(beta);
+                    }
+                    if headroom != 0.0 {
+                        c = fit_cluster(&c, &subs, headroom);
+                    }
+                    c
+                })?;
+                serve_federation_chaos(&federation, subs, &cfg, routing, &plan)?
+            }
+            None => serve_federation(&federation, subs, &cfg, routing),
+        };
         let text = if args.switch("summary") {
             out.report.summary()
         } else {
@@ -355,6 +398,119 @@ mod tests {
         );
         let err = cli("queue --workflows 4 --elastic -1").unwrap_err();
         assert!(err.contains("--elastic"), "{err}");
+    }
+
+    #[test]
+    fn chaos_plan_and_failure_mode_flags_serve() {
+        let dir = std::env::temp_dir().join("dhp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("chaos.json");
+        // A fail event with no mode: `--failure-mode` must supply it.
+        std::fs::write(
+            &plan,
+            r#"{ "events": [ { "kind": "fail", "at": 5.0, "member": 1 } ] }"#,
+        )
+        .unwrap();
+        let base = format!(
+            "queue --workflows 6 --families blast --tasks 20-30 \
+             --process burst --seed 7 --clusters small,small \
+             --chaos {}",
+            plan.display()
+        );
+        // Without the flag the plan is invalid (fail needs a mode)...
+        let err = cli(&base).unwrap_err();
+        assert!(err.contains("mode"), "{err}");
+        // ...with it, both modes serve and partition the stream.
+        let requeue = cli(&format!("{base} --failure-mode requeue")).unwrap();
+        let report: dhp_online::FederationReport = serde_json::from_str(&requeue).unwrap();
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 6);
+        assert_eq!(report.fleet.lost, 0);
+        let lost = cli(&format!("{base} --failure-mode lost")).unwrap();
+        let report: dhp_online::FederationReport = serde_json::from_str(&lost).unwrap();
+        assert_eq!(
+            report.fleet.completed + report.fleet.rejected + report.fleet.lost,
+            6
+        );
+        // Deterministic, like every other serving path.
+        let line = format!("{base} --failure-mode lost");
+        assert_eq!(cli(&line).unwrap(), cli(&line).unwrap());
+        // Unknown mode is a usage error.
+        let err = cli(&format!("{base} --failure-mode explode")).unwrap_err();
+        assert!(err.contains("--failure-mode"), "{err}");
+    }
+
+    #[test]
+    fn a_named_joiner_is_fitted_to_the_workload_and_serves() {
+        let dir = std::env::temp_dir().join("dhp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("chaos-join.json");
+        // Member 1 fails at peak; a *named* joiner replaces it. The
+        // joiner spec carries the raw paper memory profile — the CLI
+        // must fit it to the workload like the initial members, or it
+        // silently fails every placement probe and serves nothing.
+        std::fs::write(
+            &plan,
+            r#"{ "events": [
+                 { "kind": "fail", "at": 5.0, "member": 1, "mode": "requeue" },
+                 { "kind": "join", "at": 10.0, "spec": { "name": "small" } }
+               ] }"#,
+        )
+        .unwrap();
+        let out = cli(&format!(
+            "queue --workflows 24 --unique 4 --families blast,seismology \
+             --tasks 20-40 --process burst --seed 7 --clusters small,small \
+             --chaos {}",
+            plan.display()
+        ))
+        .unwrap();
+        let report: dhp_online::FederationReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.clusters.len(), 3);
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 24);
+        assert!(
+            report.clusters[2].fleet.completed > 0,
+            "the fitted joiner must absorb displaced work: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn elastic_shrink_flag_parses_and_serves() {
+        let out = cli("queue --workflows 8 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7 \
+             --lease-tasks 4 --elastic-shrink 1")
+        .unwrap();
+        let report: dhp_online::ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.fleet.completed + report.fleet.rejected, 8);
+        assert!(
+            report.fleet.lease_shrunk > 0,
+            "a deep burst with wide leases must shrink at least once"
+        );
+        // The summary surfaces the counter.
+        let summary = cli("queue --workflows 8 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7 \
+             --lease-tasks 4 --elastic-shrink 1 --summary")
+        .unwrap();
+        assert!(summary.contains("shrunk"), "{summary}");
+        // Non-positive thresholds are usage errors, like --elastic.
+        let err = cli("queue --workflows 4 --elastic-shrink 0").unwrap_err();
+        assert!(
+            err.contains("--elastic-shrink") && err.contains("positive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn chaos_flag_misuse_is_rejected() {
+        let err = cli("queue --workflows 4 --chaos plan.json").unwrap_err();
+        assert!(err.contains("--chaos requires --clusters"), "{err}");
+        let err = cli("queue --workflows 4 --clusters small,small \
+             --failure-mode lost")
+        .unwrap_err();
+        assert!(err.contains("--failure-mode requires --chaos"), "{err}");
+        let err = cli("queue --workflows 4 --clusters small,small \
+             --chaos /does/not/exist.json")
+        .unwrap_err();
+        assert!(err.contains("/does/not/exist.json"), "{err}");
     }
 
     #[test]

@@ -1,126 +1,32 @@
 //! Cluster specification: named paper configurations or a JSON file.
 //!
-//! The JSON schema is deliberately tiny:
-//!
-//! ```json
-//! {
-//!   "bandwidth": 1.0,
-//!   "processors": [
-//!     { "name": "C2", "speed": 32, "memory": 192, "count": 6 },
-//!     { "name": "N1", "speed": 12, "memory": 16 }
-//!   ]
-//! }
-//! ```
-//!
-//! `count` (default 1) expands a line into that many identical machines,
-//! mirroring the paper's "six of each kind" cluster construction.
+//! The spec types and the named-configuration lookup live in
+//! [`dhp_platform::spec`] (the federation's `Join` membership events
+//! parse the same schema); this module adds the file-system layer —
+//! resolving a `--cluster` argument that may be a path.
 
-use dhp_platform::{configs, Cluster, Processor};
-use serde::{Deserialize, Serialize};
+use dhp_platform::spec::named_cluster;
+use dhp_platform::Cluster;
 
-/// One processor line of a cluster file.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ProcSpec {
-    /// Machine kind label.
-    pub name: String,
-    /// Speed `s_j`.
-    pub speed: f64,
-    /// Memory size `M_j`.
-    pub memory: f64,
-    /// Number of identical machines of this kind.
-    #[serde(default = "one")]
-    pub count: usize,
-}
-
-fn one() -> usize {
-    1
-}
-
-/// A whole cluster file.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ClusterSpec {
-    /// Uniform bandwidth `β`.
-    #[serde(default = "unit")]
-    pub bandwidth: f64,
-    /// Machine lines.
-    pub processors: Vec<ProcSpec>,
-}
-
-fn unit() -> f64 {
-    1.0
-}
-
-impl ClusterSpec {
-    /// Expands the spec into a [`Cluster`].
-    pub fn build(&self) -> Result<Cluster, String> {
-        let mut procs = Vec::new();
-        for p in &self.processors {
-            if p.speed <= 0.0 || p.memory <= 0.0 {
-                return Err(format!(
-                    "processor {:?}: speed and memory must be positive",
-                    p.name
-                ));
-            }
-            for _ in 0..p.count {
-                procs.push(Processor::new(p.name.clone(), p.speed, p.memory));
-            }
-        }
-        if procs.is_empty() {
-            return Err("cluster file defines no processors".to_string());
-        }
-        if self.bandwidth <= 0.0 {
-            return Err("bandwidth must be positive".to_string());
-        }
-        Ok(Cluster::new(procs, self.bandwidth))
-    }
-
-    /// Captures an existing cluster (used to emit example files).
-    pub fn from_cluster(cluster: &Cluster) -> ClusterSpec {
-        let mut lines: Vec<ProcSpec> = Vec::new();
-        for (_, p) in cluster.iter() {
-            match lines
-                .iter_mut()
-                .find(|l| l.name == p.kind && l.speed == p.speed && l.memory == p.memory)
-            {
-                Some(l) => l.count += 1,
-                None => lines.push(ProcSpec {
-                    name: p.kind.clone(),
-                    speed: p.speed,
-                    memory: p.memory,
-                    count: 1,
-                }),
-            }
-        }
-        ClusterSpec {
-            bandwidth: cluster.bandwidth,
-            processors: lines,
-        }
-    }
-}
+pub use dhp_platform::spec::{ClusterSpec, MemberSpec, ProcSpec};
 
 /// Resolves `--cluster`: a paper name (`default`, `small`, `large`,
 /// `morehet`, `lesshet`, `nohet`) or a path to a JSON file.
 pub fn resolve_cluster(arg: &str) -> Result<Cluster, String> {
-    match arg {
-        "default" => Ok(configs::default_cluster()),
-        "small" => Ok(configs::small_cluster()),
-        "large" => Ok(configs::large_cluster()),
-        "morehet" => Ok(configs::more_het_cluster()),
-        "lesshet" => Ok(configs::less_het_cluster()),
-        "nohet" => Ok(configs::no_het_cluster()),
-        path => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read cluster file {path:?}: {e}"))?;
-            let spec: ClusterSpec = serde_json::from_str(&text)
-                .map_err(|e| format!("invalid cluster file {path:?}: {e}"))?;
-            spec.build()
-        }
+    if let Some(c) = named_cluster(arg) {
+        return Ok(c);
     }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("cannot read cluster file {arg:?}: {e}"))?;
+    let spec: ClusterSpec =
+        serde_json::from_str(&text).map_err(|e| format!("invalid cluster file {arg:?}: {e}"))?;
+    spec.build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dhp_platform::configs;
 
     #[test]
     fn named_clusters_resolve() {

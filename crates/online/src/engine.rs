@@ -56,7 +56,7 @@
 //! interleaving.
 
 use crate::admission::admission_passes;
-use crate::lease::run_growth;
+use crate::lease::{run_growth, run_shrink};
 use crate::policy::{AdmissionPolicy, LeaseSizing};
 use crate::report::{FleetMetrics, ServeReport};
 use crate::state::ClusterState;
@@ -111,6 +111,15 @@ pub struct OnlineConfig {
     /// its suffix DAG on the grown lease. `Some(1)` grows only when the
     /// queue is empty; `None` (default) keeps leases static.
     pub elastic: Option<usize>,
+    /// Elastic lease shrinking (`--elastic-shrink T`): `Some(T)` lets
+    /// an event that leaves at least `T` workflows queued reclaim
+    /// processors from the running workflow with the most unstarted
+    /// work — its not-yet-started suffix is re-solved on a reduced
+    /// lease and the released processors go to the admission queue —
+    /// the dual of `elastic` growth. Guarded exactly like growth: a
+    /// shrink is refused when it would delay a blocked backfill head's
+    /// reservation. `None` (default) never shrinks.
+    pub elastic_shrink: Option<usize>,
 }
 
 impl Default for OnlineConfig {
@@ -124,6 +133,7 @@ impl Default for OnlineConfig {
             cache_cap: None,
             cache_aware: false,
             elastic: None,
+            elastic_shrink: None,
         }
     }
 }
@@ -216,6 +226,7 @@ pub fn serve_with_cache(
         }
 
         admission_passes(&mut state, cfg, cache, config_hash, clock);
+        run_shrink(&mut state, cfg, cache, config_hash, clock);
 
         let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
         run_growth(&mut state, cfg, cache, config_hash, clock, arrivals_pending);
@@ -255,6 +266,8 @@ pub(crate) fn finalize(
         busy_time,
         reservations,
         lease_grown,
+        lease_shrunk,
+        lost,
         ..
     } = state;
 
@@ -377,6 +390,7 @@ pub(crate) fn finalize(
     };
     let peak_concurrency = peak_overlap(&finished);
     let rejected_count = rejected.len();
+    let lost_count = lost.len();
 
     ServeOutcome {
         report: ServeReport {
@@ -386,6 +400,7 @@ pub(crate) fn finalize(
             bandwidth: cluster.bandwidth,
             workflows: finished,
             rejected,
+            lost,
             fleet: FleetMetrics {
                 completed,
                 rejected: rejected_count,
@@ -413,6 +428,8 @@ pub(crate) fn finalize(
                 baseline_solves: batch.misses,
                 solve_cache_evictions: pre.evictions + batch.evictions,
                 lease_grown,
+                lease_shrunk,
+                lost: lost_count,
             },
         },
         placements,

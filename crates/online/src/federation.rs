@@ -35,15 +35,26 @@
 //!   per-cluster ones (solver statistics are attributed to the member
 //!   whose probes caused them).
 //!
+//! * **Membership events** ([`serve_federation_chaos`]): a
+//!   [`MembershipPlan`] of time-ordered `drain` / `fail` / `join`
+//!   events merged into the federated clock. A draining member's
+//!   queued work migrates to the survivors and its in-service work
+//!   finishes; a failing member additionally tears down its in-service
+//!   work — requeued onto survivors with the original arrival and id,
+//!   or recorded as *lost* ([`LostRecord`]), per the event's
+//!   [`FailureMode`]. A joining member starts receiving routed
+//!   arrivals and spillover from the very instant it appears.
+//!
 //! Events are processed in the single-cluster engine's order —
-//! completions before arrivals at equal instants, members in index
-//! order — so a federated run is a pure function of
-//! `(federation, submissions, config, routing)`.
+//! completions before membership events before arrivals at equal
+//! instants, members in index order — so a federated run is a pure
+//! function of `(federation, submissions, config, routing, plan)`.
 
 use crate::admission::{admission_passes, can_place, BACKFILL_DEPTH};
+use crate::chaos::{FailureMode, MembershipEvent, MembershipPlan};
 use crate::engine::{finalize, make_cache, OnlineConfig, ServeOutcome};
-use crate::lease::run_growth;
-use crate::report::{FleetMetrics, ServeReport, WorkflowRecord};
+use crate::lease::{run_growth, run_shrink};
+use crate::report::{FleetMetrics, LostRecord, RejectedRecord, ServeReport, WorkflowRecord};
 use crate::state::{ClusterState, Pending};
 use crate::submission::{peak_overlap, Submission};
 use dhp_core::fitting::max_task_requirement;
@@ -51,6 +62,20 @@ use dhp_core::partial::{SolveCache, SolveCacheStats};
 use dhp_platform::Federation;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// Lifecycle of a federation member under membership events. Without a
+/// chaos plan every member stays `Active` forever and the loop is
+/// byte-identical to the pre-chaos federation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemberStatus {
+    /// Serving normally: routes, admits, spills, grows, shrinks.
+    Active,
+    /// Drained: in-service work runs to completion (elastic growth may
+    /// still speed it up), but the member accepts no new work.
+    Draining,
+    /// Failed: the member is gone; its processors serve nothing.
+    Failed,
+}
 
 /// How an arriving workflow is assigned its home cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,7 +166,8 @@ impl FederationReport {
              throughput {:.4}/t   utilization {:.1}%   peak concurrency {}\n\
              wait   mean {:.2}  max {:.2}\n\
              stretch mean {:.3}  max {:.3}\n\
-             solve cache hits {}  misses {}  evictions {}   leases grown {}\n",
+             solve cache hits {}  misses {}  evictions {}   \
+             leases grown {}  shrunk {}   lost {}\n",
             self.routing,
             self.policy,
             self.clusters.len(),
@@ -161,6 +187,8 @@ impl FederationReport {
             f.solve_cache_misses,
             f.solve_cache_evictions,
             f.lease_grown,
+            f.lease_shrunk,
+            f.lost,
         );
         for (i, c) in self.clusters.iter().enumerate() {
             s.push_str(&format!(
@@ -226,18 +254,73 @@ pub fn serve_federation_with_cache(
     routing: RoutingPolicy,
     cache: &SolveCache,
 ) -> FederationOutcome {
-    let n = federation.len();
+    serve_loop(federation, submissions, cfg, routing, cache, &[])
+}
+
+/// Serves a submission stream across a federation *under a membership
+/// plan*: drain/fail/join events merged into the federated clock (see
+/// [`MembershipPlan`] for the semantics and JSON schema). A fresh
+/// shared [`SolveCache`] is created per call. Returns an error when
+/// the plan does not validate against the federation (member index out
+/// of range, unknown failure mode, unbuildable join spec). An empty
+/// plan reproduces [`serve_federation`] byte-for-byte.
+pub fn serve_federation_chaos(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    plan: &MembershipPlan,
+) -> Result<FederationOutcome, String> {
+    let cache = make_cache(cfg);
+    serve_federation_chaos_with_cache(federation, submissions, cfg, routing, plan, &cache)
+}
+
+/// [`serve_federation_chaos`] with a caller-owned shared [`SolveCache`].
+pub fn serve_federation_chaos_with_cache(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    plan: &MembershipPlan,
+    cache: &SolveCache,
+) -> Result<FederationOutcome, String> {
+    let events = plan.resolve(federation.len())?;
+    Ok(serve_loop(
+        federation,
+        submissions,
+        cfg,
+        routing,
+        cache,
+        &events,
+    ))
+}
+
+/// The federated event loop shared by the plain and chaos entry
+/// points: completions, membership events and arrivals merged on one
+/// virtual clock (in that priority at equal instants), followed by the
+/// per-member admission passes, elastic shrinking, the spillover
+/// sweep, and elastic growth.
+fn serve_loop(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    cache: &SolveCache,
+    chaos: &[MembershipEvent],
+) -> FederationOutcome {
     let config_hash = SolveCache::config_hash(&cfg.solver);
     let mut states: Vec<ClusterState> = federation
         .iter()
         .map(|(i, c)| ClusterState::new(c, Some(i)))
         .collect();
+    let mut status: Vec<MemberStatus> = vec![MemberStatus::Active; states.len()];
     // Solver statistics attributed per member as the loop runs.
-    let mut acc: Vec<SolveCacheStats> = vec![SolveCacheStats::default(); n];
+    let mut acc: Vec<SolveCacheStats> = vec![SolveCacheStats::default(); states.len()];
     let mut subs = submissions;
     subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
 
     let mut next_arrival = 0usize;
+    let mut next_event = 0usize;
     let mut clock = 0.0f64;
     let mut rr_next = 0usize;
     let mut spillovers = 0u64;
@@ -245,29 +328,45 @@ pub fn serve_federation_with_cache(
     loop {
         // ------------------------------------------------ next event(s)
         let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
+        let membership_time = chaos.get(next_event).map(|e| e.at());
         let completion_time = states
             .iter()
             .filter_map(|s| s.next_completion_time())
             .min_by(|a, b| a.total_cmp(b));
-        match (completion_time, arrival_time) {
-            (None, None) if states.iter().all(|s| s.queue.is_empty()) => break,
-            (None, None) => {
+        match (completion_time, membership_time, arrival_time) {
+            (None, None, None) if states.iter().all(|s| s.queue.is_empty()) => break,
+            (None, None, None) => {
                 // Some queue is non-empty with nothing in flight
                 // anywhere: every processor of every member is free, so
                 // the admission passes below either admit or reject
                 // each head candidate (the single-cluster invariant,
-                // member by member).
+                // member by member — queues only ever live on Active
+                // members, whose admission runs below).
             }
             // Completions first at equal instants, members in index
             // order: freed processors must be visible to same-instant
-            // arrivals and to the spillover sweep.
-            (Some(tc), ta) if ta.is_none_or(|t| tc <= t) => {
+            // membership events and arrivals, and a workflow finishing
+            // the very instant its member fails still completes.
+            (Some(tc), tm, ta) if tm.is_none_or(|t| tc <= t) && ta.is_none_or(|t| tc <= t) => {
                 clock = tc;
                 for st in states.iter_mut() {
                     st.process_due_completions(clock);
                 }
             }
-            (_, Some(ta)) => {
+            // Membership before arrivals at equal instants: a joining
+            // member can receive a same-instant arrival, and a failing
+            // one must never be routed to.
+            (_, Some(tm), ta) if ta.is_none_or(|t| tm <= t) => {
+                clock = tm;
+                while let Some(e) = chaos.get(next_event) {
+                    if e.at() > clock {
+                        break;
+                    }
+                    next_event += 1;
+                    apply_membership(e, &mut states, &mut status, &mut acc, clock);
+                }
+            }
+            (_, _, Some(ta)) => {
                 clock = ta;
                 while let Some(s) = subs.get(next_arrival) {
                     if s.arrival > clock {
@@ -275,36 +374,82 @@ pub fn serve_federation_with_cache(
                     }
                     let s = subs[next_arrival].clone();
                     next_arrival += 1;
-                    let home = route(
+                    match route(
                         routing,
                         &mut rr_next,
                         &states,
+                        &status,
                         &s,
                         cfg,
                         cache,
                         config_hash,
                         &mut acc,
-                    );
-                    states[home].enqueue_arrival(s, clock);
+                    ) {
+                        Some(home) => states[home].enqueue_arrival(s, clock),
+                        // Every member failed or drained and no join is
+                        // due: the arrival is deterministically rejected
+                        // on the lowest-index member's record.
+                        None => {
+                            let cluster_id = states[0].cluster_id;
+                            states[0].rejected.push(RejectedRecord {
+                                id: s.id,
+                                name: s.instance.name.clone(),
+                                arrival: s.arrival,
+                                rejected_at: clock,
+                                wait: clock - s.arrival,
+                                reason: "no active federation member".to_string(),
+                                cluster_id,
+                            });
+                        }
+                    }
                 }
             }
-            (Some(_), None) => unreachable!(),
+            _ => unreachable!("the guards cover every inhabited case"),
         }
 
         // --------------------------------------------- admission passes
-        for i in 0..n {
+        for i in 0..states.len() {
+            if status[i] != MemberStatus::Active {
+                continue;
+            }
             let st = &mut states[i];
             attributed(cache, &mut acc[i], || {
                 admission_passes(st, cfg, cache, config_hash, clock)
             });
         }
 
+        // ---------------------------------------------- elastic shrink
+        // Before the spillover sweep: processors reclaimed here are
+        // visible to the migration probes of this very event.
+        for i in 0..states.len() {
+            if status[i] != MemberStatus::Active {
+                continue;
+            }
+            let st = &mut states[i];
+            attributed(cache, &mut acc[i], || {
+                run_shrink(st, cfg, cache, config_hash, clock)
+            });
+        }
+
         // -------------------------------------------------- spillover
-        spillovers += spill(&mut states, cfg, cache, config_hash, clock, &mut acc);
+        spillovers += spill(
+            &mut states,
+            &status,
+            cfg,
+            cache,
+            config_hash,
+            clock,
+            &mut acc,
+        );
 
         // ---------------------------------------------- elastic growth
+        // Draining members still grow: their free processors can serve
+        // nothing else, and growth drains the member sooner.
         let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
-        for i in 0..n {
+        for i in 0..states.len() {
+            if status[i] == MemberStatus::Failed {
+                continue;
+            }
             let st = &mut states[i];
             attributed(cache, &mut acc[i], || {
                 run_growth(st, cfg, cache, config_hash, clock, arrivals_pending)
@@ -319,13 +464,14 @@ pub fn serve_federation_with_cache(
         .map(|(st, pre)| finalize(st, cfg, cache, pre))
         .collect();
     let clusters: Vec<ServeReport> = outcomes.iter().map(|o| o.report.clone()).collect();
-    let fleet = merge_fleet(&clusters, federation.total_procs());
+    let total_procs: usize = clusters.iter().map(|c| c.cluster_procs).sum();
+    let fleet = merge_fleet(&clusters, total_procs);
     FederationOutcome {
         report: FederationReport {
             routing: routing.name().to_string(),
             policy: cfg.policy.name().to_string(),
             algorithm: cfg.algorithm.name().to_string(),
-            total_procs: federation.total_procs(),
+            total_procs,
             spillovers,
             clusters,
             fleet,
@@ -334,24 +480,165 @@ pub fn serve_federation_with_cache(
     }
 }
 
-/// Picks an arriving submission's home cluster. `BestFit` probes the
-/// members with the admission layer's `can_place`; those probes are
-/// attributed to the member they ran against, and their solves stay in
-/// the shared cache for the eventual admission to replay.
+/// Applies one membership event to the fleet state. Queue migration
+/// picks each displaced workflow's new home with the speed-weighted
+/// least-loaded rule over the surviving Active members (memory-screened
+/// first, like routing); the spillover sweep of the same event then
+/// rebalances further. With no surviving Active member the displaced
+/// work is deterministically rejected on the event's own member, so
+/// every submission still ends in exactly one terminal class.
+fn apply_membership(
+    event: &MembershipEvent,
+    states: &mut Vec<ClusterState>,
+    status: &mut Vec<MemberStatus>,
+    acc: &mut Vec<SolveCacheStats>,
+    clock: f64,
+) {
+    match event {
+        MembershipEvent::Drain { member, at: _ } => {
+            let m = *member;
+            if status[m] != MemberStatus::Active {
+                return; // draining a drained/failed member is a no-op
+            }
+            status[m] = MemberStatus::Draining;
+            let displaced = states[m].take_queue();
+            for p in displaced {
+                migrate_pending(states, status, m, p, clock);
+            }
+        }
+        MembershipEvent::Fail { member, at, mode } => {
+            let m = *member;
+            if status[m] == MemberStatus::Failed {
+                return;
+            }
+            status[m] = MemberStatus::Failed;
+            let displaced = states[m].take_queue();
+            for p in displaced {
+                migrate_pending(states, status, m, p, clock);
+            }
+            let torn = states[m].fail_in_service();
+            for svc in torn {
+                match mode {
+                    FailureMode::Lost => {
+                        let cluster_id = states[m].cluster_id;
+                        let r = &svc.record;
+                        states[m].lost.push(LostRecord {
+                            id: r.id,
+                            name: r.name.clone(),
+                            tasks: r.tasks,
+                            arrival: r.arrival,
+                            start: r.start,
+                            failed_at: *at,
+                            cluster_id,
+                        });
+                    }
+                    FailureMode::Requeue => {
+                        let sub = svc.placement.submission;
+                        let p = Pending {
+                            id: sub.id,
+                            arrival: sub.arrival,
+                            total_work: sub.instance.graph.total_work(),
+                            max_task_req: max_task_requirement(&sub.instance.graph),
+                            fingerprint: svc.fingerprint,
+                            submission: sub,
+                        };
+                        migrate_pending(states, status, m, p, clock);
+                    }
+                }
+            }
+        }
+        MembershipEvent::Join { cluster, at: _ } => {
+            let idx = states.len();
+            states.push(ClusterState::new(cluster, Some(idx)));
+            status.push(MemberStatus::Active);
+            acc.push(SolveCacheStats::default());
+        }
+    }
+}
+
+/// Re-homes one displaced pending workflow: memory-screened,
+/// speed-weighted least-loaded over the Active members (ties: smaller
+/// index). Falls back to the unscreened Active pool (the new home's
+/// arrival screen records the rejection deterministically) and, with
+/// no Active member at all, rejects on the displacing member `src`.
+fn migrate_pending(
+    states: &mut [ClusterState],
+    status: &[MemberStatus],
+    src: usize,
+    p: Pending,
+    clock: f64,
+) {
+    let active: Vec<usize> = (0..states.len())
+        .filter(|&i| status[i] == MemberStatus::Active)
+        .collect();
+    if active.is_empty() {
+        states[src].rejected.push(RejectedRecord {
+            id: p.id,
+            name: p.submission.instance.name.clone(),
+            arrival: p.arrival,
+            rejected_at: clock,
+            wait: clock - p.arrival,
+            reason: "member left the federation with no surviving active member".to_string(),
+            cluster_id: states[src].cluster_id,
+        });
+        return;
+    }
+    let screened: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&i| p.max_task_req <= states[i].cluster.max_memory() * (1.0 + 1e-9))
+        .collect();
+    let pool = if screened.is_empty() {
+        &active
+    } else {
+        &screened
+    };
+    let dest = pool
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let la = states[a].queued_work() / states[a].cluster.total_speed();
+            let lb = states[b].queued_work() / states[b].cluster.total_speed();
+            la.total_cmp(&lb).then(a.cmp(&b))
+        })
+        .expect("the migration pool is never empty");
+    if screened.is_empty() {
+        // No active member can hold the hottest task: record the
+        // rejection through the destination's own arrival screen.
+        let dest_state = &mut states[dest];
+        let sub = p.submission;
+        dest_state.enqueue_arrival(sub, clock);
+    } else {
+        states[dest].insert_pending(p);
+    }
+}
+
+/// Picks an arriving submission's home cluster among the Active
+/// members, or `None` when every member has drained or failed.
+/// `BestFit` probes the members with the admission layer's
+/// `can_place`; those probes are attributed to the member they ran
+/// against, and their solves stay in the shared cache for the eventual
+/// admission to replay.
 #[allow(clippy::too_many_arguments)]
 fn route(
     routing: RoutingPolicy,
     rr_next: &mut usize,
     states: &[ClusterState],
+    status: &[MemberStatus],
     s: &Submission,
     cfg: &OnlineConfig,
     cache: &SolveCache,
     config_hash: u64,
     acc: &mut [SolveCacheStats],
-) -> usize {
-    let n = states.len();
-    if n == 1 {
-        return 0;
+) -> Option<usize> {
+    let active: Vec<usize> = (0..states.len())
+        .filter(|&i| status[i] == MemberStatus::Active)
+        .collect();
+    if active.is_empty() {
+        return None;
+    }
+    if active.len() == 1 {
+        return Some(active[0]);
     }
     // Memory screen first: a member whose largest processor cannot hold
     // the workflow's hottest task would *permanently reject* it on
@@ -363,24 +650,29 @@ fn route(
     // every home yields the same rejection, so the unscreened pool is
     // used and the (deterministic) home records it.
     let req = max_task_requirement(&s.instance.graph);
-    let mut pool: Vec<usize> = (0..n)
+    let mut pool: Vec<usize> = active
+        .iter()
+        .copied()
         .filter(|&i| req <= states[i].cluster.max_memory() * (1.0 + 1e-9))
         .collect();
     if pool.is_empty() {
-        pool = (0..n).collect();
+        pool = active;
     }
+    // Speed-weighted load: queued work normalised by the member's
+    // aggregate speed, so a twice-as-fast member absorbs twice the
+    // backlog before it ties a slow one. On homogeneous fleets the
+    // divisor is a shared constant and the ordering is unchanged.
     let least_loaded = |pool: &[usize]| -> usize {
         pool.iter()
             .copied()
             .min_by(|&a, &b| {
-                states[a]
-                    .queued_work()
-                    .total_cmp(&states[b].queued_work())
-                    .then(a.cmp(&b))
+                let la = states[a].queued_work() / states[a].cluster.total_speed();
+                let lb = states[b].queued_work() / states[b].cluster.total_speed();
+                la.total_cmp(&lb).then(a.cmp(&b))
             })
             .expect("the routing pool is never empty")
     };
-    match routing {
+    Some(match routing {
         RoutingPolicy::RoundRobin => {
             let i = pool[*rr_next % pool.len()];
             *rr_next += 1;
@@ -413,7 +705,7 @@ fn route(
             }
             best.map_or_else(|| least_loaded(&pool), |(_, j)| j)
         }
-    }
+    })
 }
 
 /// A transient [`Pending`] view of an arriving submission, for routing
@@ -443,6 +735,7 @@ fn probe_pending(s: &Submission) -> Pending {
 /// ping-pong). Returns the number of migrations.
 fn spill(
     states: &mut [ClusterState],
+    status: &[MemberStatus],
     cfg: &OnlineConfig,
     cache: &SolveCache,
     config_hash: u64,
@@ -467,7 +760,9 @@ fn spill(
             probed += 1;
             let mut dest: Option<usize> = None;
             for j in 0..n {
-                if j == i {
+                // Only Active members receive spillover: a draining
+                // member is emptying out and a failed one is gone.
+                if j == i || status[j] != MemberStatus::Active {
                     continue;
                 }
                 // The probe is charged to the *source*: spillover is
@@ -526,10 +821,43 @@ fn spill(
 /// Merges the per-cluster fleet metrics into the federation-level
 /// block: exact sums for counters and solver statistics,
 /// completion-weighted means, a federation-wide utilisation window, and
-/// peak concurrency recomputed over the merged record set.
+/// peak concurrency recomputed over the merged record set. Debug
+/// builds additionally verify the per-member ↔ fleet partition
+/// invariant: every submission id appears in exactly one terminal
+/// class (completed, rejected, or lost) across the whole federation,
+/// and each member's counters equal its record lengths.
 fn merge_fleet(clusters: &[ServeReport], total_procs: usize) -> FleetMetrics {
+    #[cfg(debug_assertions)]
+    {
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (i, c) in clusters.iter().enumerate() {
+            debug_assert_eq!(
+                c.fleet.completed,
+                c.workflows.len(),
+                "member {i}: completed counter must equal its record count"
+            );
+            debug_assert_eq!(
+                c.fleet.lost,
+                c.lost.len(),
+                "member {i}: lost counter must equal its record count"
+            );
+            let ids = c
+                .workflows
+                .iter()
+                .map(|r| r.id)
+                .chain(c.rejected.iter().map(|r| r.id))
+                .chain(c.lost.iter().map(|r| r.id));
+            for id in ids {
+                debug_assert!(
+                    seen.insert(id),
+                    "workflow {id} appears in two terminal classes across the fleet"
+                );
+            }
+        }
+    }
     let completed: usize = clusters.iter().map(|c| c.fleet.completed).sum();
     let rejected: usize = clusters.iter().map(|c| c.fleet.rejected).sum();
+    let lost: usize = clusters.iter().map(|c| c.fleet.lost).sum();
     let horizon = clusters.iter().map(|c| c.fleet.horizon).fold(0.0, f64::max);
     let window_start = clusters
         .iter()
@@ -566,6 +894,7 @@ fn merge_fleet(clusters: &[ServeReport], total_procs: usize) -> FleetMetrics {
     FleetMetrics {
         completed,
         rejected,
+        lost,
         horizon,
         window_start,
         throughput: if window > 0.0 {
@@ -591,6 +920,7 @@ fn merge_fleet(clusters: &[ServeReport], total_procs: usize) -> FleetMetrics {
         baseline_solves: clusters.iter().map(|c| c.fleet.baseline_solves).sum(),
         solve_cache_evictions: clusters.iter().map(|c| c.fleet.solve_cache_evictions).sum(),
         lease_grown: clusters.iter().map(|c| c.fleet.lease_grown).sum(),
+        lease_shrunk: clusters.iter().map(|c| c.fleet.lease_shrunk).sum(),
     }
 }
 
@@ -923,6 +1253,273 @@ mod tests {
             fed.report.fleet.mean_wait,
             single.report.fleet.mean_wait
         );
+    }
+
+    #[test]
+    fn empty_chaos_plan_is_byte_identical_to_the_plain_federation() {
+        let fed = Federation::new(vec![member(), member()]);
+        for routing in RoutingPolicy::ALL {
+            let plain = serve_federation(&fed, burst(8), &OnlineConfig::default(), routing);
+            let chaos = serve_federation_chaos(
+                &fed,
+                burst(8),
+                &OnlineConfig::default(),
+                routing,
+                &MembershipPlan::new(),
+            )
+            .unwrap();
+            assert_eq!(
+                plain.report.to_json(),
+                chaos.report.to_json(),
+                "{}: an empty plan changed the run",
+                routing.name()
+            );
+        }
+        // And an invalid plan is an error, not a panic.
+        let bad = MembershipPlan::new().drain(9, 1.0);
+        assert!(serve_federation_chaos(
+            &fed,
+            burst(2),
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+            &bad
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn drain_migrates_the_queue_and_in_service_work_finishes() {
+        // Two single-processor members. Round-robin: hog0 → m0 (until
+        // t=100), hog1 → m1 (until t=50), q → m0's queue (m1 busy, so
+        // no spillover). Draining m0 at t=10 must migrate q to m1 and
+        // let hog0 run to completion on m0; nothing is lost.
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let fed = Federation::new(vec![small.clone(), small]);
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 50.0, "hog0"), // rr → m0
+            single_task(1, 0.0, 50.0, 50.0, "hog1"),  // rr → m1
+            single_task(2, 1.0, 5.0, 50.0, "q"),      // rr → m0, queued
+        ];
+        let plan = MembershipPlan::new().drain(0, 10.0);
+        let out = serve_federation_chaos(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+            &plan,
+        )
+        .unwrap();
+        let find = |id: usize| {
+            out.report
+                .clusters
+                .iter()
+                .flat_map(|c| c.workflows.iter())
+                .find(|r| r.id == id)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(out.report.fleet.completed, 3);
+        assert_eq!((out.report.fleet.rejected, out.report.fleet.lost), (0, 0));
+        // The hog kept its member to the end.
+        assert_eq!(find(0).cluster_id, Some(0));
+        // The queued workflow served on the survivor when it freed.
+        assert_eq!((find(2).cluster_id, find(2).start), (Some(1), 50.0));
+    }
+
+    #[test]
+    fn fail_requeue_reruns_in_service_work_on_survivors() {
+        // hog0 → m0 (until t=100), victim → m1 (until t=50). Failing
+        // m1 at t=10 with `requeue` discards the victim's progress and
+        // re-enters it (original arrival, original id) on m0, where it
+        // queues behind the hog and serves at t=100.
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let fed = Federation::new(vec![small.clone(), small]);
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 50.0, "hog0"),  // rr → m0
+            single_task(1, 0.0, 50.0, 50.0, "victim"), // rr → m1
+        ];
+        let plan = MembershipPlan::new().fail(1, 10.0, FailureMode::Requeue);
+        let out = serve_federation_chaos(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(out.report.fleet.completed, 2);
+        assert_eq!((out.report.fleet.rejected, out.report.fleet.lost), (0, 0));
+        let victim = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .find(|r| r.id == 1)
+            .expect("requeued victim completes");
+        assert_eq!(victim.cluster_id, Some(0));
+        assert_eq!(victim.arrival, 0.0, "requeue keeps the original arrival");
+        assert_eq!(victim.start, 100.0, "re-served when the survivor freed");
+        // The failed member's report holds no completion for it.
+        assert_eq!(out.report.clusters[1].fleet.completed, 0);
+    }
+
+    #[test]
+    fn fail_lost_records_the_torn_down_work_exactly_once() {
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let fed = Federation::new(vec![small.clone(), small]);
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 50.0, "hog0"),
+            single_task(1, 0.0, 50.0, 50.0, "victim"),
+        ];
+        let plan = MembershipPlan::new().fail(1, 10.0, FailureMode::Lost);
+        let out = serve_federation_chaos(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::RoundRobin,
+            &plan,
+        )
+        .unwrap();
+        // Exact partition: one completed, one lost, none rejected.
+        assert_eq!(out.report.fleet.completed, 1);
+        assert_eq!((out.report.fleet.rejected, out.report.fleet.lost), (0, 1));
+        let lost = &out.report.clusters[1].lost[0];
+        assert_eq!((lost.id, lost.cluster_id), (1, Some(1)));
+        assert_eq!((lost.arrival, lost.start, lost.failed_at), (0.0, 0.0, 10.0));
+        // The lost id appears in no other terminal class.
+        assert!(out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .all(|r| r.id != 1));
+        // The failed member's busy time was un-credited: its
+        // utilisation counts completed work only (here: none).
+        assert_eq!(out.report.clusters[1].fleet.utilization, 0.0);
+    }
+
+    #[test]
+    fn join_adds_a_member_that_receives_blocked_work() {
+        // One single-processor member: hog until t=100, q blocked
+        // behind it. A second member joining at t=10 must pick q up via
+        // the spillover sweep at the join instant — not at t=100.
+        let small = Cluster::new(vec![Processor::new("p", 1.0, 100.0)], 1.0);
+        let fed = Federation::from(small.clone());
+        let subs = vec![
+            single_task(0, 0.0, 100.0, 50.0, "hog"),
+            single_task(1, 1.0, 5.0, 50.0, "q"),
+        ];
+        let plan = MembershipPlan::new().join(
+            dhp_platform::MemberSpec {
+                name: None,
+                bandwidth: 1.0,
+                processors: vec![dhp_platform::ProcSpec {
+                    name: "p".into(),
+                    speed: 1.0,
+                    memory: 100.0,
+                    count: 1,
+                }],
+            },
+            10.0,
+        );
+        let out = serve_federation_chaos(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(out.report.clusters.len(), 2);
+        assert_eq!(out.report.total_procs, 2);
+        let q = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .find(|r| r.id == 1)
+            .unwrap();
+        assert_eq!(
+            (q.cluster_id, q.start),
+            (Some(1), 10.0),
+            "the joiner must serve the blocked workflow at the join instant"
+        );
+        assert!(out.report.spillovers >= 1);
+    }
+
+    #[test]
+    fn least_loaded_weighs_queued_work_by_member_speed() {
+        // m0: speed 1; m1: speed 4 (both one processor). Build queues
+        // m0=40, m1=100 work: raw queued work prefers m0, but the
+        // speed-weighted load (40/1 = 40 vs 100/4 = 25) prefers the
+        // fast member. A drained workflow must migrate to m1.
+        let m = |speed: f64| Cluster::new(vec![Processor::new("p", speed, 100.0)], 1.0);
+        let fed = Federation::new(vec![m(1.0), m(4.0), m(1.0)]);
+        let subs = vec![
+            single_task(0, 0.0, 1000.0, 50.0, "hog0"), // → m0 (tie)
+            single_task(1, 0.1, 1000.0, 50.0, "hog1"), // → m0, spills to m1
+            single_task(2, 0.2, 1000.0, 50.0, "hog2"), // → m0, spills to m2
+            single_task(3, 0.3, 40.0, 50.0, "q0"),     // → m0 queue (all busy)
+            single_task(4, 0.4, 100.0, 50.0, "q1"),    // → m1 queue
+            single_task(5, 0.5, 10.0, 50.0, "qd"),     // → m2 queue
+        ];
+        let plan = MembershipPlan::new().drain(2, 1.0);
+        let out = serve_federation_chaos(
+            &fed,
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(out.report.fleet.completed, 6);
+        let qd = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .find(|r| r.id == 5)
+            .unwrap();
+        assert_eq!(
+            qd.cluster_id,
+            Some(1),
+            "the drained workflow must migrate to the speed-weighted \
+             least-loaded member (fast m1), not the raw-queued-work one (m0)"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let fed = Federation::new(vec![member(), member()]);
+        let plan = MembershipPlan::new()
+            .fail(1, 30.0, FailureMode::Requeue)
+            .join(
+                dhp_platform::MemberSpec {
+                    name: None,
+                    bandwidth: 1.0,
+                    processors: vec![dhp_platform::ProcSpec {
+                        name: "big".into(),
+                        speed: 4.0,
+                        memory: 600.0,
+                        count: 3,
+                    }],
+                },
+                60.0,
+            );
+        for routing in RoutingPolicy::ALL {
+            let a =
+                serve_federation_chaos(&fed, burst(10), &OnlineConfig::default(), routing, &plan)
+                    .unwrap();
+            let b =
+                serve_federation_chaos(&fed, burst(10), &OnlineConfig::default(), routing, &plan)
+                    .unwrap();
+            assert_eq!(
+                a.report.to_json(),
+                b.report.to_json(),
+                "{} chaos run is not deterministic",
+                routing.name()
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! processors (driven by `run_growth` at completion events whose
 //! freed processors would otherwise idle).
 
-use crate::admission::{head_fits_at, head_reservation, BACKFILL_DEPTH};
+use crate::admission::{admission_passes, head_fits_at, head_reservation, BACKFILL_DEPTH};
 use crate::engine::OnlineConfig;
 use crate::report::WorkflowRecord;
 use crate::state::{ClusterState, InService, Pending, Placement, Regrow};
@@ -93,6 +93,7 @@ impl Grant {
             lease: lease.iter().map(|p| p.0).collect(),
             blocks: sched.local.mapping.num_blocks(),
             lease_grown: false,
+            lease_shrunk: false,
             cluster_id,
         };
         let placement = Placement {
@@ -409,6 +410,293 @@ fn grow_lease(
         r.lease_grown = true;
         svc.placement.finish = new_finish;
         svc.placement.lease = lease;
+        svc.placement.regrow.push(Regrow {
+            at: release,
+            suffix: s.back,
+            suffix_dag: s.dag,
+            mapping: s.schedule.global,
+        });
+        return true;
+    }
+    false
+}
+
+/// The elastic-shrink step (`--elastic-shrink T`), the dual of
+/// [`run_growth`]: when an event leaves at least `T` workflows queued,
+/// reclaim processors from running workflows — re-solving their
+/// unstarted suffixes on reduced leases — and immediately offer the
+/// released processors to the admission queue. Skipped inside the
+/// growth regime (queue shallower than the `--elastic` threshold):
+/// freed capacity there belongs to growth, and alternating the two at
+/// one event would thrash. Each successful shrink releases at least
+/// one processor and re-runs the admission passes, so the loop is
+/// bounded by the in-service droppable processors.
+pub(crate) fn run_shrink(
+    state: &mut ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+) {
+    let Some(threshold) = cfg.elastic_shrink else {
+        return;
+    };
+    if cfg
+        .elastic
+        .is_some_and(|grow_at| state.queue.len() < grow_at)
+    {
+        return;
+    }
+    while state.queue.len() >= threshold.max(1)
+        && shrink_lease(state, cfg, cache, config_hash, clock)
+    {
+        state.lease_shrunk += 1;
+        admission_passes(state, cfg, cache, config_hash, clock);
+    }
+}
+
+/// One elastic-shrink attempt: ranks the in-service workflows by
+/// unstarted work (most first, ties on id — the workflow with the most
+/// re-solvable suffix yields the most reclaimable capacity), and for
+/// the best candidate releases every lease processor hosting no
+/// currently running task, re-solving the suffix DAG on the reduced
+/// lease. Processors are added back (memory-descending) while the
+/// reduced lease cannot memory-fit the suffix. The shrink is taken
+/// even when it delays the candidate's own finish — arriving load
+/// outranks a running workflow's tail — but a blocked queue head keeps
+/// its promise exactly as under growth: a shrink pushing the
+/// candidate's completion past the head's reservation is taken only if
+/// the head remains placeable at the reservation instant on the
+/// post-shrink state. At most [`BACKFILL_DEPTH`] candidates are
+/// re-solved per attempt. Returns whether a shrink happened.
+fn shrink_lease(
+    state: &mut ClusterState,
+    cfg: &OnlineConfig,
+    cache: &SolveCache,
+    config_hash: u64,
+    clock: f64,
+) -> bool {
+    let mut cands: Vec<(usize, f64, usize)> = state
+        .in_service
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, svc)| {
+            let svc = svc.as_ref()?;
+            let g = &svc.placement.submission.instance.graph;
+            let remaining: f64 = g
+                .node_ids()
+                .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+                .map(|u| g.node(u).work)
+                .sum();
+            (remaining > 0.0 && svc.placement.lease.len() > 1).then_some((
+                slot,
+                remaining,
+                svc.record.id,
+            ))
+        })
+        .collect();
+    cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.cmp(&b.2)));
+    cands.truncate(BACKFILL_DEPTH);
+    // The head guard, computed once like `grow_lease`'s: a shrink may
+    // delay the candidate past the blocked head's reservation only if
+    // the head still fits at that instant afterwards.
+    let head_guard: Option<(&Pending, f64)> = match state.queue.first() {
+        Some(head) if cfg.policy.backfills() => {
+            let resv = head_reservation(
+                &state.cluster,
+                &state.mem_order,
+                &state.free,
+                &state.events,
+                &state.in_service,
+                head,
+                cfg,
+                cache,
+                config_hash,
+            );
+            resv.is_finite().then_some((head, resv))
+        }
+        _ => None,
+    };
+
+    for (slot, _, _) in cands {
+        let svc = state.in_service[slot].as_ref().expect("ranked above");
+        let g = &svc.placement.submission.instance.graph;
+        let suffix: Vec<dhp_dag::NodeId> = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] > clock + 1e-9)
+            .collect();
+        if suffix.is_empty() {
+            continue;
+        }
+        let release = g
+            .node_ids()
+            .filter(|u| svc.task_start[u.idx()] <= clock + 1e-9)
+            .map(|u| svc.task_finish[u.idx()])
+            .fold(clock, f64::max);
+        // A lease processor hosting a currently running task cannot be
+        // released before that task drains; every other one can go —
+        // finished prefix tasks no longer occupy it, and unstarted
+        // suffix tasks are about to be re-solved elsewhere.
+        let running: HashSet<u32> = g
+            .node_ids()
+            .filter(|u| {
+                svc.task_start[u.idx()] <= clock + 1e-9 && svc.task_finish[u.idx()] > clock + 1e-9
+            })
+            .map(|u| svc.task_proc[u.idx()].0)
+            .collect();
+        let suffix_req = suffix
+            .iter()
+            .map(|&u| g.task_requirement(u))
+            .fold(0.0, f64::max);
+        // Keep the running processors, then add droppables back —
+        // biggest memory first — until the reduced lease can memory-fit
+        // the suffix (feasibility is monotone in that choice; the
+        // solver below still has the final word).
+        let mut keep: Vec<ProcId> = svc
+            .placement
+            .lease
+            .iter()
+            .copied()
+            .filter(|p| running.contains(&p.0))
+            .collect();
+        let mut droppable: Vec<ProcId> = svc
+            .placement
+            .lease
+            .iter()
+            .copied()
+            .filter(|p| !running.contains(&p.0))
+            .collect();
+        droppable.sort_by(|a, b| {
+            state
+                .cluster
+                .memory(*b)
+                .total_cmp(&state.cluster.memory(*a))
+                .then(a.cmp(b))
+        });
+        let mut kept_max_mem = keep
+            .iter()
+            .map(|&p| state.cluster.memory(p))
+            .fold(0.0, f64::max);
+        let mut released: Vec<ProcId> = Vec::new();
+        for p in droppable {
+            if kept_max_mem < suffix_req * (1.0 - 1e-9) {
+                kept_max_mem = kept_max_mem.max(state.cluster.memory(p));
+                keep.push(p);
+            } else {
+                released.push(p);
+            }
+        }
+        if released.is_empty() {
+            continue;
+        }
+        // The reduced lease in the old lease's carve order.
+        let reduced: Vec<ProcId> = svc
+            .placement
+            .lease
+            .iter()
+            .copied()
+            .filter(|p| keep.contains(p))
+            .collect();
+        let sub = state.cluster.subcluster(&reduced);
+        let Ok(s) = dhp_core::partial::solve_suffix(
+            g,
+            &suffix,
+            &sub,
+            cfg.algorithm,
+            &cfg.solver,
+            cache,
+            config_hash,
+        ) else {
+            continue;
+        };
+        let sim = dhp_sim::simulate(&s.dag, sub.cluster(), &s.schedule.local.mapping);
+        let new_finish = release + sim.makespan;
+        // Honour the blocked head's reservation: risky only when the
+        // candidate's completion moves from before the reservation to
+        // after it (the reservation's replay assumed the whole old
+        // lease free at the old finish). The hypothetical free set has
+        // the released processors already free and the candidate's own
+        // completion skipped.
+        if let Some((head, resv)) = head_guard {
+            let old_finish = state.in_service[slot]
+                .as_ref()
+                .expect("ranked above")
+                .record
+                .finish;
+            if old_finish <= resv + 1e-9 && new_finish > resv + 1e-9 {
+                let mut hyp_free = state.free.clone();
+                for &p in &released {
+                    hyp_free[p.idx()] = true;
+                }
+                if !head_fits_at(
+                    &state.cluster,
+                    &state.mem_order,
+                    &hyp_free,
+                    &[],
+                    Some(slot),
+                    &state.events,
+                    &state.in_service,
+                    head,
+                    cfg,
+                    cache,
+                    config_hash,
+                    resv,
+                ) {
+                    continue;
+                }
+            }
+        }
+
+        // ---- commit the shrink (mirrors `grow_lease`'s swap)
+        let suffix_proc: Vec<ProcId> = s
+            .dag
+            .node_ids()
+            .map(|u| {
+                let b = s.schedule.local.mapping.partition.block_of(u).idx();
+                sub.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"))
+            })
+            .collect();
+        let svc = state.in_service[slot].as_mut().expect("ranked above");
+        for (i, &orig) in s.back.iter().enumerate() {
+            svc.task_start[orig.idx()] = release + sim.task_start[i];
+            svc.task_finish[orig.idx()] = release + sim.task_finish[i];
+            svc.task_proc[orig.idx()] = suffix_proc[i];
+        }
+        for (p, b) in &svc.busy {
+            state.busy_time[p.idx()] -= *b;
+        }
+        let g = &svc.placement.submission.instance.graph;
+        let mut by_proc: HashMap<ProcId, f64> = HashMap::new();
+        for u in g.node_ids() {
+            *by_proc.entry(svc.task_proc[u.idx()]).or_insert(0.0) +=
+                svc.task_finish[u.idx()] - svc.task_start[u.idx()];
+        }
+        let mut busy: Vec<(ProcId, f64)> = by_proc.into_iter().collect();
+        busy.sort_by_key(|&(p, _)| p);
+        for (p, b) in &busy {
+            state.busy_time[p.idx()] += *b;
+        }
+        svc.busy = busy;
+        for &p in &released {
+            debug_assert!(!state.free[p.idx()]);
+            state.free[p.idx()] = true;
+        }
+        state.free_count += released.len();
+        let seq = state.events.push(new_finish, slot);
+        svc.live_seq = seq;
+        let r = &mut svc.record;
+        r.finish = new_finish;
+        r.service = new_finish - r.start;
+        r.response = new_finish - r.arrival;
+        r.slowdown = if r.service > 0.0 {
+            r.response / r.service
+        } else {
+            1.0
+        };
+        r.lease = reduced.iter().map(|p| p.0).collect();
+        r.lease_shrunk = true;
+        svc.placement.finish = new_finish;
+        svc.placement.lease = reduced;
         svc.placement.regrow.push(Regrow {
             at: release,
             suffix: s.back,

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod admission;
+pub mod chaos;
 pub mod engine;
 #[cfg(test)]
 mod engine_tests;
@@ -63,16 +64,17 @@ pub mod report;
 mod state;
 pub mod submission;
 
+pub use chaos::{FailureMode, MembershipEvent, MembershipEventSpec, MembershipPlan};
 pub use engine::{
     fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
     ReservationTrigger, ServeOutcome,
 };
 pub use federation::{
-    serve_federation, serve_federation_with_cache, FederationOutcome, FederationReport,
-    RoutingPolicy,
+    serve_federation, serve_federation_chaos, serve_federation_chaos_with_cache,
+    serve_federation_with_cache, FederationOutcome, FederationReport, RoutingPolicy,
 };
 pub use policy::{AdmissionPolicy, LeaseSizing};
-pub use report::{FleetMetrics, RejectedRecord, ServeReport, WorkflowRecord};
+pub use report::{FleetMetrics, LostRecord, RejectedRecord, ServeReport, WorkflowRecord};
 pub use submission::{peak_overlap, Submission};
 // The content-addressed solve cache the engine memoizes with; exposed
 // so callers can share one cache across [`serve_with_cache`] runs.
@@ -80,13 +82,14 @@ pub use dhp_core::partial::{SolveCache, SolveCacheStats};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::chaos::{FailureMode, MembershipPlan};
     pub use crate::engine::{
         fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
         ReservationTrigger, ServeOutcome,
     };
     pub use crate::federation::{
-        serve_federation, serve_federation_with_cache, FederationOutcome, FederationReport,
-        RoutingPolicy,
+        serve_federation, serve_federation_chaos, serve_federation_chaos_with_cache,
+        serve_federation_with_cache, FederationOutcome, FederationReport, RoutingPolicy,
     };
     pub use crate::policy::{AdmissionPolicy, LeaseSizing};
     pub use crate::report::ServeReport;

@@ -3,6 +3,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// `skip_serializing_if` helper: keeps pre-chaos reports byte-identical
+/// by omitting the flag until a shrink actually happens.
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
+/// `skip_serializing_if` helper for the chaos counters.
+fn is_zero_u64(n: &u64) -> bool {
+    *n == 0
+}
+
+/// `skip_serializing_if` helper for the chaos counters.
+fn is_zero_usize(n: &usize) -> bool {
+    *n == 0
+}
+
 /// Metrics of one completed workflow.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowRecord {
@@ -55,6 +71,14 @@ pub struct WorkflowRecord {
     /// schedule). Absent/false in pre-elastic reports.
     #[serde(default)]
     pub lease_grown: bool,
+    /// True when elastic shrinking reclaimed processors from this
+    /// workflow mid-flight (`--elastic-shrink`): its not-yet-started
+    /// suffix was re-solved on a reduced lease so arriving load could
+    /// be admitted sooner. `finish`, `service`, `response`, `slowdown`,
+    /// `stretch` and `lease` all reflect the shrunk schedule. Absent
+    /// (and omitted from the JSON) in pre-chaos reports.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub lease_shrunk: bool,
     /// Federation member index of the cluster that served this
     /// workflow. `None` (and absent from the JSON) for single-cluster
     /// runs, so their reports keep the pre-federation schema
@@ -82,6 +106,31 @@ pub struct RejectedRecord {
     pub reason: String,
     /// Federation member index of the cluster that rejected it; `None`
     /// (absent from the JSON) for single-cluster runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster_id: Option<usize>,
+}
+
+/// A workflow that was in service on a member that failed with
+/// `--failure-mode lost`: its lease vanished with the member and the
+/// engine does not retry it. Lost records are a third, disjoint
+/// terminal class — every submission ends up in exactly one of
+/// `workflows`, `rejected` or `lost`, and the fleet counters account
+/// for all three exactly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LostRecord {
+    /// Submission id.
+    pub id: usize,
+    /// Instance name.
+    pub name: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Arrival instant.
+    pub arrival: f64,
+    /// Instant its (now voided) lease was granted.
+    pub start: f64,
+    /// The membership event instant the member failed at.
+    pub failed_at: f64,
+    /// Federation member index of the failed cluster it was running on.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cluster_id: Option<usize>,
 }
@@ -148,6 +197,18 @@ pub struct FleetMetrics {
     /// without `--elastic`.
     #[serde(default)]
     pub lease_grown: u64,
+    /// Elastic lease shrinks: arriving-load events where processors
+    /// were reclaimed from a running workflow (its not-yet-started
+    /// suffix re-solved on a reduced lease) to admit queued work
+    /// sooner. Always 0 without `--elastic-shrink`; omitted from the
+    /// JSON when 0 so pre-chaos reports stay byte-identical.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub lease_shrunk: u64,
+    /// Workflows lost to a member failure under `--failure-mode lost`
+    /// (the length of [`ServeReport::lost`]). Always 0 outside chaos
+    /// runs; omitted from the JSON when 0.
+    #[serde(default, skip_serializing_if = "is_zero_usize")]
+    pub lost: usize,
 }
 
 impl FleetMetrics {
@@ -177,6 +238,12 @@ pub struct ServeReport {
     pub workflows: Vec<WorkflowRecord>,
     /// Rejected submissions, in rejection order.
     pub rejected: Vec<RejectedRecord>,
+    /// Workflows lost to member failures (`--failure-mode lost`), in
+    /// failure order. Empty — and omitted from the JSON — outside
+    /// chaos runs, so pre-chaos reports keep their schema
+    /// byte-for-byte.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub lost: Vec<LostRecord>,
     /// Fleet aggregates.
     pub fleet: FleetMetrics,
 }
@@ -205,7 +272,7 @@ impl ServeReport {
              slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs\n\
              solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}  \
              evictions {}\n\
-             leases grown {}",
+             leases grown {}  shrunk {}   lost {}",
             self.policy,
             self.algorithm,
             self.cluster_procs,
@@ -228,6 +295,8 @@ impl ServeReport {
             f.baseline_solves,
             f.solve_cache_evictions,
             f.lease_grown,
+            f.lease_shrunk,
+            f.lost,
         )
     }
 }
@@ -259,6 +328,7 @@ mod tests {
                 lease: vec![1, 3],
                 blocks: 2,
                 lease_grown: false,
+                lease_shrunk: false,
                 cluster_id: None,
             }],
             rejected: vec![RejectedRecord {
@@ -270,6 +340,7 @@ mod tests {
                 reason: "too big".into(),
                 cluster_id: None,
             }],
+            lost: Vec::new(),
             fleet: FleetMetrics {
                 completed: 1,
                 rejected: 1,
@@ -290,6 +361,8 @@ mod tests {
                 baseline_solves: 1,
                 solve_cache_evictions: 0,
                 lease_grown: 0,
+                lease_shrunk: 0,
+                lost: 0,
             },
         }
     }
@@ -326,6 +399,33 @@ mod tests {
         r.fleet.solve_cache_misses = before.fleet.solve_cache_misses;
         r.fleet.baseline_solves = before.fleet.baseline_solves;
         assert_eq!(r, before);
+    }
+
+    #[test]
+    fn chaos_fields_stay_out_of_the_json_until_used() {
+        // Pre-chaos reports must keep their schema byte-for-byte: the
+        // new fields only appear once a shrink or a loss happened.
+        let json = sample().to_json();
+        assert!(!json.contains("lease_shrunk"));
+        assert!(!json.contains("\"lost\""));
+
+        let mut r = sample();
+        r.lost.push(LostRecord {
+            id: 2,
+            name: "blast-30-1".into(),
+            tasks: 30,
+            arrival: 1.0,
+            start: 3.0,
+            failed_at: 7.5,
+            cluster_id: Some(1),
+        });
+        r.fleet.lost = 1;
+        r.fleet.lease_shrunk = 2;
+        let json = r.to_json();
+        assert!(json.contains("failed_at"));
+        assert!(json.contains("lease_shrunk"));
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

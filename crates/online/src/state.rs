@@ -9,7 +9,7 @@
 //! state is a value and not a pile of locals.
 
 use crate::event::EventQueue;
-use crate::report::{RejectedRecord, WorkflowRecord};
+use crate::report::{LostRecord, RejectedRecord, WorkflowRecord};
 use crate::submission::Submission;
 use dhp_core::fitting::max_task_requirement;
 use dhp_core::mapping::Mapping;
@@ -119,6 +119,12 @@ pub(crate) struct ClusterState {
     pub(crate) busy_time: Vec<f64>,
     pub(crate) reservations: Vec<crate::admission::ReservationRecord>,
     pub(crate) lease_grown: u64,
+    /// Elastic shrink events committed on this cluster
+    /// (`--elastic-shrink`).
+    pub(crate) lease_shrunk: u64,
+    /// Workflows lost to a member failure under `--failure-mode lost`
+    /// (always empty outside federation chaos runs).
+    pub(crate) lost: Vec<LostRecord>,
     /// Completions arm elastic growth, but the growth decision waits
     /// until every same-instant arrival has been queued and offered the
     /// freed processors (completions are processed first at equal
@@ -151,6 +157,8 @@ impl ClusterState {
             busy_time: vec![0.0f64; cluster.len()],
             reservations: Vec::new(),
             lease_grown: 0,
+            lease_shrunk: 0,
+            lost: Vec::new(),
             growth_pending: false,
             cluster_id,
             cluster: cluster.clone(),
@@ -254,5 +262,40 @@ impl ClusterState {
             .filter(|p| self.free[p.idx()])
             .map(|p| self.cluster.speed(p))
             .sum()
+    }
+
+    /// Removes and returns every queued workflow — `Drain` and `Fail`
+    /// membership events migrate these onto surviving members via
+    /// [`ClusterState::insert_pending`].
+    pub(crate) fn take_queue(&mut self) -> Vec<Pending> {
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Tears down every in-service workflow at a member failure: voids
+    /// their leases and completion events, and un-credits the busy
+    /// time already charged for them (utilisation counts *completed*
+    /// work only — work a failure threw away was not useful capacity).
+    /// Returns the torn-down services in slot order so the federation
+    /// can requeue or record them lost per the failure mode.
+    pub(crate) fn fail_in_service(&mut self) -> Vec<InService> {
+        let mut torn = Vec::new();
+        for slot in self.in_service.iter_mut() {
+            if let Some(svc) = slot.take() {
+                for &p in &svc.placement.lease {
+                    debug_assert!(!self.free[p.idx()]);
+                    self.free[p.idx()] = true;
+                }
+                self.free_count += svc.placement.lease.len();
+                for &(p, t) in &svc.busy {
+                    self.busy_time[p.idx()] -= t;
+                }
+                torn.push(svc);
+            }
+        }
+        // Every pending completion event belonged to a torn-down
+        // workflow; a fresh heap also resets the staleness sequence,
+        // which is safe because no slot survives to compare against.
+        self.events = EventQueue::new();
+        torn
     }
 }

@@ -99,6 +99,12 @@ impl Cluster {
         self.processors.iter().map(|p| p.memory).sum()
     }
 
+    /// Aggregate processor speed — the capacity signal speed-aware
+    /// federation routing normalises queued work by.
+    pub fn total_speed(&self) -> f64 {
+        self.processors.iter().map(|p| p.speed).sum()
+    }
+
     /// Processor ids sorted by decreasing memory (ties: faster first, then
     /// smaller id). This is the queue order used by both heuristics.
     pub fn ids_by_memory_desc(&self) -> Vec<ProcId> {

@@ -27,10 +27,12 @@ pub mod cluster;
 pub mod configs;
 pub mod federation;
 pub mod processor;
+pub mod spec;
 pub mod subcluster;
 
 pub use cluster::{Cluster, ProcId};
 pub use configs::{ClusterKind, ClusterSize, MachineKind};
 pub use federation::Federation;
 pub use processor::Processor;
+pub use spec::{ClusterSpec, MemberSpec, ProcSpec};
 pub use subcluster::SubCluster;

@@ -1,0 +1,131 @@
+//! Fleet elasticity demo: a bursty stream served by a two-member
+//! federation while the membership changes underneath it — a member
+//! fails at peak load (both failure modes), and a fresh member joins
+//! afterwards to absorb the displaced work.
+//!
+//! The membership plan is an ordinary JSON document (the same schema
+//! `daghetpart queue --chaos events.json` reads): time-ordered `drain`
+//! / `fail` / `join` events merged into the federated virtual clock.
+//! On `fail`, in-service work is either requeued on the survivors with
+//! its original arrival (`requeue`) or recorded in the disjoint `lost`
+//! terminal class (`lost`) — either way every submission ends in
+//! exactly one of completed / rejected / lost.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example chaos_serving
+//! ```
+
+use dhp_online::{
+    fit_cluster, serve_federation, serve_federation_chaos, FailureMode, MembershipPlan,
+    OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::{ClusterSpec, Federation, MemberSpec};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+
+fn main() {
+    let submissions = dhp_online::submission::repeating_stream(
+        8,
+        80,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (10, 60),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &submissions,
+        1.05,
+    );
+    let federation = Federation::homogeneous(member.clone(), 2);
+    let cfg = OnlineConfig::default();
+    let routing = RoutingPolicy::LeastLoaded;
+    println!(
+        "serving {} workflows (8 unique topologies, burst) on 2 × {} processors, \
+         least-loaded routing\n",
+        submissions.len(),
+        member.len()
+    );
+
+    // The no-chaos reference.
+    let calm = serve_federation(&federation, submissions.clone(), &cfg, routing);
+    let report_line = |name: &str, r: &dhp_online::FederationReport| {
+        let f = &r.fleet;
+        println!(
+            "{name:<22} completed {:>3}   lost {:>2}   mean wait {:>9.2}   \
+             spillovers {:>3}   members at end {}",
+            f.completed,
+            f.lost,
+            f.mean_wait,
+            r.spillovers,
+            r.clusters.len(),
+        );
+    };
+    report_line("steady fleet", &calm.report);
+
+    // Member 1 fails at t=5 — the middle of the burst backlog. In
+    // `requeue` mode its in-service workflows re-enter admission on the
+    // survivor with their original arrivals; nothing is lost.
+    let requeue_plan = MembershipPlan::new().fail(1, 5.0, FailureMode::Requeue);
+    let requeue = serve_federation_chaos(
+        &federation,
+        submissions.clone(),
+        &cfg,
+        routing,
+        &requeue_plan,
+    )
+    .expect("plan validates");
+    report_line("fail @5 (requeue)", &requeue.report);
+    assert_eq!(requeue.report.fleet.lost, 0);
+    assert_eq!(requeue.report.fleet.completed, submissions.len());
+
+    // In `lost` mode the torn-down workflows become `lost` records — a
+    // third terminal class with exact-sum accounting.
+    let lost_plan = MembershipPlan::new().fail(1, 5.0, FailureMode::Lost);
+    let lost = serve_federation_chaos(&federation, submissions.clone(), &cfg, routing, &lost_plan)
+        .expect("plan validates");
+    report_line("fail @5 (lost)", &lost.report);
+    let f = &lost.report.fleet;
+    assert!(f.lost > 0, "a peak failure must tear down in-service work");
+    assert_eq!(f.completed + f.rejected + f.lost, submissions.len());
+
+    // A same-shape member joins at t=10: the spillover sweep rebalances
+    // the survivor's backlog onto it from the join instant.
+    let joiner = {
+        let spec = ClusterSpec::from_cluster(&member);
+        MemberSpec {
+            name: None,
+            bandwidth: spec.bandwidth,
+            processors: spec.processors,
+        }
+    };
+    let join_plan = MembershipPlan::new()
+        .fail(1, 5.0, FailureMode::Requeue)
+        .join(joiner, 10.0);
+    println!(
+        "\nmembership plan shipped to the engine:\n{}\n",
+        join_plan.to_json()
+    );
+    let joined =
+        serve_federation_chaos(&federation, submissions.clone(), &cfg, routing, &join_plan)
+            .expect("plan validates");
+    report_line("fail @5 + join @10", &joined.report);
+    assert_eq!(joined.report.clusters.len(), 3);
+    assert!(
+        joined.report.clusters[2].fleet.completed > 0,
+        "the joiner never served anything"
+    );
+    assert!(
+        joined.report.fleet.mean_wait < requeue.report.fleet.mean_wait,
+        "the joiner did not pay off: {} vs {}",
+        joined.report.fleet.mean_wait,
+        requeue.report.fleet.mean_wait
+    );
+    println!(
+        "\njoin pays off: mean wait {:.2} (fail+join) < {:.2} (fail only) — \
+         the joiner absorbed the displaced backlog",
+        joined.report.fleet.mean_wait, requeue.report.fleet.mean_wait
+    );
+}

@@ -20,13 +20,18 @@
 //! * **Elastic sanity** — growth never loses workflows, keeps
 //!   utilisation a true fraction, and every grown record carries a
 //!   valid re-solved suffix mapping.
+//! * **Shrink guard** (ISSUE 6) — elastic lease *shrinking* reclaims
+//!   processors from running workflows under queue pressure, but never
+//!   delays a blocked head past any reservation the engine computed
+//!   for it: the shrink-time head guard rejects reclaims whose pushed-
+//!   out finish would steal the head's processors at the reservation.
 //!
 //! The traces stay under `BACKFILL_DEPTH` (16) queued candidates so the
 //! backfill window never truncates a pass — window truncation would
 //! make the superset comparison depend on pass boundaries.
 
 use dhp_online::submission::{single_task, zip_stream};
-use dhp_online::{serve, AdmissionPolicy, OnlineConfig, ServeOutcome, Submission};
+use dhp_online::{serve, AdmissionPolicy, LeaseSizing, OnlineConfig, ServeOutcome, Submission};
 use dhp_platform::{Cluster, Processor};
 use dhp_wfgen::arrivals::{arrival_times, ArrivalProcess};
 use proptest::prelude::*;
@@ -273,6 +278,114 @@ proptest! {
                 prop_assert!(
                     p.lease.contains(proc),
                     "suffix mapped onto {proc} outside the grown lease {:?}",
+                    p.lease
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_shrink_never_delays_a_blocked_heads_reservation(
+        n in 3usize..8,
+        kind in 0u8..3,
+        threshold in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Fork workflows again, but with small leases forced wide
+        // (tasks_per_proc = 2) so every lease spans several processors
+        // and the shrink pass has something to reclaim when the queue
+        // deepens past the threshold.
+        let times = arrival_times(n, &process_of(kind), seed);
+        let mut state = seed ^ 0x0f1e_2d3c_4b5a_6978;
+        let instances: Vec<dhp_wfgen::WorkflowInstance> = (0..n)
+            .map(|i| {
+                let mut g = dhp_dag::Dag::new();
+                let root = g.add_node(1.0 + (splitmix(&mut state) % 8) as f64, 2.0);
+                for _ in 0..(2 + splitmix(&mut state) % 3) {
+                    let w = 5.0 + (splitmix(&mut state) % 200) as f64 / 2.0;
+                    let v = g.add_node(w, 2.0);
+                    g.add_edge(root, v, 0.1);
+                }
+                dhp_wfgen::WorkflowInstance {
+                    name: format!("fork-{i}"),
+                    family: None,
+                    size_class: dhp_wfgen::SizeClass::Real,
+                    requested_size: g.node_count(),
+                    graph: g,
+                }
+            })
+            .collect();
+        let subs = zip_stream(instances, &times);
+        let cfg = OnlineConfig {
+            policy: AdmissionPolicy::FifoBackfill,
+            lease: LeaseSizing {
+                tasks_per_proc: 2,
+                ..LeaseSizing::default()
+            },
+            elastic_shrink: Some(threshold),
+            ..OnlineConfig::default()
+        };
+        let shrunk = serve(&cluster(), subs.clone(), &cfg);
+        let again = serve(&cluster(), subs, &cfg);
+        prop_assert_eq!(shrunk.report.to_json(), again.report.to_json());
+
+        // The conservative guarantee survives shrinking: the
+        // shrink-time head guard refuses reclaims that would delay a
+        // blocked head past its reservation.
+        for resv in &shrunk.reservations {
+            if !resv.reservation.is_finite() {
+                continue;
+            }
+            let head = shrunk
+                .report
+                .workflows
+                .iter()
+                .find(|r| r.id == resv.head_id)
+                .expect("a reserved head is eventually served");
+            prop_assert!(
+                head.start <= resv.reservation + 1e-9,
+                "head {} started {} past its reservation {} despite the shrink guard",
+                head.id, head.start, resv.reservation
+            );
+        }
+
+        // Nothing is ever lost or rejected by a shrink.
+        let f = &shrunk.report.fleet;
+        prop_assert_eq!(f.completed, n);
+        prop_assert_eq!(f.lost, 0);
+        prop_assert!(f.utilization > 0.0 && f.utilization <= 1.0 + 1e-9);
+
+        // Counter ↔ record consistency, and every shrunk record carries
+        // a valid re-solved suffix inside its *reduced* lease.
+        let flagged: Vec<_> = shrunk
+            .report
+            .workflows
+            .iter()
+            .filter(|r| r.lease_shrunk)
+            .collect();
+        prop_assert!(
+            f.lease_shrunk as usize >= flagged.len(),
+            "fewer shrink events ({}) than shrunk records ({})",
+            f.lease_shrunk, flagged.len()
+        );
+        prop_assert_eq!(f.lease_shrunk == 0, flagged.is_empty());
+        for r in &flagged {
+            let p = shrunk
+                .placements
+                .iter()
+                .find(|p| p.submission.id == r.id)
+                .expect("shrunk record has a placement");
+            prop_assert!(!p.regrow.is_empty(), "shrunk placement records no re-solve");
+            for regrow in &p.regrow {
+                prop_assert!(regrow.at <= r.finish + 1e-9);
+                dhp_core::mapping::validate(&regrow.suffix_dag, &cluster(), &regrow.mapping)
+                    .expect("re-solved suffix mapping valid against the shared cluster");
+            }
+            let last = p.regrow.last().unwrap();
+            for proc in last.mapping.proc_of_block.iter().flatten() {
+                prop_assert!(
+                    p.lease.contains(proc),
+                    "suffix mapped onto {proc} outside the reduced lease {:?}",
                     p.lease
                 );
             }

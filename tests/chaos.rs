@@ -1,0 +1,219 @@
+//! Integration gate for fleet elasticity (ISSUE 6 acceptance
+//! criteria): a two-member federation under a bursty trace with a
+//! member **failing at peak load**, in both failure modes:
+//!
+//! * the fleet keeps serving — completions continue after the failure
+//!   instant on the surviving member;
+//! * **exact partition** — every submission ends in exactly one
+//!   terminal class (`completed`, `rejected`, `lost`), the merged
+//!   fleet counters are the exact per-member sums, and no id is
+//!   double-counted between `lost` and `completed`;
+//! * chaos runs are byte-identically deterministic;
+//! * a member **joining** after the failure strictly improves the mean
+//!   wait over the fail-only run (the Join-rebalancing acceptance
+//!   gate, pinned at bench scale in `chaos_report`).
+
+use dhp_online::{
+    fit_cluster, serve_federation_chaos, FailureMode, MembershipPlan, OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::{ClusterSpec, Federation, MemberSpec};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+
+fn burst_trace(
+    n: usize,
+) -> (
+    Federation,
+    dhp_platform::Cluster,
+    Vec<dhp_online::Submission>,
+) {
+    let subs = dhp_online::submission::repeating_stream(
+        6,
+        n,
+        &[Family::Blast, Family::Seismology],
+        (10, 50),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &subs,
+        1.05,
+    );
+    (Federation::homogeneous(member.clone(), 2), member, subs)
+}
+
+/// A fail event pinned mid-serve: a burst at t=0 has every queue at
+/// its deepest early on, so t=5 tears down in-service work for sure.
+fn fail_plan(mode: FailureMode) -> MembershipPlan {
+    MembershipPlan::new().fail(1, 5.0, mode)
+}
+
+#[test]
+fn fleet_keeps_serving_through_a_peak_failure_in_both_modes() {
+    let (fed, _, subs) = burst_trace(40);
+    for mode in [FailureMode::Requeue, FailureMode::Lost] {
+        let out = serve_federation_chaos(
+            &fed,
+            subs.clone(),
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+            &fail_plan(mode),
+        )
+        .unwrap();
+        let f = &out.report.fleet;
+
+        // The fleet keeps serving: work completes *after* the failure
+        // instant, on the surviving member.
+        assert!(
+            out.report.clusters[0]
+                .workflows
+                .iter()
+                .any(|r| r.finish > 5.0),
+            "{}: no completion after the failure instant",
+            mode.name()
+        );
+        assert!(
+            f.completed > 0,
+            "{}: the fleet stopped serving entirely",
+            mode.name()
+        );
+
+        // Exact partition: every submission in exactly one terminal
+        // class, fleet counters the exact per-member sums.
+        assert_eq!(
+            f.completed + f.rejected + f.lost,
+            subs.len(),
+            "{}: the terminal classes do not partition the stream",
+            mode.name()
+        );
+        let sum_completed: usize = out.report.clusters.iter().map(|c| c.fleet.completed).sum();
+        let sum_rejected: usize = out.report.clusters.iter().map(|c| c.fleet.rejected).sum();
+        let sum_lost: usize = out.report.clusters.iter().map(|c| c.fleet.lost).sum();
+        assert_eq!(
+            (f.completed, f.rejected, f.lost),
+            (sum_completed, sum_rejected, sum_lost),
+            "{}: merged counters are not the per-member sums",
+            mode.name()
+        );
+
+        // No id in two classes — in particular never both lost and
+        // completed (the double-count the un-credit accounting guards).
+        let mut ids: Vec<usize> = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| {
+                c.workflows
+                    .iter()
+                    .map(|r| r.id)
+                    .chain(c.rejected.iter().map(|r| r.id))
+                    .chain(c.lost.iter().map(|r| r.id))
+            })
+            .collect();
+        ids.sort_unstable();
+        let deduped = {
+            let mut d = ids.clone();
+            d.dedup();
+            d
+        };
+        assert_eq!(ids, deduped, "{}: an id appears twice", mode.name());
+        assert_eq!(
+            ids,
+            (0..subs.len()).collect::<Vec<_>>(),
+            "{}: a submission vanished",
+            mode.name()
+        );
+
+        // Mode semantics: requeue loses nothing; lost loses exactly
+        // what the failing member had in service.
+        match mode {
+            FailureMode::Requeue => assert_eq!(f.lost, 0),
+            FailureMode::Lost => {
+                assert!(f.lost > 0, "a peak failure must tear down work");
+                for l in &out.report.clusters[1].lost {
+                    assert_eq!(l.failed_at, 5.0);
+                    assert_eq!(l.cluster_id, Some(1));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_byte_identically_deterministic() {
+    let (fed, _, subs) = burst_trace(40);
+    for mode in [FailureMode::Requeue, FailureMode::Lost] {
+        for routing in RoutingPolicy::ALL {
+            let a = serve_federation_chaos(
+                &fed,
+                subs.clone(),
+                &OnlineConfig::default(),
+                routing,
+                &fail_plan(mode),
+            )
+            .unwrap();
+            let b = serve_federation_chaos(
+                &fed,
+                subs.clone(),
+                &OnlineConfig::default(),
+                routing,
+                &fail_plan(mode),
+            )
+            .unwrap();
+            assert_eq!(
+                a.report.to_json(),
+                b.report.to_json(),
+                "{} + {} diverged across identical runs",
+                routing.name(),
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_join_after_the_failure_improves_mean_wait() {
+    // Fail member 1 at peak, then join a fresh same-shape member: the
+    // rebalanced fleet must wait strictly less than the fail-only run
+    // (the bench gate `chaos_report` pins this at 500-submission
+    // scale; this is the same comparison at test scale).
+    let (fed, member, subs) = burst_trace(40);
+    let fail_only = serve_federation_chaos(
+        &fed,
+        subs.clone(),
+        &OnlineConfig::default(),
+        RoutingPolicy::LeastLoaded,
+        &fail_plan(FailureMode::Requeue),
+    )
+    .unwrap();
+    // The joiner is the same fitted platform, expressed as inline
+    // processor lines (the fitted memories are not a named config).
+    let spec = ClusterSpec::from_cluster(&member);
+    let with_join = serve_federation_chaos(
+        &fed,
+        subs.clone(),
+        &OnlineConfig::default(),
+        RoutingPolicy::LeastLoaded,
+        &fail_plan(FailureMode::Requeue).join(
+            MemberSpec {
+                name: None,
+                bandwidth: spec.bandwidth,
+                processors: spec.processors,
+            },
+            10.0,
+        ),
+    )
+    .unwrap();
+    assert_eq!(
+        fail_only.report.fleet.completed + fail_only.report.fleet.rejected,
+        with_join.report.fleet.completed + with_join.report.fleet.rejected,
+    );
+    assert!(
+        with_join.report.fleet.mean_wait < fail_only.report.fleet.mean_wait,
+        "joining a member after the failure did not improve mean wait: {} vs {}",
+        with_join.report.fleet.mean_wait,
+        fail_only.report.fleet.mean_wait
+    );
+}
