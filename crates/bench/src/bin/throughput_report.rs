@@ -1,0 +1,154 @@
+//! Produces the `engine_throughput` section of `BENCH_online.json`:
+//! submissions processed per wall-second by the federation engine at
+//! 8/16/64 members on a 50k-submission `repeating_stream` trace, for
+//! both the sequential (`--serial-federation`) and the parallel
+//! (default) driver.
+//!
+//! Gates asserted at snapshot time: the parallel report is
+//! byte-identical to the sequential one at every member count
+//! (equivalence), and byte-identical across two parallel runs
+//! (determinism). The sequential-vs-parallel speedup is recorded
+//! per member count; on a multi-core host the 16-member speedup must
+//! exceed 1×. On a single-core host the parallel driver collapses to
+//! the inline path (see `run_phase`), so the speedup gate is recorded
+//! as skipped rather than asserted against a pool that never runs.
+//!
+//! ```text
+//! cargo run --release -p dhp-bench --bin throughput_report
+//! cargo run --release -p dhp-bench --bin throughput_report -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the trace to 2 members and 2k submissions — the
+//! CI smoke-run that checks the gates without the full measurement.
+
+use dhp_online::{fit_cluster, serve_federation, FederationReport, OnlineConfig, RoutingPolicy};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::Federation;
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::time::Instant;
+
+struct Measurement {
+    members: usize,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    completed: usize,
+    report: FederationReport,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (member_counts, n, unique): (&[usize], usize, usize) = if smoke {
+        (&[2], 2_000, 10)
+    } else {
+        (&[8, 16, 64], 50_000, 25)
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    // Steady uniform arrivals: the queue stays bounded (service at 8
+    // members outpaces the arrival rate), so wall time measures engine
+    // event processing, not an ever-deepening backlog scan.
+    let subs = dhp_online::submission::repeating_stream(
+        unique,
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (8, 48),
+        &ArrivalProcess::Uniform { interval: 25.0 },
+        17,
+    );
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &subs,
+        1.05,
+    );
+
+    let run = |members: usize| -> Measurement {
+        let federation = Federation::homogeneous(member.clone(), members);
+        let sequential_cfg = OnlineConfig {
+            serial_federation: true,
+            ..OnlineConfig::default()
+        };
+        let parallel_cfg = OnlineConfig::default();
+        let routing = RoutingPolicy::LeastLoaded;
+
+        let t0 = Instant::now();
+        let seq = serve_federation(&federation, subs.clone(), &sequential_cfg, routing);
+        let sequential_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let par = serve_federation(&federation, subs.clone(), &parallel_cfg, routing);
+        let parallel_secs = t0.elapsed().as_secs_f64();
+
+        // Equivalence gate: the parallel driver is byte-identical to
+        // the sequential one.
+        assert_eq!(
+            seq.report.to_json(),
+            par.report.to_json(),
+            "{members} members: parallel report diverged from sequential"
+        );
+        // Determinism gate: two parallel runs are byte-identical.
+        let again = serve_federation(&federation, subs.clone(), &parallel_cfg, routing);
+        assert_eq!(
+            par.report.to_json(),
+            again.report.to_json(),
+            "{members} members: parallel driver is not deterministic"
+        );
+
+        Measurement {
+            members,
+            sequential_secs,
+            parallel_secs,
+            completed: par.report.fleet.completed,
+            report: par.report,
+        }
+    };
+
+    let measurements: Vec<Measurement> = member_counts.iter().map(|&m| run(m)).collect();
+
+    // The acceptance gate: >1x parallel speedup at 16 members — only
+    // meaningful where the pool actually runs (multi-core host).
+    let speedup_gate = if host_cores > 1 {
+        if let Some(m) = measurements.iter().find(|m| m.members == 16) {
+            let speedup = m.sequential_secs / m.parallel_secs.max(1e-12);
+            assert!(
+                speedup > 1.0,
+                "16 members: parallel driver slower than sequential ({speedup:.2}x)"
+            );
+        }
+        "asserted"
+    } else {
+        "skipped (single-core host: parallel path runs inline)"
+    };
+
+    println!("{{");
+    println!("  \"bench\": \"engine_throughput/repeat{unique}/{n}\",");
+    println!(
+        "  \"trace\": {{ \"submissions\": {n}, \"unique_topologies\": {unique}, \
+         \"process\": \"uniform/25\", \"routing\": \"least-loaded\", \
+         \"member\": \"lesshet/small\" }},"
+    );
+    println!("  \"host_cores\": {host_cores},");
+    println!("  \"runs\": {{");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        println!(
+            "    \"{}_members\": {{ \"sequential_subs_per_sec\": {:.0}, \
+             \"parallel_subs_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"completed\": {}, \"spillovers\": {}, \"cache_hits\": {} }}{comma}",
+            m.members,
+            n as f64 / m.sequential_secs.max(1e-12),
+            n as f64 / m.parallel_secs.max(1e-12),
+            m.sequential_secs / m.parallel_secs.max(1e-12),
+            m.completed,
+            m.report.spillovers,
+            m.report.fleet.solve_cache_hits,
+        );
+    }
+    println!("  }},");
+    println!("  \"sequential_vs_parallel_byte_identical\": true,");
+    println!("  \"deterministic_across_two_runs\": true,");
+    println!("  \"speedup_gate\": \"{speedup_gate}\"");
+    println!("}}");
+}

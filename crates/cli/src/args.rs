@@ -41,7 +41,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 8] = [
+const SWITCHES: [&str; 9] = [
     "quiet",
     "simulate",
     "gantt",
@@ -50,6 +50,7 @@ const SWITCHES: [&str; 8] = [
     "lease-load-aware",
     "no-solve-cache",
     "cache-aware",
+    "serial-federation",
 ];
 
 impl Args {

@@ -122,7 +122,18 @@ pub fn queue(args: &Args) -> Result<String, String> {
         cache_aware: args.switch("cache-aware"),
         elastic,
         elastic_shrink,
+        // `--serial-federation` forces the federation driver onto its
+        // sequential member-stepping path — an escape hatch pinned
+        // byte-identical to the parallel default.
+        serial_federation: args.switch("serial-federation"),
     };
+    if cfg.serial_federation && args.get("clusters").is_none() {
+        return Err(
+            "--serial-federation requires --clusters (the single-cluster engine has no \
+             parallel member stepping to disable)"
+                .into(),
+        );
+    }
     if cfg.cache_cap.is_some() && !cfg.solve_cache {
         return Err("--cache-cap is meaningless with --no-solve-cache".into());
     }
@@ -497,6 +508,20 @@ mod tests {
             err.contains("--elastic-shrink") && err.contains("positive"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn serial_federation_flag_parses_and_requires_clusters() {
+        let err = cli("queue --workflows 4 --serial-federation").unwrap_err();
+        assert!(
+            err.contains("--serial-federation requires --clusters"),
+            "{err}"
+        );
+        let base = "queue --workflows 6 --families blast --tasks 20-30 \
+                    --process burst --seed 7 --clusters small,small";
+        let parallel = cli(base).unwrap();
+        let serial = cli(&format!("{base} --serial-federation")).unwrap();
+        assert_eq!(parallel, serial, "serial driver diverged from parallel");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::metrics::MappingResult;
 use crate::SchedError;
 use dhp_dag::Dag;
 use dhp_platform::SubCluster;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -159,7 +160,7 @@ pub fn solve_suffix(
     sub: &SubCluster,
     algorithm: Algorithm,
     cfg: &DagHetPartConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
 ) -> Result<SuffixSolve, SchedError> {
     assert!(!suffix.is_empty(), "cannot re-solve an empty suffix");
@@ -206,6 +207,25 @@ pub struct SolveCacheStats {
 /// * a hash of the solver configuration ([`SolveCache::config_hash`]).
 type SolveKey = (u64, u64, Algorithm, u64);
 
+/// Deterministic stripe selector: FNV-1a over the key's byte image.
+/// The std `HashMap` hasher is seeded per process, so it must not pick
+/// stripes — stripe membership has to be a pure function of the key
+/// for striped runs (and their per-stripe counters) to reproduce.
+fn stripe_index(key: &SolveKey, stripes: usize) -> usize {
+    let (fp, shape, algorithm, chash) = key;
+    let algo_byte = match algorithm {
+        Algorithm::DagHetPart => 0u8,
+        Algorithm::DagHetMem => 1u8,
+    };
+    let bytes = fp
+        .to_le_bytes()
+        .into_iter()
+        .chain(shape.to_le_bytes())
+        .chain([algo_byte])
+        .chain(chash.to_le_bytes());
+    (dhp_dag::fingerprint::fnv1a_bytes(bytes) % stripes as u64) as usize
+}
+
 /// A memoized solve outcome in lease-local processor ids. Solved
 /// entries sit behind an [`Arc`] so a hit clones a refcount under the
 /// map lock, not an O(tasks) mapping.
@@ -213,6 +233,42 @@ type SolveKey = (u64, u64, Algorithm, u64);
 enum CachedSolve {
     Solved(Arc<MappingResult>),
     NoSolution,
+}
+
+/// Materialises a memoized outcome against the probing lease: the
+/// cached lease-local mapping is remapped onto the probe's concrete
+/// processors (the body of every cache hit, in any view mode).
+fn materialize(entry: CachedSolve, sub: &SubCluster) -> Result<SubClusterSchedule, SchedError> {
+    match entry {
+        CachedSolve::NoSolution => Err(SchedError::NoSolution),
+        CachedSolve::Solved(local) => {
+            let global = remap_to_parent(sub, &local.mapping);
+            Ok(SubClusterSchedule {
+                local: (*local).clone(),
+                global,
+            })
+        }
+    }
+}
+
+/// One lock stripe of the [`SolveCache`]: a segment of the memoization
+/// map under its own mutex, plus that segment's share of the global
+/// hit/miss/eviction counters. Keys are spread over stripes by
+/// [`stripe_index`], so concurrent probes on different keys almost
+/// never contend on the same lock.
+#[derive(Debug, Default)]
+struct Stripe {
+    entries: parking_lot::Mutex<HashMap<SolveKey, (CachedSolve, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Outcome of one probe against the shared store, for exact per-caller
+/// attribution (the `Live` view charges these to a [`CacheAccount`]).
+struct CacheProbe {
+    hit: bool,
+    evictions: u64,
 }
 
 /// Content-addressed memoization of [`schedule_on_subcluster`] (and,
@@ -225,53 +281,73 @@ enum CachedSolve {
 /// are memoized too: the engine's lease-escalation ladder probes the
 /// same infeasible shapes repeatedly.
 ///
-/// The cache is shared across threads (`&SolveCache` is `Sync`): the
-/// map sits behind a [`parking_lot::Mutex`] held only for lookups and
-/// inserts — never across a solver run, so concurrent misses on
-/// distinct keys solve in parallel. Two concurrent misses on the *same*
-/// key would both solve and last-write-wins; the engine avoids this by
+/// The cache is shared across threads (`&SolveCache` is `Sync`). The
+/// map is **lock-striped**: keys are spread over
+/// [`SolveCache::stripes`] independently mutexed segments (selected by
+/// an FNV-1a hash of the key, so stripe membership is deterministic),
+/// each held only for lookups and inserts — never across a solver run
+/// — so concurrent member solves don't serialise on one global mutex.
+/// Hit/miss/eviction counters live per stripe and [`SolveCache::stats`]
+/// sums them; counter totals are interleaving-independent because every
+/// probe bumps exactly one counter. Two concurrent misses on the *same*
+/// key both solve and last-write-wins; the engine avoids this by
 /// deduplicating its parallel baseline batch up front.
 ///
 /// [`SolveCache::with_capacity`] bounds the cache to an LRU capacity:
-/// every hit refreshes its entry's recency stamp, and an insert that
-/// would exceed the bound first evicts the least-recently-used entry
-/// (evictions are counted in [`SolveCacheStats::evictions`]). Unbounded
-/// streams of novel topologies therefore cannot grow memory without
-/// limit.
-#[derive(Debug, Default)]
+/// every hit refreshes its entry's recency stamp (drawn from one global
+/// atomic tick), and an insert that would exceed the bound first evicts
+/// the least-recently-used entry across *all* stripes (evictions are
+/// counted in [`SolveCacheStats::evictions`]). Unbounded streams of
+/// novel topologies therefore cannot grow memory without limit. Exact
+/// LRU order assumes inserts on a capped cache come from one thread at
+/// a time — which the engine guarantees: capped inserts happen on the
+/// federation driver thread (account seals and routing probes) or in
+/// the sequential capped baseline batch.
+///
+/// For parallel serving phases the store also supports a **frozen
+/// epoch** protocol (see [`CacheView::frozen`] and
+/// [`SolveCache::seal_account`]): probes treat the store as read-only,
+/// record their deferred effects in a per-caller [`CacheAccount`], and
+/// the driver replays those effects in a deterministic order at the
+/// next synchronisation point.
+#[derive(Debug)]
 pub struct SolveCache {
     enabled: bool,
     /// LRU bound; `None` = unbounded.
     capacity: Option<usize>,
-    store: parking_lot::Mutex<Store>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    stripes: Box<[Stripe]>,
+    /// The monotone recency clock shared by every stripe: each lookup
+    /// and insert draws a unique stamp, so LRU victims are well-defined
+    /// across stripes.
+    tick: AtomicU64,
 }
 
-/// The memoization map plus the monotone recency clock. Both live
-/// under one mutex: a hit's stamp refresh and an insert's eviction
-/// must observe a consistent (entry, stamp) view.
-#[derive(Debug, Default)]
-struct Store {
-    entries: HashMap<SolveKey, (CachedSolve, u64)>,
-    tick: u64,
-}
-
-impl Store {
-    fn touch(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+impl Default for SolveCache {
+    /// The disabled pass-through cache (mirrors
+    /// [`SolveCache::disabled`]).
+    fn default() -> Self {
+        SolveCache::disabled()
     }
 }
 
 impl SolveCache {
-    /// An empty, enabled, unbounded cache.
-    pub fn new() -> Self {
+    /// Lock stripes of the default constructors.
+    pub const DEFAULT_STRIPES: usize = 16;
+
+    fn build(enabled: bool, capacity: Option<usize>, stripes: usize) -> Self {
+        assert!(stripes > 0, "a solve cache needs at least one stripe");
         SolveCache {
-            enabled: true,
-            ..SolveCache::default()
+            enabled,
+            capacity,
+            stripes: (0..stripes).map(|_| Stripe::default()).collect(),
+            tick: AtomicU64::new(0),
         }
+    }
+
+    /// An empty, enabled, unbounded cache with
+    /// [`SolveCache::DEFAULT_STRIPES`] lock stripes.
+    pub fn new() -> Self {
+        SolveCache::build(true, None, SolveCache::DEFAULT_STRIPES)
     }
 
     /// An empty, enabled cache holding at most `capacity` entries, the
@@ -285,18 +361,38 @@ impl SolveCache {
             capacity > 0,
             "a zero-capacity cache cannot memoize; use SolveCache::disabled()"
         );
-        SolveCache {
-            enabled: true,
-            capacity: Some(capacity),
-            ..SolveCache::default()
-        }
+        SolveCache::build(true, Some(capacity), SolveCache::DEFAULT_STRIPES)
+    }
+
+    /// An empty, enabled, unbounded cache with exactly `stripes` lock
+    /// stripes — `with_stripes(1)` is the single-mutex reference path
+    /// the striping tests pin against.
+    ///
+    /// # Panics
+    /// Panics if `stripes` is zero.
+    pub fn with_stripes(stripes: usize) -> Self {
+        SolveCache::build(true, None, stripes)
+    }
+
+    /// An LRU-capped cache with an explicit stripe count (both bounds
+    /// of [`SolveCache::with_capacity`] and [`SolveCache::with_stripes`]
+    /// at once).
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `stripes` is zero.
+    pub fn with_capacity_and_stripes(capacity: usize, stripes: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a zero-capacity cache cannot memoize; use SolveCache::disabled()"
+        );
+        SolveCache::build(true, Some(capacity), stripes)
     }
 
     /// A pass-through cache: never memoizes, but still counts every
     /// call as a miss, so solver-invocation statistics stay comparable
     /// between cached and uncached runs (`--no-solve-cache`).
     pub fn disabled() -> Self {
-        SolveCache::default()
+        SolveCache::build(false, None, 1)
     }
 
     /// Whether this cache memoizes (false for [`SolveCache::disabled`]).
@@ -309,9 +405,14 @@ impl SolveCache {
         self.capacity
     }
 
-    /// Number of memoized entries.
+    /// Number of lock stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Number of memoized entries (summed across stripes).
     pub fn len(&self) -> usize {
-        self.store.lock().entries.len()
+        self.stripes.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// True when nothing is memoized yet.
@@ -319,13 +420,37 @@ impl SolveCache {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss/eviction counters.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn stripe_of(&self, key: &SolveKey) -> &Stripe {
+        &self.stripes[stripe_index(key, self.stripes.len())]
+    }
+
+    /// Snapshot of the hit/miss/eviction counters: the exact sum of the
+    /// per-stripe counters.
     pub fn stats(&self) -> SolveCacheStats {
-        SolveCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+        let mut total = SolveCacheStats::default();
+        for s in self.stripes.iter() {
+            total.hits += s.hits.load(Ordering::Relaxed);
+            total.misses += s.misses.load(Ordering::Relaxed);
+            total.evictions += s.evictions.load(Ordering::Relaxed);
         }
+        total
+    }
+
+    /// Per-stripe counter snapshot, in stripe-index order — the
+    /// striping tests assert these sum exactly to [`SolveCache::stats`].
+    pub fn stripe_stats(&self) -> Vec<SolveCacheStats> {
+        self.stripes
+            .iter()
+            .map(|s| SolveCacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Whether a *solved* entry for this exact key is memoized right
@@ -345,32 +470,55 @@ impl SolveCache {
         }
         let key: SolveKey = (fingerprint, shape, algorithm, config_hash);
         matches!(
-            self.store.lock().entries.get(&key),
+            self.stripe_of(&key).entries.lock().get(&key),
             Some((CachedSolve::Solved(_), _))
         )
     }
 
-    /// Memoizes `value` under `key`, evicting the least-recently-used
-    /// entry first when the capacity bound would be exceeded.
-    fn insert(&self, key: SolveKey, value: CachedSolve) {
-        let mut store = self.store.lock();
-        if let Some(cap) = self.capacity {
-            while store.entries.len() >= cap && !store.entries.contains_key(&key) {
-                // Stamps are unique (the tick is monotone under the
-                // lock), so the victim is well-defined and eviction
-                // order is the recency order.
-                let victim = store
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, (_, stamp))| *stamp)
-                    .map(|(k, _)| *k)
-                    .expect("len >= cap >= 1 entries");
-                store.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+    fn contains(&self, key: &SolveKey) -> bool {
+        self.stripe_of(key).entries.lock().contains_key(key)
+    }
+
+    /// Removes the least-recently-used entry across all stripes (the
+    /// globally smallest recency stamp; stamps are unique, so the
+    /// victim is well-defined). Returns false on an empty cache.
+    fn evict_lru(&self) -> bool {
+        let mut victim: Option<(u64, usize, SolveKey)> = None;
+        for (si, stripe) in self.stripes.iter().enumerate() {
+            let entries = stripe.entries.lock();
+            if let Some((k, (_, stamp))) = entries.iter().min_by_key(|(_, (_, s))| *s) {
+                if victim.as_ref().is_none_or(|(vs, _, _)| stamp < vs) {
+                    victim = Some((*stamp, si, *k));
+                }
             }
         }
-        let stamp = store.touch();
-        store.entries.insert(key, (value, stamp));
+        match victim {
+            None => false,
+            Some((_, si, key)) => {
+                self.stripes[si].entries.lock().remove(&key);
+                self.stripes[si].evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Memoizes `value` under `key`, evicting least-recently-used
+    /// entries first when the capacity bound would be exceeded. Returns
+    /// the number of evictions this insert caused (for per-caller
+    /// attribution).
+    fn insert(&self, key: SolveKey, value: CachedSolve) -> u64 {
+        let mut evicted = 0u64;
+        if let Some(cap) = self.capacity {
+            while self.len() >= cap && !self.contains(&key) && self.evict_lru() {
+                evicted += 1;
+            }
+        }
+        let stamp = self.next_tick();
+        self.stripe_of(&key)
+            .entries
+            .lock()
+            .insert(key, (value, stamp));
+        evicted
     }
 
     /// Hash of a solver configuration, for the cache key. Computed over
@@ -379,6 +527,78 @@ impl SolveCache {
     /// floats make a structural `Hash` derive unavailable).
     pub fn config_hash(cfg: &DagHetPartConfig) -> u64 {
         dhp_dag::fingerprint::fnv1a_bytes(format!("{cfg:?}").bytes())
+    }
+
+    /// The probing core of [`SolveCache::schedule`], additionally
+    /// reporting what the probe did to the store — the `Live` view mode
+    /// charges exactly this outcome to its [`CacheAccount`], with no
+    /// global-counter diffing.
+    fn schedule_probed(
+        &self,
+        g: &Dag,
+        fingerprint: u64,
+        sub: &SubCluster,
+        algorithm: Algorithm,
+        cfg: &DagHetPartConfig,
+        config_hash: u64,
+    ) -> (Result<SubClusterSchedule, SchedError>, CacheProbe) {
+        if !self.enabled {
+            self.stripes[0].misses.fetch_add(1, Ordering::Relaxed);
+            return (
+                schedule_on_subcluster(g, sub, algorithm, cfg),
+                CacheProbe {
+                    hit: false,
+                    evictions: 0,
+                },
+            );
+        }
+        let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
+        let stripe = self.stripe_of(&key);
+        // Cheap under the stripe lock: an Arc refcount bump (or the
+        // unit NoSolution marker) plus the LRU stamp refresh; the
+        // O(tasks) materialisation runs with the lock released.
+        let cached: Option<CachedSolve> = {
+            let mut entries = stripe.entries.lock();
+            let tick = self.next_tick();
+            entries.get_mut(&key).map(|e| {
+                e.1 = tick;
+                e.0.clone()
+            })
+        };
+        if let Some(entry) = cached {
+            stripe.hits.fetch_add(1, Ordering::Relaxed);
+            return (
+                materialize(entry, sub),
+                CacheProbe {
+                    hit: true,
+                    evictions: 0,
+                },
+            );
+        }
+        stripe.misses.fetch_add(1, Ordering::Relaxed);
+        match schedule_on_subcluster(g, sub, algorithm, cfg) {
+            Err(SchedError::NoSolution) => {
+                let evictions = self.insert(key, CachedSolve::NoSolution);
+                (
+                    Err(SchedError::NoSolution),
+                    CacheProbe {
+                        hit: false,
+                        evictions,
+                    },
+                )
+            }
+            Ok(sched) => {
+                let evictions =
+                    self.insert(key, CachedSolve::Solved(Arc::new(sched.local.clone())));
+                (
+                    Ok(sched),
+                    CacheProbe {
+                        hit: false,
+                        evictions,
+                    },
+                )
+            }
+        }
     }
 
     /// Memoizing [`schedule_on_subcluster`]. `fingerprint` must be
@@ -394,46 +614,8 @@ impl SolveCache {
         cfg: &DagHetPartConfig,
         config_hash: u64,
     ) -> Result<SubClusterSchedule, SchedError> {
-        if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return schedule_on_subcluster(g, sub, algorithm, cfg);
-        }
-        let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
-        // Cheap under the lock: an Arc refcount bump (or the unit
-        // NoSolution marker) plus the LRU stamp refresh; the O(tasks)
-        // materialisation below runs with the lock released.
-        let cached: Option<CachedSolve> = {
-            let mut store = self.store.lock();
-            let tick = store.touch();
-            store.entries.get_mut(&key).map(|e| {
-                e.1 = tick;
-                e.0.clone()
-            })
-        };
-        if let Some(entry) = cached {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return match entry {
-                CachedSolve::NoSolution => Err(SchedError::NoSolution),
-                CachedSolve::Solved(local) => {
-                    let global = remap_to_parent(sub, &local.mapping);
-                    Ok(SubClusterSchedule {
-                        local: (*local).clone(),
-                        global,
-                    })
-                }
-            };
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        match schedule_on_subcluster(g, sub, algorithm, cfg) {
-            Err(SchedError::NoSolution) => {
-                self.insert(key, CachedSolve::NoSolution);
-                Err(SchedError::NoSolution)
-            }
-            Ok(sched) => {
-                self.insert(key, CachedSolve::Solved(Arc::new(sched.local.clone())));
-                Ok(sched)
-            }
-        }
+        self.schedule_probed(g, fingerprint, sub, algorithm, cfg, config_hash)
+            .0
     }
 
     /// Memoizing [`dedicated_baseline`]: a whole-cluster solve, cached
@@ -452,6 +634,247 @@ impl SolveCache {
         let sub = cluster.subcluster(&ids);
         self.schedule(g, fingerprint, &sub, algorithm, cfg, config_hash)
             .map(|s| s.local.makespan)
+    }
+
+    /// Replays one frozen-epoch account's deferred store effects, in
+    /// the order its probes recorded them: a `Touch` refreshes the
+    /// entry's LRU stamp (if the entry still exists — a sibling's seal
+    /// may have evicted it), an `Insert` moves the account's overlay
+    /// value into the shared store, charging any LRU evictions to the
+    /// account. The driver calls this once per member in member-index
+    /// order at every synchronisation point, which is what makes the
+    /// parallel federation byte-identical to the sequential one: the
+    /// store's evolution is a pure function of the seal order, never of
+    /// thread timing. The account's log and overlay are drained; its
+    /// `stats` keep accumulating across epochs.
+    pub fn seal_account(&self, account: &mut CacheAccount) {
+        for ev in std::mem::take(&mut account.log) {
+            match ev {
+                CacheEvent::Touch(key) => {
+                    let stripe = self.stripe_of(&key);
+                    let mut entries = stripe.entries.lock();
+                    let tick = self.next_tick();
+                    if let Some(e) = entries.get_mut(&key) {
+                        e.1 = tick;
+                    }
+                }
+                CacheEvent::Insert(key) => {
+                    if let Some(value) = account.overlay.remove(&key) {
+                        account.stats.evictions += self.insert(key, value);
+                    }
+                }
+            }
+        }
+        account.overlay.clear();
+    }
+}
+
+/// The deferred store effects a frozen-epoch probe records for the
+/// seal to replay.
+#[derive(Clone, Copy, Debug)]
+enum CacheEvent {
+    /// A hit: refresh this key's LRU stamp at seal time.
+    Touch(SolveKey),
+    /// A miss whose outcome is parked in the account's overlay: move it
+    /// into the shared store at seal time (with LRU eviction).
+    Insert(SolveKey),
+}
+
+/// Per-caller solve-cache bookkeeping: the cumulative solver statistics
+/// attributed to one caller (one federation member), plus — during a
+/// frozen epoch — the ordered log of deferred store effects and the
+/// overlay holding the caller's own inserts.
+///
+/// This is the **single owner of per-member solver-stat attribution**:
+/// every probe a member causes is charged here at probe time, by the
+/// [`CacheView`] that wraps the account — `Live` probes charge the
+/// exact outcome `schedule_probed` reports, `Frozen` probes charge
+/// their overlay/store outcome directly. Nothing diffs global counters
+/// around a call, so interleaved steps can never double-count.
+#[derive(Debug, Default)]
+pub struct CacheAccount {
+    /// Cumulative statistics attributed to this account.
+    pub stats: SolveCacheStats,
+    log: Vec<CacheEvent>,
+    overlay: HashMap<SolveKey, CachedSolve>,
+}
+
+impl CacheAccount {
+    /// True when the account holds deferred effects that a
+    /// [`SolveCache::seal_account`] call has not replayed yet.
+    pub fn is_sealed(&self) -> bool {
+        self.log.is_empty() && self.overlay.is_empty()
+    }
+}
+
+/// How a [`CacheView`] interacts with the shared store.
+enum ViewMode<'a> {
+    Direct,
+    Live(RefCell<&'a mut CacheAccount>),
+    Frozen(RefCell<&'a mut CacheAccount>),
+}
+
+/// A borrowing handle the scheduling layers (admission, lease growth,
+/// suffix solves) probe instead of the raw [`SolveCache`], fixing *how*
+/// each probe touches the shared store and *who* is charged for it:
+///
+/// * [`CacheView::direct`] — probe the store directly, charge only the
+///   global counters. The single-cluster engine's mode; byte-identical
+///   to probing the [`SolveCache`] itself.
+/// * [`CacheView::live`] — probe the store directly, but additionally
+///   charge the exact probe outcome (hit/miss/evictions) to a
+///   [`CacheAccount`]. Used by the federation driver thread for
+///   routing and spillover probes, where store effects are safe but
+///   per-member attribution is required.
+/// * [`CacheView::frozen`] — treat the store as **read-only**: hits
+///   come from the account's overlay first, then the shared store
+///   (without touching its LRU stamps); misses solve and park the
+///   result in the overlay. Every deferred store effect is logged for
+///   [`SolveCache::seal_account`] to replay deterministically. This is
+///   the mode of the parallel per-member phases: shards probe
+///   concurrently without racing on store mutations, and the sealed
+///   replay order (member index) — not thread timing — decides the
+///   store's evolution.
+///
+/// Global hit/miss counters are bumped immediately in every mode (they
+/// are commutative atomics, so totals are interleaving-independent);
+/// eviction counters only move on direct/live inserts and at seal time.
+pub struct CacheView<'a> {
+    cache: &'a SolveCache,
+    mode: ViewMode<'a>,
+}
+
+impl<'a> CacheView<'a> {
+    /// A pass-through view: probes hit the store exactly like calling
+    /// [`SolveCache::schedule`] directly.
+    pub fn direct(cache: &'a SolveCache) -> Self {
+        CacheView {
+            cache,
+            mode: ViewMode::Direct,
+        }
+    }
+
+    /// A direct-effect view that also charges each probe's exact
+    /// outcome to `account` (no global-counter diffing).
+    pub fn live(cache: &'a SolveCache, account: &'a mut CacheAccount) -> Self {
+        CacheView {
+            cache,
+            mode: ViewMode::Live(RefCell::new(account)),
+        }
+    }
+
+    /// A frozen-epoch view: the store is read-only, deferred effects
+    /// accumulate in `account` until [`SolveCache::seal_account`].
+    pub fn frozen(cache: &'a SolveCache, account: &'a mut CacheAccount) -> Self {
+        CacheView {
+            cache,
+            mode: ViewMode::Frozen(RefCell::new(account)),
+        }
+    }
+
+    /// The underlying shared cache.
+    pub fn cache(&self) -> &'a SolveCache {
+        self.cache
+    }
+
+    /// Whether the underlying cache memoizes.
+    pub fn is_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// [`SolveCache::is_warm`] through the view: a frozen view also
+    /// consults its own overlay (its epoch's inserts are warm to
+    /// itself). A pure peek in every mode.
+    pub fn is_warm(
+        &self,
+        fingerprint: u64,
+        shape: u64,
+        algorithm: Algorithm,
+        config_hash: u64,
+    ) -> bool {
+        if let ViewMode::Frozen(acc) = &self.mode {
+            let key: SolveKey = (fingerprint, shape, algorithm, config_hash);
+            if matches!(acc.borrow().overlay.get(&key), Some(CachedSolve::Solved(_))) {
+                return true;
+            }
+        }
+        self.cache
+            .is_warm(fingerprint, shape, algorithm, config_hash)
+    }
+
+    /// Memoizing [`schedule_on_subcluster`] through the view — the
+    /// probe entry point of every scheduling layer. See the type docs
+    /// for the per-mode semantics.
+    pub fn schedule(
+        &self,
+        g: &Dag,
+        fingerprint: u64,
+        sub: &SubCluster,
+        algorithm: Algorithm,
+        cfg: &DagHetPartConfig,
+        config_hash: u64,
+    ) -> Result<SubClusterSchedule, SchedError> {
+        match &self.mode {
+            ViewMode::Direct => {
+                self.cache
+                    .schedule(g, fingerprint, sub, algorithm, cfg, config_hash)
+            }
+            ViewMode::Live(acc) => {
+                let (result, probe) =
+                    self.cache
+                        .schedule_probed(g, fingerprint, sub, algorithm, cfg, config_hash);
+                let mut acc = acc.borrow_mut();
+                if probe.hit {
+                    acc.stats.hits += 1;
+                } else {
+                    acc.stats.misses += 1;
+                }
+                acc.stats.evictions += probe.evictions;
+                result
+            }
+            ViewMode::Frozen(acc) => {
+                let mut acc = acc.borrow_mut();
+                if !self.cache.enabled {
+                    acc.stats.misses += 1;
+                    self.cache.stripes[0].misses.fetch_add(1, Ordering::Relaxed);
+                    return schedule_on_subcluster(g, sub, algorithm, cfg);
+                }
+                let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
+                let stripe = self.cache.stripe_of(&key);
+                // Own overlay first: this epoch's inserts are visible
+                // to this shard (and only this shard) before the seal.
+                if let Some(entry) = acc.overlay.get(&key).cloned() {
+                    acc.stats.hits += 1;
+                    stripe.hits.fetch_add(1, Ordering::Relaxed);
+                    acc.log.push(CacheEvent::Touch(key));
+                    return materialize(entry, sub);
+                }
+                // Read-only store probe: no tick draw, no stamp
+                // refresh — the Touch replays the refresh at seal time.
+                let base = stripe.entries.lock().get(&key).map(|(v, _)| v.clone());
+                if let Some(entry) = base {
+                    acc.stats.hits += 1;
+                    stripe.hits.fetch_add(1, Ordering::Relaxed);
+                    acc.log.push(CacheEvent::Touch(key));
+                    return materialize(entry, sub);
+                }
+                acc.stats.misses += 1;
+                stripe.misses.fetch_add(1, Ordering::Relaxed);
+                match schedule_on_subcluster(g, sub, algorithm, cfg) {
+                    Err(SchedError::NoSolution) => {
+                        acc.overlay.insert(key, CachedSolve::NoSolution);
+                        acc.log.push(CacheEvent::Insert(key));
+                        Err(SchedError::NoSolution)
+                    }
+                    Ok(sched) => {
+                        acc.overlay
+                            .insert(key, CachedSolve::Solved(Arc::new(sched.local.clone())));
+                        acc.log.push(CacheEvent::Insert(key));
+                        Ok(sched)
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -660,7 +1083,7 @@ mod tests {
             &sub,
             Algorithm::DagHetPart,
             &cfg,
-            &cache,
+            &CacheView::direct(&cache),
             chash,
         )
         .expect("lease holds the 2-task suffix");
@@ -693,7 +1116,7 @@ mod tests {
             &sub,
             Algorithm::DagHetPart,
             &cfg,
-            &cache,
+            &CacheView::direct(&cache),
             chash,
         );
         assert_eq!(r.err(), Some(SchedError::NoSolution));
@@ -712,7 +1135,7 @@ mod tests {
             &c.subcluster(&[ProcId(0)]),
             Algorithm::DagHetPart,
             &cfg,
-            &cache,
+            &CacheView::direct(&cache),
             SolveCache::config_hash(&cfg),
         );
     }
@@ -817,5 +1240,214 @@ mod tests {
             assert_eq!(Algorithm::parse(algo.name()), Some(algo));
         }
         assert_eq!(Algorithm::parse("heft"), None);
+    }
+
+    // ------------------------------------------------ striping + views
+
+    /// Runs the same sequential probe workload against a cache and
+    /// returns its stats: a mix of misses, hits, repeats and an
+    /// infeasible (NoSolution) shape.
+    fn probe_workload(cache: &SolveCache) -> SolveCacheStats {
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let tiny = c.subcluster(&[ProcId(2)]);
+        let graphs: Vec<Dag> = (3..9).map(|n| builder::chain(n, 2.0, 4.0, 1.0)).collect();
+        for pass in 0..3 {
+            for g in &graphs {
+                let _ =
+                    cache.schedule(g, g.fingerprint(), &sub, Algorithm::DagHetPart, &cfg, chash);
+            }
+            if pass == 1 {
+                let big = builder::chain(40, 1.0, 30.0, 5.0);
+                let _ = cache.schedule(
+                    &big,
+                    big.fingerprint(),
+                    &tiny,
+                    Algorithm::DagHetPart,
+                    &cfg,
+                    chash,
+                );
+            }
+        }
+        cache.stats()
+    }
+
+    #[test]
+    fn striped_counters_sum_exactly_to_the_single_stripe_path() {
+        // The single-mutex reference path is `with_stripes(1)`; the
+        // striped default must report the identical aggregate counters
+        // and entry count on an identical sequential workload, and its
+        // per-stripe counters must sum exactly to the aggregate.
+        let reference = SolveCache::with_stripes(1);
+        let striped = SolveCache::new();
+        assert_eq!(striped.stripes(), SolveCache::DEFAULT_STRIPES);
+        let a = probe_workload(&reference);
+        let b = probe_workload(&striped);
+        assert_eq!(a, b, "striping changed the aggregate statistics");
+        assert_eq!(reference.len(), striped.len());
+        let mut summed = SolveCacheStats::default();
+        for s in striped.stripe_stats() {
+            summed.hits += s.hits;
+            summed.misses += s.misses;
+            summed.evictions += s.evictions;
+        }
+        assert_eq!(summed, striped.stats(), "stripe counters must sum exactly");
+        // And the entries really are spread over more than one stripe.
+        assert!(
+            striped
+                .stripe_stats()
+                .iter()
+                .filter(|s| s.misses > 0)
+                .count()
+                > 1
+        );
+    }
+
+    #[test]
+    fn capped_striped_cache_keeps_global_lru_order() {
+        // The LRU pin re-run on a many-striped capped cache: eviction
+        // order must follow global recency, not per-stripe recency.
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::with_capacity_and_stripes(2, 8);
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let graphs: Vec<Dag> = (4..7).map(|n| builder::chain(n, 2.0, 4.0, 1.0)).collect();
+        let solve = |g: &Dag| {
+            cache
+                .schedule(g, g.fingerprint(), &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap()
+        };
+        solve(&graphs[0]);
+        solve(&graphs[1]);
+        solve(&graphs[0]); // refresh g0
+        solve(&graphs[2]); // evicts g1 across stripes
+        assert!(cache.is_warm(
+            graphs[0].fingerprint(),
+            sub.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
+        assert!(!cache.is_warm(
+            graphs[1].fingerprint(),
+            sub.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
+        solve(&graphs[0]);
+        solve(&graphs[1]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 4, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn live_view_charges_the_account_exactly() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let mut account = CacheAccount::default();
+        {
+            let view = CacheView::live(&cache, &mut account);
+            view.schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap();
+            view.schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap();
+        }
+        assert_eq!((account.stats.hits, account.stats.misses), (1, 1));
+        assert!(account.is_sealed(), "live probes defer nothing");
+        // Live probes hit the store directly: the global counters agree
+        // and the entry is immediately visible to direct probes.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn frozen_view_defers_inserts_until_the_seal() {
+        let g = builder::fork_join(6, 10.0, 4.0, 2.0);
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::new();
+        let fp = g.fingerprint();
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let mut account = CacheAccount::default();
+        {
+            let view = CacheView::frozen(&cache, &mut account);
+            // Miss: solved, parked in the overlay — the store is frozen.
+            view.schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap();
+            // Repeat within the epoch: served from the own overlay.
+            view.schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+                .unwrap();
+            assert!(view.is_warm(fp, sub.shape_signature(), Algorithm::DagHetPart, chash));
+        }
+        assert_eq!((account.stats.hits, account.stats.misses), (1, 1));
+        assert!(!account.is_sealed());
+        assert_eq!(cache.len(), 0, "a frozen epoch must not mutate the store");
+        assert!(!cache.is_warm(fp, sub.shape_signature(), Algorithm::DagHetPart, chash));
+        cache.seal_account(&mut account);
+        assert!(account.is_sealed());
+        assert_eq!(cache.len(), 1, "the seal publishes the overlay");
+        assert!(cache.is_warm(fp, sub.shape_signature(), Algorithm::DagHetPart, chash));
+        // A direct probe now hits the sealed entry.
+        cache
+            .schedule(&g, fp, &sub, Algorithm::DagHetPart, &cfg, chash)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1 + 1); // 1 frozen overlay hit + 1 direct
+    }
+
+    #[test]
+    fn sealing_charges_evictions_to_the_inserting_account() {
+        // Capacity 1: sealing two frozen inserts must evict once, and
+        // the eviction is attributed to the sealing account.
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::with_capacity(1);
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let g0 = builder::chain(4, 2.0, 4.0, 1.0);
+        let g1 = builder::chain(5, 2.0, 4.0, 1.0);
+        let mut account = CacheAccount::default();
+        {
+            let view = CacheView::frozen(&cache, &mut account);
+            view.schedule(
+                &g0,
+                g0.fingerprint(),
+                &sub,
+                Algorithm::DagHetPart,
+                &cfg,
+                chash,
+            )
+            .unwrap();
+            view.schedule(
+                &g1,
+                g1.fingerprint(),
+                &sub,
+                Algorithm::DagHetPart,
+                &cfg,
+                chash,
+            )
+            .unwrap();
+        }
+        assert_eq!(account.stats.evictions, 0, "evictions only move at seal");
+        cache.seal_account(&mut account);
+        assert_eq!(account.stats.evictions, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        // The survivor is the later insert (seal replays in log order).
+        assert!(cache.is_warm(
+            g1.fingerprint(),
+            sub.shape_signature(),
+            Algorithm::DagHetPart,
+            chash
+        ));
     }
 }

@@ -58,7 +58,7 @@ use crate::lease::{commit_grant, escalation_sizes, Grant};
 use crate::policy::AdmissionPolicy;
 use crate::report::RejectedRecord;
 use crate::state::{ClusterState, InService, Pending};
-use dhp_core::partial::{SolveCache, SubClusterSchedule};
+use dhp_core::partial::{CacheView, SubClusterSchedule};
 use dhp_core::SchedError;
 use dhp_platform::{Cluster, ProcId, SubCluster};
 
@@ -136,7 +136,7 @@ enum Probe {
 pub(crate) fn admission_passes(
     state: &mut ClusterState,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
 ) {
@@ -432,7 +432,7 @@ fn warm_in_cache(
     state: &ClusterState,
     cand: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     queue_len: usize,
 ) -> bool {
@@ -468,7 +468,7 @@ fn warm_in_cache(
 /// reservation feasibility scan ([`can_place`]): filter the free
 /// processors in canonical memory order, screen the hottest task, and
 /// walk the escalation ladder until a solve succeeds. Both callers
-/// going through one code path (and one [`SolveCache`]) is what kills
+/// going through one code path (and one [`CacheView`]) is what kills
 /// the historic double solve — a reservation probe that found a
 /// feasible lease leaves the solved schedule in the cache, and the
 /// later real admission on the same shape replays it instead of
@@ -484,7 +484,7 @@ fn find_placement(
     free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     target: usize,
 ) -> Probe {
@@ -534,7 +534,7 @@ pub(crate) fn try_admit(
     free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
     queue_len: usize,
@@ -588,7 +588,7 @@ pub(crate) fn can_place(
     free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
 ) -> bool {
     let target = cfg
@@ -628,7 +628,7 @@ pub(crate) fn head_reservation(
     in_service: &[Option<InService>],
     cand: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
 ) -> f64 {
     // Stale heap entries (superseded by an elastic growth) free
@@ -704,7 +704,7 @@ pub(crate) fn head_fits_at(
     in_service: &[Option<InService>],
     head: &Pending,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     resv: f64,
 ) -> bool {

@@ -62,7 +62,7 @@ use crate::report::{FleetMetrics, ServeReport};
 use crate::state::ClusterState;
 use crate::submission::{peak_overlap, Submission};
 use dhp_core::daghetpart::DagHetPartConfig;
-use dhp_core::partial::{Algorithm, SolveCache, SolveCacheStats};
+use dhp_core::partial::{Algorithm, CacheView, SolveCache, SolveCacheStats};
 use dhp_core::SchedError;
 use dhp_platform::Cluster;
 use std::collections::{HashMap, HashSet};
@@ -120,6 +120,14 @@ pub struct OnlineConfig {
     /// shrink is refused when it would delay a blocked backfill head's
     /// reservation. `None` (default) never shrinks.
     pub elastic_shrink: Option<usize>,
+    /// Force the federation driver onto its sequential member-stepping
+    /// path (`--serial-federation`). The default (false) steps
+    /// Active/Draining members in parallel between synchronisation
+    /// points; both paths are pinned byte-identical
+    /// (`tests/federation_parallel.rs`), so this is a debugging escape
+    /// hatch, not a semantic switch. Ignored by the single-cluster
+    /// engine.
+    pub serial_federation: bool,
 }
 
 impl Default for OnlineConfig {
@@ -134,6 +142,7 @@ impl Default for OnlineConfig {
             cache_aware: false,
             elastic: None,
             elastic_shrink: None,
+            serial_federation: false,
         }
     }
 }
@@ -185,6 +194,10 @@ pub fn serve_with_cache(
 ) -> ServeOutcome {
     let config_hash = SolveCache::config_hash(&cfg.solver);
     let stats_at_entry = cache.stats();
+    // The single-cluster engine probes the store directly; per-caller
+    // attribution (the federation tier's `CacheAccount` machinery) is
+    // unnecessary with one caller.
+    let view = CacheView::direct(cache);
     let mut subs = submissions;
     subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
 
@@ -225,11 +238,11 @@ pub fn serve_with_cache(
             (Some(_), None) => unreachable!(),
         }
 
-        admission_passes(&mut state, cfg, cache, config_hash, clock);
-        run_shrink(&mut state, cfg, cache, config_hash, clock);
+        admission_passes(&mut state, cfg, &view, config_hash, clock);
+        run_shrink(&mut state, cfg, &view, config_hash, clock);
 
         let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
-        run_growth(&mut state, cfg, cache, config_hash, clock, arrivals_pending);
+        run_growth(&mut state, cfg, &view, config_hash, clock, arrivals_pending);
     }
 
     let mid = cache.stats();
@@ -303,10 +316,19 @@ pub(crate) fn finalize(
     let batch_config_hash = SolveCache::config_hash(&batch_solver);
     if !jobs.is_empty() {
         let next = AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(jobs.len());
+        // A capacity-bounded cache runs the batch on one worker: exact
+        // LRU eviction order (and so the eviction counters) is only
+        // well-defined when capped inserts are not racing, and the
+        // batch is the one place the engine would otherwise insert from
+        // several threads at once.
+        let workers = if cache.capacity().is_some() {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(jobs.len())
+        };
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {

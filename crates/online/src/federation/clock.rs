@@ -1,0 +1,96 @@
+//! The merged event horizon: which instant the federated virtual clock
+//! advances to next, and what happens there.
+//!
+//! Three event streams feed the federation — workflow completions
+//! (earliest pending completion across all members), membership events
+//! (the time-ordered chaos plan), and submission arrivals. At equal
+//! instants the tie order is **completions < membership < arrivals**:
+//! freed processors must be visible to a same-instant membership event
+//! and arrival, a workflow finishing the very instant its member fails
+//! still completes, and a member joining the moment a workflow arrives
+//! can receive it.
+
+/// The resolved next step of the federated event loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum NextEvent {
+    /// Nothing in flight, nothing scheduled, every queue empty: the run
+    /// is over.
+    Idle,
+    /// Nothing in flight or scheduled but some queue is non-empty:
+    /// every processor of every member is free, so the admission phase
+    /// resolves each head candidate with the clock unchanged.
+    Stalled,
+    /// One or more completions are due at this instant.
+    Completions(f64),
+    /// One or more membership events are due at this instant.
+    Membership(f64),
+    /// One or more arrivals are due at this instant.
+    Arrivals(f64),
+}
+
+/// Merges the three event streams into the next clock step. The guards
+/// encode the tie order exactly: a completion wins any tie, membership
+/// beats arrivals, and the `Idle`/`Stalled` split depends on whether
+/// any admission queue still holds work.
+pub(crate) fn next_event(
+    completion: Option<f64>,
+    membership: Option<f64>,
+    arrival: Option<f64>,
+    queues_empty: bool,
+) -> NextEvent {
+    match (completion, membership, arrival) {
+        (None, None, None) if queues_empty => NextEvent::Idle,
+        (None, None, None) => NextEvent::Stalled,
+        // Completions first at equal instants.
+        (Some(tc), tm, ta) if tm.is_none_or(|t| tc <= t) && ta.is_none_or(|t| tc <= t) => {
+            NextEvent::Completions(tc)
+        }
+        // Membership before arrivals at equal instants.
+        (_, Some(tm), ta) if ta.is_none_or(|t| tm <= t) => NextEvent::Membership(tm),
+        (_, _, Some(ta)) => NextEvent::Arrivals(ta),
+        _ => unreachable!("the guards cover every inhabited case"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_win_every_tie() {
+        assert_eq!(
+            next_event(Some(5.0), Some(5.0), Some(5.0), false),
+            NextEvent::Completions(5.0)
+        );
+        assert_eq!(
+            next_event(Some(5.0), None, Some(5.0), false),
+            NextEvent::Completions(5.0)
+        );
+        assert_eq!(
+            next_event(Some(5.0), Some(4.0), None, false),
+            NextEvent::Membership(4.0)
+        );
+    }
+
+    #[test]
+    fn membership_beats_arrivals_at_equal_instants() {
+        assert_eq!(
+            next_event(None, Some(3.0), Some(3.0), false),
+            NextEvent::Membership(3.0)
+        );
+        assert_eq!(
+            next_event(None, Some(4.0), Some(3.0), false),
+            NextEvent::Arrivals(3.0)
+        );
+        assert_eq!(
+            next_event(Some(9.0), Some(4.0), Some(3.0), false),
+            NextEvent::Arrivals(3.0)
+        );
+    }
+
+    #[test]
+    fn exhaustion_depends_on_the_queues() {
+        assert_eq!(next_event(None, None, None, true), NextEvent::Idle);
+        assert_eq!(next_event(None, None, None, false), NextEvent::Stalled);
+    }
+}

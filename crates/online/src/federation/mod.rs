@@ -1,0 +1,403 @@
+//! Multi-cluster federation: online co-scheduling across several
+//! independent clusters under one merged virtual clock.
+//!
+//! A [`Federation`] is an ordered list of member clusters with no
+//! cross-cluster interconnect: every workflow is served entirely inside
+//! one member, so the per-cluster engine — `ClusterState` plus the
+//! admission/lease layers — applies unchanged. This module tree adds
+//! the fleet tier on top, one concern per layer:
+//!
+//! * `clock.rs` — the merged event horizon: the next
+//!   completion/membership/arrival instant, tie order **completions <
+//!   membership < arrivals**, members in index order.
+//! * `shard.rs` — a `MemberShard` owning one member's `ClusterState`,
+//!   `MemberStatus`, and solve-cache account, with `step_to`/`grow` as
+//!   its only entry points and no access to sibling state. The unit of
+//!   parallelism.
+//! * `routing.rs` — [`RoutingPolicy`] and home-cluster assignment:
+//!   `round-robin` (arrival order cycling the members), `least-loaded`
+//!   (smallest speed-weighted queued work), or `best-fit` (among
+//!   members that can place it *right now*, the one with the least
+//!   free speed; falling back to least-loaded).
+//! * `rebalance.rs` — the spillover sweep (remote backfilling across
+//!   the federation, bounded per event and ping-pong-free) and
+//!   drain/fail queue migration: the sequential cross-member phases.
+//! * `membership.rs` — applying chaos-plan drain/fail/join events.
+//! * `merge.rs` — per-member finalisation, exact-sum fleet metrics, and
+//!   the serialisable [`FederationReport`].
+//!
+//! # Parallel serving
+//!
+//! One driver (`serve_loop`) serves both the plain and the chaos
+//! entry points. Each clock step alternates parallel per-shard phases
+//! with sequential synchronisation points:
+//!
+//! 1. **Event arm** (sequential): advance the clock; apply due
+//!    membership events; route due arrivals.
+//! 2. **Step phase** (parallel): every eligible shard pops its due
+//!    completions and runs its admission passes and elastic shrink on
+//!    a [`std::thread::scope`] pool, probing the shared [`SolveCache`]
+//!    through *frozen* views — the store is read-only, deferred
+//!    effects accumulate per shard.
+//! 3. **Seal** (sequential): each shard's deferred cache effects are
+//!    replayed into the store in member-index order.
+//! 4. **Spillover** (sequential): blocked work migrates across
+//!    members.
+//! 5. **Growth phase** (parallel) + seal: elastic lease growth, same
+//!    frozen-view model.
+//!
+//! Because each shard's phase work is a pure function of its own state
+//! and the store frozen at phase entry, and the store only evolves at
+//! the ordered seals, the parallel run is **byte-identical** to the
+//! sequential one (`--serial-federation`, or
+//! [`OnlineConfig::serial_federation`]) — pinned by
+//! `tests/federation_parallel.rs` across routings, arrival processes,
+//! chaos and elasticity.
+//!
+//! The shared [`SolveCache`] is striped internally, so concurrent
+//! member solves don't serialise on one mutex; lease shapes are
+//! content-addressed, so a lease solved on one member is a hit for any
+//! identically shaped lease on *any other* member. Every member
+//! produces its own [`ServeReport`](crate::report::ServeReport)
+//! (records stamped with the member's `cluster_id`), and the
+//! [`FederationReport`] adds fleet-level
+//! [`FleetMetrics`](crate::report::FleetMetrics) whose counters are
+//! the exact sums of the per-cluster ones (solver statistics are
+//! attributed to the member whose probes caused them — each shard's
+//! `CacheAccount` is the single owner of that attribution).
+//!
+//! Membership events ([`serve_federation_chaos`]) merge a
+//! [`MembershipPlan`] of time-ordered `drain` / `fail` / `join` events
+//! into the federated clock. A draining member's queued work migrates
+//! to the survivors and its in-service work finishes; a failing member
+//! additionally tears down its in-service work — requeued onto
+//! survivors with the original arrival and id, or recorded as *lost*,
+//! per the event's [`FailureMode`](crate::chaos::FailureMode). A
+//! joining member starts receiving routed arrivals and spillover from
+//! the very instant it appears.
+//!
+//! A federated run is a pure function of `(federation, submissions,
+//! config, routing, plan)`.
+
+mod clock;
+mod membership;
+mod merge;
+mod rebalance;
+mod routing;
+mod shard;
+
+pub use merge::{FederationOutcome, FederationReport};
+pub use routing::RoutingPolicy;
+
+use crate::chaos::{MembershipEvent, MembershipPlan};
+use crate::engine::{make_cache, OnlineConfig};
+use crate::report::RejectedRecord;
+use crate::submission::Submission;
+use clock::NextEvent;
+use dhp_core::partial::SolveCache;
+use dhp_platform::Federation;
+use membership::apply_membership;
+use rebalance::spill;
+use routing::route;
+use shard::{run_phase, MemberShard};
+
+/// Serves a submission stream across a federation of clusters. A fresh
+/// [`SolveCache`] — shared by every member — is created per call
+/// (honouring [`OnlineConfig::solve_cache`] and
+/// [`OnlineConfig::cache_cap`]); use [`serve_federation_with_cache`] to
+/// share one across runs. Deterministic for fixed inputs.
+pub fn serve_federation(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+) -> FederationOutcome {
+    let cache = make_cache(cfg);
+    serve_federation_with_cache(federation, submissions, cfg, routing, &cache)
+}
+
+/// [`serve_federation`] with a caller-owned shared [`SolveCache`].
+pub fn serve_federation_with_cache(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    cache: &SolveCache,
+) -> FederationOutcome {
+    serve_loop(federation, submissions, cfg, routing, cache, &[])
+}
+
+/// Serves a submission stream across a federation *under a membership
+/// plan*: drain/fail/join events merged into the federated clock (see
+/// [`MembershipPlan`] for the semantics and JSON schema). A fresh
+/// shared [`SolveCache`] is created per call. Returns an error when
+/// the plan does not validate against the federation (member index out
+/// of range, unknown failure mode, unbuildable join spec). An empty
+/// plan reproduces [`serve_federation`] byte-for-byte.
+pub fn serve_federation_chaos(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    plan: &MembershipPlan,
+) -> Result<FederationOutcome, String> {
+    let cache = make_cache(cfg);
+    serve_federation_chaos_with_cache(federation, submissions, cfg, routing, plan, &cache)
+}
+
+/// [`serve_federation_chaos`] with a caller-owned shared [`SolveCache`].
+pub fn serve_federation_chaos_with_cache(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    plan: &MembershipPlan,
+    cache: &SolveCache,
+) -> Result<FederationOutcome, String> {
+    let events = plan.resolve(federation.len())?;
+    Ok(serve_loop(
+        federation,
+        submissions,
+        cfg,
+        routing,
+        cache,
+        &events,
+    ))
+}
+
+/// The federated event loop shared by the plain and chaos entry
+/// points: completions, membership events and arrivals merged on one
+/// virtual clock (in that priority at equal instants), followed by the
+/// parallel per-shard step phase (completions + admission + shrink),
+/// the ordered account seal, the sequential spillover sweep, and the
+/// parallel growth phase (see the module docs for the sync-point
+/// model). With [`OnlineConfig::serial_federation`] set every phase
+/// runs inline in member order — byte-identical by construction.
+fn serve_loop(
+    federation: &Federation,
+    submissions: Vec<Submission>,
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    cache: &SolveCache,
+    chaos: &[MembershipEvent],
+) -> FederationOutcome {
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let serial = cfg.serial_federation;
+    let mut shards: Vec<MemberShard> = federation
+        .iter()
+        .map(|(i, c)| MemberShard::new(c, i))
+        .collect();
+    let mut subs = submissions;
+    subs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+
+    let mut next_arrival = 0usize;
+    let mut next_membership = 0usize;
+    let mut clock = 0.0f64;
+    let mut rr_next = 0usize;
+    let mut spillovers = 0u64;
+
+    loop {
+        // ------------------------------------------------ next event(s)
+        let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
+        let membership_time = chaos.get(next_membership).map(|e| e.at());
+        let completion_time = shards
+            .iter()
+            .filter_map(|sh| sh.state.next_completion_time())
+            .min_by(|a, b| a.total_cmp(b));
+        let queues_empty = shards.iter().all(|sh| sh.state.queue.is_empty());
+        match clock::next_event(completion_time, membership_time, arrival_time, queues_empty) {
+            NextEvent::Idle => break,
+            // Some queue is non-empty with nothing in flight anywhere:
+            // every processor of every member is free, so the step
+            // phase below either admits or rejects each head candidate
+            // (the single-cluster invariant, member by member — queues
+            // only ever live on Active members, whose admission runs
+            // below).
+            NextEvent::Stalled => {}
+            // The due completions themselves pop inside each shard's
+            // `step_to` — shard-local work, done in the parallel phase.
+            NextEvent::Completions(tc) => clock = tc,
+            NextEvent::Membership(tm) => {
+                clock = tm;
+                while let Some(e) = chaos.get(next_membership) {
+                    if e.at() > clock {
+                        break;
+                    }
+                    next_membership += 1;
+                    apply_membership(e, &mut shards, clock);
+                }
+            }
+            NextEvent::Arrivals(ta) => {
+                clock = ta;
+                while let Some(s) = subs.get(next_arrival) {
+                    if s.arrival > clock {
+                        break;
+                    }
+                    let s = subs[next_arrival].clone();
+                    next_arrival += 1;
+                    match route(
+                        routing,
+                        &mut rr_next,
+                        &mut shards,
+                        &s,
+                        cfg,
+                        cache,
+                        config_hash,
+                    ) {
+                        Some(home) => shards[home].state.enqueue_arrival(s, clock),
+                        // Every member failed or drained and no join is
+                        // due: the arrival is deterministically rejected
+                        // on the lowest-index member's record.
+                        None => {
+                            let cluster_id = shards[0].state.cluster_id;
+                            shards[0].state.rejected.push(RejectedRecord {
+                                id: s.id,
+                                name: s.instance.name.clone(),
+                                arrival: s.arrival,
+                                rejected_at: clock,
+                                wait: clock - s.arrival,
+                                reason: "no active federation member".to_string(),
+                                cluster_id,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ------------------------- step phase: completions + admission
+        // + elastic shrink, shard-isolated, parallel under frozen
+        // cache views; then the ordered seal.
+        let worklist: Vec<&mut MemberShard> = shards
+            .iter_mut()
+            .filter(|sh| sh.wants_step(clock))
+            .collect();
+        run_phase(worklist, serial, |sh| {
+            sh.step_to(clock, cfg, cache, config_hash)
+        });
+        for sh in shards.iter_mut() {
+            cache.seal_account(&mut sh.account);
+        }
+
+        // -------------------------------------------------- spillover
+        spillovers += spill(&mut shards, cfg, cache, config_hash, clock);
+
+        // ------------------------- growth phase: elastic lease growth,
+        // same frozen-view model, then the ordered seal.
+        let arrivals_pending = subs.get(next_arrival).is_some_and(|s| s.arrival <= clock);
+        let worklist: Vec<&mut MemberShard> =
+            shards.iter_mut().filter(|sh| sh.wants_growth()).collect();
+        run_phase(worklist, serial, |sh| {
+            sh.grow(clock, cfg, cache, config_hash, arrivals_pending)
+        });
+        for sh in shards.iter_mut() {
+            cache.seal_account(&mut sh.account);
+        }
+    }
+
+    // ------------------------------------------------------- finalize
+    merge::assemble(shards, cfg, cache, routing, spillovers)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::submission::{stream, Submission};
+    use dhp_platform::{Cluster, Processor};
+    use dhp_wfgen::arrivals::ArrivalProcess;
+    use dhp_wfgen::Family;
+
+    pub(crate) fn member() -> Cluster {
+        Cluster::new(
+            vec![
+                Processor::new("big", 4.0, 600.0),
+                Processor::new("mid", 2.0, 400.0),
+                Processor::new("sml", 1.0, 250.0),
+            ],
+            1.0,
+        )
+    }
+
+    pub(crate) fn burst(n: usize) -> Vec<Submission> {
+        stream(
+            n,
+            &[Family::Blast, Family::Seismology],
+            (20, 40),
+            &ArrivalProcess::Burst { at: 0.0 },
+            7,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{burst, member};
+    use super::*;
+    use crate::engine::serve;
+    use dhp_platform::Federation;
+
+    #[test]
+    fn single_member_federation_matches_the_plain_engine() {
+        // The federated loop over one member must reduce to `serve`:
+        // identical records (modulo the cluster_id stamp) and identical
+        // fleet metrics, solver statistics included.
+        let cluster = member();
+        let subs = burst(6);
+        let plain = serve(&cluster, subs.clone(), &OnlineConfig::default());
+        let fed = serve_federation(
+            &Federation::from(cluster),
+            subs,
+            &OnlineConfig::default(),
+            RoutingPolicy::LeastLoaded,
+        );
+        assert_eq!(fed.report.clusters.len(), 1);
+        assert_eq!(fed.report.spillovers, 0);
+        let mut stripped = fed.report.clusters[0].clone();
+        for r in &mut stripped.workflows {
+            assert_eq!(r.cluster_id, Some(0));
+            r.cluster_id = None;
+        }
+        for r in &mut stripped.rejected {
+            r.cluster_id = None;
+        }
+        assert_eq!(stripped.to_json(), plain.report.to_json());
+        assert_eq!(fed.report.fleet.completed, plain.report.fleet.completed);
+    }
+
+    #[test]
+    fn federated_runs_are_deterministic() {
+        let fed = Federation::new(vec![member(), member()]);
+        for routing in RoutingPolicy::ALL {
+            let a = serve_federation(&fed, burst(10), &OnlineConfig::default(), routing);
+            let b = serve_federation(&fed, burst(10), &OnlineConfig::default(), routing);
+            assert_eq!(
+                a.report.to_json(),
+                b.report.to_json(),
+                "{} is not deterministic",
+                routing.name()
+            );
+        }
+    }
+
+    #[test]
+    fn serial_flag_is_byte_identical_to_the_parallel_driver() {
+        let fed = Federation::new(vec![member(), member(), member()]);
+        for routing in RoutingPolicy::ALL {
+            let par = serve_federation(&fed, burst(10), &OnlineConfig::default(), routing);
+            let ser = serve_federation(
+                &fed,
+                burst(10),
+                &OnlineConfig {
+                    serial_federation: true,
+                    ..OnlineConfig::default()
+                },
+                routing,
+            );
+            assert_eq!(
+                par.report.to_json(),
+                ser.report.to_json(),
+                "{}: parallel and serial drivers diverge",
+                routing.name()
+            );
+        }
+    }
+}

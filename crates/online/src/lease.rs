@@ -13,7 +13,7 @@ use crate::admission::{admission_passes, head_fits_at, head_reservation, BACKFIL
 use crate::engine::OnlineConfig;
 use crate::report::WorkflowRecord;
 use crate::state::{ClusterState, InService, Pending, Placement, Regrow};
-use dhp_core::partial::{SolveCache, SubClusterSchedule};
+use dhp_core::partial::{CacheView, SubClusterSchedule};
 use dhp_platform::{ProcId, SubCluster};
 use std::collections::{HashMap, HashSet};
 
@@ -189,7 +189,7 @@ pub(crate) fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
 pub(crate) fn run_growth(
     state: &mut ClusterState,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
     arrivals_pending: bool,
@@ -225,7 +225,7 @@ pub(crate) fn run_growth(
 fn grow_lease(
     state: &mut ClusterState,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
 ) -> bool {
@@ -434,7 +434,7 @@ fn grow_lease(
 pub(crate) fn run_shrink(
     state: &mut ClusterState,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
 ) {
@@ -472,7 +472,7 @@ pub(crate) fn run_shrink(
 fn shrink_lease(
     state: &mut ClusterState,
     cfg: &OnlineConfig,
-    cache: &SolveCache,
+    cache: &CacheView,
     config_hash: u64,
     clock: f64,
 ) -> bool {

@@ -1,0 +1,179 @@
+//! Sequential-vs-parallel federation equivalence (ISSUE 7).
+//!
+//! The federation driver steps Active/Draining member shards on a
+//! scoped thread pool between synchronisation points;
+//! `--serial-federation` forces the same loop onto its inline path.
+//! The refactor's core promise is that the two are **byte-identical**:
+//! every cache probe inside a parallel phase goes through a frozen
+//! per-shard view and is replayed by the driver's ordered seal, so
+//! thread completion order can reorder nothing observable.
+//!
+//! Pins, in the style of `tests/engine_equivalence.rs` (FNV-1a content
+//! digests over the full serialised report — solver counters
+//! *included*, since the attribution itself must be deterministic):
+//!
+//! * sequential ≡ parallel across {burst, poisson, uniform} ×
+//!   {round-robin, least-loaded, best-fit} × chaos on/off × elastic
+//!   on/off;
+//! * LRU eviction order under the striped store with a small
+//!   `--cache-cap` is deterministic and driver-independent;
+//! * a 50× stress loop produces one digest (smokes out ordering races
+//!   that a single lucky run could hide).
+
+use dhp_dag::fingerprint::fnv1a_bytes;
+use dhp_online::{
+    fit_cluster, serve_federation, serve_federation_chaos, FailureMode, FederationReport,
+    MembershipPlan, OnlineConfig, RoutingPolicy,
+};
+use dhp_platform::configs::{cluster, ClusterKind, ClusterSize};
+use dhp_platform::Federation;
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+
+fn trace(process: &ArrivalProcess, n: usize) -> (Federation, Vec<dhp_online::Submission>) {
+    let subs = dhp_online::submission::repeating_stream(
+        6,
+        n,
+        &[Family::Blast, Family::Seismology],
+        (10, 50),
+        process,
+        11,
+    );
+    let member = fit_cluster(
+        &cluster(ClusterKind::LessHet, ClusterSize::Small),
+        &subs,
+        1.05,
+    );
+    (Federation::homogeneous(member, 3), subs)
+}
+
+/// Digest of the *entire* serialised federation report — scheduling,
+/// metrics, and the per-member solver-stat attribution.
+fn digest(report: &FederationReport) -> u64 {
+    fnv1a_bytes(report.to_json().bytes())
+}
+
+/// A membership plan exercising every sequential sync-point the
+/// parallel phases must respect: a drain (queue migration) and a
+/// requeue failure (in-service rebuild) on distinct members.
+fn chaos_plan() -> MembershipPlan {
+    MembershipPlan::new()
+        .drain(0, 40.0)
+        .fail(1, 90.0, FailureMode::Requeue)
+}
+
+fn run(
+    fed: &Federation,
+    subs: &[dhp_online::Submission],
+    cfg: &OnlineConfig,
+    routing: RoutingPolicy,
+    chaos: bool,
+) -> u64 {
+    let out = if chaos {
+        serve_federation_chaos(fed, subs.to_vec(), cfg, routing, &chaos_plan())
+            .expect("the plan validates against a 3-member federation")
+    } else {
+        serve_federation(fed, subs.to_vec(), cfg, routing)
+    };
+    digest(&out.report)
+}
+
+#[test]
+fn parallel_driver_is_byte_identical_to_sequential_across_the_matrix() {
+    let processes = [
+        ("burst", ArrivalProcess::Burst { at: 0.0 }),
+        ("poisson", ArrivalProcess::Poisson { rate: 0.05 }),
+        ("uniform", ArrivalProcess::Uniform { interval: 10.0 }),
+    ];
+    for (pname, process) in &processes {
+        let (fed, subs) = trace(process, 36);
+        for routing in RoutingPolicy::ALL {
+            for chaos in [false, true] {
+                for elastic in [None, Some(2)] {
+                    let parallel = OnlineConfig {
+                        elastic,
+                        elastic_shrink: elastic.map(|_| 4),
+                        ..OnlineConfig::default()
+                    };
+                    let sequential = OnlineConfig {
+                        serial_federation: true,
+                        ..parallel.clone()
+                    };
+                    let p = run(&fed, &subs, &parallel, routing, chaos);
+                    let s = run(&fed, &subs, &sequential, routing, chaos);
+                    assert_eq!(
+                        p,
+                        s,
+                        "{pname}/{}/chaos-{chaos}/elastic-{:?}: parallel digest \
+                         0x{p:016x} != sequential 0x{s:016x}",
+                        routing.name(),
+                        elastic,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lru_eviction_under_the_striped_store_is_deterministic() {
+    // A cap far below the trace's working set forces evictions through
+    // the striped store's global-LRU scan; the victim choice (and with
+    // it every later hit/miss) must be identical run-to-run and
+    // driver-to-driver.
+    let (fed, subs) = trace(&ArrivalProcess::Uniform { interval: 8.0 }, 48);
+    let capped = OnlineConfig {
+        cache_cap: Some(3),
+        ..OnlineConfig::default()
+    };
+    let serial = OnlineConfig {
+        serial_federation: true,
+        ..capped.clone()
+    };
+    for routing in RoutingPolicy::ALL {
+        let a = serve_federation(&fed, subs.clone(), &capped, routing);
+        let b = serve_federation(&fed, subs.clone(), &capped, routing);
+        let c = serve_federation(&fed, subs.clone(), &serial, routing);
+        assert!(
+            a.report.fleet.solve_cache_evictions > 0,
+            "{}: the cap never evicted — the test is not exercising LRU",
+            routing.name()
+        );
+        assert_eq!(
+            digest(&a.report),
+            digest(&b.report),
+            "{}: capped parallel runs diverged",
+            routing.name()
+        );
+        assert_eq!(
+            digest(&a.report),
+            digest(&c.report),
+            "{}: capped parallel run diverged from sequential",
+            routing.name()
+        );
+    }
+}
+
+#[test]
+fn fifty_stress_runs_yield_one_digest() {
+    // Ordering races are intermittent by nature; one equal pair proves
+    // little. Fifty parallel runs over a chaos + elastic trace must
+    // all land on the digest of the sequential reference.
+    let (fed, subs) = trace(&ArrivalProcess::Burst { at: 0.0 }, 24);
+    let parallel = OnlineConfig {
+        elastic: Some(2),
+        ..OnlineConfig::default()
+    };
+    let sequential = OnlineConfig {
+        serial_federation: true,
+        ..parallel.clone()
+    };
+    let reference = run(&fed, &subs, &sequential, RoutingPolicy::LeastLoaded, true);
+    for i in 0..50 {
+        let d = run(&fed, &subs, &parallel, RoutingPolicy::LeastLoaded, true);
+        assert_eq!(
+            d, reference,
+            "stress run {i} diverged: 0x{d:016x} != 0x{reference:016x}"
+        );
+    }
+}
