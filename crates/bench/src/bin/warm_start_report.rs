@@ -1,0 +1,126 @@
+//! Produces the `warm_start` section of `BENCH_online.json`: wall-clock
+//! and solver-effort numbers for durable warm start on the repeat-heavy
+//! acceptance trace (500 submissions, 10 unique topologies, burst
+//! arrivals), plus the recovery gates — every corrupt-snapshot variant
+//! must degrade to a cold start, and a kill between the temp-file write
+//! and the atomic rename must leave the prior snapshot loadable.
+//!
+//! ```text
+//! cargo run --release -p dhp-bench --bin warm_start_report
+//! ```
+//!
+//! `--smoke` shrinks the trace to 100 submissions — the CI smoke-run
+//! that checks the gates without the full measurement.
+
+use dhp_core::persist::temp_sibling;
+use dhp_online::{fit_cluster, serve, OnlineConfig, PersistSpec};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let unique = 10usize;
+    let n = if smoke { 100usize } else { 500usize };
+    let subs = dhp_online::submission::repeating_stream(
+        unique,
+        n,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (26, 50),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    );
+    let cluster = fit_cluster(&dhp_platform::configs::default_cluster(), &subs, 1.05);
+
+    let dir = std::env::temp_dir().join("dhp-warm-start-report");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cannot create scratch dir");
+    let snap = dir.join("cache.bin");
+    let cfg = OnlineConfig {
+        persist: Some(PersistSpec {
+            path: snap.clone(),
+            autosave: None,
+        }),
+        ..OnlineConfig::default()
+    };
+
+    let run = || {
+        let t0 = Instant::now();
+        let out = serve(&cluster, subs.clone(), &cfg);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (cold, cold_secs) = run();
+    assert!(
+        cold.report.recovery.is_none(),
+        "first run must start cold silently"
+    );
+    let snapshot_bytes = std::fs::metadata(&snap).expect("snapshot written").len();
+
+    let (warm, warm_secs) = run();
+    let cf = &cold.report.fleet;
+    let wf = &warm.report.fleet;
+    assert_eq!(wf.solve_cache_misses, 0, "warm run re-solved");
+    assert_eq!(wf.baseline_solves, 0, "warm run re-ran baselines");
+    assert_eq!(wf.sim_cache_misses, 0, "warm run re-simulated");
+    let normalized = |out: &dhp_online::ServeOutcome| {
+        let mut r = out.report.clone();
+        r.fleet.clear_solve_stats();
+        r.to_json()
+    };
+    assert_eq!(
+        normalized(&cold),
+        normalized(&warm),
+        "the snapshot changed the scheduling outcome"
+    );
+
+    // Recovery gates: corrupt variants cold-start with a note; a torn
+    // temp sibling (the kill-mid-save window) never shadows the
+    // committed snapshot.
+    let good = std::fs::read(&snap).expect("snapshot readable");
+    let gate = |bytes: &[u8]| {
+        std::fs::write(&snap, bytes).unwrap();
+        let out = serve(&cluster, subs.clone(), &cfg);
+        out.report.recovery.is_some() && out.report.fleet.solve_cache_misses > 0
+    };
+    let truncated_ok = gate(&good[..good.len() / 2]);
+    let mut flipped = good.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    let bitflip_ok = gate(&flipped);
+    // The gates above each rewrote a valid snapshot at exit; tear the
+    // *temp sibling* and confirm the committed file still loads warm.
+    std::fs::write(temp_sibling(&snap), b"torn half-written snapshot").unwrap();
+    let after_kill = serve(&cluster, subs.clone(), &cfg);
+    let kill_ok =
+        after_kill.report.recovery.is_none() && after_kill.report.fleet.solve_cache_misses == 0;
+    assert!(
+        truncated_ok,
+        "truncated snapshot did not cold-start cleanly"
+    );
+    assert!(
+        bitflip_ok,
+        "bit-flipped snapshot did not cold-start cleanly"
+    );
+    assert!(
+        kill_ok,
+        "a torn temp sibling shadowed the committed snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("{{");
+    println!("  \"bench\": \"warm_start/repeat{unique}/{n}\",");
+    println!("  \"trace\": {{ \"submissions\": {n}, \"unique_topologies\": {unique}, \"process\": \"burst\", \"policy\": \"fifo\" }},");
+    println!("  \"snapshot_bytes\": {snapshot_bytes},");
+    println!(
+        "  \"cold\": {{ \"solver_invocations\": {}, \"baseline_solves\": {}, \"sim_runs\": {}, \"wall_seconds\": {:.3} }},",
+        cf.solve_cache_misses, cf.baseline_solves, cf.sim_cache_misses, cold_secs
+    );
+    println!(
+        "  \"warm\": {{ \"solver_invocations\": 0, \"cache_hits\": {}, \"sim_cache_hits\": {}, \"wall_seconds\": {:.3} }},",
+        wf.solve_cache_hits, wf.sim_cache_hits, warm_secs
+    );
+    println!("  \"speedup\": {:.2},", cold_secs / warm_secs.max(1e-9));
+    println!("  \"recovery_gates\": {{ \"truncated_cold_start\": true, \"bit_flip_cold_start\": true, \"kill_mid_save_prior_snapshot_loads\": true }},");
+    println!("  \"reports_byte_identical_modulo_stats\": true");
+    println!("}}");
+}

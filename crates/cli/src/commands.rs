@@ -83,6 +83,15 @@ QUEUE OPTIONS (online co-scheduling of a workflow stream):
   --cache-aware         among equally eligible backfill candidates, try
                         those whose (workflow, lease shape) solve is
                         already cached first
+  --cache-file PATH     durable warm start: restore the solve cache from
+                        PATH before the run and rewrite it crash-safely
+                        (temp file + fsync + atomic rename) at exit; a
+                        missing file is a silent cold start, a corrupt or
+                        mismatched one degrades to a cold start with a
+                        `recovery` note in the report
+  --autosave N          with --cache-file: additionally rewrite the
+                        snapshot every N federation synchronisation
+                        points, bounding what a crash can lose
   --cluster NAME|FILE   shared cluster (default: default)
   --clusters LIST       serve a *federation*: comma-separated cluster
                         names/files, one engine per member, a shared solve

@@ -7,7 +7,7 @@ use crate::spec::resolve_cluster;
 use dhp_core::partial::Algorithm;
 use dhp_online::{
     fit_cluster, serve, serve_federation, serve_federation_chaos, AdmissionPolicy, FailureMode,
-    LeaseSizing, MembershipPlan, OnlineConfig, RoutingPolicy,
+    LeaseSizing, MembershipPlan, OnlineConfig, PersistSpec, RoutingPolicy,
 };
 use dhp_platform::Federation;
 use dhp_wfgen::arrivals::ArrivalProcess;
@@ -105,6 +105,17 @@ pub fn queue(args: &Args) -> Result<String, String> {
         return Err("--headroom must be >= 1 (or 0 to disable)".into());
     }
 
+    // `--cache-file PATH` makes the solve cache durable: restored
+    // before the run (a missing file is a silent cold start; a corrupt
+    // one degrades to a cold start with a `recovery` note), rewritten
+    // crash-safely at exit. `--autosave N` additionally rewrites the
+    // snapshot every N federation synchronisation points.
+    let autosave = args.get_positive_usize("autosave")?;
+    let persist = args.get("cache-file").map(|p| PersistSpec {
+        path: std::path::PathBuf::from(p),
+        autosave,
+    });
+
     let cfg = OnlineConfig {
         policy,
         lease,
@@ -126,6 +137,7 @@ pub fn queue(args: &Args) -> Result<String, String> {
         // sequential member-stepping path — an escape hatch pinned
         // byte-identical to the parallel default.
         serial_federation: args.switch("serial-federation"),
+        persist,
     };
     if cfg.serial_federation && args.get("clusters").is_none() {
         return Err(
@@ -141,6 +153,19 @@ pub fn queue(args: &Args) -> Result<String, String> {
         return Err("--cache-aware is meaningless with --no-solve-cache \
                     (nothing is ever warm in a disabled cache)"
             .into());
+    }
+    if cfg.persist.is_some() && !cfg.solve_cache {
+        return Err("--cache-file is meaningless with --no-solve-cache \
+                    (a disabled cache has nothing to persist)"
+            .into());
+    }
+    if autosave.is_some() && !cfg.solve_cache {
+        return Err("--autosave is meaningless with --no-solve-cache \
+                    (a disabled cache has nothing to persist)"
+            .into());
+    }
+    if autosave.is_some() && cfg.persist.is_none() {
+        return Err("--autosave requires --cache-file (a snapshot path to save to)".into());
     }
 
     // ------------------------------------------------ federation path
@@ -610,6 +635,53 @@ mod tests {
         assert!(err.contains("--cache-aware"), "{err}");
         let err = cli("queue --workflows 4 --clusters ,").unwrap_err();
         assert!(err.contains("at least one cluster"), "{err}");
+    }
+
+    #[test]
+    fn warm_start_flag_misuse_is_rejected() {
+        let err = cli("queue --workflows 4 --cache-file snap.bin --no-solve-cache").unwrap_err();
+        assert!(err.contains("--cache-file"), "{err}");
+        let err = cli("queue --workflows 4 --cache-file snap.bin --autosave 5 \
+             --no-solve-cache")
+        .unwrap_err();
+        assert!(err.contains("--no-solve-cache"), "{err}");
+        let err = cli("queue --workflows 4 --autosave 5 --no-solve-cache").unwrap_err();
+        assert!(err.contains("--autosave"), "{err}");
+        let err = cli("queue --workflows 4 --autosave 5").unwrap_err();
+        assert!(err.contains("--autosave requires --cache-file"), "{err}");
+        let err = cli("queue --workflows 4 --cache-file snap.bin --autosave 0").unwrap_err();
+        assert!(
+            err.contains("--autosave") && err.contains("positive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cache_file_round_trips_and_warms_the_second_run() {
+        let dir = std::env::temp_dir().join("dhp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("queue-warm-roundtrip.bin");
+        let _ = std::fs::remove_file(&snap);
+        let base = format!(
+            "queue --workflows 6 --unique 2 --families blast --tasks 20-30 \
+             --process burst --cluster small --seed 7 --cache-file {}",
+            snap.display()
+        );
+        let cold: dhp_online::ServeReport = serde_json::from_str(&cli(&base).unwrap()).unwrap();
+        let warm: dhp_online::ServeReport = serde_json::from_str(&cli(&base).unwrap()).unwrap();
+        assert!(cold.fleet.solve_cache_misses > 0, "first run must be cold");
+        assert_eq!(warm.fleet.solve_cache_misses, 0, "second run must be warm");
+        assert_eq!(warm.fleet.baseline_solves, 0);
+        assert_eq!(warm.fleet.sim_cache_misses, 0);
+        assert!(warm.recovery.is_none(), "a good snapshot is not a recovery");
+        // The schedule is identical either way — only solver effort
+        // differs between the cold and the warm run.
+        let mut a = cold.clone();
+        let mut b = warm.clone();
+        a.fleet.clear_solve_stats();
+        b.fleet.clear_solve_stats();
+        assert_eq!(a.to_json(), b.to_json());
+        let _ = std::fs::remove_file(&snap);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod makespan;
 pub mod mapping;
 pub mod metrics;
 pub mod partial;
+pub mod persist;
 pub mod steps;
 
 pub use baseline::dag_het_mem;

@@ -195,6 +195,31 @@ pub struct SolveCacheStats {
     /// ([`SolveCache::with_capacity`]); always 0 for the unbounded
     /// default.
     pub evictions: u64,
+    /// Sim-outcome probes answered from a memoized [`SimOutcome`].
+    pub sim_hits: u64,
+    /// Sim-outcome probes that ran the discrete-event simulator. With
+    /// the cache disabled every probe is a miss, so this field always
+    /// counts simulator invocations routed through the cache.
+    pub sim_misses: u64,
+}
+
+/// A memoized discrete-event simulation outcome in **lease-local**
+/// processor ids: exactly the values the online admission/growth paths
+/// need to fix a workflow's completion instant and busy-time ledger,
+/// keyed next to the solve it simulates (same key space as the solve
+/// store). Stored behind an [`Arc`] so a hit is a refcount bump under
+/// the stripe lock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Simulated makespan of the mapping on the lease.
+    pub makespan: f64,
+    /// Per-task start offsets (relative to the lease grant instant).
+    pub task_start: Vec<f64>,
+    /// Per-task finish offsets.
+    pub task_finish: Vec<f64>,
+    /// Per-lane `(lease-local processor index, busy time)` pairs, in
+    /// timeline lane order.
+    pub lanes: Vec<(u32, f64)>,
 }
 
 /// Cache key: everything a solve outcome depends on.
@@ -259,9 +284,16 @@ fn materialize(entry: CachedSolve, sub: &SubCluster) -> Result<SubClusterSchedul
 #[derive(Debug, Default)]
 struct Stripe {
     entries: parking_lot::Mutex<HashMap<SolveKey, (CachedSolve, u64)>>,
+    /// Memoized simulation outcomes, keyed alongside the solves of the
+    /// same stripe. Sims carry no LRU stamp of their own: a sim rides
+    /// on its solve entry's recency and is dropped when `evict_lru`
+    /// evicts that key.
+    sims: parking_lot::Mutex<HashMap<SolveKey, Arc<SimOutcome>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
 }
 
 /// Outcome of one probe against the shared store, for exact per-caller
@@ -436,6 +468,8 @@ impl SolveCache {
             total.hits += s.hits.load(Ordering::Relaxed);
             total.misses += s.misses.load(Ordering::Relaxed);
             total.evictions += s.evictions.load(Ordering::Relaxed);
+            total.sim_hits += s.sim_hits.load(Ordering::Relaxed);
+            total.sim_misses += s.sim_misses.load(Ordering::Relaxed);
         }
         total
     }
@@ -449,6 +483,8 @@ impl SolveCache {
                 hits: s.hits.load(Ordering::Relaxed),
                 misses: s.misses.load(Ordering::Relaxed),
                 evictions: s.evictions.load(Ordering::Relaxed),
+                sim_hits: s.sim_hits.load(Ordering::Relaxed),
+                sim_misses: s.sim_misses.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -496,6 +532,9 @@ impl SolveCache {
             None => false,
             Some((_, si, key)) => {
                 self.stripes[si].entries.lock().remove(&key);
+                // A sim outcome rides on its solve entry's recency:
+                // evicting the solve drops the sim of the same key.
+                self.stripes[si].sims.lock().remove(&key);
                 self.stripes[si].evictions.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -636,6 +675,132 @@ impl SolveCache {
             .map(|s| s.local.makespan)
     }
 
+    /// The probing core of the sim-outcome cache: returns the memoized
+    /// [`SimOutcome`] for `key`, running `compute` (with no stripe lock
+    /// held) and storing its result on a miss. The bool reports whether
+    /// the probe hit, for per-caller attribution. Disabled caches
+    /// compute every time and store nothing, but still count the miss
+    /// so simulator-invocation statistics stay comparable.
+    fn sim_probed(
+        &self,
+        key: SolveKey,
+        compute: impl FnOnce() -> SimOutcome,
+    ) -> (Arc<SimOutcome>, bool) {
+        if !self.enabled {
+            self.stripes[0].sim_misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(compute()), false);
+        }
+        let stripe = self.stripe_of(&key);
+        if let Some(sim) = stripe.sims.lock().get(&key).cloned() {
+            stripe.sim_hits.fetch_add(1, Ordering::Relaxed);
+            return (sim, true);
+        }
+        stripe.sim_misses.fetch_add(1, Ordering::Relaxed);
+        let sim = Arc::new(compute());
+        stripe.sims.lock().insert(key, Arc::clone(&sim));
+        (sim, false)
+    }
+
+    /// Number of memoized simulation outcomes (summed across stripes).
+    pub fn sim_len(&self) -> usize {
+        self.stripes.iter().map(|s| s.sims.lock().len()).sum()
+    }
+
+    // ------------------------------------------------------ snapshots
+    //
+    // The accessors `dhp_core::persist` serialises through. Snapshots
+    // are key-sorted so a saved file is a pure function of the cache
+    // *contents*, never of `HashMap` iteration order.
+
+    /// Deterministic byte image of a key, for stripe selection and
+    /// snapshot ordering.
+    fn key_sort_image(key: &SolveKey) -> (u64, u64, u8, u64) {
+        let (fp, shape, algorithm, chash) = *key;
+        let algo_byte = match algorithm {
+            Algorithm::DagHetPart => 0u8,
+            Algorithm::DagHetMem => 1u8,
+        };
+        (fp, shape, algo_byte, chash)
+    }
+
+    /// Every memoized solve as `(key, outcome, LRU stamp)`, key-sorted;
+    /// `None` is a memoized `NoSolution`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_solves(&self) -> Vec<(SolveKey, Option<Arc<MappingResult>>, u64)> {
+        let mut out: Vec<(SolveKey, Option<Arc<MappingResult>>, u64)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            for (k, (v, stamp)) in stripe.entries.lock().iter() {
+                let solved = match v {
+                    CachedSolve::Solved(local) => Some(Arc::clone(local)),
+                    CachedSolve::NoSolution => None,
+                };
+                out.push((*k, solved, *stamp));
+            }
+        }
+        out.sort_by_key(|(k, _, _)| SolveCache::key_sort_image(k));
+        out
+    }
+
+    /// Every memoized simulation outcome as `(key, sim)`, key-sorted.
+    pub(crate) fn snapshot_sims(&self) -> Vec<(SolveKey, Arc<SimOutcome>)> {
+        let mut out: Vec<(SolveKey, Arc<SimOutcome>)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            for (k, sim) in stripe.sims.lock().iter() {
+                out.push((*k, Arc::clone(sim)));
+            }
+        }
+        out.sort_by_key(|(k, _)| SolveCache::key_sort_image(k));
+        out
+    }
+
+    /// Current value of the recency clock (the largest stamp drawn).
+    pub(crate) fn tick_value(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Re-inserts a snapshotted solve with its saved LRU stamp (no tick
+    /// draw — restored entries keep their relative recency order).
+    /// `None` restores a memoized `NoSolution`.
+    pub(crate) fn restore_solve(
+        &self,
+        key: SolveKey,
+        value: Option<Arc<MappingResult>>,
+        stamp: u64,
+    ) {
+        let value = match value {
+            Some(local) => CachedSolve::Solved(local),
+            None => CachedSolve::NoSolution,
+        };
+        self.stripe_of(&key)
+            .entries
+            .lock()
+            .insert(key, (value, stamp));
+    }
+
+    /// Re-inserts a snapshotted simulation outcome.
+    pub(crate) fn restore_sim(&self, key: SolveKey, sim: Arc<SimOutcome>) {
+        self.stripe_of(&key).sims.lock().insert(key, sim);
+    }
+
+    /// Completes a restore: advances the recency clock past every
+    /// restored stamp, carries the snapshot's cumulative statistics
+    /// into this cache's counters (stripe 0 keeps the aggregate — the
+    /// per-stripe split is not persisted), and evicts down to this
+    /// cache's LRU capacity if the snapshot outgrows it.
+    pub(crate) fn finish_restore(&self, tick: u64, carried: SolveCacheStats) {
+        self.tick.fetch_max(tick, Ordering::Relaxed);
+        let s0 = &self.stripes[0];
+        s0.hits.fetch_add(carried.hits, Ordering::Relaxed);
+        s0.misses.fetch_add(carried.misses, Ordering::Relaxed);
+        s0.evictions.fetch_add(carried.evictions, Ordering::Relaxed);
+        s0.sim_hits.fetch_add(carried.sim_hits, Ordering::Relaxed);
+        s0.sim_misses
+            .fetch_add(carried.sim_misses, Ordering::Relaxed);
+        if let Some(cap) = self.capacity {
+            while self.len() > cap && self.evict_lru() {}
+        }
+    }
+
     /// Replays one frozen-epoch account's deferred store effects, in
     /// the order its probes recorded them: a `Touch` refreshes the
     /// entry's LRU stamp (if the entry still exists — a sibling's seal
@@ -663,9 +828,15 @@ impl SolveCache {
                         account.stats.evictions += self.insert(key, value);
                     }
                 }
+                CacheEvent::SimInsert(key) => {
+                    if let Some(sim) = account.sim_overlay.remove(&key) {
+                        self.stripe_of(&key).sims.lock().insert(key, sim);
+                    }
+                }
             }
         }
         account.overlay.clear();
+        account.sim_overlay.clear();
     }
 }
 
@@ -678,6 +849,10 @@ enum CacheEvent {
     /// A miss whose outcome is parked in the account's overlay: move it
     /// into the shared store at seal time (with LRU eviction).
     Insert(SolveKey),
+    /// A sim-outcome miss parked in the account's sim overlay: move it
+    /// into the shared sim store at seal time (sims carry no LRU stamp,
+    /// so no tick is drawn).
+    SimInsert(SolveKey),
 }
 
 /// Per-caller solve-cache bookkeeping: the cumulative solver statistics
@@ -697,13 +872,14 @@ pub struct CacheAccount {
     pub stats: SolveCacheStats,
     log: Vec<CacheEvent>,
     overlay: HashMap<SolveKey, CachedSolve>,
+    sim_overlay: HashMap<SolveKey, Arc<SimOutcome>>,
 }
 
 impl CacheAccount {
     /// True when the account holds deferred effects that a
     /// [`SolveCache::seal_account`] call has not replayed yet.
     pub fn is_sealed(&self) -> bool {
-        self.log.is_empty() && self.overlay.is_empty()
+        self.log.is_empty() && self.overlay.is_empty() && self.sim_overlay.is_empty()
     }
 }
 
@@ -873,6 +1049,74 @@ impl<'a> CacheView<'a> {
                         Ok(sched)
                     }
                 }
+            }
+        }
+    }
+
+    /// Memoizing discrete-event simulation through the view: returns
+    /// the [`SimOutcome`] for `(fingerprint, shape, algorithm,
+    /// config_hash)`, running `compute` only on a miss. Per-mode
+    /// semantics mirror [`CacheView::schedule`]:
+    ///
+    /// * `Direct` — probe/insert the shared sim store, global counters
+    ///   only.
+    /// * `Live` — same store effects, plus the exact hit/miss charged
+    ///   to the account.
+    /// * `Frozen` — own sim overlay first, then a read-only store
+    ///   probe; misses compute and park the outcome in the overlay with
+    ///   a deferred `SimInsert` for [`SolveCache::seal_account`]. Sims
+    ///   carry no LRU stamp, so hits defer nothing.
+    ///
+    /// A disabled cache computes every time and stores nothing, but
+    /// still counts the miss.
+    pub fn sim_outcome(
+        &self,
+        fingerprint: u64,
+        shape: u64,
+        algorithm: Algorithm,
+        config_hash: u64,
+        compute: impl FnOnce() -> SimOutcome,
+    ) -> Arc<SimOutcome> {
+        let key: SolveKey = (fingerprint, shape, algorithm, config_hash);
+        match &self.mode {
+            ViewMode::Direct => self.cache.sim_probed(key, compute).0,
+            ViewMode::Live(acc) => {
+                let (sim, hit) = self.cache.sim_probed(key, compute);
+                let mut acc = acc.borrow_mut();
+                if hit {
+                    acc.stats.sim_hits += 1;
+                } else {
+                    acc.stats.sim_misses += 1;
+                }
+                sim
+            }
+            ViewMode::Frozen(acc) => {
+                let mut acc = acc.borrow_mut();
+                if !self.cache.enabled {
+                    acc.stats.sim_misses += 1;
+                    self.cache.stripes[0]
+                        .sim_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Arc::new(compute());
+                }
+                let stripe = self.cache.stripe_of(&key);
+                if let Some(sim) = acc.sim_overlay.get(&key).cloned() {
+                    acc.stats.sim_hits += 1;
+                    stripe.sim_hits.fetch_add(1, Ordering::Relaxed);
+                    return sim;
+                }
+                let base = stripe.sims.lock().get(&key).cloned();
+                if let Some(sim) = base {
+                    acc.stats.sim_hits += 1;
+                    stripe.sim_hits.fetch_add(1, Ordering::Relaxed);
+                    return sim;
+                }
+                acc.stats.sim_misses += 1;
+                stripe.sim_misses.fetch_add(1, Ordering::Relaxed);
+                let sim = Arc::new(compute());
+                acc.sim_overlay.insert(key, Arc::clone(&sim));
+                acc.log.push(CacheEvent::SimInsert(key));
+                sim
             }
         }
     }
@@ -1292,6 +1536,8 @@ mod tests {
             summed.hits += s.hits;
             summed.misses += s.misses;
             summed.evictions += s.evictions;
+            summed.sim_hits += s.sim_hits;
+            summed.sim_misses += s.sim_misses;
         }
         assert_eq!(summed, striped.stats(), "stripe counters must sum exactly");
         // And the entries really are spread over more than one stripe.
@@ -1449,5 +1695,152 @@ mod tests {
             Algorithm::DagHetPart,
             chash
         ));
+    }
+
+    // ------------------------------------------------ sim-outcome cache
+
+    fn toy_sim(tag: f64) -> SimOutcome {
+        SimOutcome {
+            makespan: tag,
+            task_start: vec![0.0, tag / 2.0],
+            task_finish: vec![tag / 2.0, tag],
+            lanes: vec![(0, tag)],
+        }
+    }
+
+    #[test]
+    fn sim_outcomes_memoize_through_the_direct_view() {
+        let cache = SolveCache::new();
+        let view = CacheView::direct(&cache);
+        let mut computed = 0;
+        let first = view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || {
+            computed += 1;
+            toy_sim(10.0)
+        });
+        let mut recomputed = false;
+        let second = view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || {
+            recomputed = true;
+            toy_sim(99.0)
+        });
+        assert_eq!(computed, 1);
+        assert!(!recomputed, "a sim hit must not re-simulate");
+        assert_eq!(*first, *second);
+        assert_eq!(cache.sim_len(), 1);
+        let s = cache.stats();
+        assert_eq!((s.sim_hits, s.sim_misses), (1, 1));
+        // Sims and solves count separately.
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn disabled_cache_computes_sims_every_time_but_counts_them() {
+        let cache = SolveCache::disabled();
+        let view = CacheView::direct(&cache);
+        let mut computed = 0;
+        for _ in 0..3 {
+            view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || {
+                computed += 1;
+                toy_sim(10.0)
+            });
+        }
+        assert_eq!(computed, 3);
+        assert_eq!(cache.sim_len(), 0);
+        let s = cache.stats();
+        assert_eq!((s.sim_hits, s.sim_misses), (0, 3));
+    }
+
+    #[test]
+    fn live_view_charges_sim_probes_to_the_account() {
+        let cache = SolveCache::new();
+        let mut account = CacheAccount::default();
+        {
+            let view = CacheView::live(&cache, &mut account);
+            view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || toy_sim(10.0));
+            view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || toy_sim(10.0));
+        }
+        assert_eq!((account.stats.sim_hits, account.stats.sim_misses), (1, 1));
+        assert!(account.is_sealed(), "live sim probes defer nothing");
+        assert_eq!(cache.sim_len(), 1);
+    }
+
+    #[test]
+    fn frozen_view_defers_sim_inserts_until_the_seal() {
+        let cache = SolveCache::new();
+        let mut account = CacheAccount::default();
+        {
+            let view = CacheView::frozen(&cache, &mut account);
+            let first = view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || toy_sim(10.0));
+            // Repeat within the epoch: served from the own sim overlay.
+            let second = view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || toy_sim(99.0));
+            assert_eq!(*first, *second);
+        }
+        assert_eq!((account.stats.sim_hits, account.stats.sim_misses), (1, 1));
+        assert!(!account.is_sealed());
+        assert_eq!(
+            cache.sim_len(),
+            0,
+            "a frozen epoch must not mutate the store"
+        );
+        cache.seal_account(&mut account);
+        assert!(account.is_sealed());
+        assert_eq!(cache.sim_len(), 1, "the seal publishes the sim overlay");
+        // A direct probe now hits the sealed sim.
+        let view = CacheView::direct(&cache);
+        let sim = view.sim_outcome(7, 9, Algorithm::DagHetPart, 3, || toy_sim(99.0));
+        assert_eq!(sim.makespan, 10.0);
+        assert_eq!(cache.stats().sim_hits, 1 + 1); // frozen overlay hit + direct
+    }
+
+    #[test]
+    fn evicting_a_solve_drops_its_sim_outcome() {
+        let c = cluster();
+        let cfg = DagHetPartConfig::default();
+        let chash = SolveCache::config_hash(&cfg);
+        let cache = SolveCache::with_capacity(1);
+        let sub = c.subcluster(&[ProcId(3), ProcId(1)]);
+        let shape = sub.shape_signature();
+        let g0 = builder::chain(4, 2.0, 4.0, 1.0);
+        let g1 = builder::chain(5, 2.0, 4.0, 1.0);
+        let view = CacheView::direct(&cache);
+        view.schedule(
+            &g0,
+            g0.fingerprint(),
+            &sub,
+            Algorithm::DagHetPart,
+            &cfg,
+            chash,
+        )
+        .unwrap();
+        view.sim_outcome(
+            g0.fingerprint(),
+            shape,
+            Algorithm::DagHetPart,
+            chash,
+            || toy_sim(10.0),
+        );
+        assert_eq!((cache.len(), cache.sim_len()), (1, 1));
+        // Inserting a second solve evicts g0 — and its sim with it.
+        view.schedule(
+            &g1,
+            g1.fingerprint(),
+            &sub,
+            Algorithm::DagHetPart,
+            &cfg,
+            chash,
+        )
+        .unwrap();
+        assert_eq!((cache.len(), cache.sim_len()), (1, 0));
+        let mut recomputed = false;
+        view.sim_outcome(
+            g0.fingerprint(),
+            shape,
+            Algorithm::DagHetPart,
+            chash,
+            || {
+                recomputed = true;
+                toy_sim(11.0)
+            },
+        );
+        assert!(recomputed, "the evicted sim must be gone");
     }
 }

@@ -573,7 +573,16 @@ pub(crate) fn try_admit(
         }
         Probe::MemoryBlocked { .. } | Probe::Unplaceable { .. } => return Admit::Wait,
     };
-    Admit::Granted(Box::new(Grant::build(cand, sub, sched, clock, cluster_id)))
+    Admit::Granted(Box::new(Grant::build(
+        cand,
+        sub,
+        sched,
+        clock,
+        cluster_id,
+        cache,
+        cfg,
+        config_hash,
+    )))
 }
 
 /// Solver feasibility only — can `cand` be placed on the processors

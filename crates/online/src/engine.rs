@@ -63,9 +63,11 @@ use crate::state::ClusterState;
 use crate::submission::{peak_overlap, Submission};
 use dhp_core::daghetpart::DagHetPartConfig;
 use dhp_core::partial::{Algorithm, CacheView, SolveCache, SolveCacheStats};
+use dhp_core::persist::SnapshotError;
 use dhp_core::SchedError;
 use dhp_platform::Cluster;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
 pub use crate::admission::{ReservationRecord, ReservationTrigger, BACKFILL_DEPTH};
@@ -128,6 +130,29 @@ pub struct OnlineConfig {
     /// hatch, not a semantic switch. Ignored by the single-cluster
     /// engine.
     pub serial_federation: bool,
+    /// Durable warm start (`--cache-file PATH`, `--autosave N`):
+    /// `Some` restores the solve cache from a snapshot before the run's
+    /// first admission and rewrites it crash-safely at exit. `None`
+    /// (default) keeps the cache purely in-memory.
+    pub persist: Option<PersistSpec>,
+}
+
+/// Where (and how often) a run persists its solve cache.
+#[derive(Clone, Debug)]
+pub struct PersistSpec {
+    /// Snapshot path (`--cache-file PATH`). A missing file is a silent
+    /// cold start; a corrupt, truncated, or mismatched one degrades to
+    /// a cold start with a warning and a `recovery` note in the report
+    /// — never a panic. Writes go through a temp sibling + fsync +
+    /// atomic rename, so a crash mid-save leaves the prior snapshot
+    /// intact.
+    pub path: PathBuf,
+    /// Periodic snapshots (`--autosave N`): additionally rewrite the
+    /// snapshot every `N` federation synchronisation points, bounding
+    /// how much warm state a crash can lose. `None` saves only at
+    /// exit. The single-cluster engine has no synchronisation points
+    /// and ignores this field.
+    pub autosave: Option<usize>,
 }
 
 impl Default for OnlineConfig {
@@ -143,6 +168,7 @@ impl Default for OnlineConfig {
             elastic: None,
             elastic_shrink: None,
             serial_federation: false,
+            persist: None,
         }
     }
 }
@@ -193,6 +219,10 @@ pub fn serve_with_cache(
     cache: &SolveCache,
 ) -> ServeOutcome {
     let config_hash = SolveCache::config_hash(&cfg.solver);
+    // Restore the snapshot *before* the entry snapshot of the solver
+    // statistics: carried-in aggregate counters and any restore-time
+    // evictions belong to earlier runs, not to this run's report.
+    let recovery = load_snapshot(cfg, cache);
     let stats_at_entry = cache.stats();
     // The single-cluster engine probes the store directly; per-caller
     // attribution (the federation tier's `CacheAccount` machinery) is
@@ -246,7 +276,44 @@ pub fn serve_with_cache(
     }
 
     let mid = cache.stats();
-    finalize(state, cfg, cache, diff_stats(mid, stats_at_entry))
+    let mut outcome = finalize(state, cfg, cache, diff_stats(mid, stats_at_entry));
+    outcome.report.recovery = recovery;
+    save_snapshot(cfg, cache);
+    outcome
+}
+
+/// Restores the snapshot named by `cfg.persist` (if any) into `cache`.
+/// Returns `None` on a warm start, when persistence is off, or when the
+/// file simply does not exist yet (the silent first-run cold start);
+/// `Some(note)` when a snapshot was present but unusable — the run
+/// degrades to a cold start, a warning goes to stderr, and the note
+/// lands in the report's `recovery` field. Never panics on a bad file.
+pub(crate) fn load_snapshot(cfg: &OnlineConfig, cache: &SolveCache) -> Option<String> {
+    let spec = cfg.persist.as_ref()?;
+    match cache.load_from(&spec.path, SolveCache::config_hash(&cfg.solver)) {
+        Ok(_) | Err(SnapshotError::Missing) => None,
+        Err(e) => {
+            let note = format!("cold start: {e}");
+            eprintln!("warning: {}: {note}", spec.path.display());
+            Some(note)
+        }
+    }
+}
+
+/// Rewrites the snapshot named by `cfg.persist` (if any) from `cache`,
+/// crash-safely (temp sibling + fsync + atomic rename). A failed save
+/// warns on stderr but never fails the run — the report is the
+/// product; the snapshot is an optimisation for the next run.
+pub(crate) fn save_snapshot(cfg: &OnlineConfig, cache: &SolveCache) {
+    let Some(spec) = cfg.persist.as_ref() else {
+        return;
+    };
+    if let Err(e) = cache.save_to(&spec.path, SolveCache::config_hash(&cfg.solver)) {
+        eprintln!(
+            "warning: could not save solve-cache snapshot to {}: {e}",
+            spec.path.display()
+        );
+    }
 }
 
 /// `a - b`, counter-wise — solver statistics accumulated between two
@@ -256,6 +323,8 @@ pub(crate) fn diff_stats(a: SolveCacheStats, b: SolveCacheStats) -> SolveCacheSt
         hits: a.hits - b.hits,
         misses: a.misses - b.misses,
         evictions: a.evictions - b.evictions,
+        sim_hits: a.sim_hits - b.sim_hits,
+        sim_misses: a.sim_misses - b.sim_misses,
     }
 }
 
@@ -413,6 +482,7 @@ pub(crate) fn finalize(
     let peak_concurrency = peak_overlap(&finished);
     let rejected_count = rejected.len();
     let lost_count = lost.len();
+    let requeues: u64 = finished.iter().map(|r| r.requeues).sum();
 
     ServeOutcome {
         report: ServeReport {
@@ -449,10 +519,14 @@ pub(crate) fn finalize(
                 solve_cache_misses: pre.misses + batch.misses,
                 baseline_solves: batch.misses,
                 solve_cache_evictions: pre.evictions + batch.evictions,
+                sim_cache_hits: pre.sim_hits + batch.sim_hits,
+                sim_cache_misses: pre.sim_misses + batch.sim_misses,
                 lease_grown,
                 lease_shrunk,
                 lost: lost_count,
+                requeues,
             },
+            recovery: None,
         },
         placements,
         reservations,

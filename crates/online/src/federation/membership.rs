@@ -65,6 +65,9 @@ pub(super) fn apply_membership(event: &MembershipEvent, shards: &mut Vec<MemberS
                             total_work: sub.instance.graph.total_work(),
                             max_task_req: max_task_requirement(&sub.instance.graph),
                             fingerprint: svc.fingerprint,
+                            // The record that eventually completes
+                            // carries its failure-driven attempt count.
+                            requeues: svc.record.requeues + 1,
                             submission: sub,
                         };
                         migrate_pending(shards, m, p, clock);
@@ -193,6 +196,18 @@ mod tests {
         assert_eq!(victim.cluster_id, Some(0));
         assert_eq!(victim.arrival, 0.0, "requeue keeps the original arrival");
         assert_eq!(victim.start, 100.0, "re-served when the survivor freed");
+        // The completed record carries its failure-driven attempt count
+        // (one requeue), and the fleet counter sums exactly.
+        assert_eq!(victim.requeues, 1);
+        let hog = out
+            .report
+            .clusters
+            .iter()
+            .flat_map(|c| c.workflows.iter())
+            .find(|r| r.id == 0)
+            .unwrap();
+        assert_eq!(hog.requeues, 0, "undisturbed work records no requeues");
+        assert_eq!(out.report.fleet.requeues, 1);
         // The failed member's report holds no completion for it.
         assert_eq!(out.report.clusters[1].fleet.completed, 0);
     }

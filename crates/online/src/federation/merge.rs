@@ -34,6 +34,11 @@ pub struct FederationReport {
     /// utilisation window span the whole federation, and
     /// `peak_concurrency` is recomputed over the merged record set.
     pub fleet: FleetMetrics,
+    /// Set when a configured cache snapshot (`--cache-file`) existed
+    /// but could not be restored — the run degraded to a cold start.
+    /// Absent on warm starts and when persistence is off.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<String>,
 }
 
 impl FederationReport {
@@ -136,6 +141,9 @@ pub(super) fn assemble(
             spillovers,
             clusters,
             fleet,
+            // The fleet-level note is stamped by the serve loop, which
+            // owns the snapshot; member reports never carry one.
+            recovery: None,
         },
         outcomes,
     }
@@ -242,8 +250,11 @@ pub(super) fn merge_fleet(clusters: &[ServeReport], total_procs: usize) -> Fleet
         solve_cache_misses: clusters.iter().map(|c| c.fleet.solve_cache_misses).sum(),
         baseline_solves: clusters.iter().map(|c| c.fleet.baseline_solves).sum(),
         solve_cache_evictions: clusters.iter().map(|c| c.fleet.solve_cache_evictions).sum(),
+        sim_cache_hits: clusters.iter().map(|c| c.fleet.sim_cache_hits).sum(),
+        sim_cache_misses: clusters.iter().map(|c| c.fleet.sim_cache_misses).sum(),
         lease_grown: clusters.iter().map(|c| c.fleet.lease_grown).sum(),
         lease_shrunk: clusters.iter().map(|c| c.fleet.lease_shrunk).sum(),
+        requeues: clusters.iter().map(|c| c.fleet.requeues).sum(),
     }
 }
 
@@ -284,7 +295,10 @@ mod tests {
             assert_eq!(f.solve_cache_hits, sum(&|f| f.solve_cache_hits));
             assert_eq!(f.solve_cache_misses, sum(&|f| f.solve_cache_misses));
             assert_eq!(f.baseline_solves, sum(&|f| f.baseline_solves));
+            assert_eq!(f.sim_cache_hits, sum(&|f| f.sim_cache_hits));
+            assert_eq!(f.sim_cache_misses, sum(&|f| f.sim_cache_misses));
             assert_eq!(f.lease_grown, sum(&|f| f.lease_grown));
+            assert_eq!(f.requeues, sum(&|f| f.requeues));
             // Every workflow served exactly once, on a real member.
             let mut ids: Vec<usize> = out
                 .report

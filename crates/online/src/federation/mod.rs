@@ -90,7 +90,7 @@ pub use merge::{FederationOutcome, FederationReport};
 pub use routing::RoutingPolicy;
 
 use crate::chaos::{MembershipEvent, MembershipPlan};
-use crate::engine::{make_cache, OnlineConfig};
+use crate::engine::{load_snapshot, make_cache, save_snapshot, OnlineConfig};
 use crate::report::RejectedRecord;
 use crate::submission::Submission;
 use clock::NextEvent;
@@ -183,6 +183,15 @@ fn serve_loop(
 ) -> FederationOutcome {
     let config_hash = SolveCache::config_hash(&cfg.solver);
     let serial = cfg.serial_federation;
+    // Durable warm start: restore the snapshot before any shard is
+    // built, so every member sees the warm store from its first probe.
+    let recovery = load_snapshot(cfg, cache);
+    // `--autosave N`: rewrite the snapshot every N synchronisation
+    // points (clock steps). The growth-phase seal is the natural save
+    // point — the store is quiescent and every deferred effect of the
+    // step has been replayed.
+    let autosave_every = cfg.persist.as_ref().and_then(|p| p.autosave);
+    let mut steps_since_save = 0usize;
     let mut shards: Vec<MemberShard> = federation
         .iter()
         .map(|(i, c)| MemberShard::new(c, i))
@@ -293,10 +302,22 @@ fn serve_loop(
         for sh in shards.iter_mut() {
             cache.seal_account(&mut sh.account);
         }
+
+        // ------------------------------------------------- autosave
+        if let Some(every) = autosave_every {
+            steps_since_save += 1;
+            if steps_since_save >= every {
+                steps_since_save = 0;
+                save_snapshot(cfg, cache);
+            }
+        }
     }
 
     // ------------------------------------------------------- finalize
-    merge::assemble(shards, cfg, cache, routing, spillovers)
+    let mut outcome = merge::assemble(shards, cfg, cache, routing, spillovers);
+    outcome.report.recovery = recovery;
+    save_snapshot(cfg, cache);
+    outcome
 }
 
 #[cfg(test)]

@@ -172,6 +172,7 @@ pub(super) fn probe_pending(s: &Submission) -> Pending {
         total_work: s.instance.graph.total_work(),
         max_task_req: max_task_requirement(&s.instance.graph),
         fingerprint: s.instance.graph.fingerprint(),
+        requeues: 0,
         submission: s.clone(),
     }
 }

@@ -13,9 +13,33 @@ use crate::admission::{admission_passes, head_fits_at, head_reservation, BACKFIL
 use crate::engine::OnlineConfig;
 use crate::report::WorkflowRecord;
 use crate::state::{ClusterState, InService, Pending, Placement, Regrow};
-use dhp_core::partial::{CacheView, SubClusterSchedule};
+use dhp_core::mapping::Mapping;
+use dhp_core::partial::{CacheView, SimOutcome, SubClusterSchedule};
 use dhp_platform::{ProcId, SubCluster};
 use std::collections::{HashMap, HashSet};
+
+/// Runs the discrete-event simulator plus its timeline and packs the
+/// outcome in lease-local processor ids — the compute closure of every
+/// sim-cache probe, so one key always maps to one full [`SimOutcome`]
+/// regardless of which call site filled it.
+pub(crate) fn simulate_outcome(
+    g: &dhp_dag::Dag,
+    sub: &SubCluster,
+    mapping: &Mapping,
+) -> SimOutcome {
+    let sim = dhp_sim::simulate(g, sub.cluster(), mapping);
+    let tl = dhp_sim::timeline(g, sub.cluster(), mapping, &sim);
+    SimOutcome {
+        makespan: sim.makespan,
+        task_start: sim.task_start,
+        task_finish: sim.task_finish,
+        lanes: tl
+            .lanes
+            .iter()
+            .map(|lane| (lane.proc.0, lane.busy))
+            .collect(),
+    }
+}
 
 /// Everything a granted lease produces: the metrics record, the
 /// placement, per-processor busy time, and the absolute per-task
@@ -37,22 +61,34 @@ pub(crate) struct Grant {
 impl Grant {
     /// Executes the solved schedule on the lease view and assembles the
     /// grant: the virtual clock advances by the *simulated* makespan,
-    /// and per-processor busy time feeds fleet utilisation.
+    /// and per-processor busy time feeds fleet utilisation. The
+    /// simulation is memoized through the cache view under the same
+    /// key as the solve it executes — repeat admissions of a cached
+    /// `(workflow, lease shape)` pair skip the simulator entirely.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         cand: &Pending,
         sub: SubCluster,
         sched: SubClusterSchedule,
         clock: f64,
         cluster_id: Option<usize>,
+        cache: &CacheView,
+        cfg: &OnlineConfig,
+        config_hash: u64,
     ) -> Grant {
         let g = &cand.submission.instance.graph;
         let lease: Vec<ProcId> = sub.global_ids().to_vec();
-        let sim = dhp_sim::simulate(g, sub.cluster(), &sched.local.mapping);
-        let tl = dhp_sim::timeline(g, sub.cluster(), &sched.local.mapping, &sim);
-        let busy: Vec<(ProcId, f64)> = tl
+        let sim = cache.sim_outcome(
+            cand.fingerprint,
+            sub.shape_signature(),
+            cfg.algorithm,
+            config_hash,
+            || simulate_outcome(g, &sub, &sched.local.mapping),
+        );
+        let busy: Vec<(ProcId, f64)> = sim
             .lanes
             .iter()
-            .map(|lane| (sub.to_global(lane.proc), lane.busy))
+            .map(|&(p, b)| (sub.to_global(ProcId(p)), b))
             .collect();
         // The absolute per-task schedule: elastic growth later splits it
         // into the committed prefix and the re-solvable suffix.
@@ -95,6 +131,7 @@ impl Grant {
             lease_grown: false,
             lease_shrunk: false,
             cluster_id,
+            requeues: cand.requeues,
         };
         let placement = Placement {
             submission: cand.submission.clone(),
@@ -308,7 +345,13 @@ fn grow_lease(
         ) else {
             continue;
         };
-        let sim = dhp_sim::simulate(&s.dag, union.cluster(), &s.schedule.local.mapping);
+        let sim = cache.sim_outcome(
+            s.fingerprint,
+            union.shape_signature(),
+            cfg.algorithm,
+            config_hash,
+            || simulate_outcome(&s.dag, &union, &s.schedule.local.mapping),
+        );
         let new_finish = release + sim.makespan;
         if new_finish >= svc.record.finish - 1e-9 {
             continue; // no genuine win on the grown lease
@@ -609,7 +652,13 @@ fn shrink_lease(
         ) else {
             continue;
         };
-        let sim = dhp_sim::simulate(&s.dag, sub.cluster(), &s.schedule.local.mapping);
+        let sim = cache.sim_outcome(
+            s.fingerprint,
+            sub.shape_signature(),
+            cfg.algorithm,
+            config_hash,
+            || simulate_outcome(&s.dag, &sub, &s.schedule.local.mapping),
+        );
         let new_finish = release + sim.makespan;
         // Honour the blocked head's reservation: risky only when the
         // candidate's completion moves from before the reservation to

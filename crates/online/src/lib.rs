@@ -66,8 +66,8 @@ pub mod submission;
 
 pub use chaos::{FailureMode, MembershipEvent, MembershipEventSpec, MembershipPlan};
 pub use engine::{
-    fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
-    ReservationTrigger, ServeOutcome,
+    fit_cluster, serve, serve_with_cache, OnlineConfig, PersistSpec, Placement, Regrow,
+    ReservationRecord, ReservationTrigger, ServeOutcome,
 };
 pub use federation::{
     serve_federation, serve_federation_chaos, serve_federation_chaos_with_cache,
@@ -84,8 +84,8 @@ pub use dhp_core::partial::{SolveCache, SolveCacheStats};
 pub mod prelude {
     pub use crate::chaos::{FailureMode, MembershipPlan};
     pub use crate::engine::{
-        fit_cluster, serve, serve_with_cache, OnlineConfig, Placement, Regrow, ReservationRecord,
-        ReservationTrigger, ServeOutcome,
+        fit_cluster, serve, serve_with_cache, OnlineConfig, PersistSpec, Placement, Regrow,
+        ReservationRecord, ReservationTrigger, ServeOutcome,
     };
     pub use crate::federation::{
         serve_federation, serve_federation_chaos, serve_federation_chaos_with_cache,

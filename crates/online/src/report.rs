@@ -85,6 +85,12 @@ pub struct WorkflowRecord {
     /// byte-for-byte.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cluster_id: Option<usize>,
+    /// How many times this workflow was requeued by a member failure
+    /// under `--failure-mode requeue` before the run that completed it
+    /// (0 = completed on its first attempt). Omitted from the JSON
+    /// when 0, so pre-chaos reports keep their schema byte-for-byte.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub requeues: u64,
 }
 
 /// A workflow the engine could not serve.
@@ -209,6 +215,22 @@ pub struct FleetMetrics {
     /// runs; omitted from the JSON when 0.
     #[serde(default, skip_serializing_if = "is_zero_usize")]
     pub lost: usize,
+    /// Total failure-driven requeue attempts across completed
+    /// workflows (the sum of their `requeues` fields). Always 0
+    /// outside `--failure-mode requeue` chaos runs; omitted when 0.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub requeues: u64,
+    /// Admission/growth simulations answered from the memoized
+    /// sim-outcome cache (keyed next to the solves). Always 0 with
+    /// `--no-solve-cache`; omitted from the JSON when 0 so earlier
+    /// reports keep their schema byte-for-byte.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub sim_cache_hits: u64,
+    /// Discrete-event simulator runs the cache could not answer (every
+    /// grant/growth/shrink simulation when the cache is disabled).
+    /// Omitted from the JSON when 0.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub sim_cache_misses: u64,
 }
 
 impl FleetMetrics {
@@ -220,6 +242,8 @@ impl FleetMetrics {
         self.solve_cache_misses = 0;
         self.baseline_solves = 0;
         self.solve_cache_evictions = 0;
+        self.sim_cache_hits = 0;
+        self.sim_cache_misses = 0;
     }
 }
 
@@ -246,6 +270,13 @@ pub struct ServeReport {
     pub lost: Vec<LostRecord>,
     /// Fleet aggregates.
     pub fleet: FleetMetrics,
+    /// Why a `--cache-file` warm start fell back to a cold one: the
+    /// classified snapshot failure, as a human-readable note. `None`
+    /// (and absent from the JSON) when the snapshot loaded cleanly, on
+    /// a silent first-run cold start (no file yet), or when no cache
+    /// file was configured at all.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<String>,
 }
 
 impl ServeReport {
@@ -272,6 +303,7 @@ impl ServeReport {
              slowdown mean {:.3}  max {:.3}   mean lease {:.2} procs\n\
              solve cache hits {}  misses {}  (hit rate {:.1}%)   baseline solves {}  \
              evictions {}\n\
+             sim cache hits {}  misses {}\n\
              leases grown {}  shrunk {}   lost {}",
             self.policy,
             self.algorithm,
@@ -294,6 +326,8 @@ impl ServeReport {
             hit_rate,
             f.baseline_solves,
             f.solve_cache_evictions,
+            f.sim_cache_hits,
+            f.sim_cache_misses,
             f.lease_grown,
             f.lease_shrunk,
             f.lost,
@@ -330,6 +364,7 @@ mod tests {
                 lease_grown: false,
                 lease_shrunk: false,
                 cluster_id: None,
+                requeues: 0,
             }],
             rejected: vec![RejectedRecord {
                 id: 1,
@@ -363,7 +398,11 @@ mod tests {
                 lease_grown: 0,
                 lease_shrunk: 0,
                 lost: 0,
+                requeues: 0,
+                sim_cache_hits: 0,
+                sim_cache_misses: 0,
             },
+            recovery: None,
         }
     }
 
@@ -408,6 +447,9 @@ mod tests {
         let json = sample().to_json();
         assert!(!json.contains("lease_shrunk"));
         assert!(!json.contains("\"lost\""));
+        assert!(!json.contains("requeues"));
+        assert!(!json.contains("sim_cache"));
+        assert!(!json.contains("recovery"));
 
         let mut r = sample();
         r.lost.push(LostRecord {
@@ -421,9 +463,17 @@ mod tests {
         });
         r.fleet.lost = 1;
         r.fleet.lease_shrunk = 2;
+        r.fleet.requeues = 1;
+        r.workflows[0].requeues = 1;
+        r.fleet.sim_cache_hits = 4;
+        r.fleet.sim_cache_misses = 2;
+        r.recovery = Some("cold start: snapshot is truncated".into());
         let json = r.to_json();
         assert!(json.contains("failed_at"));
         assert!(json.contains("lease_shrunk"));
+        assert!(json.contains("requeues"));
+        assert!(json.contains("sim_cache_hits"));
+        assert!(json.contains("recovery"));
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }

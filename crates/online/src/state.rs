@@ -25,6 +25,10 @@ pub(crate) struct Pending {
     /// [`dhp_dag::Dag::fingerprint`] of the graph, computed once on
     /// arrival and reused by every cache probe for this workflow.
     pub(crate) fingerprint: u64,
+    /// How many times a member failure (`--failure-mode requeue`) sent
+    /// this workflow back to the queue; 0 for fresh arrivals. Carried
+    /// onto the completed record.
+    pub(crate) requeues: u64,
     pub(crate) submission: Submission,
 }
 
@@ -233,6 +237,7 @@ impl ClusterState {
             total_work: s.instance.graph.total_work(),
             max_task_req: req,
             fingerprint: s.instance.graph.fingerprint(),
+            requeues: 0,
             submission: s,
         });
     }

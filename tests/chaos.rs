@@ -126,12 +126,39 @@ fn fleet_keeps_serving_through_a_peak_failure_in_both_modes() {
             mode.name()
         );
 
+        // Requeue accounting is exact too: the fleet counter is the
+        // per-member sum, each member's counter is the sum over its
+        // completed records, and only requeue mode ever requeues.
+        let sum_requeues: u64 = out.report.clusters.iter().map(|c| c.fleet.requeues).sum();
+        assert_eq!(
+            f.requeues,
+            sum_requeues,
+            "{}: merged requeues are not the per-member sums",
+            mode.name()
+        );
+        for (i, c) in out.report.clusters.iter().enumerate() {
+            let record_sum: u64 = c.workflows.iter().map(|r| r.requeues).sum();
+            assert_eq!(
+                c.fleet.requeues,
+                record_sum,
+                "{}: member {i}'s requeue counter drifts from its records",
+                mode.name()
+            );
+        }
+
         // Mode semantics: requeue loses nothing; lost loses exactly
         // what the failing member had in service.
         match mode {
-            FailureMode::Requeue => assert_eq!(f.lost, 0),
+            FailureMode::Requeue => {
+                assert_eq!(f.lost, 0);
+                assert!(
+                    f.requeues > 0,
+                    "a peak failure under requeue must re-enter torn-down work"
+                );
+            }
             FailureMode::Lost => {
                 assert!(f.lost > 0, "a peak failure must tear down work");
+                assert_eq!(f.requeues, 0, "lost mode never re-enters work");
                 for l in &out.report.clusters[1].lost {
                     assert_eq!(l.failed_at, 5.0);
                     assert_eq!(l.cluster_id, Some(1));

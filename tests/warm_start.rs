@@ -1,0 +1,295 @@
+//! Integration tests of durable warm start (ISSUE 8 acceptance
+//! criteria):
+//!
+//! * a repeat-heavy 500-submission trace round-trips through a
+//!   `--cache-file` snapshot: the warm second run performs **zero**
+//!   solver runs and zero simulations, and its report is byte-identical
+//!   to the cold run's once the solver-effort counters are normalised;
+//! * every corrupt-snapshot variant — truncated, bit-flipped, wrong
+//!   format version, wrong solver-config hash, non-snapshot garbage —
+//!   degrades to a cold start with a `recovery` note, **never a
+//!   panic**, and never changes the schedule;
+//! * a simulated kill between the temp-file write and the atomic
+//!   rename leaves the prior snapshot loadable;
+//! * the federation tier warm-starts and autosaves through the same
+//!   snapshot path.
+
+use dhp_core::persist::temp_sibling;
+use dhp_online::{
+    serve, serve_federation, OnlineConfig, PersistSpec, RoutingPolicy, ServeOutcome, Submission,
+};
+use dhp_platform::{Cluster, Federation, Processor};
+use dhp_wfgen::arrivals::ArrivalProcess;
+use dhp_wfgen::Family;
+use std::path::{Path, PathBuf};
+
+/// A per-test scratch directory (tests run concurrently; each gets its
+/// own namespace so snapshot files never collide).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dhp-warm-start-tests").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The repeat-heavy acceptance trace: 500 submissions cycling 10
+/// unique topologies.
+fn trace_500x10() -> Vec<Submission> {
+    dhp_online::submission::repeating_stream(
+        10,
+        500,
+        &[Family::Blast, Family::Seismology, Family::Genome],
+        (26, 50),
+        &ArrivalProcess::Burst { at: 0.0 },
+        11,
+    )
+}
+
+/// A roomy homogeneous cluster every trace workflow fits on whole.
+fn roomy_cluster(subs: &[Submission]) -> Cluster {
+    let roomy = subs
+        .iter()
+        .map(|s| {
+            let g = &s.instance.graph;
+            g.node_ids().map(|u| g.task_requirement(u)).sum::<f64>()
+        })
+        .fold(0.0f64, f64::max);
+    Cluster::new(vec![Processor::new("node", 1.0, roomy * 1.1); 8], 1.0)
+}
+
+fn persist_cfg(path: &Path) -> OnlineConfig {
+    OnlineConfig {
+        persist: Some(PersistSpec {
+            path: path.to_path_buf(),
+            autosave: None,
+        }),
+        ..OnlineConfig::default()
+    }
+}
+
+/// JSON of the report with the solver-effort counters zeroed and the
+/// recovery note dropped — everything a snapshot is allowed to change.
+fn normalized_json(out: &ServeOutcome) -> String {
+    let mut report = out.report.clone();
+    report.fleet.clear_solve_stats();
+    report.recovery = None;
+    report.to_json()
+}
+
+#[test]
+fn a_500_submission_trace_round_trips_through_a_snapshot() {
+    let dir = scratch("round-trip");
+    let snap = dir.join("cache.bin");
+    let subs = trace_500x10();
+    let cluster = roomy_cluster(&subs);
+    let cfg = persist_cfg(&snap);
+
+    let cold = serve(&cluster, subs.clone(), &cfg);
+    assert!(
+        cold.report.recovery.is_none(),
+        "first run starts cold, silently"
+    );
+    assert!(cold.report.fleet.solve_cache_misses > 0);
+    assert!(cold.report.fleet.sim_cache_misses > 0);
+    assert!(snap.exists(), "the run must leave a snapshot behind");
+
+    // The warm run replays everything from the snapshot: zero solver
+    // runs, zero baseline solves, zero fresh simulations.
+    let warm = serve(&cluster, subs, &cfg);
+    assert!(warm.report.recovery.is_none());
+    assert_eq!(
+        warm.report.fleet.solve_cache_misses, 0,
+        "warm run re-solved"
+    );
+    assert_eq!(warm.report.fleet.baseline_solves, 0);
+    assert_eq!(
+        warm.report.fleet.sim_cache_misses, 0,
+        "warm run re-simulated"
+    );
+    assert!(warm.report.fleet.solve_cache_hits > 0);
+    assert!(warm.report.fleet.sim_cache_hits > 0);
+
+    // Byte-identical schedule, modulo the solver-effort counters.
+    assert_eq!(normalized_json(&cold), normalized_json(&warm));
+}
+
+#[test]
+fn every_corrupt_snapshot_variant_degrades_to_a_cold_start() {
+    let dir = scratch("corruption");
+    let snap = dir.join("cache.bin");
+    // A small trace keeps the five corruption runs fast; the semantics
+    // under test are identical at any scale.
+    let subs = dhp_online::submission::repeating_stream(
+        3,
+        24,
+        &[Family::Blast, Family::Seismology],
+        (20, 40),
+        &ArrivalProcess::Burst { at: 0.0 },
+        7,
+    );
+    let cluster = roomy_cluster(&subs);
+    let cfg = persist_cfg(&snap);
+    let reference = serve(&cluster, subs.clone(), &cfg);
+    let good = std::fs::read(&snap).unwrap();
+    assert!(good.len() > 64, "snapshot should have a header and a body");
+
+    // Each variant: (tag, corrupted bytes, substring the recovery note
+    // must carry). Offsets follow the documented header layout: magic
+    // [0..8), version [8..12), config_hash [12..20).
+    let truncated = good[..good.len() / 2].to_vec();
+    let mut bitflip = good.clone();
+    let last = bitflip.len() - 1;
+    bitflip[last] ^= 0x40; // body corruption → checksum mismatch
+    let mut wrong_version = good.clone();
+    wrong_version[8..12].copy_from_slice(&999u32.to_le_bytes());
+    let mut wrong_config = good.clone();
+    for b in &mut wrong_config[12..20] {
+        *b ^= 0xff;
+    }
+    let garbage = b"this is not a snapshot of anything at all".to_vec();
+    let variants: [(&str, Vec<u8>, &str); 5] = [
+        ("truncated", truncated, "truncated"),
+        ("bit-flipped", bitflip, "checksum"),
+        ("wrong-version", wrong_version, "version 999"),
+        ("wrong-config", wrong_config, "solver config"),
+        ("garbage", garbage, "bad magic"),
+    ];
+
+    for (tag, bytes, note) in variants {
+        std::fs::write(&snap, &bytes).unwrap();
+        // Must not panic, must serve the full trace, must say why.
+        let out = serve(&cluster, subs.clone(), &cfg);
+        let recovery = out
+            .report
+            .recovery
+            .as_deref()
+            .unwrap_or_else(|| panic!("{tag}: expected a recovery note"));
+        assert!(
+            recovery.starts_with("cold start:") && recovery.contains(note),
+            "{tag}: unexpected recovery note {recovery:?}"
+        );
+        assert!(
+            out.report.fleet.solve_cache_misses > 0,
+            "{tag}: a cold start must re-solve"
+        );
+        assert_eq!(
+            normalized_json(&reference),
+            normalized_json(&out),
+            "{tag}: recovery changed the schedule"
+        );
+    }
+
+    // Each recovery run rewrote the snapshot at exit; it is valid again.
+    let healed = serve(&cluster, subs, &cfg);
+    assert!(healed.report.recovery.is_none());
+    assert_eq!(healed.report.fleet.solve_cache_misses, 0);
+}
+
+#[test]
+fn a_kill_between_temp_write_and_rename_keeps_the_prior_snapshot() {
+    let dir = scratch("kill-mid-save");
+    let snap = dir.join("cache.bin");
+    let subs = dhp_online::submission::repeating_stream(
+        3,
+        24,
+        &[Family::Blast, Family::Seismology],
+        (20, 40),
+        &ArrivalProcess::Burst { at: 0.0 },
+        7,
+    );
+    let cluster = roomy_cluster(&subs);
+    let cfg = persist_cfg(&snap);
+    serve(&cluster, subs.clone(), &cfg);
+
+    // Simulate a crash mid-save: a later save got as far as writing a
+    // (torn) temp sibling but died before the atomic rename. The
+    // committed snapshot is untouched, so the next run is still warm.
+    std::fs::write(temp_sibling(&snap), b"torn half-written snapshot").unwrap();
+    let warm = serve(&cluster, subs, &cfg);
+    assert!(warm.report.recovery.is_none());
+    assert_eq!(
+        warm.report.fleet.solve_cache_misses, 0,
+        "the prior committed snapshot must still load"
+    );
+}
+
+#[test]
+fn a_missing_snapshot_is_a_silent_cold_start_that_creates_one() {
+    let dir = scratch("first-run");
+    let snap = dir.join("never-written.bin");
+    let subs = dhp_online::submission::stream(
+        6,
+        &[Family::Blast],
+        (20, 40),
+        &ArrivalProcess::Burst { at: 0.0 },
+        3,
+    );
+    let cluster = roomy_cluster(&subs);
+    let out = serve(&cluster, subs, &persist_cfg(&snap));
+    assert!(
+        out.report.recovery.is_none(),
+        "a first run is not a recovery"
+    );
+    assert!(out.report.fleet.solve_cache_misses > 0);
+    assert!(snap.exists());
+}
+
+#[test]
+fn the_federation_warm_starts_and_autosaves_through_the_same_snapshot() {
+    let dir = scratch("federation");
+    let snap = dir.join("cache.bin");
+    let member = || {
+        Cluster::new(
+            vec![
+                Processor::new("big", 4.0, 600.0),
+                Processor::new("mid", 2.0, 400.0),
+                Processor::new("sml", 1.0, 250.0),
+            ],
+            1.0,
+        )
+    };
+    let fed = Federation::new(vec![member(), member()]);
+    let subs = dhp_online::submission::repeating_stream(
+        4,
+        24,
+        &[Family::Blast, Family::Seismology],
+        (20, 40),
+        &ArrivalProcess::Uniform { interval: 5.0 },
+        7,
+    );
+    let cfg = OnlineConfig {
+        persist: Some(PersistSpec {
+            path: snap.clone(),
+            autosave: Some(3),
+        }),
+        ..OnlineConfig::default()
+    };
+    let cold = serve_federation(&fed, subs.clone(), &cfg, RoutingPolicy::LeastLoaded);
+    assert!(cold.report.recovery.is_none());
+    assert!(cold.report.fleet.solve_cache_misses > 0);
+    assert!(snap.exists());
+
+    let warm = serve_federation(&fed, subs.clone(), &cfg, RoutingPolicy::LeastLoaded);
+    assert!(warm.report.recovery.is_none());
+    assert_eq!(warm.report.fleet.solve_cache_misses, 0);
+    assert_eq!(warm.report.fleet.baseline_solves, 0);
+    assert_eq!(warm.report.fleet.sim_cache_misses, 0);
+    // The snapshot changes solver effort only, never the schedule: a
+    // persistence-free run agrees byte-for-byte once normalised.
+    let plain = serve_federation(
+        &fed,
+        subs,
+        &OnlineConfig::default(),
+        RoutingPolicy::LeastLoaded,
+    );
+    let strip = |r: &dhp_online::FederationReport| {
+        let mut r = r.clone();
+        r.fleet.clear_solve_stats();
+        for c in &mut r.clusters {
+            c.fleet.clear_solve_stats();
+        }
+        r.to_json()
+    };
+    assert_eq!(strip(&plain.report), strip(&warm.report));
+    assert_eq!(strip(&plain.report), strip(&cold.report));
+}
