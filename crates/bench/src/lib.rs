@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # dhp-bench
 //!
 //! Experiment harness for the `daghetpart` reproduction: one runner per

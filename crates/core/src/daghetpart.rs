@@ -74,7 +74,10 @@ pub fn dag_het_part(
 
     // Best = (makespan, kprime, mapping); smaller kprime wins ties so the
     // parallel and sequential drivers agree.
-    let best: Mutex<Option<(f64, usize, Mapping)>> = Mutex::new(None);
+    // Innermost ranked lock: taken inside phase slots (federation
+    // steps) and after any cache-stripe lookups have been released.
+    let best: Mutex<Option<(f64, usize, Mapping)>> =
+        Mutex::with_rank(None, parking_lot::ranks::SOLVER_BEST);
     let consider = |kp: usize, candidate: Option<(f64, Mapping)>| {
         if let Some((ms, mapping)) = candidate {
             let mut slot = best.lock();

@@ -281,7 +281,7 @@ fn materialize(entry: CachedSolve, sub: &SubCluster) -> Result<SubClusterSchedul
 /// hit/miss/eviction counters. Keys are spread over stripes by
 /// [`stripe_index`], so concurrent probes on different keys almost
 /// never contend on the same lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Stripe {
     entries: parking_lot::Mutex<HashMap<SolveKey, (CachedSolve, u64)>>,
     /// Memoized simulation outcomes, keyed alongside the solves of the
@@ -294,6 +294,27 @@ struct Stripe {
     evictions: AtomicU64,
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
+}
+
+impl Default for Stripe {
+    fn default() -> Self {
+        // Stripe mutexes rank above the phase slots that hold them and
+        // below the solver's slot; they are never nested with each
+        // other (entries vs sims of the same key are taken
+        // sequentially), which the debug-build rank tracker enforces.
+        Stripe {
+            entries: parking_lot::Mutex::with_rank(
+                HashMap::new(),
+                parking_lot::ranks::CACHE_STRIPE,
+            ),
+            sims: parking_lot::Mutex::with_rank(HashMap::new(), parking_lot::ranks::CACHE_STRIPE),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            sim_hits: AtomicU64::new(0),
+            sim_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Outcome of one probe against the shared store, for exact per-caller
@@ -352,6 +373,12 @@ pub struct SolveCache {
     /// and insert draws a unique stamp, so LRU victims are well-defined
     /// across stripes.
     tick: AtomicU64,
+    /// Number of live [`CacheView::frozen`] handles — the frozen-epoch
+    /// poison flag. While any frozen view exists the store must be
+    /// read-only (shards are probing it concurrently); debug builds
+    /// assert this on every store mutation, turning the whole test
+    /// suite into a frozen-view race detector.
+    frozen_views: AtomicU64,
 }
 
 impl Default for SolveCache {
@@ -373,7 +400,22 @@ impl SolveCache {
             capacity,
             stripes: (0..stripes).map(|_| Stripe::default()).collect(),
             tick: AtomicU64::new(0),
+            frozen_views: AtomicU64::new(0),
         }
+    }
+
+    /// Debug-build poison check: the store must never be mutated while
+    /// a frozen epoch is in progress (any [`CacheView::frozen`] handle
+    /// alive). `what` names the mutation for the panic message.
+    #[inline]
+    fn debug_assert_unfrozen(&self, what: &str) {
+        debug_assert_eq!(
+            self.frozen_views.load(Ordering::Relaxed),
+            0,
+            "solve-cache store mutation ({what}) during a frozen parallel \
+             phase: shards hold frozen views, so all store effects must be \
+             deferred to the member-ordered seal"
+        );
     }
 
     /// An empty, enabled, unbounded cache with
@@ -519,6 +561,7 @@ impl SolveCache {
     /// globally smallest recency stamp; stamps are unique, so the
     /// victim is well-defined). Returns false on an empty cache.
     fn evict_lru(&self) -> bool {
+        self.debug_assert_unfrozen("LRU eviction");
         let mut victim: Option<(u64, usize, SolveKey)> = None;
         for (si, stripe) in self.stripes.iter().enumerate() {
             let entries = stripe.entries.lock();
@@ -546,6 +589,7 @@ impl SolveCache {
     /// the number of evictions this insert caused (for per-caller
     /// attribution).
     fn insert(&self, key: SolveKey, value: CachedSolve) -> u64 {
+        self.debug_assert_unfrozen("entry insert");
         let mut evicted = 0u64;
         if let Some(cap) = self.capacity {
             while self.len() >= cap && !self.contains(&key) && self.evict_lru() {
@@ -591,6 +635,10 @@ impl SolveCache {
                 },
             );
         }
+        // Even a pure lookup mutates the store here: it draws a recency
+        // tick and refreshes the entry's LRU stamp. Frozen-epoch probes
+        // must go through `CacheView`'s read-only path instead.
+        self.debug_assert_unfrozen("direct probe (tick draw / LRU stamp refresh)");
         let key: SolveKey = (fingerprint, sub.shape_signature(), algorithm, config_hash);
         let stripe = self.stripe_of(&key);
         // Cheap under the stripe lock: an Arc refcount bump (or the
@@ -697,6 +745,7 @@ impl SolveCache {
         }
         stripe.sim_misses.fetch_add(1, Ordering::Relaxed);
         let sim = Arc::new(compute());
+        self.debug_assert_unfrozen("sim-outcome insert");
         stripe.sims.lock().insert(key, Arc::clone(&sim));
         (sim, false)
     }
@@ -767,6 +816,7 @@ impl SolveCache {
         value: Option<Arc<MappingResult>>,
         stamp: u64,
     ) {
+        self.debug_assert_unfrozen("snapshot restore (solve)");
         let value = match value {
             Some(local) => CachedSolve::Solved(local),
             None => CachedSolve::NoSolution,
@@ -779,6 +829,7 @@ impl SolveCache {
 
     /// Re-inserts a snapshotted simulation outcome.
     pub(crate) fn restore_sim(&self, key: SolveKey, sim: Arc<SimOutcome>) {
+        self.debug_assert_unfrozen("snapshot restore (sim)");
         self.stripe_of(&key).sims.lock().insert(key, sim);
     }
 
@@ -788,6 +839,7 @@ impl SolveCache {
     /// per-stripe split is not persisted), and evicts down to this
     /// cache's LRU capacity if the snapshot outgrows it.
     pub(crate) fn finish_restore(&self, tick: u64, carried: SolveCacheStats) {
+        self.debug_assert_unfrozen("snapshot restore (finish)");
         self.tick.fetch_max(tick, Ordering::Relaxed);
         let s0 = &self.stripes[0];
         s0.hits.fetch_add(carried.hits, Ordering::Relaxed);
@@ -813,6 +865,7 @@ impl SolveCache {
     /// thread timing. The account's log and overlay are drained; its
     /// `stats` keep accumulating across epochs.
     pub fn seal_account(&self, account: &mut CacheAccount) {
+        self.debug_assert_unfrozen("account seal");
         for ev in std::mem::take(&mut account.log) {
             match ev {
                 CacheEvent::Touch(key) => {
@@ -920,6 +973,27 @@ pub struct CacheView<'a> {
     mode: ViewMode<'a>,
 }
 
+impl std::fmt::Debug for CacheView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match self.mode {
+            ViewMode::Direct => "direct",
+            ViewMode::Live(_) => "live",
+            ViewMode::Frozen(_) => "frozen",
+        };
+        f.debug_struct("CacheView").field("mode", &mode).finish()
+    }
+}
+
+impl Drop for CacheView<'_> {
+    fn drop(&mut self) {
+        // Frozen views are counted on the cache: the last one dropping
+        // lifts the store's mutation poison (the driver may then seal).
+        if matches!(self.mode, ViewMode::Frozen(_)) {
+            self.cache.frozen_views.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
 impl<'a> CacheView<'a> {
     /// A pass-through view: probes hit the store exactly like calling
     /// [`SolveCache::schedule`] directly.
@@ -941,7 +1015,14 @@ impl<'a> CacheView<'a> {
 
     /// A frozen-epoch view: the store is read-only, deferred effects
     /// accumulate in `account` until [`SolveCache::seal_account`].
+    ///
+    /// While the view is alive the store is **poisoned against
+    /// mutation**: debug builds assert on any insert, eviction, LRU
+    /// stamp refresh, restore, or seal until the view drops — so a
+    /// parallel phase that accidentally routes a probe around the
+    /// frozen protocol trips immediately under `cargo test`.
     pub fn frozen(cache: &'a SolveCache, account: &'a mut CacheAccount) -> Self {
+        cache.frozen_views.fetch_add(1, Ordering::Release);
         CacheView {
             cache,
             mode: ViewMode::Frozen(RefCell::new(account)),
@@ -951,6 +1032,12 @@ impl<'a> CacheView<'a> {
     /// The underlying shared cache.
     pub fn cache(&self) -> &'a SolveCache {
         self.cache
+    }
+
+    /// Number of live frozen views over `cache` (the poison flag the
+    /// store-mutation asserts read; exposed for tests).
+    pub fn frozen_count(cache: &SolveCache) -> u64 {
+        cache.frozen_views.load(Ordering::Acquire)
     }
 
     /// Whether the underlying cache memoizes.

@@ -19,6 +19,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// One level of the coarsening hierarchy.
+#[derive(Debug)]
 pub struct Level {
     graph: Dag,
     weights: Vec<f64>,
@@ -46,6 +47,7 @@ impl Level {
 }
 
 /// The coarsening hierarchy, finest (input) level first.
+#[derive(Debug)]
 pub struct Hierarchy {
     /// levels[0] = finest; the `coarse_map` of level `i` maps level-`i`
     /// nodes into level `i+1`.

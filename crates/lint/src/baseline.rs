@@ -1,0 +1,129 @@
+//! The R4 ratchet baseline file (`lint-baseline.toml`): a checked-in,
+//! shrink-only per-file allowance of `unwrap()`/`expect()` calls in
+//! library non-test code.
+//!
+//! The format is a deliberately tiny TOML subset — one `[unwrap]`
+//! table of `"path" = count` entries plus `#` comments — parsed and
+//! written by hand so the lint crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Loads the baseline. `Ok(None)` means the file does not exist (the
+/// caller treats every file as allowance 0); parse errors report the
+/// offending line.
+pub fn load(path: &Path) -> Result<Option<BTreeMap<String, usize>>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut map = BTreeMap::new();
+    let mut in_unwrap = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_unwrap = line == "[unwrap]";
+            continue;
+        }
+        if !in_unwrap {
+            return Err(format!(
+                "{}:{}: entry outside the [unwrap] table",
+                path.display(),
+                idx + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{}:{}: expected `\"path\" = count`",
+                path.display(),
+                idx + 1
+            ));
+        };
+        let Some(key) = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+        else {
+            return Err(format!(
+                "{}:{}: path must be double-quoted",
+                path.display(),
+                idx + 1
+            ));
+        };
+        let Ok(count) = value.trim().parse::<usize>() else {
+            return Err(format!(
+                "{}:{}: count must be a non-negative integer",
+                path.display(),
+                idx + 1
+            ));
+        };
+        map.insert(key.to_string(), count);
+    }
+    Ok(Some(map))
+}
+
+/// Renders a baseline file from per-file counts (zero-count files are
+/// omitted: absent means allowance 0).
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let total: usize = counts.values().sum();
+    let mut out = String::new();
+    out.push_str(
+        "# lint-baseline.toml — R4 panic-hygiene ratchet (see crates/lint).\n\
+         #\n\
+         # Per-file allowance of `.unwrap()` / `.expect(` calls in library\n\
+         # non-test code. `cargo run -p dhp-lint -- --check` fails when a file\n\
+         # exceeds its entry; files without an entry get allowance 0. The\n\
+         # numbers may only ever go DOWN: regenerate with\n\
+         # `cargo run -p dhp-lint -- --fix-baseline` after burning some down,\n\
+         # never to admit new ones.\n\
+         #\n",
+    );
+    out.push_str(&format!(
+        "# Current total: {total} across {} files.\n\n[unwrap]\n",
+        counts.len()
+    ));
+    for (rel, count) in counts {
+        out.push_str(&format!("\"{rel}\" = {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 3);
+        counts.insert("crates/b/src/x.rs".to_string(), 1);
+        let text = render(&counts);
+        let dir = std::env::temp_dir().join("dhp-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint-baseline.toml");
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(loaded, counts);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let path = Path::new("/nonexistent/dhp-lint/lint-baseline.toml");
+        assert!(load(path).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let dir = std::env::temp_dir().join("dhp-lint-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint-baseline.toml");
+        std::fs::write(&path, "[unwrap]\npath = notanumber\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "\"x\" = 1\n").unwrap();
+        assert!(load(&path).is_err(), "entry before any table header");
+    }
+}

@@ -1,0 +1,511 @@
+//! A minimal hand-rolled Rust lexer producing the per-line source
+//! model the invariant rules run on.
+//!
+//! The lexer is not a parser: it only strips what would make naive
+//! token scanning lie (comments, string/char-literal contents,
+//! attribute text), tracks brace depth, and marks the lines that live
+//! inside test-only scopes (`#[cfg(test)]` items and `mod tests`
+//! blocks). Everything downstream — the rule engines in
+//! [`crate::rules`] — works on the resulting [`FileModel`] with plain
+//! substring scans, which is exactly as much syntax as the workspace
+//! invariants need.
+
+/// One source line after lexical stripping.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The line's code text: comments removed, string/char-literal
+    /// contents blanked (delimiters kept), attribute text removed.
+    pub code: String,
+    /// Attribute text present on this line (`#[...]` contents,
+    /// string-literal values excluded), empty when none.
+    pub attr: String,
+    /// Whether the line is inside a test-only scope: a `#[cfg(test)]`
+    /// item, a `mod tests { .. }` block, or a `*tests.rs` file.
+    pub is_test: bool,
+    /// Brace depth at the start of the line.
+    pub depth_start: usize,
+    /// Minimum brace depth reached anywhere on the line.
+    pub depth_min: usize,
+    /// Brace depth at the end of the line.
+    pub depth_end: usize,
+}
+
+/// A lexed source file: its workspace-relative path plus per-line data.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The stripped lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state that can span line boundaries.
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a `//` comment (ends at newline).
+    LineComment,
+    /// Inside a `/* .. */` comment, with nesting depth.
+    BlockComment(usize),
+    /// Inside a `"…"` (or `b"…"`) string literal.
+    Str,
+    /// Inside a raw string literal with this many `#` marks.
+    RawStr(usize),
+    /// Inside a `'…'` (or `b'…'`) char literal.
+    CharLit,
+    /// Inside a `#[...]` attribute: bracket depth, in-string flag.
+    Attr { brackets: usize, in_str: bool },
+}
+
+/// Whether `c` can appear in an identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Files that are test modules in their entirety: they are included
+/// from a `#[cfg(test)] mod …;` declaration in their parent, so the
+/// marker is outside the file itself.
+fn file_is_test(rel: &str) -> bool {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    base == "tests.rs" || base == "proptests.rs" || base.ends_with("_tests.rs")
+}
+
+/// Whether the code segment since the last `{`/`}`/`;` opens a
+/// `mod tests` (or `mod test`) block.
+fn seg_opens_tests(seg: &str) -> bool {
+    let mut saw_mod = false;
+    for word in seg
+        .split(|c: char| !is_ident_char(c))
+        .filter(|w| !w.is_empty())
+    {
+        if saw_mod && (word == "tests" || word == "test") {
+            return true;
+        }
+        saw_mod = word == "mod";
+    }
+    false
+}
+
+/// Whether a complete attribute's text marks the next item test-only.
+/// String-literal values never reach `attr`, so `#[doc = "cfg(test)"]`
+/// or `#[cfg(feature = "test")]` cannot fool the word scan.
+fn attr_is_cfg_test(attr: &str) -> bool {
+    let mut saw_cfg = false;
+    for word in attr
+        .split(|c: char| !is_ident_char(c))
+        .filter(|w| !w.is_empty())
+    {
+        if word == "cfg" {
+            saw_cfg = true;
+        } else if saw_cfg && (word == "test" || word == "tests") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lexes `source` into a [`FileModel`] under the workspace-relative
+/// path `rel` (which decides rule scoping and whole-file test status).
+pub fn analyze(rel: &str, source: &str) -> FileModel {
+    let chars: Vec<char> = source.chars().collect();
+    let whole_file_test = file_is_test(rel);
+
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    let mut code = String::new();
+    let mut attr = String::new();
+    // The current attribute's full text, across lines, for cfg(test)
+    // detection at the closing bracket.
+    let mut attr_accum = String::new();
+    let mut number = 1usize;
+    let mut depth = 0usize;
+    let mut depth_start = 0usize;
+    let mut depth_min = 0usize;
+    // Set by a `#[cfg(test)]` attribute; consumed by the next `{`
+    // (opens a test region) or `;` (item had no body).
+    let mut pending_test = false;
+    // Depth at which the innermost test region opened, if inside one.
+    let mut test_depth: Option<usize> = None;
+    let mut line_is_test = false;
+    // Last code character emitted (for raw/byte string-prefix checks).
+    let mut prev_code: Option<char> = None;
+    // Code text since the last `{` / `}` / `;`, for `mod tests`.
+    let mut seg = String::new();
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(Line {
+                number,
+                code: std::mem::take(&mut code),
+                attr: std::mem::take(&mut attr),
+                is_test: whole_file_test || line_is_test,
+                depth_start,
+                depth_min,
+                depth_end: depth,
+            });
+            number += 1;
+            depth_start = depth;
+            depth_min = depth;
+            // A pending #[cfg(test)] marks the item lines that follow
+            // it until its `{` or `;` resolves the scope.
+            line_is_test = test_depth.is_some() || pending_test;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = State::LineComment;
+                    code.push(' ');
+                    i += 2;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.push('"');
+                    prev_code = Some('"');
+                    i += 1;
+                }
+                'r' | 'b' if !prev_code.is_some_and(is_ident_char) => {
+                    // Possible raw / byte literal prefix: r" r#" br" b" b'
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    if c == 'r' || j > i + 1 {
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    match chars.get(j) {
+                        Some('"') if c == 'r' || j > i + 1 || hashes == 0 => {
+                            state = if c == 'r' || j > i + 1 {
+                                State::RawStr(hashes)
+                            } else {
+                                State::Str
+                            };
+                            code.push('"');
+                            prev_code = Some('"');
+                            i = j + 1;
+                        }
+                        Some('\'') if c == 'b' && j == i + 1 => {
+                            state = State::CharLit;
+                            code.push('\'');
+                            prev_code = Some('\'');
+                            i = j + 1;
+                        }
+                        _ => {
+                            code.push(c);
+                            seg.push(c);
+                            prev_code = Some(c);
+                            i += 1;
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is `'\…'` or
+                    // `'X'`; anything else (`'a,`, `'static>`) is a
+                    // lifetime and stays in code.
+                    let next = chars.get(i + 1);
+                    let is_char_lit =
+                        next == Some(&'\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char_lit {
+                        state = State::CharLit;
+                    }
+                    code.push('\'');
+                    prev_code = Some('\'');
+                    i += 1;
+                }
+                '#' if chars.get(i + 1) == Some(&'[')
+                    || (chars.get(i + 1) == Some(&'!') && chars.get(i + 2) == Some(&'[')) =>
+                {
+                    let inner = chars.get(i + 1) == Some(&'!');
+                    state = State::Attr {
+                        brackets: 1,
+                        in_str: false,
+                    };
+                    let open = if inner { "#![" } else { "#[" };
+                    attr.push_str(open);
+                    attr_accum.clear();
+                    attr_accum.push_str(open);
+                    i += open.len();
+                }
+                '{' => {
+                    if test_depth.is_none() && (pending_test || seg_opens_tests(&seg)) {
+                        test_depth = Some(depth);
+                        line_is_test = true;
+                    }
+                    pending_test = false;
+                    depth += 1;
+                    code.push('{');
+                    seg.clear();
+                    prev_code = Some('{');
+                    i += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    depth_min = depth_min.min(depth);
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                        // The closing line itself still counts as test
+                        // (line_is_test was true at line start).
+                    }
+                    code.push('}');
+                    seg.clear();
+                    prev_code = Some('}');
+                    i += 1;
+                }
+                ';' => {
+                    if test_depth.is_none() {
+                        pending_test = false;
+                    }
+                    code.push(';');
+                    seg.clear();
+                    prev_code = Some(';');
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    seg.push(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                i += 1;
+            }
+            State::BlockComment(nest) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if nest == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(nest - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(nest + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    prev_code = Some('"');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    state = State::Code;
+                    code.push('"');
+                    prev_code = Some('"');
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    prev_code = Some('\'');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Attr {
+                ref mut brackets,
+                ref mut in_str,
+            } => {
+                if *in_str {
+                    if c == '\\' {
+                        i += 2;
+                    } else {
+                        if c == '"' {
+                            *in_str = false;
+                            attr.push('"');
+                            attr_accum.push('"');
+                        }
+                        i += 1;
+                    }
+                } else {
+                    match c {
+                        '"' => {
+                            *in_str = true;
+                            attr.push('"');
+                            attr_accum.push('"');
+                        }
+                        '[' => {
+                            *brackets += 1;
+                            attr.push('[');
+                            attr_accum.push('[');
+                        }
+                        ']' => {
+                            *brackets -= 1;
+                            attr.push(']');
+                            attr_accum.push(']');
+                            if *brackets == 0 {
+                                if attr_is_cfg_test(&attr_accum) {
+                                    pending_test = true;
+                                    line_is_test = true;
+                                }
+                                state = State::Code;
+                                prev_code = Some(']');
+                            }
+                        }
+                        other => {
+                            attr.push(other);
+                            attr_accum.push(other);
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Flush the final (unterminated) line.
+    lines.push(Line {
+        number,
+        code,
+        attr,
+        is_test: whole_file_test || line_is_test,
+        depth_start,
+        depth_min,
+        depth_end: depth,
+    });
+
+    FileModel {
+        rel: rel.to_string(),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::analyze;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let m = analyze(
+            "crates/x/src/lib.rs",
+            "let a = \"has // no comment\"; // real comment\nlet b = 1; /* gone */ let c = 2;\n",
+        );
+        assert_eq!(m.lines[0].code.trim_end(), "let a = \"\";");
+        assert_eq!(m.lines[1].code, "let b = 1;   let c = 2;");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let m = analyze(
+            "crates/x/src/lib.rs",
+            "let s = r#\"raw \" body\"#;\nfn f<'a>(x: &'a str) -> char { 'x' }\n",
+        );
+        assert_eq!(m.lines[0].code, "let s = \"\";");
+        assert!(m.lines[1].code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.lines[1].code.contains('x') || !m.lines[1].code.contains("'x'"));
+    }
+
+    #[test]
+    fn attributes_are_separated_from_code() {
+        let m = analyze(
+            "crates/x/src/lib.rs",
+            "#[serde(default, skip_serializing_if = \"Option::is_none\")]\npub x: Option<u64>,\n",
+        );
+        assert!(m.lines[0].attr.contains("skip_serializing_if"));
+        assert!(!m.lines[0].attr.contains("Option::is_none"));
+        assert!(m.lines[0].code.trim().is_empty());
+        assert!(m.lines[1].code.contains("Option<u64>"));
+    }
+
+    #[test]
+    fn cfg_test_scopes_are_marked() {
+        let src = "fn real() { work(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn after() {}\n";
+        let m = analyze("crates/x/src/lib.rs", src);
+        assert!(!m.lines[0].is_test);
+        assert!(m.lines[1].is_test, "attribute line itself is test");
+        assert!(m.lines[2].is_test);
+        assert!(m.lines[3].is_test);
+        assert!(m.lines[4].is_test, "closing brace still in region");
+        assert!(!m.lines[5].is_test);
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_is_marked() {
+        let src = "mod tests {\n  fn t() {}\n}\nfn real() {}\n";
+        let m = analyze("crates/x/src/lib.rs", src);
+        assert!(m.lines[0].is_test);
+        assert!(m.lines[1].is_test);
+        assert!(!m.lines[3].is_test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_clears_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { body(); }\n";
+        let m = analyze("crates/x/src/lib.rs", src);
+        assert!(m.lines[1].is_test);
+        assert!(!m.lines[2].is_test);
+    }
+
+    #[test]
+    fn whole_test_files_are_marked() {
+        let m = analyze(
+            "crates/online/src/engine_tests.rs",
+            "fn t() { x.unwrap(); }\n",
+        );
+        assert!(m.lines[0].is_test);
+        let m = analyze("crates/dag/src/proptests.rs", "fn t() {}\n");
+        assert!(m.lines[0].is_test);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let src = "fn f() {\n  if x {\n    y();\n  }\n}\n";
+        let m = analyze("crates/x/src/lib.rs", src);
+        assert_eq!((m.lines[0].depth_start, m.lines[0].depth_end), (0, 1));
+        assert_eq!((m.lines[1].depth_start, m.lines[1].depth_end), (1, 2));
+        assert_eq!(m.lines[3].depth_min, 1);
+        assert_eq!(m.lines[4].depth_min, 0);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_mark() {
+        let src = "#[cfg(debug_assertions)]\nfn dbg_only() { x.lock(); }\n";
+        let m = analyze("crates/x/src/lib.rs", src);
+        assert!(!m.lines[1].is_test);
+    }
+}

@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+/// Sums per-member counters straight off the hash map (bad).
+pub fn merge_counts(counts: &HashMap<usize, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn collect_names(index: &HashMap<usize, String>) -> Vec<String> {
+    let out: Vec<String> = index.values().cloned().collect();
+    out
+}

@@ -1,0 +1,13 @@
+/// Admission budget measured against wall time (bad: the engine is
+/// driven by the simulated clock).
+pub fn too_slow(budget_ms: u128, started: std::time::Instant) -> bool {
+    started.elapsed().as_millis() > budget_ms
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall_secs() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,7 @@
+use dhp_core::partial::SolveCache;
+
+/// Probes the shared store directly instead of through a frozen
+/// CacheView over the shard's own account (bad: defeats replay).
+pub fn probe(cache: &SolveCache, key: u64) -> bool {
+    cache.contains(key)
+}

@@ -1,0 +1,17 @@
+/// Two panic sites in library code; the test-module one is exempt.
+pub fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u8>) -> u8 {
+    x.expect("always present")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok() {
+        assert_eq!(super::first(Some(1)), 1);
+        assert_eq!(Some(2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,13 @@
+use serde::{Deserialize, Serialize};
+
+/// A report record missing its golden-JSON armour.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BadRecord {
+    pub completed: usize,
+    pub note: Option<String>,
+    pub spill_count: u64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ok_field: Option<u64>,
+    #[serde(default)]
+    pub ok_counter: u64,
+}

@@ -206,7 +206,9 @@ pub(crate) fn admission_passes(
                 // longer exists (the stale-reservation fix). EASY
                 // keeps its event-level reservation by design.
                 if reservation_dirty {
-                    let head = &state.queue[head_qi.expect("a reservation implies a head")];
+                    let head = &state.queue[head_qi.unwrap_or_else(|| {
+                        unreachable!("a dirty reservation implies a queue head")
+                    })];
                     let fresh = head_reservation(
                         &state.cluster,
                         &state.mem_order,
@@ -227,7 +229,8 @@ pub(crate) fn admission_passes(
                     reservation = Some(fresh);
                     reservation_dirty = false;
                 }
-                let resv = reservation.unwrap();
+                let resv = reservation
+                    .unwrap_or_else(|| unreachable!("the dirty path above just refreshed it"));
                 if free_speed <= 0.0
                     || clock + state.queue[qi].total_work / free_speed > resv + 1e-9
                 {
@@ -657,7 +660,7 @@ pub(crate) fn head_reservation(
         for c in &pending[..=i] {
             let done = in_service[c.slot]
                 .as_ref()
-                .expect("pending completion holds its slot");
+                .unwrap_or_else(|| unreachable!("a pending completion holds its slot"));
             for &p in &done.placement.lease {
                 hypothetical[p.idx()] = true;
             }

@@ -235,7 +235,8 @@ impl MembershipPlan {
 
     /// Pretty-printed JSON form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plan serialisation cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("plan serialisation cannot fail: {e}"))
     }
 
     /// Parses a JSON plan.

@@ -422,7 +422,9 @@ pub(crate) fn finalize(
         .map(|(&i, r)| {
             (
                 finished_fp[i],
-                r.lock().clone().expect("every baseline job ran"),
+                r.lock()
+                    .clone()
+                    .unwrap_or_else(|| unreachable!("the scoped pool ran every baseline job")),
             )
         })
         .collect();

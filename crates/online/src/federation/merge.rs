@@ -25,6 +25,7 @@ pub struct FederationReport {
     pub total_procs: usize,
     /// Cross-cluster spillover migrations (a workflow leaving its home
     /// queue for a member that could place it immediately).
+    #[serde(default)]
     pub spillovers: u64,
     /// Per-member serving reports, in member-index order. Each record
     /// carries its member's `cluster_id`.
@@ -44,7 +45,8 @@ pub struct FederationReport {
 impl FederationReport {
     /// Pretty-printed JSON form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("report serialisation cannot fail: {e}"))
     }
 
     /// A short human-readable summary: the merged fleet line plus one

@@ -76,7 +76,7 @@ pub(super) fn least_loaded(shards: &[MemberShard], pool: &[usize]) -> usize {
             let lb = shards[b].state.queued_work() / shards[b].state.cluster.total_speed();
             la.total_cmp(&lb).then(a.cmp(&b))
         })
-        .expect("the routing pool is never empty")
+        .unwrap_or_else(|| unreachable!("routing pools are built non-empty"))
 }
 
 /// Picks an arriving submission's home cluster among the Active

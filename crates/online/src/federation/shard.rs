@@ -152,8 +152,14 @@ where
         }
         return;
     }
-    let slots: Vec<parking_lot::Mutex<&mut MemberShard>> =
-        worklist.into_iter().map(parking_lot::Mutex::new).collect();
+    // Slot locks are the outermost rank of the workspace ladder: a
+    // worker holds one across the whole member step, which probes the
+    // solve-cache stripes and runs solvers underneath (the debug-build
+    // rank tracker enforces exactly that nesting order).
+    let slots: Vec<parking_lot::Mutex<&mut MemberShard>> = worklist
+        .into_iter()
+        .map(|sh| parking_lot::Mutex::with_rank(sh, parking_lot::ranks::PHASE_SLOT))
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {

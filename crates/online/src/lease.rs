@@ -98,7 +98,10 @@ impl Grant {
             .node_ids()
             .map(|u| {
                 let b = sched.local.mapping.partition.block_of(u).idx();
-                sub.to_global(sched.local.mapping.proc_of_block[b].expect("complete mapping"))
+                sub.to_global(
+                    sched.local.mapping.proc_of_block[b]
+                        .unwrap_or_else(|| unreachable!("the solver maps every block")),
+                )
             })
             .collect();
         let start = clock;
@@ -316,7 +319,9 @@ fn grow_lease(
     };
 
     for (slot, _, _) in cands {
-        let svc = state.in_service[slot].as_ref().expect("ranked above");
+        let svc = state.in_service[slot]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("candidates are ranked over live slots"));
         let g = &svc.placement.submission.instance.graph;
         let suffix: Vec<dhp_dag::NodeId> = g
             .node_ids()
@@ -364,7 +369,10 @@ fn grow_lease(
         let mut used_new: Vec<ProcId> = Vec::new();
         for u in s.dag.node_ids() {
             let b = s.schedule.local.mapping.partition.block_of(u).idx();
-            let p = union.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"));
+            let p = union.to_global(
+                s.schedule.local.mapping.proc_of_block[b]
+                    .unwrap_or_else(|| unreachable!("the solver maps every block")),
+            );
             suffix_proc.push(p);
             if !old_lease.contains(&p.0) && !used_new.contains(&p) {
                 used_new.push(p);
@@ -402,7 +410,9 @@ fn grow_lease(
         }
 
         // ---- commit the swap
-        let svc = state.in_service[slot].as_mut().expect("ranked above");
+        let svc = state.in_service[slot]
+            .as_mut()
+            .unwrap_or_else(|| unreachable!("candidates are ranked over live slots"));
         for (i, &orig) in s.back.iter().enumerate() {
             svc.task_start[orig.idx()] = release + sim.task_start[i];
             svc.task_finish[orig.idx()] = release + sim.task_finish[i];
@@ -562,7 +572,9 @@ fn shrink_lease(
     };
 
     for (slot, _, _) in cands {
-        let svc = state.in_service[slot].as_ref().expect("ranked above");
+        let svc = state.in_service[slot]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("candidates are ranked over live slots"));
         let g = &svc.placement.submission.instance.graph;
         let suffix: Vec<dhp_dag::NodeId> = g
             .node_ids()
@@ -669,7 +681,7 @@ fn shrink_lease(
         if let Some((head, resv)) = head_guard {
             let old_finish = state.in_service[slot]
                 .as_ref()
-                .expect("ranked above")
+                .unwrap_or_else(|| unreachable!("candidates are ranked over live slots"))
                 .record
                 .finish;
             if old_finish <= resv + 1e-9 && new_finish > resv + 1e-9 {
@@ -702,10 +714,15 @@ fn shrink_lease(
             .node_ids()
             .map(|u| {
                 let b = s.schedule.local.mapping.partition.block_of(u).idx();
-                sub.to_global(s.schedule.local.mapping.proc_of_block[b].expect("complete"))
+                sub.to_global(
+                    s.schedule.local.mapping.proc_of_block[b]
+                        .unwrap_or_else(|| unreachable!("the solver maps every block")),
+                )
             })
             .collect();
-        let svc = state.in_service[slot].as_mut().expect("ranked above");
+        let svc = state.in_service[slot]
+            .as_mut()
+            .unwrap_or_else(|| unreachable!("candidates are ranked over live slots"));
         for (i, &orig) in s.back.iter().enumerate() {
             svc.task_start[orig.idx()] = release + sim.task_start[i];
             svc.task_finish[orig.idx()] = release + sim.task_finish[i];

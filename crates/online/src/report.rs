@@ -282,7 +282,8 @@ pub struct ServeReport {
 impl ServeReport {
     /// Pretty-printed JSON form.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("report serialisation cannot fail: {e}"))
     }
 
     /// A short human-readable summary (one line per aggregate).

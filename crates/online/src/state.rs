@@ -186,7 +186,9 @@ impl ClusterState {
             if c.time > clock {
                 break;
             }
-            let c = self.events.pop().unwrap();
+            let Some(c) = self.events.pop() else {
+                unreachable!("peek above just returned this entry");
+            };
             // Elastic growth re-schedules completions: a heap entry
             // whose seq no longer matches its slot's live event is
             // stale — drop it.
@@ -198,7 +200,7 @@ impl ClusterState {
             }
             let done = self.in_service[c.slot]
                 .take()
-                .expect("live completion holds its slot");
+                .unwrap_or_else(|| unreachable!("a live completion holds its slot"));
             for &p in &done.placement.lease {
                 debug_assert!(!self.free[p.idx()]);
                 self.free[p.idx()] = true;

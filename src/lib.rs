@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Workspace facade: re-exports every `dhp-*` crate under one roof so
 //! the repository-level examples and integration tests (and downstream
 //! users who want a single dependency) can reach the whole system.

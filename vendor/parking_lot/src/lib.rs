@@ -1,28 +1,171 @@
 //! Workspace-local stand-in for `parking_lot`: a [`Mutex`] with the
-//! non-poisoning `lock()` API, backed by `std::sync::Mutex`.
+//! non-poisoning `lock()` API, backed by `std::sync::Mutex` — plus a
+//! debug-build **lock-rank tracker** that turns the whole test suite
+//! into a lock-order violation detector.
+//!
+//! # Lock ranks
+//!
+//! Every mutex carries a numeric rank, assigned at construction
+//! ([`Mutex::new`] uses [`Mutex::DEFAULT_RANK`]; [`Mutex::with_rank`]
+//! assigns an explicit one). In debug builds each thread keeps a stack
+//! of the ranks it currently holds, and acquiring a lock
+//! `debug_assert!`s that its rank is **strictly greater** than the
+//! highest rank already held. That single rule catches both failure
+//! modes that matter for the workspace's deadlock freedom:
+//!
+//! * **nested same-rank acquisition** — e.g. taking a second solve-cache
+//!   stripe guard while one is held (two threads doing so on crossed
+//!   stripes deadlock);
+//! * **out-of-order acquisition** — e.g. taking an outer phase-slot
+//!   lock while an inner stripe guard is held, the mirror image of the
+//!   sanctioned order.
+//!
+//! The workspace's global ladder lives in [`ranks`]: phase/worker slots
+//! are acquired first (lowest rank), solve-cache stripes inside them,
+//! and the solver's best-candidate slot innermost. Mutexes that never
+//! participate in nesting keep [`Mutex::DEFAULT_RANK`], which sits
+//! above the ladder: acquiring one as an innermost leaf is always
+//! legal, while nesting two of them still trips the same-rank assert.
+//!
+//! Release builds compile the tracker away entirely: `lock()` is the
+//! plain `std::sync::Mutex` fast path.
 
-/// A mutual-exclusion lock whose `lock()` never returns a poison error
-/// (a poisoned std mutex is recovered transparently).
-#[derive(Debug, Default)]
-pub struct Mutex<T>(std::sync::Mutex<T>);
+/// The workspace's global lock-order ladder. Outer locks have lower
+/// ranks; a lock may only be acquired if its rank is strictly greater
+/// than every rank the thread already holds.
+///
+/// Registered orderings (outermost first):
+///
+/// 1. [`ranks::PHASE_SLOT`] — per-shard slots of the federation's
+///    parallel phase pool (`run_phase`), held across a whole member
+///    step, which probes the solve cache and runs solvers underneath.
+/// 2. [`ranks::CACHE_STRIPE`] — the solve cache's striped store
+///    segments (entry and sim maps). Held only for lookups/inserts,
+///    never across a solver run, and never nested with each other.
+/// 3. [`ranks::SOLVER_BEST`] — the k'-sweep best-candidate slot inside
+///    `dag_het_part`, the innermost lock of a lease solve.
+pub mod ranks {
+    /// Federation phase-pool shard slots (outermost).
+    pub const PHASE_SLOT: u16 = 100;
+    /// Solve-cache store stripes (entries and sims).
+    pub const CACHE_STRIPE: u16 = 200;
+    /// `dag_het_part`'s best-candidate slot (innermost ranked lock).
+    pub const SOLVER_BEST: u16 = 300;
+}
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+#[cfg(debug_assertions)]
+mod tracker {
+    use std::cell::RefCell;
 
-impl<T> Mutex<T> {
-    /// Creates a new mutex.
-    pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+    thread_local! {
+        /// Ranks of the locks this thread currently holds, in
+        /// acquisition order (strictly increasing by construction).
+        static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
     }
 
-    /// Acquires the lock, blocking the current thread.
+    pub(crate) fn acquire(rank: u16) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&top) = held.last() {
+                debug_assert!(
+                    rank > top,
+                    "lock-rank violation: acquiring rank {rank} while rank {top} is held \
+                     (locks must be acquired in strictly increasing rank order; \
+                     same-rank nesting is a deadlock hazard)"
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    pub(crate) fn release(rank: u16) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards normally drop LIFO, but be robust to explicit
+            // out-of-order drops: remove the last occurrence of `rank`.
+            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error
+/// (a poisoned std mutex is recovered transparently), carrying a lock
+/// rank checked by the debug-build tracker (see the crate docs).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    rank: u16,
+}
+
+/// Guard returned by [`Mutex::lock`]. Dereferences to the protected
+/// value; dropping it releases the lock (and, in debug builds, pops
+/// the mutex's rank off the thread's held-lock stack).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: std::sync::MutexGuard<'a, T>,
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    rank: u16,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        crate::tracker::release(self.rank);
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Rank of mutexes built by [`Mutex::new`]: above the whole
+    /// registered ladder, so an unranked mutex is always a legal
+    /// innermost leaf, while nesting two unranked mutexes still trips
+    /// the same-rank assert.
+    pub const DEFAULT_RANK: u16 = u16::MAX;
+
+    /// Creates a new mutex with [`Mutex::DEFAULT_RANK`].
+    pub const fn new(value: T) -> Self {
+        Mutex::with_rank(value, Mutex::<T>::DEFAULT_RANK)
+    }
+
+    /// Creates a new mutex with an explicit lock rank (see [`ranks`]).
+    pub const fn with_rank(value: T, rank: u16) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            rank,
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread. In debug builds,
+    /// asserts the workspace's lock-rank discipline first.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|poison| poison.into_inner())
+        #[cfg(debug_assertions)]
+        crate::tracker::acquire(self.rank);
+        MutexGuard {
+            guard: self
+                .inner
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()),
+            rank: self.rank,
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0
+        self.inner
             .into_inner()
             .unwrap_or_else(|poison| poison.into_inner())
     }
@@ -30,7 +173,7 @@ impl<T> Mutex<T> {
 
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{ranks, Mutex};
 
     #[test]
     fn lock_and_mutate() {
@@ -38,5 +181,53 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn ascending_rank_nesting_is_legal() {
+        let outer = Mutex::with_rank(0, ranks::PHASE_SLOT);
+        let mid = Mutex::with_rank(0, ranks::CACHE_STRIPE);
+        let inner = Mutex::with_rank(0, ranks::SOLVER_BEST);
+        let leaf = Mutex::new(0);
+        let g1 = outer.lock();
+        let g2 = mid.lock();
+        let g3 = inner.lock();
+        let g4 = leaf.lock();
+        drop((g4, g3, g2, g1));
+        // Sequential re-acquisition after a full unwind is legal too.
+        drop(outer.lock());
+        drop(inner.lock());
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_consistent() {
+        let outer = Mutex::with_rank(0, ranks::PHASE_SLOT);
+        let inner = Mutex::with_rank(0, ranks::CACHE_STRIPE);
+        let g1 = outer.lock();
+        let g2 = inner.lock();
+        drop(g1); // outer released first
+        drop(g2);
+        // The stack must be empty again: an outermost lock acquires.
+        drop(outer.lock());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-rank violation")]
+    #[cfg(debug_assertions)]
+    fn same_rank_nesting_trips_the_tracker() {
+        let a = Mutex::with_rank(0, ranks::CACHE_STRIPE);
+        let b = Mutex::with_rank(0, ranks::CACHE_STRIPE);
+        let _g1 = a.lock();
+        let _g2 = b.lock(); // nested same-rank: deadlock hazard
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-rank violation")]
+    #[cfg(debug_assertions)]
+    fn descending_rank_nesting_trips_the_tracker() {
+        let stripe = Mutex::with_rank(0, ranks::CACHE_STRIPE);
+        let slot = Mutex::with_rank(0, ranks::PHASE_SLOT);
+        let _g1 = stripe.lock();
+        let _g2 = slot.lock(); // outer lock taken while inner held
     }
 }
