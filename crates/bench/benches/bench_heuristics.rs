@@ -40,5 +40,23 @@ fn bench_both(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_both);
+/// The slot-search datapoint: HEFT on a wide workflow over a tiny
+/// cluster packs hundreds of intervals per processor, so the
+/// insertion-based gap search (`earliest_slot` / `insert_interval`)
+/// dominates — the busy lists are kept sorted and probed by binary
+/// search, and this bench pins the win over the former linear scans.
+fn bench_slot_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heft_slot_search");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let inst = WorkflowInstance::simulated(Family::Seismology, n, 11);
+        let cluster = scale_cluster_with_headroom(&inst.graph, &configs::small_cluster(), 1.05);
+        group.bench_with_input(BenchmarkId::new("heft", n), &n, |b, _| {
+            b.iter(|| dhp_core::heft::heft(black_box(&inst.graph), black_box(&cluster)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_both, bench_slot_search);
 criterion_main!(benches);

@@ -95,6 +95,37 @@ fn main() {
             again.report.to_json(),
             "{members} members: parallel driver is not deterministic"
         );
+        // Effort gate (smoke): the drivers must agree not just on the
+        // report but on how much solver work they actually did —
+        // identical solver invocations (cache misses), simulator runs,
+        // and rank recomputations. A parallel driver that silently
+        // re-solved or re-simulated what the sequential one memoized
+        // would still produce identical schedules; this catches it.
+        if smoke {
+            for (name, s, p) in [
+                (
+                    "solver invocations",
+                    seq.report.fleet.solve_cache_misses,
+                    par.report.fleet.solve_cache_misses,
+                ),
+                (
+                    "simulator runs",
+                    seq.report.fleet.sim_cache_misses,
+                    par.report.fleet.sim_cache_misses,
+                ),
+                (
+                    "rank recomputes",
+                    seq.report.fleet.rank_cache_misses,
+                    par.report.fleet.rank_cache_misses,
+                ),
+            ] {
+                assert_eq!(
+                    s, p,
+                    "{members} members: {name} differ between sequential ({s}) \
+                     and parallel ({p}) drivers"
+                );
+            }
+        }
 
         Measurement {
             members,

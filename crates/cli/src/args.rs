@@ -41,7 +41,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches that never take a value.
-const SWITCHES: [&str; 9] = [
+const SWITCHES: [&str; 10] = [
     "quiet",
     "simulate",
     "gantt",
@@ -51,6 +51,7 @@ const SWITCHES: [&str; 9] = [
     "no-solve-cache",
     "cache-aware",
     "serial-federation",
+    "slow-admission",
 ];
 
 impl Args {

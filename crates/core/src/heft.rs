@@ -40,20 +40,40 @@ pub struct MemoryViolation {
     pub capacity: f64,
 }
 
-/// Runs insertion-based HEFT.
+/// The rank phase of HEFT, split out so it can be memoized: the
+/// topological order, the mean-cost upward ranks, and the scheduling
+/// order they induce. All three are a pure function of the graph
+/// structure and the cluster's `(mean speed, bandwidth)` profile — both
+/// captured by the `(fingerprint, shape_signature)` pair the solve
+/// cache already keys on — so repeated probes of the same pair can
+/// replay a cached table instead of re-deriving it
+/// ([`crate::partial::CacheView::rank_table`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankTable {
+    /// A topological order of the graph.
+    pub topo: Vec<NodeId>,
+    /// Upward rank of every task: mean execution cost plus the largest
+    /// mean-cost tail over its successors.
+    pub rank: Vec<f64>,
+    /// Task ids in HEFT scheduling order: decreasing rank, ties broken
+    /// by ascending id.
+    pub by_rank: Vec<NodeId>,
+}
+
+/// Computes the HEFT rank phase for `g` on `cluster`.
 ///
 /// # Panics
 /// Panics on an empty graph or cluster, or cyclic input.
-pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
+pub fn rank_table(g: &Dag, cluster: &Cluster) -> RankTable {
     assert!(!g.is_empty() && !cluster.is_empty());
     let n = g.node_count();
     let beta = cluster.bandwidth;
     let mean_speed: f64 = cluster.iter().map(|(_, p)| p.speed).sum::<f64>() / cluster.len() as f64;
 
     // Upward ranks with mean costs.
-    let order = dhp_dag::topo::topo_sort(g).expect("heft requires a DAG");
+    let topo = dhp_dag::topo::topo_sort(g).expect("heft requires a DAG");
     let mut rank = vec![0.0f64; n];
-    for &u in order.iter().rev() {
+    for &u in topo.iter().rev() {
         let mut tail: f64 = 0.0;
         for &e in g.out_edges(u) {
             let ed = g.edge(e);
@@ -63,6 +83,37 @@ pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
     }
     let mut by_rank: Vec<NodeId> = g.node_ids().collect();
     by_rank.sort_by(|&a, &b| rank[b.idx()].total_cmp(&rank[a.idx()]).then(a.cmp(&b)));
+    RankTable {
+        topo,
+        rank,
+        by_rank,
+    }
+}
+
+/// Runs insertion-based HEFT.
+///
+/// # Panics
+/// Panics on an empty graph or cluster, or cyclic input.
+pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
+    heft_with_ranks(g, cluster, &rank_table(g, cluster))
+}
+
+/// The EFT phase of HEFT against a precomputed (possibly memoized)
+/// [`RankTable`] — byte-identical to [`heft`] when `ranks` came from
+/// [`rank_table`] on the same `(g, cluster)` pair.
+///
+/// # Panics
+/// Panics on an empty graph or cluster, or a rank table whose length
+/// does not match the graph.
+pub fn heft_with_ranks(g: &Dag, cluster: &Cluster, ranks: &RankTable) -> HeftSchedule {
+    assert!(!g.is_empty() && !cluster.is_empty());
+    let n = g.node_count();
+    assert_eq!(
+        ranks.by_rank.len(),
+        n,
+        "rank table does not belong to this graph"
+    );
+    let beta = cluster.bandwidth;
 
     // Insertion-based EFT.
     let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.len()]; // sorted intervals
@@ -70,7 +121,7 @@ pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
     let mut start = vec![0.0f64; n];
     let mut finish = vec![0.0f64; n];
 
-    for &u in &by_rank {
+    for &u in &ranks.by_rank {
         let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
         for (p, proc) in cluster.iter() {
             // Ready time: all input files must have arrived on p.
@@ -106,9 +157,18 @@ pub fn heft(g: &Dag, cluster: &Cluster) -> HeftSchedule {
 
 /// Earliest start ≥ `ready` such that `[start, start+dur)` fits into the
 /// idle gaps of `busy` (sorted, disjoint intervals).
+///
+/// Intervals that finish at or before `ready` can neither host the slot
+/// nor push the candidate, so the scan starts at the first interval
+/// still alive at `ready` — found by binary search (finishes of sorted
+/// disjoint intervals are themselves sorted) instead of a linear walk
+/// over the whole prefix. On long busy lists with a late `ready` (the
+/// common shape deep into a HEFT run) this turns the per-probe cost
+/// from O(intervals) into O(log intervals + gap span).
 fn earliest_slot(busy: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
+    let live = busy.partition_point(|&(_, f)| f <= ready);
     let mut candidate = ready;
-    for &(s, f) in busy {
+    for &(s, f) in &busy[live..] {
         if candidate + dur <= s + 1e-12 {
             return candidate;
         }
@@ -130,6 +190,23 @@ fn insert_interval(busy: &mut Vec<(f64, f64)>, iv: (f64, f64)) {
     busy.insert(pos, iv);
 }
 
+/// Runs insertion-based HEFT with the rank phase memoized through the
+/// solve cache: the [`RankTable`] for `(fingerprint, shape_signature)`
+/// is replayed if cached and derived (then cached) otherwise. Always
+/// byte-identical to [`heft`] on the lease view — the table is a pure
+/// function of the key.
+pub fn heft_memo(
+    g: &Dag,
+    fingerprint: u64,
+    sub: &dhp_platform::SubCluster,
+    cache: &crate::partial::CacheView,
+) -> HeftSchedule {
+    let ranks = cache.rank_table(fingerprint, sub.shape_signature(), || {
+        rank_table(g, sub.cluster())
+    });
+    heft_with_ranks(g, sub.cluster(), &ranks)
+}
+
 /// Audits the resident memory of a HEFT schedule per processor.
 ///
 /// Memory model (consistent with the block model): a task's working
@@ -143,37 +220,42 @@ pub fn memory_violations(
     cluster: &Cluster,
     schedule: &HeftSchedule,
 ) -> Vec<MemoryViolation> {
-    // Event sweep per processor: (time, delta).
-    let mut events: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.len()];
+    // One flat event sweep: (time, delta, processor), sorted once. The
+    // per-processor subsequence of the global `(time, delta)` order is
+    // exactly what sorting that processor's events alone would produce
+    // (equal pairs carry equal deltas, so their relative order cannot
+    // change any prefix sum), so a single sort replaces one sort per
+    // processor.
+    let mut events: Vec<(f64, f64, usize)> =
+        Vec::with_capacity(2 * (g.node_count() + g.edge_count()));
     for u in g.node_ids() {
         let p = schedule.proc_of_task[u.idx()].idx();
         // task working memory + its outputs while running
         let out_sum: f64 = g.out_edges(u).iter().map(|&e| g.edge(e).volume).sum();
-        events[p].push((schedule.start[u.idx()], g.node(u).memory + out_sum));
-        events[p].push((schedule.finish[u.idx()], -(g.node(u).memory + out_sum)));
+        events.push((schedule.start[u.idx()], g.node(u).memory + out_sum, p));
+        events.push((schedule.finish[u.idx()], -(g.node(u).memory + out_sum), p));
     }
     for e in g.edge_ids() {
         let ed = g.edge(e);
         let cons = schedule.proc_of_task[ed.dst.idx()].idx();
         // resident on the consumer from producer finish to consumer finish
-        events[cons].push((schedule.finish[ed.src.idx()], ed.volume));
-        events[cons].push((schedule.finish[ed.dst.idx()], -ed.volume));
+        events.push((schedule.finish[ed.src.idx()], ed.volume, cons));
+        events.push((schedule.finish[ed.dst.idx()], -ed.volume, cons));
+    }
+    // At equal times apply frees before allocations for a fair peak.
+    events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut cur = vec![0.0f64; cluster.len()];
+    let mut peak = vec![0.0f64; cluster.len()];
+    for &(_, d, p) in &events {
+        cur[p] += d;
+        peak[p] = peak[p].max(cur[p]);
     }
     let mut out = Vec::new();
     for (p, proc) in cluster.iter() {
-        let ev = &mut events[p.idx()];
-        // At equal times apply frees before allocations for a fair peak.
-        ev.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        let mut cur = 0.0f64;
-        let mut peak = 0.0f64;
-        for &(_, d) in ev.iter() {
-            cur += d;
-            peak = peak.max(cur);
-        }
-        if peak > proc.memory * (1.0 + 1e-9) {
+        if peak[p.idx()] > proc.memory * (1.0 + 1e-9) {
             out.push(MemoryViolation {
                 proc: p,
-                peak,
+                peak: peak[p.idx()],
                 capacity: proc.memory,
             });
         }
@@ -315,6 +397,87 @@ mod tests {
         assert_eq!(packed_until, 300.0);
     }
 
+    /// The split rank phase must reproduce `heft` exactly: running the
+    /// EFT phase against a precomputed table is the memoization seam the
+    /// solve cache relies on, so any drift here breaks byte-identical
+    /// replay.
+    #[test]
+    fn heft_with_ranks_matches_heft_bitwise() {
+        for seed in [1u64, 9, 42, 77] {
+            let g = builder::gnp_dag_weighted(35, 0.2, seed);
+            let cluster = dhp_platform::configs::small_cluster();
+            let fresh = heft(&g, &cluster);
+            let ranks = rank_table(&g, &cluster);
+            let memo = heft_with_ranks(&g, &cluster, &ranks);
+            assert_eq!(fresh.proc_of_task, memo.proc_of_task);
+            assert_eq!(fresh.start, memo.start);
+            assert_eq!(fresh.finish, memo.finish);
+            assert_eq!(fresh.makespan.to_bits(), memo.makespan.to_bits());
+            // And the table itself is deterministic.
+            assert_eq!(ranks, rank_table(&g, &cluster));
+        }
+    }
+
+    /// Pin the single-sort memory sweep against a per-processor
+    /// reference accumulation: identical violations, bit-equal peaks.
+    #[test]
+    fn memory_sweep_matches_per_processor_reference() {
+        for seed in [3u64, 11, 23] {
+            let g = builder::gnp_dag_weighted(30, 0.2, seed);
+            // Tight memories so violations actually occur.
+            let cluster = Cluster::new(
+                vec![
+                    Processor::new("a", 1.0, 6.0),
+                    Processor::new("b", 2.0, 6.0),
+                    Processor::new("c", 3.0, 6.0),
+                ],
+                1.0,
+            );
+            let s = heft(&g, &cluster);
+            let got = memory_violations(&g, &cluster, &s);
+
+            // Reference: independent per-processor event sweep.
+            let mut events: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.len()];
+            for u in g.node_ids() {
+                let p = s.proc_of_task[u.idx()].idx();
+                let out_sum: f64 = g.out_edges(u).iter().map(|&e| g.edge(e).volume).sum();
+                events[p].push((s.start[u.idx()], g.node(u).memory + out_sum));
+                events[p].push((s.finish[u.idx()], -(g.node(u).memory + out_sum)));
+            }
+            for e in g.edge_ids() {
+                let ed = g.edge(e);
+                let cons = s.proc_of_task[ed.dst.idx()].idx();
+                events[cons].push((s.finish[ed.src.idx()], ed.volume));
+                events[cons].push((s.finish[ed.dst.idx()], -ed.volume));
+            }
+            let mut want = Vec::new();
+            for (p, proc) in cluster.iter() {
+                let ev = &mut events[p.idx()];
+                ev.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                let mut cur = 0.0f64;
+                let mut peak = 0.0f64;
+                for &(_, d) in ev.iter() {
+                    cur += d;
+                    peak = peak.max(cur);
+                }
+                if peak > proc.memory * (1.0 + 1e-9) {
+                    want.push(MemoryViolation {
+                        proc: p,
+                        peak,
+                        capacity: proc.memory,
+                    });
+                }
+            }
+            assert!(!want.is_empty(), "seed {seed} should overflow");
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.proc, b.proc);
+                assert_eq!(a.peak.to_bits(), b.peak.to_bits());
+                assert_eq!(a.capacity.to_bits(), b.capacity.to_bits());
+            }
+        }
+    }
+
     /// The out-of-order path: an interval starting before the current
     /// head must be inserted at the front, not appended.
     #[test]
@@ -327,5 +490,48 @@ mod tests {
             busy,
             vec![(0.0, 1.0), (5.0, 6.0), (6.5, 7.0), (8.0, 9.0), (9.0, 10.0)]
         );
+    }
+
+    proptest::proptest! {
+        /// Rank memoization is invisible: for arbitrary DAG shapes and
+        /// lease prefixes, `heft_memo` through a solve cache — cold
+        /// (computing + inserting the table) and warm (replaying it) —
+        /// is bit-identical to a fresh `heft` on the lease view, and
+        /// the replayed table equals a freshly derived one.
+        #[test]
+        fn memoized_ranks_match_fresh_ranks(
+            n in 5usize..40,
+            edge_seed in 0u64..1_000,
+            lease in 1usize..5,
+            fingerprint in 0u64..u64::MAX,
+        ) {
+            let g = builder::gnp_dag_weighted(n, 0.25, edge_seed);
+            let cluster = dhp_platform::configs::small_cluster();
+            let ids: Vec<ProcId> =
+                cluster.proc_ids().take(lease.min(cluster.len())).collect();
+            let sub = cluster.subcluster(&ids);
+            let cache = crate::partial::SolveCache::new();
+            let view = crate::partial::CacheView::direct(&cache);
+            let fresh = heft(&g, sub.cluster());
+            let cold = heft_memo(&g, fingerprint, &sub, &view);
+            let warm = heft_memo(&g, fingerprint, &sub, &view);
+            for memo in [&cold, &warm] {
+                proptest::prop_assert_eq!(&fresh.proc_of_task, &memo.proc_of_task);
+                proptest::prop_assert_eq!(
+                    fresh.makespan.to_bits(), memo.makespan.to_bits());
+                for (a, b) in fresh.start.iter().zip(&memo.start) {
+                    proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in fresh.finish.iter().zip(&memo.finish) {
+                    proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            let (hits, misses) = (cache.stats().rank_hits, cache.stats().rank_misses);
+            proptest::prop_assert_eq!((hits, misses), (1, 1));
+            let table = view.rank_table(fingerprint, sub.shape_signature(), || {
+                unreachable!("second probe of a cached key must not recompute")
+            });
+            proptest::prop_assert_eq!(&*table, &rank_table(&g, sub.cluster()));
+        }
     }
 }

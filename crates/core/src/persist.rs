@@ -18,22 +18,28 @@
 //!   leaves the cache exactly as it was (a cold start), never a
 //!   partial restore, and never a panic.
 //!
-//! # Snapshot format (version 1)
+//! # Snapshot format (version 2)
 //!
 //! A little-endian binary frame around length-prefixed JSON records
 //! (the workspace's vendored serde shims provide the JSON):
 //!
-//! | field         | size | meaning                                     |
-//! |---------------|------|---------------------------------------------|
-//! | magic         | 8    | `b"DHPCACHE"`                               |
-//! | version       | 4    | format version, this module writes 1        |
-//! | `config_hash` | 8    | [`SolveCache::config_hash`] of the solver   |
-//! | stripes       | 4    | stripe count at save time (informational)   |
-//! | solves        | 8    | number of solve records in the body         |
-//! | sims          | 8    | number of sim records in the body           |
-//! | body length   | 8    | byte length of the body                     |
-//! | body checksum | 8    | FNV-1a over the body bytes                  |
-//! | body          | var  | records: meta, then solves, then sims       |
+//! | field         | size | meaning                                       |
+//! |---------------|------|-----------------------------------------------|
+//! | magic         | 8    | `b"DHPCACHE"`                                 |
+//! | version       | 4    | format version, this module writes 2          |
+//! | `config_hash` | 8    | [`SolveCache::config_hash`] of the solver     |
+//! | stripes       | 4    | stripe count at save time (informational)     |
+//! | solves        | 8    | number of solve records in the body           |
+//! | sims          | 8    | number of sim records in the body             |
+//! | ranks         | 8    | number of rank-table records in the body      |
+//! | body length   | 8    | byte length of the body                       |
+//! | body checksum | 8    | FNV-1a over the body bytes                    |
+//! | body          | var  | records: meta, solves, sims, then ranks       |
+//!
+//! Version 2 added the rank-table records (and their hit/miss counters
+//! in the meta record). Version-1 snapshots are refused as
+//! [`SnapshotError::WrongVersion`] and degrade to a classified cold
+//! start — the same recovery semantics as any other incompatibility.
 //!
 //! Every record is a `u32` byte length followed by that many bytes of
 //! UTF-8 JSON. All `u64` hashes, recency stamps, and `f64` bit
@@ -60,7 +66,7 @@ use std::time::Duration;
 pub const MAGIC: [u8; 8] = *b"DHPCACHE";
 
 /// The snapshot format version this module reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to load. Every variant is a **cold start**,
 /// never a panic; [`SnapshotError::Missing`] is the expected first-run
@@ -124,6 +130,8 @@ pub struct LoadSummary {
     pub solves: usize,
     /// Simulation outcomes restored.
     pub sims: usize,
+    /// Rank tables restored.
+    pub ranks: usize,
 }
 
 // ------------------------------------------------------------ JSON DTOs
@@ -156,6 +164,8 @@ struct MetaDto {
     evictions: String,
     sim_hits: String,
     sim_misses: String,
+    rank_hits: String,
+    rank_misses: String,
 }
 
 /// A cache key: `(fingerprint, shape, algorithm, config_hash)`.
@@ -259,6 +269,45 @@ impl SimDto {
     }
 }
 
+/// One memoized HEFT rank table, keyed by `(fingerprint, shape)` only
+/// (rank derivation is algorithm- and config-independent). Node ids
+/// travel as plain `u32` indices; ranks as hex `f64` bit patterns.
+#[derive(Serialize, Deserialize)]
+struct RankDto {
+    fp: String,
+    shape: String,
+    topo: Vec<u32>,
+    rank: Vec<String>,
+    by_rank: Vec<u32>,
+}
+
+impl RankDto {
+    fn pack(fp: u64, shape: u64, ranks: &crate::heft::RankTable) -> RankDto {
+        RankDto {
+            fp: hex(fp),
+            shape: hex(shape),
+            topo: ranks.topo.iter().map(|n| n.0).collect(),
+            rank: ranks.rank.iter().copied().map(hex_f64).collect(),
+            by_rank: ranks.by_rank.iter().map(|n| n.0).collect(),
+        }
+    }
+
+    fn unpack(&self) -> Result<((u64, u64), crate::heft::RankTable), SnapshotError> {
+        Ok((
+            (unhex(&self.fp)?, unhex(&self.shape)?),
+            crate::heft::RankTable {
+                topo: self.topo.iter().map(|&n| dhp_dag::NodeId(n)).collect(),
+                rank: self
+                    .rank
+                    .iter()
+                    .map(|s| unhex_f64(s))
+                    .collect::<Result<_, _>>()?,
+                by_rank: self.by_rank.iter().map(|&n| dhp_dag::NodeId(n)).collect(),
+            },
+        ))
+    }
+}
+
 // ------------------------------------------------------------- framing
 
 fn push_record<T: Serialize>(body: &mut Vec<u8>, dto: &T) {
@@ -307,8 +356,8 @@ fn read_u64(bytes: &[u8], at: usize) -> Result<u64, SnapshotError> {
 }
 
 /// Byte offset of the body: magic + version + config_hash + stripes +
-/// solve count + sim count + body length + checksum.
-const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8 + 8 + 8;
+/// solve count + sim count + rank count + body length + checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8 + 8 + 8 + 8;
 
 impl SolveCache {
     /// Serialises the cache to `path` **crash-safely**: the snapshot
@@ -324,6 +373,7 @@ impl SolveCache {
     pub fn save_to(&self, path: &Path, config_hash: u64) -> std::io::Result<()> {
         let solves = self.snapshot_solves();
         let sims = self.snapshot_sims();
+        let ranks = self.snapshot_ranks();
         let stats = self.stats();
 
         let mut body = Vec::new();
@@ -336,6 +386,8 @@ impl SolveCache {
                 evictions: hex(stats.evictions),
                 sim_hits: hex(stats.sim_hits),
                 sim_misses: hex(stats.sim_misses),
+                rank_hits: hex(stats.rank_hits),
+                rank_misses: hex(stats.rank_misses),
             },
         );
         for (key, entry, stamp) in &solves {
@@ -361,6 +413,9 @@ impl SolveCache {
             dto.key = KeyDto::pack(fp, shape, algorithm, chash);
             push_record(&mut body, &dto);
         }
+        for ((fp, shape), table) in &ranks {
+            push_record(&mut body, &RankDto::pack(*fp, *shape, table));
+        }
 
         let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
         frame.extend_from_slice(&MAGIC);
@@ -369,6 +424,7 @@ impl SolveCache {
         frame.extend_from_slice(&(self.stripes() as u32).to_le_bytes());
         frame.extend_from_slice(&(solves.len() as u64).to_le_bytes());
         frame.extend_from_slice(&(sims.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&(ranks.len() as u64).to_le_bytes());
         frame.extend_from_slice(&(body.len() as u64).to_le_bytes());
         frame.extend_from_slice(&fnv1a_bytes(body.iter().copied()).to_le_bytes());
         frame.extend_from_slice(&body);
@@ -441,8 +497,9 @@ impl SolveCache {
         }
         let n_solves = read_u64(&bytes, 24)? as usize;
         let n_sims = read_u64(&bytes, 32)? as usize;
-        let body_len = read_u64(&bytes, 40)? as usize;
-        let checksum = read_u64(&bytes, 48)?;
+        let n_ranks = read_u64(&bytes, 40)? as usize;
+        let body_len = read_u64(&bytes, 48)? as usize;
+        let checksum = read_u64(&bytes, 56)?;
         let body = &bytes[HEADER_LEN..];
         if body.len() != body_len {
             return Err(SnapshotError::Truncated);
@@ -462,6 +519,8 @@ impl SolveCache {
             evictions: unhex(&meta.evictions)?,
             sim_hits: unhex(&meta.sim_hits)?,
             sim_misses: unhex(&meta.sim_misses)?,
+            rank_hits: unhex(&meta.rank_hits)?,
+            rank_misses: unhex(&meta.rank_misses)?,
         };
         let mut solves = Vec::with_capacity(n_solves);
         for _ in 0..n_solves {
@@ -488,6 +547,11 @@ impl SolveCache {
             let key = dto.key.unpack()?;
             sims.push((key, dto.unpack()?));
         }
+        let mut ranks = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let dto: RankDto = records.next()?;
+            ranks.push(dto.unpack()?);
+        }
         if records.pos != body.len() {
             return Err(SnapshotError::Malformed(
                 "trailing bytes after the last record".to_string(),
@@ -500,12 +564,16 @@ impl SolveCache {
         let summary = LoadSummary {
             solves: solves.len(),
             sims: sims.len(),
+            ranks: ranks.len(),
         };
         for (key, solved, stamp) in solves {
             self.restore_solve(key, solved.map(Arc::new), stamp);
         }
         for (key, sim) in sims {
             self.restore_sim(key, Arc::new(sim));
+        }
+        for (key, table) in ranks {
+            self.restore_rank(key, Arc::new(table));
         }
         self.finish_restore(tick, carried);
         Ok(summary)
@@ -594,6 +662,9 @@ mod tests {
                 lanes: vec![(0, 10.0), (1, 2.5)],
             },
         );
+        view.rank_table(graphs[0].fingerprint(), shape, || {
+            crate::heft::rank_table(&graphs[0], sub.cluster())
+        });
         (graphs, shape)
     }
 
@@ -610,9 +681,17 @@ mod tests {
 
         let restored = SolveCache::new();
         let summary = restored.load_from(&path, chash).unwrap();
-        assert_eq!(summary, LoadSummary { solves: 3, sims: 1 });
+        assert_eq!(
+            summary,
+            LoadSummary {
+                solves: 3,
+                sims: 1,
+                ranks: 1
+            }
+        );
         assert_eq!(restored.len(), 3);
         assert_eq!(restored.sim_len(), 1);
+        assert_eq!(restored.rank_len(), 1);
         assert_eq!(restored.stats(), saved_stats, "cumulative stats carry over");
 
         // Warm probes: both solves hit, the sim hits bit-exactly.
@@ -636,10 +715,17 @@ mod tests {
         );
         assert_eq!(sim.makespan, 12.5);
         assert_eq!(sim.lanes, vec![(0, 10.0), (1, 2.5)]);
+        // The restored rank table replays bit-exactly.
+        let fresh = crate::heft::rank_table(&graphs[0], sub.cluster());
+        let warm_ranks = view.rank_table(graphs[0].fingerprint(), shape, || {
+            panic!("restored rank table must hit")
+        });
+        assert_eq!(*warm_ranks, fresh);
         let after = restored.stats();
         assert_eq!(after.hits, saved_stats.hits + graphs.len() as u64);
         assert_eq!(after.misses, saved_stats.misses);
         assert_eq!(after.sim_hits, saved_stats.sim_hits + 1);
+        assert_eq!(after.rank_hits, saved_stats.rank_hits + 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

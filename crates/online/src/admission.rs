@@ -54,13 +54,39 @@
 
 use crate::engine::OnlineConfig;
 use crate::event::EventQueue;
+use crate::federation::probe_pool::solve_batch;
 use crate::lease::{commit_grant, escalation_sizes, Grant};
 use crate::policy::AdmissionPolicy;
 use crate::report::RejectedRecord;
-use crate::state::{ClusterState, InService, Pending};
-use dhp_core::partial::{CacheView, SubClusterSchedule};
+use crate::state::{ClusterState, InService, Pending, ProbeScratch};
+use dhp_core::partial::{schedule_on_subcluster, CacheView, SubClusterSchedule};
 use dhp_core::SchedError;
 use dhp_platform::{Cluster, ProcId, SubCluster};
+use std::collections::HashMap;
+
+/// Speculative pre-solve results for one admission pass, keyed by
+/// `(fingerprint, lease shape)`: the concrete processor prefix the
+/// prediction solved on, plus the solver outcome. Entries are consumed
+/// through [`CacheView::schedule_with`]'s miss closure — every counter
+/// and store effect is charged exactly as if the solver had run inline
+/// — and an entry whose concrete processors no longer match the
+/// probe's (a same-pass grant moved the free set under the prediction)
+/// is dropped, falling back to the inline solve.
+pub(crate) type SpecTable =
+    HashMap<(u64, u64), (Vec<ProcId>, Result<SubClusterSchedule, SchedError>)>;
+
+/// One speculative solve: the predicted cold probe of one backfill
+/// candidate against the pass-entry free set. Pure input for
+/// [`solve_batch`] — carries everything the solver needs and nothing
+/// it could mutate.
+pub(crate) struct SpecJob<'a> {
+    pub(crate) fingerprint: u64,
+    pub(crate) shape: u64,
+    /// The concrete global processors the prediction solves on; the
+    /// consumer substitutes the result only on an exact match.
+    pub(crate) ids: Vec<ProcId>,
+    pub(crate) graph: &'a dhp_dag::Dag,
+}
 
 /// How many queued candidates behind a blocked FIFO head are
 /// solver-evaluated per admission pass under
@@ -145,19 +171,53 @@ pub(crate) fn admission_passes(
     let mut event_resv: Option<(usize, f64)> = None;
     loop {
         let mut changed = false;
-        let mut order = cfg.policy.candidate_order(&state.queue);
-        if cfg.cache_aware && cfg.policy.backfills() && state.queue.len() > 1 {
+        // The FIFO-family's candidate order *is* the live queue order,
+        // so the overhauled pipeline walks the storage in place
+        // (skipping tombstones as it goes) instead of materialising an
+        // index vector per pass — on deep queues that vector write was
+        // the hottest line of the whole engine. Ranked policies and
+        // the cache-aware tiebreak still materialise (they reorder),
+        // reusing a scratch buffer; the legacy path allocates fresh,
+        // as the pre-overhaul driver did.
+        let scan = cfg.fast_admission
+            && !cfg.cache_aware
+            && matches!(
+                cfg.policy,
+                AdmissionPolicy::FifoBackfill | AdmissionPolicy::EasyBackfill
+            );
+        let mut order = if scan {
+            std::mem::take(&mut state.scratch.order) // stays empty
+        } else if cfg.fast_admission {
+            let mut o = std::mem::take(&mut state.scratch.order);
+            cfg.policy
+                .candidate_order_into(&state.queue, &state.dead, &mut o);
+            o
+        } else {
+            cfg.policy.candidate_order(&state.queue)
+        };
+        if cfg.cache_aware && cfg.policy.backfills() && state.queue_len() > 1 {
             // Cache-aware tiebreak: among same-arrival backfill
             // candidates, warm `(fingerprint, shape)` pairs go first.
             // Warmth is sampled at pass entry; same-pass grants may
             // stale it, which only costs tiebreak quality, never
-            // eligibility.
-            let queue_len = state.queue.len();
-            let warm: Vec<bool> = state
-                .queue
-                .iter()
-                .map(|p| warm_in_cache(state, p, cfg, cache, config_hash, queue_len))
-                .collect();
+            // eligibility. (`warm` is indexed by storage slot, so it
+            // is filled for tombstones too — only live slots are ever
+            // consulted through `order`.)
+            let queue_len = state.queue_len();
+            let mut warm: Vec<bool> = Vec::with_capacity(state.queue.len());
+            for p in &state.queue {
+                warm.push(warm_in_cache(
+                    &state.cluster,
+                    &state.mem_order,
+                    &state.free,
+                    p,
+                    cfg,
+                    cache,
+                    config_hash,
+                    queue_len,
+                    &mut state.scratch.free_sorted,
+                ));
+            }
             order.sort_by(|&a, &b| {
                 let (qa, qb) = (&state.queue[a], &state.queue[b]);
                 qa.arrival
@@ -166,6 +226,31 @@ pub(crate) fn admission_passes(
                     .then(qa.id.cmp(&qb.id))
             });
         }
+        // Speculative pre-solve (the parallel-backfill layer): predict
+        // the first-rung solve key of each upcoming candidate against
+        // the pass-entry free set and solve the cold ones on a scoped
+        // thread pool up front. The results are consumed sequentially
+        // in candidate order through `schedule_with`'s miss closure, so
+        // grants commit exactly as on the inline path. The in-place
+        // walk materialises just its prediction window (the first
+        // `BACKFILL_DEPTH` live entries — all speculation ever reads).
+        let mut window = [0usize; BACKFILL_DEPTH];
+        let spec_order: &[usize] = if scan {
+            let mut wlen = 0usize;
+            for qi in 0..state.queue.len() {
+                if wlen == BACKFILL_DEPTH {
+                    break;
+                }
+                if !state.dead[qi] {
+                    window[wlen] = qi;
+                    wlen += 1;
+                }
+            }
+            &window[..wlen]
+        } else {
+            &order
+        };
+        let mut spec = speculate(state, spec_order, cfg, cache, config_hash);
         // Backfilling: once the effective FIFO head fails to place,
         // its reservation caps every later candidate's simulated
         // finish. `None` = no cap (head placeable, or a policy
@@ -182,12 +267,38 @@ pub(crate) fn admission_passes(
         let mut free_speed: f64 = state.free_speed();
         let mut evaluated_backfills = 0usize;
         // Queue indices admitted or rejected this pass.
-        let mut taken: Vec<usize> = Vec::new();
+        let mut taken: Vec<usize> = std::mem::take(&mut state.scratch.taken);
         // EASY: placeable candidates whose finish (or work bound)
         // overshoots the reservation — retried aggressively after
         // every safe grant has been made.
-        let mut deferred: Vec<usize> = Vec::new();
-        for (pos, qi) in order.iter().copied().enumerate() {
+        let mut deferred: Vec<usize> = std::mem::take(&mut state.scratch.deferred);
+        // Candidate walk: `cursor` advances through `order` (ranked)
+        // or raw queue storage (in-place scan); `pos` counts yielded
+        // candidates either way, so it means the same thing the
+        // enumerate position meant on a compacted queue.
+        let mut cursor = 0usize;
+        let mut pos = 0usize;
+        loop {
+            let qi = if scan {
+                while cursor < state.queue.len() && state.dead[cursor] {
+                    cursor += 1;
+                }
+                if cursor >= state.queue.len() {
+                    break;
+                }
+                cursor += 1;
+                cursor - 1
+            } else {
+                if cursor >= order.len() {
+                    break;
+                }
+                cursor += 1;
+                order[cursor - 1]
+            };
+            let pos = {
+                pos += 1;
+                pos - 1
+            };
             if state.free_count == 0 {
                 break;
             }
@@ -209,7 +320,7 @@ pub(crate) fn admission_passes(
                     let head = &state.queue[head_qi.unwrap_or_else(|| {
                         unreachable!("a dirty reservation implies a queue head")
                     })];
-                    let fresh = head_reservation(
+                    let fresh = head_reservation_cached(
                         &state.cluster,
                         &state.mem_order,
                         &state.free,
@@ -219,6 +330,9 @@ pub(crate) fn admission_passes(
                         cfg,
                         cache,
                         config_hash,
+                        state.epoch,
+                        &mut state.resv_cache,
+                        &mut state.scratch,
                     );
                     state.reservations.push(ReservationRecord {
                         at: clock,
@@ -266,8 +380,10 @@ pub(crate) fn admission_passes(
                 cache,
                 config_hash,
                 clock,
-                state.queue.len() - taken.len(),
+                state.queue_len() - taken.len(),
                 state.cluster_id,
+                &mut state.scratch.free_sorted,
+                spec.as_mut(),
             ) {
                 Admit::Granted(grant) => {
                     if let Some(resv) = reservation {
@@ -311,7 +427,7 @@ pub(crate) fn admission_passes(
                                 r
                             }
                             _ => {
-                                let r = head_reservation(
+                                let r = head_reservation_cached(
                                     &state.cluster,
                                     &state.mem_order,
                                     &state.free,
@@ -321,6 +437,9 @@ pub(crate) fn admission_passes(
                                     cfg,
                                     cache,
                                     config_hash,
+                                    state.epoch,
+                                    &mut state.resv_cache,
+                                    &mut state.scratch,
                                 );
                                 state.reservations.push(ReservationRecord {
                                     at: clock,
@@ -371,7 +490,7 @@ pub(crate) fn admission_passes(
                 // on deep queues phase 1 exhausts the shared one,
                 // and EASY's whole point is paying extra probes for
                 // the grants conservative cannot make.
-                for qi in deferred.into_iter().take(BACKFILL_DEPTH) {
+                for qi in deferred.drain(..).take(BACKFILL_DEPTH) {
                     if state.free_count == 0 {
                         break;
                     }
@@ -384,8 +503,10 @@ pub(crate) fn admission_passes(
                         cache,
                         config_hash,
                         clock,
-                        state.queue.len() - taken.len(),
+                        state.queue_len() - taken.len(),
                         state.cluster_id,
+                        &mut state.scratch.free_sorted,
+                        spec.as_mut(),
                     ) else {
                         continue;
                     };
@@ -404,6 +525,7 @@ pub(crate) fn admission_passes(
                             cache,
                             config_hash,
                             resv,
+                            &mut state.scratch,
                         )
                     {
                         continue;
@@ -415,11 +537,36 @@ pub(crate) fn admission_passes(
                 }
             }
         }
-        // Compact the queue: indices taken this pass, removed back
-        // to front so the remaining indices stay valid.
-        taken.sort_unstable_by(|a, b| b.cmp(a));
-        for qi in taken {
-            state.queue.remove(qi);
+        // Remove the taken entries. The overhauled pipeline tombstones
+        // them and sweeps the storage only once half of it is dead —
+        // each queue entry moves O(1) times over its whole lifetime.
+        // The legacy path removes per index, shifting the whole tail
+        // every time (O(grants × queue) — the single hottest cost in
+        // the pre-overhaul profile, and exactly what
+        // `fast_admission: false` pins for the A/B measurement).
+        if cfg.fast_admission {
+            for &qi in &taken {
+                state.dead[qi] = true;
+            }
+            state.dead_count += taken.len();
+            if state.dead_count * 2 > state.queue.len() {
+                state.compact_queue();
+            }
+        } else {
+            taken.sort_unstable_by(|a, b| b.cmp(a));
+            for qi in taken.iter().copied() {
+                state.queue.remove(qi);
+                state.dead.pop();
+            }
+        }
+        // Restore the pass buffers for the next pass (or event).
+        taken.clear();
+        deferred.clear();
+        state.scratch.taken = taken;
+        state.scratch.deferred = deferred;
+        if cfg.fast_admission {
+            order.clear();
+            state.scratch.order = order;
         }
         if !changed {
             break;
@@ -431,23 +578,21 @@ pub(crate) fn admission_passes(
 /// carve for it right now — already has a memoized solve. Consulted by
 /// the cache-aware tiebreak; never touches the cache's statistics or
 /// LRU order.
+#[allow(clippy::too_many_arguments)]
 fn warm_in_cache(
-    state: &ClusterState,
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
     cand: &Pending,
     cfg: &OnlineConfig,
     cache: &CacheView,
     config_hash: u64,
     queue_len: usize,
+    free_sorted: &mut Vec<ProcId>,
 ) -> bool {
-    let free_sorted: Vec<ProcId> = state
-        .mem_order
-        .iter()
-        .copied()
-        .filter(|p| state.free[p.idx()])
-        .collect();
-    if free_sorted.is_empty()
-        || cand.max_task_req > state.cluster.memory(free_sorted[0]) * (1.0 + 1e-9)
-    {
+    free_sorted.clear();
+    free_sorted.extend(mem_order.iter().copied().filter(|p| free[p.idx()]));
+    if free_sorted.is_empty() || cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
         return false;
     }
     // The same load-aware target `try_admit` will use, so the probed
@@ -458,13 +603,90 @@ fn warm_in_cache(
         .lease
         .target_under_load(cand.submission.instance.graph.node_count(), queue_len);
     let size = target.clamp(1, free_sorted.len());
-    let sub = state.cluster.subcluster(&free_sorted[..size]);
-    cache.is_warm(
-        cand.fingerprint,
-        sub.shape_signature(),
-        cfg.algorithm,
-        config_hash,
-    )
+    // Shape straight off the id slice — bit-equal to the materialised
+    // view's signature, without constructing one.
+    let shape = cluster.shape_of_slice(&free_sorted[..size]);
+    cache.is_warm(cand.fingerprint, shape, cfg.algorithm, config_hash)
+}
+
+/// Gathers and parallel-pre-solves the cold first-rung solve keys the
+/// upcoming pass is about to probe: for each of the first
+/// [`BACKFILL_DEPTH`] candidates in pass order, the lease prefix the
+/// engine would carve *right now* is predicted against the pass-entry
+/// free set, screened for memory, and — when the key is cold
+/// ([`CacheView::peek_is_cold`]) — solved on the scoped probe pool.
+/// Returns `None` when speculation is off (`fast_admission` false or
+/// `--serial-federation`), when the cache is disabled (`peek_is_cold`
+/// reports everything warm, keeping the solver-invocation counters
+/// honest), or when fewer than two jobs are cold (a pool for one job
+/// is pure overhead — the inline probe pays the same solve).
+fn speculate(
+    state: &mut ClusterState,
+    order: &[usize],
+    cfg: &OnlineConfig,
+    cache: &CacheView,
+    config_hash: u64,
+) -> Option<SpecTable> {
+    if !cfg.fast_admission || cfg.serial_federation {
+        return None;
+    }
+    // Like `run_phase`, the pool only exists where it can actually
+    // overlap work: on a single-core host every speculative solve is
+    // serial overhead paid up front (and some predictions are for
+    // probes the pass's cheap work-bound screen will skip entirely),
+    // so the pass solves inline instead. Probed once — the affinity
+    // syscall is too expensive for a per-pass check.
+    static HOST_CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores =
+        *HOST_CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    if cores < 2 {
+        return None;
+    }
+    let ClusterState {
+        cluster,
+        mem_order,
+        free,
+        queue,
+        scratch,
+        ..
+    } = state;
+    let free_sorted = &mut scratch.free_sorted;
+    free_sorted.clear();
+    free_sorted.extend(mem_order.iter().copied().filter(|p| free[p.idx()]));
+    if free_sorted.is_empty() {
+        return None;
+    }
+    let queue_len = queue.len();
+    let mut jobs: Vec<SpecJob<'_>> = Vec::new();
+    for &qi in order.iter().take(BACKFILL_DEPTH) {
+        let cand = &queue[qi];
+        if cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
+            continue;
+        }
+        let g = &cand.submission.instance.graph;
+        let target = cfg.lease.target_under_load(g.node_count(), queue_len);
+        let size = target.clamp(1, free_sorted.len());
+        let shape = cluster.shape_of_slice(&free_sorted[..size]);
+        if !cache.peek_is_cold(cand.fingerprint, shape, cfg.algorithm, config_hash) {
+            continue;
+        }
+        if jobs
+            .iter()
+            .any(|j| j.fingerprint == cand.fingerprint && j.shape == shape)
+        {
+            continue;
+        }
+        jobs.push(SpecJob {
+            fingerprint: cand.fingerprint,
+            shape,
+            ids: free_sorted[..size].to_vec(),
+            graph: g,
+        });
+    }
+    if jobs.len() < 2 {
+        return None;
+    }
+    Some(solve_batch(cluster, jobs, cfg))
 }
 
 /// The single lease search shared by admission ([`try_admit`]) and the
@@ -490,12 +712,11 @@ fn find_placement(
     cache: &CacheView,
     config_hash: u64,
     target: usize,
+    free_sorted: &mut Vec<ProcId>,
+    mut spec: Option<&mut SpecTable>,
 ) -> Probe {
-    let free_sorted: Vec<ProcId> = mem_order
-        .iter()
-        .copied()
-        .filter(|p| free[p.idx()])
-        .collect();
+    free_sorted.clear();
+    free_sorted.extend(mem_order.iter().copied().filter(|p| free[p.idx()]));
     if free_sorted.is_empty() {
         return Probe::Unplaceable {
             whole_cluster_free: false,
@@ -512,14 +733,27 @@ fn find_placement(
     let g = &cand.submission.instance.graph;
     for size in escalation_sizes(target, free_sorted.len()) {
         let sub = cluster.subcluster(&free_sorted[..size]);
-        match cache.schedule(
-            g,
-            cand.fingerprint,
-            &sub,
-            cfg.algorithm,
-            &cfg.solver,
-            config_hash,
-        ) {
+        let spec = spec.as_deref_mut();
+        // The miss closure consults the speculation table before paying
+        // the inline solve: a pre-solved entry substitutes only when it
+        // was computed for *exactly* these global processors (a key
+        // collision with a moved free set would be wrong even when the
+        // shape matches). Consumption through the closure keeps every
+        // counter, insert, and LRU effect identical to an inline solve.
+        let solved =
+            cache.schedule_with(cand.fingerprint, &sub, cfg.algorithm, config_hash, || {
+                if let Some(table) = spec {
+                    if let Some((ids, result)) =
+                        table.remove(&(cand.fingerprint, sub.shape_signature()))
+                    {
+                        if ids == sub.global_ids() {
+                            return result;
+                        }
+                    }
+                }
+                schedule_on_subcluster(g, &sub, cfg.algorithm, &cfg.solver)
+            });
+        match solved {
             Err(SchedError::NoSolution) => continue,
             Ok(sched) => return Probe::Placed { sub, sched },
         }
@@ -542,6 +776,8 @@ pub(crate) fn try_admit(
     clock: f64,
     queue_len: usize,
     cluster_id: Option<usize>,
+    free_sorted: &mut Vec<ProcId>,
+    spec: Option<&mut SpecTable>,
 ) -> Admit {
     let g = &cand.submission.instance.graph;
     let target = cfg.lease.target_under_load(g.node_count(), queue_len);
@@ -554,6 +790,8 @@ pub(crate) fn try_admit(
         cache,
         config_hash,
         target,
+        free_sorted,
+        spec,
     ) {
         Probe::Placed { sub, sched } => (sub, sched),
         Probe::MemoryBlocked {
@@ -589,11 +827,13 @@ pub(crate) fn try_admit(
 }
 
 /// Solver feasibility only — can `cand` be placed on the processors
-/// marked free in `free`? Shares [`find_placement`] with [`try_admit`]
-/// (the reservation scan only needs a yes/no, but the solve it pays
-/// for stays in the cache for the eventual admission to reuse). Also
-/// the probe behind federation's `best-fit` routing and cross-cluster
-/// spillover.
+/// marked free in `free`? Keeps [`find_placement`]'s key, counter, and
+/// cache-insert semantics (the reservation scan only needs a yes/no,
+/// but the solve it pays for stays in the cache for the eventual
+/// admission to reuse) while skipping the schedule materialisation and
+/// the `SubCluster` construction on cache hits. Also the probe behind
+/// federation's `best-fit` routing and cross-cluster spillover.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn can_place(
     cluster: &Cluster,
     mem_order: &[ProcId],
@@ -602,23 +842,50 @@ pub(crate) fn can_place(
     cfg: &OnlineConfig,
     cache: &CacheView,
     config_hash: u64,
+    free_sorted: &mut Vec<ProcId>,
 ) -> bool {
     let target = cfg
         .lease
         .target(cand.submission.instance.graph.node_count());
-    matches!(
-        find_placement(
+    if !cfg.fast_admission {
+        // The measured pre-overhaul path: materialise every probe
+        // through the full placement search.
+        return matches!(
+            find_placement(
+                cluster,
+                mem_order,
+                free,
+                cand,
+                cfg,
+                cache,
+                config_hash,
+                target,
+                free_sorted,
+                None,
+            ),
+            Probe::Placed { .. }
+        );
+    }
+    free_sorted.clear();
+    free_sorted.extend(mem_order.iter().copied().filter(|p| free[p.idx()]));
+    if free_sorted.is_empty() || cand.max_task_req > cluster.memory(free_sorted[0]) * (1.0 + 1e-9) {
+        return false;
+    }
+    let g = &cand.submission.instance.graph;
+    for size in escalation_sizes(target, free_sorted.len()) {
+        if cache.feasible(
+            g,
+            cand.fingerprint,
             cluster,
-            mem_order,
-            free,
-            cand,
-            cfg,
-            cache,
+            &free_sorted[..size],
+            cfg.algorithm,
+            &cfg.solver,
             config_hash,
-            target
-        ),
-        Probe::Placed { .. }
-    )
+        ) {
+            return true;
+        }
+    }
+    false
 }
 
 /// The blocked FIFO head's reservation: pending completions are
@@ -642,53 +909,115 @@ pub(crate) fn head_reservation(
     cfg: &OnlineConfig,
     cache: &CacheView,
     config_hash: u64,
+    scratch: &mut ProbeScratch,
 ) -> f64 {
+    let ProbeScratch {
+        free_sorted,
+        hyp,
+        pending,
+        ..
+    } = scratch;
     // Stale heap entries (superseded by an elastic growth) free
     // nothing; only live completions participate in the replay.
-    let mut pending: Vec<&crate::event::Completion> = events
-        .iter()
-        .filter(|c| {
-            in_service[c.slot]
-                .as_ref()
-                .is_some_and(|s| s.live_seq == c.seq)
-        })
-        .collect();
-    pending.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+    pending.clear();
+    pending.extend(events.iter().filter_map(|c| {
+        in_service[c.slot]
+            .as_ref()
+            .is_some_and(|s| s.live_seq == c.seq)
+            .then_some((c.time, c.seq, c.slot))
+    }));
+    pending.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     // Placeable once completions[0..=i] have freed their leases?
-    let feasible_after = |i: usize| -> bool {
-        let mut hypothetical = free.to_vec();
-        for c in &pending[..=i] {
-            let done = in_service[c.slot]
+    let feasible_after = |i: usize, hyp: &mut Vec<bool>, free_sorted: &mut Vec<ProcId>| -> bool {
+        hyp.clear();
+        hyp.extend_from_slice(free);
+        for &(_, _, slot) in &pending[..=i] {
+            let done = in_service[slot]
                 .as_ref()
                 .unwrap_or_else(|| unreachable!("a pending completion holds its slot"));
             for &p in &done.placement.lease {
-                hypothetical[p.idx()] = true;
+                hyp[p.idx()] = true;
             }
         }
         can_place(
             cluster,
             mem_order,
-            &hypothetical,
+            hyp,
             cand,
             cfg,
             cache,
             config_hash,
+            free_sorted,
         )
     };
-    if pending.is_empty() || !feasible_after(pending.len() - 1) {
+    if pending.is_empty() || !feasible_after(pending.len() - 1, hyp, free_sorted) {
         return f64::INFINITY;
     }
     // Smallest i with feasible_after(i); invariant: feasible at `hi`.
     let (mut lo, mut hi) = (0usize, pending.len() - 1);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if feasible_after(mid) {
+        if feasible_after(mid, hyp, free_sorted) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    pending[hi].time
+    pending[hi].0
+}
+
+/// [`head_reservation`] behind the incremental validity token: the
+/// reservation for a given head is a pure function of the free set,
+/// the completion heap, and the in-service table, all of which move
+/// only at the mutation points that bump
+/// [`ClusterState::epoch`](crate::state::ClusterState). While the
+/// token `(epoch, head id)` matches, the cached value is returned
+/// without replaying a single solver probe.
+///
+/// Reuse is gated off under `cache_aware` ordering — there the probes'
+/// cache-warmth side effects are scheduling-visible, and skipping them
+/// would perturb the very tiebreak they feed — and under
+/// `fast_admission = false` (the measured baseline recomputes
+/// everything, exactly as the pre-overhaul engine did).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn head_reservation_cached(
+    cluster: &Cluster,
+    mem_order: &[ProcId],
+    free: &[bool],
+    events: &EventQueue,
+    in_service: &[Option<InService>],
+    cand: &Pending,
+    cfg: &OnlineConfig,
+    cache: &CacheView,
+    config_hash: u64,
+    epoch: u64,
+    resv_cache: &mut Option<(u64, usize, f64)>,
+    scratch: &mut ProbeScratch,
+) -> f64 {
+    let reusable = cfg.fast_admission && !cfg.cache_aware;
+    if reusable {
+        if let Some((e, id, r)) = *resv_cache {
+            if e == epoch && id == cand.id {
+                return r;
+            }
+        }
+    }
+    let r = head_reservation(
+        cluster,
+        mem_order,
+        free,
+        events,
+        in_service,
+        cand,
+        cfg,
+        cache,
+        config_hash,
+        scratch,
+    );
+    if reusable {
+        *resv_cache = Some((epoch, cand.id, r));
+    }
+    r
 }
 
 /// The shared head-placeability replay: with `exclude` (a candidate's
@@ -719,8 +1048,13 @@ pub(crate) fn head_fits_at(
     cache: &CacheView,
     config_hash: u64,
     resv: f64,
+    scratch: &mut ProbeScratch,
 ) -> bool {
-    let mut hyp = free.to_vec();
+    let ProbeScratch {
+        free_sorted, hyp, ..
+    } = scratch;
+    hyp.clear();
+    hyp.extend_from_slice(free);
     for &p in exclude {
         hyp[p.idx()] = false;
     }
@@ -736,5 +1070,14 @@ pub(crate) fn head_fits_at(
             }
         }
     }
-    can_place(cluster, mem_order, &hyp, head, cfg, cache, config_hash)
+    can_place(
+        cluster,
+        mem_order,
+        hyp,
+        head,
+        cfg,
+        cache,
+        config_hash,
+        free_sorted,
+    )
 }

@@ -135,6 +135,18 @@ pub struct OnlineConfig {
     /// first admission and rewrites it crash-safely at exit. `None`
     /// (default) keeps the cache purely in-memory.
     pub persist: Option<PersistSpec>,
+    /// The admission hot-path overhaul (default on): feasibility probes
+    /// skip schedule materialisation, the blocked head's reservation is
+    /// reused under an epoch validity token, and cold backfill probes
+    /// are pre-solved on a scoped worker pool. Every scheduling outcome
+    /// and every report byte is identical either way (the optimisations
+    /// are replays or reorderings of work the engine would do anyway;
+    /// pinned by the digest suites) — `false` restores the
+    /// pre-overhaul execution strategy as the measured baseline for
+    /// `admission_hotpath` benchmarks. Speculative pre-solving is
+    /// additionally disabled by [`OnlineConfig::serial_federation`],
+    /// which forces every code path single-threaded.
+    pub fast_admission: bool,
 }
 
 /// Where (and how often) a run persists its solve cache.
@@ -169,6 +181,7 @@ impl Default for OnlineConfig {
             elastic_shrink: None,
             serial_federation: false,
             persist: None,
+            fast_admission: true,
         }
     }
 }
@@ -240,7 +253,7 @@ pub fn serve_with_cache(
         let arrival_time = subs.get(next_arrival).map(|s| s.arrival);
         let completion_time = state.next_completion_time();
         match (completion_time, arrival_time) {
-            (None, None) if state.queue.is_empty() => break,
+            (None, None) if state.queue_is_empty() => break,
             (None, None) => {
                 // Queue non-empty with nothing in flight: every
                 // processor is free, so the admission pass below must
@@ -325,6 +338,8 @@ pub(crate) fn diff_stats(a: SolveCacheStats, b: SolveCacheStats) -> SolveCacheSt
         evictions: a.evictions - b.evictions,
         sim_hits: a.sim_hits - b.sim_hits,
         sim_misses: a.sim_misses - b.sim_misses,
+        rank_hits: a.rank_hits - b.rank_hits,
+        rank_misses: a.rank_misses - b.rank_misses,
     }
 }
 
@@ -523,6 +538,8 @@ pub(crate) fn finalize(
                 solve_cache_evictions: pre.evictions + batch.evictions,
                 sim_cache_hits: pre.sim_hits + batch.sim_hits,
                 sim_cache_misses: pre.sim_misses + batch.sim_misses,
+                rank_cache_hits: pre.rank_hits + batch.rank_hits,
+                rank_cache_misses: pre.rank_misses + batch.rank_misses,
                 lease_grown,
                 lease_shrunk,
                 lost: lost_count,

@@ -82,6 +82,7 @@
 mod clock;
 mod membership;
 mod merge;
+pub(crate) mod probe_pool;
 mod rebalance;
 mod routing;
 mod shard;
@@ -213,7 +214,7 @@ fn serve_loop(
             .iter()
             .filter_map(|sh| sh.state.next_completion_time())
             .min_by(|a, b| a.total_cmp(b));
-        let queues_empty = shards.iter().all(|sh| sh.state.queue.is_empty());
+        let queues_empty = shards.iter().all(|sh| sh.state.queue_is_empty());
         match clock::next_event(completion_time, membership_time, arrival_time, queues_empty) {
             NextEvent::Idle => break,
             // Some queue is non-empty with nothing in flight anywhere:

@@ -1,0 +1,77 @@
+//! The admission probe pool: scoped worker threads that pre-solve the
+//! cold placement probes one admission pass is about to pay for.
+//!
+//! Speculation never changes what the pass computes — only *where* the
+//! solver runs. The jobs handed to [`solve_batch`] are pure
+//! `(graph, subcluster, algorithm, solver config)` solves with no
+//! access to the cache or the cluster state, and the pass consumes the
+//! results strictly in candidate order through
+//! [`CacheView::schedule_with`](dhp_core::partial::CacheView::schedule_with)'s
+//! miss closure, so every counter, cache insert, and grant decision is
+//! byte-identical to the sequential engine. A stale prediction (the
+//! free set moved between prediction and probe) fails the exact
+//! global-processor match in the consumer and is simply dropped — the
+//! probe then solves inline as if speculation never happened.
+//!
+//! Each job is solved with `parallel: false` forced on the solver —
+//! pool-level parallelism replaces solver-level parallelism rather
+//! than multiplying it, and the two drivers are value-equivalent (the
+//! documented tie-break guarantee the engine's baseline batch already
+//! relies on).
+
+use crate::admission::{SpecJob, SpecTable};
+use dhp_core::partial::schedule_on_subcluster;
+use dhp_core::DagHetPartConfig;
+use dhp_platform::Cluster;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::engine::OnlineConfig;
+
+/// Solve every job on a scoped pool and key the outcomes by
+/// `(fingerprint, shape)`. Blocks until all jobs are done; the caller
+/// holds no locks while this runs.
+pub(crate) fn solve_batch(
+    cluster: &Cluster,
+    jobs: Vec<SpecJob<'_>>,
+    cfg: &OnlineConfig,
+) -> SpecTable {
+    // Pool-level parallelism replaces solver-level parallelism.
+    let solver = DagHetPartConfig {
+        parallel: false,
+        ..cfg.solver.clone()
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len());
+    let results: Vec<Mutex<Option<_>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[j];
+                let sub = cluster.subcluster(&job.ids);
+                *results[j].lock() = Some(schedule_on_subcluster(
+                    job.graph,
+                    &sub,
+                    cfg.algorithm,
+                    &solver,
+                ));
+            });
+        }
+    });
+    jobs.into_iter()
+        .zip(results)
+        .map(|(job, slot)| {
+            let result = slot
+                .into_inner()
+                .unwrap_or_else(|| unreachable!("every job index is claimed exactly once"));
+            ((job.fingerprint, job.shape), (job.ids, result))
+        })
+        .collect()
+}

@@ -69,7 +69,14 @@ pub(super) fn spill(
     let mut moved = 0u64;
     let mut moved_ids: HashSet<usize> = HashSet::new();
     let mut drained_sources: Vec<usize> = Vec::new();
+    // Probe buffer local to the sweep: the shards' own scratch arenas
+    // are unreachable here (every probe borrows two shards at once),
+    // and spillover is off the admission hot path.
+    let mut buf = Vec::new();
     for i in 0..n {
+        // The sweep walks and splices raw queue storage, so fold any
+        // admission tombstones out of it first (no-op when none).
+        shards[i].state.compact_queue();
         let mut qi = 0usize;
         let mut probed = 0usize;
         while qi < shards[i].state.queue.len() && probed < BACKFILL_DEPTH {
@@ -98,6 +105,7 @@ pub(super) fn spill(
                         cfg,
                         &view,
                         config_hash,
+                        &mut buf,
                     )
                 };
                 shards[i].account = account;
@@ -108,6 +116,7 @@ pub(super) fn spill(
             }
             if let Some(j) = dest {
                 let p = shards[i].state.queue.remove(qi);
+                shards[i].state.dead.pop();
                 moved_ids.insert(p.id);
                 shards[j].state.insert_pending(p);
                 moved += 1;

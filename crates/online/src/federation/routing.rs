@@ -131,6 +131,11 @@ pub(super) fn route(
         RoutingPolicy::BestFit => {
             let probe = probe_pending(s);
             let mut best: Option<(f64, usize)> = None;
+            // Probe buffer local to the sweep: the members' own scratch
+            // arenas are unreachable here (the loop already borrows
+            // across shard indices), and routing is off the admission
+            // hot path.
+            let mut buf = Vec::new();
             for &j in &pool {
                 let shard = &mut shards[j];
                 // A live view over the probed member's own account: the
@@ -146,6 +151,7 @@ pub(super) fn route(
                         cfg,
                         &view,
                         config_hash,
+                        &mut buf,
                     )
                 };
                 shard.account = account;

@@ -1,0 +1,278 @@
+//! Hot-path pins: the probe scratch arenas really are allocation-free
+//! in steady state, and the reservation token's reuse/invalidations
+//! behave exactly as documented.
+//!
+//! The allocation assertions use a counting [`GlobalAlloc`] wrapper
+//! installed for this test binary. The counter is **per thread**
+//! (const-initialised TLS, so the bookkeeping itself never allocates),
+//! which keeps the assertions exact while the harness runs other
+//! tests on sibling threads.
+
+use crate::admission::{can_place, head_fits_at, head_reservation_cached};
+use crate::engine::OnlineConfig;
+use crate::event::EventQueue;
+use crate::state::{ClusterState, Pending};
+use crate::submission::single_task;
+use dhp_core::partial::{CacheView, SolveCache};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static LOCAL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counter update is
+// TLS-teardown-safe via `try_with` and allocation-free (const-init
+// `Cell`).
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap allocations made by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = LOCAL_ALLOCS.with(|c| c.get());
+    f();
+    LOCAL_ALLOCS.with(|c| c.get()) - before
+}
+
+fn pending(id: usize, work: f64, memory: f64) -> Pending {
+    let submission = single_task(id, 0.0, work, memory, &format!("hot-{id}"));
+    Pending {
+        id,
+        arrival: 0.0,
+        total_work: work,
+        max_task_req: memory,
+        fingerprint: submission.instance.graph.fingerprint(),
+        requeues: 0,
+        submission,
+    }
+}
+
+/// After one cold probe has filled the solve cache and sized the
+/// scratch arenas, repeated warm feasibility probes and head-fit
+/// replays touch the heap exactly zero times — the tentpole's
+/// steady-state guarantee.
+#[test]
+fn warm_probes_are_allocation_free() {
+    let cluster = dhp_platform::configs::small_cluster();
+    let cfg = OnlineConfig::default();
+    let cache = SolveCache::new();
+    let view = CacheView::direct(&cache);
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let mut state = ClusterState::new(&cluster, None);
+    let cand = pending(0, 40.0, 2.0);
+    let events = EventQueue::new();
+    let in_service: Vec<Option<crate::state::InService>> = Vec::new();
+
+    // Cold pass: solver runs, cache fills, scratch buffers grow.
+    for _ in 0..2 {
+        assert!(can_place(
+            &cluster,
+            &state.mem_order,
+            &state.free,
+            &cand,
+            &cfg,
+            &view,
+            config_hash,
+            &mut state.scratch.free_sorted,
+        ));
+    }
+    let warmup = head_fits_at(
+        &cluster,
+        &state.mem_order,
+        &state.free,
+        &[],
+        None,
+        &events,
+        &in_service,
+        &cand,
+        &cfg,
+        &view,
+        config_hash,
+        0.0,
+        &mut state.scratch,
+    );
+    assert!(warmup);
+
+    let probes = allocations_in(|| {
+        for _ in 0..100 {
+            assert!(can_place(
+                &cluster,
+                &state.mem_order,
+                &state.free,
+                &cand,
+                &cfg,
+                &view,
+                config_hash,
+                &mut state.scratch.free_sorted,
+            ));
+        }
+    });
+    assert_eq!(probes, 0, "warm feasibility probes must not allocate");
+
+    let replays = allocations_in(|| {
+        for _ in 0..100 {
+            assert!(head_fits_at(
+                &cluster,
+                &state.mem_order,
+                &state.free,
+                &[],
+                None,
+                &events,
+                &in_service,
+                &cand,
+                &cfg,
+                &view,
+                config_hash,
+                0.0,
+                &mut state.scratch,
+            ));
+        }
+    });
+    assert_eq!(replays, 0, "warm head-fit replays must not allocate");
+}
+
+/// The slow baseline still allocates (it materialises every probe), so
+/// the zero above is the overhaul's doing, not the counter's.
+#[test]
+fn the_slow_baseline_still_allocates() {
+    let cluster = dhp_platform::configs::small_cluster();
+    let cfg = OnlineConfig {
+        fast_admission: false,
+        ..OnlineConfig::default()
+    };
+    let cache = SolveCache::new();
+    let view = CacheView::direct(&cache);
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let mut state = ClusterState::new(&cluster, None);
+    let cand = pending(1, 40.0, 2.0);
+    for _ in 0..2 {
+        can_place(
+            &cluster,
+            &state.mem_order,
+            &state.free,
+            &cand,
+            &cfg,
+            &view,
+            config_hash,
+            &mut state.scratch.free_sorted,
+        );
+    }
+    let n = allocations_in(|| {
+        for _ in 0..10 {
+            can_place(
+                &cluster,
+                &state.mem_order,
+                &state.free,
+                &cand,
+                &cfg,
+                &view,
+                config_hash,
+                &mut state.scratch.free_sorted,
+            );
+        }
+    });
+    assert!(
+        n > 0,
+        "the legacy path materialises probes and must allocate"
+    );
+}
+
+/// The reservation token: a matching `(epoch, head)` replays the
+/// memoized value without touching a solver; a moved epoch or a
+/// different head forces a fresh computation; `cache_aware` disables
+/// reuse outright (warm-probe side effects are scheduling-visible
+/// there).
+#[test]
+fn reservation_token_reuse_and_invalidation() {
+    let cluster = dhp_platform::configs::small_cluster();
+    let cfg = OnlineConfig::default();
+    let cache = SolveCache::new();
+    let view = CacheView::direct(&cache);
+    let config_hash = SolveCache::config_hash(&cfg.solver);
+    let state = ClusterState::new(&cluster, None);
+    let cand = pending(7, 40.0, 2.0);
+    let events = EventQueue::new();
+    let in_service: Vec<Option<crate::state::InService>> = Vec::new();
+    let mut scratch = crate::state::ProbeScratch::default();
+    let mut resv_cache = None;
+
+    let compute = |epoch: u64,
+                   resv_cache: &mut Option<(u64, usize, f64)>,
+                   scratch: &mut crate::state::ProbeScratch,
+                   cfg: &OnlineConfig| {
+        head_reservation_cached(
+            &cluster,
+            &state.mem_order,
+            &state.free,
+            &events,
+            &in_service,
+            &cand,
+            cfg,
+            &view,
+            config_hash,
+            epoch,
+            resv_cache,
+            scratch,
+        )
+    };
+
+    // No pending completions: the reservation is INFINITY, and the
+    // token is stored.
+    let r = compute(0, &mut resv_cache, &mut scratch, &cfg);
+    assert_eq!(r, f64::INFINITY);
+    assert_eq!(resv_cache, Some((0, cand.id, f64::INFINITY)));
+
+    // A matching token short-circuits: plant a sentinel and watch it
+    // come back untouched.
+    resv_cache = Some((0, cand.id, 123.5));
+    assert_eq!(compute(0, &mut resv_cache, &mut scratch, &cfg), 123.5);
+
+    // A moved epoch invalidates — the sentinel is recomputed away.
+    assert_eq!(
+        compute(1, &mut resv_cache, &mut scratch, &cfg),
+        f64::INFINITY
+    );
+    assert_eq!(resv_cache, Some((1, cand.id, f64::INFINITY)));
+
+    // A different head invalidates too.
+    resv_cache = Some((1, cand.id + 1, 99.0));
+    assert_eq!(
+        compute(1, &mut resv_cache, &mut scratch, &cfg),
+        f64::INFINITY
+    );
+
+    // cache_aware: the sentinel is ignored *and* nothing is stored.
+    let aware = OnlineConfig {
+        cache_aware: true,
+        ..OnlineConfig::default()
+    };
+    resv_cache = Some((2, cand.id, 123.5));
+    assert_eq!(
+        compute(2, &mut resv_cache, &mut scratch, &aware),
+        f64::INFINITY
+    );
+    assert_eq!(
+        resv_cache,
+        Some((2, cand.id, 123.5)),
+        "cache-aware runs must leave the token alone"
+    );
+}

@@ -9,7 +9,7 @@
 //! processors (driven by `run_growth` at completion events whose
 //! freed processors would otherwise idle).
 
-use crate::admission::{admission_passes, head_fits_at, head_reservation, BACKFILL_DEPTH};
+use crate::admission::{admission_passes, head_fits_at, head_reservation_cached, BACKFILL_DEPTH};
 use crate::engine::OnlineConfig;
 use crate::report::WorkflowRecord;
 use crate::state::{ClusterState, InService, Pending, Placement, Regrow};
@@ -195,6 +195,7 @@ pub(crate) fn commit_grant(grant: Grant, fingerprint: u64, state: &mut ClusterSt
         task_proc,
         busy,
     }));
+    state.bump_epoch();
     lease_speed
 }
 
@@ -203,17 +204,13 @@ pub(crate) fn commit_grant(grant: Grant, fingerprint: u64, state: &mut ClusterSt
 /// "all free processors" keeps one workflow from monopolising the
 /// cluster and serialising the fleet; feasibility outranks the sizing
 /// cap, so escalation may exceed `max_procs`.
-pub(crate) fn escalation_sizes(target: usize, cap: usize) -> Vec<usize> {
-    let mut sizes = Vec::new();
-    let mut size = target.clamp(1, cap);
-    loop {
-        sizes.push(size);
-        if size == cap {
-            break;
-        }
-        size = (size * 2).min(cap);
-    }
-    sizes
+pub(crate) fn escalation_sizes(target: usize, cap: usize) -> impl Iterator<Item = usize> {
+    let mut next = Some(target.clamp(1, cap));
+    std::iter::from_fn(move || {
+        let size = next?;
+        next = (size != cap).then(|| (size * 2).min(cap));
+        Some(size)
+    })
 }
 
 /// The elastic-growth step run after the admission passes of an event:
@@ -237,7 +234,7 @@ pub(crate) fn run_growth(
     if let Some(threshold) = cfg.elastic {
         while state.growth_pending
             && !arrivals_pending
-            && state.queue.len() < threshold
+            && state.queue_len() < threshold
             && state.free_count > 0
             && grow_lease(state, cfg, cache, config_hash, clock)
         {
@@ -300,9 +297,15 @@ fn grow_lease(
     // waiting, the head's current reservation is computed once, and
     // every swap below must honour it — elastic growth must not seize
     // the processors the head's promise assumed would be free.
-    let head_guard: Option<(&Pending, f64)> = match state.queue.first() {
+    let head_guard: Option<(&Pending, f64)> = match state
+        .queue
+        .iter()
+        .zip(&state.dead)
+        .find(|(_, &d)| !d)
+        .map(|(p, _)| p)
+    {
         Some(head) if cfg.policy.backfills() => {
-            let resv = head_reservation(
+            let resv = head_reservation_cached(
                 &state.cluster,
                 &state.mem_order,
                 &state.free,
@@ -312,6 +315,9 @@ fn grow_lease(
                 cfg,
                 cache,
                 config_hash,
+                state.epoch,
+                &mut state.resv_cache,
+                &mut state.scratch,
             );
             resv.is_finite().then_some((head, resv))
         }
@@ -403,6 +409,7 @@ fn grow_lease(
                     cache,
                     config_hash,
                     resv,
+                    &mut state.scratch,
                 )
             {
                 continue;
@@ -469,6 +476,9 @@ fn grow_lease(
             suffix_dag: s.dag,
             mapping: s.schedule.global,
         });
+        // The free set, the heap, and the in-service table all just
+        // changed: move the reservation token's epoch on.
+        state.epoch = state.epoch.wrapping_add(1);
         return true;
     }
     false
@@ -496,11 +506,11 @@ pub(crate) fn run_shrink(
     };
     if cfg
         .elastic
-        .is_some_and(|grow_at| state.queue.len() < grow_at)
+        .is_some_and(|grow_at| state.queue_len() < grow_at)
     {
         return;
     }
-    while state.queue.len() >= threshold.max(1)
+    while state.queue_len() >= threshold.max(1)
         && shrink_lease(state, cfg, cache, config_hash, clock)
     {
         state.lease_shrunk += 1;
@@ -553,9 +563,15 @@ fn shrink_lease(
     // The head guard, computed once like `grow_lease`'s: a shrink may
     // delay the candidate past the blocked head's reservation only if
     // the head still fits at that instant afterwards.
-    let head_guard: Option<(&Pending, f64)> = match state.queue.first() {
+    let head_guard: Option<(&Pending, f64)> = match state
+        .queue
+        .iter()
+        .zip(&state.dead)
+        .find(|(_, &d)| !d)
+        .map(|(p, _)| p)
+    {
         Some(head) if cfg.policy.backfills() => {
-            let resv = head_reservation(
+            let resv = head_reservation_cached(
                 &state.cluster,
                 &state.mem_order,
                 &state.free,
@@ -565,6 +581,9 @@ fn shrink_lease(
                 cfg,
                 cache,
                 config_hash,
+                state.epoch,
+                &mut state.resv_cache,
+                &mut state.scratch,
             );
             resv.is_finite().then_some((head, resv))
         }
@@ -702,6 +721,7 @@ fn shrink_lease(
                     cache,
                     config_hash,
                     resv,
+                    &mut state.scratch,
                 ) {
                     continue;
                 }
@@ -769,6 +789,9 @@ fn shrink_lease(
             suffix_dag: s.dag,
             mapping: s.schedule.global,
         });
+        // The free set, the heap, and the in-service table all just
+        // changed: move the reservation token's epoch on.
+        state.epoch = state.epoch.wrapping_add(1);
         return true;
     }
     false

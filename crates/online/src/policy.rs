@@ -88,38 +88,53 @@ impl AdmissionPolicy {
     /// order (the engine enforces the head's reservation); the others
     /// rank the whole queue.
     pub(crate) fn candidate_order(self, queue: &[crate::state::Pending]) -> Vec<usize> {
+        let mut idx = Vec::new();
+        self.candidate_order_into(queue, &[], &mut idx);
+        idx
+    }
+
+    /// [`candidate_order`](Self::candidate_order) into a caller-owned
+    /// buffer — the overhauled admission loop reuses one across passes
+    /// so steady-state ordering is allocation-free. `dead` is the
+    /// queue's tombstone mask (empty = everything live): tombstoned
+    /// entries are omitted, so the returned *storage* indices rank
+    /// exactly like positions in a compacted queue would.
+    pub(crate) fn candidate_order_into(
+        self,
+        queue: &[crate::state::Pending],
+        dead: &[bool],
+        idx: &mut Vec<usize>,
+    ) {
+        idx.clear();
+        let live = |i: usize| dead.get(i).is_none_or(|&d| !d);
         match self {
             AdmissionPolicy::Fifo => {
-                if queue.is_empty() {
-                    vec![]
-                } else {
-                    vec![0]
+                if let Some(head) = (0..queue.len()).find(|&i| live(i)) {
+                    idx.push(head);
                 }
             }
             // The queue is maintained in (arrival, id) order, so plain
             // index order *is* arrival order.
             AdmissionPolicy::FifoBackfill | AdmissionPolicy::EasyBackfill => {
-                (0..queue.len()).collect()
+                idx.extend((0..queue.len()).filter(|&i| live(i)));
             }
             AdmissionPolicy::ShortestFirst => {
-                let mut idx: Vec<usize> = (0..queue.len()).collect();
+                idx.extend((0..queue.len()).filter(|&i| live(i)));
                 idx.sort_by(|&a, &b| {
                     queue[a]
                         .total_work
                         .total_cmp(&queue[b].total_work)
                         .then(queue[a].id.cmp(&queue[b].id))
                 });
-                idx
             }
             AdmissionPolicy::MemoryFitFirst => {
-                let mut idx: Vec<usize> = (0..queue.len()).collect();
+                idx.extend((0..queue.len()).filter(|&i| live(i)));
                 idx.sort_by(|&a, &b| {
                     queue[b]
                         .max_task_req
                         .total_cmp(&queue[a].max_task_req)
                         .then(queue[a].id.cmp(&queue[b].id))
                 });
-                idx
             }
         }
     }

@@ -97,6 +97,35 @@ pub(crate) struct InService {
     pub(crate) busy: Vec<(ProcId, f64)>,
 }
 
+/// Reusable buffers for the admission hot path, owned by the
+/// [`ClusterState`] so steady-state probes allocate nothing: every
+/// placement probe needs the free set filtered into memory order, and
+/// every reservation replay needs a hypothetical free set plus the
+/// live pending completions in time order. The buffers are cleared and
+/// refilled per use — after the first few events they have grown to
+/// the cluster's working-set size and stay there (pinned by the
+/// allocation-counting test in `admission.rs`).
+#[derive(Default)]
+pub(crate) struct ProbeScratch {
+    /// Free processors in canonical memory-descending order — the
+    /// lease-carve prefix source of `find_placement` / `can_place`.
+    pub(crate) free_sorted: Vec<ProcId>,
+    /// Hypothetical free set for the reservation replays
+    /// (`head_reservation` / `head_fits_at`).
+    pub(crate) hyp: Vec<bool>,
+    /// Live pending completions `(time, seq, slot)`, sorted for the
+    /// reservation replay.
+    pub(crate) pending: Vec<(f64, u64, usize)>,
+    /// Candidate order of the current admission pass
+    /// ([`AdmissionPolicy::candidate_order_into`]); taken out of the
+    /// scratch for the pass and restored cleared.
+    pub(crate) order: Vec<usize>,
+    /// Queue indices admitted or rejected in the current pass.
+    pub(crate) taken: Vec<usize>,
+    /// EASY's aggressive-phase deferral list for the current pass.
+    pub(crate) deferred: Vec<usize>,
+}
+
 /// Everything one shared cluster's event loop owns and mutates: the
 /// cluster itself (plus its canonical memory-descending carve order),
 /// the free set, the admission queue, the completion-event heap, the
@@ -112,6 +141,18 @@ pub(crate) struct ClusterState {
     pub(crate) free_count: usize,
     /// The admission queue, maintained in `(arrival, id)` order.
     pub(crate) queue: Vec<Pending>,
+    /// Tombstones parallel to `queue`. The overhauled admission
+    /// pipeline marks taken entries dead and defers the storage sweep
+    /// until half the entries are tombstones ([`compact_queue`]), so
+    /// each queue entry is moved O(1) times over its lifetime instead
+    /// of once per later admission. The legacy pipeline
+    /// (`fast_admission: false`) never marks tombstones, so every
+    /// accessor degrades to the plain direct read.
+    ///
+    /// [`compact_queue`]: ClusterState::compact_queue
+    pub(crate) dead: Vec<bool>,
+    /// How many `queue` entries are tombstoned.
+    pub(crate) dead_count: usize,
     pub(crate) events: EventQueue,
     pub(crate) in_service: Vec<Option<InService>>,
     pub(crate) finished: Vec<WorkflowRecord>,
@@ -139,6 +180,19 @@ pub(crate) struct ClusterState {
     /// the single-cluster engine, keeping its reports byte-identical
     /// to the pre-federation schema).
     pub(crate) cluster_id: Option<usize>,
+    /// Mutation epoch of everything a head-reservation replay reads —
+    /// the free set, the completion heap, and the in-service table.
+    /// Bumped by every admit, completion pop, failure teardown, and
+    /// elastic grow/shrink commit; the validity half of the cached
+    /// reservation's token.
+    pub(crate) epoch: u64,
+    /// The memoized head reservation: `(epoch, head id, reservation)`.
+    /// Consulted (and refilled) by
+    /// [`crate::admission::head_reservation_cached`]; a token whose
+    /// epoch or head no longer matches forces a fresh replay.
+    pub(crate) resv_cache: Option<(u64, usize, f64)>,
+    /// Reusable probe buffers (see [`ProbeScratch`]).
+    pub(crate) scratch: ProbeScratch,
 }
 
 impl ClusterState {
@@ -152,6 +206,8 @@ impl ClusterState {
             free: vec![true; cluster.len()],
             free_count: cluster.len(),
             queue: Vec::new(),
+            dead: Vec::new(),
+            dead_count: 0,
             events: EventQueue::new(),
             in_service: Vec::new(),
             finished: Vec::new(),
@@ -165,8 +221,19 @@ impl ClusterState {
             lost: Vec::new(),
             growth_pending: false,
             cluster_id,
+            epoch: 0,
+            resv_cache: None,
+            scratch: ProbeScratch::default(),
             cluster: cluster.clone(),
         }
+    }
+
+    /// Invalidates the cached head reservation: any mutation of the
+    /// free set, the completion heap, or the in-service table changes
+    /// what a reservation replay would see, so the token's epoch half
+    /// moves on.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// Instant of the earliest pending completion event (stale entries
@@ -210,6 +277,7 @@ impl ClusterState {
             self.finished_fp.push(done.fingerprint);
             self.placements.push(done.placement);
             self.growth_pending = true;
+            self.bump_epoch();
         }
     }
 
@@ -242,6 +310,7 @@ impl ClusterState {
             requeues: 0,
             submission: s,
         });
+        self.dead.push(false);
     }
 
     /// Inserts an already-screened pending workflow at its `(arrival,
@@ -249,16 +318,56 @@ impl ClusterState {
     /// with this, preserving the arrival-order invariant the FIFO
     /// policies rely on.
     pub(crate) fn insert_pending(&mut self, p: Pending) {
+        // Tombstoned entries kept their `(arrival, id)` keys, so the
+        // storage stays sorted with them in place and the search is
+        // oblivious to them.
         let pos = self
             .queue
             .partition_point(|q| (q.arrival, q.id) < (p.arrival, p.id));
         self.queue.insert(pos, p);
+        self.dead.insert(pos, false);
+    }
+
+    /// How many workflows are actually queued (tombstones excluded).
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len() - self.dead_count
+    }
+
+    /// Whether no workflow is queued (tombstones excluded).
+    pub(crate) fn queue_is_empty(&self) -> bool {
+        self.queue_len() == 0
+    }
+
+    /// Sweeps the tombstones out of the queue storage. Called when
+    /// half the storage is dead (so each entry moves O(1) times over
+    /// its lifetime) and before handing the queue to consumers that
+    /// iterate it raw.
+    pub(crate) fn compact_queue(&mut self) {
+        if self.dead_count == 0 {
+            return;
+        }
+        let dead = std::mem::take(&mut self.dead);
+        let mut i = 0;
+        self.queue.retain(|_| {
+            let keep = !dead[i];
+            i += 1;
+            keep
+        });
+        self.dead = dead;
+        self.dead.clear();
+        self.dead.resize(self.queue.len(), false);
+        self.dead_count = 0;
     }
 
     /// Total outstanding work queued on this cluster — the `least-loaded`
     /// routing signal.
     pub(crate) fn queued_work(&self) -> f64 {
-        self.queue.iter().map(|p| p.total_work).sum()
+        self.queue
+            .iter()
+            .zip(&self.dead)
+            .filter(|(_, &d)| !d)
+            .map(|(p, _)| p.total_work)
+            .sum()
     }
 
     /// Aggregate speed of the currently free processors — the
@@ -275,6 +384,8 @@ impl ClusterState {
     /// membership events migrate these onto surviving members via
     /// [`ClusterState::insert_pending`].
     pub(crate) fn take_queue(&mut self) -> Vec<Pending> {
+        self.compact_queue();
+        self.dead.clear();
         std::mem::take(&mut self.queue)
     }
 
@@ -303,6 +414,7 @@ impl ClusterState {
         // workflow; a fresh heap also resets the staleness sequence,
         // which is safe because no slot survives to compare against.
         self.events = EventQueue::new();
+        self.bump_epoch();
         torn
     }
 }

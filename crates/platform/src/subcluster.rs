@@ -167,6 +167,40 @@ impl Cluster {
     pub fn subcluster(&self, procs: &[ProcId]) -> SubCluster {
         SubCluster::new(self, procs)
     }
+
+    /// [`SubCluster::shape_signature`] of the lease `subcluster(procs)`
+    /// *would* have — bit-equal by construction, without allocating the
+    /// view. The admission hot path probes the solve cache with this on
+    /// warm feasibility checks, deferring the O(procs) `SubCluster`
+    /// materialisation to actual cache misses.
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-range slice (the same ids
+    /// [`SubCluster::new`] would reject; duplicates are the caller's
+    /// contract there and are not re-checked here).
+    pub fn shape_of_slice(&self, procs: &[ProcId]) -> u64 {
+        assert!(
+            !procs.is_empty(),
+            "a sub-cluster needs at least one processor"
+        );
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.bandwidth.to_bits());
+        mix(procs.len() as u64);
+        for &p in procs {
+            let proc = self.proc(p);
+            mix(proc.speed.to_bits());
+            mix(proc.memory.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +271,29 @@ mod tests {
             slow.subcluster(&[ProcId(0)]).shape_signature(),
             x.shape_signature()
         );
+    }
+
+    #[test]
+    fn shape_of_slice_is_bit_equal_to_the_materialised_view() {
+        let c = parent();
+        for ids in [
+            vec![ProcId(0)],
+            vec![ProcId(3), ProcId(0)],
+            vec![ProcId(1), ProcId(2), ProcId(0)],
+            vec![ProcId(2), ProcId(1), ProcId(3), ProcId(0)],
+        ] {
+            assert_eq!(
+                c.shape_of_slice(&ids),
+                c.subcluster(&ids).shape_signature(),
+                "shape drift for {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn shape_of_slice_rejects_empty() {
+        parent().shape_of_slice(&[]);
     }
 
     #[test]

@@ -113,6 +113,61 @@ fn admissions_by_instant(out: &ServeOutcome) -> Vec<(u64, Vec<usize>)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The admission hot-path overhaul is an execution strategy, not a
+    /// policy: with the overhaul on (feasibility fast path, epoch-token
+    /// reservation reuse, speculative pre-solving) and off (the
+    /// measured pre-overhaul baseline), the scheduling outcome — every
+    /// workflow record, rejection, and fleet aggregate — is
+    /// byte-identical, and so is every head reservation the engine
+    /// ever computed (bit-equal instants, same triggers, same order).
+    /// A reservation token that survived an admit, completion, grow,
+    /// or shrink it should have been invalidated by would diverge
+    /// here. Only the solver-effort counters may differ (reused
+    /// reservations skip redundant warm probes), so those are cleared
+    /// before comparing.
+    #[test]
+    fn fast_admission_matches_the_slow_baseline_bitwise(
+        n in 3usize..10,
+        kind in 0u8..3,
+        policy_pick in 0u8..3,
+        elastic_pick in 0u8..4,
+        seed in any::<u64>(),
+    ) {
+        let subs = single_task_trace(n, kind, seed);
+        let policy = match policy_pick {
+            0 => AdmissionPolicy::Fifo,
+            1 => AdmissionPolicy::FifoBackfill,
+            _ => AdmissionPolicy::EasyBackfill,
+        };
+        let (elastic, elastic_shrink) = match elastic_pick {
+            0 => (None, None),
+            1 => (Some(1), None),
+            2 => (None, Some(1)),
+            _ => (Some(2), Some(2)),
+        };
+        let mk = |fast_admission| OnlineConfig {
+            policy,
+            elastic,
+            elastic_shrink,
+            fast_admission,
+            ..OnlineConfig::default()
+        };
+        let fast = serve(&cluster(), subs.clone(), &mk(true));
+        let slow = serve(&cluster(), subs, &mk(false));
+        let mut fr = fast.report.clone();
+        let mut sr = slow.report.clone();
+        fr.fleet.clear_solve_stats();
+        sr.fleet.clear_solve_stats();
+        prop_assert_eq!(fr.to_json(), sr.to_json());
+        prop_assert_eq!(fast.reservations.len(), slow.reservations.len());
+        for (a, b) in fast.reservations.iter().zip(&slow.reservations) {
+            prop_assert_eq!(a.at.to_bits(), b.at.to_bits());
+            prop_assert_eq!(a.head_id, b.head_id);
+            prop_assert_eq!(a.reservation.to_bits(), b.reservation.to_bits());
+            prop_assert_eq!(a.trigger, b.trigger);
+        }
+    }
+
     #[test]
     fn backfill_head_reservation_and_easy_superset(
         n in 3usize..10,
